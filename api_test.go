@@ -1,0 +1,232 @@
+package dirsim_test
+
+// Public-API smoke tests: exercise every facade entry point end to end so
+// that accidental signature or behaviour changes in the internal packages
+// surface as failures here, where external users would feel them.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dirsim"
+)
+
+func TestAPITraceRoundTripAndFilters(t *testing.T) {
+	tr := dirsim.Trace{
+		{CPU: 0, Kind: dirsim.Read, Addr: 0x10, Lock: true},
+		{CPU: 1, Kind: dirsim.Write, Addr: 0x20},
+		{CPU: 0, Kind: dirsim.Instr, Addr: 0x30},
+	}
+	var bin, txt bytes.Buffer
+	bw := dirsim.NewBinaryTraceWriter(&bin)
+	tw := dirsim.NewTextTraceWriter(&txt)
+	for _, r := range tr {
+		if err := bw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := dirsim.ReadTrace(dirsim.NewBinaryTraceReader(&bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := dirsim.ReadTrace(dirsim.NewTextTraceReader(&txt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromBin) != 3 || len(fromTxt) != 3 {
+		t.Fatalf("round trips lost refs: %d, %d", len(fromBin), len(fromTxt))
+	}
+	filtered, err := dirsim.ReadTrace(dirsim.DropLockSpins(dirsim.NewTraceReader(tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != 2 {
+		t.Fatalf("DropLockSpins kept %d refs", len(filtered))
+	}
+	limited, err := dirsim.ReadTrace(dirsim.LimitTrace(dirsim.NewTraceReader(tr), 1))
+	if err != nil || len(limited) != 1 {
+		t.Fatalf("LimitTrace: %v, %d", err, len(limited))
+	}
+}
+
+func TestAPIStatsAndProfile(t *testing.T) {
+	gen, err := dirsim.NewGenerator(dirsim.THOR(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dirsim.CollectTraceStats(gen, dirsim.DefaultBlockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Refs != 30_000 || st.CPUs != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	gen2, err := dirsim.NewGenerator(dirsim.THOR(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := dirsim.ProfileTrace(gen2, dirsim.DefaultBlockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.SharedBlockFraction() <= 0 || prof.PointerSufficiency(4) <= 0 {
+		t.Fatalf("profile degenerate: %+v", prof)
+	}
+}
+
+func TestAPIEveryPublicScheme(t *testing.T) {
+	tr, err := dirsim.GenerateTrace(dirsim.PERO(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range dirsim.SchemeNames() {
+		rs, err := dirsim.RunSchemes(dirsim.NewTraceReader(tr), []string{name},
+			dirsim.EngineConfig{Caches: 4}, dirsim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := rs[0]
+		if r.Stats.Refs != 20_000 {
+			t.Errorf("%s: Refs = %d", name, r.Stats.Refs)
+		}
+		if cpr := r.CyclesPerRef(dirsim.PipelinedBus()); cpr < 0 {
+			t.Errorf("%s: negative cycles/ref", name)
+		}
+		if err := dirsim.VerifyAccounting(r); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAPIStudyAndContention(t *testing.T) {
+	sums, err := dirsim.SeedSweep(dirsim.PERO(15_000), dirsim.StudySeeds(5, 3),
+		[]string{"dir0b", "dragon"}, dirsim.EngineConfig{Caches: 4},
+		dirsim.Options{}, dirsim.MetricCyclesPerRef(dirsim.PipelinedBus()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := dirsim.CompareSchemes(sums[0], sums[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Diff <= 0 {
+		t.Errorf("Dir0B−Dragon = %v, want positive", cmp.Diff)
+	}
+	gen, err := dirsim.NewGenerator(dirsim.PERO(15_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := dirsim.RunSchemes(gen, []string{"dir0b"},
+		dirsim.EngineConfig{Caches: 4}, dirsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := rs[0].Contention(dirsim.PipelinedBus(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := model.MVA(8)
+	if err != nil || len(ms) != 8 {
+		t.Fatalf("MVA: %v, %d", err, len(ms))
+	}
+	if _, err := model.Simulate(4, 100_000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPIDirectoryStores(t *testing.T) {
+	p := dirsim.DefaultStorageParams(16)
+	stores := []dirsim.DirectoryStore{
+		dirsim.NewFullMapStore(16),
+		dirsim.NewTwoBitStore(),
+		dirsim.NewTangStore(16),
+	}
+	lp, err := dirsim.NewLimitedPointerStore(2, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := dirsim.NewCodedSetStore(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores = append(stores, lp, cs)
+	for _, s := range stores {
+		if s.StorageBits(p) == 0 {
+			t.Errorf("%s: zero storage", s.Name())
+		}
+		s.Add(1, 3)
+		if n, _ := s.Count(1); n < 1 {
+			t.Errorf("%s: Count after Add = %d", s.Name(), n)
+		}
+	}
+}
+
+func TestAPINUMAAndScaling(t *testing.T) {
+	eng, err := dirsim.NewNUMA(dirsim.NUMAConfig{Nodes: 4, Policy: dirsim.FirstTouch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := dirsim.NewGenerator(dirsim.PERO(15_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dirsim.RunNUMA(gen, eng, dirsim.NUMAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MessagesPerRef() <= 0 {
+		t.Error("no NUMA traffic")
+	}
+	central, distributed, err := dirsim.ScalingCurve(20, 4, 2, []int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(central) != 2 || len(distributed) != 2 {
+		t.Fatal("scaling curve shape wrong")
+	}
+}
+
+func TestAPIWorkloadKnobs(t *testing.T) {
+	cfg := dirsim.POPS(10_000)
+	cfg.LockKind = dirsim.TestAndSet
+	cfg.BarrierInterval = 1000
+	cfg.CPUs = 8
+	tr, err := dirsim.GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 10_000 {
+		t.Fatalf("generated %d refs", len(tr))
+	}
+	sawLockWrite := false
+	for _, r := range tr {
+		if r.Lock && r.Kind == dirsim.Write {
+			sawLockWrite = true
+			break
+		}
+	}
+	if !sawLockWrite {
+		t.Error("TestAndSet knob had no effect")
+	}
+}
+
+func TestAPISchemeNamesComplete(t *testing.T) {
+	names := strings.Join(dirsim.SchemeNames(), ",")
+	for _, want := range []string{"dir1nb", "dirnnb", "dir0b", "codedset", "tang",
+		"wti", "dragon", "berkeley", "mesi", "moesi", "writeonce", "firefly",
+		"competitive4", "readbroadcast"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("SchemeNames missing %s", want)
+		}
+	}
+}

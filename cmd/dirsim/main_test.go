@@ -1,0 +1,141 @@
+package main
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dirsim/internal/trace"
+)
+
+func TestRunGeneratedWorkload(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{workload: "pero", refs: 20000, schemes: "dir0b,dragon", cpus: 4, events: true, fanout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"bus cycles per memory reference", "Dir0B", "Dragon", "Table 4", "Figure 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{workload: "pero", refs: 10000, schemes: "dir0b", cpus: 4, csvOut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "scheme,refs,transactions") {
+		t.Errorf("CSV header missing: %q", out.String()[:60])
+	}
+}
+
+func TestRunTraceFileAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "t.trc")
+	zipped := filepath.Join(dir, "t.trc.gz")
+
+	refs := trace.Slice{
+		{CPU: 0, Kind: trace.Read, Addr: 0x10},
+		{CPU: 1, Kind: trace.Read, Addr: 0x10},
+		{CPU: 0, Kind: trace.Write, Addr: 0x10},
+	}
+	f, err := os.Create(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := trace.NewBinaryWriter(f)
+	for _, r := range refs {
+		if err := bw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	zf, err := os.Create(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(zf)
+	bw = trace.NewBinaryWriter(zw)
+	for _, r := range refs {
+		if err := bw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{plain, zipped} {
+		var out strings.Builder
+		if err := run(&out, options{traceFile: path, schemes: "dir0b", cpus: 4}); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !strings.Contains(out.String(), "Dir0B") {
+			t.Errorf("%s: missing results", path)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, options{workload: "nope", refs: 100, schemes: "dir0b", cpus: 4}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(&out, options{workload: "pero", refs: 100, schemes: "bogus", cpus: 4}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run(&out, options{workload: "pero", refs: 100, schemes: "dir0b", cpus: 4, finite: "badgeom"}); err == nil {
+		t.Error("bad -finite accepted")
+	}
+	if err := run(&out, options{traceFile: "/does/not/exist.trc", schemes: "dir0b", cpus: 4}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunFiniteAndFilters(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{workload: "pops", refs: 20000, schemes: "dir0b", cpus: 4, finite: "16x2", dropLocks: true, byProcess: true, q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Dir0B") {
+		t.Error("missing results")
+	}
+}
+
+func TestRunNUMAAndLatency(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, options{workload: "pero", refs: 20000, schemes: "dirnnb",
+		cpus: 4, latency: true, numaNodes: 4, numaHome: "firsttouch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"average memory access time", "distributed full-map directory", "critical hops/ref", "first-touch"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if err := run(&out, options{workload: "pero", refs: 100, schemes: "dir0b",
+		cpus: 4, numaNodes: 4, numaHome: "bogus"}); err == nil {
+		t.Error("bad -home accepted")
+	}
+}

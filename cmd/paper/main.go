@@ -1,0 +1,540 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation in one run: Tables 1-5, Figures 1-5, the Section 5.1 fixed-
+// overhead study, the Section 5.2 spin-lock study, and the Section 6
+// scalability alternatives, using the three synthetic workloads that stand
+// in for the POPS/THOR/PERO ATUM traces.
+//
+// Usage:
+//
+//	paper [-refs N] [-cpus N] [-seed-offset N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/directory"
+	"dirsim/internal/numa"
+	"dirsim/internal/queueing"
+	"dirsim/internal/report"
+	"dirsim/internal/sim"
+	"dirsim/internal/study"
+	"dirsim/internal/trace"
+	"dirsim/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper: ")
+	refs := flag.Int("refs", 1_000_000, "references per synthetic trace")
+	cpus := flag.Int("cpus", 4, "number of processors")
+	flag.Parse()
+	if err := run(os.Stdout, *refs, *cpus); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// section3Schemes are the head-to-head protocols, in the paper's column
+// order, plus the Berkeley estimate used in the Table 5 discussion.
+var section3Schemes = []string{"dir1nb", "wti", "dir0b", "dragon"}
+
+func run(w io.Writer, refs, cpus int) error {
+	timing := bus.DefaultTiming()
+	pip, np := timing.Pipelined(), timing.NonPipelined()
+	cfg := coherence.Config{Caches: cpus}
+	presets := tracegen.Presets(refs)
+
+	fmt.Fprintf(w, "Reproduction of: An Evaluation of Directory Schemes for Cache Coherence\n")
+	fmt.Fprintf(w, "Agarwal, Simoni, Hennessy, Horowitz (ISCA 1988)\n")
+	fmt.Fprintf(w, "Synthetic workloads: %d refs each, %d CPUs, %d-byte blocks\n\n",
+		refs, cpus, trace.DefaultBlockBytes)
+
+	fmt.Fprintln(w, report.Table1(timing))
+	fmt.Fprintln(w, report.Table2(timing))
+
+	// Table 3: trace characteristics.
+	var names []string
+	var stats []trace.Stats
+	for _, p := range presets {
+		g, err := tracegen.New(p)
+		if err != nil {
+			return err
+		}
+		st, err := trace.CollectStats(g, trace.DefaultBlockBytes)
+		if err != nil {
+			return err
+		}
+		names = append(names, p.Name)
+		stats = append(stats, st)
+	}
+	fmt.Fprintln(w, report.Table3(names, stats))
+
+	// One lockstep run per trace over the Section 3 schemes + Berkeley.
+	perTrace := make([][]sim.Result, len(presets))
+	for i, p := range presets {
+		g, err := tracegen.New(p)
+		if err != nil {
+			return err
+		}
+		rs, err := sim.RunSchemes(g, append(append([]string{}, section3Schemes...), "berkeley"), cfg, sim.Options{})
+		if err != nil {
+			return err
+		}
+		perTrace[i] = rs
+	}
+	combined := make([]sim.Result, len(section3Schemes)+1)
+	for si := range combined {
+		var group []sim.Result
+		for ti := range perTrace {
+			group = append(group, perTrace[ti][si])
+		}
+		c, err := sim.Combine(group)
+		if err != nil {
+			return err
+		}
+		combined[si] = c
+	}
+	core := combined[:len(section3Schemes)] // without Berkeley
+
+	fmt.Fprintln(w, report.Table4(core))
+	fmt.Fprintln(w, report.Table4Legend())
+	// Figure 1 uses the multiple-copy state-change model; Dir0B's
+	// histogram is the canonical one (WTI's is identical).
+	fmt.Fprintln(w, report.Figure1(combined[2]))
+	fmt.Fprintln(w, report.Figure2(core, pip, np))
+	coreByTrace := make([][]sim.Result, len(perTrace))
+	for ti := range perTrace {
+		coreByTrace[ti] = perTrace[ti][:len(section3Schemes)]
+	}
+	fmt.Fprintln(w, report.Figure3(names, coreByTrace, pip, np))
+	fmt.Fprintln(w, report.Table5(combined, pip))
+	fmt.Fprintln(w, report.Figure4(core, pip))
+	fmt.Fprintln(w, report.Figure5(core, pip))
+
+	// Section 5: directory vs memory bandwidth, effective processors.
+	dir0b := combined[2]
+	fmt.Fprintf(w, "Section 5: Dir0B directory/memory bandwidth ratio: %.2f\n", dir0b.DirToMemBandwidthRatio())
+	best := core[len(core)-1].CyclesPerRef(pip) // Dragon
+	fmt.Fprintf(w, "Section 5: effective processors at 10 MIPS, 100 ns bus, best scheme: %.1f\n\n",
+		bus.EffectiveProcessors(best, 2, 10, 100))
+
+	// Section 5.1: fixed per-transaction overhead.
+	fmt.Fprintln(w, report.Section51([]sim.Result{dir0b, core[3]}, pip, []float64{0, 1, 2, 4}))
+
+	// Section 5.1's preferred metric: average memory access time as seen
+	// by the processor (hit = 1 cycle, fixed per-transaction overhead =
+	// 1 cycle).
+	lat := report.NewTable("Section 5.1: average memory access time (cycles/ref; hit=1, overhead=1)",
+		"Scheme", "latency", "bus cycles/ref")
+	for _, r := range core {
+		lat.AddRow(r.Scheme,
+			fmt.Sprintf("%.4f", r.AvgAccessTime(pip.Latency(1, 1))),
+			fmt.Sprintf("%.4f", r.CyclesPerRef(pip)))
+	}
+	fmt.Fprintln(w, lat.Render())
+
+	// Section 5.2: spin locks. Rerun Dir1NB and Dir0B with lock-test
+	// reads filtered out.
+	with := []sim.Result{combined[0], dir0b}
+	var withoutGroups [][]sim.Result
+	for _, p := range presets {
+		g, err := tracegen.New(p)
+		if err != nil {
+			return err
+		}
+		rs, err := sim.RunSchemes(trace.DropLockSpins(g), []string{"dir1nb", "dir0b"}, cfg, sim.Options{})
+		if err != nil {
+			return err
+		}
+		withoutGroups = append(withoutGroups, rs)
+	}
+	without := make([]sim.Result, 2)
+	for si := range without {
+		var group []sim.Result
+		for _, rs := range withoutGroups {
+			group = append(group, rs[si])
+		}
+		c, err := sim.Combine(group)
+		if err != nil {
+			return err
+		}
+		without[si] = c
+	}
+	fmt.Fprintln(w, report.Section52(with, without, pip))
+
+	// Section 6: scalability alternatives, all in one lockstep run.
+	sec6Schemes := []string{"dir0b", "dirnnb", "dir1b", "dir2b", "dir2nb", "dir4nb", "codedset"}
+	var sec6Groups [][]sim.Result
+	for _, p := range presets {
+		g, err := tracegen.New(p)
+		if err != nil {
+			return err
+		}
+		rs, err := sim.RunSchemes(g, sec6Schemes, cfg, sim.Options{})
+		if err != nil {
+			return err
+		}
+		sec6Groups = append(sec6Groups, rs)
+	}
+	sec6 := make([]sim.Result, len(sec6Schemes))
+	for si := range sec6 {
+		var group []sim.Result
+		for _, rs := range sec6Groups {
+			group = append(group, rs[si])
+		}
+		c, err := sim.Combine(group)
+		if err != nil {
+			return err
+		}
+		sec6[si] = c
+	}
+	tb := report.NewTable("Section 6: directory alternatives (pipelined bus)",
+		"Scheme", "cycles/ref", "miss rate %", "bcast/1k refs", "wasted inv/1k refs", "ptr evict/1k refs")
+	for _, r := range sec6 {
+		per1k := func(v uint64) string {
+			return fmt.Sprintf("%.2f", float64(v)/float64(r.Stats.Refs)*1000)
+		}
+		tb.AddRow(r.Scheme,
+			fmt.Sprintf("%.4f", r.CyclesPerRef(pip)),
+			fmt.Sprintf("%.2f", r.Stats.Events.DataMissRate()*100),
+			per1k(r.Stats.BroadcastInvals),
+			per1k(r.Stats.WastedInvals),
+			per1k(r.Stats.PointerEvictions))
+	}
+	fmt.Fprintln(w, tb.Render())
+
+	// Section 6: Dir1B broadcast-cost sweep (the paper's 0.0485 + 0.0006·b
+	// linear model, regenerated by pricing the same run under varying b).
+	dir1b := sec6[2]
+	sweep := report.NewTable("Section 6: Dir1B cycles/ref as broadcast cost b varies",
+		"b", "cycles/ref")
+	for _, b := range []float64{1, 2, 4, 8, 16, 32} {
+		sweep.AddRow(fmt.Sprintf("%.0f", b),
+			fmt.Sprintf("%.4f", dir1b.CyclesPerRef(pip.WithBroadcastCost(b))))
+	}
+	fmt.Fprintln(w, sweep.Render())
+
+	// Ablation: directory storage overhead per organisation.
+	storage := report.NewTable("Ablation: directory storage (bits per memory block equivalents)",
+		"Organisation", "n=4", "n=16", "n=64", "n=256")
+	type org struct {
+		name string
+		mk   func(n int) directory.Store
+	}
+	orgs := []org{
+		{"full-map (DirnNB)", func(n int) directory.Store { return directory.NewFullMap(n) }},
+		{"Tang duplicate", func(n int) directory.Store { return directory.NewTang(n) }},
+		{"two-bit (Dir0B)", func(n int) directory.Store { return directory.NewTwoBit() }},
+		{"Dir1B pointers", func(n int) directory.Store {
+			s, _ := directory.NewLimitedPointer(1, n, true)
+			return s
+		}},
+		{"Dir4B pointers", func(n int) directory.Store {
+			s, _ := directory.NewLimitedPointer(4, n, true)
+			return s
+		}},
+		{"coded-set", func(n int) directory.Store {
+			s, _ := directory.NewCodedSet(n)
+			return s
+		}},
+	}
+	for _, o := range orgs {
+		cells := []string{o.name}
+		for _, n := range []int{4, 16, 64, 256} {
+			p := directory.DefaultStorageParams(n)
+			bits := o.mk(n).StorageBits(p)
+			cells = append(cells, fmt.Sprintf("%.1f", float64(bits)/float64(p.MemoryBlocks)))
+		}
+		storage.AddRow(cells...)
+	}
+	fmt.Fprintln(w, storage.Render())
+
+	// Extension: the full protocol zoo, including the referenced snoopy
+	// protocols (Goodman write-once, Illinois MESI, Firefly).
+	zooSchemes := []string{"wti", "readbroadcast", "writeonce", "mesi", "moesi", "dragon", "firefly", "competitive4", "dir0b", "dirnnb"}
+	var zooGroups [][]sim.Result
+	for _, p := range presets {
+		g, err := tracegen.New(p)
+		if err != nil {
+			return err
+		}
+		rs, err := sim.RunSchemes(g, zooSchemes, cfg, sim.Options{})
+		if err != nil {
+			return err
+		}
+		zooGroups = append(zooGroups, rs)
+	}
+	zoo := report.NewTable("Extension: the wider snoopy/directory protocol zoo (cycles/ref)",
+		"Scheme", "pipelined", "non-pipelined")
+	for si := range zooSchemes {
+		var group []sim.Result
+		for _, rs := range zooGroups {
+			group = append(group, rs[si])
+		}
+		c, err := sim.Combine(group)
+		if err != nil {
+			return err
+		}
+		zoo.AddRow(c.Scheme,
+			fmt.Sprintf("%.4f", c.CyclesPerRef(pip)),
+			fmt.Sprintf("%.4f", c.CyclesPerRef(np)))
+	}
+	fmt.Fprintln(w, zoo.Render())
+
+	// Extension: bus contention. The paper's effective-processor bound is
+	// "optimistic … because we have not included the effects of bus
+	// contention"; the closed queueing model supplies the refinement.
+	// procCyclesPerRef = 0.5: a 10-MIPS processor on a 100 ns bus issues
+	// one instruction (two references) per bus cycle.
+	cont := report.NewTable("Extension: bus contention (machine-repairman model, pipelined bus)",
+		"Scheme", "naive bound", "eff procs @8", "eff procs @16", "eff procs @32", "knee(50%)")
+	for _, r := range []sim.Result{dir0b, core[3]} {
+		model, err := r.Contention(pip, 0.5)
+		if err != nil {
+			return err
+		}
+		ms, err := model.MVA(32)
+		if err != nil {
+			return err
+		}
+		knee, err := model.Knee(64, 0.5)
+		if err != nil {
+			return err
+		}
+		cont.AddRow(r.Scheme,
+			fmt.Sprintf("%.1f", bus.EffectiveProcessors(r.CyclesPerRef(pip), 2, 10, 100)),
+			fmt.Sprintf("%.1f", ms[7].EffectiveProcessors),
+			fmt.Sprintf("%.1f", ms[15].EffectiveProcessors),
+			fmt.Sprintf("%.1f", ms[31].EffectiveProcessors),
+			fmt.Sprintf("%d", knee))
+	}
+	fmt.Fprintln(w, cont.Render())
+
+	// Section 2's demanded measurement: "the dynamic numbers of caches
+	// that contain a shared datum" — computed from the trace alone, with
+	// no protocol model, plus the pointer-sufficiency view that justifies
+	// small-i directories.
+	profTb := report.NewTable("Section 2/6: sharing profile (protocol-free, per trace)",
+		"Trace", "shared blocks %", "writes fitting 1 ptr %", "2 ptrs %", "4 ptrs %")
+	for _, p := range presets {
+		g, err := tracegen.New(p)
+		if err != nil {
+			return err
+		}
+		prof, err := trace.Profile(g, trace.DefaultBlockBytes)
+		if err != nil {
+			return err
+		}
+		profTb.AddRow(p.Name,
+			fmt.Sprintf("%.1f", prof.SharedBlockFraction()*100),
+			fmt.Sprintf("%.1f", prof.PointerSufficiency(1)*100),
+			fmt.Sprintf("%.1f", prof.PointerSufficiency(2)*100),
+			fmt.Sprintf("%.1f", prof.PointerSufficiency(4)*100))
+	}
+	fmt.Fprintln(w, profTb.Render())
+
+	// Footnote 5's open question: does the single-invalidation dominance
+	// survive on machines larger than the traced four processors?
+	bigTb := report.NewTable("Footnote 5: Figure 1's claim on larger machines (POPS-like workloads)",
+		"processors", "writes needing ≤1 inval %", "mean fan-out")
+	for _, n := range []int{4, 8, 16, 32} {
+		cfgBig := tracegen.POPS(refs)
+		cfgBig.CPUs = n
+		cfgBig.Locks = 1 + n/8
+		g, err := tracegen.New(cfgBig)
+		if err != nil {
+			return err
+		}
+		rs, err := sim.RunSchemes(g, []string{"dir0b"}, coherence.Config{Caches: n}, sim.Options{})
+		if err != nil {
+			return err
+		}
+		h := &rs[0].Stats.InvalFanout
+		bigTb.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", h.CumulativeFraction(1)*100),
+			fmt.Sprintf("%.2f", h.Mean()))
+	}
+	fmt.Fprintln(w, bigTb.Render())
+
+	// Section 7: distributing memory and directory with the processors.
+	// The model's think/service parameters come from the measured Dir0B
+	// demand; the distributed machine adds a 2-cycle interconnect hop.
+	if model, err := dir0b.Contention(pip, 0.5); err == nil {
+		sizes := []int{2, 4, 8, 16, 32, 64}
+		central, distributed, err := queueing.ScalingCurve(model.ThinkCycles, model.ServiceCycles, 2, sizes)
+		if err != nil {
+			return err
+		}
+		s7 := report.NewTable("Section 7: processor efficiency, central bus vs distributed directory (Dir0B demand)",
+			"Processors", "central", "distributed")
+		for i, n := range sizes {
+			s7.AddRow(fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.2f", central[i]),
+				fmt.Sprintf("%.2f", distributed[i]))
+		}
+		fmt.Fprintln(w, s7.Render())
+	}
+
+	// Section 7 at message level: the distributed full-map directory's
+	// interconnect demand under both home-assignment policies (POPS).
+	nTb := report.NewTable("Section 7: message-level distributed directory (POPS)",
+		"home policy", "msgs/ref", "critical hops/ref", "local homes", "3-hop misses/1k refs")
+	for _, policy := range []numa.HomePolicy{numa.Interleaved, numa.FirstTouch} {
+		eng, err := numa.New(numa.Config{Nodes: cpus, Policy: policy})
+		if err != nil {
+			return err
+		}
+		g, err := tracegen.New(tracegen.POPS(refs))
+		if err != nil {
+			return err
+		}
+		st, err := numa.Run(g, eng, numa.Options{})
+		if err != nil {
+			return err
+		}
+		nTb.AddRow(policy.String(),
+			fmt.Sprintf("%.4f", st.MessagesPerRef()),
+			fmt.Sprintf("%.4f", st.CriticalHopsPerRef()),
+			fmt.Sprintf("%.2f", st.LocalHomeFraction()),
+			fmt.Sprintf("%.2f", float64(st.ThreeHopMisses)/float64(st.Refs)*1000))
+	}
+	fmt.Fprintln(w, nTb.Render())
+
+	// Extension: spin primitive ablation — plain test-and-set turns every
+	// spin probe into an invalidating write.
+	lockTb := report.NewTable("Extension: test-and-test-and-set vs test-and-set (POPS, cycles/ref)",
+		"Scheme", "T&T&S", "T&S", "T&S penalty")
+	tsCfg := tracegen.POPS(refs)
+	tsCfg.LockKind = tracegen.TestAndSet
+	for _, scheme := range []string{"dir0b", "dragon"} {
+		ttsGen, err := tracegen.New(tracegen.POPS(refs))
+		if err != nil {
+			return err
+		}
+		tts, err := sim.RunSchemes(ttsGen, []string{scheme}, cfg, sim.Options{})
+		if err != nil {
+			return err
+		}
+		tsGen, err := tracegen.New(tsCfg)
+		if err != nil {
+			return err
+		}
+		ts, err := sim.RunSchemes(tsGen, []string{scheme}, cfg, sim.Options{})
+		if err != nil {
+			return err
+		}
+		a, b := tts[0].CyclesPerRef(pip), ts[0].CyclesPerRef(pip)
+		lockTb.AddRow(tts[0].Scheme,
+			fmt.Sprintf("%.4f", a), fmt.Sprintf("%.4f", b), fmt.Sprintf("%.2fx", b/a))
+	}
+	fmt.Fprintln(w, lockTb.Render())
+
+	// Ablation: sparse directories — a bounded directory entry cache
+	// whose evictions invalidate the displaced block's copies. Directory
+	// locality tracks cache locality, so a small fraction of entries
+	// suffices.
+	// Size the capacities against the workload's working set.
+	wsGen, err := tracegen.New(tracegen.POPS(refs))
+	if err != nil {
+		return err
+	}
+	ws, err := trace.WorkingSets(wsGen, trace.DefaultBlockBytes, 100_000)
+	if err != nil {
+		return err
+	}
+	maxWS := 0
+	for _, v := range ws {
+		if v > maxWS {
+			maxWS = v
+		}
+	}
+	fmt.Fprintf(w, "POPS working set: max %d blocks per 100k data refs\n\n", maxWS)
+	spTb := report.NewTable("Ablation: DirnNB on POPS vs sparse-directory capacity (cycles/ref)",
+		"entries", "cycles/ref", "entry evictions/1k refs")
+	for _, entries := range []int{256, 1024, 4096, 0} {
+		g, err := tracegen.New(tracegen.POPS(refs))
+		if err != nil {
+			return err
+		}
+		scfg := coherence.Config{Caches: cpus, DirEntries: entries}
+		rs, err := sim.RunSchemes(g, []string{"dirnnb"}, scfg, sim.Options{})
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", entries)
+		if entries == 0 {
+			label = "memory-resident"
+		}
+		spTb.AddRow(label,
+			fmt.Sprintf("%.4f", rs[0].CyclesPerRef(pip)),
+			fmt.Sprintf("%.2f", float64(rs[0].Stats.DirEntryEvictions)/float64(rs[0].Stats.Refs)*1000))
+	}
+	fmt.Fprintln(w, spTb.Render())
+
+	// Ablation: finite cache sizes. The paper argues finite-cache costs
+	// add to the sharing costs to first order; measure the addition
+	// directly with a half-trace warm-up and cold misses included.
+	finTb := report.NewTable("Ablation: Dir0B on POPS vs cache size (4-way, cycles/ref, warm measurement)",
+		"cache blocks", "cycles/ref", "data miss rate %")
+	finiteGeoms := []struct {
+		label string
+		sets  int
+		ways  int
+	}{
+		{"256", 64, 4}, {"1024", 256, 4}, {"4096", 1024, 4}, {"infinite", 0, 0},
+	}
+	for _, geom := range finiteGeoms {
+		g, err := tracegen.New(tracegen.POPS(refs))
+		if err != nil {
+			return err
+		}
+		fcfg := coherence.Config{Caches: cpus, FiniteSets: geom.sets, FiniteWays: geom.ways}
+		rs, err := sim.RunSchemes(g, []string{"dir0b"}, fcfg,
+			sim.Options{IncludeFirstRefCosts: true, WarmupRefs: refs / 2})
+		if err != nil {
+			return err
+		}
+		finTb.AddRow(geom.label,
+			fmt.Sprintf("%.4f", rs[0].CyclesPerRef(pip)),
+			fmt.Sprintf("%.2f", rs[0].Stats.Events.DataMissRate()*100))
+	}
+	fmt.Fprintln(w, finTb.Render())
+
+	// Appendix: sampling error. The paper's numbers come from one trace
+	// per application; replicating POPS across five seeds puts error bars
+	// on Figure 2's column.
+	seeds := study.Seeds(1, 5)
+	sums, err := study.SeedSweep(tracegen.POPS(refs/2), seeds, section3Schemes,
+		cfg, sim.Options{}, study.CyclesPerRef(pip))
+	if err != nil {
+		return err
+	}
+	errTb := report.NewTable("Appendix: POPS across 5 seeds (pipelined cycles/ref, mean ± 95% CI)",
+		"Scheme", "mean", "±CI95", "stddev")
+	for _, s := range sums {
+		errTb.AddRow(s.Scheme,
+			fmt.Sprintf("%.4f", s.Mean),
+			fmt.Sprintf("%.4f", s.CI95),
+			fmt.Sprintf("%.4f", s.StdDev))
+	}
+	fmt.Fprintln(w, errTb.Render())
+	if cmp, err := study.Compare(sums[2], sums[3]); err == nil {
+		fmt.Fprintf(w, "paired Dir0B−Dragon difference: %.4f ± %.4f (significant: %v)\n\n",
+			cmp.Diff, cmp.CI95, cmp.Significant())
+	}
+
+	// Cross-check: the frequency methodology reproduces the direct
+	// operation accounting for the fixed-cost schemes.
+	for _, r := range combined {
+		if err := sim.VerifyAccounting(r); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "accounting cross-check: events × per-event costs == measured operations ✓")
+	return nil
+}

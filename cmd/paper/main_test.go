@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunRegeneratesEveryArtifact drives the full reproduction at a small
+// trace length and checks every table, figure, section study, extension
+// and the accounting cross-check appear in the output.
+func TestRunRegeneratesEveryArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction skipped in -short mode")
+	}
+	var out strings.Builder
+	if err := run(&out, 60_000, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Table 1:", "Table 2:", "Table 3:", "Table 4:", "Table 5:",
+		"Figure 1:", "Figure 2:", "Figure 3:", "Figure 4:", "Figure 5:",
+		"Section 5: Dir0B directory/memory bandwidth ratio",
+		"Section 5: effective processors",
+		"Section 5.1:", "Section 5.2:",
+		"Section 6: directory alternatives",
+		"Section 6: Dir1B cycles/ref as broadcast cost b varies",
+		"Section 7: processor efficiency",
+		"Ablation: directory storage",
+		"Extension: the wider snoopy/directory protocol zoo",
+		"Section 2/6: sharing profile",
+		"Footnote 5: Figure 1's claim on larger machines",
+		"Section 7: message-level distributed directory",
+		"Section 5.1: average memory access time",
+		"Ablation: DirnNB on POPS vs sparse-directory capacity",
+		"Ablation: Dir0B on POPS vs cache size",
+		"POPS working set",
+		"LEGEND",
+		"MOESI", "ReadBroadcast", "Competitive4",
+		"Extension: bus contention",
+		"Extension: test-and-test-and-set vs test-and-set",
+		"Appendix: POPS across 5 seeds",
+		"accounting cross-check: events × per-event costs == measured operations ✓",
+		"POPS", "THOR", "PERO",
+		"Dir1NB", "WTI", "Dir0B", "Dragon", "Berkeley",
+		"MESI", "WriteOnce", "Firefly",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadCPUCount(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 1000, 0); err == nil {
+		t.Fatal("cpus=0 accepted")
+	}
+}

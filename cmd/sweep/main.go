@@ -1,0 +1,106 @@
+// Command sweep runs a grid of (workload × machine size × scheme) cells,
+// each replicated across seeds, and emits one CSV row per cell with the
+// mean and 95% confidence interval of bus cycles per reference — the raw
+// material for scaling plots.
+//
+// Usage:
+//
+//	sweep -workloads pops,thor,pero -schemes dir0b,dirnnb,dragon \
+//	      -cpus 4,8,16 -refs 300000 -seeds 3 > sweep.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/sim"
+	"dirsim/internal/study"
+	"dirsim/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	workloads := flag.String("workloads", "pops,thor,pero", "comma-separated workload presets")
+	schemes := flag.String("schemes", "dir1nb,wti,dir0b,dragon", "comma-separated schemes")
+	cpus := flag.String("cpus", "4", "comma-separated processor counts")
+	refs := flag.Int("refs", 300_000, "references per trace")
+	seeds := flag.Int("seeds", 3, "replications per cell")
+	flag.Parse()
+	if err := run(os.Stdout, *workloads, *schemes, *cpus, *refs, *seeds); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, workloads, schemes, cpus string, refs, seeds int) error {
+	if refs <= 0 || seeds <= 0 {
+		return fmt.Errorf("refs and seeds must be positive")
+	}
+	var cpuList []int
+	for _, c := range strings.Split(cpus, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad cpu count %q", c)
+		}
+		cpuList = append(cpuList, n)
+	}
+	schemeList := strings.Split(schemes, ",")
+	seedList := study.Seeds(1, seeds)
+	pip := bus.Pipelined()
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "cpus", "scheme", "refs", "seeds",
+		"cycles_per_ref_mean", "cycles_per_ref_ci95",
+	}); err != nil {
+		return err
+	}
+	for _, wlName := range strings.Split(workloads, ",") {
+		base, err := preset(strings.TrimSpace(wlName), refs)
+		if err != nil {
+			return err
+		}
+		for _, n := range cpuList {
+			cfg := base
+			cfg.CPUs = n
+			sums, err := study.SeedSweep(cfg, seedList, schemeList,
+				coherence.Config{Caches: n}, sim.Options{}, study.CyclesPerRef(pip))
+			if err != nil {
+				return err
+			}
+			for _, s := range sums {
+				if err := cw.Write([]string{
+					base.Name, strconv.Itoa(n), s.Scheme,
+					strconv.Itoa(refs), strconv.Itoa(seeds),
+					fmt.Sprintf("%.6f", s.Mean),
+					fmt.Sprintf("%.6f", s.CI95),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func preset(name string, refs int) (tracegen.Config, error) {
+	switch strings.ToLower(name) {
+	case "pops":
+		return tracegen.POPS(refs), nil
+	case "thor":
+		return tracegen.THOR(refs), nil
+	case "pero":
+		return tracegen.PERO(refs), nil
+	default:
+		return tracegen.Config{}, fmt.Errorf("unknown workload %q", name)
+	}
+}

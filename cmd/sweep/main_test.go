@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepGrid(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "pero", "dir0b,dragon", "4,8", 10_000, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header + 2 cpus × 2 schemes.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out.String())
+	}
+	if lines[0] != "workload,cpus,scheme,refs,seeds,cycles_per_ref_mean,cycles_per_ref_ci95" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "PERO,4,Dir0B,10000,2,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 6 {
+			t.Errorf("ragged row %q", l)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "bogus", "dir0b", "4", 100, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(&out, "pero", "bogus", "4", 100, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run(&out, "pero", "dir0b", "x", 100, 1); err == nil {
+		t.Error("bad cpu list accepted")
+	}
+	if err := run(&out, "pero", "dir0b", "4", 0, 1); err == nil {
+		t.Error("zero refs accepted")
+	}
+	if err := run(&out, "pero", "dir0b", "4", 100, 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command tracegen emits a synthetic multiprocessor address trace in the
+// binary or text trace format (optionally gzip-compressed by file suffix),
+// and prints its Table 3 characteristics.
+//
+// Usage:
+//
+//	tracegen -workload pops -refs 1000000 -o pops.trc
+//	tracegen -workload thor -refs 200000 -format text -o -
+//	tracegen -workload pero -refs 2000000 -o pero.trc.gz
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"dirsim/internal/report"
+	"dirsim/internal/trace"
+	"dirsim/internal/tracegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	workload := flag.String("workload", "pops", "workload preset: pops, thor or pero")
+	refs := flag.Int("refs", 1_000_000, "number of references to generate")
+	seed := flag.Int64("seed", 0, "override the preset's random seed (0 keeps it)")
+	cpus := flag.Int("cpus", 0, "override the preset's CPU count (0 keeps it)")
+	out := flag.String("o", "-", "output file (.gz for gzip), or - for stdout")
+	format := flag.String("format", "binary", "trace format: binary or text")
+	stats := flag.Bool("stats", true, "print Table 3 characteristics to stderr")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+		if strings.HasSuffix(*out, ".gz") {
+			zw := gzip.NewWriter(f)
+			defer func() {
+				if err := zw.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			w = zw
+		}
+	}
+	if err := run(w, os.Stderr, *workload, *refs, *seed, *cpus, *format, *stats); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run generates the trace into w, reporting statistics to errW.
+func run(w, errW io.Writer, workload string, refs int, seed int64, cpus int, format string, stats bool) error {
+	cfg, err := preset(workload, refs)
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if cpus != 0 {
+		cfg.CPUs = cpus
+	}
+	gen, err := tracegen.New(cfg)
+	if err != nil {
+		return err
+	}
+	var tw interface {
+		trace.Writer
+		Flush() error
+	}
+	switch format {
+	case "binary":
+		tw = trace.NewBinaryWriter(w)
+	case "text":
+		tw = trace.NewTextWriter(w)
+	default:
+		return fmt.Errorf("unknown format %q (want binary or text)", format)
+	}
+	n, err := trace.Copy(tw, gen)
+	if err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if stats {
+		gen2, err := tracegen.New(cfg)
+		if err != nil {
+			return err
+		}
+		st, err := trace.CollectStats(gen2, trace.DefaultBlockBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errW, "wrote %d references (%s)\n", n, cfg.Name)
+		fmt.Fprint(errW, report.Table3([]string{cfg.Name}, []trace.Stats{st}))
+		fmt.Fprintf(errW, "lock reads: %.1f%% of data reads; shared refs: %.1f%% of data refs\n",
+			st.LockReadFraction()*100, st.SharedRefFraction()*100)
+		gen3, err := tracegen.New(cfg)
+		if err != nil {
+			return err
+		}
+		prof, err := trace.Profile(gen3, trace.DefaultBlockBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errW, "sharing: %.1f%% of blocks shared; %.1f%% of writes fit one directory pointer\n",
+			prof.SharedBlockFraction()*100, prof.PointerSufficiency(1)*100)
+	}
+	return nil
+}
+
+func preset(name string, refs int) (tracegen.Config, error) {
+	switch strings.ToLower(name) {
+	case "pops":
+		return tracegen.POPS(refs), nil
+	case "thor":
+		return tracegen.THOR(refs), nil
+	case "pero":
+		return tracegen.PERO(refs), nil
+	default:
+		return tracegen.Config{}, fmt.Errorf("unknown workload %q (want pops, thor or pero)", name)
+	}
+}

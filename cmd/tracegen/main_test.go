@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dirsim/internal/trace"
+)
+
+func TestRunBinaryOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(&out, &errOut, "pero", 5000, 0, 0, "binary", true); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.ReadAll(trace.NewBinaryReader(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 5000 {
+		t.Fatalf("decoded %d refs", len(refs))
+	}
+	if !strings.Contains(errOut.String(), "wrote 5000 references (PERO)") {
+		t.Errorf("stats missing: %q", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "Table 3") {
+		t.Error("Table 3 missing from stats")
+	}
+}
+
+func TestRunTextOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(&out, &errOut, "thor", 100, 0, 0, "text", false); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.ReadAll(trace.NewTextReader(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 100 {
+		t.Fatalf("decoded %d refs", len(refs))
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("stats printed despite -stats=false: %q", errOut.String())
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var a, b, errOut bytes.Buffer
+	if err := run(&a, &errOut, "pops", 2000, 1, 0, "binary", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, &errOut, "pops", 2000, 2, 0, "binary", false); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("seed override had no effect")
+	}
+	var c bytes.Buffer
+	if err := run(&c, &errOut, "pops", 2000, 0, 8, "binary", false); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.ReadAll(trace.NewBinaryReader(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCPU := uint8(0)
+	for _, r := range refs {
+		if r.CPU > maxCPU {
+			maxCPU = r.CPU
+		}
+	}
+	if maxCPU < 4 {
+		t.Errorf("cpu override had no effect: max CPU %d", maxCPU)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(&out, &errOut, "nope", 100, 0, 0, "binary", false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(&out, &errOut, "pops", 100, 0, 0, "xml", false); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestPreset(t *testing.T) {
+	for _, name := range []string{"pops", "THOR", "Pero"} {
+		if _, err := preset(name, 10); err != nil {
+			t.Errorf("preset(%q): %v", name, err)
+		}
+	}
+	if _, err := preset("", 10); err == nil {
+		t.Error("empty preset accepted")
+	}
+}

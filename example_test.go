@@ -1,0 +1,111 @@
+package dirsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"dirsim"
+)
+
+// The basic workflow: generate a workload, run the paper's four schemes in
+// one pass, and price the runs under the pipelined bus.
+func Example() {
+	gen, err := dirsim.NewGenerator(dirsim.PERO(100_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engines, err := dirsim.Section3Engines(dirsim.EngineConfig{Caches: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := dirsim.Run(gen, engines, dirsim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Dragon's update protocol is the cheapest on every workload; the
+	// single-copy Dir1NB is by far the most expensive.
+	m := dirsim.PipelinedBus()
+	fmt.Println(results[0].Scheme, "costs more than",
+		results[2].Scheme, ":", results[0].CyclesPerRef(m) > results[2].CyclesPerRef(m))
+	fmt.Println(results[3].Scheme, "is cheapest:",
+		results[3].CyclesPerRef(m) < results[2].CyclesPerRef(m))
+	// Output:
+	// Dir1NB costs more than Dir0B : true
+	// Dragon is cheapest: true
+}
+
+// Hand-built traces drive the engines directly; Access classifications and
+// operation counts are inspectable per scheme.
+func ExampleRunSchemes() {
+	tr := dirsim.Trace{
+		{CPU: 0, Kind: dirsim.Read, Addr: 0x10},  // cold (excluded)
+		{CPU: 1, Kind: dirsim.Read, Addr: 0x10},  // read sharing
+		{CPU: 0, Kind: dirsim.Write, Addr: 0x10}, // invalidates cache 1
+		{CPU: 1, Kind: dirsim.Read, Addr: 0x10},  // dirty miss
+	}
+	results, err := dirsim.RunSchemes(dirsim.NewTraceReader(tr),
+		[]string{"dirnnb"}, dirsim.EngineConfig{Caches: 2}, dirsim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := results[0].Stats
+	fmt.Println("read misses:", st.Events.ReadMisses())
+	fmt.Println("directed invalidations:", st.DirectedInvals)
+	fmt.Println("write-backs:", st.Ops[dirsim.OpWriteBack])
+	// Output:
+	// read misses: 2
+	// directed invalidations: 1
+	// write-backs: 1
+}
+
+// The Table 1 timings derive both Table 2 cost models.
+func ExampleBusTiming() {
+	t := dirsim.DefaultBusTiming()
+	pip, np := t.Pipelined(), t.NonPipelined()
+	fmt.Println("pipelined mem access:", pip.Cost[dirsim.OpMemRead])
+	fmt.Println("non-pipelined mem access:", np.Cost[dirsim.OpMemRead])
+	// Output:
+	// pipelined mem access: 5
+	// non-pipelined mem access: 7
+}
+
+// The Section 5 estimate, refined by the contention model: effective
+// processors never exceed the naive bound.
+func ExampleEffectiveProcessors() {
+	// The paper's numbers: ~0.03 cycles/ref, 2 refs/instruction, 10 MIPS
+	// processors, a 100 ns bus.
+	n := dirsim.EffectiveProcessors(1.0/30, 2, 10, 100)
+	fmt.Printf("naive bound: %.0f processors\n", n)
+	// Output:
+	// naive bound: 15 processors
+}
+
+// Directory storage organisations answer "whom do I invalidate" with very
+// different bit budgets.
+func ExampleStorageParams() {
+	p := dirsim.DefaultStorageParams(64)
+	full := dirsim.NewFullMapStore(64)
+	coded, err := dirsim.NewCodedSetStore(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("full map bits/block:", full.StorageBits(p)/p.MemoryBlocks)
+	fmt.Println("coded set bits/block:", coded.StorageBits(p)/p.MemoryBlocks)
+	// Output:
+	// full map bits/block: 65
+	// coded set bits/block: 13
+}
+
+// The Section 7 comparison: distributing memory and directory keeps
+// processor efficiency flat while a central bus collapses.
+func ExampleScalingCurve() {
+	central, distributed, err := dirsim.ScalingCurve(20, 4, 2, []int{64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("central collapses:", central[0] < 0.25)
+	fmt.Println("distributed holds:", distributed[0] > 0.6)
+	// Output:
+	// central collapses: true
+	// distributed holds: true
+}

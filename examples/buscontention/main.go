@@ -1,0 +1,81 @@
+// Bus contention: refining the paper's closing estimate.
+//
+// Section 5 ends with a back-of-envelope bound — a 10-MIPS processor uses a
+// bus cycle every 15 instructions, so a 100 ns bus supports at most ~15
+// processors — and immediately flags it as optimistic because bus
+// contention is ignored. This example measures each scheme's bus demand
+// with the simulator, feeds it into the closed queueing model of the shared
+// bus, and prints how many *effective* processors the bus is really worth
+// as the machine grows, compared with the naive bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dirsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	gen, err := dirsim.NewGenerator(dirsim.POPS(500_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := dirsim.RunSchemes(gen,
+		[]string{"dir1nb", "wti", "dir0b", "dragon"},
+		dirsim.EngineConfig{Caches: 4}, dirsim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pip := dirsim.PipelinedBus()
+	// A 10-MIPS processor on a 100 ns bus: one instruction — two
+	// references — per bus cycle, i.e. 0.5 processor bus-cycles per
+	// reference when it never waits.
+	const procCyclesPerRef = 0.5
+
+	fmt.Println("effective processors on one shared bus (POPS workload)")
+	fmt.Printf("%-8s  %11s  %7s  %7s  %7s  %10s\n",
+		"scheme", "naive bound", "N=8", "N=16", "N=32", "knee(50%)")
+	for _, r := range results {
+		model, err := r.Contention(pip, procCyclesPerRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive := dirsim.EffectiveProcessors(r.CyclesPerRef(pip), 2, 10, 100)
+		ms, err := model.MVA(32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		knee, err := model.Knee(128, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %11.1f  %7.1f  %7.1f  %7.1f  %10d\n",
+			r.Scheme, naive,
+			ms[7].EffectiveProcessors, ms[15].EffectiveProcessors,
+			ms[31].EffectiveProcessors, knee)
+	}
+
+	// Cross-check the analytic MVA against a discrete-event simulation
+	// of the same bus for the best scheme.
+	best := results[3]
+	model, err := best.Contention(pip, procCyclesPerRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s: MVA vs discrete-event simulation (bus utilization)\n", best.Scheme)
+	ms, err := model.MVA(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{4, 16, 32} {
+		simr, err := model.Simulate(n, 2_000_000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  N=%-3d  MVA %.3f   sim %.3f\n", n, ms[n-1].BusUtilization, simr.BusUtilization)
+	}
+}

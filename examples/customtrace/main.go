@@ -1,0 +1,81 @@
+// Custom traces: drive the simulator with a hand-built reference stream
+// instead of a generated workload.
+//
+// The trace API lets a user replay any access pattern — here a classic
+// producer-consumer hand-off and a false-sharing pattern — and inspect the
+// per-event consequences under different protocols. The example also
+// round-trips the trace through the binary codec, which is how externally
+// captured traces would enter the simulator.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dirsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Producer-consumer: CPU 0 writes a buffer of 4 blocks, CPU 1 reads
+	// it, repeatedly. Under an invalidation protocol each hand-off is a
+	// dirty miss; under Dragon the consumer's copy is updated in place.
+	var tr dirsim.Trace
+	buffer := func(i int) uint64 { return uint64(0x1000 + i*dirsim.DefaultBlockBytes) }
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 4; i++ {
+			tr = append(tr, dirsim.Ref{CPU: 0, PID: 1, Kind: dirsim.Write, Addr: buffer(i)})
+		}
+		for i := 0; i < 4; i++ {
+			tr = append(tr, dirsim.Ref{CPU: 1, PID: 2, Kind: dirsim.Read, Addr: buffer(i)})
+		}
+	}
+
+	// False sharing: two CPUs write disjoint words that live in the same
+	// 16-byte block. The protocols cannot tell the difference.
+	for round := 0; round < 100; round++ {
+		tr = append(tr, dirsim.Ref{CPU: 2, PID: 3, Kind: dirsim.Write, Addr: 0x9000})
+		tr = append(tr, dirsim.Ref{CPU: 3, PID: 4, Kind: dirsim.Write, Addr: 0x9008})
+	}
+
+	// Round-trip through the binary codec, as an external trace would.
+	var buf bytes.Buffer
+	w := dirsim.NewBinaryTraceWriter(&buf)
+	for _, r := range tr {
+		if err := w.Append(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d refs, %d bytes encoded\n\n", len(tr), buf.Len())
+
+	results, err := dirsim.RunSchemes(dirsim.NewBinaryTraceReader(&buf),
+		[]string{"dir0b", "dirnnb", "dragon"},
+		dirsim.EngineConfig{Caches: 4}, dirsim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pip := dirsim.PipelinedBus()
+	for _, r := range results {
+		st := r.Stats
+		fmt.Printf("%-8s cycles/ref %.4f  write-backs %d  invalidations %d  updates %d\n",
+			r.Scheme, r.CyclesPerRef(pip),
+			st.Ops[dirsim.OpWriteBack],
+			st.DirectedInvals+st.BroadcastInvals,
+			st.Events[dirsim.EvWriteHitUpdate])
+	}
+
+	fmt.Println("\nper-scheme accounting check (frequency path = message path):")
+	for _, r := range results {
+		if err := dirsim.VerifyAccounting(r); err != nil {
+			fmt.Printf("%-8s %v\n", r.Scheme, err)
+		} else {
+			fmt.Printf("%-8s ok\n", r.Scheme)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// NUMA placement: the Section 7 machine at message level.
+//
+// Once memory and directory are distributed across the nodes (the paper's
+// recipe for scaling), every miss becomes messages on an interconnect and
+// a new question appears that the bus never asked: *where should each
+// block live?* This example runs the same workload through the distributed
+// full-map directory under the two classic home policies — address
+// interleaving and first-touch — and reports the interconnect demand, the
+// classic 2-hop/3-hop miss split, and how much locality the placement
+// recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dirsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	for _, wl := range dirsim.Workloads(400_000) {
+		fmt.Printf("%s:\n", wl.Name)
+		fmt.Printf("  %-12s  %9s  %9s  %12s  %14s\n",
+			"home policy", "msgs/ref", "hops/ref", "local homes", "3hop/1k refs")
+		for _, policy := range []dirsim.NUMAConfig{
+			{Nodes: 4, Policy: dirsim.Interleaved},
+			{Nodes: 4, Policy: dirsim.FirstTouch},
+		} {
+			gen, err := dirsim.NewGenerator(wl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng, err := dirsim.NewNUMA(policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, err := dirsim.RunNUMA(gen, eng, dirsim.NUMAOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s  %9.4f  %9.4f  %11.0f%%  %14.2f\n",
+				policy.Policy.String(),
+				st.MessagesPerRef(), st.CriticalHopsPerRef(),
+				st.LocalHomeFraction()*100,
+				float64(st.ThreeHopMisses)/float64(st.Refs)*1000)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("larger machines: hops per reference under interleaved homes")
+	for _, n := range []int{4, 8, 16, 32} {
+		cfg := dirsim.POPS(300_000)
+		cfg.CPUs = n
+		gen, err := dirsim.NewGenerator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := dirsim.NewNUMA(dirsim.NUMAConfig{Nodes: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := dirsim.RunNUMA(gen, eng, dirsim.NUMAOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d nodes: %.4f hops/ref, %.0f%% local homes\n",
+			n, st.CriticalHopsPerRef(), st.LocalHomeFraction()*100)
+	}
+}

@@ -1,0 +1,95 @@
+// Scalability: the Section 6 design space as the processor count grows.
+//
+// Snoopy schemes stop scaling when the broadcast medium saturates; the
+// paper's answer is a directory whose per-block state stays small while
+// invalidations remain directed. This example sweeps the machine size and
+// compares, for each directory organisation:
+//
+//   - bus cycles per reference (does performance hold up?),
+//   - how often invalidations must fall back to broadcast,
+//   - wasted directed invalidations (coded-set supersets),
+//   - directory storage per memory block.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dirsim"
+)
+
+// workload scales the POPS-like preset to n processors.
+func workload(n, refs int) dirsim.WorkloadConfig {
+	cfg := dirsim.POPS(refs)
+	cfg.Name = fmt.Sprintf("POPS-%dp", n)
+	cfg.CPUs = n
+	// Keep per-processor working sets constant as the machine grows.
+	cfg.Locks = 1 + n/8
+	return cfg
+}
+
+func main() {
+	log.SetFlags(0)
+	schemes := []string{"dirnnb", "dir0b", "dir2b", "dir4nb", "codedset"}
+	fmt.Println("directory schemes as the machine grows (pipelined bus)")
+	for _, n := range []int{4, 8, 16, 32} {
+		cfg := workload(n, 400_000)
+		gen, err := dirsim.NewGenerator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := dirsim.RunSchemes(gen, schemes,
+			dirsim.EngineConfig{Caches: n}, dirsim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%d processors:\n", n)
+		fmt.Printf("  %-10s  %10s  %14s  %14s\n", "scheme", "cycles/ref", "bcast/1k refs", "wasted/1k refs")
+		for _, r := range results {
+			per1k := func(v uint64) float64 { return float64(v) / float64(r.Stats.Refs) * 1000 }
+			fmt.Printf("  %-10s  %10.4f  %14.2f  %14.2f\n",
+				r.Scheme, r.CyclesPerRef(dirsim.PipelinedBus()),
+				per1k(r.Stats.BroadcastInvals), per1k(r.Stats.WastedInvals))
+		}
+	}
+
+	// Storage: bits of directory state per memory block for each
+	// organisation — the Section 6 motivation in one table.
+	fmt.Println("\ndirectory storage (bits per memory block)")
+	fmt.Printf("  %-14s", "organisation")
+	ns := []int{4, 16, 64, 256}
+	for _, n := range ns {
+		fmt.Printf("  %6s", fmt.Sprintf("n=%d", n))
+	}
+	fmt.Println()
+	type mk struct {
+		name  string
+		store func(n int) dirsim.DirectoryStore
+	}
+	orgs := []mk{
+		{"full-map", func(n int) dirsim.DirectoryStore { return dirsim.NewFullMapStore(n) }},
+		{"two-bit", func(n int) dirsim.DirectoryStore { return dirsim.NewTwoBitStore() }},
+		{"dir4b", func(n int) dirsim.DirectoryStore {
+			s, err := dirsim.NewLimitedPointerStore(4, n, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		}},
+		{"coded-set", func(n int) dirsim.DirectoryStore {
+			s, err := dirsim.NewCodedSetStore(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, o := range orgs {
+		fmt.Printf("  %-14s", o.name)
+		for _, n := range ns {
+			p := dirsim.DefaultStorageParams(n)
+			fmt.Printf("  %6.1f", float64(o.store(n).StorageBits(p))/float64(p.MemoryBlocks))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module dirsim
+
+go 1.22

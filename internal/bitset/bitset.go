@@ -1,0 +1,221 @@
+// Package bitset provides a dense, growable bit set used throughout the
+// simulator to track which caches hold a copy of a memory block.
+//
+// The set is optimised for the common case of small multiprocessors (n ≤ 64
+// caches fit in a single word) but supports arbitrary sizes. The zero value
+// is an empty set ready for use.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over non-negative integers. The zero value is empty
+// and ready to use. Set is not safe for concurrent mutation.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity preallocated for indices in [0, n).
+// Indices beyond n may still be added; the set grows as needed.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// grow ensures the set can hold bit i.
+func (s *Set) grow(i int) {
+	need := i/wordBits + 1
+	if need <= len(s.words) {
+		return
+	}
+	w := make([]uint64, need)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts i into the set. Negative indices panic: they indicate a
+// programming error (cache identifiers are never negative).
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: negative index %d", i))
+	}
+	s.grow(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. Removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Min returns the smallest element and true, or (0, false) if empty.
+func (s *Set) Min() (int, bool) {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest element and true, or (0, false) if empty.
+func (s *Set) Max() (int, bool) {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// Sole returns the single element of a one-element set. It returns
+// (elem, true) only when Count() == 1.
+func (s *Set) Sole() (int, bool) {
+	found := -1
+	for wi, w := range s.words {
+		switch bits.OnesCount64(w) {
+		case 0:
+		case 1:
+			if found >= 0 {
+				return 0, false
+			}
+			found = wi*wordBits + bits.TrailingZeros64(w)
+		default:
+			return 0, false
+		}
+	}
+	if found < 0 {
+		return 0, false
+	}
+	return found, true
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Elems returns the elements in ascending order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// CountExcluding returns the number of elements other than i.
+func (s *Set) CountExcluding(i int) int {
+	n := s.Count()
+	if s.Contains(i) {
+		n--
+	}
+	return n
+}
+
+// ContainsOther reports whether the set holds any element other than i.
+func (s *Set) ContainsOther(i int) bool {
+	for wi, w := range s.words {
+		if i >= wi*wordBits && i < (wi+1)*wordBits {
+			w &^= 1 << uint(i%wordBits)
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w}
+}
+
+// Equal reports whether the two sets contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as "{0, 3, 17}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

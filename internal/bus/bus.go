@@ -1,0 +1,265 @@
+// Package bus models the shared-bus (or network) communication costs of
+// Section 4.3 of the paper.
+//
+// The paper's basic metric is "bus cycles per memory reference": event
+// frequencies measured by simulation are weighted by per-event costs derived
+// from a small table of fundamental bus operation timings (Table 1) under
+// two bus organisations of widely diverse complexity — a pipelined bus with
+// separate address and data paths, and a non-pipelined bus that multiplexes
+// address and data (Table 2). Because the cost model is independent of the
+// event frequencies, one simulation run per protocol suffices and hardware
+// assumptions can be varied afterwards; this package is that second half.
+package bus
+
+import "fmt"
+
+// Op enumerates the bus operations coherence engines emit. Each operation
+// corresponds to one cost row of Table 2.
+type Op uint8
+
+const (
+	// OpMemRead is a block fetch supplied by main memory.
+	OpMemRead Op = iota
+	// OpCacheRead is a block fetch supplied by another cache.
+	OpCacheRead
+	// OpWriteBack is a dirty block copied back to memory. Per Section
+	// 4.3, the requesting cache (if any) receives the data during the
+	// write-back, so no separate fetch follows.
+	OpWriteBack
+	// OpWriteThrough is a single-word write transmitted to memory (WTI).
+	OpWriteThrough
+	// OpWriteUpdate is a single-word update broadcast to other caches
+	// (Dragon).
+	OpWriteUpdate
+	// OpDirCheck is a directory lookup that cannot be overlapped with a
+	// memory access (e.g. a write hit to a clean block in Dir0B).
+	OpDirCheck
+	// OpDirCheckOverlapped is a directory lookup whose address transfer
+	// and wait are fully hidden behind a concurrent memory access. It
+	// costs zero bus cycles but is counted so that directory bandwidth
+	// can be compared with memory bandwidth (Section 5's "the required
+	// directory bandwidth is only slightly higher than the bandwidth to
+	// memory").
+	OpDirCheckOverlapped
+	// OpInvalidate is one directed invalidation message to one cache.
+	OpInvalidate
+	// OpBroadcastInvalidate is a bus-wide invalidation broadcast. The
+	// paper's base model charges it one cycle, like a single invalidate;
+	// Section 6 studies the effect of making it cost b cycles.
+	OpBroadcastInvalidate
+
+	// NumOps is the number of operation kinds.
+	NumOps = int(OpBroadcastInvalidate) + 1
+)
+
+var opNames = [NumOps]string{
+	"mem access", "cache access", "write-back", "write-through",
+	"write update", "dir access", "dir access (overlapped)",
+	"invalidate", "broadcast invalidate",
+}
+
+// String returns the Table 5 row label for the operation.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Ops lists every operation in declaration order.
+func Ops() []Op {
+	out := make([]Op, NumOps)
+	for i := range out {
+		out[i] = Op(i)
+	}
+	return out
+}
+
+// OpCounts tallies emitted operations.
+type OpCounts [NumOps]uint64
+
+// Add increments the count for op by n.
+func (c *OpCounts) Add(op Op, n uint64) { c[op] += n }
+
+// Inc increments the count for op by one.
+func (c *OpCounts) Inc(op Op) { c[op]++ }
+
+// Merge accumulates other into c.
+func (c *OpCounts) Merge(other OpCounts) {
+	for i, v := range other {
+		c[i] += v
+	}
+}
+
+// Total returns the total number of operations (including zero-cost
+// overlapped directory checks).
+func (c *OpCounts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Timing holds the fundamental bus operation timings of Table 1, plus the
+// block size in words (the paper transfers 4-word blocks over a one-word
+// bus).
+type Timing struct {
+	TransferAddress  int // cycles to send an address
+	TransferDataWord int // cycles to move one data word
+	Invalidate       int // cycles for one invalidation message
+	WaitDirectory    int // directory access latency
+	WaitMemory       int // memory access latency
+	WaitCache        int // non-local cache access latency
+	WordsPerBlock    int // block transfer length in words
+}
+
+// DefaultTiming returns Table 1 exactly: one-cycle address and data-word
+// transfers and invalidates, two-cycle directory and memory waits, a
+// one-cycle cache wait, and four-word blocks.
+func DefaultTiming() Timing {
+	return Timing{
+		TransferAddress:  1,
+		TransferDataWord: 1,
+		Invalidate:       1,
+		WaitDirectory:    2,
+		WaitMemory:       2,
+		WaitCache:        1,
+		WordsPerBlock:    4,
+	}
+}
+
+// Validate checks the timing for nonsensical values.
+func (t Timing) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"TransferAddress", t.TransferAddress},
+		{"TransferDataWord", t.TransferDataWord},
+		{"Invalidate", t.Invalidate},
+		{"WordsPerBlock", t.WordsPerBlock},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("bus: %s = %d must be positive", f.name, f.v)
+		}
+	}
+	if t.WaitDirectory < 0 || t.WaitMemory < 0 || t.WaitCache < 0 {
+		return fmt.Errorf("bus: wait times must be non-negative")
+	}
+	return nil
+}
+
+// CostModel maps operations to bus-cycle costs. It corresponds to one
+// column pair of Table 2.
+type CostModel struct {
+	// Name identifies the model in reports ("pipelined"/"non-pipelined").
+	Name string
+	// Cost holds bus cycles per operation.
+	Cost [NumOps]float64
+}
+
+// Pipelined derives the paper's pipelined-bus cost model from t: separate
+// address and data paths, and the bus is not held during memory or cache
+// access waits. A block access costs the address transfer plus the block's
+// data words; a write-back streams the block in WordsPerBlock cycles with
+// the address riding alongside the first word; single-word writes take one
+// data-word transfer; a standalone directory check is just the address
+// send; invalidates take their Table 1 cost.
+func (t Timing) Pipelined() CostModel {
+	block := float64(t.TransferAddress + t.WordsPerBlock*t.TransferDataWord)
+	var m CostModel
+	m.Name = "pipelined"
+	m.Cost[OpMemRead] = block
+	m.Cost[OpCacheRead] = block
+	m.Cost[OpWriteBack] = float64(t.WordsPerBlock * t.TransferDataWord)
+	m.Cost[OpWriteThrough] = float64(t.TransferDataWord)
+	m.Cost[OpWriteUpdate] = float64(t.TransferDataWord)
+	m.Cost[OpDirCheck] = float64(t.TransferAddress)
+	m.Cost[OpDirCheckOverlapped] = 0
+	m.Cost[OpInvalidate] = float64(t.Invalidate)
+	m.Cost[OpBroadcastInvalidate] = float64(t.Invalidate)
+	return m
+}
+
+// NonPipelined derives the paper's non-pipelined-bus cost model from t:
+// address and data multiplex one set of lines and the bus is held during
+// the access wait. Memory reads add the memory wait, cache reads the cache
+// wait; write-backs still stream in WordsPerBlock cycles (the memory-side
+// wait is not on the bus's critical path); single-word writes send address
+// then data; a standalone directory check sends the address and waits out
+// the directory latency.
+func (t Timing) NonPipelined() CostModel {
+	var m CostModel
+	m.Name = "non-pipelined"
+	m.Cost[OpMemRead] = float64(t.TransferAddress + t.WaitMemory + t.WordsPerBlock*t.TransferDataWord)
+	m.Cost[OpCacheRead] = float64(t.TransferAddress + t.WaitCache + t.WordsPerBlock*t.TransferDataWord)
+	m.Cost[OpWriteBack] = float64(t.WordsPerBlock * t.TransferDataWord)
+	m.Cost[OpWriteThrough] = float64(t.TransferAddress + t.TransferDataWord)
+	m.Cost[OpWriteUpdate] = float64(t.TransferAddress + t.TransferDataWord)
+	m.Cost[OpDirCheck] = float64(t.TransferAddress + t.WaitDirectory)
+	m.Cost[OpDirCheckOverlapped] = 0
+	m.Cost[OpInvalidate] = float64(t.Invalidate)
+	m.Cost[OpBroadcastInvalidate] = float64(t.Invalidate)
+	return m
+}
+
+// Pipelined returns the default pipelined cost model (Table 2, left column).
+func Pipelined() CostModel { return DefaultTiming().Pipelined() }
+
+// NonPipelined returns the default non-pipelined cost model (Table 2, right
+// column).
+func NonPipelined() CostModel { return DefaultTiming().NonPipelined() }
+
+// WithBroadcastCost returns a copy of m in which a broadcast invalidation
+// costs b cycles. Section 6 models a Dir1B scheme as 0.0485 + 0.0006·b
+// cycles per reference using exactly this knob.
+func (m CostModel) WithBroadcastCost(b float64) CostModel {
+	m.Cost[OpBroadcastInvalidate] = b
+	return m
+}
+
+// WithDirCheckCost returns a copy of m in which a standalone directory
+// check costs d cycles. Section 5 derives the Berkeley Ownership cost model
+// from Dir0B "by trivially setting the directory access cost to 0 bus
+// cycles" — the snooping caches already know whether an invalidation is
+// needed.
+func (m CostModel) WithDirCheckCost(d float64) CostModel {
+	m.Cost[OpDirCheck] = d
+	return m
+}
+
+// Cycles prices an operation tally under the model.
+func (m CostModel) Cycles(counts OpCounts) float64 {
+	var total float64
+	for op, n := range counts {
+		total += float64(n) * m.Cost[op]
+	}
+	return total
+}
+
+// CyclesByOp prices each operation class separately (Table 5's rows).
+func (m CostModel) CyclesByOp(counts OpCounts) [NumOps]float64 {
+	var out [NumOps]float64
+	for op, n := range counts {
+		out[op] = float64(n) * m.Cost[op]
+	}
+	return out
+}
+
+// EffectiveProcessors computes the paper's closing back-of-envelope bound:
+// the maximum number of processors a single bus sustains. cyclesPerRef is
+// the protocol's bus cycles per memory reference, refsPerInstr the average
+// references (instruction fetch + data) per instruction (the paper uses 2:
+// "on average each instruction in the traces makes one data reference"),
+// mips the processor speed in millions of instructions per second, and
+// busCycleNs the bus cycle time in nanoseconds. With the paper's numbers
+// (0.03 cycles/ref, 10 MIPS, 100 ns) the bound is about 15-17 processors.
+func EffectiveProcessors(cyclesPerRef, refsPerInstr, mips, busCycleNs float64) float64 {
+	if cyclesPerRef <= 0 || refsPerInstr <= 0 || mips <= 0 || busCycleNs <= 0 {
+		return 0
+	}
+	busCyclesPerSec := 1e9 / busCycleNs
+	cyclesPerProcPerSec := cyclesPerRef * refsPerInstr * mips * 1e6
+	return busCyclesPerSec / cyclesPerProcPerSec
+}

@@ -1,0 +1,289 @@
+package bus
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Table 2 of the paper, derived from Table 1. These are the exact published
+// numbers; the cost-model constructors must reproduce them.
+func TestTable2PipelinedCosts(t *testing.T) {
+	m := Pipelined()
+	want := map[Op]float64{
+		OpMemRead:             5,
+		OpCacheRead:           5,
+		OpWriteBack:           4,
+		OpWriteThrough:        1,
+		OpWriteUpdate:         1,
+		OpDirCheck:            1,
+		OpDirCheckOverlapped:  0,
+		OpInvalidate:          1,
+		OpBroadcastInvalidate: 1,
+	}
+	for op, w := range want {
+		if got := m.Cost[op]; got != w {
+			t.Errorf("pipelined %v = %v, want %v", op, got, w)
+		}
+	}
+}
+
+func TestTable2NonPipelinedCosts(t *testing.T) {
+	m := NonPipelined()
+	want := map[Op]float64{
+		OpMemRead:             7,
+		OpCacheRead:           6,
+		OpWriteBack:           4,
+		OpWriteThrough:        2,
+		OpWriteUpdate:         2,
+		OpDirCheck:            3,
+		OpDirCheckOverlapped:  0,
+		OpInvalidate:          1,
+		OpBroadcastInvalidate: 1,
+	}
+	for op, w := range want {
+		if got := m.Cost[op]; got != w {
+			t.Errorf("non-pipelined %v = %v, want %v", op, got, w)
+		}
+	}
+}
+
+func TestNonPipelinedAtLeastPipelined(t *testing.T) {
+	p, np := Pipelined(), NonPipelined()
+	for _, op := range Ops() {
+		if np.Cost[op] < p.Cost[op] {
+			t.Errorf("%v: non-pipelined %v < pipelined %v", op, np.Cost[op], p.Cost[op])
+		}
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := DefaultTiming().Validate(); err != nil {
+		t.Fatalf("default timing invalid: %v", err)
+	}
+	bad := DefaultTiming()
+	bad.WordsPerBlock = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero block size accepted")
+	}
+	bad = DefaultTiming()
+	bad.WaitMemory = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative wait accepted")
+	}
+	bad = DefaultTiming()
+	bad.TransferAddress = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero address transfer accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpMemRead.String() != "mem access" {
+		t.Errorf("OpMemRead = %q", OpMemRead.String())
+	}
+	if OpWriteBack.String() != "write-back" {
+		t.Errorf("OpWriteBack = %q", OpWriteBack.String())
+	}
+	if !strings.HasPrefix(Op(200).String(), "Op(") {
+		t.Errorf("unknown op String = %q", Op(200).String())
+	}
+}
+
+func TestOpsCoverAll(t *testing.T) {
+	ops := Ops()
+	if len(ops) != NumOps {
+		t.Fatalf("Ops() has %d entries, want %d", len(ops), NumOps)
+	}
+	for i, op := range ops {
+		if int(op) != i {
+			t.Errorf("Ops()[%d] = %v", i, op)
+		}
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	var c OpCounts
+	c.Inc(OpMemRead)
+	c.Add(OpInvalidate, 3)
+	if c[OpMemRead] != 1 || c[OpInvalidate] != 3 {
+		t.Fatalf("counts = %v", c)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", c.Total())
+	}
+	var d OpCounts
+	d.Inc(OpMemRead)
+	c.Merge(d)
+	if c[OpMemRead] != 2 || c.Total() != 5 {
+		t.Fatalf("after Merge: %v", c)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	var c OpCounts
+	c.Add(OpMemRead, 10)             // 10×5 = 50
+	c.Add(OpWriteBack, 2)            // 2×4 = 8
+	c.Add(OpInvalidate, 5)           // 5×1 = 5
+	c.Add(OpDirCheckOverlapped, 100) // free
+	got := Pipelined().Cycles(c)
+	if got != 63 {
+		t.Fatalf("Cycles = %v, want 63", got)
+	}
+	by := Pipelined().CyclesByOp(c)
+	if by[OpMemRead] != 50 || by[OpWriteBack] != 8 || by[OpInvalidate] != 5 {
+		t.Fatalf("CyclesByOp = %v", by)
+	}
+	var sum float64
+	for _, v := range by {
+		sum += v
+	}
+	if math.Abs(sum-got) > 1e-9 {
+		t.Fatalf("CyclesByOp sum %v != Cycles %v", sum, got)
+	}
+}
+
+func TestWithBroadcastCost(t *testing.T) {
+	m := Pipelined().WithBroadcastCost(16)
+	if m.Cost[OpBroadcastInvalidate] != 16 {
+		t.Fatalf("broadcast cost = %v", m.Cost[OpBroadcastInvalidate])
+	}
+	// Original model unchanged (value semantics).
+	if Pipelined().Cost[OpBroadcastInvalidate] != 1 {
+		t.Fatal("WithBroadcastCost mutated the base model")
+	}
+}
+
+func TestWithDirCheckCost(t *testing.T) {
+	// Berkeley derivation: directory checks become free.
+	m := Pipelined().WithDirCheckCost(0)
+	if m.Cost[OpDirCheck] != 0 {
+		t.Fatalf("dir check cost = %v", m.Cost[OpDirCheck])
+	}
+	var c OpCounts
+	c.Add(OpDirCheck, 100)
+	if m.Cycles(c) != 0 {
+		t.Fatal("free dir checks still priced")
+	}
+}
+
+// The paper's closing estimate: ~0.03 cycles/ref, 10 MIPS processors, a
+// 100 ns bus ⇒ a maximum of about 15 effective processors.
+func TestEffectiveProcessorsPaperNumbers(t *testing.T) {
+	got := EffectiveProcessors(1.0/30, 2, 10, 100)
+	if got < 14 || got > 16 {
+		t.Fatalf("EffectiveProcessors = %.1f, want ≈15", got)
+	}
+}
+
+func TestEffectiveProcessorsDegenerate(t *testing.T) {
+	if EffectiveProcessors(0, 2, 10, 100) != 0 {
+		t.Error("zero cycles/ref should give 0")
+	}
+	if EffectiveProcessors(0.03, 2, 0, 100) != 0 {
+		t.Error("zero MIPS should give 0")
+	}
+}
+
+// Property: for any valid timing, cost models are monotone in the timing
+// fields (raising a Table 1 entry never lowers any Table 2 cost).
+func TestQuickCostsMonotone(t *testing.T) {
+	f := func(ta, td, inv, wd, wm, wc, wpb uint8) bool {
+		base := Timing{
+			TransferAddress:  1 + int(ta%4),
+			TransferDataWord: 1 + int(td%4),
+			Invalidate:       1 + int(inv%4),
+			WaitDirectory:    int(wd % 5),
+			WaitMemory:       int(wm % 5),
+			WaitCache:        int(wc % 5),
+			WordsPerBlock:    1 + int(wpb%8),
+		}
+		bumped := base
+		bumped.WaitMemory++
+		bumped.WordsPerBlock++
+		for _, pair := range [][2]CostModel{
+			{base.Pipelined(), bumped.Pipelined()},
+			{base.NonPipelined(), bumped.NonPipelined()},
+		} {
+			for _, op := range Ops() {
+				if pair[1].Cost[op] < pair[0].Cost[op] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cycles is linear — pricing a merged tally equals the sum of the
+// individual prices.
+func TestQuickCyclesLinear(t *testing.T) {
+	f := func(a, b [NumOps]uint16) bool {
+		var ca, cb, both OpCounts
+		for i := 0; i < NumOps; i++ {
+			ca[i] = uint64(a[i])
+			cb[i] = uint64(b[i])
+			both[i] = uint64(a[i]) + uint64(b[i])
+		}
+		m := NonPipelined()
+		return math.Abs(m.Cycles(both)-(m.Cycles(ca)+m.Cycles(cb))) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyModelDerivation(t *testing.T) {
+	l := Pipelined().Latency(1, 1)
+	if l.Name != "pipelined" || l.HitCycles != 1 || l.Overhead != 1 {
+		t.Fatalf("derived model = %+v", l)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := LatencyModel{HitCycles: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative hit time accepted")
+	}
+}
+
+func TestAvgAccessTime(t *testing.T) {
+	l := Pipelined().Latency(1, 1)
+	var ops OpCounts
+	ops.Add(OpMemRead, 10) // 10×5 = 50 stall cycles
+	// 100 refs, 10 transactions: 1 + (50 + 10×1)/100 = 1.6.
+	if got := l.AvgAccessTime(100, 10, ops); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("AvgAccessTime = %v, want 1.6", got)
+	}
+	if l.AvgAccessTime(0, 0, ops) != 0 {
+		t.Error("zero refs should price to zero")
+	}
+	// With zero overhead and zero hit time, latency per ref equals bus
+	// cycles per ref.
+	free := Pipelined().Latency(0, 0)
+	if got := free.AvgAccessTime(100, 10, ops); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("AvgAccessTime = %v, want 0.5", got)
+	}
+}
+
+// Section 5.1's qualitative claim: per-transaction overhead penalises the
+// scheme with more transactions, shrinking Dragon's advantage in latency
+// terms relative to its bus-occupancy advantage.
+func TestLatencyOverheadPenalisesFrequentTransactions(t *testing.T) {
+	var dragonOps, dir0bOps OpCounts
+	// Dragon: many cheap updates. Dir0B: fewer, heavier misses.
+	dragonOps.Add(OpWriteUpdate, 200)
+	dir0bOps.Add(OpMemRead, 40)
+	m := Pipelined()
+	base := m.Latency(1, 0)
+	loaded := m.Latency(1, 1)
+	gapNoOverhead := base.AvgAccessTime(1000, 40, dir0bOps) - base.AvgAccessTime(1000, 200, dragonOps)
+	gapOverhead := loaded.AvgAccessTime(1000, 40, dir0bOps) - loaded.AvgAccessTime(1000, 200, dragonOps)
+	if gapOverhead >= gapNoOverhead {
+		t.Fatalf("overhead did not shrink the gap: %v → %v", gapNoOverhead, gapOverhead)
+	}
+}

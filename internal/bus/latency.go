@@ -1,0 +1,65 @@
+package bus
+
+import "fmt"
+
+// LatencyModel prices operations by the stall time the *processor* sees,
+// rather than by the bus occupancy the CostModel charges. Section 5.1
+// argues that "a better metric [than bus cycles] … is average memory
+// access time as seen by each processor", and that every bus transaction
+// carries a fixed latency overhead (cache access, bus controller
+// propagation, arbitration) of at least one bus cycle that the occupancy
+// metric hides.
+//
+// The model is deliberately simple, matching the paper's first-order
+// treatment: a reference that stays in the cache costs HitCycles; a
+// reference that uses the bus additionally stalls for the priced
+// operations plus a fixed Overhead per transaction.
+type LatencyModel struct {
+	// Name identifies the model in reports.
+	Name string
+	// HitCycles is the processor-visible cost of a cache hit.
+	HitCycles float64
+	// Overhead is the fixed per-transaction latency (arbitration,
+	// controller propagation, initial cache probe) — the paper's
+	// "additional waiting time … will be at least one bus cycle".
+	Overhead float64
+	// Cost holds the stall cycles per operation, typically the bus
+	// occupancy costs of the corresponding CostModel.
+	Cost [NumOps]float64
+}
+
+// Latency derives a processor-latency model from a bus cost model with the
+// given per-transaction overhead.
+func (m CostModel) Latency(hitCycles, overhead float64) LatencyModel {
+	return LatencyModel{
+		Name:      m.Name,
+		HitCycles: hitCycles,
+		Overhead:  overhead,
+		Cost:      m.Cost,
+	}
+}
+
+// Validate checks the model.
+func (l LatencyModel) Validate() error {
+	if l.HitCycles < 0 || l.Overhead < 0 {
+		return fmt.Errorf("bus: negative latency parameters")
+	}
+	return nil
+}
+
+// AvgAccessTime computes the mean processor-visible cycles per reference:
+// every reference pays the hit time; references that used the bus
+// additionally pay their operations and the fixed overhead.
+// refs and transactions come from a run's Stats; ops is its operation
+// tally.
+func (l LatencyModel) AvgAccessTime(refs, transactions uint64, ops OpCounts) float64 {
+	if refs == 0 {
+		return 0
+	}
+	var stall float64
+	for op, n := range ops {
+		stall += float64(n) * l.Cost[op]
+	}
+	stall += float64(transactions) * l.Overhead
+	return l.HitCycles + stall/float64(refs)
+}

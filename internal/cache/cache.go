@@ -1,0 +1,160 @@
+// Package cache models per-processor cache contents.
+//
+// The paper simulates infinite caches so that only the inherent cost of
+// sharing is measured: "our simulations use infinite caches to eliminate
+// the traffic caused by interference in finite caches". The protocol
+// engines therefore default to an infinite cache, which needs no
+// replacement tracking at all. This package additionally provides the
+// finite set-associative LRU cache the paper invokes when it notes that
+// "the performance of a system with smaller caches can be estimated to
+// first order by adding the costs due to the finite cache size" — the
+// simulator's finite mode measures that first-order addition directly.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Replacer tracks which blocks a single cache holds and decides victims.
+//
+// Touch records a reference to a resident block. Insert adds a block,
+// returning a victim block that had to be evicted (evicted=true) to make
+// room. Remove deletes a block (invalidation). Contains reports residency.
+type Replacer interface {
+	Touch(block uint64)
+	Insert(block uint64) (victim uint64, evicted bool)
+	Remove(block uint64)
+	Contains(block uint64) bool
+	Len() int
+}
+
+// Infinite is a cache that never evicts; it only remembers membership.
+// The zero value is not usable; use NewInfinite.
+type Infinite struct {
+	blocks map[uint64]struct{}
+}
+
+// NewInfinite returns an infinite cache.
+func NewInfinite() *Infinite {
+	return &Infinite{blocks: map[uint64]struct{}{}}
+}
+
+// Touch implements Replacer (no recency to maintain).
+func (c *Infinite) Touch(block uint64) {}
+
+// Insert implements Replacer; it never evicts.
+func (c *Infinite) Insert(block uint64) (uint64, bool) {
+	c.blocks[block] = struct{}{}
+	return 0, false
+}
+
+// Remove implements Replacer.
+func (c *Infinite) Remove(block uint64) { delete(c.blocks, block) }
+
+// Contains implements Replacer.
+func (c *Infinite) Contains(block uint64) bool {
+	_, ok := c.blocks[block]
+	return ok
+}
+
+// Len implements Replacer.
+func (c *Infinite) Len() int { return len(c.blocks) }
+
+// SetAssoc is a set-associative cache with per-set LRU replacement. With
+// Sets == 1 it degenerates to a fully associative LRU cache.
+type SetAssoc struct {
+	sets int
+	ways int
+	// Each set is an LRU list of block numbers (front = most recent)
+	// plus an index for O(1) membership.
+	lru   []*list.List
+	index []map[uint64]*list.Element
+}
+
+// NewSetAssoc returns a cache of sets × ways blocks. Sets must be a power
+// of two so the set index can be taken from the block number's low bits.
+func NewSetAssoc(sets, ways int) (*SetAssoc, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: sets = %d must be a positive power of two", sets)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: ways = %d must be positive", ways)
+	}
+	c := &SetAssoc{
+		sets:  sets,
+		ways:  ways,
+		lru:   make([]*list.List, sets),
+		index: make([]map[uint64]*list.Element, sets),
+	}
+	for i := range c.lru {
+		c.lru[i] = list.New()
+		c.index[i] = map[uint64]*list.Element{}
+	}
+	return c, nil
+}
+
+// NewLRU returns a fully associative LRU cache holding capacity blocks.
+func NewLRU(capacity int) (*SetAssoc, error) {
+	return NewSetAssoc(1, capacity)
+}
+
+func (c *SetAssoc) set(block uint64) int {
+	return int(block & uint64(c.sets-1))
+}
+
+// Touch implements Replacer.
+func (c *SetAssoc) Touch(block uint64) {
+	s := c.set(block)
+	if e, ok := c.index[s][block]; ok {
+		c.lru[s].MoveToFront(e)
+	}
+}
+
+// Insert implements Replacer. Inserting a resident block just refreshes
+// its recency.
+func (c *SetAssoc) Insert(block uint64) (uint64, bool) {
+	s := c.set(block)
+	if e, ok := c.index[s][block]; ok {
+		c.lru[s].MoveToFront(e)
+		return 0, false
+	}
+	var victim uint64
+	evicted := false
+	if c.lru[s].Len() >= c.ways {
+		back := c.lru[s].Back()
+		victim = back.Value.(uint64)
+		c.lru[s].Remove(back)
+		delete(c.index[s], victim)
+		evicted = true
+	}
+	c.index[s][block] = c.lru[s].PushFront(block)
+	return victim, evicted
+}
+
+// Remove implements Replacer.
+func (c *SetAssoc) Remove(block uint64) {
+	s := c.set(block)
+	if e, ok := c.index[s][block]; ok {
+		c.lru[s].Remove(e)
+		delete(c.index[s], block)
+	}
+}
+
+// Contains implements Replacer.
+func (c *SetAssoc) Contains(block uint64) bool {
+	_, ok := c.index[c.set(block)][block]
+	return ok
+}
+
+// Len implements Replacer.
+func (c *SetAssoc) Len() int {
+	n := 0
+	for _, m := range c.index {
+		n += len(m)
+	}
+	return n
+}
+
+// Capacity returns the total number of blocks the cache can hold.
+func (c *SetAssoc) Capacity() int { return c.sets * c.ways }

@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInfiniteNeverEvicts(t *testing.T) {
+	c := NewInfinite()
+	for b := uint64(0); b < 10000; b++ {
+		if _, evicted := c.Insert(b); evicted {
+			t.Fatal("infinite cache evicted")
+		}
+	}
+	if c.Len() != 10000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if !c.Contains(42) {
+		t.Fatal("Contains(42) = false")
+	}
+	c.Remove(42)
+	if c.Contains(42) {
+		t.Fatal("Contains(42) after Remove")
+	}
+	if c.Len() != 9999 {
+		t.Fatalf("Len after Remove = %d", c.Len())
+	}
+	c.Touch(1) // no-op, must not panic
+}
+
+func TestNewSetAssocValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {3, 4}, {-2, 4}, {4, 0}, {4, -1}} {
+		if _, err := NewSetAssoc(bad[0], bad[1]); err == nil {
+			t.Errorf("NewSetAssoc(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+	c, err := NewSetAssoc(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != 8 {
+		t.Fatalf("Capacity = %d", c.Capacity())
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c, err := NewLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(1)
+	c.Insert(2)
+	c.Touch(1) // 2 is now least recent
+	victim, evicted := c.Insert(3)
+	if !evicted || victim != 2 {
+		t.Fatalf("victim = %d,%v want 2,true", victim, evicted)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestInsertResidentRefreshes(t *testing.T) {
+	c, _ := NewLRU(2)
+	c.Insert(1)
+	c.Insert(2)
+	if _, evicted := c.Insert(1); evicted {
+		t.Fatal("re-insert of resident block evicted")
+	}
+	// 2 is least recent now.
+	if victim, _ := c.Insert(3); victim != 2 {
+		t.Fatalf("victim = %d, want 2", victim)
+	}
+}
+
+func TestSetAssocIsolatesSets(t *testing.T) {
+	c, _ := NewSetAssoc(2, 1)
+	c.Insert(0) // set 0
+	c.Insert(1) // set 1
+	// Inserting another even block evicts only from set 0.
+	victim, evicted := c.Insert(2)
+	if !evicted || victim != 0 {
+		t.Fatalf("victim = %d,%v want 0,true", victim, evicted)
+	}
+	if !c.Contains(1) {
+		t.Fatal("set 1 resident was evicted by a set 0 insert")
+	}
+}
+
+func TestRemoveAbsent(t *testing.T) {
+	c, _ := NewLRU(2)
+	c.Remove(99) // must not panic
+	c.Insert(1)
+	c.Remove(1)
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Removed block frees a slot.
+	c.Insert(2)
+	c.Insert(3)
+	if _, evicted := c.Insert(2); evicted {
+		t.Fatal("duplicate insert evicted")
+	}
+}
+
+func TestTouchAbsentIsNoop(t *testing.T) {
+	c, _ := NewLRU(2)
+	c.Touch(5)
+	if c.Len() != 0 {
+		t.Fatal("Touch inserted a block")
+	}
+}
+
+// Property: a set-associative cache never exceeds its capacity, and every
+// block reported Contains was inserted and not since evicted/removed.
+func TestQuickSetAssocInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := NewSetAssoc(4, 2)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]bool{}
+		for _, op := range ops {
+			b := uint64(op % 64)
+			switch (op / 64) % 3 {
+			case 0:
+				victim, evicted := c.Insert(b)
+				model[b] = true
+				if evicted {
+					if !model[victim] {
+						return false // evicted something not present
+					}
+					delete(model, victim)
+				}
+			case 1:
+				c.Remove(b)
+				delete(model, b)
+			case 2:
+				c.Touch(b)
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		if c.Len() != len(model) {
+			return false
+		}
+		for b := range model {
+			if !c.Contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

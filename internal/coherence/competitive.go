@@ -1,0 +1,278 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dirsim/internal/bitset"
+	"dirsim/internal/bus"
+	"dirsim/internal/cache"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// Competitive is a competitive-update protocol: Dragon's update mechanism
+// with a self-invalidation threshold. Each cached copy counts the updates
+// it has absorbed since its processor last touched the block; at the
+// threshold the copy drops out instead of being updated again.
+//
+// Pure update protocols never unshare: one stale sharer turns every later
+// write into bus traffic forever (the pathology is easy to provoke in this
+// simulator — migrate a process once under Dragon and its old cache is
+// updated until the end of time). Competitive update bounds the damage at
+// k wasted updates per departed sharer, interpolating between Dragon
+// (k = ∞) and an invalidation protocol (k = 0's limit). The threshold
+// trades update traffic against re-miss traffic, the classic competitive
+// argument (pay at most a constant factor over the offline-optimal
+// choice).
+type Competitive struct {
+	name      string
+	threshold int
+	cfg       Config
+
+	stats     Stats
+	state     map[uint64]*competitiveState
+	replacers []cache.Replacer
+	txn       bool
+	last      events.Type
+}
+
+// competitiveState tracks holders, staleness of memory, and each holder's
+// count of updates absorbed since its last local access.
+type competitiveState struct {
+	sharers  bitset.Set
+	memStale bool
+	unused   map[int]int // holder → updates since last local touch
+}
+
+var _ Engine = (*Competitive)(nil)
+
+// NewCompetitive returns a competitive-update engine that self-invalidates
+// a copy after threshold consecutive foreign updates. threshold must be at
+// least 1.
+func NewCompetitive(threshold int, cfg Config) (*Competitive, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("coherence: competitive threshold %d must be at least 1", threshold)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	repl, err := cfg.newReplacers()
+	if err != nil {
+		return nil, err
+	}
+	return &Competitive{
+		name:      fmt.Sprintf("Competitive%d", threshold),
+		threshold: threshold,
+		cfg:       cfg,
+		state:     map[uint64]*competitiveState{},
+		replacers: repl,
+	}, nil
+}
+
+// Name implements Engine.
+func (e *Competitive) Name() string { return e.name }
+
+// Caches implements Engine.
+func (e *Competitive) Caches() int { return e.cfg.Caches }
+
+// Stats implements Engine.
+func (e *Competitive) Stats() *Stats { return &e.stats }
+
+// ResetStats implements Engine.
+func (e *Competitive) ResetStats() { e.stats = Stats{} }
+
+// Threshold returns the self-invalidation threshold k.
+func (e *Competitive) Threshold() int { return e.threshold }
+
+func (e *Competitive) event(t events.Type) {
+	e.stats.Events.Inc(t)
+	e.last = t
+}
+
+func (e *Competitive) emit(op bus.Op) {
+	e.stats.Ops.Inc(op)
+	if op == bus.OpMemRead || op == bus.OpWriteBack {
+		e.stats.MemAccesses++
+	}
+	e.txn = true
+}
+
+func (e *Competitive) ensure(block uint64) *competitiveState {
+	cs := e.state[block]
+	if cs == nil {
+		cs = &competitiveState{unused: map[int]int{}}
+		e.state[block] = cs
+	}
+	return cs
+}
+
+// Access implements Engine.
+func (e *Competitive) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	if c < 0 || c >= e.cfg.Caches {
+		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
+	}
+	e.stats.Refs++
+	e.txn = false
+	switch kind {
+	case trace.Instr:
+		e.event(events.Instr)
+	case trace.Read:
+		e.read(c, block, first)
+	case trace.Write:
+		e.write(c, block, first)
+	}
+	if e.txn {
+		e.stats.Transactions++
+	}
+	if kind != trace.Instr {
+		e.stats.recordPerCache(c, e.cfg.Caches, e.last)
+	}
+	return e.last
+}
+
+func (e *Competitive) read(c int, block uint64, first bool) {
+	cs := e.state[block]
+	if cs != nil && cs.sharers.Contains(c) {
+		e.event(events.ReadHit)
+		cs.unused[c] = 0
+		e.touch(c, block)
+		return
+	}
+	if first {
+		e.event(events.ReadMissFirst)
+		e.fill(c, block)
+		return
+	}
+	switch {
+	case cs != nil && cs.memStale:
+		e.event(events.ReadMissDirty)
+		e.emit(bus.OpCacheRead)
+	case cs != nil && !cs.sharers.Empty():
+		e.event(events.ReadMissClean)
+		e.emit(bus.OpMemRead)
+	default:
+		e.event(events.ReadMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	e.fill(c, block)
+}
+
+func (e *Competitive) write(c int, block uint64, first bool) {
+	cs := e.state[block]
+	if cs != nil && cs.sharers.Contains(c) {
+		e.touch(c, block)
+		cs.unused[c] = 0
+		if cs.sharers.ContainsOther(c) {
+			e.event(events.WriteHitUpdate)
+			e.emit(bus.OpWriteUpdate)
+			e.chargeUpdate(cs, block, c)
+		} else {
+			e.event(events.WriteHitLocal)
+		}
+		cs.memStale = true
+		return
+	}
+	if first {
+		e.event(events.WriteMissFirst)
+		e.fill(c, block)
+		e.ensure(block).memStale = true
+		return
+	}
+	switch {
+	case cs != nil && cs.memStale:
+		e.event(events.WriteMissDirty)
+		e.emit(bus.OpCacheRead)
+	case cs != nil && !cs.sharers.Empty():
+		e.event(events.WriteMissClean)
+		e.emit(bus.OpMemRead)
+	default:
+		e.event(events.WriteMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	hadSharers := cs != nil && !cs.sharers.Empty()
+	e.fill(c, block)
+	cs = e.ensure(block)
+	cs.unused[c] = 0
+	if hadSharers {
+		e.emit(bus.OpWriteUpdate)
+		e.chargeUpdate(cs, block, c)
+	}
+	cs.memStale = true
+}
+
+// chargeUpdate increments every other holder's unused counter and drops
+// copies that reach the threshold. If the last remaining copy with a stale
+// memory would be the writer's, memory stays stale (the writer holds it).
+func (e *Competitive) chargeUpdate(cs *competitiveState, block uint64, writer int) {
+	var drop []int
+	cs.sharers.ForEach(func(h int) bool {
+		if h == writer {
+			return true
+		}
+		cs.unused[h]++
+		if cs.unused[h] >= e.threshold {
+			drop = append(drop, h)
+		}
+		return true
+	})
+	for _, h := range drop {
+		cs.sharers.Remove(h)
+		delete(cs.unused, h)
+		e.stats.PointerEvictions++ // reuse the "copies dropped by policy" counter
+		if e.replacers != nil {
+			e.replacers[h].Remove(block)
+		}
+	}
+}
+
+func (e *Competitive) fill(c int, block uint64) {
+	cs := e.ensure(block)
+	cs.sharers.Add(c)
+	cs.unused[c] = 0
+	if e.replacers == nil {
+		return
+	}
+	victim, evicted := e.replacers[c].Insert(block)
+	if !evicted {
+		return
+	}
+	e.stats.Evictions++
+	vs := e.state[victim]
+	if vs == nil {
+		return
+	}
+	vs.sharers.Remove(c)
+	delete(vs.unused, c)
+	if vs.sharers.Empty() {
+		if vs.memStale {
+			e.emit(bus.OpWriteBack)
+			e.stats.EvictionWriteBacks++
+			vs.memStale = false
+		}
+		delete(e.state, victim)
+	}
+}
+
+func (e *Competitive) touch(c int, block uint64) {
+	if e.replacers != nil {
+		e.replacers[c].Touch(block)
+	}
+}
+
+// CheckInvariants implements Engine.
+func (e *Competitive) CheckInvariants() error {
+	for block, cs := range e.state {
+		if cs.memStale && cs.sharers.Empty() {
+			return fmt.Errorf("%s: block %#x stale with no cached copy", e.name, block)
+		}
+		for h, n := range cs.unused {
+			if !cs.sharers.Contains(h) {
+				return fmt.Errorf("%s: block %#x counter for non-holder %d", e.name, block, h)
+			}
+			if n >= e.threshold {
+				return fmt.Errorf("%s: block %#x holder %d kept past threshold (%d)", e.name, block, h, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,553 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/cache"
+	"dirsim/internal/directory"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// DirEngine is the general directory-based invalidation protocol engine.
+// Instantiated with different directory stores it realises the whole
+// Dir_i{B,NB} design space of Section 2:
+//
+//	Dir1NB   LimitedPointer(1, no broadcast)  — at most one copy ever
+//	Dir_iNB  LimitedPointer(i, no broadcast)  — at most i copies
+//	Dir_nNB  FullMap                          — sequential invalidates
+//	Dir0B    TwoBit                           — broadcast invalidates
+//	Dir_iB   LimitedPointer(i, broadcast bit) — directed then broadcast
+//	coded    CodedSet                         — limited broadcast superset
+//
+// The state-change model is the classic multiple-readers/single-writer
+// policy: clean blocks may be cached anywhere the store permits, a dirty
+// block lives in exactly one cache, and a write removes all other copies.
+type DirEngine struct {
+	name      string
+	cfg       Config
+	store     directory.Store
+	stats     Stats
+	state     stateTable
+	replacers []cache.Replacer
+
+	// exclusive marks Dir1NB: a block lives in at most one cache, so a
+	// write hit needs no directory query at all and misses carry their
+	// single invalidation with the write-back/fetch request.
+	exclusive bool
+	// probesPerLookup models Tang's duplicate-directory search cost in
+	// directory accesses (1 for indexed stores, n for Tang).
+	probesPerLookup int
+
+	// entries is the sparse-directory entry tracker (nil when the
+	// directory is memory-resident).
+	entries cache.Replacer
+
+	// txn tracks whether the reference being processed has used the bus.
+	txn bool
+	// last is the classification of the reference being processed.
+	last events.Type
+}
+
+var _ Engine = (*DirEngine)(nil)
+
+// NewDirEngine assembles a directory engine around an arbitrary store. Most
+// callers want one of the named constructors below.
+func NewDirEngine(name string, store directory.Store, cfg Config) (*DirEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	repl, err := cfg.newReplacers()
+	if err != nil {
+		return nil, err
+	}
+	e := &DirEngine{
+		name:            name,
+		cfg:             cfg,
+		store:           store,
+		state:           stateTable{},
+		replacers:       repl,
+		probesPerLookup: 1,
+	}
+	if lp, ok := store.(*directory.LimitedPointer); ok {
+		e.exclusive = lp.Pointers() == 1 && !lp.Broadcast()
+	}
+	if tg, ok := store.(*directory.Tang); ok {
+		e.probesPerLookup = tg.Probes()
+	}
+	if cfg.DirEntries > 0 {
+		lru, err := cache.NewLRU(cfg.DirEntries)
+		if err != nil {
+			return nil, err
+		}
+		e.entries = lru
+	}
+	return e, nil
+}
+
+// NewDir1NB returns the paper's most restrictive scheme: a single pointer,
+// no broadcast, so a block resides in at most one cache at a time.
+func NewDir1NB(cfg Config) (*DirEngine, error) {
+	st, err := directory.NewLimitedPointer(1, cfg.Caches, false)
+	if err != nil {
+		return nil, err
+	}
+	return NewDirEngine("Dir1NB", st, cfg)
+}
+
+// NewDiriNB returns Dir_iNB: up to i simultaneous copies, maintained by
+// invalidating the oldest copy when a pointer is needed — Section 6's
+// "trades off a slightly increased miss rate for avoiding broadcasts
+// altogether". NewDiriNB(1, cfg) is Dir1NB.
+func NewDiriNB(i int, cfg Config) (*DirEngine, error) {
+	st, err := directory.NewLimitedPointer(i, cfg.Caches, false)
+	if err != nil {
+		return nil, err
+	}
+	return NewDirEngine(fmt.Sprintf("Dir%dNB", i), st, cfg)
+}
+
+// NewDirnNB returns the Censier–Feautrier full-map scheme: a presence bit
+// per cache, invalidations delivered as sequential directed messages.
+func NewDirnNB(cfg Config) (*DirEngine, error) {
+	return NewDirEngine("DirnNB", directory.NewFullMap(cfg.Caches), cfg)
+}
+
+// NewTang returns Tang's scheme: semantically the full map, but the
+// directory is organised as duplicates of every cache directory, so each
+// lookup searches n tag stores (reflected in Stats.DirAccesses).
+func NewTang(cfg Config) (*DirEngine, error) {
+	return NewDirEngine("Tang", directory.NewTang(cfg.Caches), cfg)
+}
+
+// NewDir0B returns the Archibald–Baer scheme: two state bits per block, no
+// cache indices, broadcast invalidations and write-back requests.
+func NewDir0B(cfg Config) (*DirEngine, error) {
+	return NewDirEngine("Dir0B", directory.NewTwoBit(), cfg)
+}
+
+// NewDiriB returns Dir_iB: i pointers plus a broadcast bit. While at most i
+// caches hold the block, invalidations are directed; beyond that the
+// broadcast bit is set and a (possibly expensive) broadcast is used.
+func NewDiriB(i int, cfg Config) (*DirEngine, error) {
+	st, err := directory.NewLimitedPointer(i, cfg.Caches, true)
+	if err != nil {
+		return nil, err
+	}
+	return NewDirEngine(fmt.Sprintf("Dir%dB", i), st, cfg)
+}
+
+// NewCodedSet returns the Section 6 coded-set scheme: a 2·log2(n)-bit
+// superset code per block; invalidations are directed to every cache the
+// code denotes ("limited broadcast"), some of which hold no copy.
+func NewCodedSet(cfg Config) (*DirEngine, error) {
+	st, err := directory.NewCodedSet(cfg.Caches)
+	if err != nil {
+		return nil, err
+	}
+	return NewDirEngine("CodedSet", st, cfg)
+}
+
+// Name implements Engine.
+func (e *DirEngine) Name() string { return e.name }
+
+// Caches implements Engine.
+func (e *DirEngine) Caches() int { return e.cfg.Caches }
+
+// Stats implements Engine.
+func (e *DirEngine) Stats() *Stats { return &e.stats }
+
+// ResetStats implements Engine: tallies are zeroed, protocol state kept.
+func (e *DirEngine) ResetStats() { e.stats = Stats{} }
+
+// event records the reference's Table 4 classification.
+func (e *DirEngine) event(t events.Type) {
+	e.stats.Events.Inc(t)
+	e.last = t
+}
+
+// Store exposes the underlying directory organisation (for storage
+// accounting and tests).
+func (e *DirEngine) Store() directory.Store { return e.store }
+
+// emit records a bus operation; anything other than an overlapped
+// directory check marks the reference as a bus transaction.
+func (e *DirEngine) emit(op bus.Op) {
+	e.stats.Ops.Inc(op)
+	switch op {
+	case bus.OpDirCheckOverlapped:
+		e.stats.DirAccesses += uint64(e.probesPerLookup)
+	case bus.OpDirCheck:
+		e.stats.DirAccesses += uint64(e.probesPerLookup)
+		e.txn = true
+	case bus.OpMemRead:
+		e.stats.MemAccesses++
+		e.txn = true
+	case bus.OpWriteBack:
+		e.stats.MemAccesses++
+		e.txn = true
+	default:
+		e.txn = true
+	}
+}
+
+// Access implements Engine.
+func (e *DirEngine) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	if c < 0 || c >= e.cfg.Caches {
+		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
+	}
+	e.stats.Refs++
+	e.txn = false
+	switch kind {
+	case trace.Instr:
+		// Instructions cause no consistency traffic (Section 4).
+		e.event(events.Instr)
+	case trace.Read:
+		e.read(c, block, first)
+	case trace.Write:
+		e.write(c, block, first)
+	}
+	if e.txn {
+		e.stats.Transactions++
+	}
+	if kind != trace.Instr {
+		e.stats.recordPerCache(c, e.cfg.Caches, e.last)
+	}
+	return e.last
+}
+
+func (e *DirEngine) read(c int, block uint64, first bool) {
+	bs := e.state.get(block)
+	if bs != nil && bs.sharers.Contains(c) {
+		e.event(events.ReadHit)
+		e.touch(c, block)
+		return
+	}
+	if first {
+		e.event(events.ReadMissFirst)
+		e.fill(c, block)
+		return
+	}
+	// The miss request's address send doubles as the directory lookup.
+	e.emit(bus.OpDirCheckOverlapped)
+	switch {
+	case bs != nil && bs.dirty:
+		e.event(events.ReadMissDirty)
+		if e.exclusive {
+			// Dir1NB: one notification tells the owner to write the
+			// block back and invalidate it; the requester receives
+			// the data with the write-back.
+			e.emit(bus.OpInvalidate)
+			e.emit(bus.OpWriteBack)
+			e.invalidateCopy(bs, bs.owner, block)
+		} else {
+			// The directory asks the owner to flush. Directed
+			// organisations send one message; Dir0B broadcasts the
+			// request. The owner keeps a clean copy.
+			e.emitRequest(block, bs.owner)
+			e.emit(bus.OpWriteBack)
+		}
+		bs.dirty = false
+		bs.owner = -1
+	case bs != nil && !bs.sharers.Empty():
+		e.event(events.ReadMissClean)
+		e.emit(bus.OpMemRead)
+	default:
+		e.event(events.ReadMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	e.fill(c, block)
+}
+
+func (e *DirEngine) write(c int, block uint64, first bool) {
+	bs := e.state.get(block)
+	holds := bs != nil && bs.sharers.Contains(c)
+	if holds {
+		e.touch(c, block)
+		if bs.dirty {
+			// dirty implies sole owner; a hit means that owner is c.
+			e.event(events.WriteHitDirty)
+			return
+		}
+		others := bs.sharers.CountExcluding(c)
+		e.stats.InvalFanout.Observe(others)
+		if others == 0 {
+			e.event(events.WriteHitCleanSole)
+			if !e.exclusive {
+				// The directory must confirm no other copy exists
+				// (this is the access Dir0B's "clean in exactly one
+				// cache" state answers without a broadcast).
+				e.emit(bus.OpDirCheck)
+			}
+		} else {
+			e.event(events.WriteHitCleanShared)
+			e.emit(bus.OpDirCheck)
+			e.invalidateOthers(bs, block, c)
+		}
+		e.takeExclusive(c, block)
+		return
+	}
+	if first {
+		e.event(events.WriteMissFirst)
+		e.takeExclusive(c, block)
+		return
+	}
+	e.emit(bus.OpDirCheckOverlapped)
+	switch {
+	case bs != nil && bs.dirty:
+		e.event(events.WriteMissDirty)
+		// Flush the old owner's copy and invalidate it; the requester
+		// receives the data with the write-back.
+		if e.exclusive {
+			e.emit(bus.OpInvalidate)
+		} else {
+			e.emitRequest(block, bs.owner)
+		}
+		e.emit(bus.OpWriteBack)
+		e.invalidateCopy(bs, bs.owner, block)
+		bs.dirty = false
+	case bs != nil && !bs.sharers.Empty():
+		e.event(events.WriteMissClean)
+		e.stats.InvalFanout.Observe(bs.sharers.Count())
+		e.emit(bus.OpMemRead)
+		e.invalidateOthers(bs, block, c)
+	default:
+		e.event(events.WriteMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	e.takeExclusive(c, block)
+}
+
+// takeExclusive installs c as the sole, dirty holder of block after a
+// write, updating ground truth, directory and (in finite mode) residency.
+func (e *DirEngine) takeExclusive(c int, block uint64) {
+	e.ensureEntry(block)
+	e.store.SetSole(block, c)
+	bs := e.state.ensure(block)
+	bs.sharers.Clear()
+	bs.sharers.Add(c)
+	bs.dirty = true
+	bs.owner = c
+	e.insertReplacer(c, block)
+}
+
+// emitRequest sends the write-back request for a dirty block to its owner:
+// a directed message when the directory knows the owner, a broadcast when
+// it does not (Dir0B "relies on broadcasts to perform invalidates and
+// write-back requests").
+func (e *DirEngine) emitRequest(block uint64, owner int) {
+	_, bcast := e.store.Targets(block, -1)
+	if bcast {
+		e.emit(bus.OpBroadcastInvalidate)
+	} else {
+		e.emit(bus.OpInvalidate)
+	}
+}
+
+// invalidateOthers removes every copy of block except cache c's, using the
+// delivery mechanism the directory organisation supports, and keeps the
+// fan-out statistics.
+func (e *DirEngine) invalidateOthers(bs *blockState, block uint64, c int) {
+	e.stats.InvalEvents++
+	targets, bcast := e.store.Targets(block, c)
+	if bcast {
+		e.stats.BroadcastInvals++
+		e.emit(bus.OpBroadcastInvalidate)
+	} else {
+		for _, t := range targets {
+			e.stats.DirectedInvals++
+			e.emit(bus.OpInvalidate)
+			if !bs.sharers.Contains(t) {
+				// A coded-set superset member that holds no copy.
+				e.stats.WastedInvals++
+			}
+		}
+	}
+	// Ground truth: all other copies are gone.
+	bs.sharers.ForEach(func(h int) bool {
+		if h != c {
+			e.removeFromReplacer(h, block)
+		}
+		return true
+	})
+	keep := bs.sharers.Contains(c)
+	bs.sharers.Clear()
+	if keep {
+		bs.sharers.Add(c)
+	}
+}
+
+// invalidateCopy removes a single cache's copy (directed invalidation).
+func (e *DirEngine) invalidateCopy(bs *blockState, holder int, block uint64) {
+	if holder < 0 {
+		return
+	}
+	bs.sharers.Remove(holder)
+	e.store.Remove(block, holder)
+	e.removeFromReplacer(holder, block)
+}
+
+// ensureEntry reserves a sparse-directory entry for block, evicting the
+// least-recently-used entry if the directory is full. The displaced
+// block's copies are all invalidated (written back first when dirty) so no
+// cached data outlives its directory entry.
+func (e *DirEngine) ensureEntry(block uint64) {
+	if e.entries == nil {
+		return
+	}
+	victim, evicted := e.entries.Insert(block)
+	if !evicted {
+		return
+	}
+	e.stats.DirEntryEvictions++
+	vs := e.state.get(victim)
+	if vs == nil {
+		e.store.Clear(victim)
+		return
+	}
+	if vs.dirty {
+		e.emit(bus.OpWriteBack)
+		vs.dirty = false
+		vs.owner = -1
+	}
+	targets, bcast := e.store.Targets(victim, -1)
+	if bcast {
+		e.emit(bus.OpBroadcastInvalidate)
+		e.stats.BroadcastInvals++
+	} else {
+		for range targets {
+			e.emit(bus.OpInvalidate)
+			e.stats.DirectedInvals++
+		}
+	}
+	vs.sharers.ForEach(func(h int) bool {
+		e.removeFromReplacer(h, victim)
+		return true
+	})
+	vs.sharers.Clear()
+	delete(e.state, victim)
+	e.store.Clear(victim)
+}
+
+// fill gives cache c a copy of block: directory first (which may force a
+// pointer eviction in Dir_iNB), then ground truth, then the finite-cache
+// replacer (which may evict a victim block).
+func (e *DirEngine) fill(c int, block uint64) {
+	e.ensureEntry(block)
+	if victim := e.store.Add(block, c); victim >= 0 {
+		// Dir_iNB freed a pointer by invalidating an existing copy.
+		e.stats.PointerEvictions++
+		e.stats.InvalEvents++
+		e.stats.DirectedInvals++
+		e.emit(bus.OpInvalidate)
+		bs := e.state.get(block)
+		if bs != nil {
+			if bs.dirty && bs.owner == victim {
+				// Cannot happen under the protocol (a dirty block has
+				// one holder and Add follows a flush), but write back
+				// defensively rather than lose data silently.
+				e.emit(bus.OpWriteBack)
+				bs.dirty = false
+				bs.owner = -1
+			}
+			bs.sharers.Remove(victim)
+			e.removeFromReplacer(victim, block)
+		}
+	}
+	bs := e.state.ensure(block)
+	bs.sharers.Add(c)
+	e.insertReplacer(c, block)
+}
+
+// touch refreshes LRU recency in finite mode and keeps the block's sparse
+// directory entry warm.
+func (e *DirEngine) touch(c int, block uint64) {
+	if e.replacers != nil {
+		e.replacers[c].Touch(block)
+	}
+	if e.entries != nil {
+		e.entries.Touch(block)
+	}
+}
+
+// insertReplacer records residency in finite mode, handling the eviction of
+// a victim block: write it back if dirty, drop it from ground truth, and
+// send the directory a replacement hint.
+func (e *DirEngine) insertReplacer(c int, block uint64) {
+	if e.replacers == nil {
+		return
+	}
+	victim, evicted := e.replacers[c].Insert(block)
+	if !evicted {
+		return
+	}
+	e.stats.Evictions++
+	vs := e.state.get(victim)
+	if vs == nil {
+		return
+	}
+	if vs.dirty && vs.owner == c {
+		e.emit(bus.OpWriteBack)
+		e.stats.EvictionWriteBacks++
+		vs.dirty = false
+		vs.owner = -1
+	}
+	vs.sharers.Remove(c)
+	e.store.Remove(victim, c)
+	e.state.dropIfEmpty(victim, vs)
+}
+
+func (e *DirEngine) removeFromReplacer(c int, block uint64) {
+	if e.replacers != nil {
+		e.replacers[c].Remove(block)
+	}
+}
+
+// CheckInvariants implements Engine.
+func (e *DirEngine) CheckInvariants() error {
+	for block, bs := range e.state {
+		n := bs.sharers.Count()
+		if e.entries != nil && n > 0 && !e.entries.Contains(block) {
+			return fmt.Errorf("%s: block %#x cached without a directory entry", e.name, block)
+		}
+		if bs.dirty {
+			if n != 1 {
+				return fmt.Errorf("%s: block %#x dirty with %d holders", e.name, block, n)
+			}
+			if sole, _ := bs.sharers.Sole(); sole != bs.owner {
+				return fmt.Errorf("%s: block %#x owner %d not the holder", e.name, block, bs.owner)
+			}
+		}
+		cnt, exact := e.store.Count(block)
+		if exact && cnt != n {
+			return fmt.Errorf("%s: block %#x directory says %d holders, truth %d", e.name, block, cnt, n)
+		}
+		targets, bcast := e.store.Targets(block, -1)
+		if !bcast {
+			// Directed delivery must cover every true holder.
+			covered := map[int]bool{}
+			for _, t := range targets {
+				covered[t] = true
+			}
+			var missing int = -1
+			bs.sharers.ForEach(func(h int) bool {
+				if !covered[h] {
+					missing = h
+					return false
+				}
+				return true
+			})
+			if missing >= 0 {
+				return fmt.Errorf("%s: block %#x holder %d not covered by directory targets", e.name, block, missing)
+			}
+		}
+		if e.exclusive && n > 1 {
+			return fmt.Errorf("%s: block %#x has %d copies under the exclusive scheme", e.name, block, n)
+		}
+		if lp, ok := e.store.(*directory.LimitedPointer); ok && !lp.Broadcast() && n > lp.Pointers() {
+			return fmt.Errorf("%s: block %#x has %d copies, pointer budget %d", e.name, block, n, lp.Pointers())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dirsim/internal/bitset"
+	"dirsim/internal/bus"
+	"dirsim/internal/cache"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// Dragon is the Xerox Dragon snoopy update protocol, the paper's
+// high-performance comparison point. Instead of invalidating stale copies,
+// a write to a shared block broadcasts the new word and every holder
+// updates in place; a special "shared" bus line tells the writer whether
+// any other cache holds the block. In an infinite cache a block, once
+// loaded, stays forever, so Dragon's miss rates are the native miss rates
+// of the trace and its dominant cost is the write updates (Table 4's
+// wh-distrib row).
+type Dragon struct {
+	name string
+	cfg  Config
+	// updatesMemory marks the Firefly variant: a write update also
+	// refreshes main memory (write-through for shared data), so memory
+	// is only ever stale for blocks written while privately held.
+	updatesMemory bool
+
+	stats     Stats
+	state     map[uint64]*dragonState
+	replacers []cache.Replacer
+	txn       bool
+	last      events.Type
+}
+
+// dragonState is the ground truth for one block under an update protocol:
+// who holds copies and whether main memory has the latest value.
+type dragonState struct {
+	sharers  bitset.Set
+	memStale bool
+}
+
+var _ Engine = (*Dragon)(nil)
+
+// NewDragon returns a Dragon engine.
+func NewDragon(cfg Config) (*Dragon, error) {
+	return newUpdateEngine("Dragon", false, cfg)
+}
+
+// NewFirefly returns the DEC Firefly update protocol: like Dragon, stale
+// copies are updated rather than invalidated, but the update word is also
+// written through to main memory, so shared data never goes stale in
+// memory and misses to it are served by memory rather than by a cache.
+func NewFirefly(cfg Config) (*Dragon, error) {
+	return newUpdateEngine("Firefly", true, cfg)
+}
+
+func newUpdateEngine(name string, updatesMemory bool, cfg Config) (*Dragon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	repl, err := cfg.newReplacers()
+	if err != nil {
+		return nil, err
+	}
+	return &Dragon{
+		name:          name,
+		updatesMemory: updatesMemory,
+		cfg:           cfg,
+		state:         map[uint64]*dragonState{},
+		replacers:     repl,
+	}, nil
+}
+
+// Name implements Engine.
+func (e *Dragon) Name() string { return e.name }
+
+// Caches implements Engine.
+func (e *Dragon) Caches() int { return e.cfg.Caches }
+
+// Stats implements Engine.
+func (e *Dragon) Stats() *Stats { return &e.stats }
+
+// ResetStats implements Engine: tallies are zeroed, protocol state kept.
+func (e *Dragon) ResetStats() { e.stats = Stats{} }
+
+// event records the reference's Table 4 classification.
+func (e *Dragon) event(t events.Type) {
+	e.stats.Events.Inc(t)
+	e.last = t
+}
+
+func (e *Dragon) emit(op bus.Op) {
+	e.stats.Ops.Inc(op)
+	if op == bus.OpMemRead || op == bus.OpWriteBack {
+		e.stats.MemAccesses++
+	}
+	e.txn = true
+}
+
+// Access implements Engine.
+func (e *Dragon) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	if c < 0 || c >= e.cfg.Caches {
+		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
+	}
+	e.stats.Refs++
+	e.txn = false
+	switch kind {
+	case trace.Instr:
+		e.event(events.Instr)
+	case trace.Read:
+		e.read(c, block, first)
+	case trace.Write:
+		e.write(c, block, first)
+	}
+	if e.txn {
+		e.stats.Transactions++
+	}
+	if kind != trace.Instr {
+		e.stats.recordPerCache(c, e.cfg.Caches, e.last)
+	}
+	return e.last
+}
+
+func (e *Dragon) get(block uint64) *dragonState { return e.state[block] }
+
+func (e *Dragon) ensure(block uint64) *dragonState {
+	ds := e.state[block]
+	if ds == nil {
+		ds = &dragonState{}
+		e.state[block] = ds
+	}
+	return ds
+}
+
+func (e *Dragon) read(c int, block uint64, first bool) {
+	ds := e.get(block)
+	if ds != nil && ds.sharers.Contains(c) {
+		e.event(events.ReadHit)
+		if e.replacers != nil {
+			e.replacers[c].Touch(block)
+		}
+		return
+	}
+	if first {
+		e.event(events.ReadMissFirst)
+		e.fill(c, block)
+		return
+	}
+	switch {
+	case ds != nil && ds.memStale:
+		// Another cache holds the current value and supplies it over
+		// the bus (memory is stale). In Firefly memory snarfs the data
+		// as it passes, becoming current again.
+		e.event(events.ReadMissDirty)
+		e.emit(bus.OpCacheRead)
+		if e.updatesMemory {
+			ds.memStale = false
+		}
+	case ds != nil && !ds.sharers.Empty():
+		e.event(events.ReadMissClean)
+		e.emit(bus.OpMemRead)
+	default:
+		e.event(events.ReadMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	e.fill(c, block)
+}
+
+func (e *Dragon) write(c int, block uint64, first bool) {
+	ds := e.get(block)
+	if ds != nil && ds.sharers.Contains(c) {
+		if e.replacers != nil {
+			e.replacers[c].Touch(block)
+		}
+		if ds.sharers.ContainsOther(c) {
+			// The shared line is pulled: broadcast the word so other
+			// copies stay current. Firefly's update also writes the
+			// word through to memory.
+			e.event(events.WriteHitUpdate)
+			e.emit(bus.OpWriteUpdate)
+			ds.memStale = !e.updatesMemory
+		} else {
+			e.event(events.WriteHitLocal)
+			ds.memStale = true
+		}
+		return
+	}
+	if first {
+		e.event(events.WriteMissFirst)
+		e.fill(c, block)
+		e.ensure(block).memStale = true
+		return
+	}
+	switch {
+	case ds != nil && ds.memStale:
+		e.event(events.WriteMissDirty)
+		e.emit(bus.OpCacheRead)
+	case ds != nil && !ds.sharers.Empty():
+		e.event(events.WriteMissClean)
+		e.emit(bus.OpMemRead)
+	default:
+		e.event(events.WriteMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	hadSharers := ds != nil && !ds.sharers.Empty()
+	e.fill(c, block)
+	ds = e.ensure(block)
+	if hadSharers {
+		// The freshly written word is distributed to the other holders
+		// (and, in Firefly, through to memory).
+		e.emit(bus.OpWriteUpdate)
+		ds.memStale = !e.updatesMemory
+	} else {
+		ds.memStale = true
+	}
+}
+
+func (e *Dragon) fill(c int, block uint64) {
+	ds := e.ensure(block)
+	ds.sharers.Add(c)
+	if e.replacers == nil {
+		return
+	}
+	victim, evicted := e.replacers[c].Insert(block)
+	if !evicted {
+		return
+	}
+	e.stats.Evictions++
+	vs := e.get(victim)
+	if vs == nil {
+		return
+	}
+	vs.sharers.Remove(c)
+	if vs.sharers.Empty() {
+		if vs.memStale {
+			// Last holder of a block memory does not have: flush it.
+			e.emit(bus.OpWriteBack)
+			e.stats.EvictionWriteBacks++
+			vs.memStale = false
+		}
+		delete(e.state, victim)
+	}
+}
+
+// CheckInvariants implements Engine.
+func (e *Dragon) CheckInvariants() error {
+	for block, ds := range e.state {
+		if ds.memStale && ds.sharers.Empty() {
+			return fmt.Errorf("%s: block %#x stale in memory with no cached copy", e.name, block)
+		}
+	}
+	return nil
+}

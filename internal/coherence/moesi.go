@@ -1,0 +1,279 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dirsim/internal/bitset"
+	"dirsim/internal/bus"
+	"dirsim/internal/cache"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// MOESI is the five-state snoopy invalidation protocol: MESI plus an Owned
+// state that permits *dirty sharing*. When another cache reads a modified
+// block, the owner supplies it cache-to-cache and keeps responsibility for
+// the (still stale) memory copy instead of writing back — the write-back
+// happens only when the owner finally evicts the block or another writer
+// takes it. On migratory and producer-consumer data this removes the
+// write-back from every hand-off that MESI pays for.
+//
+// Ground truth therefore differs from the MESI/Dir0B family: a block can be
+// shared while memory is stale, with a designated owner. The event
+// classification reflects it — every read miss to such a block is
+// rm-blk-drty, no matter how many readers have joined since the write.
+type MOESI struct {
+	cfg       Config
+	stats     Stats
+	state     map[uint64]*moesiState
+	replacers []cache.Replacer
+	txn       bool
+	last      events.Type
+}
+
+// moesiState is the ground truth for one block: holders, whether memory is
+// stale, and which holder owns the stale data.
+type moesiState struct {
+	sharers  bitset.Set
+	memStale bool
+	owner    int // valid when memStale
+}
+
+var _ Engine = (*MOESI)(nil)
+
+// NewMOESI returns a MOESI engine.
+func NewMOESI(cfg Config) (*MOESI, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	repl, err := cfg.newReplacers()
+	if err != nil {
+		return nil, err
+	}
+	return &MOESI{cfg: cfg, state: map[uint64]*moesiState{}, replacers: repl}, nil
+}
+
+// Name implements Engine.
+func (e *MOESI) Name() string { return "MOESI" }
+
+// Caches implements Engine.
+func (e *MOESI) Caches() int { return e.cfg.Caches }
+
+// Stats implements Engine.
+func (e *MOESI) Stats() *Stats { return &e.stats }
+
+// ResetStats implements Engine.
+func (e *MOESI) ResetStats() { e.stats = Stats{} }
+
+func (e *MOESI) event(t events.Type) {
+	e.stats.Events.Inc(t)
+	e.last = t
+}
+
+func (e *MOESI) emit(op bus.Op) {
+	e.stats.Ops.Inc(op)
+	switch op {
+	case bus.OpMemRead, bus.OpWriteBack:
+		e.stats.MemAccesses++
+	}
+	e.txn = true
+}
+
+func (e *MOESI) ensure(block uint64) *moesiState {
+	bs := e.state[block]
+	if bs == nil {
+		bs = &moesiState{owner: -1}
+		e.state[block] = bs
+	}
+	return bs
+}
+
+// Access implements Engine.
+func (e *MOESI) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	if c < 0 || c >= e.cfg.Caches {
+		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
+	}
+	e.stats.Refs++
+	e.txn = false
+	switch kind {
+	case trace.Instr:
+		e.event(events.Instr)
+	case trace.Read:
+		e.read(c, block, first)
+	case trace.Write:
+		e.write(c, block, first)
+	}
+	if e.txn {
+		e.stats.Transactions++
+	}
+	if kind != trace.Instr {
+		e.stats.recordPerCache(c, e.cfg.Caches, e.last)
+	}
+	return e.last
+}
+
+func (e *MOESI) read(c int, block uint64, first bool) {
+	bs := e.state[block]
+	if bs != nil && bs.sharers.Contains(c) {
+		e.event(events.ReadHit)
+		e.touch(c, block)
+		return
+	}
+	if first {
+		e.event(events.ReadMissFirst)
+		e.fill(c, block)
+		return
+	}
+	switch {
+	case bs != nil && bs.memStale:
+		// The owner supplies the block cache-to-cache and stays Owned;
+		// memory remains stale — MOESI's defining move.
+		e.event(events.ReadMissDirty)
+		e.emit(bus.OpCacheRead)
+	case bs != nil && !bs.sharers.Empty():
+		// Illinois-style cache-to-cache supply of clean data.
+		e.event(events.ReadMissClean)
+		e.emit(bus.OpCacheRead)
+	default:
+		e.event(events.ReadMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	e.fill(c, block)
+}
+
+func (e *MOESI) write(c int, block uint64, first bool) {
+	bs := e.state[block]
+	holds := bs != nil && bs.sharers.Contains(c)
+	if holds {
+		e.touch(c, block)
+		others := bs.sharers.CountExcluding(c)
+		switch {
+		case bs.memStale && bs.owner == c && others == 0:
+			// Modified: silent.
+			e.event(events.WriteHitDirty)
+			return
+		case others == 0:
+			// Exclusive: silent upgrade (memory current, sole copy).
+			e.event(events.WriteHitCleanSole)
+			bs.memStale = true
+			bs.owner = c
+			return
+		default:
+			// Shared or Owned-with-sharers: one invalidation broadcast.
+			e.stats.InvalFanout.Observe(others)
+			if bs.memStale {
+				// An Owned block being rewritten: classified like a
+				// dirty hit but the sharers must still go.
+				e.event(events.WriteHitDirty)
+			} else {
+				e.event(events.WriteHitCleanShared)
+			}
+			e.emit(bus.OpBroadcastInvalidate)
+			e.stats.InvalEvents++
+			e.stats.BroadcastInvals++
+			e.dropOthers(bs, block, c)
+			bs.memStale = true
+			bs.owner = c
+			return
+		}
+	}
+	if first {
+		e.event(events.WriteMissFirst)
+		bs = e.ensure(block)
+		bs.sharers.Add(c)
+		bs.memStale = true
+		bs.owner = c
+		e.insertReplacer(c, block)
+		return
+	}
+	switch {
+	case bs != nil && bs.memStale:
+		// Read-for-ownership served by the owner; its copy and every
+		// other sharer's are invalidated by the snooped request.
+		e.event(events.WriteMissDirty)
+		e.emit(bus.OpCacheRead)
+	case bs != nil && !bs.sharers.Empty():
+		e.event(events.WriteMissClean)
+		e.emit(bus.OpCacheRead)
+	default:
+		e.event(events.WriteMissUncached)
+		e.emit(bus.OpMemRead)
+	}
+	if bs != nil {
+		e.dropOthers(bs, block, c)
+	}
+	bs = e.ensure(block)
+	bs.sharers.Add(c)
+	bs.memStale = true
+	bs.owner = c
+	e.insertReplacer(c, block)
+}
+
+// dropOthers removes every copy except cache c's (snooping delivers the
+// invalidation for free).
+func (e *MOESI) dropOthers(bs *moesiState, block uint64, c int) {
+	bs.sharers.ForEach(func(h int) bool {
+		if h != c && e.replacers != nil {
+			e.replacers[h].Remove(block)
+		}
+		return true
+	})
+	keep := bs.sharers.Contains(c)
+	bs.sharers.Clear()
+	if keep {
+		bs.sharers.Add(c)
+	}
+}
+
+func (e *MOESI) fill(c int, block uint64) {
+	bs := e.ensure(block)
+	bs.sharers.Add(c)
+	e.insertReplacer(c, block)
+}
+
+func (e *MOESI) insertReplacer(c int, block uint64) {
+	if e.replacers == nil {
+		return
+	}
+	victim, evicted := e.replacers[c].Insert(block)
+	if !evicted {
+		return
+	}
+	e.stats.Evictions++
+	vs := e.state[victim]
+	if vs == nil {
+		return
+	}
+	vs.sharers.Remove(c)
+	if vs.memStale && vs.owner == c {
+		// The owner leaves: flush, and if sharers remain, ownership
+		// passes to one of them (memory is now current, so it need
+		// not — Owned exists to avoid this write-back on *reads*, but
+		// an eviction forces it).
+		e.emit(bus.OpWriteBack)
+		e.stats.EvictionWriteBacks++
+		vs.memStale = false
+		vs.owner = -1
+	}
+	if vs.sharers.Empty() && !vs.memStale {
+		delete(e.state, victim)
+	}
+}
+
+func (e *MOESI) touch(c int, block uint64) {
+	if e.replacers != nil {
+		e.replacers[c].Touch(block)
+	}
+}
+
+// CheckInvariants implements Engine.
+func (e *MOESI) CheckInvariants() error {
+	for block, bs := range e.state {
+		if bs.memStale {
+			if !bs.sharers.Contains(bs.owner) {
+				return fmt.Errorf("MOESI: block %#x stale but owner %d holds no copy", block, bs.owner)
+			}
+		}
+	}
+	return nil
+}

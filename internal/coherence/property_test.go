@@ -1,0 +1,313 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// replay feeds a random op stream (decoded from raw words) to the given
+// engines via a shared first-reference tracker, then returns the feeder.
+func replay(engs []Engine, raw []uint32, caches, blocks int) {
+	f := newFeeder(engs...)
+	for _, w := range raw {
+		c := int(w) % caches
+		b := uint64(w>>8) % uint64(blocks)
+		switch (w >> 4) % 5 {
+		case 0:
+			f.write(c, b)
+		case 1:
+			f.access(c, trace.Instr, b)
+		default:
+			f.read(c, b)
+		}
+	}
+}
+
+// Property: every engine keeps its invariants on arbitrary reference
+// streams.
+func TestQuickInvariantsHold(t *testing.T) {
+	f := func(raw []uint32) bool {
+		engs := make([]Engine, 0, 11)
+		for _, name := range []string{"dir1nb", "dir2nb", "dirnnb", "dir0b", "dir1b", "dir2b", "codedset", "tang", "wti", "dragon", "berkeley"} {
+			e, err := NewByName(name, Config{Caches: 6})
+			if err != nil {
+				return false
+			}
+			engs = append(engs, e)
+		}
+		replay(engs, raw, 6, 24)
+		for _, e := range engs {
+			if err := e.CheckInvariants(); err != nil {
+				t.Logf("%v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the schemes sharing the multiple-readers/single-writer
+// state-change model (Dir0B, DirnNB, Dir_iB, coded set, Tang, WTI,
+// Berkeley) produce identical event frequencies on every trace — the
+// paper's Section 5 observation generalised.
+func TestQuickSharedStateChangeModelEventEquality(t *testing.T) {
+	f := func(raw []uint32) bool {
+		mk := []string{"dir0b", "dirnnb", "dir4b", "codedset", "tang", "wti", "berkeley"}
+		engs := make([]Engine, 0, len(mk))
+		for _, name := range mk {
+			e, err := NewByName(name, Config{Caches: 4})
+			if err != nil {
+				return false
+			}
+			engs = append(engs, e)
+		}
+		replay(engs, raw, 4, 16)
+		base := engs[0].Stats().Events
+		for _, e := range engs[1:] {
+			if e.Stats().Events != base {
+				t.Logf("%s events differ from Dir0B", e.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every reference is classified into exactly one event, so the
+// event total always equals the reference count.
+func TestQuickEventsPartition(t *testing.T) {
+	f := func(raw []uint32) bool {
+		engs := allQuickEngines()
+		replay(engs, raw, 4, 16)
+		for _, e := range engs {
+			st := e.Stats()
+			if st.Events.Total() != st.Refs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allQuickEngines() []Engine {
+	var engs []Engine
+	for _, name := range []string{"dir1nb", "dir3nb", "dirnnb", "dir0b", "dir2b", "codedset", "wti", "dragon"} {
+		e, err := NewByName(name, Config{Caches: 4})
+		if err != nil {
+			panic(err)
+		}
+		engs = append(engs, e)
+	}
+	return engs
+}
+
+// Property: Dragon never emits invalidations and its miss count is a lower
+// bound over all schemes (nothing is ever removed from a cache).
+func TestQuickDragonMinimalMisses(t *testing.T) {
+	f := func(raw []uint32) bool {
+		engs := allQuickEngines()
+		replay(engs, raw, 4, 16)
+		var dragon *Stats
+		for _, e := range engs {
+			if e.Name() == "Dragon" {
+				dragon = e.Stats()
+			}
+		}
+		if dragon.Ops[bus.OpInvalidate] != 0 || dragon.Ops[bus.OpBroadcastInvalidate] != 0 {
+			return false
+		}
+		dm := dragon.Events.ReadMisses() + dragon.Events.WriteMisses()
+		for _, e := range engs {
+			st := e.Stats()
+			if st.Events.ReadMisses()+st.Events.WriteMisses() < dm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dir_iNB miss counts decrease (weakly) as i grows, and Dir_nNB
+// (unbounded) is the floor — the Section 6 copy-limit trade-off.
+func TestQuickDiriNBMissMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var engs []Engine
+		for _, i := range []int{1, 2, 3} {
+			e, err := NewDiriNB(i, Config{Caches: 4})
+			if err != nil {
+				return false
+			}
+			engs = append(engs, e)
+		}
+		full, err := NewDirnNB(Config{Caches: 4})
+		if err != nil {
+			return false
+		}
+		engs = append(engs, full)
+		replay(engs, raw, 4, 12)
+		miss := func(e Engine) uint64 {
+			return e.Stats().Events.ReadMisses() + e.Stats().Events.WriteMisses()
+		}
+		return miss(engs[0]) >= miss(engs[1]) && miss(engs[1]) >= miss(engs[2]) && miss(engs[2]) >= miss(engs[3])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a broadcast cost of 1 (the paper's base model), Dir_nNB
+// costs at least as much as Dir0B under the pipelined bus: sequential
+// invalidates can only add messages relative to a single broadcast.
+func TestQuickSequentialCostsAtLeastBroadcast(t *testing.T) {
+	f := func(raw []uint32) bool {
+		d0, err := NewDir0B(Config{Caches: 4})
+		if err != nil {
+			return false
+		}
+		dn, err := NewDirnNB(Config{Caches: 4})
+		if err != nil {
+			return false
+		}
+		replay([]Engine{d0, dn}, raw, 4, 16)
+		m := bus.Pipelined()
+		return dn.Stats().CyclesPerRef(m) >= d0.Stats().CyclesPerRef(m)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- finite-cache mode ---------------------------------------------------------
+
+func finCfg() Config { return Config{Caches: 4, FiniteSets: 4, FiniteWays: 2} }
+
+func TestFiniteCacheEvictsAndWritesBack(t *testing.T) {
+	e := must(NewDir0B(finCfg()))
+	f := newFeeder(e)
+	// Dirty a block, then stream enough conflicting blocks through cache
+	// 0 to force its eviction (all blocks map to set 0: multiples of 4).
+	f.write(0, 0)
+	for b := uint64(4); b <= 40; b += 4 {
+		f.read(0, b)
+	}
+	st := e.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions in finite mode")
+	}
+	if st.EvictionWriteBacks == 0 {
+		t.Fatal("dirty eviction did not write back")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The evicted dirty block is now uncached; re-reading it is a
+	// (priced) uncached miss, not a first reference.
+	before := st.Events[events.ReadMissUncached]
+	f.read(0, 0)
+	if st.Events[events.ReadMissUncached] != before+1 {
+		t.Errorf("re-read of evicted block classified as %v", st.Events)
+	}
+}
+
+func TestFiniteCachesMissMoreThanInfinite(t *testing.T) {
+	inf := must(NewDir0B(Config{Caches: 4}))
+	fin := must(NewDir0B(finCfg()))
+	f := newFeeder(inf, fin)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20000; i++ {
+		c := rng.Intn(4)
+		b := uint64(rng.Intn(256))
+		if rng.Intn(4) == 0 {
+			f.write(c, b)
+		} else {
+			f.read(c, b)
+		}
+	}
+	infMiss := inf.Stats().Events.DataMissRate()
+	finMiss := fin.Stats().Events.DataMissRate()
+	if finMiss <= infMiss {
+		t.Errorf("finite miss rate %v not above infinite %v", finMiss, infMiss)
+	}
+	m := bus.Pipelined()
+	if fin.Stats().CyclesPerRef(m) <= inf.Stats().CyclesPerRef(m) {
+		t.Error("finite caches should cost more bus cycles")
+	}
+	if err := fin.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiniteDragonWritesBackLastCopy(t *testing.T) {
+	e := must(NewDragon(finCfg()))
+	f := newFeeder(e)
+	f.write(0, 0) // memory stale, only copy in cache 0
+	for b := uint64(4); b <= 40; b += 4 {
+		f.read(0, b)
+	}
+	st := e.Stats()
+	if st.EvictionWriteBacks == 0 {
+		t.Fatal("Dragon did not flush the last copy of a stale block")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiniteWTISilentEvictions(t *testing.T) {
+	e := must(NewWTI(finCfg()))
+	f := newFeeder(e)
+	f.write(0, 0)
+	for b := uint64(4); b <= 40; b += 4 {
+		f.read(0, b)
+	}
+	st := e.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions")
+	}
+	if st.Ops[bus.OpWriteBack] != 0 {
+		t.Fatal("write-through caches must not write back on eviction")
+	}
+}
+
+// Property: finite-mode invariants hold for every engine under random
+// streams with heavy conflict pressure.
+func TestQuickFiniteInvariants(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var engs []Engine
+		for _, name := range []string{"dir1nb", "dir2nb", "dirnnb", "dir0b", "dir2b", "codedset", "wti", "dragon"} {
+			e, err := NewByName(name, Config{Caches: 3, FiniteSets: 2, FiniteWays: 2})
+			if err != nil {
+				return false
+			}
+			engs = append(engs, e)
+		}
+		replay(engs, raw, 3, 64)
+		for _, e := range engs {
+			if err := e.CheckInvariants(); err != nil {
+				t.Logf("%v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

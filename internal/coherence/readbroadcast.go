@@ -1,0 +1,297 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dirsim/internal/bitset"
+	"dirsim/internal/bus"
+	"dirsim/internal/cache"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// ReadBroadcast is the Rudolph–Segall read-broadcast protocol (the paper's
+// reference [6]): a write-through invalidation scheme in which a cache
+// whose copy was invalidated snarfs the data the next time any other cache
+// reads the block over the bus — the read reply is a broadcast, so the
+// refill is free. One bus read after a write repairs *every* invalidated
+// copy at once, which collapses the read-miss chains invalidation
+// protocols otherwise suffer on widely read-shared data.
+//
+// The engine extends the WTI state-change model with a per-block set of
+// "snarfers": caches that held the block when it was last invalidated.
+// Their copies reappear on the next bus fill. Because this changes the
+// state-change model itself, ReadBroadcast's event frequencies differ from
+// the Dir0B/WTI family — the point of the optimisation.
+type ReadBroadcast struct {
+	cfg       Config
+	stats     Stats
+	state     map[uint64]*rbState
+	replacers []cache.Replacer
+	txn       bool
+	last      events.Type
+}
+
+// rbState tracks holders, the virtual written-state, and the caches whose
+// invalidated copies are waiting to snarf the next bus read.
+type rbState struct {
+	sharers  bitset.Set
+	dirty    bool // written and not since shared (memory stays current)
+	owner    int
+	snarfers bitset.Set
+}
+
+var _ Engine = (*ReadBroadcast)(nil)
+
+// NewReadBroadcast returns a read-broadcast engine.
+func NewReadBroadcast(cfg Config) (*ReadBroadcast, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	repl, err := cfg.newReplacers()
+	if err != nil {
+		return nil, err
+	}
+	return &ReadBroadcast{cfg: cfg, state: map[uint64]*rbState{}, replacers: repl}, nil
+}
+
+// Name implements Engine.
+func (e *ReadBroadcast) Name() string { return "ReadBroadcast" }
+
+// Caches implements Engine.
+func (e *ReadBroadcast) Caches() int { return e.cfg.Caches }
+
+// Stats implements Engine.
+func (e *ReadBroadcast) Stats() *Stats { return &e.stats }
+
+// ResetStats implements Engine.
+func (e *ReadBroadcast) ResetStats() { e.stats = Stats{} }
+
+func (e *ReadBroadcast) event(t events.Type) {
+	e.stats.Events.Inc(t)
+	e.last = t
+}
+
+func (e *ReadBroadcast) emit(op bus.Op) {
+	e.stats.Ops.Inc(op)
+	switch op {
+	case bus.OpMemRead, bus.OpWriteBack, bus.OpWriteThrough:
+		e.stats.MemAccesses++
+	}
+	e.txn = true
+}
+
+func (e *ReadBroadcast) ensure(block uint64) *rbState {
+	bs := e.state[block]
+	if bs == nil {
+		bs = &rbState{owner: -1}
+		e.state[block] = bs
+	}
+	return bs
+}
+
+// Access implements Engine.
+func (e *ReadBroadcast) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	if c < 0 || c >= e.cfg.Caches {
+		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
+	}
+	e.stats.Refs++
+	e.txn = false
+	switch kind {
+	case trace.Instr:
+		e.event(events.Instr)
+	case trace.Read:
+		e.read(c, block, first)
+	case trace.Write:
+		e.write(c, block, first)
+	}
+	if e.txn {
+		e.stats.Transactions++
+	}
+	if kind != trace.Instr {
+		e.stats.recordPerCache(c, e.cfg.Caches, e.last)
+	}
+	return e.last
+}
+
+func (e *ReadBroadcast) read(c int, block uint64, first bool) {
+	bs := e.state[block]
+	if bs != nil && bs.sharers.Contains(c) {
+		e.event(events.ReadHit)
+		e.touch(c, block)
+		return
+	}
+	if first {
+		e.event(events.ReadMissFirst)
+		e.fillWithSnarf(c, block)
+		return
+	}
+	switch {
+	case bs != nil && bs.dirty:
+		e.event(events.ReadMissDirty)
+		bs.dirty = false
+		bs.owner = -1
+	case bs != nil && !bs.sharers.Empty():
+		e.event(events.ReadMissClean)
+	default:
+		e.event(events.ReadMissUncached)
+	}
+	// Memory is current (write-through); one bus read serves the
+	// requester and every waiting snarfer.
+	e.emit(bus.OpMemRead)
+	e.fillWithSnarf(c, block)
+}
+
+func (e *ReadBroadcast) write(c int, block uint64, first bool) {
+	bs := e.state[block]
+	holds := bs != nil && bs.sharers.Contains(c)
+	if holds {
+		e.touch(c, block)
+		if bs.dirty {
+			e.event(events.WriteHitDirty)
+		} else {
+			others := bs.sharers.CountExcluding(c)
+			e.stats.InvalFanout.Observe(others)
+			if others == 0 {
+				e.event(events.WriteHitCleanSole)
+			} else {
+				e.event(events.WriteHitCleanShared)
+				e.stats.InvalEvents++
+				e.stats.BroadcastInvals++
+			}
+		}
+		e.emit(bus.OpWriteThrough)
+		e.invalidateOthers(bs, block, c)
+		e.makeSole(bs, c)
+		return
+	}
+	if first {
+		e.event(events.WriteMissFirst)
+		bs = e.ensure(block)
+		e.makeSole(bs, c)
+		e.insertReplacer(c, block)
+		return
+	}
+	switch {
+	case bs != nil && bs.dirty:
+		e.event(events.WriteMissDirty)
+	case bs != nil && !bs.sharers.Empty():
+		e.event(events.WriteMissClean)
+		e.stats.InvalFanout.Observe(bs.sharers.Count())
+		e.stats.InvalEvents++
+		e.stats.BroadcastInvals++
+	default:
+		e.event(events.WriteMissUncached)
+	}
+	e.emit(bus.OpMemRead)
+	e.emit(bus.OpWriteThrough)
+	if bs != nil {
+		e.invalidateOthers(bs, block, c)
+	}
+	bs = e.ensure(block)
+	e.makeSole(bs, c)
+	e.insertReplacer(c, block)
+}
+
+// invalidateOthers drops every other copy, remembering the victims as
+// snarfers for the next bus read of the block.
+func (e *ReadBroadcast) invalidateOthers(bs *rbState, block uint64, c int) {
+	bs.sharers.ForEach(func(h int) bool {
+		if h != c {
+			bs.snarfers.Add(h)
+			if e.replacers != nil {
+				e.replacers[h].Remove(block)
+			}
+		}
+		return true
+	})
+	keep := bs.sharers.Contains(c)
+	bs.sharers.Clear()
+	if keep {
+		bs.sharers.Add(c)
+	}
+}
+
+func (e *ReadBroadcast) makeSole(bs *rbState, c int) {
+	bs.sharers.Clear()
+	bs.sharers.Add(c)
+	bs.snarfers.Remove(c)
+	bs.dirty = true
+	bs.owner = c
+}
+
+// fillWithSnarf installs the block in cache c and, because the fill's data
+// crossed the bus, in every waiting snarfer as well.
+func (e *ReadBroadcast) fillWithSnarf(c int, block uint64) {
+	bs := e.ensure(block)
+	bs.sharers.Add(c)
+	bs.snarfers.Remove(c)
+	bs.snarfers.ForEach(func(h int) bool {
+		bs.sharers.Add(h)
+		if e.replacers != nil {
+			// The snarfed copy occupies a frame in h's cache too.
+			if victim, evicted := e.replacers[h].Insert(block); evicted {
+				e.dropVictim(h, victim)
+			}
+		}
+		return true
+	})
+	e.stats.Snarfs += uint64(bs.snarfers.Count())
+	bs.snarfers.Clear()
+	e.insertReplacer(c, block)
+}
+
+func (e *ReadBroadcast) insertReplacer(c int, block uint64) {
+	if e.replacers == nil {
+		return
+	}
+	if victim, evicted := e.replacers[c].Insert(block); evicted {
+		e.dropVictim(c, victim)
+	}
+}
+
+// dropVictim removes an evicted block from cache c's ground truth;
+// write-through caches evict silently.
+func (e *ReadBroadcast) dropVictim(c int, victim uint64) {
+	e.stats.Evictions++
+	vs := e.state[victim]
+	if vs == nil {
+		return
+	}
+	vs.sharers.Remove(c)
+	vs.snarfers.Remove(c)
+	if vs.dirty && vs.owner == c {
+		vs.dirty = false
+		vs.owner = -1
+	}
+	if vs.sharers.Empty() && vs.snarfers.Empty() {
+		delete(e.state, victim)
+	}
+}
+
+func (e *ReadBroadcast) touch(c int, block uint64) {
+	if e.replacers != nil {
+		e.replacers[c].Touch(block)
+	}
+}
+
+// CheckInvariants implements Engine.
+func (e *ReadBroadcast) CheckInvariants() error {
+	for block, bs := range e.state {
+		if bs.dirty && bs.sharers.Count() != 1 {
+			return fmt.Errorf("ReadBroadcast: block %#x written-state with %d holders", block, bs.sharers.Count())
+		}
+		var bad int = -1
+		bs.snarfers.ForEach(func(h int) bool {
+			if bs.sharers.Contains(h) {
+				bad = h
+				return false
+			}
+			return true
+		})
+		if bad >= 0 {
+			return fmt.Errorf("ReadBroadcast: block %#x cache %d both holder and snarfer", block, bad)
+		}
+	}
+	return nil
+}

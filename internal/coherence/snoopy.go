@@ -1,0 +1,334 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/cache"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// SnoopyInval is a generic snoopy invalidation protocol engine. The paper's
+// Section 5 observation — that protocols sharing a state-change model have
+// identical event frequencies and differ only in per-event costs — makes
+// the whole family expressible as one engine parameterised by a per-event
+// operation table. The family's state-change model is the classic
+// multiple-readers/single-writer policy, with invalidation delivered for
+// free by bus snooping.
+//
+// Three of the paper's referenced protocols are provided on top of it:
+//
+//   - WTI (write-through with invalidate): every write is a one-word
+//     transfer to memory; misses are always served by memory.
+//   - Write-Once (Goodman): the first write to a block writes through
+//     (snoopers invalidate); subsequent writes stay local in the cache
+//     (the Reserved→Dirty transition), and dirty blocks are supplied via
+//     write-back.
+//   - MESI (Illinois / Papamarcos-Patel): an Exclusive state lets a write
+//     hit on a sole clean copy proceed silently; resident blocks are
+//     supplied cache-to-cache; writes to Shared copies broadcast one
+//     invalidation cycle.
+type SnoopyInval struct {
+	name string
+	cfg  Config
+	// table maps each event to the bus operations one occurrence costs.
+	table map[events.Type][]bus.Op
+	// writeBackOnEvict controls finite-cache behaviour: copy-back
+	// protocols flush dirty victims; write-through protocols evict
+	// silently (memory is already current).
+	writeBackOnEvict bool
+
+	stats     Stats
+	state     stateTable
+	replacers []cache.Replacer
+	txn       bool
+	last      events.Type
+}
+
+var _ Engine = (*SnoopyInval)(nil)
+
+// NewSnoopyInval assembles a snoopy invalidation engine from a per-event
+// operation table. Most callers want NewWTI, NewWriteOnce or NewMESI.
+func NewSnoopyInval(name string, table map[events.Type][]bus.Op, writeBackOnEvict bool, cfg Config) (*SnoopyInval, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	repl, err := cfg.newReplacers()
+	if err != nil {
+		return nil, err
+	}
+	return &SnoopyInval{
+		name:             name,
+		cfg:              cfg,
+		table:            table,
+		writeBackOnEvict: writeBackOnEvict,
+		state:            stateTable{},
+		replacers:        repl,
+	}, nil
+}
+
+// NewWTI returns the Write-Through-With-Invalidate engine: all writes go to
+// memory (one word each), all misses are served by memory (which is never
+// stale), and other copies are invalidated by snooping the write for free.
+// Write misses allocate, keeping the state-change model — and therefore
+// the Table 4 event frequencies — identical to Dir0B's, as Section 5
+// observes.
+func NewWTI(cfg Config) (*SnoopyInval, error) {
+	t := map[events.Type][]bus.Op{
+		events.ReadMissClean:       {bus.OpMemRead},
+		events.ReadMissDirty:       {bus.OpMemRead},
+		events.ReadMissUncached:    {bus.OpMemRead},
+		events.WriteHitDirty:       {bus.OpWriteThrough},
+		events.WriteHitCleanSole:   {bus.OpWriteThrough},
+		events.WriteHitCleanShared: {bus.OpWriteThrough},
+		events.WriteMissClean:      {bus.OpMemRead, bus.OpWriteThrough},
+		events.WriteMissDirty:      {bus.OpMemRead, bus.OpWriteThrough},
+		events.WriteMissUncached:   {bus.OpMemRead, bus.OpWriteThrough},
+	}
+	return NewSnoopyInval("WTI", t, false, cfg)
+}
+
+// NewWriteOnce returns Goodman's write-once protocol: the first write to a
+// resident block writes through one word (and snooping invalidates other
+// copies); later writes dirty the block locally for free; a block dirty in
+// another cache is supplied by write-back.
+func NewWriteOnce(cfg Config) (*SnoopyInval, error) {
+	t := map[events.Type][]bus.Op{
+		events.ReadMissClean:       {bus.OpMemRead},
+		events.ReadMissDirty:       {bus.OpWriteBack},
+		events.ReadMissUncached:    {bus.OpMemRead},
+		events.WriteHitCleanSole:   {bus.OpWriteThrough},
+		events.WriteHitCleanShared: {bus.OpWriteThrough},
+		// Reserved → Dirty is a local transition.
+		events.WriteHitDirty:     nil,
+		events.WriteMissClean:    {bus.OpMemRead, bus.OpWriteThrough},
+		events.WriteMissDirty:    {bus.OpWriteBack, bus.OpWriteThrough},
+		events.WriteMissUncached: {bus.OpMemRead, bus.OpWriteThrough},
+	}
+	return NewSnoopyInval("WriteOnce", t, true, cfg)
+}
+
+// NewMESI returns the Illinois protocol: resident blocks are supplied
+// cache-to-cache (dirty ones with a concurrent write-back), an Exclusive
+// state makes writes to sole clean copies free, and writes to Shared
+// copies cost one broadcast invalidation cycle.
+func NewMESI(cfg Config) (*SnoopyInval, error) {
+	t := map[events.Type][]bus.Op{
+		events.ReadMissClean:    {bus.OpCacheRead},
+		events.ReadMissDirty:    {bus.OpWriteBack},
+		events.ReadMissUncached: {bus.OpMemRead},
+		// M and E write hits are silent.
+		events.WriteHitDirty:     nil,
+		events.WriteHitCleanSole: nil,
+		// S write hit: broadcast the invalidation on the bus.
+		events.WriteHitCleanShared: {bus.OpBroadcastInvalidate},
+		// Read-for-ownership: the fetch broadcast invalidates as it goes.
+		events.WriteMissClean:    {bus.OpCacheRead},
+		events.WriteMissDirty:    {bus.OpWriteBack},
+		events.WriteMissUncached: {bus.OpMemRead},
+	}
+	return NewSnoopyInval("MESI", t, true, cfg)
+}
+
+// Name implements Engine.
+func (e *SnoopyInval) Name() string { return e.name }
+
+// Caches implements Engine.
+func (e *SnoopyInval) Caches() int { return e.cfg.Caches }
+
+// Stats implements Engine.
+func (e *SnoopyInval) Stats() *Stats { return &e.stats }
+
+// ResetStats implements Engine: tallies are zeroed, protocol state kept.
+func (e *SnoopyInval) ResetStats() { e.stats = Stats{} }
+
+// event records the reference's Table 4 classification and emits its
+// operations from the table.
+func (e *SnoopyInval) event(t events.Type) {
+	e.stats.Events.Inc(t)
+	e.last = t
+	for _, op := range e.table[t] {
+		e.emit(op)
+	}
+}
+
+func (e *SnoopyInval) emit(op bus.Op) {
+	e.stats.Ops.Inc(op)
+	switch op {
+	case bus.OpMemRead, bus.OpWriteBack, bus.OpWriteThrough:
+		e.stats.MemAccesses++
+	}
+	e.txn = true
+}
+
+// Access implements Engine.
+func (e *SnoopyInval) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	if c < 0 || c >= e.cfg.Caches {
+		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
+	}
+	e.stats.Refs++
+	e.txn = false
+	switch kind {
+	case trace.Instr:
+		e.event(events.Instr)
+	case trace.Read:
+		e.read(c, block, first)
+	case trace.Write:
+		e.write(c, block, first)
+	}
+	if e.txn {
+		e.stats.Transactions++
+	}
+	if kind != trace.Instr {
+		e.stats.recordPerCache(c, e.cfg.Caches, e.last)
+	}
+	return e.last
+}
+
+func (e *SnoopyInval) read(c int, block uint64, first bool) {
+	bs := e.state.get(block)
+	if bs != nil && bs.sharers.Contains(c) {
+		e.event(events.ReadHit)
+		e.touch(c, block)
+		return
+	}
+	if first {
+		e.event(events.ReadMissFirst)
+		e.fill(c, block)
+		return
+	}
+	switch {
+	case bs != nil && bs.dirty:
+		e.event(events.ReadMissDirty)
+		bs.dirty = false
+		bs.owner = -1
+	case bs != nil && !bs.sharers.Empty():
+		e.event(events.ReadMissClean)
+	default:
+		e.event(events.ReadMissUncached)
+	}
+	e.fill(c, block)
+}
+
+func (e *SnoopyInval) write(c int, block uint64, first bool) {
+	bs := e.state.get(block)
+	if bs != nil && bs.sharers.Contains(c) {
+		e.touch(c, block)
+		if bs.dirty {
+			e.event(events.WriteHitDirty)
+		} else {
+			others := bs.sharers.CountExcluding(c)
+			e.stats.InvalFanout.Observe(others)
+			if others == 0 {
+				e.event(events.WriteHitCleanSole)
+			} else {
+				e.event(events.WriteHitCleanShared)
+				e.stats.InvalEvents++
+				e.stats.BroadcastInvals++
+			}
+		}
+		e.invalidateOthers(bs, block, c)
+		e.makeSole(bs, c)
+		return
+	}
+	if first {
+		e.event(events.WriteMissFirst)
+		bs = e.state.ensure(block)
+		e.makeSole(bs, c)
+		e.insertReplacer(c, block)
+		return
+	}
+	switch {
+	case bs != nil && bs.dirty:
+		e.event(events.WriteMissDirty)
+	case bs != nil && !bs.sharers.Empty():
+		e.event(events.WriteMissClean)
+		e.stats.InvalFanout.Observe(bs.sharers.Count())
+		e.stats.InvalEvents++
+		e.stats.BroadcastInvals++
+	default:
+		e.event(events.WriteMissUncached)
+	}
+	if bs != nil {
+		e.invalidateOthers(bs, block, c)
+	}
+	bs = e.state.ensure(block)
+	e.makeSole(bs, c)
+	e.insertReplacer(c, block)
+}
+
+// invalidateOthers drops every other copy; snooping makes the delivery
+// free.
+func (e *SnoopyInval) invalidateOthers(bs *blockState, block uint64, c int) {
+	bs.sharers.ForEach(func(h int) bool {
+		if h != c && e.replacers != nil {
+			e.replacers[h].Remove(block)
+		}
+		return true
+	})
+	keep := bs.sharers.Contains(c)
+	bs.sharers.Clear()
+	if keep {
+		bs.sharers.Add(c)
+	}
+}
+
+func (e *SnoopyInval) makeSole(bs *blockState, c int) {
+	bs.sharers.Clear()
+	bs.sharers.Add(c)
+	bs.dirty = true
+	bs.owner = c
+}
+
+func (e *SnoopyInval) touch(c int, block uint64) {
+	if e.replacers != nil {
+		e.replacers[c].Touch(block)
+	}
+}
+
+func (e *SnoopyInval) fill(c int, block uint64) {
+	bs := e.state.ensure(block)
+	bs.sharers.Add(c)
+	e.insertReplacer(c, block)
+}
+
+func (e *SnoopyInval) insertReplacer(c int, block uint64) {
+	if e.replacers == nil {
+		return
+	}
+	victim, evicted := e.replacers[c].Insert(block)
+	if !evicted {
+		return
+	}
+	e.stats.Evictions++
+	vs := e.state.get(victim)
+	if vs == nil {
+		return
+	}
+	if vs.dirty && vs.owner == c {
+		if e.writeBackOnEvict {
+			e.emit(bus.OpWriteBack)
+			e.stats.EvictionWriteBacks++
+		}
+		vs.dirty = false
+		vs.owner = -1
+	}
+	vs.sharers.Remove(c)
+	e.state.dropIfEmpty(victim, vs)
+}
+
+// CheckInvariants implements Engine.
+func (e *SnoopyInval) CheckInvariants() error {
+	for block, bs := range e.state {
+		if bs.dirty && bs.sharers.Count() != 1 {
+			return fmt.Errorf("%s: block %#x written-state with %d holders", e.name, block, bs.sharers.Count())
+		}
+		if bs.dirty {
+			if sole, _ := bs.sharers.Sole(); sole != bs.owner {
+				return fmt.Errorf("%s: block %#x owner %d not the holder", e.name, block, bs.owner)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/events"
+)
+
+func sparseCfg(entries int) Config {
+	return Config{Caches: 4, DirEntries: entries}
+}
+
+func TestSparseConfigValidation(t *testing.T) {
+	if err := (Config{Caches: 4, DirEntries: -1}).Validate(); err == nil {
+		t.Fatal("negative DirEntries accepted")
+	}
+	if _, err := NewDirnNB(sparseCfg(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseEntryEvictionInvalidatesCopies(t *testing.T) {
+	e := must(NewDirnNB(sparseCfg(2)))
+	f := newFeeder(e)
+	f.read(0, 1)
+	f.read(1, 1) // block 1 shared by two caches
+	f.read(0, 2)
+	f.read(0, 3) // third block: directory entry for block 1 evicted
+	st := e.Stats()
+	if st.DirEntryEvictions != 1 {
+		t.Fatalf("DirEntryEvictions = %d, want 1", st.DirEntryEvictions)
+	}
+	// Both copies of block 1 were invalidated with directed messages.
+	if st.Ops[bus.OpInvalidate] != 2 {
+		t.Fatalf("invalidates = %d, want 2", st.Ops[bus.OpInvalidate])
+	}
+	// Re-reading block 1 misses as uncached.
+	f.read(0, 1)
+	if st.Events[events.ReadMissUncached] != 1 {
+		t.Fatalf("re-read classified as %v", st.Events)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseEvictionWritesBackDirtyBlock(t *testing.T) {
+	e := must(NewDirnNB(sparseCfg(2)))
+	f := newFeeder(e)
+	f.write(0, 1) // dirty
+	f.read(0, 2)
+	f.read(0, 3) // evicts block 1's entry → write-back + invalidate
+	st := e.Stats()
+	if st.Ops[bus.OpWriteBack] != 1 {
+		t.Fatalf("write-backs = %d, want 1", st.Ops[bus.OpWriteBack])
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseHitsKeepEntriesWarm(t *testing.T) {
+	e := must(NewDirnNB(sparseCfg(2)))
+	f := newFeeder(e)
+	f.read(0, 1)
+	f.read(0, 2)
+	f.read(0, 1) // hit: block 1 becomes most recent
+	f.read(0, 3) // evicts block 2, not block 1
+	f.read(0, 1) // still a hit
+	st := e.Stats()
+	if st.Events[events.ReadHit] != 2 {
+		t.Fatalf("read hits = %d, want 2", st.Events[events.ReadHit])
+	}
+	f.read(0, 2) // block 2 was displaced: uncached miss
+	if st.Events[events.ReadMissUncached] != 1 {
+		t.Fatalf("events = %v", st.Events)
+	}
+}
+
+func TestSparseDir0BBroadcastsOnEviction(t *testing.T) {
+	e := must(NewDir0B(sparseCfg(2)))
+	f := newFeeder(e)
+	f.read(0, 1)
+	f.read(1, 1)
+	f.read(0, 2)
+	f.read(0, 3)
+	st := e.Stats()
+	if st.DirEntryEvictions != 1 {
+		t.Fatalf("DirEntryEvictions = %d", st.DirEntryEvictions)
+	}
+	// The two-bit organisation cannot direct, so the eviction broadcast.
+	if st.Ops[bus.OpBroadcastInvalidate] != 1 {
+		t.Fatalf("broadcasts = %d, want 1", st.Ops[bus.OpBroadcastInvalidate])
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shrinking the sparse directory only adds traffic, never removes it; an
+// ample directory behaves exactly like the memory-resident one.
+func TestSparseCapacitySweep(t *testing.T) {
+	run := func(entries int) float64 {
+		e := must(NewDirnNB(Config{Caches: 4, DirEntries: entries}))
+		f := newFeeder(e)
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 40000; i++ {
+			c := rng.Intn(4)
+			b := uint64(rng.Intn(64))
+			if rng.Intn(4) == 0 {
+				f.write(c, b)
+			} else {
+				f.read(c, b)
+			}
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats().CyclesPerRef(bus.Pipelined())
+	}
+	tiny, small, ample, unbounded := run(8), run(32), run(64), run(0)
+	if !(tiny > small && small > ample*0.999) {
+		t.Errorf("cycles not monotone in capacity: %v, %v, %v", tiny, small, ample)
+	}
+	if ample != unbounded {
+		t.Errorf("64-entry directory over 64 blocks should equal unbounded: %v vs %v", ample, unbounded)
+	}
+}
+
+// Property: invariants hold under random streams for every directory
+// organisation with a tiny sparse directory.
+func TestQuickSparseInvariants(t *testing.T) {
+	f := func(raw []uint32) bool {
+		for _, name := range []string{"dirnnb", "dir0b", "dir2b", "codedset", "dir1nb"} {
+			e, err := NewByName(name, Config{Caches: 4, DirEntries: 4})
+			if err != nil {
+				return false
+			}
+			replay([]Engine{e}, raw, 4, 24)
+			if err := e.CheckInvariants(); err != nil {
+				t.Logf("%v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

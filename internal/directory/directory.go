@@ -1,0 +1,560 @@
+// Package directory implements the directory storage organisations the
+// paper surveys in Sections 2 and 6.
+//
+// A directory records, for each block of main memory, which caches may hold
+// a copy. The organisations differ in how much they remember and therefore
+// in how invalidations must be delivered:
+//
+//   - the Censier–Feautrier full map (FullMap) keeps one presence bit per
+//     cache, so invalidations can be directed messages;
+//   - Tang's organisation (Tang) duplicates every cache's tag store at
+//     memory — the same information as the full map, but each lookup must
+//     search all the duplicate directories;
+//   - the Archibald–Baer two-bit scheme (TwoBit) keeps only four states per
+//     block and relies on broadcast to invalidate;
+//   - limited-pointer schemes (LimitedPointer) keep i cache indices plus,
+//     in the Dir_iB variant, a broadcast bit; the Dir_iNB variant instead
+//     evicts an existing copy when a pointer is needed;
+//   - the Section 6 coded-set scheme (CodedSet) stores a ternary-digit word
+//     denoting a superset of the holders in 2·log2(n) bits.
+//
+// Stores answer the one question coherence engines ask — "whom must I
+// invalidate?" — and account for their own storage cost, so the protocol
+// engines in internal/coherence are organisation-agnostic.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Store is a directory organisation tracking, per memory block, which
+// caches may hold copies. Implementations trade precision for storage.
+//
+// The protocol engine owns the ground-truth sharing state; a Store only
+// models what the hardware directory would know. Engines must keep the two
+// in sync by calling Add when a cache obtains a copy, SetSole after a write
+// leaves one holder, Remove when a copy is invalidated or replaced, and
+// Clear when no copies remain.
+type Store interface {
+	// Name identifies the organisation.
+	Name() string
+
+	// Add records that cache c obtained a copy of block. Limited-pointer
+	// no-broadcast stores may have to free a pointer by invalidating an
+	// existing copy; Add then returns that victim cache and the caller
+	// must invalidate it. Otherwise victim is -1.
+	Add(block uint64, c int) (victim int)
+
+	// Remove records that cache c no longer holds block. Organisations
+	// that do not track individual holders ignore it.
+	Remove(block uint64, c int)
+
+	// SetSole records that cache c is now the only holder (after a
+	// write gained exclusive access).
+	SetSole(block uint64, c int)
+
+	// Clear records that no cache holds block.
+	Clear(block uint64)
+
+	// Targets reports how to deliver an invalidation to every copy of
+	// block except cache `except` (pass -1 to hit all copies): either a
+	// list of directed message targets, or broadcast = true when the
+	// organisation does not know the holders.
+	Targets(block uint64, except int) (targets []int, broadcast bool)
+
+	// Count reports how many caches the directory believes hold block.
+	// When exact is false, n is a lower bound (TwoBit's "clean in an
+	// unknown number of caches") or an upper bound superset size
+	// (CodedSet); callers must consult broadcast/Targets rather than
+	// trusting n.
+	Count(block uint64) (n int, exact bool)
+
+	// StorageBits returns the total directory storage the organisation
+	// needs for a machine described by p.
+	StorageBits(p StorageParams) uint64
+}
+
+// StorageParams describes the machine for storage accounting.
+type StorageParams struct {
+	// Caches is the number of processor caches.
+	Caches int
+	// MemoryBlocks is the number of blocks of main memory.
+	MemoryBlocks uint64
+	// CacheBlocks is the number of blocks per processor cache (used by
+	// Tang's duplicate-directory organisation).
+	CacheBlocks uint64
+	// TagBits is the width of one cache tag (used by Tang).
+	TagBits int
+}
+
+// DefaultStorageParams returns a machine comparable to the paper's setting:
+// n caches, 16 MB of memory in 16-byte blocks, 64 KB caches, 32-bit tags.
+func DefaultStorageParams(caches int) StorageParams {
+	return StorageParams{
+		Caches:       caches,
+		MemoryBlocks: 1 << 20, // 16 MB / 16 B
+		CacheBlocks:  1 << 12, // 64 KB / 16 B
+		TagBits:      32,
+	}
+}
+
+// log2Ceil returns ceil(log2(n)) for n ≥ 1.
+func log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// appendExcept copies src to dst, skipping except.
+func appendExcept(dst, src []int, except int) []int {
+	for _, c := range src {
+		if c != except {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// FullMap: Censier & Feautrier.
+
+// FullMap is the Censier–Feautrier organisation: a dirty bit plus one
+// presence ("valid") bit per cache with every memory block, accessed
+// directly by block address. It realises Dir_nNB: invalidations are
+// directed, sequential messages, never broadcast.
+type FullMap struct {
+	caches  int
+	present map[uint64][]int // holder list per block, insertion-ordered
+}
+
+// NewFullMap returns a full-map store for n caches.
+func NewFullMap(n int) *FullMap {
+	return &FullMap{caches: n, present: map[uint64][]int{}}
+}
+
+// Name implements Store.
+func (f *FullMap) Name() string { return "full-map" }
+
+// Add implements Store.
+func (f *FullMap) Add(block uint64, c int) int {
+	hs := f.present[block]
+	for _, h := range hs {
+		if h == c {
+			return -1
+		}
+	}
+	f.present[block] = append(hs, c)
+	return -1
+}
+
+// Remove implements Store.
+func (f *FullMap) Remove(block uint64, c int) {
+	hs := f.present[block]
+	for i, h := range hs {
+		if h == c {
+			f.present[block] = append(hs[:i], hs[i+1:]...)
+			if len(f.present[block]) == 0 {
+				delete(f.present, block)
+			}
+			return
+		}
+	}
+}
+
+// SetSole implements Store.
+func (f *FullMap) SetSole(block uint64, c int) {
+	f.present[block] = append(f.present[block][:0], c)
+}
+
+// Clear implements Store.
+func (f *FullMap) Clear(block uint64) { delete(f.present, block) }
+
+// Targets implements Store: the exact holders, as directed messages.
+func (f *FullMap) Targets(block uint64, except int) ([]int, bool) {
+	return appendExcept(nil, f.present[block], except), false
+}
+
+// Count implements Store.
+func (f *FullMap) Count(block uint64) (int, bool) {
+	return len(f.present[block]), true
+}
+
+// StorageBits implements Store: presence bits plus a dirty bit per block.
+func (f *FullMap) StorageBits(p StorageParams) uint64 {
+	return p.MemoryBlocks * uint64(p.Caches+1)
+}
+
+// Holders returns the exact holder list (primarily for tests and for
+// measuring coded-set waste against the truth).
+func (f *FullMap) Holders(block uint64) []int {
+	return append([]int(nil), f.present[block]...)
+}
+
+// ---------------------------------------------------------------------------
+// Tang: duplicate cache directories.
+
+// Tang is Tang's organisation: main memory keeps a copy of every cache's
+// tag store and dirty bits. The information content equals the full map, so
+// invalidation behaviour is identical; the organisational differences are
+// cost ones — every lookup searches all n duplicate directories, and
+// storage scales with total cache size rather than memory size.
+type Tang struct {
+	FullMap
+}
+
+// NewTang returns a duplicate-directory store for n caches.
+func NewTang(n int) *Tang {
+	return &Tang{FullMap: *NewFullMap(n)}
+}
+
+// Name implements Store.
+func (t *Tang) Name() string { return "tang-duplicate" }
+
+// StorageBits implements Store: one tag plus dirty bit per cache block per
+// cache, independent of memory size.
+func (t *Tang) StorageBits(p StorageParams) uint64 {
+	return uint64(p.Caches) * p.CacheBlocks * uint64(p.TagBits+1)
+}
+
+// Probes returns the number of duplicate directories searched per lookup.
+func (t *Tang) Probes() int { return t.caches }
+
+// ---------------------------------------------------------------------------
+// TwoBit: Archibald & Baer.
+
+type twoBitState uint8
+
+const (
+	stUncached  twoBitState = iota
+	stCleanOne              // block clean in exactly one cache
+	stCleanMany             // block clean in an unknown number of caches
+	stDirtyOne              // block dirty in exactly one cache
+)
+
+// TwoBit is the Archibald–Baer organisation: two state bits per memory
+// block and no cache indices at all. Invalidations and write-back requests
+// are broadcast — this is the storage behind Dir_0B. The "clean in exactly
+// one cache" state exists to spare a broadcast when the writer is the lone
+// holder.
+type TwoBit struct {
+	state map[uint64]twoBitState
+}
+
+// NewTwoBit returns a two-bit store.
+func NewTwoBit() *TwoBit { return &TwoBit{state: map[uint64]twoBitState{}} }
+
+// Name implements Store.
+func (t *TwoBit) Name() string { return "two-bit" }
+
+// Add implements Store.
+func (t *TwoBit) Add(block uint64, c int) int {
+	switch t.state[block] {
+	case stUncached:
+		t.state[block] = stCleanOne
+	case stCleanOne:
+		t.state[block] = stCleanMany
+	case stDirtyOne:
+		// The old owner wrote back and retains a clean copy alongside
+		// the newcomer.
+		t.state[block] = stCleanMany
+	}
+	return -1
+}
+
+// Remove implements Store. The organisation keeps no per-cache state, so a
+// replacement hint cannot be recorded.
+func (t *TwoBit) Remove(block uint64, c int) {}
+
+// SetSole implements Store.
+func (t *TwoBit) SetSole(block uint64, c int) { t.state[block] = stDirtyOne }
+
+// Clear implements Store.
+func (t *TwoBit) Clear(block uint64) { delete(t.state, block) }
+
+// Targets implements Store: holders are unknown, so every invalidation is a
+// broadcast (unless Count shows none is needed).
+func (t *TwoBit) Targets(block uint64, except int) ([]int, bool) {
+	if t.state[block] == stUncached {
+		return nil, false
+	}
+	return nil, true
+}
+
+// Count implements Store.
+func (t *TwoBit) Count(block uint64) (int, bool) {
+	switch t.state[block] {
+	case stUncached:
+		return 0, true
+	case stCleanOne, stDirtyOne:
+		return 1, true
+	default:
+		return 2, false
+	}
+}
+
+// StorageBits implements Store: two bits per memory block.
+func (t *TwoBit) StorageBits(p StorageParams) uint64 {
+	return p.MemoryBlocks * 2
+}
+
+// ---------------------------------------------------------------------------
+// LimitedPointer: Dir_iB and Dir_iNB.
+
+// LimitedPointer keeps up to i cache indices per block. With Broadcast
+// true (Dir_iB) an overflowing copy sets a broadcast bit and invalidations
+// fall back to broadcast; with Broadcast false (Dir_iNB) the store frees a
+// pointer by evicting the oldest tracked copy, bounding the number of
+// simultaneous copies at i and avoiding broadcast entirely.
+type LimitedPointer struct {
+	i         int
+	broadcast bool
+	caches    int
+	entries   map[uint64]*lpEntry
+}
+
+type lpEntry struct {
+	ptrs  []int // FIFO order, oldest first
+	bcast bool
+}
+
+// NewLimitedPointer returns a limited-pointer store with i pointers for n
+// caches. broadcast selects the Dir_iB (true) or Dir_iNB (false) variant.
+func NewLimitedPointer(i, n int, broadcast bool) (*LimitedPointer, error) {
+	if i < 1 {
+		return nil, fmt.Errorf("directory: pointer count %d must be at least 1", i)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("directory: cache count %d must be at least 1", n)
+	}
+	return &LimitedPointer{i: i, broadcast: broadcast, caches: n, entries: map[uint64]*lpEntry{}}, nil
+}
+
+// Name implements Store.
+func (l *LimitedPointer) Name() string {
+	if l.broadcast {
+		return fmt.Sprintf("dir%dB-pointers", l.i)
+	}
+	return fmt.Sprintf("dir%dNB-pointers", l.i)
+}
+
+// Pointers returns i, the pointer budget.
+func (l *LimitedPointer) Pointers() int { return l.i }
+
+// Broadcast reports whether this is the Dir_iB variant (overflow sets a
+// broadcast bit) rather than Dir_iNB (overflow evicts a copy).
+func (l *LimitedPointer) Broadcast() bool { return l.broadcast }
+
+// Add implements Store.
+func (l *LimitedPointer) Add(block uint64, c int) int {
+	e := l.entries[block]
+	if e == nil {
+		e = &lpEntry{}
+		l.entries[block] = e
+	}
+	for _, p := range e.ptrs {
+		if p == c {
+			return -1
+		}
+	}
+	if e.bcast {
+		// Already beyond tracking; the new copy is covered by the
+		// broadcast bit.
+		return -1
+	}
+	if len(e.ptrs) < l.i {
+		e.ptrs = append(e.ptrs, c)
+		return -1
+	}
+	if l.broadcast {
+		e.bcast = true
+		return -1
+	}
+	// Dir_iNB: evict the oldest pointer to make room.
+	victim := e.ptrs[0]
+	copy(e.ptrs, e.ptrs[1:])
+	e.ptrs[len(e.ptrs)-1] = c
+	return victim
+}
+
+// Remove implements Store.
+func (l *LimitedPointer) Remove(block uint64, c int) {
+	e := l.entries[block]
+	if e == nil {
+		return
+	}
+	for i, p := range e.ptrs {
+		if p == c {
+			e.ptrs = append(e.ptrs[:i], e.ptrs[i+1:]...)
+			break
+		}
+	}
+	if len(e.ptrs) == 0 && !e.bcast {
+		delete(l.entries, block)
+	}
+}
+
+// SetSole implements Store.
+func (l *LimitedPointer) SetSole(block uint64, c int) {
+	e := l.entries[block]
+	if e == nil {
+		e = &lpEntry{}
+		l.entries[block] = e
+	}
+	e.ptrs = append(e.ptrs[:0], c)
+	e.bcast = false
+}
+
+// Clear implements Store.
+func (l *LimitedPointer) Clear(block uint64) { delete(l.entries, block) }
+
+// Targets implements Store.
+func (l *LimitedPointer) Targets(block uint64, except int) ([]int, bool) {
+	e := l.entries[block]
+	if e == nil {
+		return nil, false
+	}
+	if e.bcast {
+		return nil, true
+	}
+	return appendExcept(nil, e.ptrs, except), false
+}
+
+// Count implements Store.
+func (l *LimitedPointer) Count(block uint64) (int, bool) {
+	e := l.entries[block]
+	if e == nil {
+		return 0, true
+	}
+	if e.bcast {
+		// At least i+1 copies exist somewhere.
+		return l.i + 1, false
+	}
+	return len(e.ptrs), true
+}
+
+// StorageBits implements Store: i pointers of ceil(log2 n) bits, a dirty
+// bit, and — in the broadcast variant — the broadcast bit, per block.
+func (l *LimitedPointer) StorageBits(p StorageParams) uint64 {
+	per := uint64(l.i*log2Ceil(p.Caches) + 1)
+	if l.broadcast {
+		per++
+	}
+	return p.MemoryBlocks * per
+}
+
+// ---------------------------------------------------------------------------
+// CodedSet: Section 6's ternary-digit superset code.
+
+// CodedSet stores, per block, a word of d = ceil(log2 n) digits over
+// {0, 1, both}. A digit that is 0 or 1 constrains that bit of the holders'
+// cache indices; a digit coded "both" matches either value. The denoted set
+// of caches is therefore a superset of the true holders, reached with
+// 2·log2(n) bits per block. Invalidations are directed ("limited
+// broadcast") to every cache in the superset, so some messages are wasted;
+// the engine measures that waste.
+type CodedSet struct {
+	caches int
+	digits int
+	codes  map[uint64]codedEntry
+}
+
+type codedEntry struct {
+	value uint32 // digit values where both-mask is 0
+	both  uint32 // mask of digits coded "both"
+}
+
+// NewCodedSet returns a coded-set store for n caches.
+func NewCodedSet(n int) (*CodedSet, error) {
+	if n < 1 || n > 1<<20 {
+		return nil, fmt.Errorf("directory: cache count %d out of range", n)
+	}
+	return &CodedSet{caches: n, digits: log2Ceil(n), codes: map[uint64]codedEntry{}}, nil
+}
+
+// Name implements Store.
+func (cs *CodedSet) Name() string { return "coded-set" }
+
+// Add implements Store: merge c into the code, widening digits that differ
+// to "both".
+func (cs *CodedSet) Add(block uint64, c int) int {
+	e, ok := cs.codes[block]
+	if !ok {
+		cs.codes[block] = codedEntry{value: uint32(c)}
+		return -1
+	}
+	diff := (e.value ^ uint32(c)) &^ e.both
+	e.both |= diff
+	e.value &^= diff
+	cs.codes[block] = e
+	return -1
+}
+
+// Remove implements Store. The superset code cannot forget a member, so
+// replacement hints are ignored (the set only ever widens between writes).
+func (cs *CodedSet) Remove(block uint64, c int) {}
+
+// SetSole implements Store.
+func (cs *CodedSet) SetSole(block uint64, c int) {
+	cs.codes[block] = codedEntry{value: uint32(c)}
+}
+
+// Clear implements Store.
+func (cs *CodedSet) Clear(block uint64) { delete(cs.codes, block) }
+
+// Targets implements Store: every cache index matching the code, as
+// directed messages. This is the paper's "limited broadcast".
+func (cs *CodedSet) Targets(block uint64, except int) ([]int, bool) {
+	e, ok := cs.codes[block]
+	if !ok {
+		return nil, false
+	}
+	var out []int
+	cs.forEachMatch(e, func(c int) {
+		if c != except {
+			out = append(out, c)
+		}
+	})
+	return out, false
+}
+
+func (cs *CodedSet) forEachMatch(e codedEntry, fn func(int)) {
+	// Enumerate all assignments of the "both" digits.
+	bothBits := make([]uint32, 0, cs.digits)
+	for d := 0; d < cs.digits; d++ {
+		if e.both&(1<<uint(d)) != 0 {
+			bothBits = append(bothBits, 1<<uint(d))
+		}
+	}
+	for m := 0; m < 1<<uint(len(bothBits)); m++ {
+		c := e.value
+		for j, bit := range bothBits {
+			if m&(1<<uint(j)) != 0 {
+				c |= bit
+			}
+		}
+		if int(c) < cs.caches {
+			fn(int(c))
+		}
+	}
+}
+
+// Count implements Store: the superset size (an upper bound on holders).
+func (cs *CodedSet) Count(block uint64) (int, bool) {
+	e, ok := cs.codes[block]
+	if !ok {
+		return 0, true
+	}
+	if e.both == 0 {
+		return 1, true
+	}
+	n := 0
+	cs.forEachMatch(e, func(int) { n++ })
+	return n, false
+}
+
+// StorageBits implements Store: two bits per digit plus a dirty bit.
+func (cs *CodedSet) StorageBits(p StorageParams) uint64 {
+	return p.MemoryBlocks * uint64(2*log2Ceil(p.Caches)+1)
+}

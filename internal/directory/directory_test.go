@@ -1,0 +1,472 @@
+package directory
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 64: 6}
+	for n, want := range cases {
+		if got := log2Ceil(n); got != want {
+			t.Errorf("log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// --- FullMap ---------------------------------------------------------------
+
+func TestFullMapTracksExactHolders(t *testing.T) {
+	f := NewFullMap(4)
+	if v := f.Add(1, 0); v != -1 {
+		t.Fatalf("Add victim = %d", v)
+	}
+	f.Add(1, 2)
+	f.Add(1, 2) // duplicate add is idempotent
+	if n, exact := f.Count(1); n != 2 || !exact {
+		t.Fatalf("Count = %d,%v want 2,true", n, exact)
+	}
+	targets, bcast := f.Targets(1, 2)
+	if bcast {
+		t.Fatal("full map should never broadcast")
+	}
+	if !reflect.DeepEqual(sorted(targets), []int{0}) {
+		t.Fatalf("Targets = %v, want [0]", targets)
+	}
+	targets, _ = f.Targets(1, -1)
+	if !reflect.DeepEqual(sorted(targets), []int{0, 2}) {
+		t.Fatalf("Targets(-1) = %v", targets)
+	}
+}
+
+func TestFullMapRemoveSetSoleClear(t *testing.T) {
+	f := NewFullMap(4)
+	f.Add(7, 0)
+	f.Add(7, 1)
+	f.Remove(7, 0)
+	if n, _ := f.Count(7); n != 1 {
+		t.Fatalf("Count after Remove = %d", n)
+	}
+	f.Remove(7, 3) // absent: no-op
+	f.SetSole(7, 2)
+	if hs := f.Holders(7); !reflect.DeepEqual(hs, []int{2}) {
+		t.Fatalf("Holders after SetSole = %v", hs)
+	}
+	f.Clear(7)
+	if n, exact := f.Count(7); n != 0 || !exact {
+		t.Fatalf("Count after Clear = %d,%v", n, exact)
+	}
+}
+
+func TestFullMapStorage(t *testing.T) {
+	f := NewFullMap(16)
+	p := DefaultStorageParams(16)
+	// 17 bits per block: 16 presence + 1 dirty.
+	if got := f.StorageBits(p); got != p.MemoryBlocks*17 {
+		t.Fatalf("StorageBits = %d", got)
+	}
+}
+
+// --- Tang ------------------------------------------------------------------
+
+func TestTangBehavesLikeFullMap(t *testing.T) {
+	tg := NewTang(4)
+	tg.Add(1, 0)
+	tg.Add(1, 3)
+	targets, bcast := tg.Targets(1, 0)
+	if bcast || !reflect.DeepEqual(sorted(targets), []int{3}) {
+		t.Fatalf("Targets = %v,%v", targets, bcast)
+	}
+	if tg.Probes() != 4 {
+		t.Fatalf("Probes = %d, want 4", tg.Probes())
+	}
+	if tg.Name() != "tang-duplicate" {
+		t.Fatalf("Name = %q", tg.Name())
+	}
+}
+
+func TestTangStorageScalesWithCachesNotMemory(t *testing.T) {
+	tg := NewTang(4)
+	small := DefaultStorageParams(4)
+	big := small
+	big.MemoryBlocks *= 16
+	if tg.StorageBits(small) != tg.StorageBits(big) {
+		t.Fatal("Tang storage should not depend on memory size")
+	}
+	want := uint64(4) * small.CacheBlocks * uint64(small.TagBits+1)
+	if got := tg.StorageBits(small); got != want {
+		t.Fatalf("StorageBits = %d, want %d", got, want)
+	}
+}
+
+// --- TwoBit ----------------------------------------------------------------
+
+func TestTwoBitStateMachine(t *testing.T) {
+	tb := NewTwoBit()
+	if n, exact := tb.Count(5); n != 0 || !exact {
+		t.Fatalf("initial Count = %d,%v", n, exact)
+	}
+	tb.Add(5, 0) // uncached → clean-one
+	if n, exact := tb.Count(5); n != 1 || !exact {
+		t.Fatalf("after one Add: %d,%v", n, exact)
+	}
+	tb.Add(5, 1) // clean-one → clean-many
+	if n, exact := tb.Count(5); n != 2 || exact {
+		t.Fatalf("after two Adds: %d,%v want 2,false", n, exact)
+	}
+	tb.SetSole(5, 1) // write → dirty-one
+	if n, exact := tb.Count(5); n != 1 || !exact {
+		t.Fatalf("after SetSole: %d,%v", n, exact)
+	}
+	tb.Add(5, 2) // read miss to dirty block → clean-many
+	if n, exact := tb.Count(5); n != 2 || exact {
+		t.Fatalf("dirty then Add: %d,%v want 2,false", n, exact)
+	}
+	tb.Clear(5)
+	if n, _ := tb.Count(5); n != 0 {
+		t.Fatalf("after Clear: %d", n)
+	}
+}
+
+func TestTwoBitAlwaysBroadcasts(t *testing.T) {
+	tb := NewTwoBit()
+	if _, bcast := tb.Targets(9, -1); bcast {
+		t.Fatal("uncached block should need no invalidation")
+	}
+	tb.Add(9, 0)
+	if targets, bcast := tb.Targets(9, -1); !bcast || targets != nil {
+		t.Fatalf("Targets = %v,%v want nil,true", targets, bcast)
+	}
+}
+
+func TestTwoBitStorage(t *testing.T) {
+	p := DefaultStorageParams(64)
+	if got := NewTwoBit().StorageBits(p); got != p.MemoryBlocks*2 {
+		t.Fatalf("StorageBits = %d", got)
+	}
+}
+
+// --- LimitedPointer --------------------------------------------------------
+
+func TestLimitedPointerValidation(t *testing.T) {
+	if _, err := NewLimitedPointer(0, 4, true); err == nil {
+		t.Error("i=0 accepted")
+	}
+	if _, err := NewLimitedPointer(1, 0, true); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestDir1BSetsBroadcastBitOnOverflow(t *testing.T) {
+	lp, err := NewLimitedPointer(1, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := lp.Add(1, 0); v != -1 {
+		t.Fatalf("victim = %d", v)
+	}
+	targets, bcast := lp.Targets(1, -1)
+	if bcast || !reflect.DeepEqual(targets, []int{0}) {
+		t.Fatalf("single holder: %v,%v", targets, bcast)
+	}
+	if v := lp.Add(1, 2); v != -1 {
+		t.Fatalf("Dir_iB overflow should not evict, got victim %d", v)
+	}
+	if _, bcast := lp.Targets(1, -1); !bcast {
+		t.Fatal("broadcast bit not set after overflow")
+	}
+	if n, exact := lp.Count(1); exact || n < 2 {
+		t.Fatalf("Count after overflow = %d,%v", n, exact)
+	}
+	// A write resets to a single pointer.
+	lp.SetSole(1, 3)
+	targets, bcast = lp.Targets(1, -1)
+	if bcast || !reflect.DeepEqual(targets, []int{3}) {
+		t.Fatalf("after SetSole: %v,%v", targets, bcast)
+	}
+}
+
+func TestDiriNBEvictsOldestOnOverflow(t *testing.T) {
+	lp, err := NewLimitedPointer(2, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.Add(1, 0)
+	lp.Add(1, 1)
+	victim := lp.Add(1, 2)
+	if victim != 0 {
+		t.Fatalf("victim = %d, want 0 (FIFO)", victim)
+	}
+	targets, bcast := lp.Targets(1, -1)
+	if bcast {
+		t.Fatal("Dir_iNB must never broadcast")
+	}
+	if !reflect.DeepEqual(sorted(targets), []int{1, 2}) {
+		t.Fatalf("Targets = %v", targets)
+	}
+	if n, exact := lp.Count(1); n != 2 || !exact {
+		t.Fatalf("Count = %d,%v", n, exact)
+	}
+}
+
+func TestLimitedPointerDuplicateAddAndRemove(t *testing.T) {
+	lp, _ := NewLimitedPointer(2, 4, false)
+	lp.Add(3, 1)
+	if v := lp.Add(3, 1); v != -1 {
+		t.Fatalf("duplicate Add evicted %d", v)
+	}
+	if n, _ := lp.Count(3); n != 1 {
+		t.Fatalf("Count = %d", n)
+	}
+	lp.Remove(3, 1)
+	if n, _ := lp.Count(3); n != 0 {
+		t.Fatalf("Count after Remove = %d", n)
+	}
+	lp.Remove(3, 1) // absent: no-op
+}
+
+func TestLimitedPointerStorage(t *testing.T) {
+	p := DefaultStorageParams(64) // log2 = 6
+	b, _ := NewLimitedPointer(2, 64, true)
+	nb, _ := NewLimitedPointer(2, 64, false)
+	// B: 2 pointers × 6 bits + dirty + broadcast = 14.
+	if got := b.StorageBits(p); got != p.MemoryBlocks*14 {
+		t.Fatalf("Dir2B StorageBits = %d", got)
+	}
+	// NB: 13.
+	if got := nb.StorageBits(p); got != p.MemoryBlocks*13 {
+		t.Fatalf("Dir2NB StorageBits = %d", got)
+	}
+}
+
+func TestLimitedPointerNames(t *testing.T) {
+	b, _ := NewLimitedPointer(3, 8, true)
+	nb, _ := NewLimitedPointer(3, 8, false)
+	if b.Name() != "dir3B-pointers" || nb.Name() != "dir3NB-pointers" {
+		t.Fatalf("names = %q, %q", b.Name(), nb.Name())
+	}
+	if b.Pointers() != 3 {
+		t.Fatalf("Pointers = %d", b.Pointers())
+	}
+}
+
+// --- CodedSet ---------------------------------------------------------------
+
+func TestCodedSetValidation(t *testing.T) {
+	if _, err := NewCodedSet(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewCodedSet(1 << 21); err == nil {
+		t.Error("huge n accepted")
+	}
+}
+
+func TestCodedSetExactForSingleHolder(t *testing.T) {
+	cs, err := NewCodedSet(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Add(1, 5)
+	targets, bcast := cs.Targets(1, -1)
+	if bcast || !reflect.DeepEqual(targets, []int{5}) {
+		t.Fatalf("Targets = %v,%v", targets, bcast)
+	}
+	if n, exact := cs.Count(1); n != 1 || !exact {
+		t.Fatalf("Count = %d,%v", n, exact)
+	}
+}
+
+func TestCodedSetSupersetSemantics(t *testing.T) {
+	cs, _ := NewCodedSet(8)
+	cs.Add(1, 0b000)
+	cs.Add(1, 0b011) // digits 0 and 1 widen to "both"
+	targets, bcast := cs.Targets(1, -1)
+	if bcast {
+		t.Fatal("coded set should direct, not broadcast")
+	}
+	if !reflect.DeepEqual(sorted(targets), []int{0, 1, 2, 3}) {
+		t.Fatalf("Targets = %v, want the 4-element superset", sorted(targets))
+	}
+	if n, exact := cs.Count(1); n != 4 || exact {
+		t.Fatalf("Count = %d,%v want 4,false", n, exact)
+	}
+}
+
+func TestCodedSetTargetsExcludeRequester(t *testing.T) {
+	cs, _ := NewCodedSet(8)
+	cs.Add(2, 4)
+	cs.Add(2, 5)
+	targets, _ := cs.Targets(2, 5)
+	if !reflect.DeepEqual(sorted(targets), []int{4}) {
+		t.Fatalf("Targets = %v", targets)
+	}
+}
+
+func TestCodedSetClampsToCacheCount(t *testing.T) {
+	// 6 caches need 3 digits; codes may denote indices ≥ 6 which do not
+	// exist and must not be targeted.
+	cs, _ := NewCodedSet(6)
+	cs.Add(1, 1) // 001
+	cs.Add(1, 7%6)
+	cs.Add(1, 5) // 101
+	cs.Add(1, 3) // 011 → all three digits both? 1=001,5=101 → digit2 both; +3=011 → digit1 both
+	targets, _ := cs.Targets(1, -1)
+	for _, c := range targets {
+		if c >= 6 {
+			t.Fatalf("target %d beyond cache count", c)
+		}
+	}
+}
+
+func TestCodedSetSetSoleNarrows(t *testing.T) {
+	cs, _ := NewCodedSet(8)
+	cs.Add(1, 0)
+	cs.Add(1, 7)
+	if n, exact := cs.Count(1); exact || n != 8 {
+		t.Fatalf("widened Count = %d,%v", n, exact)
+	}
+	cs.SetSole(1, 3)
+	targets, _ := cs.Targets(1, -1)
+	if !reflect.DeepEqual(targets, []int{3}) {
+		t.Fatalf("after SetSole Targets = %v", targets)
+	}
+	cs.Clear(1)
+	if n, _ := cs.Count(1); n != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestCodedSetStorage(t *testing.T) {
+	cs, _ := NewCodedSet(64)
+	p := DefaultStorageParams(64)
+	// 2 bits × 6 digits + dirty = 13 bits per block — the paper's
+	// 2·log(n) plus the dirty bit.
+	if got := cs.StorageBits(p); got != p.MemoryBlocks*13 {
+		t.Fatalf("StorageBits = %d", got)
+	}
+}
+
+// Property: the coded set always denotes a superset of the caches added
+// since the last SetSole/Clear.
+func TestQuickCodedSetIsSuperset(t *testing.T) {
+	f := func(adds []uint8) bool {
+		const n = 16
+		cs, err := NewCodedSet(n)
+		if err != nil {
+			return false
+		}
+		truth := map[int]bool{}
+		for _, a := range adds {
+			c := int(a % n)
+			cs.Add(1, c)
+			truth[c] = true
+		}
+		targets, bcast := cs.Targets(1, -1)
+		if bcast {
+			return false
+		}
+		got := map[int]bool{}
+		for _, c := range targets {
+			got[c] = true
+		}
+		for c := range truth {
+			if !got[c] {
+				return false
+			}
+		}
+		cnt, exact := cs.Count(1)
+		if cnt != len(targets) {
+			return false
+		}
+		if exact && len(truth) > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: full map Targets is always exactly the added-minus-removed set.
+func TestQuickFullMapExact(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const n = 8
+		fm := NewFullMap(n)
+		truth := map[int]bool{}
+		for _, op := range ops {
+			c := int(op % n)
+			if op&0x80 != 0 {
+				fm.Remove(1, c)
+				delete(truth, c)
+			} else {
+				if fm.Add(1, c) != -1 {
+					return false
+				}
+				truth[c] = true
+			}
+		}
+		targets, bcast := fm.Targets(1, -1)
+		if bcast || len(targets) != len(truth) {
+			return false
+		}
+		for _, c := range targets {
+			if !truth[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dir_iNB never tracks more than i holders and never broadcasts,
+// for any add sequence.
+func TestQuickDiriNBBounded(t *testing.T) {
+	f := func(adds []uint8, iRaw uint8) bool {
+		i := 1 + int(iRaw%4)
+		lp, err := NewLimitedPointer(i, 16, false)
+		if err != nil {
+			return false
+		}
+		for _, a := range adds {
+			lp.Add(1, int(a%16))
+			if n, exact := lp.Count(1); !exact || n > i {
+				return false
+			}
+			if _, bcast := lp.Targets(1, -1); bcast {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Storage ordering for large machines: two-bit < coded-set < limited
+// pointers < full map (per-memory-block organisations), matching Section
+// 6's motivation for reduced directories.
+func TestStorageOrdering(t *testing.T) {
+	const n = 64
+	p := DefaultStorageParams(n)
+	twoBit := NewTwoBit().StorageBits(p)
+	coded, _ := NewCodedSet(n)
+	lp, _ := NewLimitedPointer(4, n, true)
+	full := NewFullMap(n).StorageBits(p)
+	if !(twoBit < coded.StorageBits(p) && coded.StorageBits(p) < lp.StorageBits(p) && lp.StorageBits(p) < full) {
+		t.Fatalf("storage ordering violated: twoBit=%d coded=%d lp=%d full=%d",
+			twoBit, coded.StorageBits(p), lp.StorageBits(p), full)
+	}
+}

@@ -1,0 +1,223 @@
+// Package events defines the reference-event taxonomy of Table 4.
+//
+// Section 4.1 computes bus cycles per reference by measuring event
+// frequencies once per protocol and weighting them with hardware costs
+// afterwards. The event types here are the union of every scheme's rows in
+// Table 4; each protocol engine populates the subset that is meaningful for
+// its state-change model.
+package events
+
+import "fmt"
+
+// Type classifies one memory reference by what the protocol's state-change
+// model says about the referenced block at the time of the access.
+type Type uint8
+
+const (
+	// Instr is an instruction fetch (no consistency traffic).
+	Instr Type = iota
+
+	// ReadHit is a data read that hits in the local cache.
+	ReadHit
+	// ReadMissClean is a read miss to a block that is clean in at least
+	// one other cache (Table 4 rm-blk-cln).
+	ReadMissClean
+	// ReadMissDirty is a read miss to a block dirty in another cache
+	// (rm-blk-drty).
+	ReadMissDirty
+	// ReadMissUncached is a read miss to a block no cache holds (other
+	// than cold misses, this arises only when a protocol has discarded
+	// copies, e.g. Dir_iNB pointer eviction, or with finite caches).
+	ReadMissUncached
+	// ReadMissFirst is the first reference in the trace to the block
+	// (rm-first-ref). The paper excludes its cost: it occurs in a
+	// uniprocessor infinite cache as well.
+	ReadMissFirst
+
+	// WriteHitDirty is a write hit to a block already dirty in the local
+	// cache (wh-blk-drty): the write proceeds with no traffic.
+	WriteHitDirty
+	// WriteHitCleanSole is a write hit to a clean block held by no other
+	// cache (the directory answers the query; nothing to invalidate).
+	WriteHitCleanSole
+	// WriteHitCleanShared is a write hit to a clean block that other
+	// caches also hold; they must be invalidated. Together with
+	// WriteHitCleanSole this is Table 4's wh-blk-cln.
+	WriteHitCleanShared
+	// WriteHitUpdate is Dragon's wh-distrib: a write hit to a block that
+	// other caches hold, propagated as a word update.
+	WriteHitUpdate
+	// WriteHitLocal is Dragon's wh-local: a write hit to a block held by
+	// no other cache.
+	WriteHitLocal
+
+	// WriteMissClean is a write miss to a block clean in other caches
+	// (wm-blk-cln).
+	WriteMissClean
+	// WriteMissDirty is a write miss to a block dirty in another cache
+	// (wm-blk-drty).
+	WriteMissDirty
+	// WriteMissUncached is a write miss to a block no cache holds (see
+	// ReadMissUncached).
+	WriteMissUncached
+	// WriteMissFirst is the first reference in the trace to the block
+	// (wm-first-ref), excluded from costs like ReadMissFirst.
+	WriteMissFirst
+
+	// NumTypes is the number of event types.
+	NumTypes = int(WriteMissFirst) + 1
+)
+
+var names = [NumTypes]string{
+	"instr",
+	"rd-hit", "rm-blk-cln", "rm-blk-drty", "rm-uncached", "rm-first-ref",
+	"wh-blk-drty", "wh-blk-cln-sole", "wh-blk-cln-shared", "wh-distrib", "wh-local",
+	"wm-blk-cln", "wm-blk-drty", "wm-uncached", "wm-first-ref",
+}
+
+var legends = [NumTypes]string{
+	"Instruction fetch",
+	"Read hit",
+	"Read miss, block clean in another cache",
+	"Read miss, block dirty in another cache",
+	"Read miss, block in no cache",
+	"Read miss, first reference to the block",
+	"Write hit, block dirty in the same cache",
+	"Write hit, clean block in no other cache",
+	"Write hit, clean block also in other caches",
+	"Write hit, block also in another cache (update)",
+	"Write hit, block not in another cache (update protocol)",
+	"Write miss, block clean in another cache",
+	"Write miss, block dirty in another cache",
+	"Write miss, block in no cache",
+	"Write miss, first reference to the block",
+}
+
+// String returns the Table 4 mnemonic for the event.
+func (t Type) String() string {
+	if int(t) < NumTypes {
+		return names[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Legend returns the Table 4 legend line for the event.
+func (t Type) Legend() string {
+	if int(t) < NumTypes {
+		return legends[t]
+	}
+	return ""
+}
+
+// Types lists every event type in declaration order.
+func Types() []Type {
+	out := make([]Type, NumTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// Counts tallies events.
+type Counts [NumTypes]uint64
+
+// Inc increments the tally for t.
+func (c *Counts) Inc(t Type) { c[t]++ }
+
+// Merge accumulates other into c.
+func (c *Counts) Merge(other Counts) {
+	for i, v := range other {
+		c[i] += v
+	}
+}
+
+// Total returns the total number of events (= references processed).
+func (c *Counts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Frequency returns the frequency of t as a fraction of all references,
+// the unit Table 4 reports (as percentages).
+func (c *Counts) Frequency(t Type) float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(c[t]) / float64(total)
+}
+
+// Reads returns all data-read events.
+func (c *Counts) Reads() uint64 {
+	return c[ReadHit] + c.ReadMisses() + c[ReadMissFirst]
+}
+
+// ReadMisses returns read misses excluding first references, matching the
+// paper's rd-miss(rm) row.
+func (c *Counts) ReadMisses() uint64 {
+	return c[ReadMissClean] + c[ReadMissDirty] + c[ReadMissUncached]
+}
+
+// Writes returns all data-write events.
+func (c *Counts) Writes() uint64 {
+	return c.WriteHits() + c.WriteMisses() + c[WriteMissFirst]
+}
+
+// WriteHits returns write hits (wrt-hit(wh)).
+func (c *Counts) WriteHits() uint64 {
+	return c[WriteHitDirty] + c[WriteHitCleanSole] + c[WriteHitCleanShared] +
+		c[WriteHitUpdate] + c[WriteHitLocal]
+}
+
+// WriteMisses returns write misses excluding first references
+// (wrt-miss(wm)).
+func (c *Counts) WriteMisses() uint64 {
+	return c[WriteMissClean] + c[WriteMissDirty] + c[WriteMissUncached]
+}
+
+// DataMissRate returns (read+write misses excluding first refs) over all
+// references — the quantity Section 5 uses to size the consistency-related
+// component of the miss rate.
+func (c *Counts) DataMissRate() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.ReadMisses()+c.WriteMisses()) / float64(total)
+}
+
+// IsHit reports whether the event is a cache hit (instruction fetches are
+// not classified).
+func (t Type) IsHit() bool {
+	switch t {
+	case ReadHit, WriteHitDirty, WriteHitCleanSole, WriteHitCleanShared,
+		WriteHitUpdate, WriteHitLocal:
+		return true
+	}
+	return false
+}
+
+// IsMiss reports whether the event is a data miss, including first
+// references.
+func (t Type) IsMiss() bool {
+	switch t {
+	case ReadMissClean, ReadMissDirty, ReadMissUncached, ReadMissFirst,
+		WriteMissClean, WriteMissDirty, WriteMissUncached, WriteMissFirst:
+		return true
+	}
+	return false
+}
+
+// IsWrite reports whether the event classifies a data write.
+func (t Type) IsWrite() bool {
+	switch t {
+	case WriteHitDirty, WriteHitCleanSole, WriteHitCleanShared,
+		WriteHitUpdate, WriteHitLocal,
+		WriteMissClean, WriteMissDirty, WriteMissUncached, WriteMissFirst:
+		return true
+	}
+	return false
+}

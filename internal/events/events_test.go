@@ -1,0 +1,127 @@
+package events
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStringAndLegendDefined(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ty := range Types() {
+		s := ty.String()
+		if s == "" || strings.HasPrefix(s, "Type(") {
+			t.Errorf("type %d has no name", ty)
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+		if ty.Legend() == "" {
+			t.Errorf("type %s has no legend", s)
+		}
+	}
+	if Type(200).String() != "Type(200)" {
+		t.Errorf("unknown type String = %q", Type(200).String())
+	}
+	if Type(200).Legend() != "" {
+		t.Errorf("unknown type Legend = %q", Type(200).Legend())
+	}
+}
+
+func TestTypesCount(t *testing.T) {
+	if len(Types()) != NumTypes {
+		t.Fatalf("Types() has %d entries, want %d", len(Types()), NumTypes)
+	}
+}
+
+func TestCountsAccounting(t *testing.T) {
+	var c Counts
+	c.Inc(Instr)
+	c.Inc(ReadHit)
+	c.Inc(ReadHit)
+	c.Inc(ReadMissClean)
+	c.Inc(ReadMissFirst)
+	c.Inc(WriteHitDirty)
+	c.Inc(WriteMissDirty)
+	c.Inc(WriteMissFirst)
+
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", c.Total())
+	}
+	if c.Reads() != 4 {
+		t.Fatalf("Reads = %d, want 4", c.Reads())
+	}
+	if c.ReadMisses() != 1 {
+		t.Fatalf("ReadMisses = %d, want 1", c.ReadMisses())
+	}
+	if c.Writes() != 3 {
+		t.Fatalf("Writes = %d, want 3", c.Writes())
+	}
+	if c.WriteHits() != 1 {
+		t.Fatalf("WriteHits = %d, want 1", c.WriteHits())
+	}
+	if c.WriteMisses() != 1 {
+		t.Fatalf("WriteMisses = %d, want 1", c.WriteMisses())
+	}
+	if got := c.Frequency(ReadHit); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Frequency(ReadHit) = %v, want 0.25", got)
+	}
+	if got := c.DataMissRate(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("DataMissRate = %v, want 0.25", got)
+	}
+}
+
+func TestCountsPartitionReferences(t *testing.T) {
+	// Every reference lands in exactly one event type, so
+	// instr + reads + writes must equal the total.
+	var c Counts
+	for i, ty := range Types() {
+		for j := 0; j <= i; j++ {
+			c.Inc(ty)
+		}
+	}
+	if c[Instr]+c.Reads()+c.Writes() != c.Total() {
+		t.Fatalf("partition violated: %d + %d + %d != %d",
+			c[Instr], c.Reads(), c.Writes(), c.Total())
+	}
+}
+
+func TestMergeAndZeroFrequency(t *testing.T) {
+	var a, b Counts
+	a.Inc(ReadHit)
+	b.Inc(ReadHit)
+	b.Inc(Instr)
+	a.Merge(b)
+	if a[ReadHit] != 2 || a[Instr] != 1 {
+		t.Fatalf("Merge result = %v", a)
+	}
+	var empty Counts
+	if empty.Frequency(ReadHit) != 0 || empty.DataMissRate() != 0 {
+		t.Fatal("empty counts should report zero frequencies")
+	}
+}
+
+func TestHitMissWritePartition(t *testing.T) {
+	for _, ty := range Types() {
+		if ty == Instr {
+			if ty.IsHit() || ty.IsMiss() || ty.IsWrite() {
+				t.Errorf("instr misclassified")
+			}
+			continue
+		}
+		// Every data event is exactly one of hit or miss.
+		if ty.IsHit() == ty.IsMiss() {
+			t.Errorf("%v: hit=%v miss=%v", ty, ty.IsHit(), ty.IsMiss())
+		}
+	}
+	if !ReadHit.IsHit() || ReadHit.IsWrite() {
+		t.Error("ReadHit misclassified")
+	}
+	if !WriteMissDirty.IsMiss() || !WriteMissDirty.IsWrite() {
+		t.Error("WriteMissDirty misclassified")
+	}
+	if !WriteHitUpdate.IsHit() || !WriteHitUpdate.IsWrite() {
+		t.Error("WriteHitUpdate misclassified")
+	}
+}

@@ -1,0 +1,328 @@
+// Package numa models the paper's Section 7 machine at the message level:
+// memory and directory are distributed across the processing nodes, and
+// coherence actions become point-to-point messages on an interconnect
+// instead of bus transactions.
+//
+// The protocol is the full-map directory (Dir_nNB — the organisation the
+// paper recommends for scaling): every block has a home node holding its
+// memory and directory entry; misses go to the home, which forwards to a
+// dirty owner or answers from memory, and writes trigger directed
+// invalidations with acknowledgements. The engine counts
+//
+//   - protocol messages (interconnect bandwidth demand),
+//   - critical-path hops (the latency a requester waits through: the
+//     classic 2-hop clean miss and 3-hop dirty miss), and
+//   - the fraction of misses whose home is the local node (free hops).
+//
+// Two home-assignment policies are provided: Interleaved (home = block mod
+// nodes, the hardware-simple choice) and FirstTouch (home = first node to
+// reference the block, the locality-preserving OS policy). The contrast
+// quantifies why first-touch placement matters on directory machines.
+package numa
+
+import (
+	"fmt"
+
+	"dirsim/internal/bitset"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// HomePolicy selects how blocks are assigned to home nodes.
+type HomePolicy uint8
+
+const (
+	// Interleaved homes block b at node b mod n.
+	Interleaved HomePolicy = iota
+	// FirstTouch homes a block at the node that first references it.
+	FirstTouch
+)
+
+// String names the policy.
+func (p HomePolicy) String() string {
+	switch p {
+	case Interleaved:
+		return "interleaved"
+	case FirstTouch:
+		return "first-touch"
+	default:
+		return fmt.Sprintf("HomePolicy(%d)", uint8(p))
+	}
+}
+
+// Config parameterises the distributed machine.
+type Config struct {
+	// Nodes is the number of processor+memory+directory nodes.
+	Nodes int
+	// Policy selects the home assignment.
+	Policy HomePolicy
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.Nodes > 1<<16 {
+		return fmt.Errorf("numa: node count %d out of range", c.Nodes)
+	}
+	if c.Policy > FirstTouch {
+		return fmt.Errorf("numa: unknown home policy %d", c.Policy)
+	}
+	return nil
+}
+
+// Stats accumulates the message-level accounting.
+type Stats struct {
+	// Refs is the number of references processed.
+	Refs uint64
+	// Events is the Table 4 classification (identical to the bus
+	// simulator's DirnNB engine on the same trace — asserted in tests).
+	Events events.Counts
+	// Messages is the total protocol messages placed on the
+	// interconnect (requests, forwards, data, invalidations, acks).
+	Messages uint64
+	// CriticalHops is the total hops on requesters' critical paths
+	// (a hop between two distinct nodes costs 1; a local hop costs 0).
+	CriticalHops uint64
+	// Transactions counts references that needed any messages.
+	Transactions uint64
+	// HomeLocal and HomeRemote split transactions by whether the block's
+	// home was the requesting node.
+	HomeLocal, HomeRemote uint64
+	// Invalidations and InvalAcks count directed invalidation traffic.
+	Invalidations, InvalAcks uint64
+	// ThreeHopMisses counts misses serviced by a dirty remote owner.
+	ThreeHopMisses uint64
+}
+
+// MessagesPerRef returns average protocol messages per reference.
+func (s *Stats) MessagesPerRef() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(s.Refs)
+}
+
+// CriticalHopsPerRef returns average critical-path hops per reference.
+func (s *Stats) CriticalHopsPerRef() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.CriticalHops) / float64(s.Refs)
+}
+
+// LocalHomeFraction returns the fraction of transactions whose home node
+// was local.
+func (s *Stats) LocalHomeFraction() float64 {
+	t := s.HomeLocal + s.HomeRemote
+	if t == 0 {
+		return 0
+	}
+	return float64(s.HomeLocal) / float64(t)
+}
+
+// blockState is the ground truth plus directory content (exact, full map).
+type blockState struct {
+	sharers bitset.Set
+	dirty   bool
+	owner   int
+	home    int
+}
+
+// Engine simulates the distributed full-map directory machine.
+type Engine struct {
+	cfg   Config
+	stats Stats
+	state map[uint64]*blockState
+}
+
+// New returns a distributed-directory engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, state: map[uint64]*blockState{}}, nil
+}
+
+// Nodes returns the machine size.
+func (e *Engine) Nodes() int { return e.cfg.Nodes }
+
+// Stats exposes the accounting.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// home resolves (and on first touch, assigns) a block's home node.
+func (e *Engine) home(bs *blockState, block uint64, toucher int) int {
+	if bs.home >= 0 {
+		return bs.home
+	}
+	switch e.cfg.Policy {
+	case FirstTouch:
+		bs.home = toucher
+	default:
+		bs.home = int(block % uint64(e.cfg.Nodes))
+	}
+	return bs.home
+}
+
+func (e *Engine) ensure(block uint64) *blockState {
+	bs := e.state[block]
+	if bs == nil {
+		bs = &blockState{owner: -1, home: -1}
+		e.state[block] = bs
+	}
+	return bs
+}
+
+// hop counts one message from node a to node b: it always costs a message;
+// it costs a critical-path hop only when it crosses nodes and is on the
+// requester's waiting path (critical=true).
+func (e *Engine) hop(a, b int, critical bool) {
+	e.stats.Messages++
+	if critical && a != b {
+		e.stats.CriticalHops++
+	}
+}
+
+// Access processes one reference from node c.
+func (e *Engine) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	if c < 0 || c >= e.cfg.Nodes {
+		panic(fmt.Sprintf("numa: node %d out of range [0,%d)", c, e.cfg.Nodes))
+	}
+	e.stats.Refs++
+	if kind == trace.Instr {
+		e.stats.Events.Inc(events.Instr)
+		return events.Instr
+	}
+	bs := e.ensure(block)
+	home := e.home(bs, block, c)
+	holds := bs.sharers.Contains(c)
+	msgsBefore := e.stats.Messages
+	var ev events.Type
+	switch kind {
+	case trace.Read:
+		ev = e.read(bs, c, home, holds, first)
+	default:
+		ev = e.write(bs, c, home, holds, first)
+	}
+	e.stats.Events.Inc(ev)
+	if e.stats.Messages > msgsBefore {
+		e.stats.Transactions++
+		if home == c {
+			e.stats.HomeLocal++
+		} else {
+			e.stats.HomeRemote++
+		}
+	}
+	return ev
+}
+
+func (e *Engine) read(bs *blockState, c, home int, holds, first bool) events.Type {
+	if holds {
+		return events.ReadHit
+	}
+	if first {
+		bs.sharers.Add(c)
+		return events.ReadMissFirst
+	}
+	// Request to the home.
+	e.hop(c, home, true)
+	switch {
+	case bs.dirty:
+		// Home forwards to the owner; the owner sends the data to the
+		// requester and a sharing write-back to the home.
+		e.hop(home, bs.owner, true)
+		e.hop(bs.owner, c, true)
+		e.hop(bs.owner, home, false) // write-back, off the critical path
+		e.stats.ThreeHopMisses++
+		bs.dirty = false
+		bs.owner = -1
+		bs.sharers.Add(c)
+		return events.ReadMissDirty
+	case !bs.sharers.Empty():
+		e.hop(home, c, true) // data reply from home memory
+		bs.sharers.Add(c)
+		return events.ReadMissClean
+	default:
+		e.hop(home, c, true)
+		bs.sharers.Add(c)
+		return events.ReadMissUncached
+	}
+}
+
+func (e *Engine) write(bs *blockState, c, home int, holds, first bool) events.Type {
+	if holds && bs.dirty {
+		// Owner writes locally.
+		return events.WriteHitDirty
+	}
+	if first {
+		bs.sharers.Clear()
+		bs.sharers.Add(c)
+		bs.dirty = true
+		bs.owner = c
+		return events.WriteMissFirst
+	}
+	// invalidate sends directed invalidations to every other sharer and
+	// collects their acknowledgements at the requester.
+	invalidate := func() {
+		bs.sharers.ForEach(func(h int) bool {
+			if h != c {
+				e.hop(home, h, true) // invalidation
+				e.hop(h, c, true)    // acknowledgement to the writer
+				e.stats.Invalidations++
+				e.stats.InvalAcks++
+			}
+			return true
+		})
+	}
+	var ev events.Type
+	switch {
+	case holds:
+		// Upgrade: ownership request to the home, then invalidations.
+		e.hop(c, home, true)
+		if bs.sharers.ContainsOther(c) {
+			ev = events.WriteHitCleanShared
+		} else {
+			ev = events.WriteHitCleanSole
+		}
+		invalidate()
+		e.hop(home, c, true) // ownership grant
+	case bs.dirty:
+		// Dirty elsewhere: forward through the home to the owner, who
+		// sends the block (with ownership) to the requester.
+		e.hop(c, home, true)
+		e.hop(home, bs.owner, true)
+		e.hop(bs.owner, c, true)
+		e.stats.ThreeHopMisses++
+		ev = events.WriteMissDirty
+	case !bs.sharers.Empty():
+		e.hop(c, home, true)
+		ev = events.WriteMissClean
+		invalidate()
+		e.hop(home, c, true) // data + ownership
+	default:
+		e.hop(c, home, true)
+		e.hop(home, c, true)
+		ev = events.WriteMissUncached
+	}
+	bs.sharers.Clear()
+	bs.sharers.Add(c)
+	bs.dirty = true
+	bs.owner = c
+	return ev
+}
+
+// CheckInvariants verifies the directory state.
+func (e *Engine) CheckInvariants() error {
+	for block, bs := range e.state {
+		if bs.dirty {
+			if n := bs.sharers.Count(); n != 1 {
+				return fmt.Errorf("numa: block %#x dirty with %d holders", block, n)
+			}
+			if sole, _ := bs.sharers.Sole(); sole != bs.owner {
+				return fmt.Errorf("numa: block %#x owner mismatch", block)
+			}
+		}
+		if bs.home < -1 || bs.home >= e.cfg.Nodes {
+			return fmt.Errorf("numa: block %#x home %d out of range", block, bs.home)
+		}
+	}
+	return nil
+}

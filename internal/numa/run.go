@@ -1,0 +1,51 @@
+package numa
+
+import (
+	"fmt"
+	"io"
+
+	"dirsim/internal/trace"
+)
+
+// Options configures a trace run on the distributed machine.
+type Options struct {
+	// BlockBytes is the coherence block size; zero means 16 bytes.
+	BlockBytes int
+	// IncludeFirstRefCosts counts cold misses' traffic instead of
+	// excluding them (the bus simulator's convention is exclusion).
+	IncludeFirstRefCosts bool
+}
+
+// Run streams a trace through the engine, mapping each reference's CPU to
+// a node, with the same first-reference convention as the bus simulator.
+func Run(rd trace.Reader, e *Engine, opts Options) (*Stats, error) {
+	blockBytes := opts.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = trace.DefaultBlockBytes
+	}
+	if !trace.IsPow2(blockBytes) {
+		return nil, fmt.Errorf("numa: block size %d is not a power of two", blockBytes)
+	}
+	seen := map[uint64]bool{}
+	for {
+		ref, err := rd.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		c := int(ref.CPU)
+		if c >= e.Nodes() {
+			return nil, fmt.Errorf("numa: reference needs node %d but the machine has %d", c, e.Nodes())
+		}
+		block := trace.Block(ref.Addr, blockBytes)
+		first := false
+		if ref.Kind != trace.Instr && !opts.IncludeFirstRefCosts && !seen[block] {
+			seen[block] = true
+			first = true
+		}
+		e.Access(c, ref.Kind, block, first)
+	}
+	return e.Stats(), nil
+}

@@ -1,0 +1,170 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network models the Section 7 argument quantitatively: "the basic
+// bandwidth limitation to the memory and the directory can be mitigated by
+// distributing them on the processor boards. This technique allows the
+// bandwidth to both the memory and the directory to scale with the number
+// of processors."
+//
+// It is a closed product-form queueing network solved by exact Mean Value
+// Analysis: N processors think locally, then visit one of K identical
+// memory/directory modules (uniformly — addresses interleave across
+// modules) through an interconnect stage. With K = 1 this degenerates to
+// the central-memory Model; with K growing alongside N the per-module
+// utilisation stays bounded and efficiency is preserved.
+type Network struct {
+	// ThinkCycles is the local computation time between requests.
+	ThinkCycles float64
+	// ModuleServiceCycles is the service demand of one memory+directory
+	// access at its module.
+	ModuleServiceCycles float64
+	// Modules is the number of memory/directory modules the address
+	// space interleaves across.
+	Modules int
+	// InterconnectCycles is the (load-independent) transfer delay of the
+	// interconnect per request, e.g. a pipelined multistage network.
+	// Zero models an ideal interconnect.
+	InterconnectCycles float64
+}
+
+// Validate checks the network parameters.
+func (n Network) Validate() error {
+	if n.ThinkCycles < 0 {
+		return fmt.Errorf("queueing: negative think time %v", n.ThinkCycles)
+	}
+	if n.ModuleServiceCycles <= 0 {
+		return fmt.Errorf("queueing: module service %v must be positive", n.ModuleServiceCycles)
+	}
+	if n.Modules < 1 {
+		return fmt.Errorf("queueing: module count %d must be at least 1", n.Modules)
+	}
+	if n.InterconnectCycles < 0 {
+		return fmt.Errorf("queueing: negative interconnect delay %v", n.InterconnectCycles)
+	}
+	return nil
+}
+
+// NetworkMetrics is the steady state of the distributed machine for one
+// population.
+type NetworkMetrics struct {
+	// Processors is the population N.
+	Processors int
+	// Throughput is requests completed per cycle, system wide.
+	Throughput float64
+	// ModuleUtilization is the busy fraction of each (identical) module.
+	ModuleUtilization float64
+	// ResponseCycles is the mean time from issuing a request to its
+	// completion (interconnect + queueing + service).
+	ResponseCycles float64
+	// ProcessorEfficiency is think / (think + response).
+	ProcessorEfficiency float64
+	// EffectiveProcessors is N × ProcessorEfficiency.
+	EffectiveProcessors float64
+}
+
+// MVA solves the network exactly for populations 1..n. The K modules are
+// identical queueing stations visited with probability 1/K; the
+// interconnect is a delay (infinite-server) stage.
+func (n Network) MVA(pop int) ([]NetworkMetrics, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if pop < 1 {
+		return nil, fmt.Errorf("queueing: population %d must be at least 1", pop)
+	}
+	out := make([]NetworkMetrics, pop)
+	// Per-module mean queue length; by symmetry all K are equal.
+	queue := 0.0
+	visit := 1.0 / float64(n.Modules)
+	for p := 1; p <= pop; p++ {
+		// Residence time per request: the interconnect delay plus the
+		// module residence (arrival theorem) weighted by one visit.
+		moduleResp := n.ModuleServiceCycles * (1 + queue)
+		resp := n.InterconnectCycles + moduleResp
+		x := float64(p) / (n.ThinkCycles + resp)
+		// Per-module throughput is x·visit; update the per-module queue
+		// length via Little's law.
+		queue = x * visit * moduleResp
+		eff := n.ThinkCycles / (n.ThinkCycles + resp)
+		out[p-1] = NetworkMetrics{
+			Processors:          p,
+			Throughput:          x,
+			ModuleUtilization:   x * visit * n.ModuleServiceCycles,
+			ResponseCycles:      resp,
+			ProcessorEfficiency: eff,
+			EffectiveProcessors: float64(p) * eff,
+		}
+	}
+	return out, nil
+}
+
+// EfficiencyAt returns processor efficiency with population pop.
+func (n Network) EfficiencyAt(pop int) (float64, error) {
+	ms, err := n.MVA(pop)
+	if err != nil {
+		return 0, err
+	}
+	return ms[pop-1].ProcessorEfficiency, nil
+}
+
+// ScalingCurve runs the Section 7 comparison: for each population N in
+// sizes, the efficiency of (a) a centralised machine (one module) and (b) a
+// distributed machine with one module per processor. It returns the two
+// efficiency series.
+func ScalingCurve(think, service, interconnect float64, sizes []int) (central, distributed []float64, err error) {
+	for _, nProcs := range sizes {
+		if nProcs < 1 {
+			return nil, nil, fmt.Errorf("queueing: population %d must be at least 1", nProcs)
+		}
+		c := Network{ThinkCycles: think, ModuleServiceCycles: service, Modules: 1, InterconnectCycles: 0}
+		ce, err := c.EfficiencyAt(nProcs)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Distributed: one module per processor, but requests cross the
+		// interconnect.
+		d := Network{ThinkCycles: think, ModuleServiceCycles: service, Modules: nProcs, InterconnectCycles: interconnect}
+		de, err := d.EfficiencyAt(nProcs)
+		if err != nil {
+			return nil, nil, err
+		}
+		central = append(central, ce)
+		distributed = append(distributed, de)
+	}
+	return central, distributed, nil
+}
+
+// MaxProcessorsAtEfficiency returns the largest population the network
+// sustains at or above the efficiency threshold, searching up to limit.
+func (n Network) MaxProcessorsAtEfficiency(threshold float64, limit int) (int, error) {
+	if threshold <= 0 || threshold > 1 {
+		return 0, fmt.Errorf("queueing: threshold %v outside (0,1]", threshold)
+	}
+	ms, err := n.MVA(limit)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for _, mt := range ms {
+		if mt.ProcessorEfficiency+1e-12 >= threshold {
+			best = mt.Processors
+		}
+	}
+	return best, nil
+}
+
+// ApproxBusUtilization is a sanity helper: the offered load of N
+// processors against aggregate module bandwidth, ignoring queueing — the
+// simple saturation check utilization = N·service / (K·(think+service)).
+func (n Network) ApproxBusUtilization(pop int) float64 {
+	if err := n.Validate(); err != nil || pop < 1 {
+		return math.NaN()
+	}
+	return float64(pop) * n.ModuleServiceCycles /
+		(float64(n.Modules) * (n.ThinkCycles + n.ModuleServiceCycles + n.InterconnectCycles))
+}

@@ -1,0 +1,185 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNetworkValidate(t *testing.T) {
+	good := Network{ThinkCycles: 30, ModuleServiceCycles: 3, Modules: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Network{
+		{ThinkCycles: -1, ModuleServiceCycles: 3, Modules: 4},
+		{ThinkCycles: 30, ModuleServiceCycles: 0, Modules: 4},
+		{ThinkCycles: 30, ModuleServiceCycles: 3, Modules: 0},
+		{ThinkCycles: 30, ModuleServiceCycles: 3, Modules: 4, InterconnectCycles: -1},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNetworkSingleModuleMatchesModel(t *testing.T) {
+	// With one module and no interconnect delay, the network must agree
+	// exactly with the single-server Model.
+	n := Network{ThinkCycles: 30, ModuleServiceCycles: 2, Modules: 1}
+	m := Model{ThinkCycles: 30, ServiceCycles: 2}
+	nm, err := n.MVA(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := m.MVA(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nm {
+		if math.Abs(nm[i].Throughput-mm[i].Throughput) > 1e-9 {
+			t.Fatalf("pop %d: network %v vs model %v", i+1, nm[i].Throughput, mm[i].Throughput)
+		}
+		if math.Abs(nm[i].ProcessorEfficiency-mm[i].ProcessorEfficiency) > 1e-9 {
+			t.Fatalf("pop %d: efficiency differs", i+1)
+		}
+	}
+}
+
+func TestNetworkMoreModulesNeverHurt(t *testing.T) {
+	base := Network{ThinkCycles: 20, ModuleServiceCycles: 4, Modules: 1}
+	for _, pop := range []int{4, 16, 64} {
+		prev := -1.0
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			n := base
+			n.Modules = k
+			eff, err := n.EfficiencyAt(pop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eff < prev-1e-9 {
+				t.Errorf("pop %d: efficiency dropped when modules %d", pop, k)
+			}
+			prev = eff
+		}
+	}
+}
+
+// The Section 7 claim: a centralised memory/directory saturates while a
+// distributed one (one module per processor) keeps efficiency essentially
+// flat as the machine grows.
+func TestScalingCurveSection7(t *testing.T) {
+	sizes := []int{2, 4, 8, 16, 32, 64}
+	central, distributed, err := ScalingCurve(20, 4, 2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Central efficiency collapses at large N.
+	if central[len(central)-1] > 0.25 {
+		t.Errorf("central efficiency at N=64 = %.2f, expected collapse", central[len(central)-1])
+	}
+	// Distributed efficiency stays high and strictly dominates.
+	if distributed[len(distributed)-1] < 0.6 {
+		t.Errorf("distributed efficiency at N=64 = %.2f, expected ≥0.6", distributed[len(distributed)-1])
+	}
+	// At tiny N the distributed machine pays interconnect latency the
+	// single bus avoids, so it may lose slightly; once contention matters
+	// (N ≥ 8 here) it must dominate — that crossover is the Section 7
+	// argument.
+	for i := range sizes {
+		if sizes[i] >= 8 && distributed[i] < central[i]-1e-9 {
+			t.Errorf("N=%d: distributed %.3f below central %.3f", sizes[i], distributed[i], central[i])
+		}
+	}
+	// Distributed efficiency is near-flat: last within 20% of first.
+	if distributed[len(distributed)-1] < distributed[0]*0.8 {
+		t.Errorf("distributed efficiency decays too fast: %v", distributed)
+	}
+}
+
+func TestScalingCurveErrors(t *testing.T) {
+	if _, _, err := ScalingCurve(20, 4, 0, []int{0}); err == nil {
+		t.Error("population 0 accepted")
+	}
+	if _, _, err := ScalingCurve(20, 0, 0, []int{4}); err == nil {
+		t.Error("zero service accepted")
+	}
+}
+
+func TestMaxProcessorsAtEfficiency(t *testing.T) {
+	n := Network{ThinkCycles: 30, ModuleServiceCycles: 2, Modules: 1}
+	got, err := n.MaxProcessorsAtEfficiency(0.9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1 || got > 64 {
+		t.Fatalf("MaxProcessorsAtEfficiency = %d", got)
+	}
+	// Verify the boundary: got is sustainable, got+1 is not (or is the
+	// search limit).
+	ms, _ := n.MVA(64)
+	if ms[got-1].ProcessorEfficiency < 0.9 {
+		t.Errorf("efficiency at %d below threshold", got)
+	}
+	if got < 64 && ms[got].ProcessorEfficiency >= 0.9 {
+		t.Errorf("%d not maximal", got)
+	}
+	if _, err := n.MaxProcessorsAtEfficiency(0, 8); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := n.MaxProcessorsAtEfficiency(1.5, 8); err == nil {
+		t.Error("threshold >1 accepted")
+	}
+}
+
+func TestApproxBusUtilization(t *testing.T) {
+	n := Network{ThinkCycles: 18, ModuleServiceCycles: 2, Modules: 1}
+	// 10 processors each demanding 2 of every 20 cycles → utilization 1.
+	if got := n.ApproxBusUtilization(10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ApproxBusUtilization = %v, want 1", got)
+	}
+	if !math.IsNaN((Network{}).ApproxBusUtilization(4)) {
+		t.Error("invalid network should give NaN")
+	}
+}
+
+// Property: network MVA invariants — utilization and efficiency in [0,1],
+// throughput bounded by aggregate module bandwidth, and monotone in
+// population.
+func TestQuickNetworkInvariants(t *testing.T) {
+	f := func(thinkRaw, svcRaw uint16, kRaw, popRaw, icRaw uint8) bool {
+		n := Network{
+			ThinkCycles:         float64(thinkRaw % 500),
+			ModuleServiceCycles: float64(svcRaw%20) + 1,
+			Modules:             int(kRaw%8) + 1,
+			InterconnectCycles:  float64(icRaw % 10),
+		}
+		pop := int(popRaw%50) + 1
+		ms, err := n.MVA(pop)
+		if err != nil {
+			return false
+		}
+		prevX := 0.0
+		for _, mt := range ms {
+			if mt.ModuleUtilization < -1e-9 || mt.ModuleUtilization > 1+1e-9 {
+				return false
+			}
+			if mt.ProcessorEfficiency < -1e-9 || mt.ProcessorEfficiency > 1+1e-9 {
+				return false
+			}
+			maxX := float64(n.Modules) / n.ModuleServiceCycles
+			if mt.Throughput > maxX+1e-9 {
+				return false
+			}
+			if mt.Throughput < prevX-1e-9 {
+				return false
+			}
+			prevX = mt.Throughput
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

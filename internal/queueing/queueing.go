@@ -1,0 +1,244 @@
+// Package queueing models bus contention in a single-bus multiprocessor.
+//
+// The paper's closing estimate — a 10-MIPS processor uses a bus cycle every
+// 15 instructions, so a 100 ns bus supports at most ~15 processors — is "an
+// optimistic upper bound because we have not included … the effects of bus
+// contention". This package supplies the missing piece: the shared bus as a
+// single server in a closed queueing network (the classic machine-repairman
+// model), with each processor alternating between local computation (think
+// time) and a bus transaction (service time). Both parameters derive
+// directly from a simulation result: service is the scheme's average bus
+// cycles per transaction, think is the average processor cycles between
+// transactions.
+//
+// Two solvers are provided and cross-checked in the tests:
+//
+//   - MVA: exact Mean Value Analysis for the closed network (exponential
+//     assumptions);
+//   - Simulate: a discrete-event simulation with deterministic service and
+//     geometric think times, closer to a real bus.
+package queueing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Model is a closed machine-repairman model of one bus shared by N
+// processors.
+type Model struct {
+	// ThinkCycles is the mean number of bus cycles a processor computes
+	// locally between consecutive bus transactions.
+	ThinkCycles float64
+	// ServiceCycles is the mean bus cycles one transaction holds the bus.
+	ServiceCycles float64
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.ThinkCycles < 0 {
+		return fmt.Errorf("queueing: negative think time %v", m.ThinkCycles)
+	}
+	if m.ServiceCycles <= 0 {
+		return fmt.Errorf("queueing: service time %v must be positive", m.ServiceCycles)
+	}
+	return nil
+}
+
+// FromRates builds a model from per-reference simulation quantities:
+// cyclesPerRef is the scheme's bus cycles per memory reference,
+// txnsPerRef its bus transactions per reference, and procCyclesPerRef how
+// many bus-clock cycles a processor needs to issue one reference when it
+// never waits (e.g. a processor running one instruction — two references —
+// per bus cycle has procCyclesPerRef = 0.5).
+func FromRates(cyclesPerRef, txnsPerRef, procCyclesPerRef float64) (Model, error) {
+	if txnsPerRef <= 0 {
+		return Model{}, fmt.Errorf("queueing: txnsPerRef %v must be positive", txnsPerRef)
+	}
+	if cyclesPerRef <= 0 || procCyclesPerRef <= 0 {
+		return Model{}, fmt.Errorf("queueing: rates must be positive")
+	}
+	m := Model{
+		ServiceCycles: cyclesPerRef / txnsPerRef,
+		ThinkCycles:   procCyclesPerRef / txnsPerRef,
+	}
+	return m, m.Validate()
+}
+
+// Metrics summarises the network's steady state for one population size.
+type Metrics struct {
+	// Processors is the population N.
+	Processors int
+	// Throughput is bus transactions completed per bus cycle (system
+	// wide).
+	Throughput float64
+	// BusUtilization is the fraction of cycles the bus is busy.
+	BusUtilization float64
+	// ResponseCycles is the mean time a transaction spends queued plus
+	// in service.
+	ResponseCycles float64
+	// ProcessorEfficiency is each processor's achieved fraction of its
+	// contention-free speed: think / (think + response).
+	ProcessorEfficiency float64
+	// EffectiveProcessors is N × ProcessorEfficiency — how many
+	// full-speed processors the machine is really worth.
+	EffectiveProcessors float64
+	// ResponseP50, ResponseP95 and ResponseP99 are response-time
+	// percentiles in cycles. Only the discrete-event simulation fills
+	// them (MVA yields means only).
+	ResponseP50, ResponseP95, ResponseP99 float64
+}
+
+// MVA solves the closed network exactly for populations 1..n by Mean Value
+// Analysis and returns the metrics for each population size (index i holds
+// population i+1).
+func (m Model) MVA(n int) ([]Metrics, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("queueing: population %d must be at least 1", n)
+	}
+	out := make([]Metrics, n)
+	queue := 0.0 // mean queue length at the bus
+	for pop := 1; pop <= n; pop++ {
+		resp := m.ServiceCycles * (1 + queue)
+		x := float64(pop) / (m.ThinkCycles + resp)
+		queue = x * resp
+		eff := m.ThinkCycles / (m.ThinkCycles + resp)
+		out[pop-1] = Metrics{
+			Processors:          pop,
+			Throughput:          x,
+			BusUtilization:      x * m.ServiceCycles,
+			ResponseCycles:      resp,
+			ProcessorEfficiency: eff,
+			EffectiveProcessors: float64(pop) * eff,
+		}
+	}
+	return out, nil
+}
+
+// Saturation returns the asymptotic bound on useful processors: beyond
+// N* = (think + service) / service the bus is the bottleneck and adding
+// processors adds no throughput.
+func (m Model) Saturation() float64 {
+	return (m.ThinkCycles + m.ServiceCycles) / m.ServiceCycles
+}
+
+// Simulate runs a discrete-event simulation of the model for the given
+// population and number of bus cycles: deterministic service, geometrically
+// distributed think times (mean ThinkCycles), FCFS bus. The seed fixes the
+// random stream.
+func (m Model) Simulate(processors int, cycles int, seed int64) (Metrics, error) {
+	if err := m.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if processors < 1 {
+		return Metrics{}, fmt.Errorf("queueing: population %d must be at least 1", processors)
+	}
+	if cycles < 1 {
+		return Metrics{}, fmt.Errorf("queueing: horizon %d must be at least 1", cycles)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	think := func() float64 {
+		if m.ThinkCycles == 0 {
+			return 0
+		}
+		// Exponential with the configured mean, in continuous cycles.
+		return rng.ExpFloat64() * m.ThinkCycles
+	}
+	// Event-driven: each processor is either thinking (known wake time)
+	// or queued/in service at the bus.
+	const inQueue = -1.0
+	wake := make([]float64, processors)
+	for i := range wake {
+		wake[i] = think()
+	}
+	var (
+		now        float64
+		busBusyTil float64
+		queue      []int
+		busy       float64 // total busy cycles
+		completed  int
+		totalResp  float64
+		responses  []float64
+		enqueuedAt = make([]float64, processors)
+	)
+	horizon := float64(cycles)
+	for now < horizon {
+		// Move every processor whose think time expired into the queue.
+		next := horizon
+		for p := range wake {
+			if wake[p] == inQueue {
+				continue
+			}
+			if wake[p] <= now {
+				enqueuedAt[p] = wake[p]
+				queue = append(queue, p)
+				wake[p] = inQueue
+			} else if wake[p] < next {
+				next = wake[p]
+			}
+		}
+		if len(queue) == 0 {
+			// Idle until the next arrival.
+			now = next
+			continue
+		}
+		if busBusyTil > now {
+			now = busBusyTil
+			continue
+		}
+		// Serve the head of the queue.
+		p := queue[0]
+		queue = queue[1:]
+		start := now
+		busBusyTil = start + m.ServiceCycles
+		busy += m.ServiceCycles
+		completed++
+		resp := busBusyTil - enqueuedAt[p]
+		totalResp += resp
+		responses = append(responses, resp)
+		wake[p] = busBusyTil + think()
+		now = busBusyTil
+	}
+	if completed == 0 {
+		return Metrics{Processors: processors}, nil
+	}
+	x := float64(completed) / now
+	resp := totalResp / float64(completed)
+	eff := m.ThinkCycles / (m.ThinkCycles + resp)
+	sort.Float64s(responses)
+	pct := func(q float64) float64 {
+		idx := int(q * float64(len(responses)-1))
+		return responses[idx]
+	}
+	return Metrics{
+		Processors:          processors,
+		Throughput:          x,
+		BusUtilization:      busy / now,
+		ResponseCycles:      resp,
+		ProcessorEfficiency: eff,
+		EffectiveProcessors: float64(processors) * eff,
+		ResponseP50:         pct(0.50),
+		ResponseP95:         pct(0.95),
+		ResponseP99:         pct(0.99),
+	}, nil
+}
+
+// Knee returns the smallest population at which processor efficiency drops
+// below the threshold (e.g. 0.5), or n+1 if it never does within n — a
+// practical "how many processors is this bus worth" answer.
+func (m Model) Knee(n int, threshold float64) (int, error) {
+	ms, err := m.MVA(n)
+	if err != nil {
+		return 0, err
+	}
+	for _, mt := range ms {
+		if mt.ProcessorEfficiency < threshold {
+			return mt.Processors, nil
+		}
+	}
+	return n + 1, nil
+}

@@ -1,0 +1,260 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Model{ThinkCycles: 10, ServiceCycles: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Model{
+		{ThinkCycles: -1, ServiceCycles: 1},
+		{ThinkCycles: 1, ServiceCycles: 0},
+		{ThinkCycles: 1, ServiceCycles: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("model %+v accepted", bad)
+		}
+	}
+}
+
+func TestFromRates(t *testing.T) {
+	// 0.03 bus cycles/ref across 0.01 txns/ref → 3-cycle transactions;
+	// a processor issuing a ref every 0.5 cycles thinks 50 cycles
+	// between transactions.
+	m, err := FromRates(0.03, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ServiceCycles-3) > 1e-12 {
+		t.Errorf("ServiceCycles = %v, want 3", m.ServiceCycles)
+	}
+	if math.Abs(m.ThinkCycles-50) > 1e-12 {
+		t.Errorf("ThinkCycles = %v, want 50", m.ThinkCycles)
+	}
+	for _, bad := range [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if _, err := FromRates(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("FromRates(%v) accepted", bad)
+		}
+	}
+}
+
+func TestMVASingleProcessorNoContention(t *testing.T) {
+	m := Model{ThinkCycles: 9, ServiceCycles: 1}
+	ms, err := m.MVA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := ms[0]
+	// Alone, a processor never queues: response = service, efficiency =
+	// think/(think+service) = 0.9, throughput = 1/(9+1).
+	if math.Abs(one.ResponseCycles-1) > 1e-12 {
+		t.Errorf("ResponseCycles = %v, want 1", one.ResponseCycles)
+	}
+	if math.Abs(one.ProcessorEfficiency-0.9) > 1e-12 {
+		t.Errorf("efficiency = %v, want 0.9", one.ProcessorEfficiency)
+	}
+	if math.Abs(one.Throughput-0.1) > 1e-12 {
+		t.Errorf("throughput = %v, want 0.1", one.Throughput)
+	}
+	if math.Abs(one.BusUtilization-0.1) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.1", one.BusUtilization)
+	}
+}
+
+func TestMVAMonotoneAndBounded(t *testing.T) {
+	m := Model{ThinkCycles: 30, ServiceCycles: 2}
+	ms, err := m.MVA(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mt := range ms {
+		if mt.BusUtilization < 0 || mt.BusUtilization > 1+1e-9 {
+			t.Errorf("pop %d: utilization %v out of [0,1]", mt.Processors, mt.BusUtilization)
+		}
+		if mt.ProcessorEfficiency < 0 || mt.ProcessorEfficiency > 1+1e-9 {
+			t.Errorf("pop %d: efficiency %v out of [0,1]", mt.Processors, mt.ProcessorEfficiency)
+		}
+		if i > 0 {
+			if mt.Throughput < ms[i-1].Throughput-1e-9 {
+				t.Errorf("throughput decreased at pop %d", mt.Processors)
+			}
+			if mt.ProcessorEfficiency > ms[i-1].ProcessorEfficiency+1e-9 {
+				t.Errorf("efficiency increased at pop %d", mt.Processors)
+			}
+		}
+	}
+	// Deep in saturation, throughput approaches 1/service and effective
+	// processors approach the saturation bound.
+	last := ms[len(ms)-1]
+	if math.Abs(last.Throughput-1/m.ServiceCycles) > 0.01 {
+		t.Errorf("saturated throughput %v, want ≈%v", last.Throughput, 1/m.ServiceCycles)
+	}
+	// Asymptotically each of the N processors runs Z cycles out of every
+	// N·S, so effective processors tend to Z/S (one less than the
+	// saturation knee (Z+S)/S).
+	if asym := m.ThinkCycles / m.ServiceCycles; math.Abs(last.EffectiveProcessors-asym) > 0.5 {
+		t.Errorf("saturated effective processors %v, want ≈%v", last.EffectiveProcessors, asym)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	m := Model{ThinkCycles: 28, ServiceCycles: 2}
+	if got := m.Saturation(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Saturation = %v, want 15", got)
+	}
+}
+
+func TestKnee(t *testing.T) {
+	m := Model{ThinkCycles: 30, ServiceCycles: 2}
+	k, err := m.Knee(64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency at the knee is below 0.5, just before it is not.
+	ms, _ := m.MVA(64)
+	if ms[k-1].ProcessorEfficiency >= 0.5 {
+		t.Errorf("efficiency at knee %d is %v", k, ms[k-1].ProcessorEfficiency)
+	}
+	if k > 1 && ms[k-2].ProcessorEfficiency < 0.5 {
+		t.Errorf("knee %d not minimal", k)
+	}
+	// A bus that is never the bottleneck has no knee within range.
+	easy := Model{ThinkCycles: 1e6, ServiceCycles: 1}
+	k, err = easy.Knee(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 9 {
+		t.Errorf("no-knee case returned %d", k)
+	}
+}
+
+func TestMVAErrors(t *testing.T) {
+	m := Model{ThinkCycles: 10, ServiceCycles: 1}
+	if _, err := m.MVA(0); err == nil {
+		t.Error("MVA(0) accepted")
+	}
+	bad := Model{ThinkCycles: 10, ServiceCycles: 0}
+	if _, err := bad.MVA(4); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestSimulateMatchesMVA(t *testing.T) {
+	m := Model{ThinkCycles: 40, ServiceCycles: 3}
+	ms, err := m.MVA(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pop := range []int{1, 4, 16, 32} {
+		got, err := m.Simulate(pop, 2_000_000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ms[pop-1]
+		// Deterministic service vs exponential MVA: agree within ~10%.
+		if relDiff(got.BusUtilization, want.BusUtilization) > 0.10 {
+			t.Errorf("pop %d: sim utilization %v vs MVA %v", pop, got.BusUtilization, want.BusUtilization)
+		}
+		if relDiff(got.Throughput, want.Throughput) > 0.10 {
+			t.Errorf("pop %d: sim throughput %v vs MVA %v", pop, got.Throughput, want.Throughput)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestSimulateErrors(t *testing.T) {
+	m := Model{ThinkCycles: 10, ServiceCycles: 1}
+	if _, err := m.Simulate(0, 1000, 1); err == nil {
+		t.Error("population 0 accepted")
+	}
+	if _, err := m.Simulate(1, 0, 1); err == nil {
+		t.Error("horizon 0 accepted")
+	}
+}
+
+func TestSimulateDeterministicSeed(t *testing.T) {
+	m := Model{ThinkCycles: 20, ServiceCycles: 2}
+	a, err := m.Simulate(8, 500_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Simulate(8, 500_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+}
+
+// Property: MVA invariants hold for arbitrary valid models — utilization
+// and efficiency in [0,1], Little's law at the bus (Q = X·R) is respected
+// implicitly by construction, and effective processors never exceed the
+// population or the saturation bound by more than rounding.
+func TestQuickMVAInvariants(t *testing.T) {
+	f := func(thinkRaw, svcRaw uint16, popRaw uint8) bool {
+		m := Model{
+			ThinkCycles:   float64(thinkRaw%1000) + 1,
+			ServiceCycles: float64(svcRaw%50) + 1,
+		}
+		pop := int(popRaw%40) + 1
+		ms, err := m.MVA(pop)
+		if err != nil {
+			return false
+		}
+		for _, mt := range ms {
+			if mt.BusUtilization < 0 || mt.BusUtilization > 1+1e-9 {
+				return false
+			}
+			if mt.EffectiveProcessors > float64(mt.Processors)+1e-9 {
+				return false
+			}
+			if mt.EffectiveProcessors > m.Saturation()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatePercentiles(t *testing.T) {
+	m := Model{ThinkCycles: 30, ServiceCycles: 2}
+	got, err := m.Simulate(16, 1_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Percentiles are ordered and bounded below by one service time.
+	if !(got.ResponseP50 <= got.ResponseP95 && got.ResponseP95 <= got.ResponseP99) {
+		t.Fatalf("percentiles not ordered: %v %v %v",
+			got.ResponseP50, got.ResponseP95, got.ResponseP99)
+	}
+	if got.ResponseP50 < m.ServiceCycles {
+		t.Fatalf("p50 %v below one service time", got.ResponseP50)
+	}
+	// The mean lies within the distribution's range.
+	if got.ResponseCycles < got.ResponseP50/4 || got.ResponseCycles > got.ResponseP99 {
+		t.Fatalf("mean %v inconsistent with percentiles", got.ResponseCycles)
+	}
+	// At heavy load the tail stretches well past the median.
+	heavy, err := m.Simulate(64, 1_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.ResponseP99 <= heavy.ResponseP50 {
+		t.Fatal("saturated tail should exceed the median")
+	}
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/events"
+	"dirsim/internal/sim"
+)
+
+// WriteCSV emits one row per scheme with the headline metrics and the full
+// event-frequency and operation-cycle breakdowns, for downstream plotting.
+// Columns are stable: scheme, refs, transactions, cycles/ref under every
+// supplied model, cycles/transaction under the first model, the Table 4
+// event frequencies, and per-operation cycles per reference under the
+// first model.
+func WriteCSV(w io.Writer, results []sim.Result, models ...bus.CostModel) error {
+	if len(models) == 0 {
+		models = []bus.CostModel{bus.Pipelined(), bus.NonPipelined()}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"scheme", "refs", "transactions"}
+	for _, m := range models {
+		header = append(header, "cycles_per_ref_"+sanitize(m.Name))
+	}
+	header = append(header, "cycles_per_txn_"+sanitize(models[0].Name))
+	for _, t := range events.Types() {
+		header = append(header, "freq_"+sanitize(t.String()))
+	}
+	for _, op := range bus.Ops() {
+		header = append(header, "cycles_"+sanitize(op.String()))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{
+			r.Scheme,
+			fmt.Sprintf("%d", r.Stats.Refs),
+			fmt.Sprintf("%d", r.Stats.Transactions),
+		}
+		for _, m := range models {
+			row = append(row, fmt.Sprintf("%.6f", r.CyclesPerRef(m)))
+		}
+		row = append(row, fmt.Sprintf("%.6f", r.CyclesPerTransaction(models[0])))
+		for _, t := range events.Types() {
+			row = append(row, fmt.Sprintf("%.6f", r.EventFrequency(t)))
+		}
+		by := r.CyclesByOp(models[0])
+		for _, op := range bus.Ops() {
+			v := 0.0
+			if r.Stats.Refs > 0 {
+				v = by[op] / float64(r.Stats.Refs)
+			}
+			row = append(row, fmt.Sprintf("%.6f", v))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// sanitize turns labels like "rm-blk-cln" or "mem access" into CSV-header
+// friendly identifiers.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

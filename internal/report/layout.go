@@ -1,0 +1,222 @@
+// Package report renders the paper's tables and figures as text.
+//
+// Each Table<n>/Figure<n> function corresponds to one artifact of the
+// paper's evaluation section; cmd/paper strings them together and
+// EXPERIMENTS.md records how the regenerated values compare with the
+// published ones. Figures are rendered as horizontal bar charts, which is
+// what the originals are.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table accumulates rows of cells and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extras are kept.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which uses %.4f.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render lays the table out with every column padded to its widest cell.
+// The first column is left-aligned; the rest are right-aligned (they hold
+// numbers).
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); w > width[i] {
+				width[i] = w
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			var cell string
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], cell)
+			}
+		}
+		// Trim right-edge padding.
+		s := b.String()
+		for strings.HasSuffix(s, " ") {
+			s = s[:len(s)-1]
+		}
+		b.Reset()
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders one horizontal bar of the given value scaled so that max
+// occupies width characters.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if value > 0 && n == 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// BarChart renders labelled horizontal bars with their numeric values.
+type BarChart struct {
+	Title string
+	Unit  string
+	rows  []barRow
+	width int
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart returns a bar chart; width is the maximum bar width in
+// characters (default 40 if zero).
+func NewBarChart(title, unit string, width int) *BarChart {
+	if width <= 0 {
+		width = 40
+	}
+	return &BarChart{Title: title, Unit: unit, width: width}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label, value})
+}
+
+// Render lays out the chart.
+func (c *BarChart) Render() string {
+	var max float64
+	labelW := 0
+	for _, r := range c.rows {
+		if r.value > max {
+			max = r.value
+		}
+		if w := utf8.RuneCountInString(r.label); w > labelW {
+			labelW = w
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for _, r := range c.rows {
+		fmt.Fprintf(&b, "%-*s  %8.4f %s |%s\n", labelW, r.label, r.value, c.Unit, Bar(r.value, max, c.width))
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a Table 4 style percentage.
+func pct(f float64) string { return fmt.Sprintf("%.2f", f*100) }
+
+// RenderMarkdown lays the table out as a GitHub-flavoured Markdown table
+// (first column left-aligned, the rest right-aligned), for pasting into
+// issues and docs.
+func (t *Table) RenderMarkdown() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return ""
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		b.WriteByte('|')
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	b.WriteByte('|')
+	for i := 0; i < cols; i++ {
+		if i == 0 {
+			b.WriteString(":--|")
+		} else {
+			b.WriteString("--:|")
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/events"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+)
+
+// Table1 renders the fundamental bus operation timings (paper Table 1).
+func Table1(t bus.Timing) string {
+	tb := NewTable("Table 1: Timing for fundamental bus operations", "Operation", "Cycles")
+	tb.AddRowf("Transfer address", t.TransferAddress)
+	tb.AddRowf("Transfer 1 data word", t.TransferDataWord)
+	tb.AddRowf("Invalidate", t.Invalidate)
+	tb.AddRowf("Wait for Directory", t.WaitDirectory)
+	tb.AddRowf("Wait for Memory", t.WaitMemory)
+	tb.AddRowf("Wait for Cache", t.WaitCache)
+	tb.AddRowf("Words per block", t.WordsPerBlock)
+	return tb.Render()
+}
+
+// Table2 renders the per-operation bus cycle costs under the pipelined and
+// non-pipelined models derived from t (paper Table 2).
+func Table2(t bus.Timing) string {
+	pip, np := t.Pipelined(), t.NonPipelined()
+	tb := NewTable("Table 2: Summary of bus cycle costs", "Access type", "Pipelined Bus", "Non-Pipelined Bus")
+	for _, op := range bus.Ops() {
+		if op == bus.OpDirCheckOverlapped {
+			continue // zero by construction in both models
+		}
+		tb.AddRow(op.String(), fmt.Sprintf("%.0f", pip.Cost[op]), fmt.Sprintf("%.0f", np.Cost[op]))
+	}
+	return tb.Render()
+}
+
+// Table3 renders trace characteristics (paper Table 3). Counts print in
+// thousands, as the paper does.
+func Table3(names []string, stats []trace.Stats) string {
+	tb := NewTable("Table 3: Summary of trace characteristics (thousands)",
+		"Trace", "Refs", "Instr", "DRd", "DWrt", "User", "Sys")
+	k := func(v uint64) string { return fmt.Sprintf("%d", (v+500)/1000) }
+	for i, st := range stats {
+		tb.AddRow(names[i], k(st.Refs), k(st.Instr), k(st.DataRd), k(st.DataWr), k(st.User), k(st.Sys))
+	}
+	return tb.Render()
+}
+
+// table4Rows defines the Table 4 layout: label plus a function extracting
+// the value (as a fraction of references) from a result.
+var table4Rows = []struct {
+	label string
+	value func(r sim.Result) float64
+}{
+	{"instr", func(r sim.Result) float64 { return r.EventFrequency(events.Instr) }},
+	{"read", func(r sim.Result) float64 {
+		return float64(r.Stats.Events.Reads()) / float64(r.Stats.Refs)
+	}},
+	{"  rd-hit", func(r sim.Result) float64 { return r.EventFrequency(events.ReadHit) }},
+	{"  rd-miss(rm)", func(r sim.Result) float64 {
+		return float64(r.Stats.Events.ReadMisses()) / float64(r.Stats.Refs)
+	}},
+	{"    rm-blk-cln", func(r sim.Result) float64 { return r.EventFrequency(events.ReadMissClean) }},
+	{"    rm-blk-drty", func(r sim.Result) float64 { return r.EventFrequency(events.ReadMissDirty) }},
+	{"    rm-uncached", func(r sim.Result) float64 { return r.EventFrequency(events.ReadMissUncached) }},
+	{"  rm-first-ref", func(r sim.Result) float64 { return r.EventFrequency(events.ReadMissFirst) }},
+	{"write", func(r sim.Result) float64 {
+		return float64(r.Stats.Events.Writes()) / float64(r.Stats.Refs)
+	}},
+	{"  wrt-hit(wh)", func(r sim.Result) float64 {
+		return float64(r.Stats.Events.WriteHits()) / float64(r.Stats.Refs)
+	}},
+	{"    wh-blk-cln", func(r sim.Result) float64 {
+		return r.EventFrequency(events.WriteHitCleanSole) + r.EventFrequency(events.WriteHitCleanShared)
+	}},
+	{"    wh-blk-drty", func(r sim.Result) float64 { return r.EventFrequency(events.WriteHitDirty) }},
+	{"    wh-distrib", func(r sim.Result) float64 { return r.EventFrequency(events.WriteHitUpdate) }},
+	{"    wh-local", func(r sim.Result) float64 { return r.EventFrequency(events.WriteHitLocal) }},
+	{"  wrt-miss(wm)", func(r sim.Result) float64 {
+		return float64(r.Stats.Events.WriteMisses()) / float64(r.Stats.Refs)
+	}},
+	{"    wm-blk-cln", func(r sim.Result) float64 { return r.EventFrequency(events.WriteMissClean) }},
+	{"    wm-blk-drty", func(r sim.Result) float64 { return r.EventFrequency(events.WriteMissDirty) }},
+	{"    wm-uncached", func(r sim.Result) float64 { return r.EventFrequency(events.WriteMissUncached) }},
+	{"  wm-first-ref", func(r sim.Result) float64 { return r.EventFrequency(events.WriteMissFirst) }},
+}
+
+// Table4 renders event frequencies as percentages of all references, one
+// column per scheme (paper Table 4). Pass results combined across traces.
+func Table4(results []sim.Result) string {
+	headers := append([]string{"Event Type"}, schemes(results)...)
+	tb := NewTable("Table 4: Event frequencies (% of all references)", headers...)
+	for _, row := range table4Rows {
+		cells := []string{row.label}
+		for _, r := range results {
+			v := row.value(r)
+			if v == 0 && strings.HasPrefix(strings.TrimSpace(row.label), "w") {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, pct(v))
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.Render()
+}
+
+func schemes(results []sim.Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Scheme
+	}
+	return out
+}
+
+// Figure1 renders the histogram of the number of caches in which a block
+// must be invalidated on a write to a previously-clean block (paper
+// Figure 1), as percentages.
+func Figure1(r sim.Result) string {
+	h := &r.Stats.InvalFanout
+	c := NewBarChart(
+		fmt.Sprintf("Figure 1: caches invalidated on a write to a previously-clean block (%s)", r.Scheme),
+		"%", 40)
+	max := h.Max()
+	if max < 4 {
+		max = 4
+	}
+	for v := 0; v <= max; v++ {
+		c.Add(fmt.Sprintf("%d", v), h.Fraction(v)*100)
+	}
+	s := c.Render()
+	s += fmt.Sprintf("writes to previously-clean blocks needing ≤1 invalidation: %.1f%%\n",
+		h.CumulativeFraction(1)*100)
+	return s
+}
+
+// Figure2 renders the range of bus cycles per reference per scheme, the low
+// end under the pipelined bus and the high end under the non-pipelined bus
+// (paper Figure 2).
+func Figure2(results []sim.Result, pip, np bus.CostModel) string {
+	tb := NewTable("Figure 2: bus cycles per memory reference (pipelined … non-pipelined)",
+		"Scheme", "Pipelined", "Non-pipelined")
+	for _, r := range results {
+		tb.AddRow(r.Scheme,
+			fmt.Sprintf("%.4f", r.CyclesPerRef(pip)),
+			fmt.Sprintf("%.4f", r.CyclesPerRef(np)))
+	}
+	c := NewBarChart("", "cycles/ref (non-pipelined)", 40)
+	for _, r := range results {
+		c.Add(r.Scheme, r.CyclesPerRef(np))
+	}
+	return tb.Render() + c.Render()
+}
+
+// Figure3 renders per-trace bus cycle ranges (paper Figure 3). results is
+// indexed [trace][scheme].
+func Figure3(traceNames []string, results [][]sim.Result, pip, np bus.CostModel) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: bus cycles per memory reference by trace\n")
+	for ti, name := range traceNames {
+		tb := NewTable(name, "Scheme", "Pipelined", "Non-pipelined")
+		for _, r := range results[ti] {
+			tb.AddRow(r.Scheme,
+				fmt.Sprintf("%.4f", r.CyclesPerRef(pip)),
+				fmt.Sprintf("%.4f", r.CyclesPerRef(np)))
+		}
+		b.WriteString(tb.Render())
+	}
+	return b.String()
+}
+
+// table5Ops are the operation classes Table 5 itemises, in the paper's
+// order. Write-through and write-update share a row ("wt or wup").
+var table5Ops = [][]bus.Op{
+	{bus.OpMemRead},
+	{bus.OpCacheRead},
+	{bus.OpWriteBack},
+	{bus.OpInvalidate, bus.OpBroadcastInvalidate},
+	{bus.OpWriteThrough, bus.OpWriteUpdate},
+	{bus.OpDirCheck},
+}
+
+var table5Labels = []string{
+	"mem access", "cache access", "write-back", "invalidate", "wt or wup", "dir access",
+}
+
+// Table5 renders the per-operation breakdown of bus cycles per reference
+// under m (paper Table 5, which uses the pipelined bus).
+func Table5(results []sim.Result, m bus.CostModel) string {
+	headers := append([]string{"Access type"}, schemes(results)...)
+	tb := NewTable(fmt.Sprintf("Table 5: breakdown of bus cycles per reference (%s bus)", m.Name), headers...)
+	totals := make([]float64, len(results))
+	for gi, group := range table5Ops {
+		cells := []string{table5Labels[gi]}
+		for ri, r := range results {
+			by := r.CyclesByOp(m)
+			var v float64
+			for _, op := range group {
+				v += by[op]
+			}
+			v /= float64(r.Stats.Refs)
+			totals[ri] += v
+			if v == 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	cells := []string{"cumulative"}
+	for _, t := range totals {
+		cells = append(cells, fmt.Sprintf("%.4f", t))
+	}
+	tb.AddRow(cells...)
+	return tb.Render()
+}
+
+// Figure4 renders each scheme's Table 5 breakdown as fractions of its own
+// total (paper Figure 4).
+func Figure4(results []sim.Result, m bus.CostModel) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: bus cycle breakdown as a fraction of each scheme's total\n")
+	for _, r := range results {
+		by := r.CyclesByOp(m)
+		var total float64
+		for _, v := range by {
+			total += v
+		}
+		c := NewBarChart(r.Scheme, "", 30)
+		for gi, group := range table5Ops {
+			var v float64
+			for _, op := range group {
+				v += by[op]
+			}
+			if v == 0 {
+				continue
+			}
+			c.Add(table5Labels[gi], v/total)
+		}
+		b.WriteString(c.Render())
+	}
+	return b.String()
+}
+
+// Figure5 renders average bus cycles per bus transaction (paper Figure 5).
+func Figure5(results []sim.Result, m bus.CostModel) string {
+	c := NewBarChart("Figure 5: average bus cycles per bus transaction", "cycles/txn", 40)
+	for _, r := range results {
+		c.Add(r.Scheme, r.CyclesPerTransaction(m))
+	}
+	return c.Render()
+}
+
+// Section51 renders the fixed-overhead sensitivity study: cycles per
+// reference for each scheme as q extra cycles are charged per bus
+// transaction, and the relative gap between the last two schemes given
+// (the paper compares Dir0B against Dragon: with q=1 the gap shrinks from
+// ~46% to ~12%).
+func Section51(results []sim.Result, m bus.CostModel, qs []float64) string {
+	headers := []string{"q"}
+	headers = append(headers, schemes(results)...)
+	if len(results) >= 2 {
+		headers = append(headers, "gap%")
+	}
+	tb := NewTable("Section 5.1: effect of q fixed bus cycles per transaction", headers...)
+	for _, q := range qs {
+		cells := []string{fmt.Sprintf("%.0f", q)}
+		var vals []float64
+		for _, r := range results {
+			v := r.CyclesPerRefWithOverhead(m, q)
+			vals = append(vals, v)
+			cells = append(cells, fmt.Sprintf("%.4f", v))
+		}
+		if len(vals) >= 2 {
+			a, b := vals[len(vals)-2], vals[len(vals)-1]
+			if b > 0 {
+				cells = append(cells, fmt.Sprintf("%.0f", (a/b-1)*100))
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.Render()
+}
+
+// Section52 renders the spin-lock impact study: cycles per reference with
+// the full trace versus the trace with lock-test reads removed (paper
+// Section 5.2).
+func Section52(with, without []sim.Result, m bus.CostModel) string {
+	tb := NewTable("Section 5.2: impact of spin-lock reads (bus cycles per reference, pipelined)",
+		"Scheme", "with locks", "locks excluded", "ratio")
+	for i, r := range with {
+		a := r.CyclesPerRef(m)
+		b := without[i].CyclesPerRef(m)
+		ratio := 0.0
+		if b > 0 {
+			ratio = a / b
+		}
+		tb.AddRow(r.Scheme, fmt.Sprintf("%.4f", a), fmt.Sprintf("%.4f", b), fmt.Sprintf("%.2f", ratio))
+	}
+	return tb.Render()
+}
+
+// Table4Legend renders the legend block printed beneath the paper's
+// Table 4.
+func Table4Legend() string {
+	tb := NewTable("LEGEND", "Event", "Meaning")
+	for _, t := range events.Types() {
+		tb.AddRow(t.String(), t.Legend())
+	}
+	return tb.Render()
+}

@@ -1,0 +1,263 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("title", "A", "BB")
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "22", "extra")
+	out := tb.Render()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "BB") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "--") {
+		t.Errorf("rule missing: %q", lines[2])
+	}
+	// Right-aligned numeric column: "1" under "BB" ends at same column as "22".
+	if strings.HasSuffix(lines[3], " ") {
+		t.Errorf("trailing whitespace: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "extra") {
+		t.Errorf("extra cell dropped: %q", lines[4])
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRowf("a", 0.12345, 7)
+	out := tb.Render()
+	if !strings.Contains(out, "0.1235") && !strings.Contains(out, "0.1234") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "7") {
+		t.Errorf("int missing: %s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0, 10, 10) != "" {
+		t.Error("zero value should render empty bar")
+	}
+	if got := Bar(10, 10, 10); len([]rune(got)) != 10 {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := Bar(0.01, 10, 10); len([]rune(got)) != 1 {
+		t.Errorf("tiny nonzero value should get one glyph, got %q", got)
+	}
+	if Bar(20, 10, 10) != Bar(10, 10, 10) {
+		t.Error("overflow not clamped")
+	}
+	if Bar(5, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Error("degenerate inputs should render empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("chart", "u", 10)
+	c.Add("one", 1)
+	c.Add("two", 2)
+	out := c.Render()
+	if !strings.HasPrefix(out, "chart\n") {
+		t.Errorf("missing title: %s", out)
+	}
+	if !strings.Contains(out, "u |") {
+		t.Errorf("unit missing: %s", out)
+	}
+	if strings.Count(out, "█") < 3 {
+		t.Errorf("bars missing: %s", out)
+	}
+}
+
+func TestTable1And2ContainPaperValues(t *testing.T) {
+	t1 := Table1(bus.DefaultTiming())
+	for _, want := range []string{"Transfer address", "Wait for Memory", "Invalidate"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2(bus.DefaultTiming())
+	for _, want := range []string{"mem access", "5", "7", "write-back"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	st := trace.Stats{Refs: 3142000, Instr: 1624000, DataRd: 1257000, DataWr: 261000, User: 2817000, Sys: 325000}
+	out := Table3([]string{"POPS"}, []trace.Stats{st})
+	for _, want := range []string{"POPS", "3142", "1624", "1257", "261", "2817", "325"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// smallResults builds real results over a tiny trace for rendering tests.
+func smallResults(t *testing.T) []sim.Result {
+	t.Helper()
+	tr := trace.Slice{
+		{CPU: 0, Kind: trace.Read, Addr: 0x10},
+		{CPU: 1, Kind: trace.Read, Addr: 0x10},
+		{CPU: 0, Kind: trace.Write, Addr: 0x10},
+		{CPU: 1, Kind: trace.Read, Addr: 0x10},
+		{CPU: 0, Kind: trace.Instr, Addr: 0x999},
+	}
+	d0, err := coherence.NewDir0B(coherence.Config{Caches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drg, err := coherence.NewDragon(coherence.Config{Caches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sim.Run(trace.NewSliceReader(tr), []coherence.Engine{d0, drg}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestTable4Render(t *testing.T) {
+	out := Table4(smallResults(t))
+	for _, want := range []string{"Dir0B", "Dragon", "rd-hit", "rm-blk-cln", "wh-distrib", "instr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q:\n%s", want, out)
+		}
+	}
+	// Each reference class sums: instr frequency is 20%.
+	if !strings.Contains(out, "20.00") {
+		t.Errorf("Table4 percentages off:\n%s", out)
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	out := Figure1(smallResults(t)[0])
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "≤1 invalidation") {
+		t.Errorf("Figure1 output:\n%s", out)
+	}
+}
+
+func TestFigure2And3Render(t *testing.T) {
+	rs := smallResults(t)
+	pip, np := bus.Pipelined(), bus.NonPipelined()
+	f2 := Figure2(rs, pip, np)
+	if !strings.Contains(f2, "Dir0B") || !strings.Contains(f2, "Non-pipelined") {
+		t.Errorf("Figure2:\n%s", f2)
+	}
+	f3 := Figure3([]string{"tiny"}, [][]sim.Result{rs}, pip, np)
+	if !strings.Contains(f3, "tiny") {
+		t.Errorf("Figure3:\n%s", f3)
+	}
+}
+
+func TestTable5AndFigure4Render(t *testing.T) {
+	rs := smallResults(t)
+	t5 := Table5(rs, bus.Pipelined())
+	for _, want := range []string{"cumulative", "mem access", "dir access"} {
+		if !strings.Contains(t5, want) {
+			t.Errorf("Table5 missing %q:\n%s", want, t5)
+		}
+	}
+	f4 := Figure4(rs, bus.Pipelined())
+	if !strings.Contains(f4, "Figure 4") || !strings.Contains(f4, "Dragon") {
+		t.Errorf("Figure4:\n%s", f4)
+	}
+}
+
+func TestFigure5AndSectionsRender(t *testing.T) {
+	rs := smallResults(t)
+	f5 := Figure5(rs, bus.Pipelined())
+	if !strings.Contains(f5, "cycles/txn") {
+		t.Errorf("Figure5:\n%s", f5)
+	}
+	s51 := Section51(rs, bus.Pipelined(), []float64{0, 1})
+	if !strings.Contains(s51, "q") || !strings.Contains(s51, "gap%") {
+		t.Errorf("Section51:\n%s", s51)
+	}
+	s52 := Section52(rs, rs, bus.Pipelined())
+	if !strings.Contains(s52, "with locks") || !strings.Contains(s52, "1.00") {
+		t.Errorf("Section52:\n%s", s52)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rs := smallResults(t)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 schemes
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scheme,refs,transactions,cycles_per_ref_pipelined") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Dir0B,5,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Every row has the header's column count.
+	cols := strings.Count(lines[0], ",")
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != cols {
+			t.Errorf("ragged row: %q", l)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("rm-blk-cln"); got != "rm_blk_cln" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize("mem access"); got != "mem_access" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := NewTable("caption", "Scheme", "cycles")
+	tb.AddRow("Dir0B", "0.0491")
+	tb.AddRow("has|pipe", "1")
+	out := tb.RenderMarkdown()
+	if !strings.HasPrefix(out, "**caption**\n\n") {
+		t.Errorf("caption missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[2] != "| Scheme | cycles |" {
+		t.Errorf("header = %q", lines[2])
+	}
+	if lines[3] != "|:--|--:|" {
+		t.Errorf("alignment = %q", lines[3])
+	}
+	if !strings.Contains(out, `has\|pipe`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if (&Table{}).RenderMarkdown() != "" {
+		t.Error("empty table should render empty")
+	}
+}
+
+func TestTable4Legend(t *testing.T) {
+	out := Table4Legend()
+	for _, want := range []string{"LEGEND", "rm-blk-cln", "Read miss, block clean in another cache", "wh-distrib"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend missing %q", want)
+		}
+	}
+}

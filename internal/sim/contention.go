@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"fmt"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/queueing"
+)
+
+// Contention builds the closed bus-contention model of internal/queueing
+// from this run: the service time is the scheme's measured bus cycles per
+// transaction under m, and the think time is how long a processor computes
+// between transactions. procCyclesPerRef is the bus-clock cycles a
+// processor needs per memory reference when it never waits; the paper's
+// setting — a 10-MIPS processor on a 100 ns bus, two references per
+// instruction — gives 0.5.
+func (r Result) Contention(m bus.CostModel, procCyclesPerRef float64) (queueing.Model, error) {
+	if r.Stats == nil || r.Stats.Refs == 0 {
+		return queueing.Model{}, fmt.Errorf("sim: empty result")
+	}
+	if r.Stats.Transactions == 0 {
+		return queueing.Model{}, fmt.Errorf("sim: %s produced no bus transactions", r.Scheme)
+	}
+	txnsPerRef := float64(r.Stats.Transactions) / float64(r.Stats.Refs)
+	return queueing.FromRates(r.CyclesPerRef(m), txnsPerRef, procCyclesPerRef)
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/trace"
+)
+
+func TestContentionModelFromResult(t *testing.T) {
+	tr := trace.Slice{
+		{CPU: 0, Kind: trace.Read, Addr: 0x10},
+		{CPU: 1, Kind: trace.Read, Addr: 0x10}, // 5-cycle mem read
+		{CPU: 0, Kind: trace.Read, Addr: 0x10},
+		{CPU: 1, Kind: trace.Instr, Addr: 0x99},
+	}
+	rs, err := Run(trace.NewSliceReader(tr),
+		[]coherence.Engine{must(coherence.NewDir0B(coherence.Config{Caches: 2}))}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rs[0].Contention(bus.Pipelined(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transaction (5 cycles) over 4 refs: service 5; think = 0.5
+	// proc-cycles per ref × 4 refs per transaction = 2.
+	if math.Abs(m.ServiceCycles-5) > 1e-9 {
+		t.Errorf("ServiceCycles = %v, want 5", m.ServiceCycles)
+	}
+	if math.Abs(m.ThinkCycles-2) > 1e-9 {
+		t.Errorf("ThinkCycles = %v, want 2", m.ThinkCycles)
+	}
+}
+
+func TestContentionErrors(t *testing.T) {
+	var empty Result
+	if _, err := empty.Contention(bus.Pipelined(), 0.5); err == nil {
+		t.Error("empty result accepted")
+	}
+	// A trace with no bus transactions cannot parameterise the model.
+	tr := trace.Slice{{CPU: 0, Kind: trace.Read, Addr: 0x10}} // first ref only
+	rs, err := Run(trace.NewSliceReader(tr),
+		[]coherence.Engine{must(coherence.NewDir0B(coherence.Config{Caches: 2}))}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs[0].Contention(bus.Pipelined(), 0.5); err == nil {
+		t.Error("transaction-free result accepted")
+	}
+}
+
+func TestContentionRefinesNaiveBound(t *testing.T) {
+	// At large populations the queueing model's effective-processor
+	// count approaches (but never exceeds) the paper's naive bound
+	// Z/S, and at small populations contention already bites.
+	tr := trace.Slice{}
+	for i := 0; i < 4000; i++ {
+		tr = append(tr, trace.Ref{CPU: uint8(i % 4), Kind: trace.Read, Addr: uint64(i%64) * 16})
+		if i%7 == 0 {
+			tr = append(tr, trace.Ref{CPU: uint8(i % 4), Kind: trace.Write, Addr: uint64(i%64) * 16})
+		}
+	}
+	rs, err := Run(trace.NewSliceReader(tr),
+		[]coherence.Engine{must(coherence.NewDir0B(coherence.Config{Caches: 4}))}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rs[0].Contention(bus.Pipelined(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := m.ThinkCycles / m.ServiceCycles
+	ms, err := m.MVA(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range ms {
+		if mt.EffectiveProcessors > naive+1e-6 {
+			t.Fatalf("pop %d: effective %v exceeds naive bound %v",
+				mt.Processors, mt.EffectiveProcessors, naive)
+		}
+	}
+	if last := ms[len(ms)-1].EffectiveProcessors; last < naive*0.8 {
+		t.Errorf("saturated effective %v far below naive bound %v", last, naive)
+	}
+}

@@ -1,0 +1,275 @@
+// Package sim drives coherence protocol engines over multiprocessor
+// address traces, reproducing the methodology of Section 4.
+//
+// The driver streams a trace once, feeding every engine in lockstep; a
+// shared seen-set implements the paper's first-reference exclusion ("we
+// exclude the misses caused by the first reference to a block in the trace
+// because these occur in a uniprocessor infinite cache as well"). Results
+// carry the Table 4 event counts, the bus-operation tallies priced by
+// internal/bus, and the Figure 1 invalidation-fanout histogram.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/events"
+	"dirsim/internal/trace"
+)
+
+// CacheBy selects which trace field identifies the cache a reference goes
+// to.
+type CacheBy int
+
+const (
+	// ByCPU assigns references to per-processor caches (the physical
+	// arrangement).
+	ByCPU CacheBy = iota
+	// ByProcess assigns references to per-process caches, eliminating
+	// migration-induced sharing — the attribution the paper prefers
+	// (Section 4.4). Process IDs are mapped densely to cache indices in
+	// order of first appearance.
+	ByProcess
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// BlockBytes is the coherence block size; zero means the paper's 16
+	// bytes. Must be a power of two.
+	BlockBytes int
+	// CacheBy selects per-CPU (default) or per-process caches.
+	CacheBy CacheBy
+	// IncludeFirstRefCosts prices cold misses instead of excluding them.
+	// The paper's methodology excludes them; finite-cache studies may
+	// want them included.
+	IncludeFirstRefCosts bool
+	// WarmupRefs, when positive, runs that many leading references
+	// through the engines to populate caches and directories, then
+	// discards the tallies: only the remainder of the trace is measured.
+	// An alternative to first-reference exclusion for finite-cache
+	// studies (the two compose).
+	WarmupRefs int
+}
+
+func (o Options) blockBytes() int {
+	if o.BlockBytes == 0 {
+		return trace.DefaultBlockBytes
+	}
+	return o.BlockBytes
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.BlockBytes != 0 && !trace.IsPow2(o.BlockBytes) {
+		return fmt.Errorf("sim: block size %d is not a power of two", o.BlockBytes)
+	}
+	if o.CacheBy != ByCPU && o.CacheBy != ByProcess {
+		return fmt.Errorf("sim: unknown CacheBy %d", o.CacheBy)
+	}
+	if o.WarmupRefs < 0 {
+		return fmt.Errorf("sim: negative WarmupRefs %d", o.WarmupRefs)
+	}
+	return nil
+}
+
+// Result is the outcome of running one engine over one trace.
+type Result struct {
+	// Scheme is the engine's name.
+	Scheme string
+	// Stats are the engine's accumulated tallies (shared with the
+	// engine; treat as read-only after the run).
+	Stats *coherence.Stats
+	// adjust rewrites cost models for engines with a published cost
+	// derivation (Berkeley's free directory checks); identity otherwise.
+	adjust func(bus.CostModel) bus.CostModel
+}
+
+// Model returns the cost model as this scheme prices it (applying, e.g.,
+// Berkeley's zero-cost directory checks).
+func (r Result) Model(m bus.CostModel) bus.CostModel {
+	if r.adjust != nil {
+		return r.adjust(m)
+	}
+	return m
+}
+
+// CyclesPerRef prices the run under m, per reference — the paper's primary
+// metric.
+func (r Result) CyclesPerRef(m bus.CostModel) float64 {
+	return r.Stats.CyclesPerRef(r.Model(m))
+}
+
+// CyclesPerRefWithOverhead adds Section 5.1's per-transaction overhead q.
+func (r Result) CyclesPerRefWithOverhead(m bus.CostModel, q float64) float64 {
+	return r.Stats.CyclesPerRefWithOverhead(r.Model(m), q)
+}
+
+// CyclesPerTransaction is Figure 5's metric.
+func (r Result) CyclesPerTransaction(m bus.CostModel) float64 {
+	return r.Stats.CyclesPerTransaction(r.Model(m))
+}
+
+// CyclesByOp returns the Table 5 per-operation breakdown.
+func (r Result) CyclesByOp(m bus.CostModel) [bus.NumOps]float64 {
+	return r.Model(m).CyclesByOp(r.Stats.Ops)
+}
+
+// EventFrequency returns an event's frequency as a fraction of all
+// references (Table 4's unit, which prints it as a percentage).
+func (r Result) EventFrequency(t events.Type) float64 {
+	return r.Stats.Events.Frequency(t)
+}
+
+// AvgAccessTime prices the run under a processor-latency model — Section
+// 5.1's "average memory access time as seen by each processor". The
+// latency model's operation costs are adjusted the same way the scheme's
+// cost model is (Berkeley's free directory checks).
+func (r Result) AvgAccessTime(l bus.LatencyModel) float64 {
+	base := bus.CostModel{Name: l.Name, Cost: l.Cost}
+	adjusted := r.Model(base)
+	l.Cost = adjusted.Cost
+	return l.AvgAccessTime(r.Stats.Refs, r.Stats.Transactions, r.Stats.Ops)
+}
+
+// DirToMemBandwidthRatio compares directory accesses with memory accesses,
+// quantifying Section 5's finding that "the required directory bandwidth is
+// only slightly higher than the bandwidth to memory".
+func (r Result) DirToMemBandwidthRatio() float64 {
+	if r.Stats.MemAccesses == 0 {
+		return 0
+	}
+	return float64(r.Stats.DirAccesses) / float64(r.Stats.MemAccesses)
+}
+
+// Run streams rd through every engine in lockstep and returns one Result
+// per engine, in order. All engines must have the same cache count, and the
+// trace must fit within it.
+func Run(rd trace.Reader, engines []coherence.Engine, opts Options) ([]Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("sim: no engines")
+	}
+	caches := engines[0].Caches()
+	for _, e := range engines[1:] {
+		if e.Caches() != caches {
+			return nil, fmt.Errorf("sim: engine %s has %d caches, %s has %d",
+				e.Name(), e.Caches(), engines[0].Name(), caches)
+		}
+	}
+	blockBytes := opts.blockBytes()
+	seen := map[uint64]bool{}
+	pidToCache := map[uint16]int{}
+	processed := 0
+	for {
+		ref, err := rd.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		var c int
+		switch opts.CacheBy {
+		case ByCPU:
+			c = int(ref.CPU)
+		case ByProcess:
+			var ok bool
+			c, ok = pidToCache[ref.PID]
+			if !ok {
+				c = len(pidToCache)
+				pidToCache[ref.PID] = c
+			}
+		}
+		if c >= caches {
+			return nil, fmt.Errorf("sim: reference needs cache %d but engines have %d caches", c, caches)
+		}
+		block := trace.Block(ref.Addr, blockBytes)
+		first := false
+		if ref.Kind != trace.Instr && !opts.IncludeFirstRefCosts && !seen[block] {
+			seen[block] = true
+			first = true
+		}
+		for _, e := range engines {
+			e.Access(c, ref.Kind, block, first)
+		}
+		processed++
+		if processed == opts.WarmupRefs {
+			// End of warm-up: keep all protocol state, measure only
+			// what follows.
+			for _, e := range engines {
+				e.ResetStats()
+			}
+		}
+	}
+	if processed < opts.WarmupRefs {
+		// The trace ended inside the warm-up window: nothing measured.
+		for _, e := range engines {
+			e.ResetStats()
+		}
+	}
+	results := make([]Result, len(engines))
+	for i, e := range engines {
+		results[i] = Result{Scheme: e.Name(), Stats: e.Stats()}
+		if adj, ok := e.(coherence.ModelAdjuster); ok {
+			results[i].adjust = adj.AdjustModel
+		}
+	}
+	return results, nil
+}
+
+// RunSchemes builds the named engines and runs rd through them.
+func RunSchemes(rd trace.Reader, names []string, cfg coherence.Config, opts Options) ([]Result, error) {
+	engines := make([]coherence.Engine, len(names))
+	for i, n := range names {
+		e, err := coherence.NewByName(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	return Run(rd, engines, opts)
+}
+
+// Combine merges per-trace results for the same scheme into one aggregate,
+// the way the paper averages event frequencies "across the three traces"
+// (reference-weighted, which merging raw counts achieves).
+func Combine(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("sim: nothing to combine")
+	}
+	agg := &coherence.Stats{}
+	for _, r := range results {
+		if r.Scheme != results[0].Scheme {
+			return Result{}, fmt.Errorf("sim: cannot combine %s with %s", r.Scheme, results[0].Scheme)
+		}
+		agg.Refs += r.Stats.Refs
+		agg.Events.Merge(r.Stats.Events)
+		agg.Ops.Merge(r.Stats.Ops)
+		agg.Transactions += r.Stats.Transactions
+		agg.InvalFanout.Add(&r.Stats.InvalFanout)
+		agg.InvalEvents += r.Stats.InvalEvents
+		agg.DirectedInvals += r.Stats.DirectedInvals
+		agg.BroadcastInvals += r.Stats.BroadcastInvals
+		agg.WastedInvals += r.Stats.WastedInvals
+		agg.PointerEvictions += r.Stats.PointerEvictions
+		agg.DirAccesses += r.Stats.DirAccesses
+		agg.MemAccesses += r.Stats.MemAccesses
+		agg.Evictions += r.Stats.Evictions
+		agg.EvictionWriteBacks += r.Stats.EvictionWriteBacks
+		agg.DirEntryEvictions += r.Stats.DirEntryEvictions
+		agg.Snarfs += r.Stats.Snarfs
+		for i, ct := range r.Stats.PerCache {
+			for i >= len(agg.PerCache) {
+				agg.PerCache = append(agg.PerCache, coherence.CacheTally{})
+			}
+			agg.PerCache[i].Hits += ct.Hits
+			agg.PerCache[i].Misses += ct.Misses
+			agg.PerCache[i].Writes += ct.Writes
+		}
+	}
+	return Result{Scheme: results[0].Scheme, Stats: agg, adjust: results[0].adjust}, nil
+}

@@ -1,0 +1,190 @@
+// Package study runs replicated experiments over the synthetic workloads.
+//
+// The paper draws each number from a single trace per application; with a
+// parameterised generator we can do better and report sampling error. A
+// study re-runs a workload across independent seeds and summarises each
+// scheme's metric with a mean and a confidence interval; paired
+// comparisons (same seeds, two schemes) answer "is A really cheaper than
+// B" with the trace-to-trace variation accounted for.
+package study
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/sim"
+	"dirsim/internal/tracegen"
+)
+
+// Summary describes one scheme's metric across replications.
+type Summary struct {
+	// Scheme is the engine name.
+	Scheme string
+	// Values are the per-seed measurements, in seed order.
+	Values []float64
+	// Mean is the sample mean.
+	Mean float64
+	// StdDev is the sample standard deviation (n-1).
+	StdDev float64
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// (Student's t).
+	CI95 float64
+}
+
+// summarise computes the statistics for a series.
+func summarise(scheme string, values []float64) Summary {
+	s := Summary{Scheme: scheme, Values: values}
+	n := float64(len(values))
+	if n == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	s.Mean = sum / n
+	if len(values) < 2 {
+		return s
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / (n - 1))
+	s.CI95 = tCritical95(len(values)-1) * s.StdDev / math.Sqrt(n)
+	return s
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (exact table for small df, 1.96 asymptote).
+func tCritical95(df int) float64 {
+	table := []float64{
+		// df = 1 … 30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.96
+}
+
+// Metric extracts one number from a result (e.g. cycles per reference
+// under a model).
+type Metric func(sim.Result) float64
+
+// CyclesPerRef returns the standard metric under m.
+func CyclesPerRef(m bus.CostModel) Metric {
+	return func(r sim.Result) float64 { return r.CyclesPerRef(m) }
+}
+
+// SeedSweep replays the workload base across the given seeds (overriding
+// base.Seed each time), runs every scheme in lockstep per seed, and
+// summarises metric per scheme. All schemes see identical traces, so
+// comparisons across schemes are paired.
+func SeedSweep(base tracegen.Config, seeds []int64, schemes []string,
+	engCfg coherence.Config, opts sim.Options, metric Metric) ([]Summary, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("study: no seeds")
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("study: no schemes")
+	}
+	values := make([][]float64, len(schemes))
+	for _, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		gen, err := tracegen.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := sim.RunSchemes(gen, schemes, engCfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rs {
+			values[i] = append(values[i], metric(r))
+		}
+	}
+	out := make([]Summary, len(schemes))
+	for i, name := range schemes {
+		// Use the engine's canonical name from the runs? The metric
+		// series is keyed by position; resolve the display name once.
+		e, err := coherence.NewByName(name, engCfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = summarise(e.Name(), values[i])
+	}
+	return out, nil
+}
+
+// PairedComparison is the seed-paired difference between two schemes'
+// metrics: Diff = mean(a−b) with its 95% confidence interval. If the
+// interval excludes zero the ordering is statistically resolved at that
+// level.
+type PairedComparison struct {
+	A, B string
+	// Diff is the mean of the per-seed differences A−B.
+	Diff float64
+	// CI95 is the half-width of the difference's confidence interval.
+	CI95 float64
+}
+
+// Significant reports whether the interval excludes zero.
+func (p PairedComparison) Significant() bool {
+	return math.Abs(p.Diff) > p.CI95
+}
+
+// Compare pairs two summaries produced by the same SeedSweep call.
+func Compare(a, b Summary) (PairedComparison, error) {
+	if len(a.Values) != len(b.Values) || len(a.Values) == 0 {
+		return PairedComparison{}, fmt.Errorf("study: summaries not paired (%d vs %d values)",
+			len(a.Values), len(b.Values))
+	}
+	diffs := make([]float64, len(a.Values))
+	for i := range diffs {
+		diffs[i] = a.Values[i] - b.Values[i]
+	}
+	s := summarise("", diffs)
+	return PairedComparison{A: a.Scheme, B: b.Scheme, Diff: s.Mean, CI95: s.CI95}, nil
+}
+
+// Seeds returns n deterministic, well-separated seeds derived from base.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	x := uint64(base)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := range out {
+		// splitmix64 step: decorrelated, reproducible.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = int64(z >> 1) // keep it positive
+	}
+	return out
+}
+
+// Median returns the median of a summary's values (robust companion to
+// Mean for skewed metrics).
+func (s Summary) Median() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	vs := append([]float64(nil), s.Values...)
+	sort.Float64s(vs)
+	mid := len(vs) / 2
+	if len(vs)%2 == 1 {
+		return vs[mid]
+	}
+	return (vs[mid-1] + vs[mid]) / 2
+}

@@ -1,0 +1,186 @@
+package study
+
+import (
+	"math"
+	"testing"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/sim"
+	"dirsim/internal/tracegen"
+)
+
+func TestSummarise(t *testing.T) {
+	s := summarise("x", []float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Sample std dev of 1..5 is sqrt(2.5).
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	// CI95 = t(4)·sd/√5 = 2.776·1.5811/2.2361 ≈ 1.963.
+	if math.Abs(s.CI95-2.776*math.Sqrt(2.5)/math.Sqrt(5)) > 1e-9 {
+		t.Errorf("CI95 = %v", s.CI95)
+	}
+	if s.Median() != 3 {
+		t.Errorf("Median = %v", s.Median())
+	}
+	even := summarise("y", []float64{4, 1, 3, 2})
+	if even.Median() != 2.5 {
+		t.Errorf("even Median = %v", even.Median())
+	}
+	empty := summarise("z", nil)
+	if empty.Mean != 0 || empty.Median() != 0 {
+		t.Error("empty summary not zero")
+	}
+	single := summarise("w", []float64{7})
+	if single.Mean != 7 || single.StdDev != 0 || single.CI95 != 0 {
+		t.Errorf("single-value summary = %+v", single)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical95(1) != 12.706 {
+		t.Errorf("t(1) = %v", tCritical95(1))
+	}
+	if tCritical95(30) != 2.042 {
+		t.Errorf("t(30) = %v", tCritical95(30))
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Errorf("t(1000) = %v", tCritical95(1000))
+	}
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Error("t(0) should be +Inf")
+	}
+}
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	a := Seeds(1, 8)
+	b := Seeds(1, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds not deterministic")
+		}
+		if a[i] < 0 {
+			t.Fatal("negative seed")
+		}
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("duplicate seed")
+		}
+		seen[s] = true
+	}
+	c := Seeds(2, 8)
+	if a[0] == c[0] {
+		t.Error("different bases should decorrelate")
+	}
+}
+
+func TestSeedSweepAndCompare(t *testing.T) {
+	base := tracegen.PERO(40_000)
+	seeds := Seeds(7, 5)
+	sums, err := SeedSweep(base, seeds, []string{"dir0b", "dragon"},
+		coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	if sums[0].Scheme != "Dir0B" || sums[1].Scheme != "Dragon" {
+		t.Fatalf("schemes = %s, %s", sums[0].Scheme, sums[1].Scheme)
+	}
+	for _, s := range sums {
+		if len(s.Values) != 5 {
+			t.Fatalf("%s has %d values", s.Scheme, len(s.Values))
+		}
+		if s.Mean <= 0 {
+			t.Fatalf("%s mean = %v", s.Scheme, s.Mean)
+		}
+		// Seeds vary the trace, so some spread exists, but the metric is
+		// stable: CI should be well under the mean.
+		if s.CI95 > s.Mean {
+			t.Errorf("%s: CI %v exceeds mean %v — metric unstable", s.Scheme, s.CI95, s.Mean)
+		}
+	}
+	cmp, err := Compare(sums[0], sums[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.A != "Dir0B" || cmp.B != "Dragon" {
+		t.Fatalf("Compare labels = %+v", cmp)
+	}
+	if cmp.Diff <= 0 {
+		t.Errorf("Dir0B−Dragon = %v, want positive", cmp.Diff)
+	}
+	if !cmp.Significant() {
+		t.Errorf("ordering not significant: diff %v ± %v", cmp.Diff, cmp.CI95)
+	}
+}
+
+func TestSeedSweepErrors(t *testing.T) {
+	base := tracegen.PERO(1000)
+	if _, err := SeedSweep(base, nil, []string{"dir0b"}, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := SeedSweep(base, []int64{1}, nil, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
+		t.Error("no schemes accepted")
+	}
+	if _, err := SeedSweep(base, []int64{1}, []string{"bogus"}, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestCompareUnpaired(t *testing.T) {
+	a := summarise("a", []float64{1, 2})
+	b := summarise("b", []float64{1})
+	if _, err := Compare(a, b); err == nil {
+		t.Error("unpaired compare accepted")
+	}
+	if _, err := Compare(summarise("a", nil), summarise("b", nil)); err == nil {
+		t.Error("empty compare accepted")
+	}
+}
+
+func TestParallelSeedSweepMatchesSequential(t *testing.T) {
+	base := tracegen.PERO(30_000)
+	seeds := Seeds(11, 6)
+	schemes := []string{"dir0b", "dragon"}
+	metric := CyclesPerRef(bus.Pipelined())
+	seq, err := SeedSweep(base, seeds, schemes, coherence.Config{Caches: 4}, sim.Options{}, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelSeedSweep(base, seeds, schemes, coherence.Config{Caches: 4}, sim.Options{}, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Scheme != par[i].Scheme {
+			t.Fatalf("scheme order differs: %s vs %s", seq[i].Scheme, par[i].Scheme)
+		}
+		for j := range seq[i].Values {
+			if seq[i].Values[j] != par[i].Values[j] {
+				t.Fatalf("%s seed %d: sequential %v vs parallel %v",
+					seq[i].Scheme, j, seq[i].Values[j], par[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestParallelSeedSweepErrors(t *testing.T) {
+	base := tracegen.PERO(1000)
+	metric := CyclesPerRef(bus.Pipelined())
+	if _, err := ParallelSeedSweep(base, nil, []string{"dir0b"}, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := ParallelSeedSweep(base, []int64{1}, nil, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
+		t.Error("no schemes accepted")
+	}
+	if _, err := ParallelSeedSweep(base, []int64{1}, []string{"bogus"}, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}

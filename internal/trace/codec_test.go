@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomRefs(rng *rand.Rand, n int) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = Ref{
+			CPU:    uint8(rng.Intn(8)),
+			PID:    uint16(rng.Intn(64)),
+			Kind:   Kind(rng.Intn(3)),
+			Addr:   rng.Uint64(),
+			Lock:   rng.Intn(4) == 0,
+			Kernel: rng.Intn(8) == 0,
+		}
+		if refs[i].Kind != Read {
+			refs[i].Lock = false
+		}
+	}
+	return refs
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	refs := randomRefs(rand.New(rand.NewSource(42)), 500)
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range refs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual([]Ref(got), refs) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != BinaryMagic {
+		t.Fatalf("empty trace bytes = %q", buf.String())
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace yielded %d refs", len(got))
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader("NOTMAGIC" + strings.Repeat("x", 12)))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Append(Ref{Kind: Read, Addr: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r := NewBinaryReader(bytes.NewReader(trunc))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestBinaryRejectsInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Append(Ref{Kind: Kind(3)}); err == nil {
+		t.Fatal("invalid kind accepted by writer")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	refs := randomRefs(rand.New(rand.NewSource(7)), 200)
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	for _, r := range refs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual([]Ref(got), refs) {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	input := `
+# a comment
+0 1 r 10 lock
+
+1 2 w ff kernel
+`
+	got, err := ReadAll(NewTextReader(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ref{
+		{CPU: 0, PID: 1, Kind: Read, Addr: 0x10, Lock: true},
+		{CPU: 1, PID: 2, Kind: Write, Addr: 0xff, Kernel: true},
+	}
+	if !reflect.DeepEqual([]Ref(got), want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseRefErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"0 1 r",           // too few fields
+		"x 1 r 10",        // bad cpu
+		"0 y r 10",        // bad pid
+		"0 1 q 10",        // bad kind
+		"0 1 r zz",        // bad addr
+		"0 1 r 10 wibble", // unknown annotation
+		"300 1 r 10",      // cpu out of range
+	}
+	for _, line := range bad {
+		if _, err := ParseRef(line); err == nil {
+			t.Errorf("ParseRef(%q) accepted", line)
+		}
+	}
+}
+
+func TestTextReaderReportsLineNumber(t *testing.T) {
+	input := "0 1 r 10\nbogus line here\n"
+	r := NewTextReader(strings.NewReader(input))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+// Property: binary encode/decode is the identity on arbitrary refs with
+// valid kinds.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(cpu uint8, pid uint16, kindRaw uint8, addr uint64, lock, kernel bool) bool {
+		ref := Ref{
+			CPU: cpu, PID: pid, Kind: Kind(kindRaw % 3), Addr: addr,
+			Lock: lock, Kernel: kernel,
+		}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		if err := w.Append(ref); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewBinaryReader(&buf)
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		if _, err := r.Next(); err != io.EOF {
+			return false
+		}
+		return got == ref
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import "io"
+
+// FilterFunc reports whether a reference should be kept.
+type FilterFunc func(Ref) bool
+
+// Filter wraps rd, yielding only references for which keep returns true.
+func Filter(rd Reader, keep FilterFunc) Reader {
+	return &filterReader{rd: rd, keep: keep}
+}
+
+type filterReader struct {
+	rd   Reader
+	keep FilterFunc
+}
+
+func (f *filterReader) Next() (Ref, error) {
+	for {
+		ref, err := f.rd.Next()
+		if err != nil {
+			return Ref{}, err
+		}
+		if f.keep(ref) {
+			return ref, nil
+		}
+	}
+}
+
+// DropLockSpins removes spin-lock test reads from the trace. This is the
+// Section 5.2 experiment: "we ran a set of experiments excluding all the
+// tests on locks in the three traces".
+func DropLockSpins(rd Reader) Reader {
+	return Filter(rd, func(r Ref) bool { return !r.Lock })
+}
+
+// DropInstructions removes instruction fetches, leaving the data stream.
+func DropInstructions(rd Reader) Reader {
+	return Filter(rd, func(r Ref) bool { return r.Kind != Instr })
+}
+
+// DataOnly is an alias for DropInstructions, matching the paper's focus on
+// data references for consistency traffic.
+func DataOnly(rd Reader) Reader { return DropInstructions(rd) }
+
+// Limit yields at most n references from rd.
+func Limit(rd Reader, n int) Reader {
+	return &limitReader{rd: rd, remain: n}
+}
+
+type limitReader struct {
+	rd     Reader
+	remain int
+}
+
+func (l *limitReader) Next() (Ref, error) {
+	if l.remain <= 0 {
+		return Ref{}, io.EOF
+	}
+	ref, err := l.rd.Next()
+	if err != nil {
+		return Ref{}, err
+	}
+	l.remain--
+	return ref, nil
+}
+
+// Concat yields the references of each reader in turn.
+func Concat(readers ...Reader) Reader {
+	return &concatReader{readers: readers}
+}
+
+type concatReader struct {
+	readers []Reader
+}
+
+func (c *concatReader) Next() (Ref, error) {
+	for len(c.readers) > 0 {
+		ref, err := c.readers[0].Next()
+		if err == io.EOF {
+			c.readers = c.readers[1:]
+			continue
+		}
+		return ref, err
+	}
+	return Ref{}, io.EOF
+}
+
+// RemapCPU rewrites each reference's CPU through the supplied mapping. It is
+// useful for folding a trace onto fewer processors. Missing CPUs map to
+// themselves.
+func RemapCPU(rd Reader, mapping map[uint8]uint8) Reader {
+	return &remapReader{rd: rd, mapping: mapping}
+}
+
+type remapReader struct {
+	rd      Reader
+	mapping map[uint8]uint8
+}
+
+func (m *remapReader) Next() (Ref, error) {
+	ref, err := m.rd.Next()
+	if err != nil {
+		return Ref{}, err
+	}
+	if to, ok := m.mapping[ref.CPU]; ok {
+		ref.CPU = to
+	}
+	return ref, nil
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzParseRef checks that the text parser never panics and that anything
+// it accepts round-trips through the writer.
+func FuzzParseRef(f *testing.F) {
+	f.Add("0 1 r 10")
+	f.Add("3 200 w ffffffffffffffff lock kernel")
+	f.Add("0 0 i 0")
+	f.Add("x y z")
+	f.Fuzz(func(t *testing.T, line string) {
+		ref, err := ParseRef(line)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewTextWriter(&buf)
+		if err := w.Append(ref); err != nil {
+			t.Fatalf("accepted ref failed to encode: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := NewTextReader(&buf).Next()
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back != ref {
+			t.Fatalf("round trip changed ref: %+v vs %+v", back, ref)
+		}
+	})
+}
+
+// FuzzBinaryReader checks the binary decoder never panics on arbitrary
+// bytes and that every successfully decoded prefix re-encodes to the same
+// bytes.
+func FuzzBinaryReader(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewBinaryWriter(&seed)
+	_ = w.Append(Ref{CPU: 1, PID: 2, Kind: Read, Addr: 0x1234, Lock: true})
+	_ = w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte("DIRTRC01"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinaryReader(bytes.NewReader(data))
+		var decoded []Ref
+		for {
+			ref, err := r.Next()
+			if err != nil {
+				break
+			}
+			decoded = append(decoded, ref)
+			if len(decoded) > 1<<16 {
+				break
+			}
+		}
+		// Whatever decoded must re-encode and decode identically.
+		var buf bytes.Buffer
+		bw := NewBinaryWriter(&buf)
+		for _, ref := range decoded {
+			if err := bw.Append(ref); err != nil {
+				t.Fatalf("decoded ref failed to encode: %v", err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		br := NewBinaryReader(&buf)
+		for i, want := range decoded {
+			got, err := br.Next()
+			if err != nil {
+				t.Fatalf("re-decode %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("re-decode %d changed ref", i)
+			}
+		}
+		if _, err := br.Next(); err != io.EOF {
+			t.Fatalf("trailing data after re-decode: %v", err)
+		}
+	})
+}

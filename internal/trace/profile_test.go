@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileStaticDegrees(t *testing.T) {
+	tr := Slice{
+		{PID: 1, Kind: Read, Addr: 0x10}, // block 1: PIDs {1,2}
+		{PID: 2, Kind: Read, Addr: 0x10},
+		{PID: 1, Kind: Read, Addr: 0x20},  // block 2: PID {1}
+		{PID: 3, Kind: Write, Addr: 0x30}, // block 3: PID {3}
+		{PID: 1, Kind: Instr, Addr: 0x99}, // ignored
+	}
+	p, err := Profile(NewSliceReader(tr), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DataRefs != 4 {
+		t.Fatalf("DataRefs = %d", p.DataRefs)
+	}
+	if p.StaticDegree.Counts[1] != 2 || p.StaticDegree.Counts[2] != 1 {
+		t.Fatalf("StaticDegree = %v", p.StaticDegree.Counts)
+	}
+	// Shared fraction: 1 of 3 blocks.
+	if got := p.SharedBlockFraction(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("SharedBlockFraction = %v", got)
+	}
+	// Ref-weighted: 2 refs at degree 2, 2 refs at degree 1.
+	if p.RefWeightedDegree.Counts[2] != 2 || p.RefWeightedDegree.Counts[1] != 2 {
+		t.Fatalf("RefWeightedDegree = %v", p.RefWeightedDegree.Counts)
+	}
+	if p.RefWeightedDegree.Total() != 4 {
+		t.Fatalf("weighted total = %d", p.RefWeightedDegree.Total())
+	}
+}
+
+func TestProfileDynamicReaders(t *testing.T) {
+	tr := Slice{
+		{PID: 1, Kind: Read, Addr: 0x10},
+		{PID: 2, Kind: Read, Addr: 0x10},
+		{PID: 3, Kind: Write, Addr: 0x10}, // 2 other processes to invalidate
+		{PID: 3, Kind: Write, Addr: 0x10}, // 0 others since the last write
+		{PID: 1, Kind: Read, Addr: 0x10},
+		{PID: 1, Kind: Write, Addr: 0x10}, // 1 other: PID 3 still holds its copy
+	}
+	p, err := Profile(NewSliceReader(tr), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WritesProfiled != 3 {
+		t.Fatalf("WritesProfiled = %d", p.WritesProfiled)
+	}
+	if p.DynamicReaders.Counts[2] != 1 {
+		t.Fatalf("DynamicReaders = %v, want one fan-out-2 write", p.DynamicReaders.Counts)
+	}
+	if p.DynamicReaders.Counts[0] != 1 || p.DynamicReaders.Counts[1] != 1 {
+		t.Fatalf("DynamicReaders = %v, want one fan-out-0 and one fan-out-1 write", p.DynamicReaders.Counts)
+	}
+	// One pointer suffices for two of the three writes.
+	if got := p.PointerSufficiency(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("PointerSufficiency(1) = %v, want 2/3", got)
+	}
+	if got := p.PointerSufficiency(2); got != 1 {
+		t.Fatalf("PointerSufficiency(2) = %v, want 1", got)
+	}
+}
+
+func TestProfileRejectsBadBlockSize(t *testing.T) {
+	if _, err := Profile(NewSliceReader(nil), 10); err == nil {
+		t.Fatal("block size 10 accepted")
+	}
+}
+
+func TestProfileEmptyTrace(t *testing.T) {
+	p, err := Profile(NewSliceReader(nil), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SharedBlockFraction() != 0 || p.PointerSufficiency(1) != 0 {
+		t.Fatal("empty profile should report zeros")
+	}
+}
+
+func TestWorkingSets(t *testing.T) {
+	tr := Slice{
+		{Kind: Read, Addr: 0x10},
+		{Kind: Read, Addr: 0x10},
+		{Kind: Write, Addr: 0x20},  // window 1: blocks {1,2}
+		{Kind: Instr, Addr: 0x999}, // ignored
+		{Kind: Read, Addr: 0x30},
+		{Kind: Read, Addr: 0x40},
+		{Kind: Read, Addr: 0x40}, // window 2: blocks {3,4}
+		{Kind: Read, Addr: 0x50}, // partial window 3: {5}
+	}
+	ws, err := WorkingSets(NewSliceReader(tr), 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 1}
+	if len(ws) != len(want) {
+		t.Fatalf("got %v, want %v", ws, want)
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("got %v, want %v", ws, want)
+		}
+	}
+}
+
+func TestWorkingSetsErrors(t *testing.T) {
+	if _, err := WorkingSets(NewSliceReader(nil), 10, 5); err == nil {
+		t.Error("bad block size accepted")
+	}
+	if _, err := WorkingSets(NewSliceReader(nil), 16, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	ws, err := WorkingSets(NewSliceReader(nil), 16, 5)
+	if err != nil || len(ws) != 0 {
+		t.Errorf("empty trace: %v, %v", ws, err)
+	}
+}

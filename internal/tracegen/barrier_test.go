@@ -1,0 +1,131 @@
+package tracegen
+
+import (
+	"testing"
+
+	"dirsim/internal/trace"
+)
+
+const (
+	barrierCounterAddr = uint64(regionBarrier)
+	barrierGenAddr     = uint64(regionBarrier) + trace.DefaultBlockBytes
+)
+
+func barrierCfg(refs int) Config {
+	cfg := PERO(refs)
+	cfg.BarrierInterval = 800
+	return cfg
+}
+
+func TestBarrierValidation(t *testing.T) {
+	cfg := POPS(100)
+	cfg.BarrierInterval = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative BarrierInterval accepted")
+	}
+}
+
+func TestBarrierProtocolShape(t *testing.T) {
+	tr, err := Generate(barrierCfg(300_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the barrier protocol: arrivals increment the counter; after
+	// every len(procs)-th arrival a release write to the generation word
+	// follows (from the same process, before any further arrival).
+	const procs = 4
+	arrivalWrites := 0
+	releases := 0
+	pendingRelease := false
+	for i, r := range tr {
+		switch {
+		case r.Addr == barrierCounterAddr && r.Kind == trace.Write:
+			if pendingRelease {
+				t.Fatalf("ref %d: new arrival before the release write", i)
+			}
+			arrivalWrites++
+			if arrivalWrites%procs == 0 {
+				pendingRelease = true
+			}
+		case r.Addr == barrierGenAddr && r.Kind == trace.Write:
+			if !pendingRelease {
+				t.Fatalf("ref %d: release write without a full barrier", i)
+			}
+			pendingRelease = false
+			releases++
+		}
+	}
+	if releases == 0 {
+		t.Fatal("no barrier completed")
+	}
+	// Each arrival write is preceded by a read of the counter (the RMW).
+	reads := 0
+	for _, r := range tr {
+		if r.Addr == barrierCounterAddr && r.Kind == trace.Read {
+			reads++
+		}
+	}
+	if reads != arrivalWrites {
+		t.Errorf("counter reads %d != arrival writes %d", reads, arrivalWrites)
+	}
+}
+
+func TestBarrierSpinsAreLockMarked(t *testing.T) {
+	tr, err := Generate(barrierCfg(300_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spins := 0
+	for _, r := range tr {
+		if r.Addr == barrierGenAddr && r.Kind == trace.Read && r.Lock {
+			spins++
+		}
+	}
+	if spins == 0 {
+		t.Fatal("no barrier spin reads generated")
+	}
+}
+
+func TestBarrierDisabledByDefault(t *testing.T) {
+	for _, cfg := range Presets(50_000) {
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range tr {
+			if r.Addr >= regionBarrier && r.Addr < regionBarrier+perProcStride {
+				t.Fatalf("%s ref %d touches the barrier region", cfg.Name, i)
+			}
+		}
+	}
+}
+
+func TestBarrierTraceStillTerminatesAndBalances(t *testing.T) {
+	// With barriers on, lock accounting still balances (no interaction
+	// between the two synchronisation mechanisms).
+	cfg := POPS(200_000)
+	cfg.BarrierInterval = 2000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 200_000 {
+		t.Fatalf("generated %d refs", len(tr))
+	}
+	held := map[uint64]bool{}
+	for _, r := range tr {
+		if r.Addr < regionLocks || r.Addr >= regionLockDat || r.Kind != trace.Write || r.Lock {
+			continue
+		}
+		held[r.Addr] = !held[r.Addr]
+	}
+	stuck := 0
+	for _, h := range held {
+		if h {
+			stuck++
+		}
+	}
+	if stuck > cfg.Locks {
+		t.Fatalf("%d locks left held", stuck)
+	}
+}

@@ -1,0 +1,7 @@
+package tracegen
+
+import "io"
+
+// errEOF is returned by Generator.Next when the configured number of
+// references has been produced.
+var errEOF = io.EOF

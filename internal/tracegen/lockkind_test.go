@@ -1,0 +1,85 @@
+package tracegen
+
+import (
+	"testing"
+
+	"dirsim/internal/trace"
+)
+
+func TestLockKindValidation(t *testing.T) {
+	cfg := POPS(1000)
+	cfg.LockKind = LockKind(9)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown LockKind accepted")
+	}
+	cfg.LockKind = TestAndSet
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestAndSetSpinsAreWrites(t *testing.T) {
+	cfg := POPS(200_000)
+	cfg.LockKind = TestAndSet
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lockReads, lockWrites uint64
+	for _, r := range tr {
+		if !r.Lock {
+			continue
+		}
+		switch r.Kind {
+		case trace.Read:
+			lockReads++
+		case trace.Write:
+			lockWrites++
+		}
+	}
+	if lockWrites == 0 {
+		t.Fatal("test-and-set generated no failing set writes")
+	}
+	if lockReads != 0 {
+		t.Fatalf("test-and-set generated %d lock-probe reads", lockReads)
+	}
+}
+
+func TestTestAndTestAndSetSpinsAreReads(t *testing.T) {
+	tr, err := Generate(POPS(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr {
+		if r.Lock && r.Kind != trace.Read {
+			t.Fatalf("ref %d: TTS lock probe is a %v", i, r.Kind)
+		}
+	}
+}
+
+func TestLockKindsShareNonLockStructure(t *testing.T) {
+	// The primitive only changes the spin probes; acquisitions and
+	// critical sections still happen, and all locks are still released.
+	cfg := POPS(200_000)
+	cfg.LockKind = TestAndSet
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := map[uint64]bool{}
+	acquisitions := 0
+	for _, r := range tr {
+		if r.Addr < regionLocks || r.Addr >= regionLockDat || r.Kind != trace.Write || r.Lock {
+			continue // Lock=true writes are failing probes, not acquisitions
+		}
+		if held[r.Addr] {
+			held[r.Addr] = false
+		} else {
+			held[r.Addr] = true
+			acquisitions++
+		}
+	}
+	if acquisitions == 0 {
+		t.Fatal("no acquisitions under test-and-set")
+	}
+}

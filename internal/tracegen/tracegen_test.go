@@ -1,0 +1,267 @@
+package tracegen
+
+import (
+	"reflect"
+	"testing"
+
+	"dirsim/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	good := POPS(1000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("POPS preset invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.CPUs = 0 },
+		func(c *Config) { c.CPUs = 300 },
+		func(c *Config) { c.ProcsPerCPU = 0 },
+		func(c *Config) { c.Refs = -1 },
+		func(c *Config) { c.SharedBlocks = 0 },
+		func(c *Config) { c.PrivateBlocks = 0 },
+		func(c *Config) { c.Locks = -1 },
+		func(c *Config) { c.Quantum = 0 },
+		func(c *Config) { c.InstrFrac = 1.5 },
+		func(c *Config) { c.WriteFrac = -0.1 },
+		func(c *Config) { c.MigrationRate = 2 },
+		func(c *Config) { c.CriticalLen = 0 },
+	}
+	for i, mutate := range cases {
+		c := POPS(1000)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(POPS(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(POPS(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := POPS(5000)
+	c.Seed++
+	d, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestExactLength(t *testing.T) {
+	for _, n := range []int{0, 1, 59, 60, 61, 1000} {
+		cfg := THOR(n)
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) != n {
+			t.Errorf("Refs=%d produced %d refs", n, len(tr))
+		}
+	}
+}
+
+func TestRefFieldsInRange(t *testing.T) {
+	cfg := THOR(20000)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr {
+		if int(r.CPU) >= cfg.CPUs {
+			t.Fatalf("CPU %d out of range", r.CPU)
+		}
+		if r.PID == 0 || int(r.PID) > cfg.CPUs*cfg.ProcsPerCPU {
+			t.Fatalf("PID %d out of range", r.PID)
+		}
+		if !r.Kind.Valid() {
+			t.Fatalf("invalid kind %d", r.Kind)
+		}
+		if r.Lock && r.Kind != trace.Read {
+			t.Fatalf("lock annotation on %v", r.Kind)
+		}
+	}
+}
+
+// The Table 3 shape: ~half instructions, high read/write ratio, roughly the
+// configured kernel fraction, and all CPUs active.
+func statsFor(t *testing.T, cfg Config) trace.Stats {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.CollectStats(g, trace.DefaultBlockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPOPSShape(t *testing.T) {
+	st := statsFor(t, POPS(300000))
+	instrFrac := float64(st.Instr) / float64(st.Refs)
+	if instrFrac < 0.35 || instrFrac > 0.60 {
+		t.Errorf("instruction fraction = %.3f, want ~0.5", instrFrac)
+	}
+	if r := st.ReadWriteRatio(); r < 3 || r > 8 {
+		t.Errorf("read/write ratio = %.2f, want 3-8 (paper: 4.8)", r)
+	}
+	// Section 4.4: roughly one third of reads are lock spins.
+	if f := st.LockReadFraction(); f < 0.18 || f > 0.5 {
+		t.Errorf("lock read fraction = %.3f, want ~1/3", f)
+	}
+	if st.CPUs != 4 {
+		t.Errorf("CPUs = %d, want 4", st.CPUs)
+	}
+	sysFrac := float64(st.Sys) / float64(st.Refs)
+	if sysFrac < 0.05 || sysFrac > 0.20 {
+		t.Errorf("kernel fraction = %.3f, want ~0.10", sysFrac)
+	}
+}
+
+func TestPEROSharesLessThanPOPS(t *testing.T) {
+	pops := statsFor(t, POPS(200000))
+	pero := statsFor(t, PERO(200000))
+	if pero.SharedRefFraction() >= pops.SharedRefFraction()/2 {
+		t.Errorf("PERO shared fraction %.4f not well below POPS %.4f",
+			pero.SharedRefFraction(), pops.SharedRefFraction())
+	}
+	// PERO should spin far less.
+	if pero.LockReadFraction() >= pops.LockReadFraction()/2 {
+		t.Errorf("PERO lock fraction %.4f not well below POPS %.4f",
+			pero.LockReadFraction(), pops.LockReadFraction())
+	}
+}
+
+func TestSharingIsProcessSharing(t *testing.T) {
+	// With one process per CPU and no migration, process sharing and
+	// processor sharing coincide exactly (Section 4.4 found them nearly
+	// identical because migration was rare).
+	cfg := THOR(200000)
+	cfg.MigrationRate = 0
+	st := statsFor(t, cfg)
+	if st.SharedBlocksByProcess == 0 {
+		t.Fatal("no process-shared blocks generated")
+	}
+	if st.SharedBlocksByCPU != st.SharedBlocksByProcess {
+		t.Errorf("processor-shared %d != process-shared %d with no migration",
+			st.SharedBlocksByCPU, st.SharedBlocksByProcess)
+	}
+}
+
+func TestMigrationRare(t *testing.T) {
+	st := statsFor(t, POPS(300000))
+	if st.MigratedProcesses > st.Processes/2+1 {
+		t.Errorf("%d of %d processes migrated; migration should be rare",
+			st.MigratedProcesses, st.Processes)
+	}
+}
+
+func TestLocksEventuallyReleased(t *testing.T) {
+	// Generate a long trace and confirm every lock acquisition (write to
+	// a lock address after lock-test reads) has a matching release, i.e.
+	// no lock is held forever and spins terminate.
+	cfg := POPS(200000)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := map[uint64]uint16{}
+	acquisitions := 0
+	for i, r := range tr {
+		if r.Addr < regionLocks || r.Addr >= regionLockDat {
+			continue
+		}
+		if r.Kind != trace.Write {
+			continue
+		}
+		if owner, ok := held[r.Addr]; ok {
+			if owner != r.PID {
+				t.Fatalf("ref %d: lock %x released by %d, held by %d", i, r.Addr, r.PID, owner)
+			}
+			delete(held, r.Addr)
+		} else {
+			held[r.Addr] = r.PID
+			acquisitions++
+		}
+	}
+	if acquisitions == 0 {
+		t.Fatal("no lock acquisitions generated")
+	}
+	if len(held) > cfg.Locks {
+		t.Fatalf("%d locks left held", len(held))
+	}
+}
+
+func TestGeneratorStreamsMatchGenerate(t *testing.T) {
+	cfg := PERO(5000)
+	whole, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := trace.ReadAll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(whole, streamed) {
+		t.Fatal("streaming and batch generation differ")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets(100)
+	if len(ps) != 3 {
+		t.Fatalf("Presets returned %d configs", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Refs != 100 {
+			t.Errorf("%s Refs = %d", p.Name, p.Refs)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"POPS", "THOR", "PERO"} {
+		if !names[want] {
+			t.Errorf("missing preset %s", want)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	cfg := POPS(10)
+	cfg.CPUs = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid config accepted by New")
+	}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("invalid config accepted by Generate")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := POPS(100000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
