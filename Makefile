@@ -1,0 +1,33 @@
+# Keep `check` equal to what CI runs: a clean checkout that passes
+# `make check` will pass the workflow.
+
+GO ?= go
+
+.PHONY: build test race lint mc check fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Static analysis: go vet plus the dirsim-specific rule suite.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dirsimlint ./...
+
+# Explicit-state model check of every engine over the 2-cache universe,
+# then the 2-block universe where cross-block state can interact.
+mc:
+	$(GO) run ./cmd/dirsimlint -mc
+	$(GO) run ./cmd/dirsimlint -mc -blocks 2
+
+check: build lint test race mc
+
+# Short local fuzz of the scheme registry (CI runs the seed corpus via
+# `go test`; this explores further).
+fuzz:
+	$(GO) test ./internal/coherence/ -run FuzzNewByName -fuzz FuzzNewByName -fuzztime 30s

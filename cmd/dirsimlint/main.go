@@ -1,0 +1,154 @@
+// Command dirsimlint runs the dirsim-specific static analysis suite
+// (internal/lint) over the module, and — with -mc — the explicit-state
+// protocol model checker (internal/mc) over the coherence engines.
+//
+// Usage:
+//
+//	dirsimlint ./...                 lint the whole module
+//	dirsimlint -list                 show the rules
+//	dirsimlint -rules floateq ./...  run a subset of rules
+//	dirsimlint -mc                   explore every engine's state graph
+//	dirsimlint -mc -schemes dir1nb,moesi -blocks 2
+//
+// The command exits non-zero when any lint finding or invariant
+// violation is reported, so it can gate CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/lint"
+	"dirsim/internal/mc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dirsimlint: ")
+	mcMode := flag.Bool("mc", false, "model-check engine state graphs instead of linting")
+	schemes := flag.String("schemes", "", "comma-separated schemes for -mc (default: every engine)")
+	caches := flag.Int("caches", 2, "caches in the -mc universe")
+	blocks := flag.Int("blocks", 1, "distinct blocks in the -mc universe")
+	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	list := flag.Bool("list", false, "list the lint rules and exit")
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	flag.Parse()
+
+	clean, err := run(os.Stdout, options{
+		mcMode: *mcMode, schemes: *schemes, caches: *caches, blocks: *blocks,
+		rules: *rules, list: *list, dir: *dir, patterns: flag.Args(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !clean {
+		os.Exit(1)
+	}
+}
+
+// options collects the command's flags.
+type options struct {
+	mcMode         bool
+	schemes        string
+	caches, blocks int
+	rules          string
+	list           bool
+	dir            string
+	patterns       []string
+}
+
+// run executes one invocation and reports whether it came back clean.
+func run(w io.Writer, opts options) (bool, error) {
+	if opts.list {
+		for _, r := range lint.DefaultRules() {
+			fmt.Fprintf(w, "%-12s %s\n", r.Name(), r.Doc())
+		}
+		return true, nil
+	}
+	if opts.mcMode {
+		return runMC(w, opts)
+	}
+	return runLint(w, opts)
+}
+
+// runLint loads the requested packages and applies the rules.
+func runLint(w io.Writer, opts options) (bool, error) {
+	rules, err := selectRules(opts.rules)
+	if err != nil {
+		return false, err
+	}
+	pkgs, err := lint.Load(opts.dir, opts.patterns...)
+	if err != nil {
+		return false, err
+	}
+	findings := lint.Run(pkgs, rules)
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(w, "%d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return false, nil
+	}
+	return true, nil
+}
+
+// selectRules resolves a comma-separated rule list against DefaultRules.
+func selectRules(names string) ([]lint.Rule, error) {
+	if names == "" {
+		return lint.DefaultRules(), nil
+	}
+	byName := map[string]lint.Rule{}
+	for _, r := range lint.DefaultRules() {
+		byName[r.Name()] = r
+	}
+	var out []lint.Rule
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		r, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", n)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runMC explores every requested engine's reachable state graph and
+// prints one summary line per engine, plus any violations found.
+func runMC(w io.Writer, opts options) (bool, error) {
+	names := coherence.EngineNames()
+	if opts.schemes != "" {
+		names = strings.Split(opts.schemes, ",")
+	}
+	clean := true
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		res, err := mc.ExploreScheme(name, mc.Options{Caches: opts.caches, Blocks: opts.blocks})
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "%-14s %4d states, %5d edges, %5d transitions, depth %2d",
+			res.Engine, res.Nodes, res.Edges, res.Transitions, res.Depth)
+		if res.Truncated {
+			fmt.Fprint(w, " (truncated)")
+			clean = false
+		}
+		if len(res.Unreachable) > 0 {
+			fmt.Fprintf(w, "; unreachable: %s", strings.Join(res.Unreachable, " "))
+		}
+		fmt.Fprintln(w)
+		for _, v := range res.Violations {
+			fmt.Fprintf(w, "  VIOLATION %v\n", v)
+			clean = false
+		}
+	}
+	if !clean {
+		fmt.Fprintln(w, "model checking found violations")
+	}
+	return clean, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the gate the command exists for: the module's own
+// shipped code must produce zero findings under every default rule.
+func TestRepoIsLintClean(t *testing.T) {
+	var sb strings.Builder
+	clean, err := run(&sb, options{dir: ".", patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean {
+		t.Fatalf("repository has lint findings:\n%s", sb.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	clean, err := run(&sb, options{list: true})
+	if err != nil || !clean {
+		t.Fatalf("list: clean=%v err=%v", clean, err)
+	}
+	for _, rule := range []string{"maporder", "nondeterm", "floateq", "stateswitch", "ctorerr", "registry", "gocapture"} {
+		if !strings.Contains(sb.String(), rule) {
+			t.Errorf("rule %s missing from -list output:\n%s", rule, sb.String())
+		}
+	}
+}
+
+func TestRunMC(t *testing.T) {
+	var sb strings.Builder
+	clean, err := run(&sb, options{mcMode: true, schemes: "dir1nb,moesi", caches: 2, blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean {
+		t.Fatalf("model checker reported violations:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Dir1NB") || !strings.Contains(out, "MOESI") {
+		t.Errorf("missing engine summaries:\n%s", out)
+	}
+	if !strings.Contains(out, "states") || !strings.Contains(out, "unreachable") {
+		t.Errorf("summary lines incomplete:\n%s", out)
+	}
+}
+
+func TestSelectRules(t *testing.T) {
+	rs, err := selectRules("floateq, registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Name() != "floateq" || rs[1].Name() != "registry" {
+		t.Fatalf("selected %v", rs)
+	}
+	if _, err := selectRules("nosuchrule"); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}

@@ -224,30 +224,31 @@ func run(w io.Writer, refs, cpus int) error {
 		"Organisation", "n=4", "n=16", "n=64", "n=256")
 	type org struct {
 		name string
-		mk   func(n int) directory.Store
+		mk   func(n int) (directory.Store, error)
 	}
 	orgs := []org{
-		{"full-map (DirnNB)", func(n int) directory.Store { return directory.NewFullMap(n) }},
-		{"Tang duplicate", func(n int) directory.Store { return directory.NewTang(n) }},
-		{"two-bit (Dir0B)", func(n int) directory.Store { return directory.NewTwoBit() }},
-		{"Dir1B pointers", func(n int) directory.Store {
-			s, _ := directory.NewLimitedPointer(1, n, true)
-			return s
+		{"full-map (DirnNB)", func(n int) (directory.Store, error) { return directory.NewFullMap(n), nil }},
+		{"Tang duplicate", func(n int) (directory.Store, error) { return directory.NewTang(n), nil }},
+		{"two-bit (Dir0B)", func(n int) (directory.Store, error) { return directory.NewTwoBit(), nil }},
+		{"Dir1B pointers", func(n int) (directory.Store, error) {
+			return directory.NewLimitedPointer(1, n, true)
 		}},
-		{"Dir4B pointers", func(n int) directory.Store {
-			s, _ := directory.NewLimitedPointer(4, n, true)
-			return s
+		{"Dir4B pointers", func(n int) (directory.Store, error) {
+			return directory.NewLimitedPointer(4, n, true)
 		}},
-		{"coded-set", func(n int) directory.Store {
-			s, _ := directory.NewCodedSet(n)
-			return s
+		{"coded-set", func(n int) (directory.Store, error) {
+			return directory.NewCodedSet(n)
 		}},
 	}
 	for _, o := range orgs {
 		cells := []string{o.name}
 		for _, n := range []int{4, 16, 64, 256} {
 			p := directory.DefaultStorageParams(n)
-			bits := o.mk(n).StorageBits(p)
+			s, err := o.mk(n)
+			if err != nil {
+				return err
+			}
+			bits := s.StorageBits(p)
 			cells = append(cells, fmt.Sprintf("%.1f", float64(bits)/float64(p.MemoryBlocks)))
 		}
 		storage.AddRow(cells...)

@@ -22,6 +22,7 @@ package coherence
 
 import (
 	"fmt"
+	"strings"
 
 	"dirsim/internal/bitset"
 	"dirsim/internal/bus"
@@ -54,6 +55,28 @@ type Engine interface {
 	// directory contents); it is meant for tests and returns the first
 	// violation found.
 	CheckInvariants() error
+}
+
+// Inspector exposes an engine's protocol state to the model checker in
+// internal/mc. Every engine NewByName constructs implements it.
+//
+// The contract mc relies on: two engines of the same scheme and
+// configuration that report equal StateKeys behave identically on every
+// future reference — the key is a complete, canonical encoding of the
+// protocol state (ground-truth sharing state plus whatever the directory
+// organisation remembers) restricted to the given blocks. Keys cover the
+// paper's infinite-cache configuration; finite-cache replacement recency
+// and sparse-directory entry recency are not encoded.
+type Inspector interface {
+	// StateKey returns the canonical encoding of the engine's state for
+	// the given blocks, in the given block order. It is deterministic:
+	// replaying the same reference sequence always yields the same key.
+	StateKey(blocks []uint64) string
+	// Truth reports the ground-truth sharing state of one block: the
+	// caches holding a copy (ascending) and whether the block is in the
+	// protocol's written state (memory considered stale under copy-back
+	// semantics; the virtual written state for write-through schemes).
+	Truth(block uint64) (holders []int, dirty bool)
 }
 
 // ModelAdjuster is implemented by engines whose published cost model
@@ -279,4 +302,28 @@ func (t stateTable) dropIfEmpty(block uint64, bs *blockState) {
 	if bs.sharers.Empty() {
 		delete(t, block)
 	}
+}
+
+// appendKey writes the canonical encoding of one block's ground truth: the
+// holder set, and the owner when the block is in the written state. A block
+// with no holders encodes as "-" whether or not a table entry lingers.
+func (t stateTable) appendKey(b *strings.Builder, block uint64) {
+	bs := t[block]
+	if bs == nil || bs.sharers.Empty() {
+		b.WriteString("-")
+		return
+	}
+	b.WriteString(bs.sharers.String())
+	if bs.dirty {
+		fmt.Fprintf(b, "!%d", bs.owner)
+	}
+}
+
+// truth reports the block's holders (ascending) and written state.
+func (t stateTable) truth(block uint64) ([]int, bool) {
+	bs := t[block]
+	if bs == nil || bs.sharers.Empty() {
+		return nil, false
+	}
+	return bs.sharers.Elems(), bs.dirty
 }

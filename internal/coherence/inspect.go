@@ -1,0 +1,192 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the Inspector interface for every engine family:
+// canonical protocol-state keys for the model checker in internal/mc, and
+// the ground-truth abstraction its coverage report is phrased in. Keys are
+// built per block in the caller's block order, so equal keys mean equal
+// state over the blocks the checker explores.
+
+// Compile-time proof that every scheme NewByName can return is
+// inspectable; mc relies on the type assertion never failing.
+var (
+	_ Inspector = (*DirEngine)(nil)
+	_ Inspector = (*Berkeley)(nil)
+	_ Inspector = (*SnoopyInval)(nil)
+	_ Inspector = (*Dragon)(nil)
+	_ Inspector = (*MOESI)(nil)
+	_ Inspector = (*Competitive)(nil)
+	_ Inspector = (*ReadBroadcast)(nil)
+)
+
+// StateKey implements Inspector: ground truth plus the directory store's
+// per-block memory, which can lag the truth (TwoBit cannot forget holders,
+// coded sets only widen) and therefore changes future behaviour.
+func (e *DirEngine) StateKey(blocks []uint64) string {
+	var b strings.Builder
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "b%d:", blk)
+		e.state.appendKey(&b, blk)
+		b.WriteString("/")
+		b.WriteString(e.store.BlockKey(blk))
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// Truth implements Inspector.
+func (e *DirEngine) Truth(block uint64) ([]int, bool) {
+	return e.state.truth(block)
+}
+
+// StateKey implements Inspector: snoopy engines carry no directory, so the
+// ground-truth table is the whole state.
+func (e *SnoopyInval) StateKey(blocks []uint64) string {
+	var b strings.Builder
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "b%d:", blk)
+		e.state.appendKey(&b, blk)
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// Truth implements Inspector.
+func (e *SnoopyInval) Truth(block uint64) ([]int, bool) {
+	return e.state.truth(block)
+}
+
+// StateKey implements Inspector: holder set plus the memory-stale bit (an
+// update protocol has no single owner — every copy is current).
+func (e *Dragon) StateKey(blocks []uint64) string {
+	var b strings.Builder
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "b%d:", blk)
+		ds := e.state[blk]
+		if ds == nil || ds.sharers.Empty() {
+			b.WriteString("-")
+		} else {
+			b.WriteString(ds.sharers.String())
+			if ds.memStale {
+				b.WriteString("!")
+			}
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// Truth implements Inspector.
+func (e *Dragon) Truth(block uint64) ([]int, bool) {
+	ds := e.state[block]
+	if ds == nil || ds.sharers.Empty() {
+		return nil, false
+	}
+	return ds.sharers.Elems(), ds.memStale
+}
+
+// StateKey implements Inspector: holder set, staleness, and the owner
+// responsible for the stale memory copy (dirty sharing distinguishes
+// states MESI-family keys cannot reach).
+func (e *MOESI) StateKey(blocks []uint64) string {
+	var b strings.Builder
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "b%d:", blk)
+		ms := e.state[blk]
+		if ms == nil || ms.sharers.Empty() {
+			b.WriteString("-")
+		} else {
+			b.WriteString(ms.sharers.String())
+			if ms.memStale {
+				fmt.Fprintf(&b, "!%d", ms.owner)
+			}
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// Truth implements Inspector.
+func (e *MOESI) Truth(block uint64) ([]int, bool) {
+	ms := e.state[block]
+	if ms == nil || ms.sharers.Empty() {
+		return nil, false
+	}
+	return ms.sharers.Elems(), ms.memStale
+}
+
+// StateKey implements Inspector: holder set, staleness, and every holder's
+// absorbed-update counter (sorted by holder — the counter map has no
+// iteration order of its own).
+func (e *Competitive) StateKey(blocks []uint64) string {
+	var b strings.Builder
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "b%d:", blk)
+		cs := e.state[blk]
+		if cs == nil || cs.sharers.Empty() {
+			b.WriteString("-")
+		} else {
+			b.WriteString(cs.sharers.String())
+			if cs.memStale {
+				b.WriteString("!")
+			}
+			hs := make([]int, 0, len(cs.unused))
+			for h := range cs.unused {
+				hs = append(hs, h)
+			}
+			sort.Ints(hs)
+			for _, h := range hs {
+				fmt.Fprintf(&b, "u%d=%d", h, cs.unused[h])
+			}
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// Truth implements Inspector.
+func (e *Competitive) Truth(block uint64) ([]int, bool) {
+	cs := e.state[block]
+	if cs == nil || cs.sharers.Empty() {
+		return nil, false
+	}
+	return cs.sharers.Elems(), cs.memStale
+}
+
+// StateKey implements Inspector: holder set, written state, and the
+// snarfer set waiting to refill off the next bus read.
+func (e *ReadBroadcast) StateKey(blocks []uint64) string {
+	var b strings.Builder
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "b%d:", blk)
+		bs := e.state[blk]
+		if bs == nil || (bs.sharers.Empty() && bs.snarfers.Empty()) {
+			b.WriteString("-")
+		} else {
+			b.WriteString(bs.sharers.String())
+			if bs.dirty {
+				fmt.Fprintf(&b, "!%d", bs.owner)
+			}
+			if !bs.snarfers.Empty() {
+				b.WriteString("s")
+				b.WriteString(bs.snarfers.String())
+			}
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// Truth implements Inspector.
+func (e *ReadBroadcast) Truth(block uint64) ([]int, bool) {
+	bs := e.state[block]
+	if bs == nil || bs.sharers.Empty() {
+		return nil, false
+	}
+	return bs.sharers.Elems(), bs.dirty
+}

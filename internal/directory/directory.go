@@ -73,6 +73,13 @@ type Store interface {
 	// StorageBits returns the total directory storage the organisation
 	// needs for a machine described by p.
 	StorageBits(p StorageParams) uint64
+
+	// BlockKey returns a canonical, deterministic encoding of everything
+	// the organisation remembers about block — the directory half of a
+	// model-checking state key. Blocks the store tracks nothing for
+	// encode as "". Two stores of the same organisation with equal keys
+	// answer Targets and Count identically for that block.
+	BlockKey(block uint64) string
 }
 
 // StorageParams describes the machine for storage accounting.
@@ -186,6 +193,16 @@ func (f *FullMap) StorageBits(p StorageParams) uint64 {
 	return p.MemoryBlocks * uint64(p.Caches+1)
 }
 
+// BlockKey implements Store: the holder list in insertion order (the order
+// determines the sequence of directed invalidations, so it is state).
+func (f *FullMap) BlockKey(block uint64) string {
+	hs := f.present[block]
+	if len(hs) == 0 {
+		return ""
+	}
+	return fmt.Sprint(hs)
+}
+
 // Holders returns the exact holder list (primarily for tests and for
 // measuring coded-set waste against the truth).
 func (f *FullMap) Holders(block uint64) []int {
@@ -255,6 +272,8 @@ func (t *TwoBit) Add(block uint64, c int) int {
 		t.state[block] = stCleanOne
 	case stCleanOne:
 		t.state[block] = stCleanMany
+	case stCleanMany:
+		// Already clean in several caches; one more changes nothing.
 	case stDirtyOne:
 		// The old owner wrote back and retains a clean copy alongside
 		// the newcomer.
@@ -297,6 +316,22 @@ func (t *TwoBit) Count(block uint64) (int, bool) {
 // StorageBits implements Store: two bits per memory block.
 func (t *TwoBit) StorageBits(p StorageParams) uint64 {
 	return p.MemoryBlocks * 2
+}
+
+// BlockKey implements Store: the two-bit state.
+func (t *TwoBit) BlockKey(block uint64) string {
+	switch t.state[block] {
+	case stUncached:
+		return ""
+	case stCleanOne:
+		return "c1"
+	case stCleanMany:
+		return "cn"
+	case stDirtyOne:
+		return "d1"
+	default:
+		return fmt.Sprintf("?%d", t.state[block])
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -434,6 +469,20 @@ func (l *LimitedPointer) Count(block uint64) (int, bool) {
 	return len(e.ptrs), true
 }
 
+// BlockKey implements Store: the pointer list in FIFO order (the order
+// picks the Dir_iNB eviction victim, so it is state) plus the broadcast
+// bit.
+func (l *LimitedPointer) BlockKey(block uint64) string {
+	e := l.entries[block]
+	if e == nil {
+		return ""
+	}
+	if e.bcast {
+		return fmt.Sprintf("%v*", e.ptrs)
+	}
+	return fmt.Sprint(e.ptrs)
+}
+
 // StorageBits implements Store: i pointers of ceil(log2 n) bits, a dirty
 // bit, and — in the broadcast variant — the broadcast bit, per block.
 func (l *LimitedPointer) StorageBits(p StorageParams) uint64 {
@@ -557,4 +606,13 @@ func (cs *CodedSet) Count(block uint64) (int, bool) {
 // StorageBits implements Store: two bits per digit plus a dirty bit.
 func (cs *CodedSet) StorageBits(p StorageParams) uint64 {
 	return p.MemoryBlocks * uint64(2*log2Ceil(p.Caches)+1)
+}
+
+// BlockKey implements Store: the ternary code word.
+func (cs *CodedSet) BlockKey(block uint64) string {
+	e, ok := cs.codes[block]
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("v%x^%x", e.value, e.both)
 }

@@ -1,0 +1,151 @@
+// Package lint is a stdlib-only static-analysis framework (go/ast +
+// go/types, no external dependencies) with dirsim-specific rules.
+//
+// The paper's methodology — measure event frequencies once, weight them
+// with hardware costs — is only meaningful if every simulator run is
+// deterministic and every protocol transition is sound. The rules here
+// guard those properties statically, before a run, complementing the
+// dynamic checks (oracle tests, exhaustive enumeration, internal/mc):
+//
+//   - determinism: no ordered output built from map iteration, no global
+//     math/rand or time.Now in internal packages, no ==/!= on floats;
+//   - protocol hygiene: state-enum switches are exhaustive, constructor
+//     errors are checked, the EngineNames/NewByName registry is closed
+//     under both directions;
+//   - concurrency: goroutines must not assign to captured variables
+//     (the study worker pattern — parameters in, indexed slots out — is
+//     the sanctioned shape).
+//
+// Drive it with cmd/dirsimlint or embed it: Load packages, Run rules,
+// print Findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding as "file:line:col: rule: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Package is one loaded, type-checked package presented to rules.
+type Package struct {
+	// Path is the import path, Module the module path it belongs to.
+	Path, Module string
+	Fset         *token.FileSet
+	Files        []*ast.File
+	Pkg          *types.Package
+	Info         *types.Info
+}
+
+// findingf creates a Finding at pos.
+func (p *Package) findingf(pos token.Pos, rule, format string, args ...any) Finding {
+	return Finding{Pos: p.Fset.Position(pos), Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// inModuleInternal reports whether the package lives under an internal/
+// tree of its module (where the strict determinism rules apply).
+func (p *Package) inModuleInternal() bool {
+	rest, ok := strings.CutPrefix(p.Path, p.Module+"/")
+	if !ok {
+		return false
+	}
+	return rest == "internal" || strings.HasPrefix(rest, "internal/")
+}
+
+// Rule is one static check.
+type Rule interface {
+	// Name is the short identifier printed with each finding.
+	Name() string
+	// Doc is a one-line description of what the rule catches.
+	Doc() string
+	// Check analyses one package.
+	Check(p *Package) []Finding
+}
+
+// DefaultRules returns every dirsim rule.
+func DefaultRules() []Rule {
+	return []Rule{
+		MapOrderRule{},
+		NondeterminismRule{},
+		FloatEqRule{},
+		StateSwitchRule{},
+		CtorErrRule{},
+		EngineRegistryRule{},
+		GoCaptureRule{},
+	}
+}
+
+// Run applies rules to every package and returns the findings sorted by
+// position, rule, then message, so output is stable run to run.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		for _, r := range rules {
+			out = append(out, r.Check(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+// pkgNameOf resolves an identifier to the package it names, or nil.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if obj, ok := info.Uses[id].(*types.PkgName); ok {
+		return obj
+	}
+	return nil
+}
+
+// selectorPkgFunc reports whether call invokes the package-level function
+// pkgPath.name, e.g. ("sort", "Slice").
+func selectorPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn := pkgNameOf(info, id)
+	return pn != nil && pn.Imported().Path() == pkgPath
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type (or an untyped float constant).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

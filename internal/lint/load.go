@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the module packages matched by patterns,
+// rooted at dir (any directory inside the module). Patterns follow the go
+// tool's shape: "./..." walks the whole module, "./internal/..." a
+// subtree, "./cmd/dirsim" a single package. Test files are excluded — the
+// rules guard shipped code.
+//
+// Loading is stdlib-only: module packages are type-checked from source in
+// dependency order, and imports outside the module resolve through the
+// go/importer source importer (which reads GOROOT source), so no external
+// analysis framework and no compiled export data are required.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := matchPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		srcs:    map[string]string{}, // import path → directory
+		done:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	ld.base = importer.ForCompiler(ld.fset, "source", nil)
+
+	var paths []string
+	for _, d := range dirs {
+		ip, err := ld.importPath(d)
+		if err != nil {
+			return nil, err
+		}
+		if hasGoFiles(d) {
+			ld.srcs[ip] = d
+			paths = append(paths, ip)
+		}
+	}
+	sort.Strings(paths)
+
+	var out []*Package
+	for _, ip := range paths {
+		p, err := ld.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		gm := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s has no module line", gm)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// matchPatterns expands patterns into package directories under root.
+func matchPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(root, strings.TrimSuffix(rest, "/"))
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(root, pat))
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isLintedFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isLintedFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// loader type-checks module packages on demand, memoising results so each
+// package is checked once no matter how many importers reach it.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	base    types.Importer
+	srcs    map[string]string
+	done    map[string]*Package
+	loading map[string]bool
+}
+
+func (ld *loader) importPath(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return ld.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, ld.modPath)
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module import path to its directory.
+func (ld *loader) dirFor(path string) string {
+	if d, ok := ld.srcs[path]; ok {
+		return d
+	}
+	if path == ld.modPath {
+		return ld.root
+	}
+	rel := strings.TrimPrefix(path, ld.modPath+"/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// Import implements types.Importer: module packages are checked from
+// source; everything else falls through to the stdlib source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return ld.base.Import(path)
+}
+
+// load parses and type-checks one module package (memoised).
+func (ld *loader) load(path string) (*Package, error) {
+	if p, ok := ld.done[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.dirFor(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !isLintedFile(e.Name()) {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		Path:   path,
+		Module: ld.modPath,
+		Fset:   ld.fset,
+		Files:  files,
+		Pkg:    pkg,
+		Info:   info,
+	}
+	ld.done[path] = p
+	return p, nil
+}

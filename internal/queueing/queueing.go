@@ -142,7 +142,7 @@ func (m Model) Simulate(processors int, cycles int, seed int64) (Metrics, error)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	think := func() float64 {
-		if m.ThinkCycles == 0 {
+		if m.ThinkCycles <= 0 {
 			return 0
 		}
 		// Exponential with the configured mean, in continuous cycles.
@@ -150,7 +150,7 @@ func (m Model) Simulate(processors int, cycles int, seed int64) (Metrics, error)
 	}
 	// Event-driven: each processor is either thinking (known wake time)
 	// or queued/in service at the bus.
-	const inQueue = -1.0
+	queued := make([]bool, processors)
 	wake := make([]float64, processors)
 	for i := range wake {
 		wake[i] = think()
@@ -170,13 +170,13 @@ func (m Model) Simulate(processors int, cycles int, seed int64) (Metrics, error)
 		// Move every processor whose think time expired into the queue.
 		next := horizon
 		for p := range wake {
-			if wake[p] == inQueue {
+			if queued[p] {
 				continue
 			}
 			if wake[p] <= now {
 				enqueuedAt[p] = wake[p]
 				queue = append(queue, p)
-				wake[p] = inQueue
+				queued[p] = true
 			} else if wake[p] < next {
 				next = wake[p]
 			}
@@ -201,6 +201,7 @@ func (m Model) Simulate(processors int, cycles int, seed int64) (Metrics, error)
 		totalResp += resp
 		responses = append(responses, resp)
 		wake[p] = busBusyTil + think()
+		queued[p] = false
 		now = busBusyTil
 	}
 	if completed == 0 {

@@ -97,7 +97,7 @@ func Table4(results []sim.Result) string {
 		cells := []string{row.label}
 		for _, r := range results {
 			v := row.value(r)
-			if v == 0 && strings.HasPrefix(strings.TrimSpace(row.label), "w") {
+			if v <= 0 && strings.HasPrefix(strings.TrimSpace(row.label), "w") {
 				cells = append(cells, "-")
 			} else {
 				cells = append(cells, pct(v))
@@ -203,7 +203,7 @@ func Table5(results []sim.Result, m bus.CostModel) string {
 			}
 			v /= float64(r.Stats.Refs)
 			totals[ri] += v
-			if v == 0 {
+			if v <= 0 {
 				cells = append(cells, "-")
 			} else {
 				cells = append(cells, fmt.Sprintf("%.4f", v))
@@ -236,7 +236,7 @@ func Figure4(results []sim.Result, m bus.CostModel) string {
 			for _, op := range group {
 				v += by[op]
 			}
-			if v == 0 {
+			if v <= 0 {
 				continue
 			}
 			c.Add(table5Labels[gi], v/total)

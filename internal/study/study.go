@@ -37,10 +37,10 @@ type Summary struct {
 // summarise computes the statistics for a series.
 func summarise(scheme string, values []float64) Summary {
 	s := Summary{Scheme: scheme, Values: values}
-	n := float64(len(values))
-	if n == 0 {
+	if len(values) == 0 {
 		return s
 	}
+	n := float64(len(values))
 	var sum float64
 	for _, v := range values {
 		sum += v

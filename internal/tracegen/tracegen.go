@@ -558,7 +558,7 @@ func (g *Generator) runProc(pi int) {
 		case r < g.cfg.SharedFrac:
 			addr = g.pick(p.sharedHot, p.sharedCold)
 			wf := g.cfg.SharedWriteFrac
-			if wf == 0 {
+			if wf <= 0 {
 				wf = g.cfg.WriteFrac
 			}
 			if g.rng.Float64() < wf {
