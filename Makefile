@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint mc check fuzz
+.PHONY: build test race lint mc check fuzz bench
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,9 @@ check: build lint test race mc
 # `go test`; this explores further).
 fuzz:
 	$(GO) test ./internal/coherence/ -run FuzzNewByName -fuzz FuzzNewByName -fuzztime 30s
+
+# Driver throughput baseline: sequential vs parallel lockstep simulation
+# over four schemes, recorded as a JSON benchmark log for comparison
+# across commits (CI runs the same benchmark once as a smoke test).
+bench:
+	$(GO) test -run '^$$' -bench SimulatorThroughput -benchtime 1x -json . | tee BENCH_throughput.json

@@ -12,6 +12,7 @@ package dirsim_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -601,17 +602,30 @@ func BenchmarkExtensionLargerMachine(b *testing.B) {
 	b.ReportMetric(ptr1, "one_pointer_writes_pct_16p")
 }
 
-// Throughput benchmark: raw simulation speed of the lockstep driver.
+// Throughput benchmark: raw simulation speed of the lockstep driver over a
+// representative scheme mix, sequential versus the decode-once/fan-out
+// parallel driver. The parallel variant shards the engine set across
+// GOMAXPROCS workers; results are bitwise-identical to sequential (asserted
+// in internal/sim's parallel tests), so this measures pure driver overhead
+// and scaling.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	_, traces := loadBenchTraces(b)
 	tr := traces[0]
-	b.SetBytes(int64(len(tr)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := dirsim.RunSchemes(dirsim.NewTraceReader(tr),
-			[]string{"dir0b"}, dirsim.EngineConfig{Caches: 4}, dirsim.Options{}); err != nil {
-			b.Fatal(err)
+	schemes := []string{"dir1nb", "wti", "dir0b", "dragon"}
+	cfg := dirsim.EngineConfig{Caches: 4}
+	run := func(b *testing.B, opts dirsim.Options) {
+		b.SetBytes(int64(len(tr)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dirsim.RunSchemes(dirsim.NewTraceReader(tr), schemes, cfg, opts); err != nil {
+				b.Fatal(err)
+			}
 		}
+		// Engine-refs per second: each scheme consumes the full trace.
+		b.ReportMetric(float64(len(tr)*len(schemes))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
 	}
-	b.ReportMetric(float64(len(tr))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+	b.Run("sequential", func(b *testing.B) { run(b, dirsim.Options{}) })
+	b.Run("parallel", func(b *testing.B) {
+		run(b, dirsim.Options{Parallel: runtime.GOMAXPROCS(0)})
+	})
 }

@@ -8,20 +8,25 @@
 //	dirsim -trace pops.trc -schemes dir0b,dirnnb -events
 //	dirsim -workload thor -drop-locks -schemes dir1nb
 //	dirsim -workload pops -finite 64x4 -schemes dir0b
+//	dirsim -workload pops -refs 5000000 -parallel 4 -progress -timeout 60s
 package main
 
 import (
 	"compress/gzip"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
 	"dirsim/internal/numa"
+	"dirsim/internal/obs"
 	"dirsim/internal/report"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
@@ -47,15 +52,36 @@ func main() {
 	latency := flag.Bool("latency", false, "also print average memory access time (Section 5.1's metric)")
 	numaNodes := flag.Int("numa", 0, "also simulate a distributed full-map directory with N nodes (message-level)")
 	numaHome := flag.String("home", "interleaved", "NUMA home policy: interleaved or firsttouch")
+	parallel := flag.Int("parallel", 1, "engine worker goroutines (1 = sequential; results are identical)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "report throughput on stderr while simulating")
+	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(ctx, os.Stdout, options{
 		traceFile: *traceFile, workload: *workload, refs: *refs,
 		schemes: *schemes, cpus: *cpus, finite: *finite,
 		dropLocks: *dropLocks, byProcess: *byProcess,
 		events: *events, fanout: *fanout, csvOut: *csvOut, markdown: *md,
 		latency: *latency, q: *q,
 		numaNodes: *numaNodes, numaHome: *numaHome,
+		parallel: *parallel, progress: *progress, progressW: os.Stderr,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -73,9 +99,12 @@ type options struct {
 	q                      float64
 	numaNodes              int
 	numaHome               string
+	parallel               int
+	progress               bool
+	progressW              io.Writer
 }
 
-func run(w io.Writer, o options) error {
+func run(ctx context.Context, w io.Writer, o options) error {
 	rd, err := openTrace(o.traceFile, o.workload, o.refs)
 	if err != nil {
 		return err
@@ -89,12 +118,29 @@ func run(w io.Writer, o options) error {
 			return fmt.Errorf("bad -finite %q (want SETSxWAYS): %v", o.finite, err)
 		}
 	}
-	opts := sim.Options{}
+	opts := sim.Options{Parallel: o.parallel}
 	if o.byProcess {
 		opts.CacheBy = sim.ByProcess
 	}
+	if o.progress {
+		pw := o.progressW
+		if pw == nil {
+			pw = os.Stderr
+		}
+		m := obs.NewMetrics()
+		start := time.Now()
+		th := obs.NewThrottle(200*time.Millisecond, func() int64 { return time.Now().UnixNano() })
+		opts.OnProgress = func(n int) {
+			m.AddRefs(uint64(n))
+			if th.Ready() {
+				s := m.Snapshot()
+				fmt.Fprintf(pw, "\r%d refs (%.0f refs/s) ", s.Refs, s.RefsPerSec(time.Since(start)))
+			}
+		}
+		defer fmt.Fprintln(pw)
+	}
 	names := strings.Split(o.schemes, ",")
-	results, err := sim.RunSchemes(rd, names, cfg, opts)
+	results, err := sim.RunSchemes(ctx, rd, names, cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -162,7 +208,7 @@ func run(w io.Writer, o options) error {
 		if o.dropLocks {
 			rd2 = trace.DropLockSpins(rd2)
 		}
-		st, err := numa.Run(rd2, eng, numa.Options{})
+		st, err := numa.Run(ctx, rd2, eng, numa.Options{})
 		if err != nil {
 			return err
 		}

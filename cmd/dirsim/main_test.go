@@ -2,6 +2,7 @@ package main
 
 import (
 	"compress/gzip"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestRunGeneratedWorkload(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, options{workload: "pero", refs: 20000, schemes: "dir0b,dragon", cpus: 4, events: true, fanout: true})
+	err := run(context.Background(), &out, options{workload: "pero", refs: 20000, schemes: "dir0b,dragon", cpus: 4, events: true, fanout: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestRunGeneratedWorkload(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, options{workload: "pero", refs: 10000, schemes: "dir0b", cpus: 4, csvOut: true})
+	err := run(context.Background(), &out, options{workload: "pero", refs: 10000, schemes: "dir0b", cpus: 4, csvOut: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunTraceFileAndGzip(t *testing.T) {
 
 	for _, path := range []string{plain, zipped} {
 		var out strings.Builder
-		if err := run(&out, options{traceFile: path, schemes: "dir0b", cpus: 4}); err != nil {
+		if err := run(context.Background(), &out, options{traceFile: path, schemes: "dir0b", cpus: 4}); err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
 		if !strings.Contains(out.String(), "Dir0B") {
@@ -96,23 +97,23 @@ func TestRunTraceFileAndGzip(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, options{workload: "nope", refs: 100, schemes: "dir0b", cpus: 4}); err == nil {
+	if err := run(context.Background(), &out, options{workload: "nope", refs: 100, schemes: "dir0b", cpus: 4}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(&out, options{workload: "pero", refs: 100, schemes: "bogus", cpus: 4}); err == nil {
+	if err := run(context.Background(), &out, options{workload: "pero", refs: 100, schemes: "bogus", cpus: 4}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run(&out, options{workload: "pero", refs: 100, schemes: "dir0b", cpus: 4, finite: "badgeom"}); err == nil {
+	if err := run(context.Background(), &out, options{workload: "pero", refs: 100, schemes: "dir0b", cpus: 4, finite: "badgeom"}); err == nil {
 		t.Error("bad -finite accepted")
 	}
-	if err := run(&out, options{traceFile: "/does/not/exist.trc", schemes: "dir0b", cpus: 4}); err == nil {
+	if err := run(context.Background(), &out, options{traceFile: "/does/not/exist.trc", schemes: "dir0b", cpus: 4}); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }
 
 func TestRunFiniteAndFilters(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, options{workload: "pops", refs: 20000, schemes: "dir0b", cpus: 4, finite: "16x2", dropLocks: true, byProcess: true, q: 1})
+	err := run(context.Background(), &out, options{workload: "pops", refs: 20000, schemes: "dir0b", cpus: 4, finite: "16x2", dropLocks: true, byProcess: true, q: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,9 +122,49 @@ func TestRunFiniteAndFilters(t *testing.T) {
 	}
 }
 
+// TestRunProgressAndParallel exercises the -progress and -parallel paths:
+// the progress writer must see at least one throughput line, stdout stays
+// clean of it, and the parallel run reports the same table as sequential.
+func TestRunProgressAndParallel(t *testing.T) {
+	var out, prog strings.Builder
+	err := run(context.Background(), &out, options{
+		workload: "pero", refs: 20000, schemes: "dir0b,dragon", cpus: 4,
+		parallel: 4, progress: true, progressW: &prog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "refs") {
+		t.Errorf("progress output missing: %q", prog.String())
+	}
+	if strings.Contains(out.String(), "refs/s") {
+		t.Error("progress leaked into stdout")
+	}
+	var seq strings.Builder
+	if err := run(context.Background(), &seq, options{
+		workload: "pero", refs: 20000, schemes: "dir0b,dragon", cpus: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != seq.String() {
+		t.Error("parallel table differs from sequential")
+	}
+}
+
+// A context that is already cancelled must abort the run with its error.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, &out, options{workload: "pero", refs: 100_000, schemes: "dir0b", cpus: 4})
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("err = %v, want context cancellation", err)
+	}
+}
+
 func TestRunNUMAAndLatency(t *testing.T) {
 	var out strings.Builder
-	err := run(&out, options{workload: "pero", refs: 20000, schemes: "dirnnb",
+	err := run(context.Background(), &out, options{workload: "pero", refs: 20000, schemes: "dirnnb",
 		cpus: 4, latency: true, numaNodes: 4, numaHome: "firsttouch"})
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +175,7 @@ func TestRunNUMAAndLatency(t *testing.T) {
 			t.Errorf("output missing %q", want)
 		}
 	}
-	if err := run(&out, options{workload: "pero", refs: 100, schemes: "dir0b",
+	if err := run(context.Background(), &out, options{workload: "pero", refs: 100, schemes: "dir0b",
 		cpus: 4, numaNodes: 4, numaHome: "bogus"}); err == nil {
 		t.Error("bad -home accepted")
 	}

@@ -6,22 +6,27 @@
 //
 // Usage:
 //
-//	paper [-refs N] [-cpus N] [-seed-offset N]
+//	paper [-refs N] [-cpus N] [-parallel N] [-progress] [-timeout D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
 	"dirsim/internal/directory"
 	"dirsim/internal/numa"
+	"dirsim/internal/obs"
 	"dirsim/internal/queueing"
 	"dirsim/internal/report"
+	"dirsim/internal/runner"
 	"dirsim/internal/sim"
 	"dirsim/internal/study"
 	"dirsim/internal/trace"
@@ -33,8 +38,33 @@ func main() {
 	log.SetPrefix("paper: ")
 	refs := flag.Int("refs", 1_000_000, "references per synthetic trace")
 	cpus := flag.Int("cpus", 4, "number of processors")
+	parallel := flag.Int("parallel", 1, "concurrent simulation jobs (1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "abort the reproduction after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
+	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
 	flag.Parse()
-	if err := run(os.Stdout, *refs, *cpus); err != nil {
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
+	}
+	if err := run(ctx, os.Stdout, *refs, *cpus, *parallel, progressW); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -43,11 +73,78 @@ func main() {
 // order, plus the Berkeley estimate used in the Table 5 discussion.
 var section3Schemes = []string{"dir1nb", "wti", "dir0b", "dragon"}
 
-func run(w io.Writer, refs, cpus int) error {
+// runPresets fans one job per preset out on the runner pool: every preset's
+// trace (optionally filtered) runs the same scheme set, returning one
+// result slice per preset, in preset order.
+func runPresets(ctx context.Context, presets []tracegen.Config, filter func(trace.Reader) trace.Reader,
+	schemes []string, cfg coherence.Config, opts sim.Options, ropts runner.Options) ([][]sim.Result, error) {
+	jobs := make([]runner.Job, len(presets))
+	for i, p := range presets {
+		p := p
+		jobs[i] = runner.Job{
+			Label: p.Name,
+			Source: func() (trace.Reader, error) {
+				g, err := tracegen.New(p)
+				if err != nil {
+					return nil, err
+				}
+				if filter != nil {
+					return filter(g), nil
+				}
+				return g, nil
+			},
+			Schemes: schemes,
+			Config:  cfg,
+			Opts:    opts,
+		}
+	}
+	return runner.Run(ctx, jobs, ropts)
+}
+
+// combineAcross merges per-preset results scheme by scheme — the paper's
+// reference-weighted average "across the three traces".
+func combineAcross(perTrace [][]sim.Result) ([]sim.Result, error) {
+	if len(perTrace) == 0 {
+		return nil, nil
+	}
+	combined := make([]sim.Result, len(perTrace[0]))
+	for si := range combined {
+		group := make([]sim.Result, len(perTrace))
+		for ti := range perTrace {
+			group[ti] = perTrace[ti][si]
+		}
+		c, err := sim.Combine(group)
+		if err != nil {
+			return nil, err
+		}
+		combined[si] = c
+	}
+	return combined, nil
+}
+
+func run(ctx context.Context, w io.Writer, refs, cpus, parallel int, progressW io.Writer) error {
 	timing := bus.DefaultTiming()
 	pip, np := timing.Pipelined(), timing.NonPipelined()
 	cfg := coherence.Config{Caches: cpus}
 	presets := tracegen.Presets(refs)
+
+	// All experiment fan-out goes through one runner configuration; with
+	// progress enabled the pool reports on progressW at batch granularity.
+	ropts := runner.Options{Workers: parallel}
+	if progressW != nil {
+		m := obs.NewMetrics()
+		start := time.Now()
+		th := obs.NewThrottle(200*time.Millisecond, func() int64 { return time.Now().UnixNano() })
+		ropts.Metrics = m
+		ropts.Progress = func() {
+			if th.Ready() {
+				s := m.Snapshot()
+				fmt.Fprintf(progressW, "\rjobs %d/%d  %d refs (%.0f refs/s) ",
+					s.JobsDone, s.JobsTotal, s.Refs, s.RefsPerSec(time.Since(start)))
+			}
+		}
+		defer fmt.Fprintln(progressW)
+	}
 
 	fmt.Fprintf(w, "Reproduction of: An Evaluation of Directory Schemes for Cache Coherence\n")
 	fmt.Fprintf(w, "Agarwal, Simoni, Hennessy, Horowitz (ISCA 1988)\n")
@@ -74,30 +171,16 @@ func run(w io.Writer, refs, cpus int) error {
 	}
 	fmt.Fprintln(w, report.Table3(names, stats))
 
-	// One lockstep run per trace over the Section 3 schemes + Berkeley.
-	perTrace := make([][]sim.Result, len(presets))
-	for i, p := range presets {
-		g, err := tracegen.New(p)
-		if err != nil {
-			return err
-		}
-		rs, err := sim.RunSchemes(g, append(append([]string{}, section3Schemes...), "berkeley"), cfg, sim.Options{})
-		if err != nil {
-			return err
-		}
-		perTrace[i] = rs
+	// One lockstep run per trace over the Section 3 schemes + Berkeley,
+	// fanned out across presets on the runner pool.
+	perTrace, err := runPresets(ctx, presets, nil,
+		append(append([]string{}, section3Schemes...), "berkeley"), cfg, sim.Options{}, ropts)
+	if err != nil {
+		return err
 	}
-	combined := make([]sim.Result, len(section3Schemes)+1)
-	for si := range combined {
-		var group []sim.Result
-		for ti := range perTrace {
-			group = append(group, perTrace[ti][si])
-		}
-		c, err := sim.Combine(group)
-		if err != nil {
-			return err
-		}
-		combined[si] = c
+	combined, err := combineAcross(perTrace)
+	if err != nil {
+		return err
 	}
 	core := combined[:len(section3Schemes)] // without Berkeley
 
@@ -141,57 +224,27 @@ func run(w io.Writer, refs, cpus int) error {
 	// Section 5.2: spin locks. Rerun Dir1NB and Dir0B with lock-test
 	// reads filtered out.
 	with := []sim.Result{combined[0], dir0b}
-	var withoutGroups [][]sim.Result
-	for _, p := range presets {
-		g, err := tracegen.New(p)
-		if err != nil {
-			return err
-		}
-		rs, err := sim.RunSchemes(trace.DropLockSpins(g), []string{"dir1nb", "dir0b"}, cfg, sim.Options{})
-		if err != nil {
-			return err
-		}
-		withoutGroups = append(withoutGroups, rs)
+	withoutGroups, err := runPresets(ctx, presets, trace.DropLockSpins,
+		[]string{"dir1nb", "dir0b"}, cfg, sim.Options{}, ropts)
+	if err != nil {
+		return err
 	}
-	without := make([]sim.Result, 2)
-	for si := range without {
-		var group []sim.Result
-		for _, rs := range withoutGroups {
-			group = append(group, rs[si])
-		}
-		c, err := sim.Combine(group)
-		if err != nil {
-			return err
-		}
-		without[si] = c
+	without, err := combineAcross(withoutGroups)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintln(w, report.Section52(with, without, pip))
 
-	// Section 6: scalability alternatives, all in one lockstep run.
+	// Section 6: scalability alternatives, all in one lockstep run per
+	// preset.
 	sec6Schemes := []string{"dir0b", "dirnnb", "dir1b", "dir2b", "dir2nb", "dir4nb", "codedset"}
-	var sec6Groups [][]sim.Result
-	for _, p := range presets {
-		g, err := tracegen.New(p)
-		if err != nil {
-			return err
-		}
-		rs, err := sim.RunSchemes(g, sec6Schemes, cfg, sim.Options{})
-		if err != nil {
-			return err
-		}
-		sec6Groups = append(sec6Groups, rs)
+	sec6Groups, err := runPresets(ctx, presets, nil, sec6Schemes, cfg, sim.Options{}, ropts)
+	if err != nil {
+		return err
 	}
-	sec6 := make([]sim.Result, len(sec6Schemes))
-	for si := range sec6 {
-		var group []sim.Result
-		for _, rs := range sec6Groups {
-			group = append(group, rs[si])
-		}
-		c, err := sim.Combine(group)
-		if err != nil {
-			return err
-		}
-		sec6[si] = c
+	sec6, err := combineAcross(sec6Groups)
+	if err != nil {
+		return err
 	}
 	tb := report.NewTable("Section 6: directory alternatives (pipelined bus)",
 		"Scheme", "cycles/ref", "miss rate %", "bcast/1k refs", "wasted inv/1k refs", "ptr evict/1k refs")
@@ -258,29 +311,17 @@ func run(w io.Writer, refs, cpus int) error {
 	// Extension: the full protocol zoo, including the referenced snoopy
 	// protocols (Goodman write-once, Illinois MESI, Firefly).
 	zooSchemes := []string{"wti", "readbroadcast", "writeonce", "mesi", "moesi", "dragon", "firefly", "competitive4", "dir0b", "dirnnb"}
-	var zooGroups [][]sim.Result
-	for _, p := range presets {
-		g, err := tracegen.New(p)
-		if err != nil {
-			return err
-		}
-		rs, err := sim.RunSchemes(g, zooSchemes, cfg, sim.Options{})
-		if err != nil {
-			return err
-		}
-		zooGroups = append(zooGroups, rs)
+	zooGroups, err := runPresets(ctx, presets, nil, zooSchemes, cfg, sim.Options{}, ropts)
+	if err != nil {
+		return err
+	}
+	zooCombined, err := combineAcross(zooGroups)
+	if err != nil {
+		return err
 	}
 	zoo := report.NewTable("Extension: the wider snoopy/directory protocol zoo (cycles/ref)",
 		"Scheme", "pipelined", "non-pipelined")
-	for si := range zooSchemes {
-		var group []sim.Result
-		for _, rs := range zooGroups {
-			group = append(group, rs[si])
-		}
-		c, err := sim.Combine(group)
-		if err != nil {
-			return err
-		}
+	for _, c := range zooCombined {
 		zoo.AddRow(c.Scheme,
 			fmt.Sprintf("%.4f", c.CyclesPerRef(pip)),
 			fmt.Sprintf("%.4f", c.CyclesPerRef(np)))
@@ -343,19 +384,25 @@ func run(w io.Writer, refs, cpus int) error {
 	// survive on machines larger than the traced four processors?
 	bigTb := report.NewTable("Footnote 5: Figure 1's claim on larger machines (POPS-like workloads)",
 		"processors", "writes needing ≤1 inval %", "mean fan-out")
-	for _, n := range []int{4, 8, 16, 32} {
+	bigSizes := []int{4, 8, 16, 32}
+	bigJobs := make([]runner.Job, len(bigSizes))
+	for i, n := range bigSizes {
 		cfgBig := tracegen.POPS(refs)
 		cfgBig.CPUs = n
 		cfgBig.Locks = 1 + n/8
-		g, err := tracegen.New(cfgBig)
-		if err != nil {
-			return err
+		bigJobs[i] = runner.Job{
+			Label:   fmt.Sprintf("footnote5 %d cpus", n),
+			Source:  func() (trace.Reader, error) { return tracegen.New(cfgBig) },
+			Schemes: []string{"dir0b"},
+			Config:  coherence.Config{Caches: n},
 		}
-		rs, err := sim.RunSchemes(g, []string{"dir0b"}, coherence.Config{Caches: n}, sim.Options{})
-		if err != nil {
-			return err
-		}
-		h := &rs[0].Stats.InvalFanout
+	}
+	bigRes, err := runner.Run(ctx, bigJobs, ropts)
+	if err != nil {
+		return err
+	}
+	for i, n := range bigSizes {
+		h := &bigRes[i][0].Stats.InvalFanout
 		bigTb.AddRow(fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.1f", h.CumulativeFraction(1)*100),
 			fmt.Sprintf("%.2f", h.Mean()))
@@ -394,7 +441,7 @@ func run(w io.Writer, refs, cpus int) error {
 		if err != nil {
 			return err
 		}
-		st, err := numa.Run(g, eng, numa.Options{})
+		st, err := numa.Run(ctx, g, eng, numa.Options{})
 		if err != nil {
 			return err
 		}
@@ -412,25 +459,28 @@ func run(w io.Writer, refs, cpus int) error {
 		"Scheme", "T&T&S", "T&S", "T&S penalty")
 	tsCfg := tracegen.POPS(refs)
 	tsCfg.LockKind = tracegen.TestAndSet
-	for _, scheme := range []string{"dir0b", "dragon"} {
-		ttsGen, err := tracegen.New(tracegen.POPS(refs))
-		if err != nil {
-			return err
+	lockSchemes := []string{"dir0b", "dragon"}
+	// Jobs alternate (T&T&S, T&S) per scheme: index 2i and 2i+1.
+	var lockJobs []runner.Job
+	for _, scheme := range lockSchemes {
+		for kind, genCfg := range []tracegen.Config{tracegen.POPS(refs), tsCfg} {
+			genCfg := genCfg
+			lockJobs = append(lockJobs, runner.Job{
+				Label:   fmt.Sprintf("%s lock-kind %d", scheme, kind),
+				Source:  func() (trace.Reader, error) { return tracegen.New(genCfg) },
+				Schemes: []string{scheme},
+				Config:  cfg,
+			})
 		}
-		tts, err := sim.RunSchemes(ttsGen, []string{scheme}, cfg, sim.Options{})
-		if err != nil {
-			return err
-		}
-		tsGen, err := tracegen.New(tsCfg)
-		if err != nil {
-			return err
-		}
-		ts, err := sim.RunSchemes(tsGen, []string{scheme}, cfg, sim.Options{})
-		if err != nil {
-			return err
-		}
-		a, b := tts[0].CyclesPerRef(pip), ts[0].CyclesPerRef(pip)
-		lockTb.AddRow(tts[0].Scheme,
+	}
+	lockRes, err := runner.Run(ctx, lockJobs, ropts)
+	if err != nil {
+		return err
+	}
+	for i := range lockSchemes {
+		tts, ts := lockRes[2*i][0], lockRes[2*i+1][0]
+		a, b := tts.CyclesPerRef(pip), ts.CyclesPerRef(pip)
+		lockTb.AddRow(tts.Scheme,
 			fmt.Sprintf("%.4f", a), fmt.Sprintf("%.4f", b), fmt.Sprintf("%.2fx", b/a))
 	}
 	fmt.Fprintln(w, lockTb.Render())
@@ -457,23 +507,29 @@ func run(w io.Writer, refs, cpus int) error {
 	fmt.Fprintf(w, "POPS working set: max %d blocks per 100k data refs\n\n", maxWS)
 	spTb := report.NewTable("Ablation: DirnNB on POPS vs sparse-directory capacity (cycles/ref)",
 		"entries", "cycles/ref", "entry evictions/1k refs")
-	for _, entries := range []int{256, 1024, 4096, 0} {
-		g, err := tracegen.New(tracegen.POPS(refs))
-		if err != nil {
-			return err
+	sparseEntries := []int{256, 1024, 4096, 0}
+	sparseJobs := make([]runner.Job, len(sparseEntries))
+	for i, entries := range sparseEntries {
+		sparseJobs[i] = runner.Job{
+			Label:   fmt.Sprintf("sparse %d entries", entries),
+			Source:  func() (trace.Reader, error) { return tracegen.New(tracegen.POPS(refs)) },
+			Schemes: []string{"dirnnb"},
+			Config:  coherence.Config{Caches: cpus, DirEntries: entries},
 		}
-		scfg := coherence.Config{Caches: cpus, DirEntries: entries}
-		rs, err := sim.RunSchemes(g, []string{"dirnnb"}, scfg, sim.Options{})
-		if err != nil {
-			return err
-		}
+	}
+	sparseRes, err := runner.Run(ctx, sparseJobs, ropts)
+	if err != nil {
+		return err
+	}
+	for i, entries := range sparseEntries {
+		r := sparseRes[i][0]
 		label := fmt.Sprintf("%d", entries)
 		if entries == 0 {
 			label = "memory-resident"
 		}
 		spTb.AddRow(label,
-			fmt.Sprintf("%.4f", rs[0].CyclesPerRef(pip)),
-			fmt.Sprintf("%.2f", float64(rs[0].Stats.DirEntryEvictions)/float64(rs[0].Stats.Refs)*1000))
+			fmt.Sprintf("%.4f", r.CyclesPerRef(pip)),
+			fmt.Sprintf("%.2f", float64(r.Stats.DirEntryEvictions)/float64(r.Stats.Refs)*1000))
 	}
 	fmt.Fprintln(w, spTb.Render())
 
@@ -489,20 +545,25 @@ func run(w io.Writer, refs, cpus int) error {
 	}{
 		{"256", 64, 4}, {"1024", 256, 4}, {"4096", 1024, 4}, {"infinite", 0, 0},
 	}
-	for _, geom := range finiteGeoms {
-		g, err := tracegen.New(tracegen.POPS(refs))
-		if err != nil {
-			return err
+	finiteJobs := make([]runner.Job, len(finiteGeoms))
+	for i, geom := range finiteGeoms {
+		finiteJobs[i] = runner.Job{
+			Label:   fmt.Sprintf("finite %s blocks", geom.label),
+			Source:  func() (trace.Reader, error) { return tracegen.New(tracegen.POPS(refs)) },
+			Schemes: []string{"dir0b"},
+			Config:  coherence.Config{Caches: cpus, FiniteSets: geom.sets, FiniteWays: geom.ways},
+			Opts:    sim.Options{IncludeFirstRefCosts: true, WarmupRefs: refs / 2},
 		}
-		fcfg := coherence.Config{Caches: cpus, FiniteSets: geom.sets, FiniteWays: geom.ways}
-		rs, err := sim.RunSchemes(g, []string{"dir0b"}, fcfg,
-			sim.Options{IncludeFirstRefCosts: true, WarmupRefs: refs / 2})
-		if err != nil {
-			return err
-		}
+	}
+	finiteRes, err := runner.Run(ctx, finiteJobs, ropts)
+	if err != nil {
+		return err
+	}
+	for i, geom := range finiteGeoms {
+		r := finiteRes[i][0]
 		finTb.AddRow(geom.label,
-			fmt.Sprintf("%.4f", rs[0].CyclesPerRef(pip)),
-			fmt.Sprintf("%.2f", rs[0].Stats.Events.DataMissRate()*100))
+			fmt.Sprintf("%.4f", r.CyclesPerRef(pip)),
+			fmt.Sprintf("%.2f", r.Stats.Events.DataMissRate()*100))
 	}
 	fmt.Fprintln(w, finTb.Render())
 
@@ -510,7 +571,7 @@ func run(w io.Writer, refs, cpus int) error {
 	// per application; replicating POPS across five seeds puts error bars
 	// on Figure 2's column.
 	seeds := study.Seeds(1, 5)
-	sums, err := study.SeedSweep(tracegen.POPS(refs/2), seeds, section3Schemes,
+	sums, err := study.SeedSweep(ctx, tracegen.POPS(refs/2), seeds, section3Schemes,
 		cfg, sim.Options{}, study.CyclesPerRef(pip))
 	if err != nil {
 		return err

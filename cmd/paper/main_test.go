@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestRunRegeneratesEveryArtifact(t *testing.T) {
 		t.Skip("full reproduction skipped in -short mode")
 	}
 	var out strings.Builder
-	if err := run(&out, 60_000, 4); err != nil {
+	if err := run(context.Background(), &out, 60_000, 4, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -53,7 +54,38 @@ func TestRunRegeneratesEveryArtifact(t *testing.T) {
 
 func TestRunRejectsBadCPUCount(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, 1000, 0); err == nil {
+	if err := run(context.Background(), &out, 1000, 0, 1, nil); err == nil {
 		t.Fatal("cpus=0 accepted")
+	}
+}
+
+// The parallel pool must regenerate byte-identical artifacts, and the
+// progress stream must land on its writer, not in the report.
+func TestRunParallelMatchesSequentialWithProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction skipped in -short mode")
+	}
+	var seq strings.Builder
+	if err := run(context.Background(), &seq, 20_000, 4, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	var par, prog strings.Builder
+	if err := run(context.Background(), &par, 20_000, 4, 4, &prog); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Error("parallel reproduction differs from sequential")
+	}
+	if !strings.Contains(prog.String(), "jobs") {
+		t.Errorf("progress output missing: %q", prog.String())
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	if err := run(ctx, &out, 50_000, 4, 1, nil); err == nil {
+		t.Fatal("cancelled run succeeded")
 	}
 }

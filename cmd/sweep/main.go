@@ -3,26 +3,36 @@
 // mean and 95% confidence interval of bus cycles per reference — the raw
 // material for scaling plots.
 //
+// The grid is flattened into one job per (cell, seed) and executed on the
+// shared runner pool; rows stream out as their cell's replications
+// complete, in grid order, whatever the worker count.
+//
 // Usage:
 //
 //	sweep -workloads pops,thor,pero -schemes dir0b,dirnnb,dragon \
-//	      -cpus 4,8,16 -refs 300000 -seeds 3 > sweep.csv
+//	      -cpus 4,8,16 -refs 300000 -seeds 3 -parallel 4 > sweep.csv
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+	"dirsim/internal/runner"
 	"dirsim/internal/sim"
 	"dirsim/internal/study"
+	"dirsim/internal/trace"
 	"dirsim/internal/tracegen"
 )
 
@@ -34,27 +44,96 @@ func main() {
 	cpus := flag.String("cpus", "4", "comma-separated processor counts")
 	refs := flag.Int("refs", 300_000, "references per trace")
 	seeds := flag.Int("seeds", 3, "replications per cell")
+	parallel := flag.Int("parallel", 1, "concurrent simulation jobs (1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
+	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
 	flag.Parse()
-	if err := run(os.Stdout, *workloads, *schemes, *cpus, *refs, *seeds); err != nil {
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(ctx, os.Stdout, options{
+		workloads: *workloads, schemes: *schemes, cpus: *cpus,
+		refs: *refs, seeds: *seeds, parallel: *parallel,
+		progress: *progress, progressW: os.Stderr,
+	}); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(w io.Writer, workloads, schemes, cpus string, refs, seeds int) error {
-	if refs <= 0 || seeds <= 0 {
+// options collects the command's flags.
+type options struct {
+	workloads, schemes, cpus string
+	refs, seeds, parallel    int
+	progress                 bool
+	progressW                io.Writer
+}
+
+// cell is one output row in the making: a (workload, cpus) grid point
+// accumulating its per-seed metric values, one series per scheme.
+type cell struct {
+	workload string
+	cpus     int
+	values   [][]float64
+}
+
+func run(ctx context.Context, w io.Writer, o options) error {
+	if o.refs <= 0 || o.seeds <= 0 {
 		return fmt.Errorf("refs and seeds must be positive")
 	}
 	var cpuList []int
-	for _, c := range strings.Split(cpus, ",") {
+	for _, c := range strings.Split(o.cpus, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(c))
 		if err != nil || n < 1 {
 			return fmt.Errorf("bad cpu count %q", c)
 		}
 		cpuList = append(cpuList, n)
 	}
-	schemeList := strings.Split(schemes, ",")
-	seedList := study.Seeds(1, seeds)
+	schemeList := strings.Split(o.schemes, ",")
+	seedList := study.Seeds(1, o.seeds)
 	pip := bus.Pipelined()
+	metric := study.CyclesPerRef(pip)
+
+	// Flatten the grid: jobs are ordered (workload, cpus, seed), so job
+	// index i belongs to cell i/seeds and seed i%seeds.
+	var jobs []runner.Job
+	var cells []*cell
+	for _, wlName := range strings.Split(o.workloads, ",") {
+		base, err := preset(strings.TrimSpace(wlName), o.refs)
+		if err != nil {
+			return err
+		}
+		for _, n := range cpuList {
+			cfg := base
+			cfg.CPUs = n
+			cells = append(cells, &cell{workload: base.Name, cpus: n,
+				values: make([][]float64, len(schemeList))})
+			for _, seed := range seedList {
+				jcfg := cfg
+				jcfg.Seed = seed
+				jobs = append(jobs, runner.Job{
+					Label:   fmt.Sprintf("%s cpus %d seed %d", base.Name, n, seed),
+					Source:  func() (trace.Reader, error) { return tracegen.New(jcfg) },
+					Schemes: schemeList,
+					Config:  coherence.Config{Caches: n},
+				})
+			}
+		}
+	}
 
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
@@ -63,30 +142,62 @@ func run(w io.Writer, workloads, schemes, cpus string, refs, seeds int) error {
 	}); err != nil {
 		return err
 	}
-	for _, wlName := range strings.Split(workloads, ",") {
-		base, err := preset(strings.TrimSpace(wlName), refs)
-		if err != nil {
-			return err
-		}
-		for _, n := range cpuList {
-			cfg := base
-			cfg.CPUs = n
-			sums, err := study.SeedSweep(cfg, seedList, schemeList,
-				coherence.Config{Caches: n}, sim.Options{}, study.CyclesPerRef(pip))
-			if err != nil {
-				return err
+	// Rows stream: OnResult arrives in job order, so a cell's seeds finish
+	// contiguously and its rows go out (and flush) the moment the last one
+	// lands — long grids produce output as they go.
+	var rowErr error
+	ropts := runner.Options{
+		Workers: o.parallel,
+		OnResult: func(index int, rs []sim.Result) {
+			if rowErr != nil {
+				return
 			}
-			for _, s := range sums {
+			c := cells[index/o.seeds]
+			for i, r := range rs {
+				c.values[i] = append(c.values[i], metric(r))
+			}
+			if len(c.values[0]) < o.seeds {
+				return
+			}
+			for i := range rs {
+				s := study.Summarise(rs[i].Scheme, c.values[i])
 				if err := cw.Write([]string{
-					base.Name, strconv.Itoa(n), s.Scheme,
-					strconv.Itoa(refs), strconv.Itoa(seeds),
+					c.workload, strconv.Itoa(c.cpus), s.Scheme,
+					strconv.Itoa(o.refs), strconv.Itoa(o.seeds),
 					fmt.Sprintf("%.6f", s.Mean),
 					fmt.Sprintf("%.6f", s.CI95),
 				}); err != nil {
-					return err
+					rowErr = err
+					return
 				}
 			}
+			cw.Flush()
+			rowErr = cw.Error()
+		},
+	}
+	if o.progress {
+		pw := o.progressW
+		if pw == nil {
+			pw = os.Stderr
 		}
+		m := obs.NewMetrics()
+		start := time.Now()
+		th := obs.NewThrottle(200*time.Millisecond, func() int64 { return time.Now().UnixNano() })
+		ropts.Metrics = m
+		ropts.Progress = func() {
+			if th.Ready() {
+				s := m.Snapshot()
+				fmt.Fprintf(pw, "\rjobs %d/%d  %d refs (%.0f refs/s) ",
+					s.JobsDone, s.JobsTotal, s.Refs, s.RefsPerSec(time.Since(start)))
+			}
+		}
+		defer fmt.Fprintln(pw)
+	}
+	if _, err := runner.Run(ctx, jobs, ropts); err != nil {
+		return err
+	}
+	if rowErr != nil {
+		return rowErr
 	}
 	cw.Flush()
 	return cw.Error()

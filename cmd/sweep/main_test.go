@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestSweepGrid(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "pero", "dir0b,dragon", "4,8", 10_000, 2); err != nil {
+	err := run(context.Background(), &out, options{
+		workloads: "pero", schemes: "dir0b,dragon", cpus: "4,8", refs: 10_000, seeds: 2,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -28,21 +32,59 @@ func TestSweepGrid(t *testing.T) {
 	}
 }
 
+// Row order and content must not depend on the worker count, and the
+// -progress stream must carry job counts without touching stdout.
+func TestSweepParallelMatchesSequentialAndProgress(t *testing.T) {
+	var seq strings.Builder
+	if err := run(context.Background(), &seq, options{
+		workloads: "pero,pops", schemes: "dir0b,dragon", cpus: "2,4", refs: 8_000, seeds: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var par, prog strings.Builder
+	if err := run(context.Background(), &par, options{
+		workloads: "pero,pops", schemes: "dir0b,dragon", cpus: "2,4", refs: 8_000, seeds: 2,
+		parallel: 4, progress: true, progressW: &prog,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel CSV differs from sequential:\n%s\nvs\n%s", par.String(), seq.String())
+	}
+	if !strings.Contains(prog.String(), "jobs") {
+		t.Errorf("progress output missing: %q", prog.String())
+	}
+	if strings.Contains(par.String(), "jobs ") {
+		t.Error("progress leaked into the CSV stream")
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, &out, options{workloads: "pero", schemes: "dir0b", cpus: "4", refs: 50_000, seeds: 2})
+	if err == nil {
+		t.Fatal("cancelled sweep succeeded")
+	}
+}
+
 func TestSweepErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "bogus", "dir0b", "4", 100, 1); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, &out, options{workloads: "bogus", schemes: "dir0b", cpus: "4", refs: 100, seeds: 1}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(&out, "pero", "bogus", "4", 100, 1); err == nil {
+	if err := run(ctx, &out, options{workloads: "pero", schemes: "bogus", cpus: "4", refs: 100, seeds: 1}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run(&out, "pero", "dir0b", "x", 100, 1); err == nil {
+	if err := run(ctx, &out, options{workloads: "pero", schemes: "dir0b", cpus: "x", refs: 100, seeds: 1}); err == nil {
 		t.Error("bad cpu list accepted")
 	}
-	if err := run(&out, "pero", "dir0b", "4", 0, 1); err == nil {
+	if err := run(ctx, &out, options{workloads: "pero", schemes: "dir0b", cpus: "4", refs: 0, seeds: 1}); err == nil {
 		t.Error("zero refs accepted")
 	}
-	if err := run(&out, "pero", "dir0b", "4", 100, 0); err == nil {
+	if err := run(ctx, &out, options{workloads: "pero", schemes: "dir0b", cpus: "4", refs: 100, seeds: 0}); err == nil {
 		t.Error("zero seeds accepted")
 	}
 }

@@ -40,6 +40,7 @@
 package dirsim
 
 import (
+	"context"
 	"io"
 
 	"dirsim/internal/bus"
@@ -273,12 +274,24 @@ const (
 
 // Run streams a trace through every engine in lockstep.
 func Run(rd TraceReader, engines []Engine, opts Options) ([]Result, error) {
-	return sim.Run(rd, engines, opts)
+	return sim.Run(context.Background(), rd, engines, opts)
+}
+
+// RunContext is Run with a context that can cancel the simulation between
+// reference batches. With opts.Parallel > 1 the engines run on worker
+// goroutines; results are identical to the sequential driver.
+func RunContext(ctx context.Context, rd TraceReader, engines []Engine, opts Options) ([]Result, error) {
+	return sim.Run(ctx, rd, engines, opts)
 }
 
 // RunSchemes builds the named engines and runs the trace through them.
 func RunSchemes(rd TraceReader, names []string, cfg EngineConfig, opts Options) ([]Result, error) {
-	return sim.RunSchemes(rd, names, cfg, opts)
+	return sim.RunSchemes(context.Background(), rd, names, cfg, opts)
+}
+
+// RunSchemesContext is RunSchemes with a cancellation context.
+func RunSchemesContext(ctx context.Context, rd TraceReader, names []string, cfg EngineConfig, opts Options) ([]Result, error) {
+	return sim.RunSchemes(ctx, rd, names, cfg, opts)
 }
 
 // CombineResults merges per-trace results of one scheme, reference-
@@ -304,7 +317,14 @@ type PairedComparison = study.PairedComparison
 // summaries are seed-paired.
 func SeedSweep(base WorkloadConfig, seeds []int64, schemes []string,
 	cfg EngineConfig, opts Options, metric func(Result) float64) ([]SchemeSummary, error) {
-	return study.SeedSweep(base, seeds, schemes, cfg, opts, metric)
+	return study.SeedSweep(context.Background(), base, seeds, schemes, cfg, opts, metric)
+}
+
+// ParallelSeedSweep is SeedSweep with the replications run concurrently on
+// a bounded worker pool; summaries are identical to SeedSweep's.
+func ParallelSeedSweep(ctx context.Context, base WorkloadConfig, seeds []int64, schemes []string,
+	cfg EngineConfig, opts Options, metric func(Result) float64) ([]SchemeSummary, error) {
+	return study.ParallelSeedSweep(ctx, base, seeds, schemes, cfg, opts, metric)
 }
 
 // StudySeeds derives n deterministic, well-separated seeds.
@@ -370,7 +390,12 @@ func NewNUMA(cfg NUMAConfig) (*NUMAEngine, error) { return numa.New(cfg) }
 
 // RunNUMA streams a trace through the distributed machine.
 func RunNUMA(rd TraceReader, e *NUMAEngine, opts NUMAOptions) (*NUMAStats, error) {
-	return numa.Run(rd, e, opts)
+	return numa.Run(context.Background(), rd, e, opts)
+}
+
+// RunNUMAContext is RunNUMA with a cancellation context.
+func RunNUMAContext(ctx context.Context, rd TraceReader, e *NUMAEngine, opts NUMAOptions) (*NUMAStats, error) {
+	return numa.Run(ctx, rd, e, opts)
 }
 
 // ---------------------------------------------------------------------------

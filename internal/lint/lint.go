@@ -14,7 +14,9 @@
 //     under both directions;
 //   - concurrency: goroutines must not assign to captured variables
 //     (the study worker pattern — parameters in, indexed slots out — is
-//     the sanctioned shape).
+//     the sanctioned shape), and range loops must not fan out one
+//     goroutine per element (a fixed worker pool or a semaphore acquired
+//     before each spawn bounds concurrency).
 //
 // Drive it with cmd/dirsimlint or embed it: Load packages, Run rules,
 // print Findings.
@@ -86,6 +88,7 @@ func DefaultRules() []Rule {
 		CtorErrRule{},
 		EngineRegistryRule{},
 		GoCaptureRule{},
+		GoPoolRule{},
 	}
 }
 

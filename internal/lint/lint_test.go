@@ -359,6 +359,91 @@ func g(xs []int) []int {
 	wantFindings(t, lintSrc(t, "dirsim/internal/fix", silent, nil, GoCaptureRule{}), GoCaptureRule{}, 0)
 }
 
+func TestGoPoolRule(t *testing.T) {
+	// Two unbounded fan-outs: a bare per-element spawn, and one whose
+	// semaphore is acquired inside the goroutine (which bounds nothing —
+	// every goroutine is already running by then).
+	fire := `package fix
+import "sync"
+func f(xs []int) {
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+func g(xs []int) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for range xs {
+		wg.Add(1)
+		go func() {
+			sem <- struct{}{}
+			defer wg.Done()
+			<-sem
+		}()
+	}
+	wg.Wait()
+}
+`
+	wantFindings(t, lintSrc(t, "dirsim/internal/fix", fire, nil, GoPoolRule{}), GoPoolRule{}, 2)
+
+	// Sanctioned shapes: semaphore acquired before the spawn, a fixed
+	// worker pool (3-clause loop), and a range spawn with no WaitGroup.
+	silent := `package fix
+import "sync"
+func h(xs []int) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for range xs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			<-sem
+		}()
+	}
+	wg.Wait()
+}
+func pool(xs []int, workers int) {
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+			}
+		}()
+	}
+	for _, x := range xs {
+		jobs <- x
+	}
+	close(jobs)
+	wg.Wait()
+}
+func fire(xs []int) {
+	done := make(chan bool, len(xs))
+	for range xs {
+		go func() {
+			done <- true
+		}()
+	}
+	for range xs {
+		<-done
+	}
+}
+`
+	wantFindings(t, lintSrc(t, "dirsim/internal/fix", silent, nil, GoPoolRule{}), GoPoolRule{}, 0)
+
+	// The rule only polices the module's internal tree: package main in
+	// cmd/ may fan out freely.
+	wantFindings(t, lintSrc(t, "dirsim/cmd/fix", fire, nil, GoPoolRule{}), GoPoolRule{}, 0)
+}
+
 // TestLoad exercises the module loader end to end on a scratch module.
 func TestLoad(t *testing.T) {
 	root := t.TempDir()
@@ -448,7 +533,7 @@ func TestDefaultRulesDocumented(t *testing.T) {
 		}
 		seen[r.Name()] = true
 	}
-	if len(seen) != 7 {
-		t.Errorf("expected 7 rules, have %d", len(seen))
+	if len(seen) != 8 {
+		t.Errorf("expected 8 rules, have %d", len(seen))
 	}
 }

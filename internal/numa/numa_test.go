@@ -1,6 +1,7 @@
 package numa
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -233,7 +234,7 @@ func TestQuickNumaInvariants(t *testing.T) {
 func TestRunOnGeneratedWorkload(t *testing.T) {
 	gen := must(tracegen.New(tracegen.POPS(60_000)))
 	e := must(New(Config{Nodes: 4, Policy: FirstTouch}))
-	st, err := Run(gen, e, Options{})
+	st, err := Run(context.Background(), gen, e, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,10 +256,10 @@ func TestRunOnGeneratedWorkload(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	e := must(New(Config{Nodes: 2}))
 	tr := trace.Slice{{CPU: 3, Kind: trace.Read, Addr: 1}}
-	if _, err := Run(trace.NewSliceReader(tr), e, Options{}); err == nil {
+	if _, err := Run(context.Background(), trace.NewSliceReader(tr), e, Options{}); err == nil {
 		t.Error("out-of-range CPU accepted")
 	}
-	if _, err := Run(trace.NewSliceReader(nil), e, Options{BlockBytes: 12}); err == nil {
+	if _, err := Run(context.Background(), trace.NewSliceReader(nil), e, Options{BlockBytes: 12}); err == nil {
 		t.Error("bad block size accepted")
 	}
 }

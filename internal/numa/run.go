@@ -1,6 +1,7 @@
 package numa
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,9 +17,14 @@ type Options struct {
 	IncludeFirstRefCosts bool
 }
 
+// checkEvery is how many references pass between context checks, so a
+// cancelled run returns promptly without a per-reference branch cost.
+const checkEvery = 4096
+
 // Run streams a trace through the engine, mapping each reference's CPU to
 // a node, with the same first-reference convention as the bus simulator.
-func Run(rd trace.Reader, e *Engine, opts Options) (*Stats, error) {
+// The context cancels the run between reference batches.
+func Run(ctx context.Context, rd trace.Reader, e *Engine, opts Options) (*Stats, error) {
 	blockBytes := opts.BlockBytes
 	if blockBytes == 0 {
 		blockBytes = trace.DefaultBlockBytes
@@ -27,7 +33,13 @@ func Run(rd trace.Reader, e *Engine, opts Options) (*Stats, error) {
 		return nil, fmt.Errorf("numa: block size %d is not a power of two", blockBytes)
 	}
 	seen := map[uint64]bool{}
+	processed := 0
 	for {
+		if processed%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ref, err := rd.Next()
 		if err != nil {
 			if err == io.EOF {
@@ -46,6 +58,7 @@ func Run(rd trace.Reader, e *Engine, opts Options) (*Stats, error) {
 			first = true
 		}
 		e.Access(c, ref.Kind, block, first)
+		processed++
 	}
 	return e.Stats(), nil
 }

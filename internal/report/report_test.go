@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -126,7 +127,7 @@ func smallResults(t *testing.T) []sim.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := sim.Run(trace.NewSliceReader(tr), []coherence.Engine{d0, drg}, sim.Options{})
+	rs, err := sim.Run(context.Background(), trace.NewSliceReader(tr), []coherence.Engine{d0, drg}, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,186 @@
+// Package runner is the shared experiment-orchestration layer. The
+// paper's methodology is embarrassingly parallel — independent
+// (workload × machine size × scheme × seed) cells — so every run path
+// (cmd/paper's tables and figures, cmd/sweep's grid, internal/study's
+// replications) describes its work as a list of Jobs and hands them to
+// one bounded, deterministic worker pool with context cancellation,
+// aggregated errors, ordered result delivery, and obs instrumentation.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+)
+
+// Job is one independent simulation cell: a trace source and the scheme
+// set to run over it.
+type Job struct {
+	// Label identifies the job in errors and progress output.
+	Label string
+	// Source opens the job's trace. It is called once, on the worker
+	// goroutine that runs the job, so generators need not be safe for
+	// concurrent use across jobs.
+	Source func() (trace.Reader, error)
+	// Schemes, Config and Opts parameterise sim.RunSchemes.
+	Schemes []string
+	Config  coherence.Config
+	Opts    sim.Options
+}
+
+// Options configures a pool run.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs; values
+	// below 1 mean 1 (sequential). Workers are fixed goroutines that
+	// claim jobs in index order, so no run ever spawns more goroutines
+	// than Workers (plus each job's own sim.Options.Parallel engine
+	// workers).
+	Workers int
+	// Metrics, when non-nil, accumulates refs simulated, jobs done/total
+	// and per-engine tallies across the run.
+	Metrics *obs.Metrics
+	// OnResult, when non-nil, is called once per successful job in job
+	// index order (calls are serialised and never run concurrently),
+	// enabling streaming consumption of long grids.
+	OnResult func(index int, rs []sim.Result)
+	// Progress, when non-nil, is called after every metrics update — at
+	// reference-batch granularity — from whichever worker made the
+	// update. It must be cheap; throttle rendering in the caller (see
+	// obs.Throttle).
+	Progress func()
+}
+
+// Run executes the jobs on a bounded worker pool and returns one result
+// slice per job, in job order. Errors from all failed jobs are aggregated
+// with errors.Join, each wrapped with its job label; the slice still
+// carries every successful job's results. Cancelling the context stops
+// the pool within one reference batch.
+func Run(ctx context.Context, jobs []Job, opts Options) ([][]sim.Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.AddJobs(len(jobs))
+	}
+
+	out := make([][]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	// Ordered delivery: workers mark jobs done under mu; whichever worker
+	// fills the gap at nextOut flushes the run of completed jobs, so
+	// OnResult sees index order and is never called concurrently.
+	var mu sync.Mutex
+	done := make([]bool, len(jobs))
+	nextOut := 0
+	completed := 0
+	finish := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		completed++
+		for nextOut < len(jobs) && done[nextOut] {
+			if errs[nextOut] == nil && opts.OnResult != nil {
+				opts.OnResult(nextOut, out[nextOut])
+			}
+			nextOut++
+		}
+	}
+
+	var claim atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(claim.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				out[i], errs[i] = runJob(ctx, jobs[i], opts)
+				finish(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return out, err
+	}
+	if completed < len(jobs) {
+		// Jobs were skipped because the context ended before they
+		// started; none of the started jobs saw it (they would have
+		// errored), so surface it here.
+		return out, context.Cause(ctx)
+	}
+	return out, nil
+}
+
+// runJob opens one job's trace and runs its schemes, threading the pool's
+// instrumentation into the simulation driver.
+func runJob(ctx context.Context, j Job, opts Options) ([]sim.Result, error) {
+	fail := func(err error) ([]sim.Result, error) {
+		if j.Label != "" {
+			return nil, fmt.Errorf("%s: %w", j.Label, err)
+		}
+		return nil, err
+	}
+	if j.Source == nil {
+		return fail(fmt.Errorf("runner: job has no trace source"))
+	}
+	rd, err := j.Source()
+	if err != nil {
+		return fail(err)
+	}
+	simOpts := j.Opts
+	if opts.Metrics != nil || opts.Progress != nil {
+		prev := simOpts.OnProgress
+		simOpts.OnProgress = func(n int) {
+			if prev != nil {
+				prev(n)
+			}
+			if opts.Metrics != nil {
+				opts.Metrics.AddRefs(uint64(n))
+			}
+			if opts.Progress != nil {
+				opts.Progress()
+			}
+		}
+	}
+	rs, err := sim.RunSchemes(ctx, rd, j.Schemes, j.Config, simOpts)
+	if err != nil {
+		return fail(err)
+	}
+	if opts.Metrics != nil {
+		for _, r := range rs {
+			var ops uint64
+			for _, n := range r.Stats.Ops {
+				ops += n
+			}
+			opts.Metrics.AddEngine(r.Scheme, obs.EngineTally{
+				Refs:         r.Stats.Refs,
+				Transactions: r.Stats.Transactions,
+				BusOps:       ops,
+			})
+		}
+		opts.Metrics.JobDone()
+		if opts.Progress != nil {
+			opts.Progress()
+		}
+	}
+	return rs, nil
+}

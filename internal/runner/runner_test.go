@@ -1,0 +1,289 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+	"dirsim/internal/sim"
+	"dirsim/internal/trace"
+	"dirsim/internal/tracegen"
+)
+
+// job returns a small real simulation job over the given seed.
+func job(seed int64, schemes ...string) Job {
+	if len(schemes) == 0 {
+		schemes = []string{"dir0b", "dragon"}
+	}
+	cfg := tracegen.PERO(5_000)
+	cfg.Seed = seed
+	return Job{
+		Label:   fmt.Sprintf("seed %d", seed),
+		Source:  func() (trace.Reader, error) { return tracegen.New(cfg) },
+		Schemes: schemes,
+		Config:  coherence.Config{Caches: 4},
+	}
+}
+
+// Results must be identical and in job order whatever the worker count.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := []Job{job(1), job(2), job(3), job(4), job(5)}
+	base, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(jobs) {
+		t.Fatalf("%d result slices, want %d", len(base), len(jobs))
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Run(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range base {
+			for j := range base[i] {
+				if got[i][j].Scheme != base[i][j].Scheme ||
+					!reflect.DeepEqual(got[i][j].Stats, base[i][j].Stats) {
+					t.Errorf("workers=%d: job %d result %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// OnResult must arrive serialised, once per job, in strictly increasing
+// index order, even with many workers racing.
+func TestOnResultOrdered(t *testing.T) {
+	jobs := make([]Job, 9)
+	for i := range jobs {
+		jobs[i] = job(int64(i + 1))
+	}
+	var indices []int
+	_, err := Run(context.Background(), jobs, Options{
+		Workers: 8,
+		OnResult: func(index int, rs []sim.Result) {
+			// Appends are unguarded on purpose: the ordered-delivery
+			// contract serialises calls, so the race detector validates
+			// it too.
+			indices = append(indices, index)
+			if len(rs) != 2 {
+				t.Errorf("job %d delivered %d results", index, len(rs))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indices) != len(jobs) {
+		t.Fatalf("OnResult fired %d times, want %d", len(indices), len(jobs))
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("delivery order %v, want increasing from 0", indices)
+		}
+	}
+}
+
+// trackingReader decrements the in-flight counter once, when its trace is
+// exhausted — i.e. when the job that opened it is done executing.
+type trackingReader struct {
+	rd       trace.Reader
+	inFlight *atomic.Int64
+	closed   bool
+}
+
+func (r *trackingReader) Next() (trace.Ref, error) {
+	ref, err := r.rd.Next()
+	if err != nil && !r.closed {
+		r.closed = true
+		r.inFlight.Add(-1)
+	}
+	return ref, err
+}
+
+// The regression the runner exists to fix: however many jobs are queued,
+// no more than Workers may ever be executing at once (the old
+// ParallelSeedSweep spawned one goroutine per seed before throttling).
+// Source opens count up, trace exhaustion counts down; delivery order is
+// irrelevant to the execution bound.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		seed := int64(i + 1)
+		jobs[i] = Job{
+			Label: fmt.Sprintf("seed %d", seed),
+			Source: func() (trace.Reader, error) {
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cfg := tracegen.PERO(2_000)
+				cfg.Seed = seed
+				rd, err := tracegen.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return &trackingReader{rd: rd, inFlight: &inFlight}, nil
+			},
+			Schemes: []string{"dir0b"},
+			Config:  coherence.Config{Caches: 4},
+			Opts: sim.Options{OnProgress: func(int) {
+				time.Sleep(time.Millisecond) // widen the race window
+			}},
+		}
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak in-flight jobs = %d, want ≤ %d", p, workers)
+	}
+}
+
+// Every failing job must surface in the aggregated error, labelled, while
+// successful jobs still deliver results.
+func TestErrorAggregation(t *testing.T) {
+	boom := errors.New("boom")
+	fail := func(label string) Job {
+		return Job{Label: label, Source: func() (trace.Reader, error) { return nil, boom }}
+	}
+	jobs := []Job{job(1), fail("first bad"), job(2), fail("second bad")}
+	res, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("failing jobs produced no error")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+	for _, want := range []string{"first bad", "second bad"} {
+		if !containsString(err.Error(), want) {
+			t.Errorf("aggregated error missing %q: %v", want, err)
+		}
+	}
+	if res[0] == nil || res[2] == nil {
+		t.Error("successful jobs' results dropped")
+	}
+	if res[1] != nil || res[3] != nil {
+		t.Error("failed jobs returned results")
+	}
+}
+
+func containsString(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// endlessReader never returns EOF, so only cancellation ends its job.
+type endlessReader struct{ n uint64 }
+
+func (r *endlessReader) Next() (trace.Ref, error) {
+	r.n++
+	return trace.Ref{CPU: uint8(r.n % 4), Kind: trace.Read, Addr: (r.n % 256) * 16}, nil
+}
+
+// Cancelling the pool must return context.Canceled promptly and leave no
+// worker goroutines behind.
+func TestRunCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{
+			Label:   fmt.Sprintf("endless %d", i),
+			Source:  func() (trace.Reader, error) { return &endlessReader{}, nil },
+			Schemes: []string{"dir0b"},
+			Config:  coherence.Config{Caches: 4},
+		}
+	}
+	var fired atomic.Bool
+	opts := Options{
+		Workers: 4,
+		Metrics: obs.NewMetrics(),
+		Progress: func() {
+			if !fired.Swap(true) {
+				cancel()
+			}
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, jobs, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled pool did not return")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Errorf("goroutines leaked: %d running, baseline %d", n, baseline)
+	}
+}
+
+// Metrics must account for every reference and job exactly once, with
+// per-scheme engine tallies.
+func TestMetricsAccounting(t *testing.T) {
+	m := obs.NewMetrics()
+	jobs := []Job{job(1), job(2), job(3)}
+	res, err := Run(context.Background(), jobs, Options{Workers: 2, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.JobsTotal != 3 || s.JobsDone != 3 {
+		t.Errorf("jobs = %d/%d, want 3/3", s.JobsDone, s.JobsTotal)
+	}
+	if s.Refs != 3*5_000 {
+		t.Errorf("refs = %d, want %d", s.Refs, 3*5_000)
+	}
+	var wantRefs uint64
+	for _, rs := range res {
+		wantRefs += rs[0].Stats.Refs
+	}
+	if len(s.Engines) != 2 {
+		t.Fatalf("engine tallies = %+v", s.Engines)
+	}
+	if s.Engines[0].Scheme != "Dir0B" || s.Engines[0].Refs != wantRefs {
+		t.Errorf("Dir0B tally = %+v, want %d refs", s.Engines[0], wantRefs)
+	}
+}
+
+// Edge cases: empty job list, missing source, zero workers.
+func TestRunEdgeCases(t *testing.T) {
+	if res, err := Run(context.Background(), nil, Options{}); err != nil || res != nil {
+		t.Errorf("empty run = %v, %v", res, err)
+	}
+	if _, err := Run(context.Background(), []Job{{Label: "no source"}}, Options{}); err == nil {
+		t.Error("job without source accepted")
+	} else if !containsString(err.Error(), "no source") {
+		t.Errorf("error not labelled: %v", err)
+	}
+	res, err := Run(context.Background(), []Job{job(1)}, Options{Workers: 0})
+	if err != nil || len(res) != 1 {
+		t.Errorf("zero-worker run = %v, %v", res, err)
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dirsim/internal/coherence"
+)
+
+// fillNumericLeaves walks every exported numeric leaf reachable from v
+// (through structs, arrays and slices; nil slices get three elements) and
+// sets each to a distinct value from the counter, so a later sum check can
+// tell the leaves apart.
+func fillNumericLeaves(v reflect.Value, next *uint64) {
+	switch v.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*next++
+		v.SetUint(*next)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*next++
+		v.SetInt(int64(*next))
+	case reflect.Float32, reflect.Float64:
+		*next++
+		v.SetFloat(float64(*next))
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if f := v.Field(i); f.CanSet() {
+				fillNumericLeaves(f, next)
+			}
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillNumericLeaves(v.Index(i), next)
+		}
+	case reflect.Slice:
+		if v.IsNil() && v.CanSet() {
+			v.Set(reflect.MakeSlice(v.Type(), 3, 3))
+		}
+		for i := 0; i < v.Len(); i++ {
+			fillNumericLeaves(v.Index(i), next)
+		}
+	}
+}
+
+// checkSummed asserts agg == a + b at every exported numeric leaf,
+// reporting the field path of any leaf Combine forgot to merge.
+func checkSummed(t *testing.T, path string, agg, a, b reflect.Value) {
+	t.Helper()
+	switch agg.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if agg.Uint() != a.Uint()+b.Uint() {
+			t.Errorf("%s: combined %d, want %d + %d — field not merged by Combine",
+				path, agg.Uint(), a.Uint(), b.Uint())
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if agg.Int() != a.Int()+b.Int() {
+			t.Errorf("%s: combined %d, want %d + %d", path, agg.Int(), a.Int(), b.Int())
+		}
+	case reflect.Float32, reflect.Float64:
+		if agg.Float() != a.Float()+b.Float() {
+			t.Errorf("%s: combined %v, want %v + %v", path, agg.Float(), a.Float(), b.Float())
+		}
+	case reflect.Struct:
+		for i := 0; i < agg.NumField(); i++ {
+			if !agg.Field(i).CanSet() {
+				continue // unexported: not reachable by the filler either
+			}
+			checkSummed(t, path+"."+agg.Type().Field(i).Name, agg.Field(i), a.Field(i), b.Field(i))
+		}
+	case reflect.Array, reflect.Slice:
+		if agg.Len() < a.Len() || agg.Len() < b.Len() {
+			t.Errorf("%s: combined length %d shorter than inputs (%d, %d)",
+				path, agg.Len(), a.Len(), b.Len())
+			return
+		}
+		zero := reflect.New(agg.Type().Elem()).Elem()
+		at := func(v reflect.Value, i int) reflect.Value {
+			if i < v.Len() {
+				return v.Index(i)
+			}
+			return zero
+		}
+		for i := 0; i < agg.Len(); i++ {
+			checkSummed(t, fmt.Sprintf("%s[%d]", path, i), agg.Index(i), at(a, i), at(b, i))
+		}
+	}
+}
+
+// TestCombineMergesEveryStatsField fills every exported numeric leaf of
+// two Stats with distinct values and asserts Combine sums each one — so a
+// new Stats field that is not added to Combine fails this test by name
+// instead of silently dropping data from multi-trace aggregates.
+func TestCombineMergesEveryStatsField(t *testing.T) {
+	var next uint64
+	a, b := &coherence.Stats{}, &coherence.Stats{}
+	fillNumericLeaves(reflect.ValueOf(a).Elem(), &next)
+	fillNumericLeaves(reflect.ValueOf(b).Elem(), &next)
+	agg, err := Combine([]Result{{Scheme: "X", Stats: a}, {Scheme: "X", Stats: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSummed(t, "Stats", reflect.ValueOf(agg.Stats).Elem(),
+		reflect.ValueOf(a).Elem(), reflect.ValueOf(b).Elem())
+}
+
+// Combine must preallocate the aggregate's PerCache to the widest input
+// and still merge narrower ones correctly.
+func TestCombinePerCacheDifferingLengths(t *testing.T) {
+	a := &coherence.Stats{Refs: 1, PerCache: []coherence.CacheTally{{Hits: 1}, {Misses: 2}}}
+	b := &coherence.Stats{Refs: 1, PerCache: []coherence.CacheTally{{Hits: 10}, {Misses: 20}, {Writes: 30}, {Hits: 40}}}
+	agg, err := Combine([]Result{{Scheme: "X", Stats: a}, {Scheme: "X", Stats: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := agg.Stats.PerCache
+	if len(pc) != 4 {
+		t.Fatalf("PerCache length = %d, want 4", len(pc))
+	}
+	want := []coherence.CacheTally{{Hits: 11}, {Misses: 22}, {Writes: 30}, {Hits: 40}}
+	if !reflect.DeepEqual(pc, want) {
+		t.Errorf("PerCache = %+v, want %+v", pc, want)
+	}
+	// Order must not matter for the preallocation.
+	rev, err := Combine([]Result{{Scheme: "X", Stats: b}, {Scheme: "X", Stats: a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rev.Stats.PerCache, want) {
+		t.Errorf("reversed PerCache = %+v, want %+v", rev.Stats.PerCache, want)
+	}
+}

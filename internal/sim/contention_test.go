@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestContentionModelFromResult(t *testing.T) {
 		{CPU: 0, Kind: trace.Read, Addr: 0x10},
 		{CPU: 1, Kind: trace.Instr, Addr: 0x99},
 	}
-	rs, err := Run(trace.NewSliceReader(tr),
+	rs, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(coherence.Config{Caches: 2}))}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +43,7 @@ func TestContentionErrors(t *testing.T) {
 	}
 	// A trace with no bus transactions cannot parameterise the model.
 	tr := trace.Slice{{CPU: 0, Kind: trace.Read, Addr: 0x10}} // first ref only
-	rs, err := Run(trace.NewSliceReader(tr),
+	rs, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(coherence.Config{Caches: 2}))}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +64,7 @@ func TestContentionRefinesNaiveBound(t *testing.T) {
 			tr = append(tr, trace.Ref{CPU: uint8(i % 4), Kind: trace.Write, Addr: uint64(i%64) * 16})
 		}
 	}
-	rs, err := Run(trace.NewSliceReader(tr),
+	rs, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(coherence.Config{Caches: 4}))}, Options{})
 	if err != nil {
 		t.Fatal(err)

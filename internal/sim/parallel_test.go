@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/trace"
+	"dirsim/internal/tracegen"
+)
+
+// TestParallelMatchesSequential is the core determinism contract of the
+// decode-once/fan-out driver: with every registered engine in one lockstep
+// run over a real workload, the parallel path must produce Stats that are
+// deeply equal to the sequential path's, whatever the worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	tr, err := tracegen.Generate(tracegen.POPS(40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := coherence.EngineNames()
+	cfg := coherence.Config{Caches: 4}
+	seq, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), schemes, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, len(schemes), len(schemes) + 7} {
+		par, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), schemes, cfg,
+			Options{Parallel: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Scheme != seq[i].Scheme {
+				t.Fatalf("workers=%d: scheme order %s vs %s", workers, par[i].Scheme, seq[i].Scheme)
+			}
+			if !reflect.DeepEqual(par[i].Stats, seq[i].Stats) {
+				t.Errorf("workers=%d: %s stats differ from sequential", workers, par[i].Scheme)
+			}
+		}
+	}
+}
+
+// Warm-up semantics must survive the fan-out: the measured window starts at
+// exactly WarmupRefs on every worker.
+func TestParallelMatchesSequentialWithWarmup(t *testing.T) {
+	tr, err := tracegen.Generate(tracegen.POPS(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []string{"dir0b", "dragon", "wti"}
+	cfg := coherence.Config{Caches: 4}
+	for _, warmup := range []int{1, batchRefs - 1, batchRefs, batchRefs + 1, 10_000, 30_000} {
+		opts := Options{WarmupRefs: warmup, IncludeFirstRefCosts: true}
+		seq, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), schemes, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Parallel = 3
+		par, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), schemes, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if !reflect.DeepEqual(par[i].Stats, seq[i].Stats) {
+				t.Errorf("warmup=%d: %s stats differ from sequential", warmup, par[i].Scheme)
+			}
+		}
+	}
+}
+
+// endlessReader yields an unbounded reference stream over a small block
+// set, so only cancellation can end the run.
+type endlessReader struct{ n uint64 }
+
+func (r *endlessReader) Next() (trace.Ref, error) {
+	r.n++
+	kind := trace.Read
+	if r.n%5 == 0 {
+		kind = trace.Write
+	}
+	return trace.Ref{CPU: uint8(r.n % 4), Kind: kind, Addr: (r.n % 512) * 16}, nil
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (or a deadline passes), so worker leaks surface as failures
+// without flaking on scheduler timing.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// Cancelling mid-trace must end the run within a batch, return the
+// context's error, and leave no worker goroutines behind — for both
+// drivers.
+func TestRunCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen int
+		opts := Options{Parallel: workers, OnProgress: func(n int) {
+			seen += n
+			if seen >= 3*batchRefs {
+				cancel()
+			}
+		}}
+		_, err := RunSchemes(ctx, &endlessReader{}, []string{"dir0b", "dragon", "wti", "dir1nb"},
+			coherence.Config{Caches: 4}, opts)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The driver stops within a batch of the cancel: the decode loop
+		// checks the context each batch, so it reads at most a few more
+		// batches after the callback fired.
+		if seen > 10*batchRefs {
+			t.Errorf("workers=%d: %d refs decoded after cancel at %d", workers, seen, 3*batchRefs)
+		}
+		waitForGoroutines(t, baseline)
+	}
+}
+
+// A context that expires while workers are mid-stream must also unwind
+// cleanly (exercises the select-on-send path when channels are full).
+func TestRunDeadline(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunSchemes(ctx, &endlessReader{}, coherence.EngineNames(),
+		coherence.Config{Caches: 4}, Options{Parallel: 8})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// A decode error (trace needs more caches than the engines have) must
+// shut the parallel pool down with the same error the sequential driver
+// reports, leaking nothing.
+func TestParallelDecodeError(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	tr := trace.Slice{{CPU: 9, Kind: trace.Read, Addr: 1}}
+	_, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), []string{"dir0b", "wti"},
+		coherence.Config{Caches: 4}, Options{Parallel: 2})
+	if err == nil {
+		t.Fatal("out-of-range CPU accepted")
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// OnProgress reports decode counts at batch granularity and must sum to
+// the trace length on both drivers.
+func TestOnProgressCounts(t *testing.T) {
+	tr, err := tracegen.Generate(tracegen.PERO(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		var total int
+		_, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), []string{"dir0b", "wti"},
+			coherence.Config{Caches: 4},
+			Options{Parallel: workers, OnProgress: func(n int) { total += n }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != len(tr) {
+			t.Errorf("workers=%d: progress total %d, want %d", workers, total, len(tr))
+		}
+	}
+}
+
+// The options layer rejects a negative worker count and clamps the rest.
+func TestParallelOptionValidation(t *testing.T) {
+	if err := (Options{Parallel: -1}).Validate(); err == nil {
+		t.Error("negative Parallel accepted")
+	}
+	if w := (Options{Parallel: 99}).workers(3); w != 3 {
+		t.Errorf("workers clamped to %d, want 3", w)
+	}
+	if w := (Options{}).workers(3); w != 1 {
+		t.Errorf("default workers = %d, want 1", w)
+	}
+}

@@ -1,17 +1,24 @@
 // Package sim drives coherence protocol engines over multiprocessor
 // address traces, reproducing the methodology of Section 4.
 //
-// The driver streams a trace once, feeding every engine in lockstep; a
-// shared seen-set implements the paper's first-reference exclusion ("we
+// The driver streams a trace once: references are decoded into batches —
+// cache attribution resolved, block number computed, the paper's
+// first-reference exclusion applied from a single shared seen-set ("we
 // exclude the misses caused by the first reference to a block in the trace
-// because these occur in a uniprocessor infinite cache as well"). Results
-// carry the Table 4 event counts, the bus-operation tallies priced by
-// internal/bus, and the Figure 1 invalidation-fanout histogram.
+// because these occur in a uniprocessor infinite cache as well") — and the
+// batches are fed to every engine. With Options.Parallel > 1 the batches
+// fan out to engines running on bounded worker goroutines; each engine
+// still sees the full stream in order, so the results are bitwise
+// identical to the sequential driver. Results carry the Table 4 event
+// counts, the bus-operation tallies priced by internal/bus, and the
+// Figure 1 invalidation-fanout histogram.
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
@@ -51,6 +58,17 @@ type Options struct {
 	// An alternative to first-reference exclusion for finite-cache
 	// studies (the two compose).
 	WarmupRefs int
+	// Parallel is the number of engine worker goroutines the driver may
+	// use. 0 or 1 keeps the classic sequential lockstep loop; higher
+	// values fan decoded reference batches out to engines running
+	// concurrently (at most one worker per engine is useful). Every
+	// engine sees the full stream in order either way, so results are
+	// identical.
+	Parallel int
+	// OnProgress, when non-nil, is called with the number of references
+	// decoded since the previous call, at batch granularity, from the
+	// goroutine that called Run. It must be fast.
+	OnProgress func(n int)
 }
 
 func (o Options) blockBytes() int {
@@ -71,7 +89,22 @@ func (o Options) Validate() error {
 	if o.WarmupRefs < 0 {
 		return fmt.Errorf("sim: negative WarmupRefs %d", o.WarmupRefs)
 	}
+	if o.Parallel < 0 {
+		return fmt.Errorf("sim: negative Parallel %d", o.Parallel)
+	}
 	return nil
+}
+
+// workers returns the number of engine workers to use for n engines.
+func (o Options) workers(n int) int {
+	w := o.Parallel
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Result is the outcome of running one engine over one trace.
@@ -143,10 +176,111 @@ func (r Result) DirToMemBandwidthRatio() float64 {
 	return float64(r.Stats.DirAccesses) / float64(r.Stats.MemAccesses)
 }
 
-// Run streams rd through every engine in lockstep and returns one Result
-// per engine, in order. All engines must have the same cache count, and the
-// trace must fit within it.
-func Run(rd trace.Reader, engines []coherence.Engine, opts Options) ([]Result, error) {
+// batchRefs is the decode granularity: cancellation checks, progress
+// callbacks and the parallel fan-out all operate on batches of this many
+// references, so a cancelled run returns within one batch.
+const batchRefs = 4096
+
+// decodedRef is one reference after the trace-level work is done: cache
+// attribution resolved, block number computed, first-reference flag set
+// from the shared seen-set.
+type decodedRef struct {
+	cache int
+	kind  trace.Kind
+	block uint64
+	first bool
+}
+
+// decoder turns the raw reference stream into decodedRef batches. The
+// shared seen-set and process-to-cache mapping live here, computed once
+// in the decode stage, which is what makes the engines independent of
+// each other and safe to fan out.
+type decoder struct {
+	rd         trace.Reader
+	opts       Options
+	caches     int
+	blockBytes int
+	seen       map[uint64]bool
+	pidToCache map[uint16]int
+}
+
+func newDecoder(rd trace.Reader, caches int, opts Options) *decoder {
+	return &decoder{
+		rd:         rd,
+		opts:       opts,
+		caches:     caches,
+		blockBytes: opts.blockBytes(),
+		seen:       map[uint64]bool{},
+		pidToCache: map[uint16]int{},
+	}
+}
+
+// nextBatch appends up to batchRefs decoded references to buf[:0] and
+// returns the batch. It returns io.EOF (possibly alongside a final
+// partial batch) when the trace ends.
+func (d *decoder) nextBatch(buf []decodedRef) ([]decodedRef, error) {
+	batch := buf[:0]
+	for len(batch) < batchRefs {
+		ref, err := d.rd.Next()
+		if err != nil {
+			if err == io.EOF {
+				return batch, io.EOF
+			}
+			return batch, err
+		}
+		var c int
+		switch d.opts.CacheBy {
+		case ByCPU:
+			c = int(ref.CPU)
+		case ByProcess:
+			var ok bool
+			c, ok = d.pidToCache[ref.PID]
+			if !ok {
+				c = len(d.pidToCache)
+				d.pidToCache[ref.PID] = c
+			}
+		}
+		if c >= d.caches {
+			return batch, fmt.Errorf("sim: reference needs cache %d but engines have %d caches", c, d.caches)
+		}
+		block := trace.Block(ref.Addr, d.blockBytes)
+		first := false
+		if ref.Kind != trace.Instr && !d.opts.IncludeFirstRefCosts && !d.seen[block] {
+			d.seen[block] = true
+			first = true
+		}
+		batch = append(batch, decodedRef{cache: c, kind: ref.Kind, block: block, first: first})
+	}
+	return batch, nil
+}
+
+// applyBatch feeds one batch to a group of engines, handling the end of
+// the warm-up window exactly where the sequential driver always has:
+// after reference number WarmupRefs. processed is the group's reference
+// count before the batch; the updated count is returned.
+func applyBatch(batch []decodedRef, engines []coherence.Engine, warmup, processed int) int {
+	for _, r := range batch {
+		for _, e := range engines {
+			e.Access(r.cache, r.kind, r.block, r.first)
+		}
+		processed++
+		if processed == warmup {
+			// End of warm-up: keep all protocol state, measure only
+			// what follows.
+			for _, e := range engines {
+				e.ResetStats()
+			}
+		}
+	}
+	return processed
+}
+
+// Run streams rd through every engine and returns one Result per engine,
+// in order. All engines must have the same cache count, and the trace
+// must fit within it. The context cancels the run between batches; with
+// opts.Parallel > 1 the engines run on worker goroutines, with results
+// identical to the sequential path.
+func Run(ctx context.Context, rd trace.Reader, engines []coherence.Engine, opts Options) ([]Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,56 +294,15 @@ func Run(rd trace.Reader, engines []coherence.Engine, opts Options) ([]Result, e
 				e.Name(), e.Caches(), engines[0].Name(), caches)
 		}
 	}
-	blockBytes := opts.blockBytes()
-	seen := map[uint64]bool{}
-	pidToCache := map[uint16]int{}
-	processed := 0
-	for {
-		ref, err := rd.Next()
-		if err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, err
-		}
-		var c int
-		switch opts.CacheBy {
-		case ByCPU:
-			c = int(ref.CPU)
-		case ByProcess:
-			var ok bool
-			c, ok = pidToCache[ref.PID]
-			if !ok {
-				c = len(pidToCache)
-				pidToCache[ref.PID] = c
-			}
-		}
-		if c >= caches {
-			return nil, fmt.Errorf("sim: reference needs cache %d but engines have %d caches", c, caches)
-		}
-		block := trace.Block(ref.Addr, blockBytes)
-		first := false
-		if ref.Kind != trace.Instr && !opts.IncludeFirstRefCosts && !seen[block] {
-			seen[block] = true
-			first = true
-		}
-		for _, e := range engines {
-			e.Access(c, ref.Kind, block, first)
-		}
-		processed++
-		if processed == opts.WarmupRefs {
-			// End of warm-up: keep all protocol state, measure only
-			// what follows.
-			for _, e := range engines {
-				e.ResetStats()
-			}
-		}
+	d := newDecoder(rd, caches, opts)
+	var err error
+	if opts.workers(len(engines)) > 1 {
+		err = runParallel(ctx, d, engines, opts)
+	} else {
+		err = runSequential(ctx, d, engines, opts)
 	}
-	if processed < opts.WarmupRefs {
-		// The trace ended inside the warm-up window: nothing measured.
-		for _, e := range engines {
-			e.ResetStats()
-		}
+	if err != nil {
+		return nil, err
 	}
 	results := make([]Result, len(engines))
 	for i, e := range engines {
@@ -221,8 +314,111 @@ func Run(rd trace.Reader, engines []coherence.Engine, opts Options) ([]Result, e
 	return results, nil
 }
 
+// runSequential is the classic driver: decode a batch, feed every engine
+// in lockstep, repeat.
+func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options) error {
+	buf := make([]decodedRef, 0, batchRefs)
+	processed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := d.nextBatch(buf)
+		if err != nil && err != io.EOF {
+			return err
+		}
+		processed = applyBatch(batch, engines, opts.WarmupRefs, processed)
+		if opts.OnProgress != nil && len(batch) > 0 {
+			opts.OnProgress(len(batch))
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	if processed < opts.WarmupRefs {
+		// The trace ended inside the warm-up window: nothing measured.
+		for _, e := range engines {
+			e.ResetStats()
+		}
+	}
+	return nil
+}
+
+// runParallel decodes on the calling goroutine and fans each batch out to
+// a bounded set of workers, each owning a contiguous group of engines.
+// Batches arrive on every worker's channel in decode order, so each
+// engine processes the full stream in order and accumulates exactly the
+// same Stats as under runSequential.
+func runParallel(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options) error {
+	workers := opts.workers(len(engines))
+	chans := make([]chan []decodedRef, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous engine groups: the first len%workers groups take one
+		// extra engine.
+		lo := w * len(engines) / workers
+		hi := (w + 1) * len(engines) / workers
+		ch := make(chan []decodedRef, 4)
+		chans[w] = ch
+		wg.Add(1)
+		go func(group []coherence.Engine) {
+			defer wg.Done()
+			processed := 0
+			for batch := range ch {
+				processed = applyBatch(batch, group, opts.WarmupRefs, processed)
+			}
+		}(engines[lo:hi])
+	}
+	var err error
+	total := 0
+decode:
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		// Workers read batches concurrently, so each batch needs its own
+		// backing array.
+		batch, derr := d.nextBatch(make([]decodedRef, 0, batchRefs))
+		if derr != nil && derr != io.EOF {
+			err = derr
+			break
+		}
+		if len(batch) > 0 {
+			for _, ch := range chans {
+				select {
+				case ch <- batch:
+				case <-ctx.Done():
+					err = ctx.Err()
+					break decode
+				}
+			}
+			total += len(batch)
+			if opts.OnProgress != nil {
+				opts.OnProgress(len(batch))
+			}
+		}
+		if derr == io.EOF {
+			break
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if total < opts.WarmupRefs {
+		for _, e := range engines {
+			e.ResetStats()
+		}
+	}
+	return nil
+}
+
 // RunSchemes builds the named engines and runs rd through them.
-func RunSchemes(rd trace.Reader, names []string, cfg coherence.Config, opts Options) ([]Result, error) {
+func RunSchemes(ctx context.Context, rd trace.Reader, names []string, cfg coherence.Config, opts Options) ([]Result, error) {
 	engines := make([]coherence.Engine, len(names))
 	for i, n := range names {
 		e, err := coherence.NewByName(n, cfg)
@@ -231,7 +427,7 @@ func RunSchemes(rd trace.Reader, names []string, cfg coherence.Config, opts Opti
 		}
 		engines[i] = e
 	}
-	return Run(rd, engines, opts)
+	return Run(ctx, rd, engines, opts)
 }
 
 // Combine merges per-trace results for the same scheme into one aggregate,
@@ -242,6 +438,15 @@ func Combine(results []Result) (Result, error) {
 		return Result{}, fmt.Errorf("sim: nothing to combine")
 	}
 	agg := &coherence.Stats{}
+	maxCaches := 0
+	for _, r := range results {
+		if n := len(r.Stats.PerCache); n > maxCaches {
+			maxCaches = n
+		}
+	}
+	if maxCaches > 0 {
+		agg.PerCache = make([]coherence.CacheTally, maxCaches)
+	}
 	for _, r := range results {
 		if r.Scheme != results[0].Scheme {
 			return Result{}, fmt.Errorf("sim: cannot combine %s with %s", r.Scheme, results[0].Scheme)
@@ -263,9 +468,6 @@ func Combine(results []Result) (Result, error) {
 		agg.DirEntryEvictions += r.Stats.DirEntryEvictions
 		agg.Snarfs += r.Stats.Snarfs
 		for i, ct := range r.Stats.PerCache {
-			for i >= len(agg.PerCache) {
-				agg.PerCache = append(agg.PerCache, coherence.CacheTally{})
-			}
 			agg.PerCache[i].Hits += ct.Hits
 			agg.PerCache[i].Misses += ct.Misses
 			agg.PerCache[i].Writes += ct.Writes

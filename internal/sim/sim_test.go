@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestRunBasic(t *testing.T) {
 		must(coherence.NewDir0B(cfg4())),
 		must(coherence.NewDragon(cfg4())),
 	}
-	rs, err := Run(trace.NewSliceReader(smallTrace()), engines, Options{})
+	rs, err := Run(context.Background(), trace.NewSliceReader(smallTrace()), engines, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,22 +66,22 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunValidatesOptionsAndEngines(t *testing.T) {
 	e := must(coherence.NewDir0B(cfg4()))
-	if _, err := Run(trace.NewSliceReader(nil), nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), trace.NewSliceReader(nil), nil, Options{}); err == nil {
 		t.Error("empty engine list accepted")
 	}
-	if _, err := Run(trace.NewSliceReader(nil), []coherence.Engine{e}, Options{BlockBytes: 12}); err == nil {
+	if _, err := Run(context.Background(), trace.NewSliceReader(nil), []coherence.Engine{e}, Options{BlockBytes: 12}); err == nil {
 		t.Error("bad block size accepted")
 	}
-	if _, err := Run(trace.NewSliceReader(nil), []coherence.Engine{e}, Options{CacheBy: CacheBy(9)}); err == nil {
+	if _, err := Run(context.Background(), trace.NewSliceReader(nil), []coherence.Engine{e}, Options{CacheBy: CacheBy(9)}); err == nil {
 		t.Error("bad CacheBy accepted")
 	}
 	mixed := []coherence.Engine{e, must(coherence.NewDir0B(coherence.Config{Caches: 8}))}
-	if _, err := Run(trace.NewSliceReader(nil), mixed, Options{}); err == nil {
+	if _, err := Run(context.Background(), trace.NewSliceReader(nil), mixed, Options{}); err == nil {
 		t.Error("mismatched cache counts accepted")
 	}
 	tooSmall := []coherence.Engine{must(coherence.NewDir0B(coherence.Config{Caches: 1}))}
 	tr := trace.Slice{{CPU: 3, Kind: trace.Read, Addr: 1}}
-	if _, err := Run(trace.NewSliceReader(tr), tooSmall, Options{}); err == nil {
+	if _, err := Run(context.Background(), trace.NewSliceReader(tr), tooSmall, Options{}); err == nil {
 		t.Error("out-of-range CPU accepted")
 	}
 }
@@ -93,12 +94,12 @@ func TestRunByProcessMapsDensely(t *testing.T) {
 		{CPU: 1, PID: 7, Kind: trace.Read, Addr: 0x10},
 		{CPU: 2, PID: 7, Kind: trace.Write, Addr: 0x10},
 	}
-	byCPU, err := Run(trace.NewSliceReader(tr),
+	byCPU, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	byProc, err := Run(trace.NewSliceReader(tr),
+	byProc, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{CacheBy: ByProcess})
 	if err != nil {
 		t.Fatal(err)
@@ -113,9 +114,9 @@ func TestRunByProcessMapsDensely(t *testing.T) {
 
 func TestIncludeFirstRefCosts(t *testing.T) {
 	tr := trace.Slice{{CPU: 0, Kind: trace.Read, Addr: 0x10}}
-	excl, _ := Run(trace.NewSliceReader(tr),
+	excl, _ := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{})
-	incl, _ := Run(trace.NewSliceReader(tr),
+	incl, _ := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{IncludeFirstRefCosts: true})
 	if excl[0].Stats.Ops.Total() != 0 {
 		t.Error("excluded first ref emitted ops")
@@ -129,7 +130,7 @@ func TestIncludeFirstRefCosts(t *testing.T) {
 }
 
 func TestRunSchemes(t *testing.T) {
-	rs, err := RunSchemes(trace.NewSliceReader(smallTrace()),
+	rs, err := RunSchemes(context.Background(), trace.NewSliceReader(smallTrace()),
 		[]string{"dir1nb", "wti"}, cfg4(), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -137,14 +138,14 @@ func TestRunSchemes(t *testing.T) {
 	if len(rs) != 2 || rs[0].Scheme != "Dir1NB" || rs[1].Scheme != "WTI" {
 		t.Fatalf("results = %v", []string{rs[0].Scheme, rs[1].Scheme})
 	}
-	if _, err := RunSchemes(trace.NewSliceReader(nil), []string{"nope"}, cfg4(), Options{}); err == nil {
+	if _, err := RunSchemes(context.Background(), trace.NewSliceReader(nil), []string{"nope"}, cfg4(), Options{}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
 
 func TestCombine(t *testing.T) {
 	mk := func() Result {
-		rs, err := Run(trace.NewSliceReader(smallTrace()),
+		rs, err := Run(context.Background(), trace.NewSliceReader(smallTrace()),
 			[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -169,7 +170,7 @@ func TestCombine(t *testing.T) {
 	if _, err := Combine(nil); err == nil {
 		t.Error("empty combine accepted")
 	}
-	other, _ := Run(trace.NewSliceReader(smallTrace()),
+	other, _ := Run(context.Background(), trace.NewSliceReader(smallTrace()),
 		[]coherence.Engine{must(coherence.NewDragon(cfg4()))}, Options{})
 	if _, err := Combine([]Result{a, other[0]}); err == nil {
 		t.Error("cross-scheme combine accepted")
@@ -182,7 +183,7 @@ func mergeOps(a, b bus.OpCounts) bus.OpCounts {
 }
 
 func TestResultModelAdjustment(t *testing.T) {
-	rs, err := Run(trace.NewSliceReader(smallTrace()),
+	rs, err := Run(context.Background(), trace.NewSliceReader(smallTrace()),
 		[]coherence.Engine{must(coherence.NewBerkeley(cfg4()))}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -204,7 +205,7 @@ func TestAccountingPathsAgreeOnGeneratedTraces(t *testing.T) {
 			t.Fatal(err)
 		}
 		engines = append(engines, must(coherence.NewBerkeley(cfg4())))
-		rs, err := Run(gen, engines, Options{})
+		rs, err := Run(context.Background(), gen, engines, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func TestOpsFromEventsUnknownScheme(t *testing.T) {
 }
 
 func TestVerifyAccountingSkipsDataDependent(t *testing.T) {
-	rs, err := Run(trace.NewSliceReader(smallTrace()),
+	rs, err := Run(context.Background(), trace.NewSliceReader(smallTrace()),
 		[]coherence.Engine{must(coherence.NewDirnNB(cfg4()))}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +244,7 @@ func TestVerifyAccountingSkipsDataDependent(t *testing.T) {
 }
 
 func TestDirToMemBandwidthRatio(t *testing.T) {
-	rs, err := Run(trace.NewSliceReader(smallTrace()),
+	rs, err := Run(context.Background(), trace.NewSliceReader(smallTrace()),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +266,7 @@ func TestWarmupRefs(t *testing.T) {
 		{CPU: 0, Kind: trace.Read, Addr: 0x10},  // measured: hit
 		{CPU: 1, Kind: trace.Write, Addr: 0x10}, // measured: wh shared
 	}
-	rs, err := Run(trace.NewSliceReader(tr),
+	rs, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))},
 		Options{WarmupRefs: 2})
 	if err != nil {
@@ -286,7 +287,7 @@ func TestWarmupRefs(t *testing.T) {
 
 func TestWarmupLongerThanTrace(t *testing.T) {
 	tr := trace.Slice{{CPU: 0, Kind: trace.Read, Addr: 0x10}}
-	rs, err := Run(trace.NewSliceReader(tr),
+	rs, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))},
 		Options{WarmupRefs: 100})
 	if err != nil {
@@ -310,7 +311,7 @@ func TestAvgAccessTime(t *testing.T) {
 		{CPU: 0, Kind: trace.Read, Addr: 0x10}, // hit
 		{CPU: 1, Kind: trace.Read, Addr: 0x10}, // hit
 	}
-	rs, err := Run(trace.NewSliceReader(tr),
+	rs, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -327,12 +328,12 @@ func TestAvgAccessTimeAppliesModelAdjustment(t *testing.T) {
 		{CPU: 0, Kind: trace.Read, Addr: 0x10},
 		{CPU: 0, Kind: trace.Write, Addr: 0x10}, // wh-clean-sole: dir check
 	}
-	berk, err := Run(trace.NewSliceReader(tr),
+	berk, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewBerkeley(cfg4()))}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d0b, err := Run(trace.NewSliceReader(tr),
+	d0b, err := Run(context.Background(), trace.NewSliceReader(tr),
 		[]coherence.Engine{must(coherence.NewDir0B(cfg4()))}, Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,9 +1,8 @@
 package study
 
 import (
-	"fmt"
+	"context"
 	"runtime"
-	"sync"
 
 	"dirsim/internal/coherence"
 	"dirsim/internal/sim"
@@ -11,60 +10,12 @@ import (
 )
 
 // ParallelSeedSweep is SeedSweep with the replications executed
-// concurrently, one goroutine per seed (bounded by GOMAXPROCS). Engines
-// and generators are per-seed, so no state is shared across goroutines;
-// results are identical to the sequential SeedSweep in the same order.
-func ParallelSeedSweep(base tracegen.Config, seeds []int64, schemes []string,
+// concurrently on a worker pool bounded by GOMAXPROCS (never one
+// goroutine per seed, however many seeds there are). Engines and
+// generators are per-seed, so no state is shared across workers; results
+// are identical to the sequential SeedSweep in the same order, and errors
+// from every failing seed are aggregated, not just the first.
+func ParallelSeedSweep(ctx context.Context, base tracegen.Config, seeds []int64, schemes []string,
 	engCfg coherence.Config, opts sim.Options, metric Metric) ([]Summary, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("study: no seeds")
-	}
-	if len(schemes) == 0 {
-		return nil, fmt.Errorf("study: no schemes")
-	}
-	values := make([][]float64, len(schemes))
-	for i := range values {
-		values[i] = make([]float64, len(seeds))
-	}
-	errs := make([]error, len(seeds))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for si, seed := range seeds {
-		wg.Add(1)
-		go func(si int, seed int64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := base
-			cfg.Seed = seed
-			gen, err := tracegen.New(cfg)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			rs, err := sim.RunSchemes(gen, schemes, engCfg, opts)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			for i, r := range rs {
-				values[i][si] = metric(r)
-			}
-		}(si, seed)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	out := make([]Summary, len(schemes))
-	for i, name := range schemes {
-		e, err := coherence.NewByName(name, engCfg)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = summarise(e.Name(), values[i])
-	}
-	return out, nil
+	return sweep(ctx, runtime.GOMAXPROCS(0), base, seeds, schemes, engCfg, opts, metric)
 }

@@ -9,13 +9,16 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
+	"dirsim/internal/runner"
 	"dirsim/internal/sim"
+	"dirsim/internal/trace"
 	"dirsim/internal/tracegen"
 )
 
@@ -59,6 +62,13 @@ func summarise(scheme string, values []float64) Summary {
 	return s
 }
 
+// Summarise computes the replication statistics for a metric series — the
+// same summary SeedSweep builds — for callers that collect per-seed values
+// themselves (e.g. streaming runner pipelines).
+func Summarise(scheme string, values []float64) Summary {
+	return summarise(scheme, values)
+}
+
 // tCritical95 returns the two-sided 95% Student-t critical value for the
 // given degrees of freedom (exact table for small df, 1.96 asymptote).
 func tCritical95(df int) float64 {
@@ -89,40 +99,55 @@ func CyclesPerRef(m bus.CostModel) Metric {
 // SeedSweep replays the workload base across the given seeds (overriding
 // base.Seed each time), runs every scheme in lockstep per seed, and
 // summarises metric per scheme. All schemes see identical traces, so
-// comparisons across schemes are paired.
-func SeedSweep(base tracegen.Config, seeds []int64, schemes []string,
+// comparisons across schemes are paired. The context cancels the sweep
+// between reference batches.
+func SeedSweep(ctx context.Context, base tracegen.Config, seeds []int64, schemes []string,
 	engCfg coherence.Config, opts sim.Options, metric Metric) ([]Summary, error) {
+	return sweep(ctx, 1, base, seeds, schemes, engCfg, opts, metric)
+}
+
+// sweep is the shared replication driver: one runner job per seed,
+// executed on a pool of the given width. Results are collected in seed
+// order whatever the width, so SeedSweep and ParallelSeedSweep summarise
+// identical series.
+func sweep(ctx context.Context, workers int, base tracegen.Config, seeds []int64,
+	schemes []string, engCfg coherence.Config, opts sim.Options, metric Metric) ([]Summary, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("study: no seeds")
 	}
 	if len(schemes) == 0 {
 		return nil, fmt.Errorf("study: no schemes")
 	}
-	values := make([][]float64, len(schemes))
-	for _, seed := range seeds {
+	jobs := make([]runner.Job, len(seeds))
+	for si, seed := range seeds {
 		cfg := base
 		cfg.Seed = seed
-		gen, err := tracegen.New(cfg)
-		if err != nil {
-			return nil, err
+		jobs[si] = runner.Job{
+			Label:   fmt.Sprintf("%s seed %d", base.Name, seed),
+			Source:  func() (trace.Reader, error) { return tracegen.New(cfg) },
+			Schemes: schemes,
+			Config:  engCfg,
+			Opts:    opts,
 		}
-		rs, err := sim.RunSchemes(gen, schemes, engCfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		for i, r := range rs {
-			values[i] = append(values[i], metric(r))
+	}
+	res, err := runner.Run(ctx, jobs, runner.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	values := make([][]float64, len(schemes))
+	names := make([]string, len(schemes))
+	for i := range values {
+		values[i] = make([]float64, len(seeds))
+	}
+	for si := range res {
+		for i, r := range res[si] {
+			values[i][si] = metric(r)
+			names[i] = r.Scheme
 		}
 	}
 	out := make([]Summary, len(schemes))
-	for i, name := range schemes {
-		// Use the engine's canonical name from the runs? The metric
-		// series is keyed by position; resolve the display name once.
-		e, err := coherence.NewByName(name, engCfg)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = summarise(e.Name(), values[i])
+	for i := range out {
+		out[i] = summarise(names[i], values[i])
 	}
 	return out, nil
 }

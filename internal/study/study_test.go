@@ -1,7 +1,10 @@
 package study
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"dirsim/internal/bus"
@@ -82,7 +85,7 @@ func TestSeedsDeterministicAndDistinct(t *testing.T) {
 func TestSeedSweepAndCompare(t *testing.T) {
 	base := tracegen.PERO(40_000)
 	seeds := Seeds(7, 5)
-	sums, err := SeedSweep(base, seeds, []string{"dir0b", "dragon"},
+	sums, err := SeedSweep(context.Background(), base, seeds, []string{"dir0b", "dragon"},
 		coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined()))
 	if err != nil {
 		t.Fatal(err)
@@ -123,13 +126,13 @@ func TestSeedSweepAndCompare(t *testing.T) {
 
 func TestSeedSweepErrors(t *testing.T) {
 	base := tracegen.PERO(1000)
-	if _, err := SeedSweep(base, nil, []string{"dir0b"}, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
+	if _, err := SeedSweep(context.Background(), base, nil, []string{"dir0b"}, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
 		t.Error("no seeds accepted")
 	}
-	if _, err := SeedSweep(base, []int64{1}, nil, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
+	if _, err := SeedSweep(context.Background(), base, []int64{1}, nil, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
 		t.Error("no schemes accepted")
 	}
-	if _, err := SeedSweep(base, []int64{1}, []string{"bogus"}, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
+	if _, err := SeedSweep(context.Background(), base, []int64{1}, []string{"bogus"}, coherence.Config{Caches: 4}, sim.Options{}, CyclesPerRef(bus.Pipelined())); err == nil {
 		t.Error("bogus scheme accepted")
 	}
 }
@@ -150,11 +153,11 @@ func TestParallelSeedSweepMatchesSequential(t *testing.T) {
 	seeds := Seeds(11, 6)
 	schemes := []string{"dir0b", "dragon"}
 	metric := CyclesPerRef(bus.Pipelined())
-	seq, err := SeedSweep(base, seeds, schemes, coherence.Config{Caches: 4}, sim.Options{}, metric)
+	seq, err := SeedSweep(context.Background(), base, seeds, schemes, coherence.Config{Caches: 4}, sim.Options{}, metric)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := ParallelSeedSweep(base, seeds, schemes, coherence.Config{Caches: 4}, sim.Options{}, metric)
+	par, err := ParallelSeedSweep(context.Background(), base, seeds, schemes, coherence.Config{Caches: 4}, sim.Options{}, metric)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,16 +174,34 @@ func TestParallelSeedSweepMatchesSequential(t *testing.T) {
 	}
 }
 
+// A sweep where several seeds fail must report every failure, not just
+// the first — the error carries one labelled entry per failing seed.
+func TestSweepAggregatesAllSeedErrors(t *testing.T) {
+	base := tracegen.PERO(1000)
+	metric := CyclesPerRef(bus.Pipelined())
+	seeds := []int64{3, 5, 9}
+	_, err := ParallelSeedSweep(context.Background(), base, seeds, []string{"bogus"},
+		coherence.Config{Caches: 4}, sim.Options{}, metric)
+	if err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	for _, seed := range seeds {
+		if want := fmt.Sprintf("seed %d", seed); !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %q: %v", want, err)
+		}
+	}
+}
+
 func TestParallelSeedSweepErrors(t *testing.T) {
 	base := tracegen.PERO(1000)
 	metric := CyclesPerRef(bus.Pipelined())
-	if _, err := ParallelSeedSweep(base, nil, []string{"dir0b"}, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
+	if _, err := ParallelSeedSweep(context.Background(), base, nil, []string{"dir0b"}, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
 		t.Error("no seeds accepted")
 	}
-	if _, err := ParallelSeedSweep(base, []int64{1}, nil, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
+	if _, err := ParallelSeedSweep(context.Background(), base, []int64{1}, nil, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
 		t.Error("no schemes accepted")
 	}
-	if _, err := ParallelSeedSweep(base, []int64{1}, []string{"bogus"}, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
+	if _, err := ParallelSeedSweep(context.Background(), base, []int64{1}, []string{"bogus"}, coherence.Config{Caches: 4}, sim.Options{}, metric); err == nil {
 		t.Error("bogus scheme accepted")
 	}
 }
