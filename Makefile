@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint mc check fuzz bench
+.PHONY: build test race lint mc check fuzz bench fault-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,28 @@ check: build lint test race mc
 # `go test`; this explores further).
 fuzz:
 	$(GO) test ./internal/coherence/ -run FuzzNewByName -fuzz FuzzNewByName -fuzztime 30s
+
+# End-to-end resilience drill (same scenario CI runs): a sweep with an
+# injected panic, a truncated trace and transient faults on every job
+# must exit nonzero yet leave a partial CSV, a failure manifest and a
+# checkpoint; a clean -resume run must reproduce the fault-free output
+# byte for byte.
+fault-smoke:
+	rm -rf fault-smoke.tmp && mkdir fault-smoke.tmp
+	$(GO) run ./cmd/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4,8 \
+		-refs 6000 -seeds 2 -parallel 2 -o fault-smoke.tmp/clean.csv
+	! $(GO) run ./cmd/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4,8 \
+		-refs 6000 -seeds 2 -parallel 2 -o fault-smoke.tmp/faulty.csv \
+		-fault-panic 1 -fault-jobs 2 -fault-truncate 3000 -fault-transient 1 \
+		-retry-base 1ms -checkpoint fault-smoke.tmp/ck.json \
+		-manifest fault-smoke.tmp/failures.json
+	test -s fault-smoke.tmp/faulty.csv
+	grep -q '"jobs_failed": 2' fault-smoke.tmp/failures.json
+	$(GO) run ./cmd/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4,8 \
+		-refs 6000 -seeds 2 -parallel 2 -o fault-smoke.tmp/resumed.csv \
+		-checkpoint fault-smoke.tmp/ck.json -resume
+	cmp fault-smoke.tmp/clean.csv fault-smoke.tmp/resumed.csv
+	rm -rf fault-smoke.tmp
 
 # Driver throughput baseline: sequential vs parallel lockstep simulation
 # over four schemes, recorded as a JSON benchmark log for comparison

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"dirsim/internal/atomicio"
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
 	"dirsim/internal/numa"
@@ -65,14 +66,20 @@ func main() {
 		defer cancel()
 	}
 	if *pprofFile != "" {
-		f, err := os.Create(*pprofFile)
+		pf, err := atomicio.Create(*pprofFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Abort()
 			log.Fatal(err)
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := pf.Commit(); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 	if err := run(ctx, os.Stdout, options{
 		traceFile: *traceFile, workload: *workload, refs: *refs,

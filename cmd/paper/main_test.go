@@ -2,8 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"dirsim/internal/runner"
 )
 
 // TestRunRegeneratesEveryArtifact drives the full reproduction at a small
@@ -14,7 +20,7 @@ func TestRunRegeneratesEveryArtifact(t *testing.T) {
 		t.Skip("full reproduction skipped in -short mode")
 	}
 	var out strings.Builder
-	if err := run(context.Background(), &out, 60_000, 4, 1, nil); err != nil {
+	if err := run(context.Background(), &out, options{refs: 60_000, cpus: 4, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -50,11 +56,14 @@ func TestRunRegeneratesEveryArtifact(t *testing.T) {
 			t.Errorf("output missing %q", want)
 		}
 	}
+	if strings.Contains(s, "failed:") || strings.Contains(s, "skipped:") {
+		t.Errorf("clean run printed a failure/skip note:\n%s", s)
+	}
 }
 
 func TestRunRejectsBadCPUCount(t *testing.T) {
 	var out strings.Builder
-	if err := run(context.Background(), &out, 1000, 0, 1, nil); err == nil {
+	if err := run(context.Background(), &out, options{refs: 1000, cpus: 0, parallel: 1}); err == nil {
 		t.Fatal("cpus=0 accepted")
 	}
 }
@@ -66,11 +75,11 @@ func TestRunParallelMatchesSequentialWithProgress(t *testing.T) {
 		t.Skip("full reproduction skipped in -short mode")
 	}
 	var seq strings.Builder
-	if err := run(context.Background(), &seq, 20_000, 4, 1, nil); err != nil {
+	if err := run(context.Background(), &seq, options{refs: 20_000, cpus: 4, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	var par, prog strings.Builder
-	if err := run(context.Background(), &par, 20_000, 4, 4, &prog); err != nil {
+	if err := run(context.Background(), &par, options{refs: 20_000, cpus: 4, parallel: 4, progressW: &prog}); err != nil {
 		t.Fatal(err)
 	}
 	if seq.String() != par.String() {
@@ -85,7 +94,54 @@ func TestRunCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var out strings.Builder
-	if err := run(ctx, &out, 50_000, 4, 1, nil); err == nil {
+	if err := run(ctx, &out, options{refs: 50_000, cpus: 4, parallel: 1}); err == nil {
 		t.Fatal("cancelled run succeeded")
+	}
+}
+
+// A panicking section must not take the report down: the rest renders,
+// dependent sections skip themselves, the failure lands in the manifest,
+// and run reports degradation instead of dying.
+func TestRunSurvivesFailedSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction skipped in -short mode")
+	}
+	manifest := filepath.Join(t.TempDir(), "failures.json")
+	var out strings.Builder
+	err := run(context.Background(), &out, options{
+		refs: 20_000, cpus: 4, parallel: 2,
+		failSection: "core-runs", manifest: manifest,
+	})
+	if !errors.Is(err, errDegraded) {
+		t.Fatalf("want errDegraded, got %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "[core-runs failed: panic: injected section failure (core-runs)]") {
+		t.Errorf("missing failure note in report:\n%s", s)
+	}
+	// Dependents of the core runs skip; independent sections still render.
+	for _, want := range []string{
+		"[section5 skipped:", "[section52 skipped:", "[accounting skipped:",
+		"Section 6: directory alternatives",
+		"Extension: the wider snoopy/directory protocol zoo",
+		"Appendix: POPS across 5 seeds",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man runner.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if man.Command != "paper" || man.Failed != 1 || len(man.Failures) != 1 {
+		t.Errorf("manifest = %+v, want 1 paper failure", man)
+	}
+	if man.Failures[0].Label != "core-runs" {
+		t.Errorf("failure label = %q, want core-runs", man.Failures[0].Label)
 	}
 }

@@ -7,15 +7,27 @@
 // shared runner pool; rows stream out as their cell's replications
 // complete, in grid order, whatever the worker count.
 //
+// The run is resilient: a failed or panicking cell never aborts the
+// sweep. Surviving cells stream to the (crash-safely written) CSV, every
+// failure lands in a machine-readable manifest, completed cells are
+// checkpointed as they finish, and -resume replays only the missing or
+// failed cells — producing output byte-identical to an uninterrupted
+// clean run. Deterministic fault-injection knobs (-fault-*) exercise all
+// of this on demand.
+//
 // Usage:
 //
 //	sweep -workloads pops,thor,pero -schemes dir0b,dirnnb,dragon \
 //	      -cpus 4,8,16 -refs 300000 -seeds 3 -parallel 4 > sweep.csv
+//	sweep ... -o sweep.csv -checkpoint sweep.ck.json -manifest sweep.failures.json
+//	sweep ... -o sweep.csv -checkpoint sweep.ck.json -resume
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,8 +38,10 @@ import (
 	"strings"
 	"time"
 
+	"dirsim/internal/atomicio"
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
+	"dirsim/internal/faults"
 	"dirsim/internal/obs"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
@@ -46,8 +60,22 @@ func main() {
 	seeds := flag.Int("seeds", 3, "replications per cell")
 	parallel := flag.Int("parallel", 1, "concurrent simulation jobs (1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = no limit)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "fail a job when no progress for this long (0 = off)")
+	retries := flag.Int("retries", 2, "extra attempts for jobs failing with transient errors")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt, jittered)")
+	out := flag.String("o", "-", "output CSV file (written atomically), or - for stdout")
+	manifest := flag.String("manifest", "", "write a JSON failure manifest to this file")
+	checkpoint := flag.String("checkpoint", "", "save completed cells to this JSON file as they finish")
+	resume := flag.Bool("resume", false, "load -checkpoint and re-run only missing or failed cells")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "per-reference bit-flip probability in fault-injected jobs")
+	faultTruncate := flag.Int("fault-truncate", 0, "fault-injected jobs lose their trace after this many references")
+	faultTransient := flag.Int("fault-transient", 0, "every job fails with a transient error on its first N attempts")
+	faultPanic := flag.String("fault-panic", "", "comma-separated job indices that panic mid-run")
+	faultJobs := flag.String("fault-jobs", "", "comma-separated job indices to inject trace faults into (default: all)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -57,38 +85,118 @@ func main() {
 		defer cancel()
 	}
 	if *pprofFile != "" {
-		f, err := os.Create(*pprofFile)
+		pf, err := atomicio.Create(*pprofFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Abort()
 			log.Fatal(err)
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := pf.Commit(); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
-	if err := run(ctx, os.Stdout, options{
+
+	o := options{
 		workloads: *workloads, schemes: *schemes, cpus: *cpus,
 		refs: *refs, seeds: *seeds, parallel: *parallel,
+		jobTimeout: *jobTimeout, stallTimeout: *stallTimeout,
+		retries: *retries, retryBase: *retryBase, sleep: time.Sleep,
+		manifest: *manifest, checkpoint: *checkpoint, resume: *resume,
+		faultSeed: *faultSeed, faultCorrupt: *faultCorrupt,
+		faultTruncate: *faultTruncate, faultTransient: *faultTransient,
+		faultPanic: *faultPanic, faultJobs: *faultJobs,
 		progress: *progress, progressW: os.Stderr,
-	}); err != nil {
+	}
+
+	var w io.Writer = os.Stdout
+	var af *atomicio.File
+	if *out != "-" {
+		f, err := atomicio.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		af = f
+		w = f
+	}
+	err := run(ctx, w, o)
+	switch {
+	case err == nil:
+		if af != nil {
+			if cerr := af.Commit(); cerr != nil {
+				log.Fatal(cerr)
+			}
+		}
+	case errors.Is(err, errDegraded):
+		// Partial results are still results: commit them, then report
+		// the degradation and exit nonzero.
+		if af != nil {
+			if cerr := af.Commit(); cerr != nil {
+				log.Fatal(cerr)
+			}
+		}
+		log.Print(err)
+		os.Exit(1)
+	default:
+		if af != nil {
+			af.Abort()
+		}
 		log.Fatal(err)
 	}
 }
+
+// errDegraded marks a sweep that finished with failed cells: outputs are
+// valid and written, but incomplete.
+var errDegraded = errors.New("degraded run")
 
 // options collects the command's flags.
 type options struct {
 	workloads, schemes, cpus string
 	refs, seeds, parallel    int
-	progress                 bool
-	progressW                io.Writer
+
+	jobTimeout, stallTimeout time.Duration
+	retries                  int
+	retryBase                time.Duration
+	sleep                    func(time.Duration)
+
+	manifest, checkpoint string
+	resume               bool
+
+	faultSeed      int64
+	faultCorrupt   float64
+	faultTruncate  int
+	faultTransient int
+	faultPanic     string
+	faultJobs      string
+
+	progress  bool
+	progressW io.Writer
 }
 
-// cell is one output row in the making: a (workload, cpus) grid point
-// accumulating its per-seed metric values, one series per scheme.
-type cell struct {
+// cellMeta names one output cell: a (workload, cpus) grid point. Its
+// jobs are the seeds×schemes replications at indices
+// [cell*seeds, (cell+1)*seeds).
+type cellMeta struct {
 	workload string
 	cpus     int
-	values   [][]float64
+}
+
+// checkpointFile is the periodic on-disk record of completed jobs: the
+// grid parameters it belongs to, plus each finished job's per-scheme
+// metric values keyed by global job index. float64 values survive the
+// JSON round trip exactly, which is what makes resumed output
+// byte-identical to a clean run.
+type checkpointFile struct {
+	Workloads string               `json:"workloads"`
+	Schemes   string               `json:"schemes"`
+	Cpus      string               `json:"cpus"`
+	Refs      int                  `json:"refs"`
+	Seeds     int                  `json:"seeds"`
+	Jobs      map[string][]float64 `json:"jobs"`
 }
 
 func run(ctx context.Context, w io.Writer, o options) error {
@@ -108,10 +216,22 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	pip := bus.Pipelined()
 	metric := study.CyclesPerRef(pip)
 
+	// Resolve canonical scheme names up front: rows rebuilt from a
+	// checkpoint must print exactly the names a live run would, and a
+	// bogus scheme should fail before any simulation starts.
+	canon := make([]string, len(schemeList))
+	for i, name := range schemeList {
+		e, err := coherence.NewByName(name, coherence.Config{Caches: cpuList[0]})
+		if err != nil {
+			return err
+		}
+		canon[i] = e.Name()
+	}
+
 	// Flatten the grid: jobs are ordered (workload, cpus, seed), so job
 	// index i belongs to cell i/seeds and seed i%seeds.
-	var jobs []runner.Job
-	var cells []*cell
+	var allJobs []runner.Job
+	var cells []cellMeta
 	for _, wlName := range strings.Split(o.workloads, ",") {
 		base, err := preset(strings.TrimSpace(wlName), o.refs)
 		if err != nil {
@@ -120,12 +240,11 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		for _, n := range cpuList {
 			cfg := base
 			cfg.CPUs = n
-			cells = append(cells, &cell{workload: base.Name, cpus: n,
-				values: make([][]float64, len(schemeList))})
+			cells = append(cells, cellMeta{workload: base.Name, cpus: n})
 			for _, seed := range seedList {
 				jcfg := cfg
 				jcfg.Seed = seed
-				jobs = append(jobs, runner.Job{
+				allJobs = append(allJobs, runner.Job{
 					Label:   fmt.Sprintf("%s cpus %d seed %d", base.Name, n, seed),
 					Source:  func() (trace.Reader, error) { return tracegen.New(jcfg) },
 					Schemes: schemeList,
@@ -135,6 +254,91 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		}
 	}
 
+	// values[i] holds job i's per-scheme metric values — prefilled from
+	// the checkpoint on -resume, filled by OnResult otherwise. failed[i]
+	// marks jobs whose final attempt errored.
+	values := make([][]float64, len(allJobs))
+	failed := make([]bool, len(allJobs))
+	ck := checkpointFile{
+		Workloads: o.workloads, Schemes: o.schemes, Cpus: o.cpus,
+		Refs: o.refs, Seeds: o.seeds, Jobs: map[string][]float64{},
+	}
+	if o.resume {
+		if o.checkpoint == "" {
+			return fmt.Errorf("-resume requires -checkpoint")
+		}
+		data, err := os.ReadFile(o.checkpoint)
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		var old checkpointFile
+		if err := json.Unmarshal(data, &old); err != nil {
+			return fmt.Errorf("-resume: corrupt checkpoint %s: %w", o.checkpoint, err)
+		}
+		if old.Workloads != o.workloads || old.Schemes != o.schemes ||
+			old.Cpus != o.cpus || old.Refs != o.refs || old.Seeds != o.seeds {
+			return fmt.Errorf("-resume: checkpoint %s was written by a different grid", o.checkpoint)
+		}
+		for k, vals := range old.Jobs {
+			i, err := strconv.Atoi(k)
+			if err != nil || i < 0 || i >= len(allJobs) || len(vals) != len(schemeList) {
+				return fmt.Errorf("-resume: corrupt checkpoint entry %q in %s", k, o.checkpoint)
+			}
+			values[i] = vals
+			ck.Jobs[k] = vals
+		}
+	}
+
+	// Fault injection: trace faults scope to -fault-jobs (default all),
+	// panics to -fault-panic, both keyed by global job index so a resumed
+	// run with no fault flags replays the same cells cleanly.
+	faultSet, err := parseIndexSet(o.faultJobs)
+	if err != nil {
+		return fmt.Errorf("-fault-jobs: %w", err)
+	}
+	panicSet, err := parseIndexSet(o.faultPanic)
+	if err != nil {
+		return fmt.Errorf("-fault-panic: %w", err)
+	}
+	injectTrace := o.faultCorrupt > 0 || o.faultTruncate > 0
+	wrapSource := func(gi int, src func() (trace.Reader, error)) func() (trace.Reader, error) {
+		cfg := faults.Config{Seed: o.faultSeed + int64(gi)}
+		active := false
+		if injectTrace && (faultSet == nil || faultSet[gi]) {
+			cfg.CorruptProb = o.faultCorrupt
+			cfg.TruncateAfter = o.faultTruncate
+			active = true
+		}
+		if panicSet[gi] {
+			cfg.PanicAfter = o.refs/2 + 1
+			active = true
+		}
+		if !active {
+			return src
+		}
+		return func() (trace.Reader, error) {
+			rd, err := src()
+			if err != nil {
+				return nil, err
+			}
+			return faults.Wrap(rd, cfg), nil
+		}
+	}
+
+	// Submit only jobs without checkpointed values; submitIdx maps pool
+	// index back to global grid index.
+	var submit []runner.Job
+	var submitIdx []int
+	for gi := range allJobs {
+		if values[gi] != nil {
+			continue
+		}
+		j := allJobs[gi]
+		j.Source = wrapSource(gi, j.Source)
+		submit = append(submit, j)
+		submitIdx = append(submitIdx, gi)
+	}
+
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"workload", "cpus", "scheme", "refs", "seeds",
@@ -142,38 +346,111 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	}); err != nil {
 		return err
 	}
-	// Rows stream: OnResult arrives in job order, so a cell's seeds finish
-	// contiguously and its rows go out (and flush) the moment the last one
-	// lands — long grids produce output as they go.
+
+	// Rows stream in grid order: OnResult/OnError arrive in submit order
+	// (which preserves grid order), so cells resolve front to back. A
+	// cell flushes the moment its last seed lands; a cell with any failed
+	// seed emits no rows and is skipped — its failure is in the manifest
+	// and a -resume replays it.
 	var rowErr error
-	ropts := runner.Options{
-		Workers: o.parallel,
-		OnResult: func(index int, rs []sim.Result) {
-			if rowErr != nil {
+	nextCell := 0
+	emit := func() {
+		if rowErr != nil {
+			return
+		}
+		for nextCell < len(cells) {
+			lo := nextCell * o.seeds
+			cellFailed := false
+			complete := true
+			for j := lo; j < lo+o.seeds; j++ {
+				if failed[j] {
+					cellFailed = true
+				} else if values[j] == nil {
+					complete = false
+				}
+			}
+			if cellFailed {
+				nextCell++
+				continue
+			}
+			if !complete {
 				return
 			}
-			c := cells[index/o.seeds]
-			for i, r := range rs {
-				c.values[i] = append(c.values[i], metric(r))
-			}
-			if len(c.values[0]) < o.seeds {
-				return
-			}
-			for i := range rs {
-				s := study.Summarise(rs[i].Scheme, c.values[i])
+			c := cells[nextCell]
+			for si := range schemeList {
+				vals := make([]float64, o.seeds)
+				for s := 0; s < o.seeds; s++ {
+					vals[s] = values[lo+s][si]
+				}
+				sum := study.Summarise(canon[si], vals)
 				if err := cw.Write([]string{
-					c.workload, strconv.Itoa(c.cpus), s.Scheme,
+					c.workload, strconv.Itoa(c.cpus), sum.Scheme,
 					strconv.Itoa(o.refs), strconv.Itoa(o.seeds),
-					fmt.Sprintf("%.6f", s.Mean),
-					fmt.Sprintf("%.6f", s.CI95),
+					fmt.Sprintf("%.6f", sum.Mean),
+					fmt.Sprintf("%.6f", sum.CI95),
 				}); err != nil {
 					rowErr = err
 					return
 				}
 			}
 			cw.Flush()
-			rowErr = cw.Error()
+			if rowErr = cw.Error(); rowErr != nil {
+				return
+			}
+			nextCell++
+		}
+	}
+	saveCheckpoint := func() {
+		if o.checkpoint == "" || rowErr != nil {
+			return
+		}
+		data, err := json.MarshalIndent(ck, "", "  ")
+		if err != nil {
+			rowErr = err
+			return
+		}
+		if err := atomicio.WriteFile(o.checkpoint, append(data, '\n')); err != nil {
+			rowErr = err
+		}
+	}
+
+	man := runner.NewManifest("sweep", len(allJobs))
+	ropts := runner.Options{
+		Workers:      o.parallel,
+		JobTimeout:   o.jobTimeout,
+		StallTimeout: o.stallTimeout,
+		Retry: runner.RetryPolicy{
+			Max:  o.retries + 1,
+			Base: o.retryBase,
+			Seed: o.faultSeed,
 		},
+		Sleep: o.sleep,
+		OnResult: func(si int, rs []sim.Result) {
+			gi := submitIdx[si]
+			vals := make([]float64, len(rs))
+			for k, r := range rs {
+				vals[k] = metric(r)
+			}
+			values[gi] = vals
+			ck.Jobs[strconv.Itoa(gi)] = vals
+			saveCheckpoint()
+			emit()
+		},
+		OnError: func(si int, err error) {
+			gi := submitIdx[si]
+			failed[gi] = true
+			man.Record(gi, allJobs[gi].Label, err)
+			emit()
+		},
+	}
+	if o.faultTransient > 0 {
+		n := o.faultTransient
+		ropts.TransientFault = func(si, attempt int) error {
+			if attempt <= n {
+				return runner.Transient(fmt.Errorf("injected transient fault (attempt %d)", attempt))
+			}
+			return nil
+		}
 	}
 	if o.progress {
 		pw := o.progressW
@@ -187,20 +464,78 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		ropts.Progress = func() {
 			if th.Ready() {
 				s := m.Snapshot()
-				fmt.Fprintf(pw, "\rjobs %d/%d  %d refs (%.0f refs/s) ",
-					s.JobsDone, s.JobsTotal, s.Refs, s.RefsPerSec(time.Since(start)))
+				fmt.Fprintf(pw, "\rjobs %d/%d  %d refs (%.0f refs/s)  retries %d  failures %d ",
+					s.JobsDone, s.JobsTotal, s.Refs, s.RefsPerSec(time.Since(start)),
+					s.Retries, s.Failures)
 			}
 		}
 		defer fmt.Fprintln(pw)
 	}
-	if _, err := runner.Run(ctx, jobs, ropts); err != nil {
-		return err
+
+	// Cells fully satisfied by the checkpoint flush before any job runs.
+	emit()
+	if rowErr != nil {
+		return rowErr
+	}
+	if _, err := runner.Run(ctx, submit, ropts); err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		if !jobFailuresOnly(err) {
+			return err
+		}
+		// Per-job failures were already delivered through OnError and
+		// recorded in the manifest; the degraded path below reports them.
 	}
 	if rowErr != nil {
 		return rowErr
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if o.manifest != "" {
+		if err := man.Write(o.manifest); err != nil {
+			return err
+		}
+	}
+	if man.Failed > 0 {
+		return fmt.Errorf("%w: %d of %d jobs failed; partial results written, rerun with -resume to fill the gaps",
+			errDegraded, man.Failed, len(allJobs))
+	}
+	return nil
+}
+
+// jobFailuresOnly reports whether err (possibly an errors.Join tree)
+// consists solely of per-job failures — the degraded-but-valid case.
+func jobFailuresOnly(err error) bool {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range u.Unwrap() {
+			if e != nil && !jobFailuresOnly(e) {
+				return false
+			}
+		}
+		return true
+	}
+	var je *runner.JobError
+	return errors.As(err, &je)
+}
+
+// parseIndexSet parses a comma-separated list of non-negative job
+// indices; an empty string means nil (no restriction).
+func parseIndexSet(s string) (map[int]bool, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	set := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad job index %q", f)
+		}
+		set[n] = true
+	}
+	return set, nil
 }
 
 func preset(name string, refs int) (tracegen.Config, error) {

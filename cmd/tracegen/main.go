@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"dirsim/internal/atomicio"
 	"dirsim/internal/report"
 	"dirsim/internal/trace"
 	"dirsim/internal/tracegen"
@@ -35,31 +36,39 @@ func main() {
 	stats := flag.Bool("stats", true, "print Table 3 characteristics to stderr")
 	flag.Parse()
 
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
-		w = f
-		if strings.HasSuffix(*out, ".gz") {
-			zw := gzip.NewWriter(f)
-			defer func() {
-				if err := zw.Close(); err != nil {
-					log.Fatal(err)
-				}
-			}()
-			w = zw
-		}
-	}
-	if err := run(w, os.Stderr, *workload, *refs, *seed, *cpus, *format, *stats); err != nil {
+	if err := emit(*out, *workload, *refs, *seed, *cpus, *format, *stats); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// emit generates the trace into out ("-" for stdout). File output goes
+// through atomicio, so a crash or short write never leaves a truncated
+// trace at the final path: the file only appears once fully flushed,
+// synced and renamed.
+func emit(out, workload string, refs int, seed int64, cpus int, format string, stats bool) error {
+	if out == "-" {
+		return run(os.Stdout, os.Stderr, workload, refs, seed, cpus, format, stats)
+	}
+	f, err := atomicio.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(out, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	if err := run(w, os.Stderr, workload, refs, seed, cpus, format, stats); err != nil {
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Commit()
 }
 
 // run generates the trace into w, reporting statistics to errW.

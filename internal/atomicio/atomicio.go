@@ -1,0 +1,121 @@
+// Package atomicio provides crash-safe writes for result artifacts.
+//
+// Every file the toolchain leaves behind — sweep CSVs, paper tables,
+// generated traces, checkpoints, failure manifests, profiles — is written
+// through this package: bytes go to a hidden temporary file in the
+// destination directory, are fsynced, and the temp file is atomically
+// renamed over the final path. A crash at any point leaves either the old
+// artifact or the new one, never a torn file, and readers polling the
+// final path never observe a partial write. The atomicwrite lint rule
+// flags direct os.Create/os.WriteFile calls outside this package.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File is an artifact in the making: an io.Writer over a temporary file
+// destined for a final path. Exactly one of Commit or Abort must be
+// called; Abort after Commit is a no-op, so `defer f.Abort()` is safe.
+type File struct {
+	path string
+	tmp  *os.File
+	bw   *bufio.Writer
+	done bool
+}
+
+// Create opens a temporary file next to path (same directory, so the
+// final rename cannot cross filesystems) and returns a File writing to
+// it. The final path is untouched until Commit.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{path: path, tmp: tmp, bw: bufio.NewWriter(tmp)}, nil
+}
+
+// Name returns the final path the file will be committed to.
+func (f *File) Name() string { return f.path }
+
+// Write implements io.Writer, buffering into the temporary file.
+func (f *File) Write(p []byte) (int, error) {
+	if f.done {
+		return 0, fmt.Errorf("atomicio: write to %s after commit or abort", f.path)
+	}
+	return f.bw.Write(p)
+}
+
+// Commit flushes buffered data, fsyncs the temporary file, renames it
+// over the final path and fsyncs the directory, making the artifact
+// durable. Any failure — including a short write surfacing at flush or
+// sync — removes the temporary file and leaves the final path as it was.
+func (f *File) Commit() error {
+	if f.done {
+		return fmt.Errorf("atomicio: %s already committed or aborted", f.path)
+	}
+	f.done = true
+	if err := f.bw.Flush(); err != nil {
+		f.discard()
+		return fmt.Errorf("atomicio: flush %s: %w", f.path, err)
+	}
+	if err := f.tmp.Sync(); err != nil {
+		f.discard()
+		return fmt.Errorf("atomicio: sync %s: %w", f.path, err)
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicio: close %s: %w", f.path, err)
+	}
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return syncDir(filepath.Dir(f.path))
+}
+
+// Abort discards the temporary file. It is a no-op after Commit or a
+// previous Abort.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.discard()
+}
+
+func (f *File) discard() {
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+}
+
+// WriteFile atomically replaces path with data: the convenience form for
+// artifacts rendered in memory (checkpoints, manifests).
+func WriteFile(path string, data []byte) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// syncDir fsyncs a directory so the rename itself is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", dir, err)
+	}
+	return nil
+}

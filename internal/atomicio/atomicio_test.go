@@ -1,0 +1,126 @@
+package atomicio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCommitReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("new ")); err != nil {
+		t.Fatal(err)
+	}
+	// Until Commit, the final path still holds the old artifact.
+	if got, _ := os.ReadFile(path); string(got) != "old contents" {
+		t.Fatalf("final path changed before commit: %q", got)
+	}
+	if _, err := f.Write([]byte("contents")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("got %q, want %q", got, "new contents")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestAbortLeavesOldArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte("x"), 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("abort disturbed the final path: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+	// Abort after Abort and writes after Abort are rejected, not panics.
+	f.Abort()
+	if _, err := f.Write([]byte("y")); err == nil {
+		t.Fatal("write after abort succeeded")
+	}
+	if err := f.Commit(); err == nil {
+		t.Fatal("commit after abort succeeded")
+	}
+}
+
+func TestAbortAfterCommitIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Abort()
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if got, _ := os.ReadFile(path); string(got) != "data" {
+		t.Fatalf("abort after commit removed the artifact: %q", got)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := WriteFile(path, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Fatalf("got %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestCreateInMissingDirFails(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Fatal("Create in a missing directory succeeded")
+	}
+}
+
+// assertNoTempFiles checks neither commit nor abort leaks temp files.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leaked temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package faults injects deterministic, seedable faults into trace
+// streams for robustness testing: bit-flip corruption, truncation,
+// mid-stream stalls, duplicated and reordered references, and injected
+// panics. Wrapping the same reader with the same Config always produces
+// the same faulted stream, so a failure found under injection reproduces
+// exactly.
+//
+// The wrappers model imperfect *inputs*; transient *infrastructure*
+// failures (the kind a retry policy should absorb) are injected one layer
+// up, through internal/runner's Options.TransientFault hook.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dirsim/internal/trace"
+)
+
+// ErrTruncated is the error a truncating reader returns in place of a
+// clean end-of-trace. It is deliberately not io.EOF and not transient: a
+// truncated trace stays truncated on retry, so the job must fail and be
+// reported rather than spin.
+var ErrTruncated = errors.New("faults: trace truncated")
+
+// Config selects which faults to inject. The zero value injects nothing
+// (Wrap returns the reader unchanged). All randomness comes from Seed:
+// the same Config over the same input yields the same faulted stream.
+type Config struct {
+	// Seed drives every probabilistic knob below.
+	Seed int64
+	// CorruptProb is the per-reference probability of flipping one
+	// random bit of the reference — usually an address bit (silently
+	// perturbing sharing patterns), occasionally a CPU bit (which the
+	// simulator detects as a cache index out of range). Models bit rot
+	// in stored traces.
+	CorruptProb float64
+	// TruncateAfter, when positive, ends the stream with ErrTruncated
+	// after that many references — a partially written trace file.
+	TruncateAfter int
+	// DuplicateProb is the per-reference probability the reference is
+	// delivered twice — replayed batches after an ingest retry.
+	DuplicateProb float64
+	// ReorderProb is the per-reference probability the reference is
+	// swapped with its successor — out-of-order delivery.
+	ReorderProb float64
+	// StallEvery, when positive together with Stall, invokes the Stall
+	// hook before every StallEvery-th reference — a stream that hangs
+	// mid-flight. The hook is injected (e.g. a bounded time.Sleep from
+	// the cmd layer, or a channel wait in tests) so this package stays
+	// clock-free.
+	StallEvery int
+	// Stall is the hook StallEvery invokes; nil means no stalls.
+	Stall func()
+	// PanicAfter, when positive, panics after that many references —
+	// the blunt failure mode the runner's per-job recovery must contain.
+	PanicAfter int
+}
+
+// enabled reports whether cfg injects any fault at all.
+func (c Config) enabled() bool {
+	return c.CorruptProb > 0 || c.TruncateAfter > 0 || c.DuplicateProb > 0 ||
+		c.ReorderProb > 0 || (c.StallEvery > 0 && c.Stall != nil) || c.PanicAfter > 0
+}
+
+// Wrap returns rd with cfg's faults injected, or rd itself when the
+// config is inert.
+func Wrap(rd trace.Reader, cfg Config) trace.Reader {
+	if !cfg.enabled() {
+		return rd
+	}
+	return &reader{rd: rd, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// reader applies Config to an underlying stream.
+type reader struct {
+	rd   trace.Reader
+	cfg  Config
+	rng  *rand.Rand
+	n    int         // references delivered so far
+	pend []trace.Ref // queued duplicates/reordered refs, delivered first
+}
+
+// Next implements trace.Reader.
+func (r *reader) Next() (trace.Ref, error) {
+	if r.cfg.PanicAfter > 0 && r.n >= r.cfg.PanicAfter {
+		panic(fmt.Sprintf("faults: injected panic after %d refs", r.n))
+	}
+	if r.cfg.TruncateAfter > 0 && r.n >= r.cfg.TruncateAfter {
+		return trace.Ref{}, fmt.Errorf("faults: after %d refs: %w", r.n, ErrTruncated)
+	}
+	if r.cfg.StallEvery > 0 && r.cfg.Stall != nil && r.n > 0 && r.n%r.cfg.StallEvery == 0 {
+		r.cfg.Stall()
+	}
+	ref, err := r.next()
+	if err != nil {
+		return trace.Ref{}, err
+	}
+	r.n++
+	return ref, nil
+}
+
+// next pops the pending queue or pulls (and possibly corrupts,
+// duplicates or reorders) the next underlying reference.
+func (r *reader) next() (trace.Ref, error) {
+	if len(r.pend) > 0 {
+		ref := r.pend[0]
+		r.pend = r.pend[1:]
+		return ref, nil
+	}
+	ref, err := r.rd.Next()
+	if err != nil {
+		return trace.Ref{}, err
+	}
+	if r.cfg.CorruptProb > 0 && r.rng.Float64() < r.cfg.CorruptProb {
+		ref = r.corrupt(ref)
+	}
+	if r.cfg.DuplicateProb > 0 && r.rng.Float64() < r.cfg.DuplicateProb {
+		r.pend = append(r.pend, ref)
+	}
+	if r.cfg.ReorderProb > 0 && r.rng.Float64() < r.cfg.ReorderProb {
+		// Swap with the successor: deliver it now, queue ref behind it.
+		succ, err := r.rd.Next()
+		if err == nil {
+			r.pend = append(r.pend, ref)
+			return succ, nil
+		}
+		// Stream ended at the swap point; deliver ref as-is and let the
+		// next call surface the end.
+	}
+	return ref, nil
+}
+
+// corrupt flips one random bit: 7 times in 8 an address bit (a silent
+// data fault), 1 in 8 a CPU bit (a structural fault the simulator's
+// cache-range check catches).
+func (r *reader) corrupt(ref trace.Ref) trace.Ref {
+	if r.rng.Intn(8) == 0 {
+		ref.CPU ^= 1 << uint(r.rng.Intn(8))
+	} else {
+		ref.Addr ^= 1 << uint(r.rng.Intn(48))
+	}
+	return ref
+}

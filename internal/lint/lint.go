@@ -16,7 +16,10 @@
 //     (the study worker pattern — parameters in, indexed slots out — is
 //     the sanctioned shape), and range loops must not fan out one
 //     goroutine per element (a fixed worker pool or a semaphore acquired
-//     before each spawn bounds concurrency).
+//     before each spawn bounds concurrency);
+//   - artifact hygiene: result files must be written through
+//     internal/atomicio's temp+fsync+rename helpers, never created in
+//     place, so a crash cannot leave a torn CSV, table or trace.
 //
 // Drive it with cmd/dirsimlint or embed it: Load packages, Run rules,
 // print Findings.
@@ -89,6 +92,7 @@ func DefaultRules() []Rule {
 		EngineRegistryRule{},
 		GoCaptureRule{},
 		GoPoolRule{},
+		AtomicWriteRule{},
 	}
 }
 

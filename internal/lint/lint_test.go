@@ -505,6 +505,43 @@ func TwoPi() float64 { return 2 * a.Pi() }
 	}
 }
 
+func TestAtomicWriteRule(t *testing.T) {
+	fire := `package fix
+import "os"
+func f() error {
+	g, err := os.Create("results.csv")
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	return os.WriteFile("manifest.json", []byte("{}"), 0o644)
+}
+`
+	fs := lintSrc(t, "dirsim/cmd/fix", fire, nil, AtomicWriteRule{})
+	wantFindings(t, fs, AtomicWriteRule{}, 2)
+	if !strings.Contains(fs[0].Msg, "atomicio") {
+		t.Errorf("finding should point at internal/atomicio, got %v", fs[0])
+	}
+
+	// The implementation package itself is exempt — it is the one place
+	// allowed to touch os.Create.
+	wantFindings(t, lintSrc(t, "dirsim/internal/atomicio", fire, nil, AtomicWriteRule{}), AtomicWriteRule{}, 0)
+
+	// Reads and unrelated Create functions stay silent.
+	silent := `package fix
+import "os"
+type maker struct{}
+func (maker) Create(string) error { return nil }
+func g(m maker) error {
+	if _, err := os.ReadFile("in.csv"); err != nil {
+		return err
+	}
+	return m.Create("out.csv")
+}
+`
+	wantFindings(t, lintSrc(t, "dirsim/cmd/fix", silent, nil, AtomicWriteRule{}), AtomicWriteRule{}, 0)
+}
+
 // TestRunSorted pins the deterministic ordering of findings.
 func TestRunSorted(t *testing.T) {
 	src := `package fix
@@ -533,7 +570,7 @@ func TestDefaultRulesDocumented(t *testing.T) {
 		}
 		seen[r.Name()] = true
 	}
-	if len(seen) != 8 {
-		t.Errorf("expected 8 rules, have %d", len(seen))
+	if len(seen) != 9 {
+		t.Errorf("expected 9 rules, have %d", len(seen))
 	}
 }

@@ -25,6 +25,9 @@ type Metrics struct {
 	refs      atomic.Uint64
 	jobsDone  atomic.Uint64
 	jobsTotal atomic.Uint64
+	retries   atomic.Uint64
+	failures  atomic.Uint64
+	panics    atomic.Uint64
 
 	mu      sync.Mutex
 	engines map[string]*EngineTally
@@ -64,6 +67,16 @@ func (m *Metrics) AddJobs(n int) { m.jobsTotal.Add(uint64(n)) }
 // JobDone records one completed job.
 func (m *Metrics) JobDone() { m.jobsDone.Add(1) }
 
+// AddRetry records one retried job attempt (a transient failure the
+// runner's backoff policy absorbed).
+func (m *Metrics) AddRetry() { m.retries.Add(1) }
+
+// AddFailure records one job that exhausted its attempts and failed.
+func (m *Metrics) AddFailure() { m.failures.Add(1) }
+
+// AddPanic records one panic the runner recovered into an error.
+func (m *Metrics) AddPanic() { m.panics.Add(1) }
+
 // AddEngine accumulates one finished engine run into the per-scheme
 // tallies.
 func (m *Metrics) AddEngine(scheme string, t EngineTally) {
@@ -86,6 +99,9 @@ type Snapshot struct {
 	Refs      uint64           `json:"refs"`
 	JobsDone  uint64           `json:"jobs_done"`
 	JobsTotal uint64           `json:"jobs_total"`
+	Retries   uint64           `json:"retries"`
+	Failures  uint64           `json:"failures"`
+	Panics    uint64           `json:"panics"`
 	Engines   []EngineSnapshot `json:"engines,omitempty"`
 }
 
@@ -101,6 +117,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Refs:      m.refs.Load(),
 		JobsDone:  m.jobsDone.Load(),
 		JobsTotal: m.jobsTotal.Load(),
+		Retries:   m.retries.Load(),
+		Failures:  m.failures.Load(),
+		Panics:    m.panics.Load(),
 	}
 	m.mu.Lock()
 	for name, t := range m.engines {

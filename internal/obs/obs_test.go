@@ -14,6 +14,10 @@ func TestMetricsCountersAndSnapshot(t *testing.T) {
 	m.AddRefs(1000)
 	m.AddRefs(500)
 	m.JobDone()
+	m.AddRetry()
+	m.AddRetry()
+	m.AddFailure()
+	m.AddPanic()
 	m.AddEngine("Dir0B", EngineTally{Refs: 1000, Transactions: 40, BusOps: 55})
 	m.AddEngine("Dragon", EngineTally{Refs: 1000, Transactions: 30, BusOps: 35})
 	m.AddEngine("Dir0B", EngineTally{Refs: 500, Transactions: 20, BusOps: 25})
@@ -21,6 +25,9 @@ func TestMetricsCountersAndSnapshot(t *testing.T) {
 	s := m.Snapshot()
 	if s.Refs != 1500 || s.JobsDone != 1 || s.JobsTotal != 3 {
 		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Retries != 2 || s.Failures != 1 || s.Panics != 1 {
+		t.Fatalf("resilience counters = %+v", s)
 	}
 	if len(s.Engines) != 2 {
 		t.Fatalf("engines = %+v", s.Engines)

@@ -5,14 +5,22 @@
 // replications) describes its work as a list of Jobs and hands them to
 // one bounded, deterministic worker pool with context cancellation,
 // aggregated errors, ordered result delivery, and obs instrumentation.
+//
+// The pool is also the failure boundary: a panicking job becomes an
+// error carrying its identity (never a dead sweep), transient errors are
+// retried on a deterministic exponential-backoff-with-jitter schedule,
+// and a per-job deadline and stall watchdog bound how long any one cell
+// can hold a worker. See resilience.go.
 package runner
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dirsim/internal/coherence"
 	"dirsim/internal/obs"
@@ -25,9 +33,10 @@ import (
 type Job struct {
 	// Label identifies the job in errors and progress output.
 	Label string
-	// Source opens the job's trace. It is called once, on the worker
-	// goroutine that runs the job, so generators need not be safe for
-	// concurrent use across jobs.
+	// Source opens the job's trace. It is called once per attempt, on
+	// the worker goroutine that runs the job, so generators need not be
+	// safe for concurrent use across jobs — and a retried attempt starts
+	// from a fresh reader.
 	Source func() (trace.Reader, error)
 	// Schemes, Config and Opts parameterise sim.RunSchemes.
 	Schemes []string
@@ -43,25 +52,53 @@ type Options struct {
 	// than Workers (plus each job's own sim.Options.Parallel engine
 	// workers).
 	Workers int
-	// Metrics, when non-nil, accumulates refs simulated, jobs done/total
-	// and per-engine tallies across the run.
+	// Metrics, when non-nil, accumulates refs simulated, jobs done/total,
+	// retries/failures/panics and per-engine tallies across the run.
 	Metrics *obs.Metrics
 	// OnResult, when non-nil, is called once per successful job in job
 	// index order (calls are serialised and never run concurrently),
 	// enabling streaming consumption of long grids.
 	OnResult func(index int, rs []sim.Result)
+	// OnError, when non-nil, is called once per failed job with its
+	// *JobError, interleaved with OnResult in the same serialised job
+	// index order — the streaming view a failure manifest is built from.
+	OnError func(index int, err error)
 	// Progress, when non-nil, is called after every metrics update — at
 	// reference-batch granularity — from whichever worker made the
 	// update. It must be cheap; throttle rendering in the caller (see
 	// obs.Throttle).
 	Progress func()
+	// Retry bounds how transient job failures are retried. The zero
+	// value retries nothing.
+	Retry RetryPolicy
+	// Sleep, when non-nil, is called with each backoff delay before a
+	// retry. Internal packages stay clock-free, so the cmd layer passes
+	// time.Sleep; nil applies the (still deterministic) schedule with no
+	// actual waiting — what tests want.
+	Sleep func(time.Duration)
+	// JobTimeout, when positive, bounds each attempt's wall-clock time;
+	// an attempt exceeding it fails with ErrJobDeadline.
+	JobTimeout time.Duration
+	// StallTimeout, when positive, arms a per-attempt watchdog that
+	// fails the attempt with ErrStalled when no reference batch
+	// completes within the interval — catching wedged trace sources that
+	// a generous JobTimeout would let hold a worker. It must comfortably
+	// exceed the time one reference batch takes.
+	StallTimeout time.Duration
+	// TransientFault, when non-nil, is consulted before each attempt of
+	// each job with (job index, attempt) and any returned error fails
+	// the attempt. It exists to inject transient infrastructure failures
+	// deterministically — fault-injection campaigns and retry tests wrap
+	// errors with Transient so the retry path is exercised end to end.
+	TransientFault func(index, attempt int) error
 }
 
 // Run executes the jobs on a bounded worker pool and returns one result
-// slice per job, in job order. Errors from all failed jobs are aggregated
-// with errors.Join, each wrapped with its job label; the slice still
-// carries every successful job's results. Cancelling the context stops
-// the pool within one reference batch.
+// slice per job, in job order. A failed job — including one that
+// panicked — never stops the others: its error is wrapped in a *JobError
+// and aggregated with errors.Join, and the slice still carries every
+// successful job's results. Cancelling the context stops the pool within
+// one reference batch.
 func Run(ctx context.Context, jobs []Job, opts Options) ([][]sim.Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
@@ -82,7 +119,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([][]sim.Result, error) 
 
 	// Ordered delivery: workers mark jobs done under mu; whichever worker
 	// fills the gap at nextOut flushes the run of completed jobs, so
-	// OnResult sees index order and is never called concurrently.
+	// OnResult/OnError see index order and are never called concurrently.
 	var mu sync.Mutex
 	done := make([]bool, len(jobs))
 	nextOut := 0
@@ -93,8 +130,12 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([][]sim.Result, error) 
 		done[i] = true
 		completed++
 		for nextOut < len(jobs) && done[nextOut] {
-			if errs[nextOut] == nil && opts.OnResult != nil {
-				opts.OnResult(nextOut, out[nextOut])
+			if errs[nextOut] == nil {
+				if opts.OnResult != nil {
+					opts.OnResult(nextOut, out[nextOut])
+				}
+			} else if opts.OnError != nil {
+				opts.OnError(nextOut, errs[nextOut])
 			}
 			nextOut++
 		}
@@ -111,7 +152,14 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([][]sim.Result, error) 
 				if i >= len(jobs) || ctx.Err() != nil {
 					return
 				}
-				out[i], errs[i] = runJob(ctx, jobs[i], opts)
+				rs, attempts, err := runJob(ctx, i, jobs[i], opts)
+				out[i] = rs
+				if err != nil {
+					errs[i] = &JobError{Index: i, Label: jobs[i].Label, Attempts: attempts, Err: err}
+					if opts.Metrics != nil {
+						opts.Metrics.AddFailure()
+					}
+				}
 				finish(i)
 			}
 		}()
@@ -130,28 +178,88 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([][]sim.Result, error) 
 	return out, nil
 }
 
-// runJob opens one job's trace and runs its schemes, threading the pool's
-// instrumentation into the simulation driver.
-func runJob(ctx context.Context, j Job, opts Options) ([]sim.Result, error) {
-	fail := func(err error) ([]sim.Result, error) {
-		if j.Label != "" {
-			return nil, fmt.Errorf("%s: %w", j.Label, err)
+// runJob runs one job to completion, retrying transient failures on the
+// policy's deterministic backoff schedule. It reports how many attempts
+// ran.
+func runJob(ctx context.Context, index int, j Job, opts Options) ([]sim.Result, int, error) {
+	maxAttempts := opts.Retry.Max
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		rs, err := runAttempt(ctx, index, attempt, j, opts)
+		if err == nil {
+			return rs, attempt, nil
 		}
-		return nil, err
+		if attempt >= maxAttempts || !IsTransient(err) || ctx.Err() != nil {
+			return nil, attempt, err
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.AddRetry()
+		}
+		if d := opts.Retry.Backoff(index, attempt); d > 0 && opts.Sleep != nil {
+			opts.Sleep(d)
+		}
+	}
+}
+
+// runAttempt opens the job's trace and runs its schemes once, threading
+// the pool's instrumentation into the simulation driver. Panics are
+// recovered into *PanicError; the per-attempt deadline and stall
+// watchdog, when configured, cancel the attempt with their cause.
+func runAttempt(ctx context.Context, index, attempt int, j Job, opts Options) (rs []sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if opts.Metrics != nil {
+				opts.Metrics.AddPanic()
+			}
+			rs, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if opts.TransientFault != nil {
+		if ferr := opts.TransientFault(index, attempt); ferr != nil {
+			return nil, ferr
+		}
 	}
 	if j.Source == nil {
-		return fail(fmt.Errorf("runner: job has no trace source"))
+		return nil, fmt.Errorf("runner: job has no trace source")
 	}
+
+	attemptCtx := ctx
+	guarded := false
+	if opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeoutCause(attemptCtx, opts.JobTimeout, ErrJobDeadline)
+		defer cancel()
+		guarded = true
+	}
+	var watchdog *time.Timer
+	if opts.StallTimeout > 0 {
+		wctx, cancel := context.WithCancelCause(attemptCtx)
+		attemptCtx = wctx
+		watchdog = time.AfterFunc(opts.StallTimeout, func() { cancel(ErrStalled) })
+		defer watchdog.Stop()
+		defer cancel(nil)
+		guarded = true
+	}
+
 	rd, err := j.Source()
 	if err != nil {
-		return fail(err)
+		return nil, err
+	}
+	if guarded {
+		rd = &guardedReader{ctx: attemptCtx, rd: rd}
 	}
 	simOpts := j.Opts
-	if opts.Metrics != nil || opts.Progress != nil {
+	if opts.Metrics != nil || opts.Progress != nil || watchdog != nil {
 		prev := simOpts.OnProgress
+		stall := opts.StallTimeout
 		simOpts.OnProgress = func(n int) {
 			if prev != nil {
 				prev(n)
+			}
+			if watchdog != nil {
+				watchdog.Reset(stall)
 			}
 			if opts.Metrics != nil {
 				opts.Metrics.AddRefs(uint64(n))
@@ -161,9 +269,15 @@ func runJob(ctx context.Context, j Job, opts Options) ([]sim.Result, error) {
 			}
 		}
 	}
-	rs, err := sim.RunSchemes(ctx, rd, j.Schemes, j.Config, simOpts)
+	rs, err = sim.RunSchemes(attemptCtx, rd, j.Schemes, j.Config, simOpts)
 	if err != nil {
-		return fail(err)
+		// When the attempt's own guard fired (not the run-level context),
+		// report its cause — ErrStalled or ErrJobDeadline — instead of a
+		// bare context error.
+		if attemptCtx.Err() != nil && ctx.Err() == nil {
+			err = context.Cause(attemptCtx)
+		}
+		return nil, err
 	}
 	if opts.Metrics != nil {
 		for _, r := range rs {

@@ -36,6 +36,34 @@ func FuzzParseRef(f *testing.F) {
 	})
 }
 
+// FuzzTextReader checks the text decoder never panics on arbitrary bytes,
+// terminates (every Next consumes input or errors), and only hands out
+// well-formed references.
+func FuzzTextReader(f *testing.F) {
+	f.Add([]byte("0 1 r 10\n3 200 w ffffffffffffffff lock kernel\n"))
+	f.Add([]byte("# comment\n\n0 0 i 0\n"))
+	f.Add([]byte("x y z\n0 1 r 10"))
+	f.Add([]byte{0x00, 0xff, '\n', '\r'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewTextReader(bytes.NewReader(data))
+		// A text trace yields at most one ref per input line; anything
+		// more means the reader is not consuming input.
+		bound := bytes.Count(data, []byte("\n")) + 2
+		for reads := 0; ; reads++ {
+			if reads > bound {
+				t.Fatalf("reader did not terminate within %d reads on %d bytes", bound, len(data))
+			}
+			ref, err := r.Next()
+			if err != nil {
+				break
+			}
+			if !ref.Kind.Valid() {
+				t.Fatalf("decoder handed out invalid kind %v", ref.Kind)
+			}
+		}
+	})
+}
+
 // FuzzBinaryReader checks the binary decoder never panics on arbitrary
 // bytes and that every successfully decoded prefix re-encodes to the same
 // bytes.
