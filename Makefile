@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint mc check fuzz bench fault-smoke
+.PHONY: build test race lint mc check fuzz bench fault-smoke serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,47 @@ fault-smoke:
 		-checkpoint fault-smoke.tmp/ck.json -resume
 	cmp fault-smoke.tmp/clean.csv fault-smoke.tmp/resumed.csv
 	rm -rf fault-smoke.tmp
+
+# Run the simulation daemon locally (API.md documents the endpoints).
+serve:
+	$(GO) run ./cmd/dirsimd -addr 127.0.0.1:8023 -cache-dir dirsimd-cache
+
+# End-to-end service drill (same scenario CI runs): start dirsimd on an
+# ephemeral port, submit a small POPS/Dir1NB job and wait for it, then
+# re-submit the identical spec and prove the content-addressed cache
+# served it — the response bytes match and /metrics shows zero new
+# runner jobs — and finally SIGTERM the daemon and require a clean
+# (exit 0) drain.
+serve-smoke:
+	rm -rf serve-smoke.tmp && mkdir serve-smoke.tmp
+	$(GO) build -o serve-smoke.tmp/dirsimd ./cmd/dirsimd
+	set -e; \
+	./serve-smoke.tmp/dirsimd -addr 127.0.0.1:0 \
+		-ready-file serve-smoke.tmp/addr -cache-dir serve-smoke.tmp/cache \
+		-parallel 2 > serve-smoke.tmp/daemon.log 2>&1 & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 100); do test -s serve-smoke.tmp/addr && break; sleep 0.1; done; \
+	test -s serve-smoke.tmp/addr; \
+	addr=$$(cat serve-smoke.tmp/addr); \
+	printf '%s' '{"sweep":{"workloads":["pops"],"schemes":["dir1nb"],"cpus":[4],"refs":20000,"seeds":1}}' \
+		> serve-smoke.tmp/req.json; \
+	curl -fsS http://$$addr/v1/engines | grep -q '"dir1nb"'; \
+	curl -fsS -X POST --data-binary @serve-smoke.tmp/req.json \
+		"http://$$addr/v1/jobs?wait=1" -o serve-smoke.tmp/first.json; \
+	grep -q '"status":"done"' serve-smoke.tmp/first.json; \
+	curl -fsS http://$$addr/metrics -o serve-smoke.tmp/m1.json; \
+	curl -fsS -X POST --data-binary @serve-smoke.tmp/req.json \
+		"http://$$addr/v1/jobs?wait=1" -o serve-smoke.tmp/second.json; \
+	cmp serve-smoke.tmp/first.json serve-smoke.tmp/second.json; \
+	curl -fsS http://$$addr/metrics -o serve-smoke.tmp/m2.json; \
+	j1=$$(grep -o '"jobs_total":[0-9]*' serve-smoke.tmp/m1.json); \
+	j2=$$(grep -o '"jobs_total":[0-9]*' serve-smoke.tmp/m2.json); \
+	test -n "$$j1" && test "$$j1" = "$$j2"; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	trap - EXIT; \
+	grep -q 'drained cleanly' serve-smoke.tmp/daemon.log
+	rm -rf serve-smoke.tmp
 
 # Driver throughput baseline: sequential vs parallel lockstep simulation
 # over four schemes, recorded as a JSON benchmark log for comparison

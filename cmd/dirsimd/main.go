@@ -1,0 +1,118 @@
+// Command dirsimd serves simulations as a daemon: a stdlib-only HTTP
+// service that accepts cell and sweep specs as jobs, executes them on the
+// shared runner pool with the usual resilience policies, deduplicates
+// concurrent identical submissions by content hash, and answers repeats
+// from a content-addressed result cache (in-memory LRU plus an optional
+// crash-safe on-disk store).
+//
+// Endpoints (see API.md for the full reference):
+//
+//	POST /v1/jobs            submit a spec; ?wait=1 blocks for the result
+//	GET  /v1/jobs/{id}       job status, or the result document when done
+//	GET  /v1/jobs/{id}/events  NDJSON stream of status/progress events
+//	GET  /v1/engines         engine and trace-filter registries
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /metrics            server-wide obs counters as JSON
+//
+// SIGINT/SIGTERM trigger a graceful drain: intake stops (503), in-flight
+// jobs run to completion with their results durably written via
+// internal/atomicio, then the process exits 0. A drain that exceeds
+// -drain-timeout exits 1 instead.
+//
+// Usage:
+//
+//	dirsimd -addr 127.0.0.1:8023 -parallel 4 -cache-dir /var/tmp/dirsim
+//	dirsimd -addr 127.0.0.1:0 -ready-file dirsimd.addr   # test harnesses
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dirsim/internal/atomicio"
+	"dirsim/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dirsimd: ")
+	addr := flag.String("addr", "127.0.0.1:8023", "listen address (port 0 picks a free port)")
+	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	parallel := flag.Int("parallel", 4, "concurrent cell simulations per job")
+	executors := flag.Int("executors", 2, "concurrently running jobs")
+	queue := flag.Int("queue", 16, "accepted-but-unfinished job bound beyond the executors (full queue answers 429)")
+	cacheDir := flag.String("cache-dir", "", "persist results as <hash>.json under this directory (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 128, "in-memory result cache capacity")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt deadline for each cell (0 = no limit)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "fail a cell when no progress for this long (0 = off)")
+	retries := flag.Int("retries", 2, "extra attempts for cells failing with transient errors")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt, jittered)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "bound on graceful shutdown")
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		Workers:      *parallel,
+		Executors:    *executors,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		JobTimeout:   *jobTimeout,
+		StallTimeout: *stallTimeout,
+		Retries:      *retries,
+		RetryBase:    *retryBase,
+		Sleep:        time.Sleep,
+		NowNanos:     func() int64 { return time.Now().UnixNano() },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s", ln.Addr())
+	if *readyFile != "" {
+		if err := atomicio.WriteFile(*readyFile, []byte(ln.Addr().String()+"\n")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The base context is deliberately background: a signal must drain,
+	// not cancel — in-flight jobs finish and land durably in the cache.
+	s.Start(context.Background())
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("%s: draining (in-flight jobs will finish)", sig)
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		log.Fatal(err)
+	}
+	// Every accepted job is finished and durable; now flush the waiting
+	// clients' responses and close the listener.
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}

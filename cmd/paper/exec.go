@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/remote"
+	"dirsim/internal/runner"
+	"dirsim/internal/sim"
+	"dirsim/internal/spec"
+	"dirsim/internal/tracegen"
+)
+
+// cellExec executes a batch of independent simulation cells, returning
+// one result slice per cell in cell order. The report's cell-shaped
+// sections all run through this seam, so -remote swaps every simulation
+// in the report at once; trace-analysis and queueing-model sections have
+// no simulation to ship and always run locally.
+type cellExec func(ctx context.Context, cells []spec.Cell) ([][]sim.Result, error)
+
+// localExec compiles cells to runner jobs and executes them on the
+// shared pool — the default path.
+func localExec(ropts runner.Options) cellExec {
+	return func(ctx context.Context, cells []spec.Cell) ([][]sim.Result, error) {
+		jobs := make([]runner.Job, len(cells))
+		for i, c := range cells {
+			j, err := c.Job()
+			if err != nil {
+				return nil, err
+			}
+			jobs[i] = j
+		}
+		return runner.Run(ctx, jobs, ropts)
+	}
+}
+
+// remoteExec submits one daemon request per cell on a bounded pool of
+// workers and rebuilds priceable results from the returned documents.
+// The daemon deduplicates identical cells by content hash and serves
+// repeats from its cache, so re-rendering a report is nearly free.
+func remoteExec(baseURL string, workers int) cellExec {
+	client := &remote.Client{BaseURL: baseURL}
+	return func(ctx context.Context, cells []spec.Cell) ([][]sim.Result, error) {
+		if len(cells) == 0 {
+			return nil, nil
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		out := make([][]sim.Result, len(cells))
+		errs := make([]error, len(cells))
+		var claim atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(claim.Add(1)) - 1
+					if i >= len(cells) || ctx.Err() != nil {
+						return
+					}
+					c := cells[i]
+					rs, err := client.RunCells(ctx, spec.Request{Cell: &c})
+					if err != nil {
+						errs[i] = fmt.Errorf("%s: %w", c.Label(), err)
+						continue
+					}
+					out[i] = rs[0]
+				}
+			}()
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		return out, nil
+	}
+}
+
+// presetCells builds one cell per workload preset: the same scheme set in
+// lockstep over each (optionally filtered) trace.
+func presetCells(presets []tracegen.Config, filter string, schemes []string,
+	cfg coherence.Config, s spec.Sim) []spec.Cell {
+	cells := make([]spec.Cell, len(presets))
+	for i, p := range presets {
+		cells[i] = spec.Cell{
+			Trace:   p,
+			Filter:  filter,
+			Schemes: append([]string(nil), schemes...),
+			Machine: cfg,
+			Sim:     s,
+		}
+	}
+	return cells
+}

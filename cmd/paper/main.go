@@ -38,6 +38,7 @@ import (
 	"dirsim/internal/report"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
+	"dirsim/internal/spec"
 	"dirsim/internal/study"
 	"dirsim/internal/trace"
 	"dirsim/internal/tracegen"
@@ -54,6 +55,7 @@ func main() {
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt, jittered)")
 	out := flag.String("o", "-", "output report file (written atomically), or - for stdout")
 	manifest := flag.String("manifest", "", "write a JSON failure manifest to this file")
+	remoteURL := flag.String("remote", "", "run simulation cells on a dirsimd daemon at this base URL instead of locally")
 	failSection := flag.String("fail-section", "", "inject a panic into the named section (fault-injection testing)")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
@@ -89,6 +91,7 @@ func main() {
 		refs: *refs, cpus: *cpus, parallel: *parallel,
 		retries: *retries, retryBase: *retryBase, sleep: time.Sleep,
 		manifest: *manifest, failSection: *failSection,
+		remote:    *remoteURL,
 		progressW: progressW,
 	}
 
@@ -139,6 +142,7 @@ type options struct {
 	sleep                func(time.Duration)
 	manifest             string
 	failSection          string
+	remote               string
 	progressW            io.Writer
 }
 
@@ -198,34 +202,6 @@ func (s *sections) do(name string, f func() error) {
 	}
 }
 
-// runPresets fans one job per preset out on the runner pool: every preset's
-// trace (optionally filtered) runs the same scheme set, returning one
-// result slice per preset, in preset order.
-func runPresets(ctx context.Context, presets []tracegen.Config, filter func(trace.Reader) trace.Reader,
-	schemes []string, cfg coherence.Config, opts sim.Options, ropts runner.Options) ([][]sim.Result, error) {
-	jobs := make([]runner.Job, len(presets))
-	for i, p := range presets {
-		p := p
-		jobs[i] = runner.Job{
-			Label: p.Name,
-			Source: func() (trace.Reader, error) {
-				g, err := tracegen.New(p)
-				if err != nil {
-					return nil, err
-				}
-				if filter != nil {
-					return filter(g), nil
-				}
-				return g, nil
-			},
-			Schemes: schemes,
-			Config:  cfg,
-			Opts:    opts,
-		}
-	}
-	return runner.Run(ctx, jobs, ropts)
-}
-
 // combineAcross merges per-preset results scheme by scheme — the paper's
 // reference-weighted average "across the three traces".
 func combineAcross(perTrace [][]sim.Result) ([]sim.Result, error) {
@@ -283,6 +259,13 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		defer fmt.Fprintln(o.progressW)
 	}
 
+	// Every cell-shaped section executes through this seam: locally on
+	// the runner pool, or on a dirsimd daemon with -remote.
+	exec := localExec(ropts)
+	if o.remote != "" {
+		exec = remoteExec(o.remote, o.parallel)
+	}
+
 	fmt.Fprintf(w, "Reproduction of: An Evaluation of Directory Schemes for Cache Coherence\n")
 	fmt.Fprintf(w, "Agarwal, Simoni, Hennessy, Horowitz (ISCA 1988)\n")
 	fmt.Fprintf(w, "Synthetic workloads: %d refs each, %d CPUs, %d-byte blocks\n\n",
@@ -319,8 +302,8 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	var dir0b sim.Result
 	s.do("core-runs", func() error {
 		var err error
-		perTrace, err = runPresets(ctx, presets, nil,
-			append(append([]string{}, section3Schemes...), "berkeley"), cfg, sim.Options{}, ropts)
+		perTrace, err = exec(ctx, presetCells(presets, "",
+			append(append([]string{}, section3Schemes...), "berkeley"), cfg, spec.Sim{}))
 		if err != nil {
 			return err
 		}
@@ -389,8 +372,8 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			return err
 		}
 		with := []sim.Result{combined[0], dir0b}
-		withoutGroups, err := runPresets(ctx, presets, trace.DropLockSpins,
-			[]string{"dir1nb", "dir0b"}, cfg, sim.Options{}, ropts)
+		withoutGroups, err := exec(ctx, presetCells(presets, "droplockspins",
+			[]string{"dir1nb", "dir0b"}, cfg, spec.Sim{}))
 		if err != nil {
 			return err
 		}
@@ -406,7 +389,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	// preset, plus the Dir1B broadcast-cost sweep over the same results.
 	s.do("section6", func() error {
 		sec6Schemes := []string{"dir0b", "dirnnb", "dir1b", "dir2b", "dir2nb", "dir4nb", "codedset"}
-		sec6Groups, err := runPresets(ctx, presets, nil, sec6Schemes, cfg, sim.Options{}, ropts)
+		sec6Groups, err := exec(ctx, presetCells(presets, "", sec6Schemes, cfg, spec.Sim{}))
 		if err != nil {
 			return err
 		}
@@ -486,7 +469,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	// protocols (Goodman write-once, Illinois MESI, Firefly).
 	s.do("zoo", func() error {
 		zooSchemes := []string{"wti", "readbroadcast", "writeonce", "mesi", "moesi", "dragon", "firefly", "competitive4", "dir0b", "dirnnb"}
-		zooGroups, err := runPresets(ctx, presets, nil, zooSchemes, cfg, sim.Options{}, ropts)
+		zooGroups, err := exec(ctx, presetCells(presets, "", zooSchemes, cfg, spec.Sim{}))
 		if err != nil {
 			return err
 		}
@@ -572,19 +555,18 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		bigTb := report.NewTable("Footnote 5: Figure 1's claim on larger machines (POPS-like workloads)",
 			"processors", "writes needing ≤1 inval %", "mean fan-out")
 		bigSizes := []int{4, 8, 16, 32}
-		bigJobs := make([]runner.Job, len(bigSizes))
+		bigCells := make([]spec.Cell, len(bigSizes))
 		for i, n := range bigSizes {
 			cfgBig := tracegen.POPS(refs)
 			cfgBig.CPUs = n
 			cfgBig.Locks = 1 + n/8
-			bigJobs[i] = runner.Job{
-				Label:   fmt.Sprintf("footnote5 %d cpus", n),
-				Source:  func() (trace.Reader, error) { return tracegen.New(cfgBig) },
+			bigCells[i] = spec.Cell{
+				Trace:   cfgBig,
 				Schemes: []string{"dir0b"},
-				Config:  coherence.Config{Caches: n},
+				Machine: coherence.Config{Caches: n},
 			}
 		}
-		bigRes, err := runner.Run(ctx, bigJobs, ropts)
+		bigRes, err := exec(ctx, bigCells)
 		if err != nil {
 			return err
 		}
@@ -661,20 +643,18 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		tsCfg := tracegen.POPS(refs)
 		tsCfg.LockKind = tracegen.TestAndSet
 		lockSchemes := []string{"dir0b", "dragon"}
-		// Jobs alternate (T&T&S, T&S) per scheme: index 2i and 2i+1.
-		var lockJobs []runner.Job
+		// Cells alternate (T&T&S, T&S) per scheme: index 2i and 2i+1.
+		var lockCells []spec.Cell
 		for _, scheme := range lockSchemes {
-			for kind, genCfg := range []tracegen.Config{tracegen.POPS(refs), tsCfg} {
-				genCfg := genCfg
-				lockJobs = append(lockJobs, runner.Job{
-					Label:   fmt.Sprintf("%s lock-kind %d", scheme, kind),
-					Source:  func() (trace.Reader, error) { return tracegen.New(genCfg) },
+			for _, genCfg := range []tracegen.Config{tracegen.POPS(refs), tsCfg} {
+				lockCells = append(lockCells, spec.Cell{
+					Trace:   genCfg,
 					Schemes: []string{scheme},
-					Config:  cfg,
+					Machine: cfg,
 				})
 			}
 		}
-		lockRes, err := runner.Run(ctx, lockJobs, ropts)
+		lockRes, err := exec(ctx, lockCells)
 		if err != nil {
 			return err
 		}
@@ -711,16 +691,15 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		spTb := report.NewTable("Ablation: DirnNB on POPS vs sparse-directory capacity (cycles/ref)",
 			"entries", "cycles/ref", "entry evictions/1k refs")
 		sparseEntries := []int{256, 1024, 4096, 0}
-		sparseJobs := make([]runner.Job, len(sparseEntries))
+		sparseCells := make([]spec.Cell, len(sparseEntries))
 		for i, entries := range sparseEntries {
-			sparseJobs[i] = runner.Job{
-				Label:   fmt.Sprintf("sparse %d entries", entries),
-				Source:  func() (trace.Reader, error) { return tracegen.New(tracegen.POPS(refs)) },
+			sparseCells[i] = spec.Cell{
+				Trace:   tracegen.POPS(refs),
 				Schemes: []string{"dirnnb"},
-				Config:  coherence.Config{Caches: cpus, DirEntries: entries},
+				Machine: coherence.Config{Caches: cpus, DirEntries: entries},
 			}
 		}
-		sparseRes, err := runner.Run(ctx, sparseJobs, ropts)
+		sparseRes, err := exec(ctx, sparseCells)
 		if err != nil {
 			return err
 		}
@@ -751,17 +730,16 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		}{
 			{"256", 64, 4}, {"1024", 256, 4}, {"4096", 1024, 4}, {"infinite", 0, 0},
 		}
-		finiteJobs := make([]runner.Job, len(finiteGeoms))
+		finiteCells := make([]spec.Cell, len(finiteGeoms))
 		for i, geom := range finiteGeoms {
-			finiteJobs[i] = runner.Job{
-				Label:   fmt.Sprintf("finite %s blocks", geom.label),
-				Source:  func() (trace.Reader, error) { return tracegen.New(tracegen.POPS(refs)) },
+			finiteCells[i] = spec.Cell{
+				Trace:   tracegen.POPS(refs),
 				Schemes: []string{"dir0b"},
-				Config:  coherence.Config{Caches: cpus, FiniteSets: geom.sets, FiniteWays: geom.ways},
-				Opts:    sim.Options{IncludeFirstRefCosts: true, WarmupRefs: refs / 2},
+				Machine: coherence.Config{Caches: cpus, FiniteSets: geom.sets, FiniteWays: geom.ways},
+				Sim:     spec.Sim{IncludeFirstRefCosts: true, WarmupRefs: refs / 2},
 			}
 		}
-		finiteRes, err := runner.Run(ctx, finiteJobs, ropts)
+		finiteRes, err := exec(ctx, finiteCells)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dirsim/internal/server"
+)
+
+// startDaemon brings up a real dirsimd service behind httptest.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{Workers: 4, Executors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Drain(context.Background()); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		cancel()
+	})
+	return ts.URL
+}
+
+// The report must be byte-identical whether its simulation cells run
+// locally or on a daemon: remote stats rebuild through the same cost
+// models, including the filtered section-5.2 rerun and the sim-option-
+// carrying finite-cache cells.
+func TestPaperRemoteMatchesLocal(t *testing.T) {
+	o := options{refs: 20_000, cpus: 4, parallel: 2}
+	var local strings.Builder
+	if err := run(context.Background(), &local, o); err != nil {
+		t.Fatal(err)
+	}
+	o.remote = startDaemon(t)
+	var remote strings.Builder
+	if err := run(context.Background(), &remote, o); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("remote report differs from local:\n--- local\n%s\n--- remote\n%s", local.String(), remote.String())
+	}
+}
+
+// A dead daemon degrades the report — cell-shaped sections fail with the
+// connection error, sections without simulations still render — instead
+// of aborting the whole command.
+func TestPaperRemoteDaemonUnreachable(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), &out, options{
+		refs: 5_000, cpus: 4, parallel: 1, remote: "http://127.0.0.1:1",
+	})
+	if err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("err = %v, want degraded report", err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "[core-runs failed:") {
+		t.Error("core-runs did not record the daemon failure")
+	}
+	// Protocol-free sections never touch the daemon.
+	if !strings.Contains(report, "Section 2/6: sharing profile") {
+		t.Error("trace-analysis section missing from degraded report")
+	}
+}

@@ -21,6 +21,13 @@
 //	      -cpus 4,8,16 -refs 300000 -seeds 3 -parallel 4 > sweep.csv
 //	sweep ... -o sweep.csv -checkpoint sweep.ck.json -manifest sweep.failures.json
 //	sweep ... -o sweep.csv -checkpoint sweep.ck.json -resume
+//	sweep ... -remote http://127.0.0.1:8023 > sweep.csv
+//
+// With -remote the grid is submitted to a dirsimd daemon as one sweep
+// spec and rows are rebuilt from the returned result document — byte
+// identical to a local run of the same grid. Fault-injection and
+// checkpoint flags are local-execution concerns and refuse to combine
+// with -remote.
 package main
 
 import (
@@ -40,14 +47,14 @@ import (
 
 	"dirsim/internal/atomicio"
 	"dirsim/internal/bus"
-	"dirsim/internal/coherence"
 	"dirsim/internal/faults"
 	"dirsim/internal/obs"
+	"dirsim/internal/remote"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
+	"dirsim/internal/spec"
 	"dirsim/internal/study"
 	"dirsim/internal/trace"
-	"dirsim/internal/tracegen"
 )
 
 func main() {
@@ -68,6 +75,7 @@ func main() {
 	manifest := flag.String("manifest", "", "write a JSON failure manifest to this file")
 	checkpoint := flag.String("checkpoint", "", "save completed cells to this JSON file as they finish")
 	resume := flag.Bool("resume", false, "load -checkpoint and re-run only missing or failed cells")
+	remoteURL := flag.String("remote", "", "run the grid on a dirsimd daemon at this base URL instead of locally")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
@@ -110,6 +118,7 @@ func main() {
 		faultSeed: *faultSeed, faultCorrupt: *faultCorrupt,
 		faultTruncate: *faultTruncate, faultTransient: *faultTransient,
 		faultPanic: *faultPanic, faultJobs: *faultJobs,
+		remote:   *remoteURL,
 		progress: *progress, progressW: os.Stderr,
 	}
 
@@ -173,6 +182,8 @@ type options struct {
 	faultPanic     string
 	faultJobs      string
 
+	remote string
+
 	progress  bool
 	progressW io.Writer
 }
@@ -212,45 +223,56 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		cpuList = append(cpuList, n)
 	}
 	schemeList := strings.Split(o.schemes, ",")
-	seedList := study.Seeds(1, o.seeds)
+	var workloadList []string
+	for _, wl := range strings.Split(o.workloads, ",") {
+		workloadList = append(workloadList, strings.TrimSpace(wl))
+	}
 	pip := bus.Pipelined()
 	metric := study.CyclesPerRef(pip)
 
 	// Resolve canonical scheme names up front: rows rebuilt from a
 	// checkpoint must print exactly the names a live run would, and a
 	// bogus scheme should fail before any simulation starts.
-	canon := make([]string, len(schemeList))
-	for i, name := range schemeList {
-		e, err := coherence.NewByName(name, coherence.Config{Caches: cpuList[0]})
-		if err != nil {
-			return err
-		}
-		canon[i] = e.Name()
+	canon, err := spec.CanonicalSchemes(schemeList, cpuList[0])
+	if err != nil {
+		return err
 	}
 
-	// Flatten the grid: jobs are ordered (workload, cpus, seed), so job
-	// index i belongs to cell i/seeds and seed i%seeds.
-	var allJobs []runner.Job
+	// Flatten the grid through the shared spec types: cells are ordered
+	// (workload, cpus, seed), so cell index i belongs to output cell
+	// i/seeds and seed i%seeds — the exact grid a daemon would expand
+	// from the same parameters.
+	sw := spec.Sweep{
+		Workloads: workloadList, Schemes: schemeList, CPUs: cpuList,
+		Refs: o.refs, Seeds: o.seeds,
+	}
+	specCells, err := sw.Cells()
+	if err != nil {
+		return err
+	}
 	var cells []cellMeta
-	for _, wlName := range strings.Split(o.workloads, ",") {
-		base, err := preset(strings.TrimSpace(wlName), o.refs)
+	for i := 0; i < len(specCells); i += o.seeds {
+		cells = append(cells, cellMeta{
+			workload: specCells[i].Trace.Name,
+			cpus:     specCells[i].Trace.CPUs,
+		})
+	}
+	allJobs := make([]runner.Job, len(specCells))
+	for i, c := range specCells {
+		j, err := c.Job()
 		if err != nil {
 			return err
 		}
-		for _, n := range cpuList {
-			cfg := base
-			cfg.CPUs = n
-			cells = append(cells, cellMeta{workload: base.Name, cpus: n})
-			for _, seed := range seedList {
-				jcfg := cfg
-				jcfg.Seed = seed
-				allJobs = append(allJobs, runner.Job{
-					Label:   fmt.Sprintf("%s cpus %d seed %d", base.Name, n, seed),
-					Source:  func() (trace.Reader, error) { return tracegen.New(jcfg) },
-					Schemes: schemeList,
-					Config:  coherence.Config{Caches: n},
-				})
-			}
+		allJobs[i] = j
+	}
+
+	if o.remote != "" {
+		switch {
+		case o.faultCorrupt > 0 || o.faultTruncate > 0 || o.faultTransient > 0 ||
+			o.faultPanic != "" || o.faultJobs != "":
+			return fmt.Errorf("-remote cannot be combined with fault injection: faults exercise the local runner")
+		case o.checkpoint != "" || o.resume:
+			return fmt.Errorf("-remote cannot be combined with -checkpoint/-resume: the daemon's result cache already makes repeats cheap")
 		}
 	}
 
@@ -414,6 +436,40 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		}
 	}
 
+	// Remote mode: ship the whole grid to the daemon as one sweep spec,
+	// rebuild priceable results from the document, and stream the same
+	// rows the local path would — byte for byte.
+	if o.remote != "" {
+		results, err := (&remote.Client{BaseURL: o.remote}).RunCells(ctx, spec.Request{Sweep: &sw})
+		if err != nil {
+			return err
+		}
+		for gi, rs := range results {
+			vals := make([]float64, len(rs))
+			for k, r := range rs {
+				vals[k] = metric(r)
+			}
+			values[gi] = vals
+		}
+		emit()
+		if rowErr != nil {
+			return rowErr
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		if o.manifest != "" {
+			// A remote run either succeeds whole or fails the command:
+			// the manifest records a clean slate for tooling that expects
+			// one.
+			if err := runner.NewManifest("sweep", len(allJobs)).Write(o.manifest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	man := runner.NewManifest("sweep", len(allJobs))
 	ropts := runner.Options{
 		Workers:      o.parallel,
@@ -536,17 +592,4 @@ func parseIndexSet(s string) (map[int]bool, error) {
 		set[n] = true
 	}
 	return set, nil
-}
-
-func preset(name string, refs int) (tracegen.Config, error) {
-	switch strings.ToLower(name) {
-	case "pops":
-		return tracegen.POPS(refs), nil
-	case "thor":
-		return tracegen.THOR(refs), nil
-	case "pero":
-		return tracegen.PERO(refs), nil
-	default:
-		return tracegen.Config{}, fmt.Errorf("unknown workload %q", name)
-	}
 }

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPServerRule guards the service layer's two classic footguns:
+//
+//   - an http.Server composite literal without ReadHeaderTimeout lets a
+//     slow client hold a connection (and its goroutine) open forever —
+//     the daemon must bound header reads;
+//   - an HTTP handler that spawns a goroutine whose call references no
+//     context.Context has detached work from the request lifecycle: it
+//     can observe neither client disconnect nor graceful shutdown. Work
+//     that must outlive the request should be handed to an owner that
+//     was started with its own context, not forked loose.
+type HTTPServerRule struct{}
+
+// Name implements Rule.
+func (HTTPServerRule) Name() string { return "httpserver" }
+
+// Doc implements Rule.
+func (HTTPServerRule) Doc() string {
+	return "http.Server without ReadHeaderTimeout, or handler goroutine without a context"
+}
+
+// Check implements Rule.
+func (HTTPServerRule) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if isNamedType(p.Info.TypeOf(x), "net/http", "Server") && !hasFieldKey(x, "ReadHeaderTimeout") {
+					out = append(out, p.findingf(x.Pos(), "httpserver",
+						"http.Server literal without ReadHeaderTimeout; a slow client can hold its connection open forever"))
+				}
+			case *ast.FuncDecl:
+				if x.Body != nil && isHandlerSig(p.Info, x.Type) {
+					out = append(out, handlerGoroutines(p, x.Body)...)
+				}
+			case *ast.FuncLit:
+				if isHandlerSig(p.Info, x.Type) {
+					out = append(out, handlerGoroutines(p, x.Body)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// handlerGoroutines flags go statements inside a handler body whose
+// spawned call subtree never mentions a context.Context value.
+func handlerGoroutines(p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !referencesContext(p.Info, gs.Call) {
+			out = append(out, p.findingf(gs.Pos(), "httpserver",
+				"handler spawns a goroutine with no context; derive one from the request (or hand the work to an owner with its own lifecycle)"))
+		}
+		return true
+	})
+	return out
+}
+
+// referencesContext reports whether any expression in the call subtree
+// (including a spawned func literal's body) has type context.Context.
+func referencesContext(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(e); t != nil && isNamedType(t, "context", "Context") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isHandlerSig reports whether ft is the http.HandlerFunc shape:
+// (http.ResponseWriter, *http.Request).
+func isHandlerSig(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var params []types.Type
+	for _, fld := range ft.Params.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := info.TypeOf(fld.Type)
+		for i := 0; i < n; i++ {
+			params = append(params, t)
+		}
+	}
+	return len(params) == 2 &&
+		isNamedType(params[0], "net/http", "ResponseWriter") &&
+		isNamedType(params[1], "net/http", "Request")
+}
+
+// hasFieldKey reports whether the composite literal sets the named field.
+func hasFieldKey(lit *ast.CompositeLit, name string) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamedType reports whether t (possibly behind one pointer) is the
+// named type path.name.
+func isNamedType(t types.Type, path, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}

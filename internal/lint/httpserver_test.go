@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTTPServerRuleServerLiteral(t *testing.T) {
+	fire := `package fix
+import (
+	"net/http"
+	"time"
+)
+func bare() *http.Server {
+	return &http.Server{Addr: ":8080"}
+}
+func alsoBare() http.Server {
+	return http.Server{}
+}
+var _ = time.Second
+`
+	fs := lintSrc(t, "dirsim/internal/fix", fire, nil, HTTPServerRule{})
+	wantFindings(t, fs, HTTPServerRule{}, 2)
+	if !strings.Contains(fs[0].Msg, "ReadHeaderTimeout") {
+		t.Errorf("finding should name the missing field, got %v", fs[0])
+	}
+
+	silent := `package fix
+import (
+	"net/http"
+	"time"
+)
+func bounded() *http.Server {
+	return &http.Server{Addr: ":8080", ReadHeaderTimeout: 5 * time.Second}
+}
+type notAServer struct{ Addr string }
+func other() notAServer {
+	return notAServer{Addr: ":8080"}
+}
+`
+	wantFindings(t, lintSrc(t, "dirsim/internal/fix", silent, nil, HTTPServerRule{}), HTTPServerRule{}, 0)
+}
+
+func TestHTTPServerRuleHandlerGoroutine(t *testing.T) {
+	fire := `package fix
+import "net/http"
+func audit(s string) {}
+func handler(w http.ResponseWriter, r *http.Request) {
+	go audit(r.URL.Path)
+	w.WriteHeader(http.StatusOK)
+}
+func register() {
+	http.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		go func() {
+			audit("x")
+		}()
+	})
+}
+`
+	fs := lintSrc(t, "dirsim/internal/fix", fire, nil, HTTPServerRule{})
+	wantFindings(t, fs, HTTPServerRule{}, 2)
+	if !strings.Contains(fs[0].Msg, "context") {
+		t.Errorf("finding should mention the missing context, got %v", fs[0])
+	}
+
+	silent := `package fix
+import (
+	"context"
+	"net/http"
+)
+func work(ctx context.Context, s string) {}
+func handler(w http.ResponseWriter, r *http.Request) {
+	// Direct argument: the goroutine call carries the request context.
+	go work(r.Context(), r.URL.Path)
+}
+func closureHandler(w http.ResponseWriter, r *http.Request) {
+	// Captured inside the spawned literal's body.
+	ctx := r.Context()
+	go func() {
+		work(ctx, "y")
+	}()
+}
+func notAHandler(a string, b int) {
+	// Goroutines outside handler signatures are another rule's business.
+	go func() {}()
+}
+`
+	wantFindings(t, lintSrc(t, "dirsim/internal/fix", silent, nil, HTTPServerRule{}), HTTPServerRule{}, 0)
+}

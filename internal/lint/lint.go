@@ -19,7 +19,11 @@
 //     before each spawn bounds concurrency);
 //   - artifact hygiene: result files must be written through
 //     internal/atomicio's temp+fsync+rename helpers, never created in
-//     place, so a crash cannot leave a torn CSV, table or trace.
+//     place, so a crash cannot leave a torn CSV, table or trace;
+//   - service hygiene: every http.Server bounds header reads with
+//     ReadHeaderTimeout, and HTTP handlers never spawn goroutines that
+//     reference no context — detached work can observe neither client
+//     disconnect nor graceful shutdown.
 //
 // Drive it with cmd/dirsimlint or embed it: Load packages, Run rules,
 // print Findings.
@@ -93,6 +97,7 @@ func DefaultRules() []Rule {
 		GoCaptureRule{},
 		GoPoolRule{},
 		AtomicWriteRule{},
+		HTTPServerRule{},
 	}
 }
 

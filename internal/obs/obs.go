@@ -111,6 +111,21 @@ type EngineSnapshot struct {
 	EngineTally
 }
 
+// Merge accumulates a snapshot of another metric set into m. The daemon
+// gives each job its own Metrics for per-job progress streams, then folds
+// the finished job into the server-wide counters with Merge.
+func (m *Metrics) Merge(s Snapshot) {
+	m.refs.Add(s.Refs)
+	m.jobsDone.Add(s.JobsDone)
+	m.jobsTotal.Add(s.JobsTotal)
+	m.retries.Add(s.Retries)
+	m.failures.Add(s.Failures)
+	m.panics.Add(s.Panics)
+	for _, e := range s.Engines {
+		m.AddEngine(e.Scheme, e.EngineTally)
+	}
+}
+
 // Snapshot copies the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{

@@ -83,6 +83,79 @@ func TestMetricsConcurrent(t *testing.T) {
 	}
 }
 
+// Snapshot is read live by the daemon's /metrics endpoint while workers
+// update the counters: taking snapshots concurrently with every mutation
+// path must be race-free (this test is what `go test -race` exercises).
+func TestSnapshotRaceFree(t *testing.T) {
+	m := NewMetrics()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.AddJobs(1)
+				m.AddRefs(3)
+				m.AddRetry()
+				m.AddFailure()
+				m.AddPanic()
+				m.AddEngine("Dir0B", EngineTally{Refs: 3, Transactions: 1, BusOps: 2})
+				m.JobDone()
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Snapshot()
+				if s.JobsDone > s.JobsTotal {
+					t.Error("snapshot shows more jobs done than submitted")
+					return
+				}
+				_ = m.String()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	s := m.Snapshot()
+	if s.Refs != 6000 || s.JobsTotal != 2000 || s.Engines[0].BusOps != 4000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	job := NewMetrics()
+	job.AddJobs(2)
+	job.JobDone()
+	job.AddRefs(100)
+	job.AddRetry()
+	job.AddEngine("Dragon", EngineTally{Refs: 100, Transactions: 5, BusOps: 7})
+
+	global := NewMetrics()
+	global.AddRefs(1)
+	global.AddEngine("Dragon", EngineTally{Refs: 1})
+	global.Merge(job.Snapshot())
+
+	s := global.Snapshot()
+	if s.Refs != 101 || s.JobsTotal != 2 || s.JobsDone != 1 || s.Retries != 1 {
+		t.Fatalf("merged counters = %+v", s)
+	}
+	if len(s.Engines) != 1 || s.Engines[0].Refs != 101 || s.Engines[0].BusOps != 7 {
+		t.Fatalf("merged engines = %+v", s.Engines)
+	}
+}
+
 func TestThrottle(t *testing.T) {
 	var now int64
 	th := NewThrottle(100, func() int64 { return now })

@@ -1,0 +1,153 @@
+// Package remote is the client side of the dirsimd job API: it submits
+// spec.Requests to a daemon, waits for the result document, and rebuilds
+// sim.Results that price identically to a local run — including
+// cost-model adjustments that do not survive serialisation, which
+// sim.RemoteResult rederives from the scheme name.
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dirsim/internal/sim"
+	"dirsim/internal/spec"
+)
+
+// Client talks to one dirsimd daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8023".
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// errorBody extracts the daemon's JSON error envelope, falling back to
+// the raw body.
+func errorBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// Run submits the request with wait semantics and returns the parsed
+// result document. The call blocks until the daemon finishes the job (or
+// serves it from cache); cancelling ctx disconnects, which withdraws this
+// client's interest in the job.
+func (c *Client) Run(ctx context.Context, req spec.Request) (*spec.ResultDoc, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs?wait=1"), bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("remote: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote: daemon answered %s: %s", resp.Status, errorBody(data))
+	}
+	var doc spec.ResultDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("remote: bad result document: %w", err)
+	}
+	if doc.Status != "done" {
+		return nil, fmt.Errorf("remote: job %s ended %q", doc.ID, doc.Status)
+	}
+	return &doc, nil
+}
+
+// Engines fetches the daemon's engine and filter registries.
+func (c *Client) Engines(ctx context.Context) (spec.EnginesDoc, error) {
+	var doc spec.EnginesDoc
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/engines"), nil)
+	if err != nil {
+		return doc, fmt.Errorf("remote: %w", err)
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return doc, fmt.Errorf("remote: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return doc, fmt.Errorf("remote: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("remote: daemon answered %s: %s", resp.Status, errorBody(data))
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("remote: %w", err)
+	}
+	return doc, nil
+}
+
+// Results rebuilds runnable sim.Results from a result document, one slice
+// per cell in document order. cells must be the same expansion the
+// request was built from — each cell's machine config is what rederives
+// the scheme's cost-model adjustment.
+func Results(doc *spec.ResultDoc, cells []spec.Cell) ([][]sim.Result, error) {
+	if len(doc.Cells) != len(cells) {
+		return nil, fmt.Errorf("remote: result has %d cells, request expanded to %d", len(doc.Cells), len(cells))
+	}
+	out := make([][]sim.Result, len(cells))
+	for i, cr := range doc.Cells {
+		if len(cr.Results) != len(cells[i].Schemes) {
+			return nil, fmt.Errorf("remote: cell %d has %d scheme results, want %d", i, len(cr.Results), len(cells[i].Schemes))
+		}
+		rs := make([]sim.Result, len(cr.Results))
+		for k, sr := range cr.Results {
+			r, err := sim.RemoteResult(sr.Scheme, cells[i].Machine, sr.Stats)
+			if err != nil {
+				return nil, fmt.Errorf("remote: cell %d: %w", i, err)
+			}
+			rs[k] = r
+		}
+		out[i] = rs
+	}
+	return out, nil
+}
+
+// RunCells is the convenience composition: submit, wait, rebuild.
+func (c *Client) RunCells(ctx context.Context, req spec.Request) ([][]sim.Result, error) {
+	cells, err := req.Cells()
+	if err != nil {
+		return nil, err
+	}
+	doc, err := c.Run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return Results(doc, cells)
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"dirsim/internal/atomicio"
+)
+
+// resultCache is the content-addressed result store: completed job
+// documents keyed by the spec's SHA-256 hash. Lookups go memory-first
+// (a bounded LRU of the marshalled bytes), then the optional on-disk
+// store, which holds one <hash>.json file per result and survives daemon
+// restarts. Disk writes go through internal/atomicio, so a crash mid-
+// write can never leave a torn result a later daemon would serve.
+type resultCache struct {
+	mu      sync.Mutex
+	entries int
+	order   *list.List               // front = most recently used
+	byKey   map[string]*list.Element // value: *cacheEntry
+	dir     string                   // "" = memory only
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// hashPattern guards the disk path: keys are hex digests and nothing
+// else, so a corrupted or hostile id can never escape the cache dir.
+var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// newResultCache builds a cache holding up to entries results in memory
+// (minimum 1), persisting to dir when non-empty.
+func newResultCache(entries int, dir string) (*resultCache, error) {
+	if entries < 1 {
+		entries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	return &resultCache{
+		entries: entries,
+		order:   list.New(),
+		byKey:   map[string]*list.Element{},
+		dir:     dir,
+	}, nil
+}
+
+// get returns the cached result bytes for key, consulting memory then
+// disk; a disk hit is promoted into the memory tier.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" || !hashPattern.MatchString(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	c.putMemory(key, data)
+	return data, true
+}
+
+// put stores a completed result durably (disk first, when configured,
+// via an atomic rename) and then in the memory tier. It returns only
+// after the on-disk artifact is durable — the guarantee graceful
+// shutdown relies on.
+func (c *resultCache) put(key string, data []byte) error {
+	if c.dir != "" && hashPattern.MatchString(key) {
+		if err := atomicio.WriteFile(filepath.Join(c.dir, key+".json"), data); err != nil {
+			return err
+		}
+	}
+	c.putMemory(key, data)
+	return nil
+}
+
+// putMemory inserts into the LRU, evicting from the back past capacity.
+func (c *resultCache) putMemory(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.entries {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of in-memory entries (for tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"dirsim/internal/obs"
+	"dirsim/internal/spec"
+)
+
+// Job lifecycle states.
+const (
+	statusQueued   = "queued"
+	statusRunning  = "running"
+	statusDone     = "done"
+	statusFailed   = "failed"
+	statusCanceled = "canceled"
+)
+
+// errClientGone cancels a job whose last interested client disconnected
+// before completion.
+var errClientGone = errors.New("server: every watching client disconnected")
+
+// Event is one NDJSON row on a job's /events stream.
+type Event struct {
+	// Seq orders events within the job; streams replay from 0.
+	Seq int `json:"seq"`
+	// Type is "status", "progress", "done" or "error".
+	Type string `json:"type"`
+	// Status carries the new state on "status" events.
+	Status string `json:"status,omitempty"`
+	// Refs and the job counters accompany "progress" events.
+	Refs      uint64 `json:"refs,omitempty"`
+	JobsDone  uint64 `json:"jobs_done,omitempty"`
+	JobsTotal uint64 `json:"jobs_total,omitempty"`
+	Retries   uint64 `json:"retries,omitempty"`
+	// Error carries the failure message on "error" events.
+	Error string `json:"error,omitempty"`
+}
+
+// job is one submitted simulation: a spec, its execution state, and the
+// event log streaming clients replay. The id is the spec's content hash,
+// which is what makes concurrent identical submissions collapse onto one
+// job (singleflight) for free.
+type job struct {
+	id    string
+	req   spec.Request
+	cells []spec.Cell
+
+	// ctx is derived from the server's base context; cancel carries the
+	// cause (client disconnect, shutdown).
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// metrics are this job's own counters, folded into the server-wide
+	// set when the job finishes.
+	metrics *obs.Metrics
+
+	mu       sync.Mutex
+	status   string
+	result   []byte // completed document; non-nil iff status == done
+	errMsg   string
+	events   []Event
+	wake     chan struct{} // closed and replaced on every event append
+	watchers int
+	detached bool          // true: survives losing all watchers
+	done     chan struct{} // closed on any terminal status
+}
+
+func newJob(ctx context.Context, id string, req spec.Request, cells []spec.Cell) *job {
+	jctx, cancel := context.WithCancelCause(ctx)
+	j := &job{
+		id:      id,
+		req:     req,
+		cells:   cells,
+		ctx:     jctx,
+		cancel:  cancel,
+		metrics: obs.NewMetrics(),
+		status:  statusQueued,
+		wake:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	j.appendEvent(Event{Type: "status", Status: statusQueued})
+	return j
+}
+
+// completedJob wraps cached result bytes in a terminal job so the cache
+// path and the live path serve responses identically.
+func completedJob(id string, result []byte) *job {
+	j := &job{
+		id:     id,
+		status: statusDone,
+		result: result,
+		wake:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	j.appendEvent(Event{Type: "status", Status: statusDone})
+	j.appendEvent(Event{Type: "done"})
+	close(j.done)
+	return j
+}
+
+// appendEvent stamps a sequence number, records the event and wakes every
+// stream blocked on the previous wake channel.
+func (j *job) appendEvent(e Event) {
+	j.mu.Lock()
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+	close(j.wake)
+	j.wake = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// eventsFrom returns the events at sequence ≥ from, plus the channel that
+// will be closed when more arrive and whether the job is terminal.
+func (j *job) eventsFrom(from int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var tail []Event
+	if from < len(j.events) {
+		tail = append(tail, j.events[from:]...)
+	}
+	return tail, j.wake, j.terminalLocked()
+}
+
+func (j *job) terminalLocked() bool {
+	return j.status == statusDone || j.status == statusFailed || j.status == statusCanceled
+}
+
+// setRunning transitions queued → running.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = statusRunning
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "status", Status: statusRunning})
+}
+
+// finish records a terminal state exactly once and releases waiters.
+func (j *job) finish(status string, result []byte, errMsg string) {
+	j.mu.Lock()
+	if j.terminalLocked() {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.result = result
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "status", Status: status})
+	if status == statusDone {
+		j.appendEvent(Event{Type: "done"})
+	} else {
+		j.appendEvent(Event{Type: "error", Error: errMsg})
+	}
+	close(j.done)
+}
+
+// snapshot returns the current state for the status endpoint.
+func (j *job) snapshot() (status string, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.result, j.errMsg
+}
+
+// hold registers an interested client (a waiting POST or an event
+// stream). release undoes it; a job whose watcher count reaches zero
+// without ever having been detached is canceled — nobody is left to
+// consume the result.
+func (j *job) hold() {
+	j.mu.Lock()
+	j.watchers++
+	j.mu.Unlock()
+}
+
+func (j *job) release() {
+	j.mu.Lock()
+	j.watchers--
+	lastOut := j.watchers == 0 && !j.detached && !j.terminalLocked()
+	j.mu.Unlock()
+	if lastOut && j.cancel != nil {
+		j.cancel(errClientGone)
+	}
+}
+
+// detach marks the job as wanted regardless of connected clients (an
+// asynchronous submission): it will run to completion even with no
+// watchers.
+func (j *job) detach() {
+	j.mu.Lock()
+	j.detached = true
+	j.mu.Unlock()
+}
+
+// progressEvent folds the job's metric snapshot into a progress row.
+func progressEvent(s obs.Snapshot) Event {
+	return Event{
+		Type:      "progress",
+		Refs:      s.Refs,
+		JobsDone:  s.JobsDone,
+		JobsTotal: s.JobsTotal,
+		Retries:   s.Retries,
+	}
+}
+
+// marshalEvent renders one NDJSON row (without the trailing newline).
+func marshalEvent(e Event) []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return []byte(`{"type":"error","error":"event marshal failure"}`)
+	}
+	return b
+}

@@ -1,0 +1,518 @@
+// Package server is the simulation-as-a-service layer: a stdlib-only
+// HTTP daemon that accepts simulation and sweep specs as jobs, executes
+// them on the shared internal/runner pool with the existing resilience
+// policies, and serves results from a content-addressed cache.
+//
+// The core ideas:
+//
+//   - Jobs are content-addressed. A job's id is the SHA-256 of its
+//     spec's canonical JSON, so N concurrent identical submissions
+//     collapse onto one execution (singleflight) and every client reads
+//     the same stored bytes — responses are byte-identical by
+//     construction, not by convention.
+//   - Results are cached: an in-memory LRU in front of an optional
+//     on-disk store written via internal/atomicio. A repeat of a
+//     finished spec never touches the runner.
+//   - Back-pressure is explicit: the job queue is bounded, and a full
+//     queue answers 429 with Retry-After instead of absorbing unbounded
+//     work.
+//   - Cancellation follows the client: a job holds a watcher count
+//     (waiting submissions, event streams); when the last watcher of a
+//     never-detached job disconnects, the job's context is cancelled
+//     mid-batch. Asynchronous submissions detach the job so it runs to
+//     completion unwatched.
+//   - Shutdown drains: Drain stops intake (503), lets the executors
+//     finish every accepted job — each result durably written before the
+//     job reports done — then returns, so SIGTERM cannot lose work.
+//
+// The package stays clock-free (the nondeterm lint rule applies):
+// anything time-based — progress throttling, retry backoff sleeps — is
+// injected by the cmd layer.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+	"dirsim/internal/runner"
+	"dirsim/internal/sim"
+	"dirsim/internal/spec"
+)
+
+// Config parameterises the daemon.
+type Config struct {
+	// Workers bounds concurrent cell simulations within one job (the
+	// runner pool width). Below 1 means 1.
+	Workers int
+	// Executors bounds concurrently running jobs. Below 1 means 1.
+	Executors int
+	// QueueDepth bounds jobs accepted but not yet finished beyond the
+	// executors; a full queue answers 429. Below 1 means 16.
+	QueueDepth int
+	// CacheEntries bounds the in-memory result LRU. Below 1 means 128.
+	CacheEntries int
+	// CacheDir, when non-empty, persists results as <hash>.json files
+	// (written atomically) that survive restarts.
+	CacheDir string
+
+	// JobTimeout, StallTimeout, Retries and RetryBase configure the
+	// runner's per-attempt resilience policy, exactly as the CLIs do.
+	JobTimeout   time.Duration
+	StallTimeout time.Duration
+	Retries      int
+	RetryBase    time.Duration
+	// Sleep is called with retry backoff delays (cmd passes time.Sleep;
+	// nil applies the schedule without waiting).
+	Sleep func(time.Duration)
+
+	// NowNanos is the injected clock used only to throttle progress
+	// events (cmd passes time.Now().UnixNano via a closure). nil
+	// disables throttling — every batch emits an event.
+	NowNanos func() int64
+	// ProgressEvery is the minimum interval between progress events per
+	// job when NowNanos is set; zero means 500ms.
+	ProgressEvery time.Duration
+
+	// Metrics, when non-nil, is the server-wide counter set /metrics
+	// serves; nil allocates a fresh one.
+	Metrics *obs.Metrics
+}
+
+// Server is the daemon: an HTTP handler plus the execution pipeline
+// behind it. Create with New, launch with Start, stop with Drain.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	cache   *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    chan *job
+	draining bool
+	started  bool
+
+	baseCtx context.Context
+	wg      sync.WaitGroup
+}
+
+// New builds a server from the configuration.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Executors < 1 {
+		cfg.Executors = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 500 * time.Millisecond
+	}
+	cache, err := newResultCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	return &Server{
+		cfg:     cfg,
+		metrics: m,
+		cache:   cache,
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.QueueDepth),
+	}, nil
+}
+
+// Start launches the executor pool. Jobs derive their contexts from ctx:
+// cancelling it aborts in-flight work (the unclean path — prefer Drain).
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.baseCtx = ctx
+	for i := 0; i < s.cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+}
+
+// Drain stops intake and waits for every accepted job to finish — each
+// with its result durably written — or for ctx to expire, whichever
+// comes first. It returns nil on a complete drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain aborted: %w", context.Cause(ctx))
+	}
+}
+
+// Metrics returns the server-wide counter set.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// executor runs queued jobs until the queue is closed and empty.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job's cells on the runner pool and records the
+// outcome. The result document is durably cached before the job reports
+// done, so a client observing "done" can always re-read the result.
+func (s *Server) runJob(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.finish(statusCanceled, nil, context.Cause(j.ctx).Error())
+		return
+	}
+	j.setRunning()
+
+	jobs := make([]runner.Job, len(j.cells))
+	for i, c := range j.cells {
+		rj, err := c.Job()
+		if err != nil {
+			j.finish(statusFailed, nil, err.Error())
+			return
+		}
+		jobs[i] = rj
+	}
+
+	var th *obs.Throttle
+	if s.cfg.NowNanos != nil {
+		th = obs.NewThrottle(s.cfg.ProgressEvery, s.cfg.NowNanos)
+	}
+	ropts := runner.Options{
+		Workers:      s.cfg.Workers,
+		Metrics:      j.metrics,
+		JobTimeout:   s.cfg.JobTimeout,
+		StallTimeout: s.cfg.StallTimeout,
+		Retry: runner.RetryPolicy{
+			Max:  s.cfg.Retries + 1,
+			Base: s.cfg.RetryBase,
+			Seed: 1,
+		},
+		Sleep: s.cfg.Sleep,
+		Progress: func() {
+			if th == nil || th.Ready() {
+				j.appendEvent(progressEvent(j.metrics.Snapshot()))
+			}
+		},
+	}
+	results, err := runner.Run(j.ctx, jobs, ropts)
+	s.metrics.Merge(j.metrics.Snapshot())
+	if err != nil {
+		status := statusFailed
+		if j.ctx.Err() != nil {
+			status = statusCanceled
+			err = context.Cause(j.ctx)
+		}
+		j.finish(status, nil, err.Error())
+		return
+	}
+
+	doc, err := buildResultDoc(j, results)
+	if err != nil {
+		j.finish(statusFailed, nil, err.Error())
+		return
+	}
+	if err := s.cache.put(j.id, doc); err != nil {
+		// The run succeeded but the result is not durable: failing the
+		// job is the honest outcome — a retry will rerun and re-write.
+		j.finish(statusFailed, nil, err.Error())
+		return
+	}
+	j.finish(statusDone, doc, "")
+}
+
+// buildResultDoc marshals the completed-job document exactly once; these
+// bytes are what the cache stores and every response serves.
+func buildResultDoc(j *job, results [][]sim.Result) ([]byte, error) {
+	reqCanon, err := j.req.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	doc := spec.ResultDoc{
+		ID:      j.id,
+		Status:  statusDone,
+		Request: reqCanon,
+		Cells:   make([]spec.CellResult, len(j.cells)),
+	}
+	for i, c := range j.cells {
+		canon, err := c.Canonical()
+		if err != nil {
+			return nil, err
+		}
+		cr := spec.CellResult{Spec: canon, Results: make([]spec.SchemeResult, len(results[i]))}
+		for k, r := range results[i] {
+			cr.Results[k] = spec.SchemeResult{Scheme: r.Scheme, Stats: r.Stats}
+		}
+		doc.Cells[i] = cr
+	}
+	return json.Marshal(doc)
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(body, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// submit resolves a request to a job: an existing in-flight or finished
+// job with the same hash, a cache hit wrapped as a finished job, or a
+// freshly enqueued one. The error return carries an HTTP status.
+func (s *Server) submit(req spec.Request) (*job, int, error) {
+	hash, err := req.Hash()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[hash]; ok {
+		st, _, _ := j.snapshot()
+		if st != statusFailed && st != statusCanceled {
+			return j, http.StatusOK, nil // singleflight: attach
+		}
+		// Terminal failure: fall through and resubmit fresh.
+	}
+	if data, ok := s.cache.get(hash); ok {
+		j := completedJob(hash, data)
+		s.jobs[hash] = j
+		return j, http.StatusOK, nil
+	}
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, errors.New("server: draining, not accepting jobs")
+	}
+	if !s.started {
+		return nil, http.StatusServiceUnavailable, errors.New("server: not started")
+	}
+	cells, err := req.Cells()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	j := newJob(s.baseCtx, hash, req, cells)
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel(errors.New("server: queue full"))
+		return nil, http.StatusTooManyRequests, fmt.Errorf("server: job queue full (%d)", s.cfg.QueueDepth)
+	}
+	s.jobs[hash] = j
+	return j, http.StatusAccepted, nil
+}
+
+// handleSubmit is POST /v1/jobs. With ?wait=1 the request holds the
+// connection until the job finishes and answers with the full result
+// document; disconnecting while waiting withdraws interest and cancels
+// the job if nobody else is watching. Without wait the job is detached
+// and the response is an immediate status envelope.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req spec.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	j, code, err := s.submit(req)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	if !wait {
+		j.detach()
+		st, _, errMsg := j.snapshot()
+		writeJSON(w, code, spec.JobStatus{ID: j.id, Status: st, Error: errMsg})
+		return
+	}
+	j.hold()
+	defer j.release()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return // release may cancel the job if we were the last watcher
+	}
+	s.writeTerminal(w, j)
+}
+
+// writeTerminal answers with a finished job's stored result bytes (done)
+// or its error envelope.
+func (s *Server) writeTerminal(w http.ResponseWriter, j *job) {
+	st, result, errMsg := j.snapshot()
+	if st == statusDone {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+		return
+	}
+	code := http.StatusInternalServerError
+	if st == statusCanceled {
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, spec.JobStatus{ID: j.id, Status: st, Error: errMsg})
+}
+
+// lookup finds a job by id, falling back to the durable cache so results
+// survive daemon restarts.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j
+	}
+	if data, ok := s.cache.get(id); ok {
+		j := completedJob(id, data)
+		s.jobs[id] = j
+		return j
+	}
+	return nil
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st, _, errMsg := j.snapshot()
+	if j.terminal() {
+		s.writeTerminal(w, j)
+		return
+	}
+	var prog *obs.Snapshot
+	if j.metrics != nil {
+		snap := j.metrics.Snapshot()
+		prog = &snap
+	}
+	writeJSON(w, http.StatusOK, spec.JobStatus{ID: j.id, Status: st, Error: errMsg, Progress: prog})
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: an NDJSON stream replaying
+// the job's event log from the start and following it until a terminal
+// event. Streaming clients count as watchers.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	j.hold()
+	defer j.release()
+	next := 0
+	for {
+		events, wake, terminal := j.eventsFrom(next)
+		for _, e := range events {
+			w.Write(append(marshalEvent(e), '\n'))
+		}
+		next += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if terminal && len(events) == 0 {
+			return
+		}
+		if terminal {
+			continue // drain any rows appended after the terminal check
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleEngines is GET /v1/engines.
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	names := append([]string(nil), coherence.EngineNames()...)
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, spec.EnginesDoc{Engines: names, Filters: spec.FilterNames()})
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics is GET /metrics: the server-wide obs snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// terminal reports whether the job reached a terminal state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.terminalLocked()
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"fmt"
+
+	"dirsim/internal/coherence"
+)
+
+// RemoteResult reconstructs a Result from stats that crossed a process
+// boundary (the dirsimd daemon returns per-scheme stats as JSON). The
+// engine is rebuilt by name solely to recover its cost-model adjustment
+// (Berkeley's free directory checks), so a remote result prices runs
+// exactly like the local Result it is a copy of.
+func RemoteResult(scheme string, cfg coherence.Config, stats *coherence.Stats) (Result, error) {
+	if stats == nil {
+		return Result{}, fmt.Errorf("sim: remote result for %s has no stats", scheme)
+	}
+	e, err := coherence.NewByName(scheme, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Scheme: e.Name(), Stats: stats}
+	if adj, ok := e.(coherence.ModelAdjuster); ok {
+		r.adjust = adj.AdjustModel
+	}
+	return r, nil
+}

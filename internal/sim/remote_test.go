@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dirsim/internal/bus"
+	"dirsim/internal/coherence"
+	"dirsim/internal/tracegen"
+)
+
+// A rebuilt remote result must price identically to the local result it
+// mirrors — including Berkeley's cost-model adjustment, which does not
+// survive serialisation and has to be rederived from the scheme name.
+func TestRemoteResultMatchesLocal(t *testing.T) {
+	cfg := coherence.Config{Caches: 4}
+	g, err := tracegen.New(tracegen.POPS(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunSchemes(context.Background(), g, []string{"berkeley", "dir0b"}, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pip := bus.Pipelined()
+	for _, lr := range local {
+		rr, err := RemoteResult(lr.Scheme, cfg, lr.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Scheme != lr.Scheme {
+			t.Errorf("scheme = %q, want %q", rr.Scheme, lr.Scheme)
+		}
+		if got, want := rr.CyclesPerRef(pip), lr.CyclesPerRef(pip); math.Abs(got-want) > 0 {
+			t.Errorf("%s: remote cycles/ref %v != local %v", lr.Scheme, got, want)
+		}
+	}
+	if _, err := RemoteResult("nosuchscheme", cfg, local[0].Stats); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := RemoteResult("dir0b", cfg, nil); err == nil {
+		t.Error("nil stats accepted")
+	}
+}

@@ -1,0 +1,271 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/runner"
+	"dirsim/internal/sim"
+	"dirsim/internal/tracegen"
+)
+
+func testCell(t *testing.T) Cell {
+	t.Helper()
+	return Cell{
+		Trace:   tracegen.POPS(5_000),
+		Schemes: []string{"dir0b", "dragon"},
+		Machine: coherence.Config{Caches: 4},
+	}
+}
+
+func TestCanonicalIsSortedAndStable(t *testing.T) {
+	c := testCell(t)
+	b1, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("canonical encoding not stable:\n%s\nvs\n%s", b1, b2)
+	}
+	// Keys of every object must appear sorted; spot-check the top level.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b1, &m); err != nil {
+		t.Fatalf("canonical bytes are not JSON: %v", err)
+	}
+	s := string(b1)
+	if strings.Index(s, `"filter"`) > strings.Index(s, `"machine"`) && strings.Contains(s, `"filter"`) {
+		t.Errorf("keys not sorted: %s", s)
+	}
+	if strings.Index(s, `"machine"`) > strings.Index(s, `"schemes"`) {
+		t.Errorf("keys not sorted: %s", s)
+	}
+	if strings.Contains(s, " ") {
+		t.Errorf("canonical encoding contains whitespace: %s", s)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	c := testCell(t)
+	c.Filter = "DropLockSpins"
+	c.Sim = Sim{WarmupRefs: 100, IncludeFirstRefCosts: true}
+	b, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Cell
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("canonical bytes do not decode into a Cell: %v", err)
+	}
+	b2, err := back.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("decode+re-encode drifted:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+// The hash IS the cache key format. If this test fails, every cached
+// result on disk is invalidated: change the golden value only when the
+// spec encoding is deliberately versioned.
+func TestHashStability(t *testing.T) {
+	c := testCell(t)
+	h, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = "8dead3c941570b19f03ef87aec0d35f8e571d3a48c9ebbafbf66d207900bc4b1"
+	if h != golden {
+		t.Errorf("cell hash drifted: got %s want %s", h, golden)
+	}
+	r := Request{Cell: &c}
+	rh, err := r.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goldenReq = "e178b1d08c11ae96a52915ce501e43a384c783b072775d465e816417d2abb0e9"
+	if rh != goldenReq {
+		t.Errorf("request hash drifted: got %s want %s", rh, goldenReq)
+	}
+}
+
+func TestHashInsensitiveToCosmetics(t *testing.T) {
+	a := testCell(t)
+	b := testCell(t)
+	b.Schemes = []string{" DIR0B ", "Dragon"}
+	b.Filter = "none"
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha != hb {
+		t.Errorf("cosmetic differences changed the hash: %s vs %s", ha, hb)
+	}
+	c := testCell(t)
+	c.Trace.Seed = 7
+	hc, _ := c.Hash()
+	if hc == ha {
+		t.Error("different seeds hashed equal")
+	}
+	d := testCell(t)
+	d.Schemes = []string{"dragon", "dir0b"} // order matters: lockstep column order
+	hd, _ := d.Hash()
+	if hd == ha {
+		t.Error("scheme order should be significant")
+	}
+}
+
+func TestSweepCells(t *testing.T) {
+	sw := Sweep{
+		Workloads: []string{"pero", "pops"},
+		Schemes:   []string{"dir0b"},
+		CPUs:      []int{2, 4},
+		Refs:      1_000,
+		Seeds:     3,
+	}
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2*3 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	// Order: (workload, cpus, seed); all three seeds of a grid point are
+	// adjacent and distinct.
+	if cells[0].Trace.Name != "PERO" || cells[0].Trace.CPUs != 2 {
+		t.Errorf("cell 0 = %+v", cells[0])
+	}
+	if cells[6].Trace.Name != "POPS" || cells[6].Trace.CPUs != 2 {
+		t.Errorf("cell 6 = %+v", cells[6])
+	}
+	if cells[0].Trace.Seed == cells[1].Trace.Seed {
+		t.Error("replications share a seed")
+	}
+	if cells[0].Machine.Caches != 2 || cells[3].Machine.Caches != 4 {
+		t.Errorf("machine sizes: %d, %d", cells[0].Machine.Caches, cells[3].Machine.Caches)
+	}
+
+	if _, err := (Sweep{Workloads: []string{"nope"}, Schemes: []string{"dir0b"}, CPUs: []int{2}, Refs: 10, Seeds: 1}).Cells(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := (Sweep{}).Validate(); err == nil {
+		t.Error("empty sweep validated")
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	c := testCell(t)
+	sw := Sweep{Workloads: []string{"pops"}, Schemes: []string{"wti"}, CPUs: []int{2}, Refs: 100, Seeds: 1}
+	cases := []struct {
+		r  Request
+		ok bool
+	}{
+		{Request{}, false},
+		{Request{Cell: &c}, true},
+		{Request{Sweep: &sw}, true},
+		{Request{Cell: &c, Sweep: &sw}, false},
+	}
+	for i, tc := range cases {
+		err := tc.r.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, tc.ok)
+		}
+	}
+	cells, err := Request{Sweep: &sw}.Cells()
+	if err != nil || len(cells) != 1 {
+		t.Fatalf("sweep request cells = %v, %v", cells, err)
+	}
+}
+
+func TestCellValidate(t *testing.T) {
+	c := testCell(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := c
+	bad.Schemes = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no schemes accepted")
+	}
+	bad = c
+	bad.Schemes = []string{"nosuchscheme"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	bad = c
+	bad.Filter = "nosuchfilter"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown filter accepted")
+	}
+	bad = c
+	bad.Machine.Caches = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero caches accepted")
+	}
+}
+
+// A compiled job must execute and produce the same results as handing the
+// equivalent job to the runner by hand — spec is a refactoring of the CLI
+// cell construction, not a new semantics.
+func TestJobMatchesDirectRun(t *testing.T) {
+	c := testCell(t)
+	j, err := c.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Label != c.Label() {
+		t.Errorf("label = %q, want %q", j.Label, c.Label())
+	}
+	got, err := runner.Run(context.Background(), []runner.Job{j}, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tracegen.New(c.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.RunSchemes(context.Background(), g, c.Schemes, c.Machine, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0]) != len(want) {
+		t.Fatalf("result count %d vs %d", len(got[0]), len(want))
+	}
+	for i := range want {
+		// Stats contains slices; compare the JSON forms.
+		gb, _ := json.Marshal(got[0][i].Stats)
+		wb, _ := json.Marshal(want[i].Stats)
+		if string(gb) != string(wb) {
+			t.Errorf("scheme %s: stats differ", want[i].Scheme)
+		}
+		if got[0][i].Scheme != want[i].Scheme {
+			t.Errorf("scheme name %q vs %q", got[0][i].Scheme, want[i].Scheme)
+		}
+	}
+}
+
+func TestPresetAndCanonicalSchemes(t *testing.T) {
+	for _, name := range []string{"pops", "THOR", " pero "} {
+		if _, err := Preset(name, 100); err != nil {
+			t.Errorf("Preset(%q): %v", name, err)
+		}
+	}
+	if _, err := Preset("vax", 100); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	names, err := CanonicalSchemes([]string{"dir0b", "dragon"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "Dir0B" || names[1] != "Dragon" {
+		t.Errorf("canonical names = %v", names)
+	}
+	if _, err := CanonicalSchemes([]string{"zzz"}, 4); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package spec
+
+import (
+	"encoding/json"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+)
+
+// Wire types of the dirsimd job API, shared by the daemon and the remote
+// client so the two cannot drift apart.
+
+// SchemeResult is one engine's outcome within a cell: the full stats
+// tally, from which any of the paper's metrics can be priced client-side
+// exactly as a local run would.
+type SchemeResult struct {
+	Scheme string           `json:"scheme"`
+	Stats  *coherence.Stats `json:"stats"`
+}
+
+// CellResult pairs a cell's canonical spec with its per-scheme results,
+// in the cell's scheme order.
+type CellResult struct {
+	Spec    json.RawMessage `json:"spec"`
+	Results []SchemeResult  `json:"results"`
+}
+
+// ResultDoc is the completed-job document: what GET /v1/jobs/{id}
+// returns for a finished job, what the content-addressed cache stores,
+// and what every concurrent identical submission receives byte for byte.
+type ResultDoc struct {
+	ID      string          `json:"id"`
+	Status  string          `json:"status"`
+	Request json.RawMessage `json:"request"`
+	Cells   []CellResult    `json:"cells"`
+}
+
+// JobStatus is the response for a job that has not completed (and the
+// envelope async submissions receive).
+type JobStatus struct {
+	ID       string        `json:"id"`
+	Status   string        `json:"status"`
+	Error    string        `json:"error,omitempty"`
+	Progress *obs.Snapshot `json:"progress,omitempty"`
+}
+
+// EnginesDoc is GET /v1/engines.
+type EnginesDoc struct {
+	Engines []string `json:"engines"`
+	Filters []string `json:"filters"`
+}

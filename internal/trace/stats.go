@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -213,6 +214,34 @@ func (h *Histogram) Max() int {
 
 // addTotal adjusts the observation count when buckets are filled in bulk.
 func (h *Histogram) addTotal(n uint64) { h.total += n }
+
+// histogramJSON is the wire form of a Histogram. The observation count is
+// not serialised: it is, invariantly, the sum of the buckets, and
+// recomputing it on decode means a histogram can never arrive with the
+// two out of step.
+type histogramJSON struct {
+	Counts []uint64 `json:"counts"`
+}
+
+// MarshalJSON encodes the bucket slice; see histogramJSON.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Counts: h.Counts})
+}
+
+// UnmarshalJSON decodes the bucket slice and recomputes the observation
+// count, so Mean, Fraction and Total keep working on a decoded histogram.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.Counts = w.Counts
+	h.total = 0
+	for _, c := range w.Counts {
+		h.total += c
+	}
+	return nil
+}
 
 // Add accumulates other into h.
 func (h *Histogram) Add(other *Histogram) {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -148,6 +149,44 @@ func TestHistogramAdd(t *testing.T) {
 	}
 	if a.Counts[2] != 2 {
 		t.Errorf("Counts[2] = %d, want 2", a.Counts[2])
+	}
+}
+
+// A histogram must survive the JSON round trip with its derived state
+// intact: remote results carry InvalFanout across the daemon boundary.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{0, 1, 1, 3} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() {
+		t.Errorf("Total = %d, want %d", back.Total(), h.Total())
+	}
+	if math.Abs(back.Mean()-h.Mean()) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", back.Mean(), h.Mean())
+	}
+	if math.Abs(back.CumulativeFraction(1)-h.CumulativeFraction(1)) > 1e-12 {
+		t.Errorf("CumulativeFraction(1) = %v, want %v",
+			back.CumulativeFraction(1), h.CumulativeFraction(1))
+	}
+	var empty Histogram
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != 0 || back.Max() != -1 {
+		t.Errorf("empty round trip: Total=%d Max=%d", back.Total(), back.Max())
 	}
 }
 
