@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint mc check fuzz bench fault-smoke serve serve-smoke
+.PHONY: build test race lint mc check fuzz bench fault-smoke serve serve-smoke trace-smoke promscrape-smoke
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,62 @@ serve-smoke:
 	trap - EXIT; \
 	grep -q 'drained cleanly' serve-smoke.tmp/daemon.log
 	rm -rf serve-smoke.tmp
+
+# Observability drill (same scenario CI runs): a POPS run under Dir1B
+# with the flight recorder on must produce a valid NDJSON trace and a
+# valid Chrome trace (checked by cmd/tracecheck), and tracing must not
+# perturb results — the traced run's CSV is byte-identical to the
+# untraced one.
+trace-smoke:
+	rm -rf trace-smoke.tmp && mkdir trace-smoke.tmp
+	$(GO) build -o trace-smoke.tmp/dirsim ./cmd/dirsim
+	$(GO) build -o trace-smoke.tmp/tracecheck ./cmd/tracecheck
+	./trace-smoke.tmp/dirsim -workload pops -refs 50000 -schemes dir1b \
+		-csv > trace-smoke.tmp/untraced.csv
+	./trace-smoke.tmp/dirsim -workload pops -refs 50000 -schemes dir1b \
+		-csv -trace-out trace-smoke.tmp/run.ndjson -spans \
+		> trace-smoke.tmp/traced.csv
+	cmp trace-smoke.tmp/untraced.csv trace-smoke.tmp/traced.csv
+	./trace-smoke.tmp/tracecheck -format ndjson -min-events 100 trace-smoke.tmp/run.ndjson
+	./trace-smoke.tmp/dirsim -workload pops -refs 50000 -schemes dir1b \
+		-csv -trace-out trace-smoke.tmp/run.json -spans > /dev/null
+	./trace-smoke.tmp/tracecheck -format chrome -min-events 100 trace-smoke.tmp/run.json
+	rm -rf trace-smoke.tmp
+
+# Prometheus-scrape drill (same scenario CI runs): dirsimd on an
+# ephemeral port with tracing on must serve a /metrics text exposition
+# that passes the in-repo validator and a Perfetto-loadable per-job
+# trace for a finished job.
+promscrape-smoke:
+	rm -rf promscrape-smoke.tmp && mkdir promscrape-smoke.tmp
+	$(GO) build -o promscrape-smoke.tmp/dirsimd ./cmd/dirsimd
+	$(GO) build -o promscrape-smoke.tmp/tracecheck ./cmd/tracecheck
+	set -e; \
+	./promscrape-smoke.tmp/dirsimd -addr 127.0.0.1:0 -trace-sample 8 \
+		-ready-file promscrape-smoke.tmp/addr -parallel 2 \
+		> promscrape-smoke.tmp/daemon.log 2>&1 & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 100); do test -s promscrape-smoke.tmp/addr && break; sleep 0.1; done; \
+	test -s promscrape-smoke.tmp/addr; \
+	addr=$$(cat promscrape-smoke.tmp/addr); \
+	printf '%s' '{"sweep":{"workloads":["pops"],"schemes":["dir1b"],"cpus":[4],"refs":20000,"seeds":1}}' \
+		> promscrape-smoke.tmp/req.json; \
+	curl -fsS -X POST --data-binary @promscrape-smoke.tmp/req.json \
+		"http://$$addr/v1/jobs?wait=1" -o promscrape-smoke.tmp/result.json; \
+	grep -q '"status":"done"' promscrape-smoke.tmp/result.json; \
+	id=$$(grep -o '"id":"[0-9a-f]*"' promscrape-smoke.tmp/result.json | head -1 | cut -d'"' -f4); \
+	test -n "$$id"; \
+	curl -fsS "http://$$addr/metrics?format=prometheus" \
+		| ./promscrape-smoke.tmp/tracecheck -format prom; \
+	curl -fsS "http://$$addr/v1/jobs/$$id/trace" \
+		| ./promscrape-smoke.tmp/tracecheck -format chrome -min-events 10; \
+	curl -fsS "http://$$addr/v1/jobs/$$id/trace?format=ndjson" \
+		| ./promscrape-smoke.tmp/tracecheck -format ndjson -min-events 10; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	trap - EXIT; \
+	grep -q 'drained cleanly' promscrape-smoke.tmp/daemon.log
+	rm -rf promscrape-smoke.tmp
 
 # Driver throughput baseline: sequential vs parallel lockstep simulation
 # over four schemes, recorded as a JSON benchmark log for comparison

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"dirsim"
+	"dirsim/internal/flight"
 )
 
 const benchRefs = 200_000
@@ -604,28 +605,37 @@ func BenchmarkExtensionLargerMachine(b *testing.B) {
 
 // Throughput benchmark: raw simulation speed of the lockstep driver over a
 // representative scheme mix, sequential versus the decode-once/fan-out
-// parallel driver. The parallel variant shards the engine set across
+// parallel driver, versus sequential with the flight recorder at its
+// default sampling. The parallel variant shards the engine set across
 // GOMAXPROCS workers; results are bitwise-identical to sequential (asserted
 // in internal/sim's parallel tests), so this measures pure driver overhead
-// and scaling.
+// and scaling. The traced variant guards the recorder's overhead budget:
+// it must stay within a few percent of the sequential baseline.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	_, traces := loadBenchTraces(b)
 	tr := traces[0]
 	schemes := []string{"dir1nb", "wti", "dir0b", "dragon"}
 	cfg := dirsim.EngineConfig{Caches: 4}
-	run := func(b *testing.B, opts dirsim.Options) {
+	run := func(b *testing.B, mkOpts func() dirsim.Options) {
 		b.SetBytes(int64(len(tr)))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := dirsim.RunSchemes(dirsim.NewTraceReader(tr), schemes, cfg, opts); err != nil {
+			if _, err := dirsim.RunSchemes(dirsim.NewTraceReader(tr), schemes, cfg, mkOpts()); err != nil {
 				b.Fatal(err)
 			}
 		}
 		// Engine-refs per second: each scheme consumes the full trace.
 		b.ReportMetric(float64(len(tr)*len(schemes))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
 	}
-	b.Run("sequential", func(b *testing.B) { run(b, dirsim.Options{}) })
+	b.Run("sequential", func(b *testing.B) { run(b, func() dirsim.Options { return dirsim.Options{} }) })
 	b.Run("parallel", func(b *testing.B) {
-		run(b, dirsim.Options{Parallel: runtime.GOMAXPROCS(0)})
+		run(b, func() dirsim.Options { return dirsim.Options{Parallel: runtime.GOMAXPROCS(0)} })
+	})
+	b.Run("traced", func(b *testing.B) {
+		// A fresh recorder per run, as the CLIs do: rings and track
+		// tables belong to one run's trace.
+		run(b, func() dirsim.Options {
+			return dirsim.Options{Recorder: flight.New(flight.Options{Sample: flight.DefaultSample})}
+		})
 	})
 }

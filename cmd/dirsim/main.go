@@ -9,6 +9,7 @@
 //	dirsim -workload thor -drop-locks -schemes dir1nb
 //	dirsim -workload pops -finite 64x4 -schemes dir0b
 //	dirsim -workload pops -refs 5000000 -parallel 4 -progress -timeout 60s
+//	dirsim -workload pops -schemes dir1b -trace-out run.json -spans
 package main
 
 import (
@@ -19,13 +20,18 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"dirsim/internal/atomicio"
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
+	"dirsim/internal/flight"
 	"dirsim/internal/numa"
 	"dirsim/internal/obs"
 	"dirsim/internal/report"
@@ -57,29 +63,33 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "report throughput on stderr while simulating")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := flag.String("trace-out", "", "write a flight trace here (.json = Chrome trace for Perfetto, .ndjson = one event per line)")
+	traceSample := flag.Int("trace-sample", flight.DefaultSample, "with -trace-out, record every Nth reference's protocol events (0 = spans only)")
+	spans := flag.Bool("spans", false, "with -trace-out, also record decode/simulate/fan-out/report phase spans")
 	flag.Parse()
 
-	ctx := context.Background()
+	// A signal cancels the run between batches; the explicit stopProfiles
+	// calls below (not defers — log.Fatal skips defers) then flush the
+	// partial profiles before exit.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if *pprofFile != "" {
-		pf, err := atomicio.Create(*pprofFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			pf.Abort()
-			log.Fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := pf.Commit(); err != nil {
-				log.Fatal(err)
-			}
-		}()
+	stopProfiles, err := startProfiles(*pprofFile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := func(err error) {
+		stopProfiles() //nolint:errcheck // already failing; the run error wins
+		log.Fatal(err)
+	}
+	var rec *flight.Recorder
+	if *traceOut != "" {
+		rec = flight.New(flight.Options{Sample: *traceSample, Spans: *spans, Label: "dirsim"})
 	}
 	if err := run(ctx, os.Stdout, options{
 		traceFile: *traceFile, workload: *workload, refs: *refs,
@@ -89,9 +99,85 @@ func main() {
 		latency: *latency, q: *q,
 		numaNodes: *numaNodes, numaHome: *numaHome,
 		parallel: *parallel, progress: *progress, progressW: os.Stderr,
+		recorder: rec,
 	}); err != nil {
+		fatal(err)
+	}
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// startProfiles starts the optional CPU profile and arranges the optional
+// heap profile. The returned stop flushes both through atomicio and is
+// idempotent, so every exit path can call it explicitly; nothing here is
+// deferred because log.Fatal does not run defers.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *atomicio.File
+	if cpuPath != "" {
+		cpuFile, err = atomicio.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Abort()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	var stopErr error
+	stop = func() error {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Commit(); err != nil {
+					stopErr = err
+				}
+			}
+			if memPath == "" {
+				return
+			}
+			mf, err := atomicio.Create(memPath)
+			if err != nil {
+				if stopErr == nil {
+					stopErr = err
+				}
+				return
+			}
+			runtime.GC() // settle allocation stats before snapshotting the heap
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				mf.Abort()
+				if stopErr == nil {
+					stopErr = err
+				}
+				return
+			}
+			if err := mf.Commit(); err != nil && stopErr == nil {
+				stopErr = err
+			}
+		})
+		return stopErr
+	}
+	return stop, nil
+}
+
+// writeTrace exports the recorder crash-safely; the extension picks the
+// format (see flight.FormatForPath).
+func writeTrace(path string, rec *flight.Recorder) error {
+	f, err := atomicio.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.Write(f, path, rec); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
 }
 
 // options collects the command's flags.
@@ -109,6 +195,7 @@ type options struct {
 	parallel               int
 	progress               bool
 	progressW              io.Writer
+	recorder               *flight.Recorder
 }
 
 func run(ctx context.Context, w io.Writer, o options) error {
@@ -125,7 +212,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			return fmt.Errorf("bad -finite %q (want SETSxWAYS): %v", o.finite, err)
 		}
 	}
-	opts := sim.Options{Parallel: o.parallel}
+	opts := sim.Options{Parallel: o.parallel, Recorder: o.recorder}
 	if o.byProcess {
 		opts.CacheBy = sim.ByProcess
 	}
@@ -228,6 +315,13 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		nt.AddRow("invalidations", fmt.Sprintf("%d", st.Invalidations))
 		fmt.Fprintln(w)
 		fmt.Fprint(w, render(nt))
+	}
+	if o.recorder != nil && len(results) > 0 {
+		// The report phase follows the simulated stream: a span starting
+		// at the last reference ordinal, one tick per reported scheme.
+		// Track 0 is the sim driver's.
+		refs := results[0].Stats.Refs
+		o.recorder.Span(0, "report", refs, refs+uint64(len(results)))
 	}
 	return nil
 }

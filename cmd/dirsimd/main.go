@@ -10,9 +10,10 @@
 //	POST /v1/jobs            submit a spec; ?wait=1 blocks for the result
 //	GET  /v1/jobs/{id}       job status, or the result document when done
 //	GET  /v1/jobs/{id}/events  NDJSON stream of status/progress events
+//	GET  /v1/jobs/{id}/trace  a terminal job's flight trace (with -trace-sample)
 //	GET  /v1/engines         engine and trace-filter registries
 //	GET  /healthz            liveness (503 while draining)
-//	GET  /metrics            server-wide obs counters as JSON
+//	GET  /metrics            server-wide obs counters as JSON (?format=prometheus for text exposition)
 //
 // SIGINT/SIGTERM trigger a graceful drain: intake stops (503), in-flight
 // jobs run to completion with their results durably written via
@@ -31,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +57,8 @@ func main() {
 	retries := flag.Int("retries", 2, "extra attempts for cells failing with transient errors")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt, jittered)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "bound on graceful shutdown")
+	traceSample := flag.Int("trace-sample", 0, "record a flight trace per executed job, sampling every Nth reference (0 = off); serve via GET /v1/jobs/{id}/trace")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = off); keep it private")
 	flag.Parse()
 
 	s, err := server.New(server.Config{
@@ -69,6 +73,7 @@ func main() {
 		RetryBase:    *retryBase,
 		Sleep:        time.Sleep,
 		NowNanos:     func() int64 { return time.Now().UnixNano() },
+		TraceSample:  *traceSample,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -83,6 +88,25 @@ func main() {
 		if err := atomicio.WriteFile(*readyFile, []byte(ln.Addr().String()+"\n")); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *debugAddr != "" {
+		// The pprof listener is separate from the API listener so the
+		// profiling surface is never exposed on the service address.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+		debugSrv := &http.Server{
+			Handler:           http.DefaultServeMux, // net/http/pprof registers here
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	// The base context is deliberately background: a signal must drain,

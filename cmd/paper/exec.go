@@ -7,7 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dirsim/internal/atomicio"
 	"dirsim/internal/coherence"
+	"dirsim/internal/flight"
 	"dirsim/internal/remote"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
@@ -23,8 +25,9 @@ import (
 type cellExec func(ctx context.Context, cells []spec.Cell) ([][]sim.Result, error)
 
 // localExec compiles cells to runner jobs and executes them on the
-// shared pool — the default path.
-func localExec(ropts runner.Options) cellExec {
+// shared pool — the default path. A non-nil sink gives every job a
+// flight recorder for the report-wide trace export.
+func localExec(ropts runner.Options, sink *traceSink) cellExec {
 	return func(ctx context.Context, cells []spec.Cell) ([][]sim.Result, error) {
 		jobs := make([]runner.Job, len(cells))
 		for i, c := range cells {
@@ -34,8 +37,66 @@ func localExec(ropts runner.Options) cellExec {
 			}
 			jobs[i] = j
 		}
+		if sink != nil {
+			// Sections run sequentially, so retargeting the captured
+			// options' hook per batch is safe.
+			ropts.TraceFor = sink.hook(jobs)
+		}
 		return runner.Run(ctx, jobs, ropts)
 	}
+}
+
+// traceSink accumulates one flight recorder per executed job across every
+// exec batch of a report run. Pids are report-wide job ordinals, so each
+// job renders as its own process group in the exported trace.
+type traceSink struct {
+	sample int
+	spans  bool
+
+	mu   sync.Mutex
+	recs []*flight.Recorder
+}
+
+// hook reserves recorder slots for one batch and returns the runner's
+// TraceFor callback: a fresh recorder per attempt (so a retried job's
+// trace is the attempt that produced its results), stored by batch-wide
+// ordinal.
+func (ts *traceSink) hook(jobs []runner.Job) func(index, attempt int) *flight.Recorder {
+	ts.mu.Lock()
+	base := len(ts.recs)
+	ts.recs = append(ts.recs, make([]*flight.Recorder, len(jobs))...)
+	ts.mu.Unlock()
+	return func(index, attempt int) *flight.Recorder {
+		rec := flight.New(flight.Options{
+			Sample: ts.sample, Spans: ts.spans,
+			Pid: base + index, Label: jobs[index].Label,
+		})
+		ts.mu.Lock()
+		ts.recs[base+index] = rec
+		ts.mu.Unlock()
+		return rec
+	}
+}
+
+// recorders returns the collected recorders in pid order.
+func (ts *traceSink) recorders() []*flight.Recorder {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]*flight.Recorder(nil), ts.recs...)
+}
+
+// writeTrace exports the collected recorders crash-safely; the extension
+// picks the format (see flight.FormatForPath).
+func writeTrace(path string, recs []*flight.Recorder) error {
+	f, err := atomicio.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.Write(f, path, recs...); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
 }
 
 // remoteExec submits one daemon request per cell on a bounded pool of

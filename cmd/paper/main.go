@@ -32,6 +32,7 @@ import (
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
 	"dirsim/internal/directory"
+	"dirsim/internal/flight"
 	"dirsim/internal/numa"
 	"dirsim/internal/obs"
 	"dirsim/internal/queueing"
@@ -59,6 +60,9 @@ func main() {
 	failSection := flag.String("fail-section", "", "inject a panic into the named section (fault-injection testing)")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
+	traceOut := flag.String("trace-out", "", "write a flight trace of every simulation job here (.json = Chrome trace, .ndjson = one event per line)")
+	traceSample := flag.Int("trace-sample", flight.DefaultSample, "with -trace-out, record every Nth reference's protocol events (0 = spans only)")
+	spans := flag.Bool("spans", false, "with -trace-out, also record run-phase spans")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -93,6 +97,7 @@ func main() {
 		manifest: *manifest, failSection: *failSection,
 		remote:    *remoteURL,
 		progressW: progressW,
+		traceOut:  *traceOut, traceSample: *traceSample, spans: *spans,
 	}
 
 	var w io.Writer = os.Stdout
@@ -144,6 +149,10 @@ type options struct {
 	failSection          string
 	remote               string
 	progressW            io.Writer
+
+	traceOut    string
+	traceSample int
+	spans       bool
 }
 
 // section3Schemes are the head-to-head protocols, in the paper's column
@@ -261,7 +270,14 @@ func run(ctx context.Context, w io.Writer, o options) error {
 
 	// Every cell-shaped section executes through this seam: locally on
 	// the runner pool, or on a dirsimd daemon with -remote.
-	exec := localExec(ropts)
+	var sink *traceSink
+	if o.traceOut != "" {
+		if o.remote != "" {
+			return fmt.Errorf("-remote cannot be combined with -trace-out: run the daemon with -trace-sample and fetch /v1/jobs/{id}/trace instead")
+		}
+		sink = &traceSink{sample: o.traceSample, spans: o.spans}
+	}
+	exec := localExec(ropts, sink)
 	if o.remote != "" {
 		exec = remoteExec(o.remote, o.parallel)
 	}
@@ -800,6 +816,11 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	s.man.Total = s.n
 	if o.manifest != "" {
 		if err := s.man.Write(o.manifest); err != nil {
+			return err
+		}
+	}
+	if sink != nil {
+		if err := writeTrace(o.traceOut, sink.recorders()); err != nil {
 			return err
 		}
 	}

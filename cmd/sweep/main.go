@@ -48,6 +48,7 @@ import (
 	"dirsim/internal/atomicio"
 	"dirsim/internal/bus"
 	"dirsim/internal/faults"
+	"dirsim/internal/flight"
 	"dirsim/internal/obs"
 	"dirsim/internal/remote"
 	"dirsim/internal/runner"
@@ -78,6 +79,9 @@ func main() {
 	remoteURL := flag.String("remote", "", "run the grid on a dirsimd daemon at this base URL instead of locally")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
+	traceOut := flag.String("trace-out", "", "write a flight trace of every job here (.json = Chrome trace, .ndjson = one event per line)")
+	traceSample := flag.Int("trace-sample", flight.DefaultSample, "with -trace-out, record every Nth reference's protocol events (0 = spans only)")
+	spans := flag.Bool("spans", false, "with -trace-out, also record run-phase spans")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "per-reference bit-flip probability in fault-injected jobs")
 	faultTruncate := flag.Int("fault-truncate", 0, "fault-injected jobs lose their trace after this many references")
@@ -120,6 +124,7 @@ func main() {
 		faultPanic: *faultPanic, faultJobs: *faultJobs,
 		remote:   *remoteURL,
 		progress: *progress, progressW: os.Stderr,
+		traceOut: *traceOut, traceSample: *traceSample, spans: *spans,
 	}
 
 	var w io.Writer = os.Stdout
@@ -186,6 +191,10 @@ type options struct {
 
 	progress  bool
 	progressW io.Writer
+
+	traceOut    string
+	traceSample int
+	spans       bool
 }
 
 // cellMeta names one output cell: a (workload, cpus) grid point. Its
@@ -273,6 +282,8 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			return fmt.Errorf("-remote cannot be combined with fault injection: faults exercise the local runner")
 		case o.checkpoint != "" || o.resume:
 			return fmt.Errorf("-remote cannot be combined with -checkpoint/-resume: the daemon's result cache already makes repeats cheap")
+		case o.traceOut != "":
+			return fmt.Errorf("-remote cannot be combined with -trace-out: run the daemon with -trace-sample and fetch /v1/jobs/{id}/trace instead")
 		}
 	}
 
@@ -499,6 +510,22 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			emit()
 		},
 	}
+	// One recorder per pool job, created fresh per attempt so a retried
+	// job's trace is always the attempt that produced its results. Pid is
+	// the global grid index, which groups each job's tracks in the export.
+	var recorders []*flight.Recorder
+	if o.traceOut != "" {
+		recorders = make([]*flight.Recorder, len(submit))
+		ropts.TraceFor = func(index, attempt int) *flight.Recorder {
+			gi := submitIdx[index]
+			rec := flight.New(flight.Options{
+				Sample: o.traceSample, Spans: o.spans,
+				Pid: gi, Label: allJobs[gi].Label,
+			})
+			recorders[index] = rec
+			return rec
+		}
+	}
 	if o.faultTransient > 0 {
 		n := o.faultTransient
 		ropts.TransientFault = func(si, attempt int) error {
@@ -555,11 +582,30 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			return err
 		}
 	}
+	if o.traceOut != "" {
+		if err := writeTrace(o.traceOut, recorders); err != nil {
+			return err
+		}
+	}
 	if man.Failed > 0 {
 		return fmt.Errorf("%w: %d of %d jobs failed; partial results written, rerun with -resume to fill the gaps",
 			errDegraded, man.Failed, len(allJobs))
 	}
 	return nil
+}
+
+// writeTrace exports every job's recorder (nils from never-started jobs
+// elided by the writer) crash-safely; the extension picks the format.
+func writeTrace(path string, recs []*flight.Recorder) error {
+	f, err := atomicio.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.Write(f, path, recs...); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
 }
 
 // jobFailuresOnly reports whether err (possibly an errors.Join tree)

@@ -1,0 +1,174 @@
+// Command tracecheck validates observability artifacts — the flight
+// recorder's two trace formats and the daemon's Prometheus exposition —
+// so smoke tests can assert "this artifact is well-formed" without
+// depending on external tooling.
+//
+// Formats (-format):
+//
+//	ndjson  one JSON object per line with kind/seq fields; seq must be
+//	        non-decreasing within each (pid, tid) track
+//	chrome  a Chrome trace-event JSON object (Perfetto-loadable): every
+//	        event named, ph one of M/X/i, ts non-decreasing per track
+//	prom    Prometheus text exposition 0.0.4, via the in-repo linter
+//
+// The input is a file argument or stdin. Exit status 0 means valid (and
+// at least -min-events events for the trace formats); anything else is
+// reported on stderr with exit status 1.
+//
+// Usage:
+//
+//	tracecheck -format ndjson -min-events 1 trace.ndjson
+//	curl -s "$DAEMON/metrics?format=prometheus" | tracecheck -format prom
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dirsim/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	format := flag.String("format", "", "artifact format: ndjson, chrome or prom")
+	minEvents := flag.Int("min-events", 1, "minimum trace events required (ndjson/chrome)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 1 {
+		log.Fatal("at most one input file")
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+
+	var n int
+	var err error
+	switch *format {
+	case "ndjson":
+		n, err = checkNDJSON(in, *minEvents)
+	case "chrome":
+		n, err = checkChrome(in, *minEvents)
+	case "prom":
+		err = obs.LintPrometheus(in)
+	default:
+		log.Fatalf("unknown -format %q (want ndjson, chrome or prom)", *format)
+	}
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if *format == "prom" {
+		fmt.Printf("%s: valid prometheus exposition\n", name)
+		return
+	}
+	fmt.Printf("%s: valid %s trace, %d events\n", name, *format, n)
+}
+
+// track keys trace events by their Chrome-style coordinates.
+type track struct{ pid, tid int }
+
+// checkNDJSON validates one event object per line and the per-track
+// ordering contract the flight exporter guarantees.
+func checkNDJSON(r io.Reader, minEvents int) (int, error) {
+	type row struct {
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		Seq  *uint64 `json:"seq"`
+		Kind string  `json:"kind"`
+	}
+	last := map[track]uint64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rw row
+		if err := json.Unmarshal(sc.Bytes(), &rw); err != nil {
+			return n, fmt.Errorf("line %d: not a JSON object: %v", line, err)
+		}
+		if rw.Kind == "" {
+			return n, fmt.Errorf("line %d: missing kind", line)
+		}
+		if rw.Seq == nil {
+			return n, fmt.Errorf("line %d: missing seq", line)
+		}
+		k := track{rw.Pid, rw.Tid}
+		if prev, ok := last[k]; ok && *rw.Seq < prev {
+			return n, fmt.Errorf("line %d: seq %d < %d earlier on pid %d tid %d — events out of canonical order",
+				line, *rw.Seq, prev, rw.Pid, rw.Tid)
+		}
+		last[k] = *rw.Seq
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n < minEvents {
+		return n, fmt.Errorf("%d events, want at least %d", n, minEvents)
+	}
+	return n, nil
+}
+
+// checkChrome validates the trace-event JSON shape Perfetto expects and
+// the monotonic-timestamps-per-track property the exporter guarantees.
+func checkChrome(r io.Reader, minEvents int) (int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   *uint64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("not a trace-event JSON object: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("missing traceEvents array")
+	}
+	last := map[track]uint64{}
+	n := 0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return n, fmt.Errorf("event %d: missing name", i)
+		}
+		switch e.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "X", "i":
+		default:
+			return n, fmt.Errorf("event %d (%s): unexpected ph %q", i, e.Name, e.Ph)
+		}
+		if e.Ts == nil {
+			return n, fmt.Errorf("event %d (%s): missing ts", i, e.Name)
+		}
+		k := track{e.Pid, e.Tid}
+		if prev, ok := last[k]; ok && *e.Ts < prev {
+			return n, fmt.Errorf("event %d (%s): ts %d < %d earlier on pid %d tid %d — timestamps not monotonic per track",
+				i, e.Name, *e.Ts, prev, e.Pid, e.Tid)
+		}
+		last[k] = *e.Ts
+		n++
+	}
+	if n < minEvents {
+		return n, fmt.Errorf("%d events, want at least %d", n, minEvents)
+	}
+	return n, nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckNDJSON(t *testing.T) {
+	good := `{"pid":0,"tid":1,"seq":0,"kind":"instr","cache":0}
+{"pid":0,"tid":1,"seq":64,"kind":"rm-blk-cln","cache":1}
+{"pid":1,"tid":0,"seq":3,"kind":"span","phase":"decode"}
+`
+	n, err := checkNDJSON(strings.NewReader(good), 1)
+	if err != nil || n != 3 {
+		t.Fatalf("good trace: n=%d err=%v", n, err)
+	}
+
+	cases := map[string]string{
+		"missing kind":  `{"pid":0,"tid":0,"seq":1}`,
+		"missing seq":   `{"pid":0,"tid":0,"kind":"instr"}`,
+		"not JSON":      `nope`,
+		"seq regressed": "{\"pid\":0,\"tid\":0,\"seq\":9,\"kind\":\"a\"}\n{\"pid\":0,\"tid\":0,\"seq\":4,\"kind\":\"a\"}",
+	}
+	for name, in := range cases {
+		if _, err := checkNDJSON(strings.NewReader(in), 0); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Regressions on *different* tracks are legal: canonical order is per
+	// (pid, tid).
+	ok := "{\"pid\":0,\"tid\":0,\"seq\":9,\"kind\":\"a\"}\n{\"pid\":1,\"tid\":0,\"seq\":4,\"kind\":\"a\"}"
+	if _, err := checkNDJSON(strings.NewReader(ok), 2); err != nil {
+		t.Errorf("cross-track seq drop rejected: %v", err)
+	}
+	if _, err := checkNDJSON(strings.NewReader(good), 5); err == nil {
+		t.Error("min-events not enforced")
+	}
+}
+
+func TestCheckChrome(t *testing.T) {
+	good := `{"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"j"}},
+{"name":"decode","ph":"X","ts":0,"dur":64,"pid":0,"tid":0},
+{"name":"instr","ph":"i","ts":3,"pid":0,"tid":1,"s":"t"}
+],"displayTimeUnit":"ms"}`
+	n, err := checkChrome(strings.NewReader(good), 2)
+	if err != nil || n != 2 {
+		t.Fatalf("good trace: n=%d err=%v (metadata must not count)", n, err)
+	}
+
+	cases := map[string]string{
+		"no traceEvents": `{"foo":1}`,
+		"bad ph":         `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":0,"tid":0}]}`,
+		"missing name":   `{"traceEvents":[{"ph":"i","ts":0,"pid":0,"tid":0}]}`,
+		"missing ts":     `{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]}`,
+		"ts regressed": `{"traceEvents":[
+{"name":"a","ph":"i","ts":9,"pid":0,"tid":0},
+{"name":"b","ph":"i","ts":4,"pid":0,"tid":0}]}`,
+	}
+	for name, in := range cases {
+		if _, err := checkChrome(strings.NewReader(in), 0); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := checkChrome(strings.NewReader(good), 5); err == nil {
+		t.Error("min-events not enforced")
+	}
+}

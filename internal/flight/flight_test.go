@@ -1,0 +1,217 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dirsim/internal/events"
+)
+
+func TestRingWrapKeepsMostRecent(t *testing.T) {
+	rec := New(Options{Sample: 1, Capacity: 4})
+	ring := rec.NewRing()
+	for i := 0; i < 10; i++ {
+		ring.Emit(Event{Seq: uint64(i), Kind: KindInval})
+	}
+	if ring.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ring.Len())
+	}
+	if ring.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", ring.Dropped())
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest survivors first)", i, e.Seq, want)
+		}
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("recorder Dropped = %d, want 6", rec.Dropped())
+	}
+}
+
+func TestCapacityRoundsUpToPow2(t *testing.T) {
+	rec := New(Options{Sample: 1, Capacity: 5})
+	ring := rec.NewRing()
+	if len(ring.buf) != 8 {
+		t.Fatalf("capacity = %d, want 8", len(ring.buf))
+	}
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	rec := New(Options{Sample: 1, Capacity: 1024})
+	ring := rec.NewRing()
+	e := Event{Seq: 1, Block: 0xbeef, Track: 2, Cache: 1, Kind: KindBroadcast}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ring.Emit(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if New(Options{}).Enabled() {
+		t.Fatal("Sample=0, Spans=false recorder reports enabled")
+	}
+	if !New(Options{Sample: 8}).Enabled() || !New(Options{Spans: true}).Enabled() {
+		t.Fatal("recorder with sampling or spans reports disabled")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	if got := Kind(events.ReadMissClean).String(); got != "rm-blk-cln" {
+		t.Fatalf("classification kind = %q, want Table 4 mnemonic", got)
+	}
+	if got := KindPointerEviction.String(); got != "pointer-eviction" {
+		t.Fatalf("KindPointerEviction = %q", got)
+	}
+	if !KindSpan.IsSpan() || !KindMark.IsSpan() || KindInval.IsSpan() {
+		t.Fatal("IsSpan misclassifies kinds")
+	}
+}
+
+func TestEventsCanonicalOrder(t *testing.T) {
+	rec := New(Options{Sample: 1, Capacity: 16})
+	a, b := rec.NewRing(), rec.NewRing()
+	// Interleave emission across rings out of seq order.
+	b.Emit(Event{Seq: 5, Track: 1, Kind: KindInval})
+	a.Emit(Event{Seq: 2, Track: 0, Kind: KindBroadcast})
+	b.Emit(Event{Seq: 2, Track: 1, Kind: KindInval})
+	a.Emit(Event{Seq: 7, Track: 0, Kind: KindInval})
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		p, c := evs[i-1], evs[i]
+		if p.Seq > c.Seq || (p.Seq == c.Seq && p.Track > c.Track) {
+			t.Fatalf("events not in canonical (seq, track) order: %+v before %+v", p, c)
+		}
+	}
+}
+
+func TestSpanAndMarkRespectSpansFlag(t *testing.T) {
+	off := New(Options{Sample: 4})
+	off.Span(0, "report", 0, 100)
+	off.Mark(0, "done", 100)
+	if n := len(off.Events()); n != 0 {
+		t.Fatalf("spans disabled but %d events recorded", n)
+	}
+	on := New(Options{Spans: true})
+	tid := on.AddTrack("driver")
+	on.Span(tid, "report", 0, 100)
+	on.Mark(tid, "done", 100)
+	evs := on.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want span + mark", len(evs))
+	}
+	if evs[0].Kind != KindSpan || evs[0].Dur != 100 {
+		t.Fatalf("span event = %+v", evs[0])
+	}
+	if on.PhaseName(evs[0].Arg) != "report" {
+		t.Fatalf("span phase = %q, want report", on.PhaseName(evs[0].Arg))
+	}
+}
+
+func TestWriteNDJSONDeterministic(t *testing.T) {
+	build := func() *Recorder {
+		rec := New(Options{Sample: 1, Capacity: 16, Pid: 3, Label: "cell"})
+		rec.AddTrack("driver")
+		tid := rec.AddTrack("Dir0B")
+		ring := rec.NewRing()
+		ring.Emit(Event{Seq: 1, Track: tid, Cache: 2, Block: 0x40, Kind: Kind(events.WriteHitCleanShared)})
+		ring.Emit(Event{Seq: 1, Track: tid, Cache: 2, Block: 0x40, Kind: KindBroadcast, Arg: 1})
+		return rec
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteNDJSON(&b1, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&b2, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("NDJSON export is not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(b1.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", len(lines))
+	}
+	var row map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if row["kind"] != "wh-blk-cln-shared" || row["pid"] != float64(3) {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	rec := New(Options{Sample: 1, Spans: true, Capacity: 16, Pid: 0, Label: "run"})
+	drv := rec.AddTrack("driver")
+	eng := rec.AddTrack("Dragon")
+	ring := rec.NewRing()
+	ring.Emit(Event{Seq: 0, Track: drv, Cache: -1, Kind: KindSpan, Dur: 64, Arg: rec.PhaseID("decode")})
+	ring.Emit(Event{Seq: 3, Track: eng, Cache: 0, Block: 0x80, Kind: Kind(events.ReadMissDirty)})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint32         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var metas, spans, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+		case "X":
+			spans++
+			if e.Name != "decode" || e.Dur != 64 {
+				t.Fatalf("span = %+v", e)
+			}
+		case "i":
+			instants++
+			if e.Name != "rm-blk-drty" || e.Ts != 3 {
+				t.Fatalf("instant = %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", e.Ph)
+		}
+	}
+	// process_name + 2 thread_name rows.
+	if metas != 3 || spans != 1 || instants != 1 {
+		t.Fatalf("metas=%d spans=%d instants=%d", metas, spans, instants)
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	for path, want := range map[string]string{
+		"out.ndjson": "ndjson",
+		"out.jsonl":  "ndjson",
+		"out.json":   "chrome",
+		"trace":      "chrome",
+	} {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

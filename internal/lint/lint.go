@@ -23,7 +23,11 @@
 //   - service hygiene: every http.Server bounds header reads with
 //     ReadHeaderTimeout, and HTTP handlers never spawn goroutines that
 //     reference no context — detached work can observe neither client
-//     disconnect nor graceful shutdown.
+//     disconnect nor graceful shutdown;
+//   - observability hygiene: the flight recorder's Emit and the obs
+//     histograms' Observe/ObserveN hot paths (and their same-package
+//     callees) never allocate, keeping tracing within its overhead
+//     budget.
 //
 // Drive it with cmd/dirsimlint or embed it: Load packages, Run rules,
 // print Findings.
@@ -98,6 +102,7 @@ func DefaultRules() []Rule {
 		GoPoolRule{},
 		AtomicWriteRule{},
 		HTTPServerRule{},
+		ObsRingRule{},
 	}
 }
 

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObsRingRuleFlagsHotPathAllocation(t *testing.T) {
+	fire := `package fix
+type Event struct{ Seq uint64 }
+type Ring struct {
+	buf []Event
+	n   uint64
+	log []Event
+}
+func (r *Ring) Emit(e Event) {
+	r.log = append(r.log, e) // allocation: grows on the hot path
+	r.buf[r.n%uint64(len(r.buf))] = e
+	r.n++
+}
+`
+	fs := lintSrc(t, "dirsim/internal/flight", fire, nil, ObsRingRule{})
+	wantFindings(t, fs, ObsRingRule{}, 1)
+	if !strings.Contains(fs[0].Msg, "append") || !strings.Contains(fs[0].Msg, "Emit") {
+		t.Errorf("finding should name append and Emit, got %v", fs[0])
+	}
+}
+
+func TestObsRingRuleFollowsSamePackageCallees(t *testing.T) {
+	// Emit itself is clean, but a helper it calls allocates — the rule
+	// must walk the call graph.
+	fire := `package fix
+type Ring struct {
+	buf []uint64
+	n   uint64
+}
+func (r *Ring) grow() {
+	r.buf = make([]uint64, 2*len(r.buf))
+}
+func (r *Ring) Emit(v uint64) {
+	if r.n == uint64(len(r.buf)) {
+		r.grow()
+	}
+	r.buf[r.n%uint64(len(r.buf))] = v
+	r.n++
+}
+`
+	fs := lintSrc(t, "dirsim/internal/obs", fire, nil, ObsRingRule{})
+	wantFindings(t, fs, ObsRingRule{}, 1)
+	if !strings.Contains(fs[0].Msg, "grow") {
+		t.Errorf("finding should name the transitive callee grow, got %v", fs[0])
+	}
+}
+
+func TestObsRingRuleAllocationKinds(t *testing.T) {
+	fire := `package fix
+type row struct{ v uint64 }
+type H struct {
+	rows  []row
+	byKey map[string]uint64
+	hook  func()
+}
+func (h *H) Observe(v uint64) {
+	h.rows = []row{{v}}           // slice literal
+	h.byKey = map[string]uint64{} // map literal
+	p := &row{v}                  // &composite literal
+	_ = p
+	h.hook = func() {}            // closure
+	_ = new(row)                  // new
+}
+`
+	fs := lintSrc(t, "dirsim/internal/obs", fire, nil, ObsRingRule{})
+	wantFindings(t, fs, ObsRingRule{}, 5)
+}
+
+func TestObsRingRuleSilent(t *testing.T) {
+	// Cold-path allocation (setup, export) and hot paths that only store
+	// are fine; so is any code outside internal/flight and internal/obs.
+	clean := `package fix
+type Event struct{ Seq uint64 }
+type Ring struct {
+	buf []Event
+	n   uint64
+}
+func New(capacity int) *Ring {
+	return &Ring{buf: make([]Event, capacity)}
+}
+func (r *Ring) Emit(e Event) {
+	r.buf[r.n&uint64(len(r.buf)-1)] = e
+	r.n++
+}
+func (r *Ring) Events() []Event {
+	return append([]Event(nil), r.buf[:r.n]...)
+}
+`
+	wantFindings(t, lintSrc(t, "dirsim/internal/flight", clean, nil, ObsRingRule{}), ObsRingRule{}, 0)
+
+	alloc := `package fix
+type Ring struct{ log []uint64 }
+func (r *Ring) Emit(v uint64) { r.log = append(r.log, v) }
+`
+	// Same shape outside the guarded packages: silent.
+	wantFindings(t, lintSrc(t, "dirsim/internal/sim", alloc, nil, ObsRingRule{}), ObsRingRule{}, 0)
+	wantFindings(t, lintSrc(t, "dirsim/cmd/fix", alloc, nil, ObsRingRule{}), ObsRingRule{}, 0)
+}

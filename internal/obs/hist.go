@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync/atomic"
+)
+
+// Standard histogram names used across the orchestration layer. Keeping
+// them here means the CLIs, the runner and the daemon all label the same
+// distribution the same way.
+const (
+	// HistJobTicks is per-job latency measured in runner progress ticks
+	// (batches of simulated references — deterministic, not wall clock).
+	HistJobTicks = "job_ticks"
+	// HistQueueDepth is the daemon's pending-job queue depth sampled at
+	// each submission.
+	HistQueueDepth = "queue_depth"
+	// HistInvalBurst is the invalidations-per-write burst size folded
+	// from each result's invalidation-fanout histogram.
+	HistInvalBurst = "inval_burst"
+)
+
+// NumHistBuckets is the number of log2 buckets: bucket 0 holds the value
+// 0 and bucket i (1..64) holds values in [2^(i-1), 2^i).
+const NumHistBuckets = 65
+
+// Histogram is a log2-bucketed distribution with lock-free recording:
+// Observe is three atomic adds, cheap enough for per-job and per-batch
+// paths. Bucket boundaries are powers of two, which suits the quantities
+// tracked here (latencies in ticks, queue depths, invalidation bursts)
+// and makes bucketing a single bits.Len64.
+type Histogram struct {
+	buckets [NumHistBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) { h.ObserveN(v, 1) }
+
+// ObserveN records n equal observations of v in one shot — how callers
+// fold a pre-counted distribution (e.g. a fanout histogram) in without
+// per-sample cost.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(n)
+	h.sum.Add(v * n)
+	h.count.Add(n)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// merge folds a snapshot back into the histogram (bucket-wise atomic
+// adds), used by Metrics.Merge.
+func (h *Histogram) merge(s HistogramSnapshot) {
+	for i, n := range s.Buckets {
+		if n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.sum.Add(s.Sum)
+	h.count.Add(s.Count)
+}
+
+// HistogramSnapshot is a point-in-time copy of one named histogram.
+type HistogramSnapshot struct {
+	Name    string                 `json:"name"`
+	Count   uint64                 `json:"count"`
+	Sum     uint64                 `json:"sum"`
+	Buckets [NumHistBuckets]uint64 `json:"buckets"`
+}
+
+// BucketUpper returns bucket i's inclusive upper bound; the last bucket
+// is unbounded and reported as the +Inf bucket in expositions.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Histogram returns the named histogram, creating it on first use. The
+// same name always returns the same histogram, so concurrent first
+// lookups of a brand-new name never drop observations.
+func (m *Metrics) Histogram(name string) *Histogram {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	if m.hists == nil {
+		m.hists = map[string]*Histogram{}
+	}
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// histSnapshots copies every registered histogram, sorted by name.
+func (m *Metrics) histSnapshots() []HistogramSnapshot {
+	m.hmu.Lock()
+	names := make([]string, 0, len(m.hists))
+	for name := range m.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hists := make([]*Histogram, 0, len(names))
+	for _, name := range names {
+		hists = append(hists, m.hists[name])
+	}
+	m.hmu.Unlock()
+	out := make([]HistogramSnapshot, len(hists))
+	for i, h := range hists {
+		out[i] = h.Snapshot()
+		out[i].Name = names[i]
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)        // bucket 0
+	h.Observe(1)        // bucket 1
+	h.Observe(2)        // bucket 2
+	h.Observe(3)        // bucket 2
+	h.Observe(4)        // bucket 3
+	h.ObserveN(1024, 5) // bucket 11
+	s := h.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("Count = %d, want 10", s.Count)
+	}
+	if want := uint64(0 + 1 + 2 + 3 + 4 + 5*1024); s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+	for i, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 11: 5} {
+		if s.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], want)
+		}
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(3) != 7 || BucketUpper(11) != 2047 {
+		t.Fatal("BucketUpper boundaries wrong")
+	}
+}
+
+func TestHistogramObserveNZero(t *testing.T) {
+	var h Histogram
+	h.ObserveN(7, 0)
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("ObserveN(_, 0) recorded something: %+v", s)
+	}
+}
+
+func TestMetricsHistogramRegistryAndMerge(t *testing.T) {
+	m := NewMetrics()
+	m.Histogram(HistJobTicks).Observe(5)
+	m.Histogram(HistQueueDepth).Observe(2)
+	if m.Histogram(HistJobTicks) != m.Histogram(HistJobTicks) {
+		t.Fatal("same name returned different histograms")
+	}
+	s := m.Snapshot()
+	if len(s.Histograms) != 2 {
+		t.Fatalf("snapshot has %d histograms, want 2", len(s.Histograms))
+	}
+	// Name-sorted: inval... would sort before, but here job_ticks < queue_depth.
+	if s.Histograms[0].Name != HistJobTicks || s.Histograms[1].Name != HistQueueDepth {
+		t.Fatalf("histogram order = %s, %s", s.Histograms[0].Name, s.Histograms[1].Name)
+	}
+	other := NewMetrics()
+	other.Merge(s)
+	other.Histogram(HistJobTicks).Observe(5)
+	got := other.Snapshot()
+	if got.Histograms[0].Count != 2 || got.Histograms[0].Sum != 10 {
+		t.Fatalf("merged histogram = %+v", got.Histograms[0])
+	}
+}
+
+// TestHistogramConcurrentFirstLookup is the histogram registry's
+// equivalent of the engine-tally race contract: concurrent first lookups
+// of a brand-new name must converge on one histogram and drop nothing.
+func TestHistogramConcurrentFirstLookup(t *testing.T) {
+	m := NewMetrics()
+	const workers = 8
+	const perWorker = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Histogram(fmt.Sprintf("h%d", i)).Observe(1)
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if len(s.Histograms) != perWorker {
+		t.Fatalf("%d histograms registered, want %d", len(s.Histograms), perWorker)
+	}
+	for _, h := range s.Histograms {
+		if h.Count != workers {
+			t.Fatalf("%s count = %d, want %d (observations dropped)", h.Name, h.Count, workers)
+		}
+	}
+}
+
+// TestSnapshotDuringAddEngineNewNames is the targeted regression for the
+// engine-tally map: Snapshot running concurrently with AddEngine on
+// brand-new engine names must neither race (run under -race) nor drop a
+// tally once AddEngine has returned.
+func TestSnapshotDuringAddEngineNewNames(t *testing.T) {
+	m := NewMetrics()
+	const adders = 4
+	const namesPerAdder = 200
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.Snapshot()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < namesPerAdder; i++ {
+				// Every call introduces a brand-new scheme name.
+				m.AddEngine(fmt.Sprintf("scheme-%d-%d", a, i), EngineTally{Refs: 1, Transactions: 1, BusOps: 1})
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+	s := m.Snapshot()
+	if len(s.Engines) != adders*namesPerAdder {
+		t.Fatalf("%d engine tallies, want %d (tallies dropped)", len(s.Engines), adders*namesPerAdder)
+	}
+	for _, e := range s.Engines {
+		if e.Refs != 1 {
+			t.Fatalf("%s refs = %d, want 1", e.Scheme, e.Refs)
+		}
+	}
+}
+
+func TestWritePrometheusLintsClean(t *testing.T) {
+	m := NewMetrics()
+	m.AddRefs(1234)
+	m.AddJobs(3)
+	m.JobDone()
+	m.AddEngine("Dir1B", EngineTally{Refs: 100, Transactions: 40, BusOps: 55})
+	m.AddEngine("WTI", EngineTally{Refs: 100, Transactions: 60, BusOps: 80})
+	m.Histogram(HistJobTicks).Observe(17)
+	m.Histogram(HistInvalBurst).ObserveN(3, 9)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"dirsim_refs_total 1234",
+		`dirsim_engine_refs_total{scheme="Dir1B"} 100`,
+		`dirsim_inval_burst_bucket{le="+Inf"} 9`,
+		"dirsim_inval_burst_sum 27",
+		"dirsim_job_ticks_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Determinism: same snapshot, same bytes.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("exposition is not deterministic")
+	}
+}
+
+func TestLintPrometheusCatchesBreakage(t *testing.T) {
+	cases := map[string]string{
+		"no samples":       "# HELP a b\n# TYPE a counter\n",
+		"sample sans TYPE": "foo_total 3\n",
+		"malformed line":   "# TYPE x counter\nx{ 3\n",
+		"bad type":         "# TYPE x countr\nx 3\n",
+		"hist no inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 2\nh_count 2\n",
+		"hist decreasing":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 2\nh_count 3\n",
+		"hist no sum":      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+	}
+	for name, in := range cases {
+		if err := LintPrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", name)
+		}
+	}
+	valid := "# HELP ok fine\n# TYPE ok gauge\nok 1\nok{a=\"b\"} 2\n"
+	if err := LintPrometheus(strings.NewReader(valid)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}

@@ -31,6 +31,9 @@ type Metrics struct {
 
 	mu      sync.Mutex
 	engines map[string]*EngineTally
+
+	hmu   sync.Mutex
+	hists map[string]*Histogram
 }
 
 // EngineTally accumulates one scheme's work across all jobs of a run.
@@ -96,13 +99,14 @@ func (m *Metrics) AddEngine(scheme string, t EngineTally) {
 // Snapshot is a point-in-time copy of the counters, ready to render or
 // marshal. Engines are sorted by scheme name so output is deterministic.
 type Snapshot struct {
-	Refs      uint64           `json:"refs"`
-	JobsDone  uint64           `json:"jobs_done"`
-	JobsTotal uint64           `json:"jobs_total"`
-	Retries   uint64           `json:"retries"`
-	Failures  uint64           `json:"failures"`
-	Panics    uint64           `json:"panics"`
-	Engines   []EngineSnapshot `json:"engines,omitempty"`
+	Refs       uint64              `json:"refs"`
+	JobsDone   uint64              `json:"jobs_done"`
+	JobsTotal  uint64              `json:"jobs_total"`
+	Retries    uint64              `json:"retries"`
+	Failures   uint64              `json:"failures"`
+	Panics     uint64              `json:"panics"`
+	Engines    []EngineSnapshot    `json:"engines,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // EngineSnapshot is one scheme's tally inside a Snapshot.
@@ -124,6 +128,9 @@ func (m *Metrics) Merge(s Snapshot) {
 	for _, e := range s.Engines {
 		m.AddEngine(e.Scheme, e.EngineTally)
 	}
+	for _, h := range s.Histograms {
+		m.Histogram(h.Name).merge(h)
+	}
 }
 
 // Snapshot copies the current counter values.
@@ -137,11 +144,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		Panics:    m.panics.Load(),
 	}
 	m.mu.Lock()
+	if len(m.engines) > 0 {
+		s.Engines = make([]EngineSnapshot, 0, len(m.engines))
+	}
 	for name, t := range m.engines {
 		s.Engines = append(s.Engines, EngineSnapshot{Scheme: name, EngineTally: *t})
 	}
 	m.mu.Unlock()
 	sort.Slice(s.Engines, func(i, j int) bool { return s.Engines[i].Scheme < s.Engines[j].Scheme })
+	s.Histograms = m.histSnapshots()
 	return s
 }
 

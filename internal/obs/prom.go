@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of a Snapshot, plus
+// a minimal validator for it. All metric names carry the dirsim_ prefix;
+// histograms render as the standard cumulative-bucket triplet
+// (_bucket{le=...}, _sum, _count) with log2 upper bounds.
+
+// promCounter writes one un-labelled counter with HELP and TYPE lines.
+func promCounter(w io.Writer, name, help string, v uint64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Output is a deterministic function of the snapshot: engines
+// and histograms are already name-sorted, and empty log2 buckets are
+// elided (cumulative values make that lossless; +Inf is always present).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	type counter struct {
+		name, help string
+		v          uint64
+	}
+	for _, c := range []counter{
+		{"dirsim_refs_total", "Simulated references processed.", s.Refs},
+		{"dirsim_jobs_done_total", "Jobs completed.", s.JobsDone},
+		{"dirsim_jobs_submitted_total", "Jobs submitted.", s.JobsTotal},
+		{"dirsim_job_retries_total", "Transient job failures retried.", s.Retries},
+		{"dirsim_job_failures_total", "Jobs failed after exhausting retries.", s.Failures},
+		{"dirsim_job_panics_total", "Panics recovered into job errors.", s.Panics},
+	} {
+		if err := promCounter(w, c.name, c.help, c.v); err != nil {
+			return err
+		}
+	}
+	if len(s.Engines) > 0 {
+		type labelled struct {
+			name, help string
+			v          func(EngineSnapshot) uint64
+		}
+		for _, l := range []labelled{
+			{"dirsim_engine_refs_total", "References processed per scheme.", func(e EngineSnapshot) uint64 { return e.Refs }},
+			{"dirsim_engine_transactions_total", "Bus transactions per scheme.", func(e EngineSnapshot) uint64 { return e.Transactions }},
+			{"dirsim_engine_bus_ops_total", "Bus operations per scheme.", func(e EngineSnapshot) uint64 { return e.BusOps }},
+		} {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", l.name, l.help, l.name); err != nil {
+				return err
+			}
+			for _, e := range s.Engines {
+				if _, err := fmt.Fprintf(w, "%s{scheme=%q} %d\n", l.name, e.Scheme, l.v(e)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, h := range s.Histograms {
+		name := "dirsim_" + h.Name
+		if _, err := fmt.Fprintf(w, "# HELP %s Log2-bucketed distribution of %s.\n# TYPE %s histogram\n", name, h.Name, name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range h.Buckets {
+			cum += n
+			if n == 0 || i == len(h.Buckets)-1 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.Count, name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleRe matches one exposition sample line: a metric name, an
+// optional label set, and a value.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?|[+-]Inf|NaN)$`)
+
+// LintPrometheus is a minimal validator for the text exposition format —
+// enough for the promscrape smoke to catch real breakage: every
+// non-comment line must parse as a sample, every sample's family must
+// have a preceding TYPE, histogram families must end with a +Inf bucket
+// and carry _sum and _count, and cumulative bucket counts must be
+// non-decreasing.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	types := map[string]string{}
+	type histState struct {
+		lastCum  uint64
+		sawInf   bool
+		sawSum   bool
+		sawCount bool
+	}
+	hists := map[string]*histState{}
+	family := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	line := 0
+	samples := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE wants name and kind: %q", line, text)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", line, fields[3])
+				}
+				types[fields[2]] = fields[3]
+				if fields[3] == "histogram" {
+					hists[fields[2]] = &histState{}
+				}
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(text)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		samples++
+		name := m[1]
+		fam := family(name)
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", line, name)
+		}
+		if h, ok := hists[fam]; ok {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le := labelValue(m[2], "le")
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", line)
+				}
+				cum, err := strconv.ParseUint(m[3], 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bucket count %q: %v", line, m[3], err)
+				}
+				if cum < h.lastCum {
+					return fmt.Errorf("line %d: cumulative bucket count decreased (%d after %d)", line, cum, h.lastCum)
+				}
+				h.lastCum = cum
+				if le == "+Inf" {
+					h.sawInf = true
+				}
+			case strings.HasSuffix(name, "_sum"):
+				h.sawSum = true
+			case strings.HasSuffix(name, "_count"):
+				h.sawCount = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for name, h := range hists {
+		if !h.sawInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", name)
+		}
+		if !h.sawSum || !h.sawCount {
+			return fmt.Errorf("histogram %s is missing _sum or _count", name)
+		}
+	}
+	return nil
+}
+
+// labelValue extracts one label's unquoted value from a {k="v",...}
+// label set (empty when absent).
+func labelValue(labels, key string) string {
+	labels = strings.Trim(labels, "{}")
+	for _, kv := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k != key {
+			continue
+		}
+		if u, err := strconv.Unquote(v); err == nil {
+			return u
+		}
+	}
+	return ""
+}

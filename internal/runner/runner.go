@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dirsim/internal/coherence"
+	"dirsim/internal/flight"
 	"dirsim/internal/obs"
 	"dirsim/internal/sim"
 	"dirsim/internal/trace"
@@ -91,6 +92,13 @@ type Options struct {
 	// deterministically — fault-injection campaigns and retry tests wrap
 	// errors with Transient so the retry path is exercised end to end.
 	TransientFault func(index, attempt int) error
+	// TraceFor, when non-nil, is consulted at the start of each attempt
+	// with (job index, attempt) and may return a flight recorder for the
+	// attempt's simulation to record into (nil leaves the attempt
+	// untraced). Each attempt should get its own recorder — a retried
+	// attempt replays the trace from the start, so reusing one would mix
+	// two attempts' events. The recorder overrides Job.Opts.Recorder.
+	TraceFor func(index, attempt int) *flight.Recorder
 }
 
 // Run executes the jobs on a bounded worker pool and returns one result
@@ -251,6 +259,12 @@ func runAttempt(ctx context.Context, index, attempt int, j Job, opts Options) (r
 		rd = &guardedReader{ctx: attemptCtx, rd: rd}
 	}
 	simOpts := j.Opts
+	if opts.TraceFor != nil {
+		simOpts.Recorder = opts.TraceFor(index, attempt)
+	}
+	// ticks counts this attempt's progress callbacks — the job's latency
+	// in reference batches, a deterministic stand-in for wall clock.
+	var ticks uint64
 	if opts.Metrics != nil || opts.Progress != nil || watchdog != nil {
 		prev := simOpts.OnProgress
 		stall := opts.StallTimeout
@@ -258,6 +272,7 @@ func runAttempt(ctx context.Context, index, attempt int, j Job, opts Options) (r
 			if prev != nil {
 				prev(n)
 			}
+			ticks++
 			if watchdog != nil {
 				watchdog.Reset(stall)
 			}
@@ -280,6 +295,7 @@ func runAttempt(ctx context.Context, index, attempt int, j Job, opts Options) (r
 		return nil, err
 	}
 	if opts.Metrics != nil {
+		burst := opts.Metrics.Histogram(obs.HistInvalBurst)
 		for _, r := range rs {
 			var ops uint64
 			for _, n := range r.Stats.Ops {
@@ -290,7 +306,14 @@ func runAttempt(ctx context.Context, index, attempt int, j Job, opts Options) (r
 				Transactions: r.Stats.Transactions,
 				BusOps:       ops,
 			})
+			// Fold the Figure 1 fanout histogram into the run-wide
+			// invalidations-per-write burst distribution: exact counts,
+			// no per-reference cost.
+			for fanout, n := range r.Stats.InvalFanout.Counts {
+				burst.ObserveN(uint64(fanout), n)
+			}
 		}
+		opts.Metrics.Histogram(obs.HistJobTicks).Observe(ticks)
 		opts.Metrics.JobDone()
 		if opts.Progress != nil {
 			opts.Progress()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"sync"
 
+	"dirsim/internal/flight"
 	"dirsim/internal/obs"
 	"dirsim/internal/spec"
 )
@@ -67,6 +68,11 @@ type job struct {
 	watchers int
 	detached bool          // true: survives losing all watchers
 	done     chan struct{} // closed on any terminal status
+
+	// recorders holds one flight recorder per cell when the daemon runs
+	// with tracing on. Rings are written by the runner's workers, so the
+	// trace endpoint serves them only after the job is terminal.
+	recorders []*flight.Recorder
 }
 
 func newJob(ctx context.Context, id string, req spec.Request, cells []spec.Cell) *job {
@@ -191,6 +197,35 @@ func (j *job) detach() {
 	j.mu.Lock()
 	j.detached = true
 	j.mu.Unlock()
+}
+
+// setRecorder stores cell i's flight recorder. A retried attempt calls
+// again with a fresh recorder, so the stored trace is always the
+// attempt that produced the job's results.
+func (j *job) setRecorder(i, cells int, rec *flight.Recorder) {
+	j.mu.Lock()
+	if j.recorders == nil {
+		j.recorders = make([]*flight.Recorder, cells)
+	}
+	j.recorders[i] = rec
+	j.mu.Unlock()
+}
+
+// traceRecorders returns the job's recorders once it is terminal, in
+// cell order (nils elided). ok is false while the job still runs — the
+// rings are single-writer and must not be read mid-run.
+func (j *job) traceRecorders() (recs []*flight.Recorder, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.terminalLocked() {
+		return nil, false
+	}
+	for _, r := range j.recorders {
+		if r != nil {
+			recs = append(recs, r)
+		}
+	}
+	return recs, true
 }
 
 // progressEvent folds the job's metric snapshot into a progress row.

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"dirsim/internal/coherence"
+	"dirsim/internal/flight"
 	"dirsim/internal/obs"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
@@ -84,6 +85,13 @@ type Config struct {
 	// Metrics, when non-nil, is the server-wide counter set /metrics
 	// serves; nil allocates a fresh one.
 	Metrics *obs.Metrics
+
+	// TraceSample, when positive, records a flight trace for every
+	// executed job (one recorder per cell, sampling every TraceSample-th
+	// reference, with phase spans), served by GET /v1/jobs/{id}/trace.
+	// Zero disables per-job tracing. Traces are kept in memory only —
+	// cache-restored jobs have none.
+	TraceSample int
 }
 
 // Server is the daemon: an HTTP handler plus the execution pipeline
@@ -214,6 +222,7 @@ func (s *Server) runJob(j *job) {
 	ropts := runner.Options{
 		Workers:      s.cfg.Workers,
 		Metrics:      j.metrics,
+		TraceFor:     s.traceFor(j, jobs),
 		JobTimeout:   s.cfg.JobTimeout,
 		StallTimeout: s.cfg.StallTimeout,
 		Retry: runner.RetryPolicy{
@@ -254,6 +263,25 @@ func (s *Server) runJob(j *job) {
 	j.finish(statusDone, doc, "")
 }
 
+// traceFor returns the runner trace hook for one job: a fresh recorder
+// per cell attempt, pid keyed to the cell ordinal, registered on the job
+// for the trace endpoint. Nil when the daemon runs untraced.
+func (s *Server) traceFor(j *job, jobs []runner.Job) func(index, attempt int) *flight.Recorder {
+	if s.cfg.TraceSample <= 0 {
+		return nil
+	}
+	return func(index, attempt int) *flight.Recorder {
+		rec := flight.New(flight.Options{
+			Sample: s.cfg.TraceSample,
+			Spans:  true,
+			Pid:    index,
+			Label:  jobs[index].Label,
+		})
+		j.setRecorder(index, len(jobs), rec)
+		return rec
+	}
+}
+
 // buildResultDoc marshals the completed-job document exactly once; these
 // bytes are what the cache stores and every response serves.
 func buildResultDoc(j *job, results [][]sim.Result) ([]byte, error) {
@@ -287,6 +315,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -350,6 +379,7 @@ func (s *Server) submit(req spec.Request) (*job, int, error) {
 		j.cancel(errors.New("server: queue full"))
 		return nil, http.StatusTooManyRequests, fmt.Errorf("server: job queue full (%d)", s.cfg.QueueDepth)
 	}
+	s.metrics.Histogram(obs.HistQueueDepth).Observe(uint64(len(s.queue)))
 	s.jobs[hash] = j
 	return j, http.StatusAccepted, nil
 }
@@ -505,9 +535,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics is GET /metrics: the server-wide obs snapshot as JSON.
+// handleMetrics is GET /metrics: the server-wide obs snapshot as JSON,
+// or the Prometheus text exposition with ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := obs.WritePrometheus(w, s.metrics.Snapshot()); err != nil {
+			return // mid-stream failure: the client sees a truncated body
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// handleTrace is GET /v1/jobs/{id}/trace: the job's flight trace as
+// Chrome trace-event JSON (default, Perfetto-loadable) or NDJSON with
+// ?format=ndjson. Traces exist only for jobs the daemon itself executed
+// with tracing enabled (404 otherwise) and only once the job is terminal
+// — the rings are single-writer, so a running job answers 409.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	recs, ok := j.traceRecorders()
+	if !ok {
+		httpError(w, http.StatusConflict, "job still running; trace is served once the job is terminal")
+		return
+	}
+	if len(recs) == 0 {
+		httpError(w, http.StatusNotFound, "no trace for this job (daemon tracing off, or result restored from cache)")
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flight.WriteNDJSON(w, recs...)
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		flight.WriteChromeTrace(w, recs...)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown trace format %q", r.URL.Query().Get("format"))
+	}
 }
 
 // terminal reports whether the job reached a terminal state.

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dirsim/internal/obs"
+)
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// TestMetricsPrometheusFormat: /metrics?format=prometheus serves the
+// text exposition, it passes the in-repo linter, and the plain JSON form
+// is unchanged.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, body := postWait(t, ts, cellBody(t, 2_000, 1))
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+
+	code, ctype, text := get(t, ts, "/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("prometheus metrics: %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content type = %q", ctype)
+	}
+	if err := obs.LintPrometheus(strings.NewReader(string(text))); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{"dirsim_refs_total", "dirsim_jobs_done_total 1", "dirsim_engine_refs_total{scheme=\"Dir1NB\"}", "dirsim_job_ticks_bucket", "dirsim_queue_depth_count"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+
+	code, ctype, jsonBody := get(t, ts, "/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("json metrics: %d %q", code, ctype)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(jsonBody, &snap); err != nil {
+		t.Fatalf("json metrics not a snapshot: %v", err)
+	}
+	if snap.JobsDone != 1 {
+		t.Fatalf("jobs done = %d", snap.JobsDone)
+	}
+}
+
+// TestJobTraceEndpoint: a traced daemon serves a Perfetto-loadable
+// Chrome trace and an NDJSON form for finished jobs; byte-identical on
+// re-read, 404 for untraced daemons.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{TraceSample: 8})
+	code, body := postWait(t, ts, cellBody(t, 4_000, 2))
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || doc.ID == "" {
+		t.Fatalf("result doc: %v (%s)", err, body)
+	}
+
+	code, ctype, chrome := get(t, ts, "/v1/jobs/"+doc.ID+"/trace")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("trace: %d %q %s", code, ctype, chrome)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &tr); err != nil {
+		t.Fatalf("trace is not valid chrome JSON: %v", err)
+	}
+	var instants int
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "i" {
+			instants++
+		}
+	}
+	if instants == 0 {
+		t.Fatal("trace has no sampled protocol events")
+	}
+
+	// Deterministic bytes on re-read.
+	_, _, again := get(t, ts, "/v1/jobs/"+doc.ID+"/trace")
+	if string(chrome) != string(again) {
+		t.Fatal("trace bytes differ between reads")
+	}
+
+	code, ctype, nd := get(t, ts, "/v1/jobs/"+doc.ID+"/trace?format=ndjson")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/x-ndjson") {
+		t.Fatalf("ndjson trace: %d %q", code, ctype)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(nd)), "\n") {
+		var row map[string]any
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+	}
+
+	if code, _, _ = get(t, ts, "/v1/jobs/"+doc.ID+"/trace?format=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bogus format: %d, want 400", code)
+	}
+	if code, _, _ = get(t, ts, "/v1/jobs/nope/trace"); code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", code)
+	}
+}
+
+// TestJobTraceAbsentWhenTracingOff: with tracing disabled the endpoint
+// answers 404 for finished jobs rather than an empty trace.
+func TestJobTraceAbsentWhenTracingOff(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, body := postWait(t, ts, cellBody(t, 2_000, 3))
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := get(t, ts, "/v1/jobs/"+doc.ID+"/trace"); code != http.StatusNotFound {
+		t.Fatalf("untraced job trace: %d, want 404", code)
+	}
+}

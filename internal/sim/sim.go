@@ -23,6 +23,7 @@ import (
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
 	"dirsim/internal/events"
+	"dirsim/internal/flight"
 	"dirsim/internal/trace"
 )
 
@@ -69,6 +70,10 @@ type Options struct {
 	// decoded since the previous call, at batch granularity, from the
 	// goroutine that called Run. It must be fast.
 	OnProgress func(n int)
+	// Recorder, when non-nil and enabled, captures sampled protocol
+	// events and run-phase spans into flight rings. It is a pure
+	// observer: engine Stats are bitwise identical with and without it.
+	Recorder *flight.Recorder
 }
 
 func (o Options) blockBytes() int {
@@ -275,6 +280,139 @@ func applyBatch(batch []decodedRef, engines []coherence.Engine, warmup, processe
 	return processed
 }
 
+// runTrace holds the per-run flight-recorder wiring: the sampling
+// interval, the driver track, and one track per engine (aligned with the
+// engine slice, so workers index it with the same lo:hi bounds they use
+// for their engine group). Phase ids are interned up front so the hot
+// path never touches the recorder's name tables.
+type runTrace struct {
+	rec      *flight.Recorder
+	sample   uint64
+	spans    bool
+	driver   uint16
+	tracks   []uint16
+	decodeID uint32
+	simID    uint32
+	fanoutID uint32
+}
+
+// newRunTrace registers the run's tracks and phases on rec. It returns
+// nil when the recorder captures nothing, which keeps every traced code
+// path behind one nil check.
+func newRunTrace(rec *flight.Recorder, engines []coherence.Engine) *runTrace {
+	if !rec.Enabled() {
+		return nil
+	}
+	tr := &runTrace{
+		rec:    rec,
+		sample: uint64(rec.SampleEvery()),
+		spans:  rec.SpansEnabled(),
+		driver: rec.AddTrack("driver"),
+		tracks: make([]uint16, len(engines)),
+	}
+	for i, e := range engines {
+		tr.tracks[i] = rec.AddTrack(e.Name())
+	}
+	tr.decodeID = rec.PhaseID("decode")
+	tr.simID = rec.PhaseID("simulate")
+	tr.fanoutID = rec.PhaseID("fan-out")
+	return tr
+}
+
+// spanDur clamps a reference count to the Event.Dur field width.
+func spanDur(n uint64) uint32 {
+	if n > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(n)
+}
+
+// applyBatchTraced is applyBatch with the flight recorder attached:
+// every tr.sample-th reference (by global reference ordinal, so the
+// choice is deterministic) has its Table 4 classification recorded on
+// each engine's track, plus any directory protocol actions the access
+// triggered — derived by diffing the engine's own Stats counters around
+// the call, so the engines themselves are untouched and their tallies
+// provably unchanged. tracks is tr.tracks sliced to this engine group;
+// ring is this worker's single-writer buffer.
+func applyBatchTraced(batch []decodedRef, engines []coherence.Engine, tracks []uint16, tr *runTrace, ring *flight.Ring, warmup, processed int) int {
+	if tr == nil {
+		return applyBatch(batch, engines, warmup, processed)
+	}
+	start := uint64(processed)
+	// One division per batch instead of a modulo per reference: sampled
+	// ordinals are the multiples of tr.sample, so the loop below runs
+	// applyBatch's plain inner loop over the stretches between them and
+	// pays the recording cost only at the sample points themselves.
+	nextSample := ^uint64(0)
+	if tr.sample > 0 {
+		nextSample = (start + tr.sample - 1) / tr.sample * tr.sample
+	}
+	for i := 0; i < len(batch); {
+		seq := uint64(processed)
+		if seq == nextSample {
+			nextSample += tr.sample
+			r := batch[i]
+			for ei, e := range engines {
+				st := e.Stats()
+				di := st.DirectedInvals
+				bi := st.BroadcastInvals
+				pe := st.PointerEvictions
+				de := st.DirEntryEvictions
+				typ := e.Access(r.cache, r.kind, r.block, r.first)
+				ring.Emit(flight.Event{Seq: seq, Block: r.block, Track: tracks[ei], Cache: int16(r.cache), Kind: flight.Kind(typ)})
+				if n := st.DirectedInvals - di; n > 0 {
+					ring.Emit(flight.Event{Seq: seq, Block: r.block, Arg: uint32(n), Track: tracks[ei], Cache: int16(r.cache), Kind: flight.KindInval})
+				}
+				if n := st.BroadcastInvals - bi; n > 0 {
+					ring.Emit(flight.Event{Seq: seq, Block: r.block, Arg: uint32(n), Track: tracks[ei], Cache: int16(r.cache), Kind: flight.KindBroadcast})
+				}
+				if n := st.PointerEvictions - pe; n > 0 {
+					ring.Emit(flight.Event{Seq: seq, Block: r.block, Arg: uint32(n), Track: tracks[ei], Cache: int16(r.cache), Kind: flight.KindPointerEviction})
+				}
+				if n := st.DirEntryEvictions - de; n > 0 {
+					ring.Emit(flight.Event{Seq: seq, Block: r.block, Arg: uint32(n), Track: tracks[ei], Cache: int16(r.cache), Kind: flight.KindDirOverflow})
+				}
+			}
+			processed++
+			i++
+			if processed == warmup {
+				for _, e := range engines {
+					e.ResetStats()
+				}
+			}
+			continue
+		}
+		// Plain stretch: up to the next sample point, the warm-up
+		// boundary or the end of the batch, exactly applyBatch's loop.
+		end := len(batch)
+		if nextSample != ^uint64(0) && uint64(end-i) > nextSample-seq {
+			end = i + int(nextSample-seq)
+		}
+		if warmup > processed && warmup-processed < end-i {
+			end = i + (warmup - processed)
+		}
+		for _, r := range batch[i:end] {
+			for _, e := range engines {
+				e.Access(r.cache, r.kind, r.block, r.first)
+			}
+		}
+		processed += end - i
+		i = end
+		if processed == warmup {
+			for _, e := range engines {
+				e.ResetStats()
+			}
+		}
+	}
+	if tr.spans && len(batch) > 0 {
+		for _, t := range tracks {
+			ring.Emit(flight.Event{Seq: start, Dur: spanDur(uint64(len(batch))), Track: t, Cache: -1, Kind: flight.KindSpan, Arg: tr.simID})
+		}
+	}
+	return processed
+}
+
 // Run streams rd through every engine and returns one Result per engine,
 // in order. All engines must have the same cache count, and the trace
 // must fit within it. The context cancels the run between batches; with
@@ -295,11 +433,12 @@ func Run(ctx context.Context, rd trace.Reader, engines []coherence.Engine, opts 
 		}
 	}
 	d := newDecoder(rd, caches, opts)
+	tr := newRunTrace(opts.Recorder, engines)
 	var err error
 	if opts.workers(len(engines)) > 1 {
-		err = runParallel(ctx, d, engines, opts)
+		err = runParallel(ctx, d, engines, opts, tr)
 	} else {
-		err = runSequential(ctx, d, engines, opts)
+		err = runSequential(ctx, d, engines, opts, tr)
 	}
 	if err != nil {
 		return nil, err
@@ -316,7 +455,13 @@ func Run(ctx context.Context, rd trace.Reader, engines []coherence.Engine, opts 
 
 // runSequential is the classic driver: decode a batch, feed every engine
 // in lockstep, repeat.
-func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options) error {
+func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options, tr *runTrace) error {
+	var ring *flight.Ring
+	var tracks []uint16
+	if tr != nil {
+		ring = tr.rec.NewRing()
+		tracks = tr.tracks
+	}
 	buf := make([]decodedRef, 0, batchRefs)
 	processed := 0
 	for {
@@ -327,7 +472,10 @@ func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, 
 		if err != nil && err != io.EOF {
 			return err
 		}
-		processed = applyBatch(batch, engines, opts.WarmupRefs, processed)
+		if tr != nil && tr.spans && len(batch) > 0 {
+			ring.Emit(flight.Event{Seq: uint64(processed), Dur: spanDur(uint64(len(batch))), Track: tr.driver, Cache: -1, Kind: flight.KindSpan, Arg: tr.decodeID})
+		}
+		processed = applyBatchTraced(batch, engines, tracks, tr, ring, opts.WarmupRefs, processed)
 		if opts.OnProgress != nil && len(batch) > 0 {
 			opts.OnProgress(len(batch))
 		}
@@ -349,9 +497,13 @@ func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, 
 // Batches arrive on every worker's channel in decode order, so each
 // engine processes the full stream in order and accumulates exactly the
 // same Stats as under runSequential.
-func runParallel(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options) error {
+func runParallel(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options, tr *runTrace) error {
 	workers := opts.workers(len(engines))
 	chans := make([]chan []decodedRef, workers)
+	var drvRing *flight.Ring
+	if tr != nil {
+		drvRing = tr.rec.NewRing()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		// Contiguous engine groups: the first len%workers groups take one
@@ -360,14 +512,21 @@ func runParallel(ctx context.Context, d *decoder, engines []coherence.Engine, op
 		hi := (w + 1) * len(engines) / workers
 		ch := make(chan []decodedRef, 4)
 		chans[w] = ch
+		var ring *flight.Ring
+		var tracks []uint16
+		if tr != nil {
+			// One ring per worker keeps emission single-writer.
+			ring = tr.rec.NewRing()
+			tracks = tr.tracks[lo:hi]
+		}
 		wg.Add(1)
-		go func(group []coherence.Engine) {
+		go func(group []coherence.Engine, tracks []uint16, ring *flight.Ring) {
 			defer wg.Done()
 			processed := 0
 			for batch := range ch {
-				processed = applyBatch(batch, group, opts.WarmupRefs, processed)
+				processed = applyBatchTraced(batch, group, tracks, tr, ring, opts.WarmupRefs, processed)
 			}
-		}(engines[lo:hi])
+		}(engines[lo:hi], tracks, ring)
 	}
 	var err error
 	total := 0
@@ -385,6 +544,9 @@ decode:
 			break
 		}
 		if len(batch) > 0 {
+			if tr != nil && tr.spans {
+				drvRing.Emit(flight.Event{Seq: uint64(total), Dur: spanDur(uint64(len(batch))), Track: tr.driver, Cache: -1, Kind: flight.KindSpan, Arg: tr.decodeID})
+			}
 			for _, ch := range chans {
 				select {
 				case ch <- batch:
@@ -406,6 +568,10 @@ decode:
 		close(ch)
 	}
 	wg.Wait()
+	if tr != nil && tr.spans && total > 0 {
+		// One span covering the whole fan-out on the driver track.
+		drvRing.Emit(flight.Event{Seq: 0, Dur: spanDur(uint64(total)), Track: tr.driver, Cache: -1, Kind: flight.KindSpan, Arg: tr.fanoutID})
+	}
 	if err != nil {
 		return err
 	}
