@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint mc check fuzz bench fault-smoke serve serve-smoke trace-smoke promscrape-smoke
+.PHONY: build test race lint lint-sarif mc check fuzz bench fault-smoke serve serve-smoke trace-smoke promscrape-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ race:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dirsimlint ./...
+
+# SARIF export for code-scanning upload (CI attaches dirsimlint.sarif to
+# the security tab via codeql-action/upload-sarif). Exit 1 — findings —
+# still produces a useful upload, so only exit 2 (load/analysis failure)
+# fails the target. Runs a built binary, not `go run`, because go run
+# collapses every nonzero program exit to 1 and would mask exit 2.
+lint-sarif:
+	rm -rf lint-sarif.tmp && mkdir lint-sarif.tmp
+	$(GO) build -o lint-sarif.tmp/dirsimlint ./cmd/dirsimlint
+	./lint-sarif.tmp/dirsimlint -format sarif ./... > dirsimlint.sarif; \
+	code=$$?; rm -rf lint-sarif.tmp; test $$code -eq 0 || test $$code -eq 1
 
 # Explicit-state model check of every engine over the 2-cache universe,
 # then the 2-block universe where cross-block state can interact.

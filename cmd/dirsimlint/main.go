@@ -7,29 +7,48 @@
 //	dirsimlint ./...                 lint the whole module
 //	dirsimlint -list                 show the rules
 //	dirsimlint -rules floateq ./...  run a subset of rules
+//	dirsimlint -format=sarif ./...   SARIF 2.1.0 for code scanning
+//	dirsimlint -baseline lint.json   filter out accepted findings
+//	dirsimlint -write-baseline lint.json ./...   accept current findings
 //	dirsimlint -mc                   explore every engine's state graph
 //	dirsimlint -mc -schemes dir1nb,moesi -blocks 2
 //
-// The command exits non-zero when any lint finding or invariant
-// violation is reported, so it can gate CI.
+// Findings can be suppressed at the source line with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the offending line or the line above it; a pragma that suppresses
+// nothing is itself reported, so stale ignores cannot accumulate.
+//
+// Exit codes: 0 when clean, 1 when findings or invariant violations are
+// reported, 2 when the module cannot be loaded (or the flags are
+// unusable). CI distinguishes "code has findings" from "the linter
+// itself broke".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"dirsim/internal/atomicio"
 	"dirsim/internal/coherence"
 	"dirsim/internal/lint"
 	"dirsim/internal/mc"
 )
 
+// Exit codes.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dirsimlint: ")
 	mcMode := flag.Bool("mc", false, "model-check engine state graphs instead of linting")
 	schemes := flag.String("schemes", "", "comma-separated schemes for -mc (default: every engine)")
 	caches := flag.Int("caches", 2, "caches in the -mc universe")
@@ -37,18 +56,16 @@ func main() {
 	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
 	list := flag.Bool("list", false, "list the lint rules and exit")
 	dir := flag.String("C", ".", "directory inside the module to lint")
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	baseline := flag.String("baseline", "", "baseline file of accepted findings to filter out")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit clean")
 	flag.Parse()
 
-	clean, err := run(os.Stdout, options{
+	os.Exit(run(os.Stdout, os.Stderr, options{
 		mcMode: *mcMode, schemes: *schemes, caches: *caches, blocks: *blocks,
 		rules: *rules, list: *list, dir: *dir, patterns: flag.Args(),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !clean {
-		os.Exit(1)
-	}
+		format: *format, baseline: *baseline, writeBaseline: *writeBaseline,
+	}))
 }
 
 // options collects the command's flags.
@@ -60,15 +77,28 @@ type options struct {
 	list           bool
 	dir            string
 	patterns       []string
+	format         string
+	baseline       string
+	writeBaseline  string
 }
 
-// run executes one invocation and reports whether it came back clean.
-func run(w io.Writer, opts options) (bool, error) {
+// run executes one invocation and returns the process exit code.
+func run(w, errw io.Writer, opts options) int {
+	code, err := runE(w, opts)
+	if err != nil {
+		fmt.Fprintf(errw, "dirsimlint: %v\n", err)
+	}
+	return code
+}
+
+// runE dispatches one invocation; every error it returns is an
+// operational failure (exit 2), never a finding.
+func runE(w io.Writer, opts options) (int, error) {
 	if opts.list {
 		for _, r := range lint.DefaultRules() {
 			fmt.Fprintf(w, "%-12s %s\n", r.Name(), r.Doc())
 		}
-		return true, nil
+		return exitClean, nil
 	}
 	if opts.mcMode {
 		return runMC(w, opts)
@@ -76,25 +106,117 @@ func run(w io.Writer, opts options) (bool, error) {
 	return runLint(w, opts)
 }
 
-// runLint loads the requested packages and applies the rules.
-func runLint(w io.Writer, opts options) (bool, error) {
+// runLint loads the requested packages, applies the rules, honours
+// pragmas and the baseline, and renders the survivors.
+func runLint(w io.Writer, opts options) (int, error) {
 	rules, err := selectRules(opts.rules)
 	if err != nil {
-		return false, err
+		return exitError, err
+	}
+	switch opts.format {
+	case "", "text", "json", "sarif":
+	default:
+		return exitError, fmt.Errorf("unknown format %q (want text, json or sarif)", opts.format)
+	}
+	bl, err := lint.ReadBaseline(opts.baseline)
+	if err != nil {
+		return exitError, err
 	}
 	pkgs, err := lint.Load(opts.dir, opts.patterns...)
 	if err != nil {
-		return false, err
+		return exitError, err
 	}
+	relFile := relativizer(pkgs)
+
 	findings := lint.Run(pkgs, rules)
-	for _, f := range findings {
-		fmt.Fprintln(w, f)
+	pragmas, malformed := lint.CollectPragmas(pkgs)
+	findings = lint.Suppress(findings, pragmas)
+	findings = append(findings, malformed...)
+	findings = bl.Filter(findings, relFile)
+	lint.SortFindings(findings)
+
+	if opts.writeBaseline != "" {
+		data, err := lint.MarshalBaseline(findings, relFile)
+		if err != nil {
+			return exitError, err
+		}
+		if err := atomicio.WriteFile(opts.writeBaseline, data); err != nil {
+			return exitError, err
+		}
+		fmt.Fprintf(w, "wrote %d finding(s) to baseline %s\n", len(findings), opts.writeBaseline)
+		return exitClean, nil
+	}
+
+	switch opts.format {
+	case "json":
+		if err := writeJSON(w, findings, relFile); err != nil {
+			return exitError, err
+		}
+	case "sarif":
+		data, err := lint.MarshalSARIF(findings, rules, relFile)
+		if err != nil {
+			return exitError, err
+		}
+		if _, err := w.Write(data); err != nil {
+			return exitError, err
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(w, "%d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(w, "%d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		return false, nil
+		return exitFindings, nil
 	}
-	return true, nil
+	return exitClean, nil
+}
+
+// relativizer maps absolute finding filenames to module-relative,
+// slash-separated paths — the form baselines and SARIF artifact URIs use.
+func relativizer(pkgs []*lint.Package) func(string) string {
+	root := ""
+	if len(pkgs) > 0 {
+		root = pkgs[0].Root
+	}
+	return func(name string) string {
+		if root != "" {
+			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+				return filepath.ToSlash(rel)
+			}
+		}
+		return filepath.ToSlash(name)
+	}
+}
+
+// jsonFinding is the -format=json shape of one finding.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// writeJSON renders findings as a JSON array (always an array, never
+// null, so consumers can index unconditionally).
+func writeJSON(w io.Writer, findings []lint.Finding, relFile func(string) string) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: relFile(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
+			Rule: f.Rule, Msg: f.Msg,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }
 
 // selectRules resolves a comma-separated rule list against DefaultRules.
@@ -120,7 +242,7 @@ func selectRules(names string) ([]lint.Rule, error) {
 
 // runMC explores every requested engine's reachable state graph and
 // prints one summary line per engine, plus any violations found.
-func runMC(w io.Writer, opts options) (bool, error) {
+func runMC(w io.Writer, opts options) (int, error) {
 	names := coherence.EngineNames()
 	if opts.schemes != "" {
 		names = strings.Split(opts.schemes, ",")
@@ -130,7 +252,7 @@ func runMC(w io.Writer, opts options) (bool, error) {
 		name = strings.TrimSpace(name)
 		res, err := mc.ExploreScheme(name, mc.Options{Caches: opts.caches, Blocks: opts.blocks})
 		if err != nil {
-			return false, err
+			return exitError, err
 		}
 		fmt.Fprintf(w, "%-14s %4d states, %5d edges, %5d transitions, depth %2d",
 			res.Engine, res.Nodes, res.Edges, res.Transitions, res.Depth)
@@ -149,6 +271,7 @@ func runMC(w io.Writer, opts options) (bool, error) {
 	}
 	if !clean {
 		fmt.Fprintln(w, "model checking found violations")
+		return exitFindings, nil
 	}
-	return clean, nil
+	return exitClean, nil
 }

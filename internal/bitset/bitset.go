@@ -134,8 +134,36 @@ func (s *Set) Sole() (int, bool) {
 	return found, true
 }
 
+// Next returns the smallest element ≥ i, or -1 when no such element
+// exists. It enables allocation-free iteration without the closure a
+// ForEach call costs — the shape required on engine hot paths:
+//
+//	for h := s.Next(0); h >= 0; h = s.Next(h + 1) { ... }
+//
+// Removing the current element (or any smaller one) during such a loop is
+// safe: Next re-reads the words on every call and only looks forward.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i / wordBits
+	if wi >= len(s.words) {
+		return -1
+	}
+	if w := s.words[wi] >> uint(i%wordBits); w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // ForEach calls fn for every element in ascending order. If fn returns
-// false, iteration stops early.
+// false, iteration stops early. The closure argument allocates when it
+// captures; on allocation-free paths use Next instead.
 func (s *Set) ForEach(fn func(i int) bool) {
 	for wi, w := range s.words {
 		for w != 0 {

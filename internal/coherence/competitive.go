@@ -204,18 +204,15 @@ func (e *Competitive) write(c int, block uint64, first bool) {
 // copies that reach the threshold. If the last remaining copy with a stale
 // memory would be the writer's, memory stays stale (the writer holds it).
 func (e *Competitive) chargeUpdate(cs *competitiveState, block uint64, writer int) {
-	var drop []int
-	cs.sharers.ForEach(func(h int) bool {
+	// Dropping h mid-loop is safe: Next only looks forward from h+1.
+	for h := cs.sharers.Next(0); h >= 0; h = cs.sharers.Next(h + 1) {
 		if h == writer {
-			return true
+			continue
 		}
 		cs.unused[h]++
-		if cs.unused[h] >= e.threshold {
-			drop = append(drop, h)
+		if cs.unused[h] < e.threshold {
+			continue
 		}
-		return true
-	})
-	for _, h := range drop {
 		cs.sharers.Remove(h)
 		delete(cs.unused, h)
 		e.stats.PointerEvictions++ // reuse the "copies dropped by policy" counter

@@ -48,6 +48,11 @@ type DirEngine struct {
 	txn bool
 	// last is the classification of the reference being processed.
 	last events.Type
+
+	// scratch is the reusable buffer handed to store.Targets on the
+	// per-reference path; it reaches steady-state capacity after the
+	// first few invalidations and never allocates again.
+	scratch []int
 }
 
 var _ Engine = (*DirEngine)(nil)
@@ -337,7 +342,8 @@ func (e *DirEngine) takeExclusive(c int, block uint64) {
 // it does not (Dir0B "relies on broadcasts to perform invalidates and
 // write-back requests").
 func (e *DirEngine) emitRequest(block uint64, owner int) {
-	_, bcast := e.store.Targets(block, -1)
+	var bcast bool
+	e.scratch, bcast = e.store.Targets(e.scratch[:0], block, -1)
 	if bcast {
 		e.emit(bus.OpBroadcastInvalidate)
 	} else {
@@ -350,7 +356,8 @@ func (e *DirEngine) emitRequest(block uint64, owner int) {
 // fan-out statistics.
 func (e *DirEngine) invalidateOthers(bs *blockState, block uint64, c int) {
 	e.stats.InvalEvents++
-	targets, bcast := e.store.Targets(block, c)
+	targets, bcast := e.store.Targets(e.scratch[:0], block, c)
+	e.scratch = targets
 	if bcast {
 		e.stats.BroadcastInvals++
 		e.emit(bus.OpBroadcastInvalidate)
@@ -365,12 +372,11 @@ func (e *DirEngine) invalidateOthers(bs *blockState, block uint64, c int) {
 		}
 	}
 	// Ground truth: all other copies are gone.
-	bs.sharers.ForEach(func(h int) bool {
+	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
 		if h != c {
 			e.removeFromReplacer(h, block)
 		}
-		return true
-	})
+	}
 	keep := bs.sharers.Contains(c)
 	bs.sharers.Clear()
 	if keep {
@@ -411,7 +417,8 @@ func (e *DirEngine) ensureEntry(block uint64) {
 		vs.dirty = false
 		vs.owner = -1
 	}
-	targets, bcast := e.store.Targets(victim, -1)
+	targets, bcast := e.store.Targets(e.scratch[:0], victim, -1)
+	e.scratch = targets
 	if bcast {
 		e.emit(bus.OpBroadcastInvalidate)
 		e.stats.BroadcastInvals++
@@ -421,10 +428,9 @@ func (e *DirEngine) ensureEntry(block uint64) {
 			e.stats.DirectedInvals++
 		}
 	}
-	vs.sharers.ForEach(func(h int) bool {
+	for h := vs.sharers.Next(0); h >= 0; h = vs.sharers.Next(h + 1) {
 		e.removeFromReplacer(h, victim)
-		return true
-	})
+	}
 	vs.sharers.Clear()
 	delete(e.state, victim)
 	e.store.Clear(victim)
@@ -523,7 +529,7 @@ func (e *DirEngine) CheckInvariants() error {
 		if exact && cnt != n {
 			return fmt.Errorf("%s: block %#x directory says %d holders, truth %d", e.name, block, cnt, n)
 		}
-		targets, bcast := e.store.Targets(block, -1)
+		targets, bcast := e.store.Targets(nil, block, -1)
 		if !bcast {
 			// Directed delivery must cover every true holder.
 			covered := map[int]bool{}

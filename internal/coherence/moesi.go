@@ -212,12 +212,11 @@ func (e *MOESI) write(c int, block uint64, first bool) {
 // dropOthers removes every copy except cache c's (snooping delivers the
 // invalidation for free).
 func (e *MOESI) dropOthers(bs *moesiState, block uint64, c int) {
-	bs.sharers.ForEach(func(h int) bool {
+	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
 		if h != c && e.replacers != nil {
 			e.replacers[h].Remove(block)
 		}
-		return true
-	})
+	}
 	keep := bs.sharers.Contains(c)
 	bs.sharers.Clear()
 	if keep {

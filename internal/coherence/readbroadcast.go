@@ -196,15 +196,14 @@ func (e *ReadBroadcast) write(c int, block uint64, first bool) {
 // invalidateOthers drops every other copy, remembering the victims as
 // snarfers for the next bus read of the block.
 func (e *ReadBroadcast) invalidateOthers(bs *rbState, block uint64, c int) {
-	bs.sharers.ForEach(func(h int) bool {
+	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
 		if h != c {
 			bs.snarfers.Add(h)
 			if e.replacers != nil {
 				e.replacers[h].Remove(block)
 			}
 		}
-		return true
-	})
+	}
 	keep := bs.sharers.Contains(c)
 	bs.sharers.Clear()
 	if keep {
@@ -226,7 +225,7 @@ func (e *ReadBroadcast) fillWithSnarf(c int, block uint64) {
 	bs := e.ensure(block)
 	bs.sharers.Add(c)
 	bs.snarfers.Remove(c)
-	bs.snarfers.ForEach(func(h int) bool {
+	for h := bs.snarfers.Next(0); h >= 0; h = bs.snarfers.Next(h + 1) {
 		bs.sharers.Add(h)
 		if e.replacers != nil {
 			// The snarfed copy occupies a frame in h's cache too.
@@ -234,8 +233,7 @@ func (e *ReadBroadcast) fillWithSnarf(c int, block uint64) {
 				e.dropVictim(h, victim)
 			}
 		}
-		return true
-	})
+	}
 	e.stats.Snarfs += uint64(bs.snarfers.Count())
 	bs.snarfers.Clear()
 	e.insertReplacer(c, block)

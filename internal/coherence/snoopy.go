@@ -261,12 +261,11 @@ func (e *SnoopyInval) write(c int, block uint64, first bool) {
 // invalidateOthers drops every other copy; snooping makes the delivery
 // free.
 func (e *SnoopyInval) invalidateOthers(bs *blockState, block uint64, c int) {
-	bs.sharers.ForEach(func(h int) bool {
+	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
 		if h != c && e.replacers != nil {
 			e.replacers[h].Remove(block)
 		}
-		return true
-	})
+	}
 	keep := bs.sharers.Contains(c)
 	bs.sharers.Clear()
 	if keep {

@@ -60,8 +60,11 @@ type Store interface {
 	// Targets reports how to deliver an invalidation to every copy of
 	// block except cache `except` (pass -1 to hit all copies): either a
 	// list of directed message targets, or broadcast = true when the
-	// organisation does not know the holders.
-	Targets(block uint64, except int) (targets []int, broadcast bool)
+	// organisation does not know the holders. Directed targets are
+	// appended to dst and returned, so a caller that reuses the returned
+	// slice's capacity pays no allocation on the per-reference path;
+	// pass nil when a fresh slice is acceptable.
+	Targets(dst []int, block uint64, except int) (targets []int, broadcast bool)
 
 	// Count reports how many caches the directory believes hold block.
 	// When exact is false, n is a lower bound (TwoBit's "clean in an
@@ -179,8 +182,8 @@ func (f *FullMap) SetSole(block uint64, c int) {
 func (f *FullMap) Clear(block uint64) { delete(f.present, block) }
 
 // Targets implements Store: the exact holders, as directed messages.
-func (f *FullMap) Targets(block uint64, except int) ([]int, bool) {
-	return appendExcept(nil, f.present[block], except), false
+func (f *FullMap) Targets(dst []int, block uint64, except int) ([]int, bool) {
+	return appendExcept(dst, f.present[block], except), false
 }
 
 // Count implements Store.
@@ -294,11 +297,11 @@ func (t *TwoBit) Clear(block uint64) { delete(t.state, block) }
 
 // Targets implements Store: holders are unknown, so every invalidation is a
 // broadcast (unless Count shows none is needed).
-func (t *TwoBit) Targets(block uint64, except int) ([]int, bool) {
+func (t *TwoBit) Targets(dst []int, block uint64, except int) ([]int, bool) {
 	if t.state[block] == stUncached {
-		return nil, false
+		return dst, false
 	}
-	return nil, true
+	return dst, true
 }
 
 // Count implements Store.
@@ -445,15 +448,15 @@ func (l *LimitedPointer) SetSole(block uint64, c int) {
 func (l *LimitedPointer) Clear(block uint64) { delete(l.entries, block) }
 
 // Targets implements Store.
-func (l *LimitedPointer) Targets(block uint64, except int) ([]int, bool) {
+func (l *LimitedPointer) Targets(dst []int, block uint64, except int) ([]int, bool) {
 	e := l.entries[block]
 	if e == nil {
-		return nil, false
+		return dst, false
 	}
 	if e.bcast {
-		return nil, true
+		return dst, true
 	}
-	return appendExcept(nil, e.ptrs, except), false
+	return appendExcept(dst, e.ptrs, except), false
 }
 
 // Count implements Store.
@@ -554,18 +557,28 @@ func (cs *CodedSet) Clear(block uint64) { delete(cs.codes, block) }
 
 // Targets implements Store: every cache index matching the code, as
 // directed messages. This is the paper's "limited broadcast".
-func (cs *CodedSet) Targets(block uint64, except int) ([]int, bool) {
+//
+// The matches are the assignments of the "both" digits, i.e. the values
+// value|sub over every submask sub of both. The standard submask walk
+// sub' = (sub-both)&both enumerates them in increasing numeric order —
+// the same order the engines have always invalidated in — without the
+// closure and scratch slice a forEachMatch callback would cost on the
+// Access hot path.
+func (cs *CodedSet) Targets(dst []int, block uint64, except int) ([]int, bool) {
 	e, ok := cs.codes[block]
 	if !ok {
-		return nil, false
+		return dst, false
 	}
-	var out []int
-	cs.forEachMatch(e, func(c int) {
-		if c != except {
-			out = append(out, c)
+	for sub := uint32(0); ; sub = (sub - e.both) & e.both {
+		c := int(e.value | sub)
+		if c < cs.caches && c != except {
+			dst = append(dst, c)
 		}
-	})
-	return out, false
+		if sub == e.both {
+			break
+		}
+	}
+	return dst, false
 }
 
 func (cs *CodedSet) forEachMatch(e codedEntry, fn func(int)) {

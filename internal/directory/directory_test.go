@@ -34,14 +34,14 @@ func TestFullMapTracksExactHolders(t *testing.T) {
 	if n, exact := f.Count(1); n != 2 || !exact {
 		t.Fatalf("Count = %d,%v want 2,true", n, exact)
 	}
-	targets, bcast := f.Targets(1, 2)
+	targets, bcast := f.Targets(nil, 1, 2)
 	if bcast {
 		t.Fatal("full map should never broadcast")
 	}
 	if !reflect.DeepEqual(sorted(targets), []int{0}) {
 		t.Fatalf("Targets = %v, want [0]", targets)
 	}
-	targets, _ = f.Targets(1, -1)
+	targets, _ = f.Targets(nil, 1, -1)
 	if !reflect.DeepEqual(sorted(targets), []int{0, 2}) {
 		t.Fatalf("Targets(-1) = %v", targets)
 	}
@@ -81,7 +81,7 @@ func TestTangBehavesLikeFullMap(t *testing.T) {
 	tg := NewTang(4)
 	tg.Add(1, 0)
 	tg.Add(1, 3)
-	targets, bcast := tg.Targets(1, 0)
+	targets, bcast := tg.Targets(nil, 1, 0)
 	if bcast || !reflect.DeepEqual(sorted(targets), []int{3}) {
 		t.Fatalf("Targets = %v,%v", targets, bcast)
 	}
@@ -138,11 +138,11 @@ func TestTwoBitStateMachine(t *testing.T) {
 
 func TestTwoBitAlwaysBroadcasts(t *testing.T) {
 	tb := NewTwoBit()
-	if _, bcast := tb.Targets(9, -1); bcast {
+	if _, bcast := tb.Targets(nil, 9, -1); bcast {
 		t.Fatal("uncached block should need no invalidation")
 	}
 	tb.Add(9, 0)
-	if targets, bcast := tb.Targets(9, -1); !bcast || targets != nil {
+	if targets, bcast := tb.Targets(nil, 9, -1); !bcast || targets != nil {
 		t.Fatalf("Targets = %v,%v want nil,true", targets, bcast)
 	}
 }
@@ -173,14 +173,14 @@ func TestDir1BSetsBroadcastBitOnOverflow(t *testing.T) {
 	if v := lp.Add(1, 0); v != -1 {
 		t.Fatalf("victim = %d", v)
 	}
-	targets, bcast := lp.Targets(1, -1)
+	targets, bcast := lp.Targets(nil, 1, -1)
 	if bcast || !reflect.DeepEqual(targets, []int{0}) {
 		t.Fatalf("single holder: %v,%v", targets, bcast)
 	}
 	if v := lp.Add(1, 2); v != -1 {
 		t.Fatalf("Dir_iB overflow should not evict, got victim %d", v)
 	}
-	if _, bcast := lp.Targets(1, -1); !bcast {
+	if _, bcast := lp.Targets(nil, 1, -1); !bcast {
 		t.Fatal("broadcast bit not set after overflow")
 	}
 	if n, exact := lp.Count(1); exact || n < 2 {
@@ -188,7 +188,7 @@ func TestDir1BSetsBroadcastBitOnOverflow(t *testing.T) {
 	}
 	// A write resets to a single pointer.
 	lp.SetSole(1, 3)
-	targets, bcast = lp.Targets(1, -1)
+	targets, bcast = lp.Targets(nil, 1, -1)
 	if bcast || !reflect.DeepEqual(targets, []int{3}) {
 		t.Fatalf("after SetSole: %v,%v", targets, bcast)
 	}
@@ -205,7 +205,7 @@ func TestDiriNBEvictsOldestOnOverflow(t *testing.T) {
 	if victim != 0 {
 		t.Fatalf("victim = %d, want 0 (FIFO)", victim)
 	}
-	targets, bcast := lp.Targets(1, -1)
+	targets, bcast := lp.Targets(nil, 1, -1)
 	if bcast {
 		t.Fatal("Dir_iNB must never broadcast")
 	}
@@ -275,7 +275,7 @@ func TestCodedSetExactForSingleHolder(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs.Add(1, 5)
-	targets, bcast := cs.Targets(1, -1)
+	targets, bcast := cs.Targets(nil, 1, -1)
 	if bcast || !reflect.DeepEqual(targets, []int{5}) {
 		t.Fatalf("Targets = %v,%v", targets, bcast)
 	}
@@ -288,7 +288,7 @@ func TestCodedSetSupersetSemantics(t *testing.T) {
 	cs, _ := NewCodedSet(8)
 	cs.Add(1, 0b000)
 	cs.Add(1, 0b011) // digits 0 and 1 widen to "both"
-	targets, bcast := cs.Targets(1, -1)
+	targets, bcast := cs.Targets(nil, 1, -1)
 	if bcast {
 		t.Fatal("coded set should direct, not broadcast")
 	}
@@ -304,7 +304,7 @@ func TestCodedSetTargetsExcludeRequester(t *testing.T) {
 	cs, _ := NewCodedSet(8)
 	cs.Add(2, 4)
 	cs.Add(2, 5)
-	targets, _ := cs.Targets(2, 5)
+	targets, _ := cs.Targets(nil, 2, 5)
 	if !reflect.DeepEqual(sorted(targets), []int{4}) {
 		t.Fatalf("Targets = %v", targets)
 	}
@@ -318,7 +318,7 @@ func TestCodedSetClampsToCacheCount(t *testing.T) {
 	cs.Add(1, 7%6)
 	cs.Add(1, 5) // 101
 	cs.Add(1, 3) // 011 → all three digits both? 1=001,5=101 → digit2 both; +3=011 → digit1 both
-	targets, _ := cs.Targets(1, -1)
+	targets, _ := cs.Targets(nil, 1, -1)
 	for _, c := range targets {
 		if c >= 6 {
 			t.Fatalf("target %d beyond cache count", c)
@@ -334,7 +334,7 @@ func TestCodedSetSetSoleNarrows(t *testing.T) {
 		t.Fatalf("widened Count = %d,%v", n, exact)
 	}
 	cs.SetSole(1, 3)
-	targets, _ := cs.Targets(1, -1)
+	targets, _ := cs.Targets(nil, 1, -1)
 	if !reflect.DeepEqual(targets, []int{3}) {
 		t.Fatalf("after SetSole Targets = %v", targets)
 	}
@@ -369,7 +369,7 @@ func TestQuickCodedSetIsSuperset(t *testing.T) {
 			cs.Add(1, c)
 			truth[c] = true
 		}
-		targets, bcast := cs.Targets(1, -1)
+		targets, bcast := cs.Targets(nil, 1, -1)
 		if bcast {
 			return false
 		}
@@ -414,7 +414,7 @@ func TestQuickFullMapExact(t *testing.T) {
 				truth[c] = true
 			}
 		}
-		targets, bcast := fm.Targets(1, -1)
+		targets, bcast := fm.Targets(nil, 1, -1)
 		if bcast || len(targets) != len(truth) {
 			return false
 		}
@@ -444,7 +444,7 @@ func TestQuickDiriNBBounded(t *testing.T) {
 			if n, exact := lp.Count(1); !exact || n > i {
 				return false
 			}
-			if _, bcast := lp.Targets(1, -1); bcast {
+			if _, bcast := lp.Targets(nil, 1, -1); bcast {
 				return false
 			}
 		}

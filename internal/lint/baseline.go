@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A baseline is a JSON file of accepted findings, for adopting a rule
+// into a codebase that cannot fix every hit at once: known findings are
+// filtered out, new ones still fail the build. Entries are keyed by
+// (file, rule, message) and deliberately omit line numbers, so unrelated
+// edits that shift code up or down do not invalidate the baseline.
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	// File is the module-relative, slash-separated path.
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// baselineFile is the on-disk shape.
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// Baseline is a set of accepted findings.
+type Baseline struct {
+	entries map[BaselineEntry]bool
+}
+
+// NewBaseline builds a baseline from findings (paths already
+// relativized), for writing with MarshalBaseline.
+func NewBaseline(entries []BaselineEntry) *Baseline {
+	b := &Baseline{entries: map[BaselineEntry]bool{}}
+	for _, e := range entries {
+		b.entries[e] = true
+	}
+	return b
+}
+
+// ReadBaseline loads a baseline file. A missing or empty path yields an
+// empty baseline, so the flag can default to "".
+func ReadBaseline(path string) (*Baseline, error) {
+	if path == "" {
+		return NewBaseline(nil), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, bf.Version)
+	}
+	return NewBaseline(bf.Entries), nil
+}
+
+// Len reports how many entries the baseline holds.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Filter returns the findings not covered by the baseline. relFile maps a
+// finding's absolute filename to the baseline's module-relative form.
+func (b *Baseline) Filter(findings []Finding, relFile func(string) string) []Finding {
+	if len(b.entries) == 0 {
+		return findings
+	}
+	var kept []Finding
+	for _, f := range findings {
+		key := BaselineEntry{File: relFile(f.Pos.Filename), Rule: f.Rule, Msg: f.Msg}
+		if !b.entries[key] {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// MarshalBaseline renders findings as a baseline file: deduplicated,
+// sorted, versioned JSON ready to write to disk.
+func MarshalBaseline(findings []Finding, relFile func(string) string) ([]byte, error) {
+	seen := map[BaselineEntry]bool{}
+	var entries []BaselineEntry
+	for _, f := range findings {
+		e := BaselineEntry{File: relFile(f.Pos.Filename), Rule: f.Rule, Msg: f.Msg}
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	out, err := json.MarshalIndent(baselineFile{Version: 1, Entries: entries}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "/mod/internal/a.go", Line: 10, Column: 2}, Rule: "obsring", Msg: "allocates"},
+		{Pos: token.Position{Filename: "/mod/internal/b.go", Line: 3, Column: 1}, Rule: "floateq", Msg: "compares"},
+	}
+	rel := func(name string) string { return strings.TrimPrefix(name, "/mod/") }
+
+	data, err := MarshalBaseline(findings, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Len() != 2 {
+		t.Fatalf("baseline has %d entries, want 2", bl.Len())
+	}
+
+	// The same findings on different lines are still covered: the key
+	// ignores position so unrelated edits cannot invalidate the file.
+	moved := []Finding{
+		{Pos: token.Position{Filename: "/mod/internal/a.go", Line: 99, Column: 7}, Rule: "obsring", Msg: "allocates"},
+		{Pos: token.Position{Filename: "/mod/internal/b.go", Line: 1, Column: 1}, Rule: "floateq", Msg: "compares"},
+		{Pos: token.Position{Filename: "/mod/internal/c.go", Line: 1, Column: 1}, Rule: "obsring", Msg: "new finding"},
+	}
+	kept := bl.Filter(moved, rel)
+	if len(kept) != 1 || kept[0].Msg != "new finding" {
+		t.Fatalf("Filter kept %v, want only the new finding", kept)
+	}
+}
+
+func TestBaselineMissingAndInvalid(t *testing.T) {
+	bl, err := ReadBaseline("")
+	if err != nil || bl.Len() != 0 {
+		t.Fatalf("empty path: %v %d", err, bl.Len())
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	v9 := filepath.Join(t.TempDir(), "v9.json")
+	if err := os.WriteFile(v9, []byte(`{"version":9,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(v9); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestBaselineMarshalIsSortedAndDeduplicated(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "b.go", Line: 2}, Rule: "r", Msg: "m"},
+		{Pos: token.Position{Filename: "a.go", Line: 9}, Rule: "r", Msg: "m"},
+		{Pos: token.Position{Filename: "a.go", Line: 1}, Rule: "r", Msg: "m"}, // dup of previous by key
+	}
+	id := func(s string) string { return s }
+	data, err := MarshalBaseline(findings, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if strings.Count(s, `"a.go"`) != 1 {
+		t.Errorf("duplicate entries not collapsed:\n%s", s)
+	}
+	if strings.Index(s, `"a.go"`) > strings.Index(s, `"b.go"`) {
+		t.Errorf("entries not sorted:\n%s", s)
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Error("baseline file should end with a newline")
+	}
+}

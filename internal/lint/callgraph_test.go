@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildModule type-checks one fixture and returns its Module.
+func buildModule(t *testing.T, path, src string) *Module {
+	t.Helper()
+	var mod *Module
+	grab := grabModuleRule{got: &mod}
+	lintSrc(t, path, src, nil, grab)
+	if mod == nil {
+		t.Fatal("module not built")
+	}
+	return mod
+}
+
+// grabModuleRule captures the Module Run hands to ModuleRules.
+type grabModuleRule struct{ got **Module }
+
+func (grabModuleRule) Name() string { return "grab" }
+func (grabModuleRule) Doc() string  { return "test helper" }
+func (g grabModuleRule) CheckModule(m *Module) []Finding {
+	*g.got = m
+	return nil
+}
+
+// findFunc locates a summary by declaration name.
+func findFunc(t *testing.T, m *Module, name string) *FuncInfo {
+	t.Helper()
+	for _, fi := range m.Funcs() {
+		if fi.Decl.Name.Name == name {
+			return fi
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// kinds collects the fact kinds of one summary.
+func kinds(fi *FuncInfo) map[FactKind]int {
+	out := map[FactKind]int{}
+	for _, f := range fi.Facts {
+		out[f.Kind]++
+	}
+	return out
+}
+
+func TestSummaryFacts(t *testing.T) {
+	src := `package fix
+import (
+	"math/rand"
+	"time"
+)
+func alloc() []int {
+	s := make([]int, 4)
+	s = append(s, 1)
+	m := map[int]int{}
+	_ = m
+	p := &struct{ x int }{}
+	_ = p
+	return s
+}
+func clock() int64 { return time.Now().UnixNano() }
+func roll() int    { return rand.Int() }
+func order(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+func spawn(done chan struct{}) {
+	go func() { <-done }()
+}
+func dynamic(fn func() int) int { return fn() }
+`
+	m := buildModule(t, "dirsim/internal/fix", src)
+
+	ks := kinds(findFunc(t, m, "alloc"))
+	// make, map literal, &composite literal are per-call. The append goes
+	// through a variable, so freshness is not syntactically visible and it
+	// is classified amortized (growth doubles, so it is — TestAmortizedAllocGuards
+	// pins the syntactically-fresh cases).
+	if ks[FactAlloc] != 3 || ks[FactAmortizedAlloc] != 1 {
+		t.Errorf("alloc: %d per-call + %d amortized allocation facts, want 3 + 1: %v",
+			ks[FactAlloc], ks[FactAmortizedAlloc], findFunc(t, m, "alloc").Facts)
+	}
+	if kinds(findFunc(t, m, "clock"))[FactClock] != 1 {
+		t.Error("clock: time.Now not recorded")
+	}
+	if kinds(findFunc(t, m, "roll"))[FactGlobalRand] != 1 {
+		t.Error("roll: global rand not recorded")
+	}
+	if kinds(findFunc(t, m, "order"))[FactMapRange] != 1 {
+		t.Error("order: map range not recorded")
+	}
+	sp := findFunc(t, m, "spawn")
+	if kinds(sp)[FactGoSpawn] != 1 || len(sp.Spawns) != 1 {
+		t.Fatalf("spawn: go statement not recorded: %+v", sp)
+	}
+	if !sp.Spawns[0].SeesChannel {
+		t.Error("spawn: channel receive in goroutine not seen")
+	}
+	if kinds(findFunc(t, m, "dynamic"))[FactDynamicCall] != 1 {
+		t.Error("dynamic: call through function value not recorded")
+	}
+}
+
+func TestAmortizedAllocGuards(t *testing.T) {
+	src := `package fix
+type buf struct {
+	words []uint64
+	idx   map[uint64]*int
+}
+func (b *buf) growGuarded(n int) {
+	if n <= len(b.words) {
+		return
+	}
+	w := make([]uint64, n)
+	copy(w, b.words)
+	b.words = w
+}
+func (b *buf) nilGuarded() {
+	if b.idx == nil {
+		b.idx = map[uint64]*int{}
+	}
+}
+func (b *buf) firstTouch(k uint64) *int {
+	if v, ok := b.idx[k]; ok {
+		return v
+	}
+	v := new(int)
+	b.idx[k] = v
+	return v
+}
+func (b *buf) hot() []uint64 {
+	return append(b.words, 1)
+}
+func (b *buf) cold() []int {
+	return append([]int(nil), 1, 2)
+}
+`
+	m := buildModule(t, "dirsim/internal/fix", src)
+	for _, name := range []string{"growGuarded", "nilGuarded", "firstTouch"} {
+		ks := kinds(findFunc(t, m, name))
+		if ks[FactAlloc] != 0 {
+			t.Errorf("%s: guarded allocation classified per-call: %v", name, findFunc(t, m, name).Facts)
+		}
+		if ks[FactAmortizedAlloc] == 0 {
+			t.Errorf("%s: no amortized allocation recorded", name)
+		}
+	}
+	if ks := kinds(findFunc(t, m, "hot")); ks[FactAmortizedAlloc] != 1 || ks[FactAlloc] != 0 {
+		t.Errorf("hot: append to existing slice should be amortized: %v", ks)
+	}
+	if ks := kinds(findFunc(t, m, "cold")); ks[FactAlloc] != 1 {
+		t.Errorf("cold: append to fresh slice should be per-call: %v", ks)
+	}
+}
+
+func TestReachableResolvesInterfaceDispatch(t *testing.T) {
+	src := `package fix
+import "time"
+type Doer interface{ Do() }
+type A struct{}
+func (A) Do() { _ = time.Now() }
+type B struct{}
+func (B) Do() {}
+func root(d Doer) { d.Do() }
+func unrelated()  { _ = time.Now() }
+`
+	m := buildModule(t, "dirsim/internal/fix", src)
+	var rootFn *types.Func
+	for _, fi := range m.Funcs() {
+		if fi.Decl.Name.Name == "root" {
+			rootFn = fi.Fn
+		}
+	}
+	var names []string
+	clock := false
+	for _, fi := range m.Reachable(rootFn) {
+		names = append(names, fi.Decl.Name.Name)
+		for _, f := range fi.Facts {
+			if f.Kind == FactClock {
+				clock = true
+			}
+		}
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "Do") || len(names) != 3 {
+		t.Errorf("interface call should reach both implementations: %v", names)
+	}
+	if !clock {
+		t.Error("A.Do's clock fact not reachable from root")
+	}
+	if strings.Contains(joined, "unrelated") {
+		t.Errorf("unrelated function reachable: %v", names)
+	}
+}
+
+func TestContextAndChannelSummaries(t *testing.T) {
+	src := `package fix
+import "context"
+func uses(ctx context.Context) { <-ctx.Done() }
+func ignores(ctx context.Context) {}
+func drains(ch chan int) int {
+	n := 0
+	for v := range ch {
+		n += v
+	}
+	return n
+}
+`
+	m := buildModule(t, "dirsim/internal/fix", src)
+	if fi := findFunc(t, m, "uses"); !fi.AcceptsContext || !fi.ObservesContext {
+		t.Errorf("uses: AcceptsContext=%v ObservesContext=%v", fi.AcceptsContext, fi.ObservesContext)
+	}
+	if fi := findFunc(t, m, "ignores"); !fi.AcceptsContext || fi.ObservesContext {
+		t.Errorf("ignores: AcceptsContext=%v ObservesContext=%v", fi.AcceptsContext, fi.ObservesContext)
+	}
+	if fi := findFunc(t, m, "drains"); !fi.RangesOverChannel {
+		t.Error("drains: channel range not recorded")
+	}
+}

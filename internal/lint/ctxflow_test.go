@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixtures live at dirsim/internal/server because the rule is scoped
+// to the long-running service layers.
+
+func TestCtxFlowFlagsUnboundedGoroutine(t *testing.T) {
+	src := `package server
+func work() {}
+func Start() {
+	go work()
+}
+`
+	fs := lintSrc(t, "dirsim/internal/server", src, nil, CtxFlowRule{})
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "nothing can stop it") {
+		t.Fatalf("unbounded goroutine not flagged: %v", fs)
+	}
+}
+
+func TestCtxFlowAcceptsLifecycleIdioms(t *testing.T) {
+	src := `package server
+import (
+	"context"
+	"sync"
+)
+type Server struct {
+	queue chan int
+	wg    sync.WaitGroup
+}
+func (s *Server) executor() {
+	for range s.queue {
+	}
+}
+func (s *Server) Start() {
+	go s.executor()
+}
+func (s *Server) Drain() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	return done
+}
+func Run(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+`
+	fs := lintSrc(t, "dirsim/internal/server", src, nil, CtxFlowRule{})
+	if len(fs) != 0 {
+		t.Fatalf("channel/WaitGroup/context-bounded goroutines should pass: %v", fs)
+	}
+}
+
+func TestCtxFlowTransitiveCalleeObservesContext(t *testing.T) {
+	// The goroutine's own subtree shows no signal, but its callee ranges
+	// over a channel, so its lifetime is bounded.
+	src := `package server
+type Pool struct{ jobs chan func() }
+func (p *Pool) loop() {
+	for job := range p.jobs {
+		job()
+	}
+}
+func (p *Pool) dispatch() { p.loop() }
+func (p *Pool) Start()    { go p.dispatch() }
+`
+	fs := lintSrc(t, "dirsim/internal/server", src, nil, CtxFlowRule{})
+	if len(fs) != 0 {
+		t.Fatalf("transitively channel-bounded goroutine should pass: %v", fs)
+	}
+}
+
+func TestCtxFlowFlagsIgnoredContext(t *testing.T) {
+	src := `package server
+import "context"
+func Serve(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+`
+	fs := lintSrc(t, "dirsim/internal/server", src, nil, CtxFlowRule{})
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "never observes it") {
+		t.Fatalf("ignored context parameter not flagged: %v", fs)
+	}
+}
+
+func TestCtxFlowScopedToServiceLayers(t *testing.T) {
+	// The same unbounded spawn in a non-service package is out of scope
+	// (other rules own goroutine hygiene there).
+	src := `package fix
+func work() {}
+func Start() {
+	go work()
+}
+`
+	fs := lintSrc(t, "dirsim/internal/fix", src, nil, CtxFlowRule{})
+	if len(fs) != 0 {
+		t.Fatalf("rule fired outside its scoped packages: %v", fs)
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EnginePurityRule enforces the precondition for the profile-guided
+// engine rewrite (ROADMAP item 2) and for trusting sampled runs: every
+// registered protocol engine's Access call graph — the per-reference hot
+// path the paper's frequency-times-cost methodology beats on — must be
+//
+//   - free of per-call allocation (amortized growth is allowed: a
+//     first-touch block-state insert or a scratch buffer reaching its
+//     steady-state capacity is zero-cost per reference, but a fresh
+//     slice, closure, make or &composite literal per call is not);
+//   - clock-free and global-rand-free (bit-reproducible runs);
+//   - free of map iteration (order nondeterminism must never influence
+//     the bus-operation stream);
+//   - free of goroutine spawns and of calls through function values the
+//     graph cannot analyse.
+//
+// Roots are the Access methods of every module type implementing
+// coherence.Engine; dynamic dispatch inside the path (directory.Store,
+// cache.Replacer) resolves to every module implementation, so a single
+// allocating store organisation fails the rule for the engines that can
+// reach it.
+type EnginePurityRule struct{}
+
+// Name implements Rule.
+func (EnginePurityRule) Name() string { return "enginepurity" }
+
+// Doc implements Rule.
+func (EnginePurityRule) Doc() string {
+	return "per-call allocation, wall clock, global rand or map iteration reachable from an engine's Access hot path"
+}
+
+// EngineAccessRoots returns the Access method of every module type
+// implementing coherence.Engine, keyed by the concrete type name. Tests
+// use it to assert every registered engine is covered.
+func EngineAccessRoots(m *Module) map[string]*types.Func {
+	p := m.Package("internal/coherence")
+	if p == nil {
+		return nil
+	}
+	obj, ok := p.Pkg.Scope().Lookup("Engine").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	roots := map[string]*types.Func{}
+	for _, named := range m.named {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		mobj, _, _ := types.LookupFieldOrMethod(named, true, named.Obj().Pkg(), "Access")
+		if fn, ok := mobj.(*types.Func); ok && m.Func(fn) != nil {
+			roots[named.Obj().Name()] = fn
+		}
+	}
+	return roots
+}
+
+// CheckModule implements ModuleRule.
+func (EnginePurityRule) CheckModule(m *Module) []Finding {
+	roots := EngineAccessRoots(m)
+	names := make([]string, 0, len(roots))
+	for name := range roots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Several engines share helpers; report each offending fact once,
+	// naming the first (alphabetical) engine that reaches it.
+	seen := map[token.Pos]bool{}
+	var out []Finding
+	for _, name := range names {
+		for _, fi := range m.Reachable(roots[name]) {
+			for _, fact := range fi.Facts {
+				var what string
+				switch fact.Kind {
+				case FactAlloc:
+					what = fmt.Sprintf("%s allocates on every call", fact.What)
+				case FactClock:
+					what = fmt.Sprintf("%s reads the wall clock", fact.What)
+				case FactGlobalRand:
+					what = fmt.Sprintf("%s draws from the process-global rand source", fact.What)
+				case FactMapRange:
+					what = "map iteration order can influence results"
+				case FactGoSpawn:
+					what = "goroutine spawned on the hot path"
+				case FactDynamicCall:
+					what = fact.What + " cannot be analysed"
+				default:
+					continue
+				}
+				if seen[fact.Pos] {
+					continue
+				}
+				seen[fact.Pos] = true
+				out = append(out, fi.Pkg.findingf(fact.Pos, "enginepurity",
+					"%s inside %s, on %s's Access hot path — the per-reference path must be deterministic and allocation-free",
+					what, fi.Decl.Name.Name, name))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixtures live at dirsim/internal/coherence because the rule anchors
+// on the Engine interface declared there.
+
+func TestEnginePurityFlagsDirtyAccessPath(t *testing.T) {
+	src := `package coherence
+import "time"
+type Engine interface {
+	Access(c int, block uint64) int
+}
+type Dirty struct{ seen map[uint64][]int }
+func (e *Dirty) Access(c int, block uint64) int {
+	e.seen[block] = append([]int(nil), c)
+	_ = time.Now()
+	n := 0
+	for range e.seen {
+		n++
+	}
+	return e.helper(n)
+}
+func (e *Dirty) helper(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+`
+	fs := lintSrc(t, "dirsim/internal/coherence", src, nil, EnginePurityRule{})
+	if len(fs) != 4 {
+		t.Fatalf("got %d findings, want 4 (fresh append, clock, map range, helper make): %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "Dirty's Access hot path") {
+			t.Errorf("finding does not name the engine: %v", f)
+		}
+	}
+}
+
+func TestEnginePurityAllowsAmortizedGrowth(t *testing.T) {
+	src := `package coherence
+type Engine interface {
+	Access(c int, block uint64) int
+}
+type state struct{ n int }
+type Clean struct {
+	blocks map[uint64]*state
+	hits   []uint64
+}
+func (e *Clean) Access(c int, block uint64) int {
+	bs := e.ensure(block)
+	bs.n++
+	e.hits = append(e.hits, block)
+	return bs.n
+}
+func (e *Clean) ensure(block uint64) *state {
+	if bs, ok := e.blocks[block]; ok {
+		return bs
+	}
+	bs := &state{}
+	e.blocks[block] = bs
+	return bs
+}
+`
+	fs := lintSrc(t, "dirsim/internal/coherence", src, nil, EnginePurityRule{})
+	if len(fs) != 0 {
+		t.Fatalf("first-touch/amortized growth should pass: %v", fs)
+	}
+}
+
+func TestEnginePurityFlagsClosureAndSpawn(t *testing.T) {
+	src := `package coherence
+type Engine interface {
+	Access(c int, block uint64) int
+}
+type Spawny struct{ sink chan int }
+func (e *Spawny) Access(c int, block uint64) int {
+	go func() { e.sink <- c }()
+	return c
+}
+`
+	fs := lintSrc(t, "dirsim/internal/coherence", src, nil, EnginePurityRule{})
+	var kinds []string
+	for _, f := range fs {
+		kinds = append(kinds, f.Msg)
+	}
+	joined := strings.Join(kinds, "\n")
+	if !strings.Contains(joined, "goroutine spawned") {
+		t.Errorf("goroutine on Access path not flagged: %v", fs)
+	}
+	if !strings.Contains(joined, "closure") {
+		t.Errorf("closure allocation not flagged: %v", fs)
+	}
+}
+
+func TestEnginePurityResolvesStoreDispatch(t *testing.T) {
+	// An allocation inside an interface implementation the engine calls
+	// must be attributed to the engine's hot path.
+	src := `package coherence
+type Engine interface {
+	Access(c int, block uint64) int
+}
+type Store interface{ Targets(block uint64) []int }
+type BadStore struct{}
+func (BadStore) Targets(block uint64) []int { return make([]int, 4) }
+type Indirect struct{ store Store }
+func (e *Indirect) Access(c int, block uint64) int {
+	return len(e.store.Targets(block))
+}
+`
+	fs := lintSrc(t, "dirsim/internal/coherence", src, nil, EnginePurityRule{})
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "make") {
+		t.Fatalf("store allocation behind interface dispatch not attributed: %v", fs)
+	}
+}

@@ -58,10 +58,14 @@ func (f Finding) String() string {
 type Package struct {
 	// Path is the import path, Module the module path it belongs to.
 	Path, Module string
-	Fset         *token.FileSet
-	Files        []*ast.File
-	Pkg          *types.Package
-	Info         *types.Info
+	// Root is the module root directory on disk (empty for packages
+	// synthesized in tests); output formats use it to relativize
+	// finding paths.
+	Root  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
 }
 
 // findingf creates a Finding at pos.
@@ -79,14 +83,29 @@ func (p *Package) inModuleInternal() bool {
 	return rest == "internal" || strings.HasPrefix(rest, "internal/")
 }
 
-// Rule is one static check.
+// Rule is one static check: a PackageRule walks one package at a time, a
+// ModuleRule receives the whole loaded module with its call graph. Every
+// rule implements exactly one of the two.
 type Rule interface {
 	// Name is the short identifier printed with each finding.
 	Name() string
 	// Doc is a one-line description of what the rule catches.
 	Doc() string
+}
+
+// PackageRule is a rule whose findings are derivable from one package.
+type PackageRule interface {
+	Rule
 	// Check analyses one package.
 	Check(p *Package) []Finding
+}
+
+// ModuleRule is a rule that needs cross-package facts: the module call
+// graph and its per-function summaries, built once per Run.
+type ModuleRule interface {
+	Rule
+	// CheckModule analyses the whole module.
+	CheckModule(m *Module) []Finding
 }
 
 // DefaultRules returns every dirsim rule.
@@ -103,23 +122,47 @@ func DefaultRules() []Rule {
 		AtomicWriteRule{},
 		HTTPServerRule{},
 		ObsRingRule{},
+		EnginePurityRule{},
+		LockCheckRule{},
+		CtxFlowRule{},
 	}
 }
 
 // Run applies rules to every package and returns the findings sorted by
-// position, rule, then message, so output is stable run to run.
+// position, rule, then message, so output is stable run to run. The
+// module call graph is built once and shared by every ModuleRule.
 func Run(pkgs []*Package, rules []Rule) []Finding {
 	if rules == nil {
 		rules = DefaultRules()
 	}
+	var mod *Module
 	var out []Finding
+	for _, r := range rules {
+		mr, ok := r.(ModuleRule)
+		if !ok {
+			continue
+		}
+		if mod == nil {
+			mod = NewModule(pkgs)
+		}
+		out = append(out, mr.CheckModule(mod)...)
+	}
 	for _, p := range pkgs {
 		for _, r := range rules {
-			out = append(out, r.Check(p)...)
+			if pr, ok := r.(PackageRule); ok {
+				out = append(out, pr.Check(p)...)
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by position, rule, then message — the
+// stable order Run emits and the driver restores after filtering.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -134,7 +177,6 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Msg < b.Msg
 	})
-	return out
 }
 
 // pkgNameOf resolves an identifier to the package it names, or nil.

@@ -236,7 +236,9 @@ func (ld *loader) load(path string) (*Package, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		f, err := parser.ParseFile(ld.fset, name, nil, parser.SkipObjectResolution)
+		// Comments are kept so the driver can honour //lint:ignore
+		// suppression pragmas.
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +263,7 @@ func (ld *loader) load(path string) (*Package, error) {
 	p := &Package{
 		Path:   path,
 		Module: ld.modPath,
+		Root:   ld.root,
 		Fset:   ld.fset,
 		Files:  files,
 		Pkg:    pkg,

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes files under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadParseError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":          "module example.com/parsefail\n\ngo 1.21\n",
+		"internal/p/p.go": "package p\n\nfunc Broken( {\n", // unbalanced
+	})
+	_, err := Load(root, "./...")
+	if err == nil {
+		t.Fatal("malformed source loaded without error")
+	}
+	if !strings.Contains(err.Error(), "p.go") {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":          "module example.com/typefail\n\ngo 1.21\n",
+		"internal/p/p.go": "package p\n\nfunc Mismatch() int { return \"nope\" }\n",
+	})
+	_, err := Load(root, "./...")
+	if err == nil {
+		t.Fatal("type error loaded without error")
+	}
+	if !strings.Contains(err.Error(), "type-checking") || !strings.Contains(err.Error(), "example.com/typefail/internal/p") {
+		t.Errorf("error does not identify the package: %v", err)
+	}
+}
+
+func TestLoadBrokenDependencyFailsImporter(t *testing.T) {
+	// The broken package is only reached through an import, so the error
+	// must surface through the importer path too.
+	root := writeTree(t, map[string]string{
+		"go.mod":            "module example.com/depfail\n\ngo 1.21\n",
+		"internal/bad/b.go": "package bad\n\nvar X undeclared\n",
+		"internal/ok/ok.go": "package ok\n\nimport \"example.com/depfail/internal/bad\"\n\nvar Y = bad.X\n",
+	})
+	if _, err := Load(root, "./internal/ok"); err == nil {
+		t.Fatal("broken dependency loaded without error")
+	}
+}
+
+func TestLoadNoModule(t *testing.T) {
+	// t.TempDir lives under /tmp, which has no go.mod above it.
+	if _, err := Load(t.TempDir(), "./..."); err == nil {
+		t.Fatal("directory without go.mod loaded without error")
+	}
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":          "module example.com/cyc\n\ngo 1.21\n",
+		"internal/a/a.go": "package a\n\nimport \"example.com/cyc/internal/b\"\n\nvar X = b.Y\n",
+		"internal/b/b.go": "package b\n\nimport \"example.com/cyc/internal/a\"\n\nvar Y = a.X\n",
+	})
+	_, err := Load(root, "./...")
+	if err == nil {
+		t.Fatal("import cycle loaded without error")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error does not mention the cycle: %v", err)
+	}
+}
+
+func TestLoadSetsRootAndKeepsComments(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":          "module example.com/meta\n\ngo 1.21\n",
+		"internal/p/p.go": "package p\n\n//lint:ignore maporder demo reason\nfunc F() {}\n",
+	})
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages", len(pkgs))
+	}
+	// Symlink-resolved temp dirs may differ textually; compare resolved.
+	wantRoot, _ := filepath.EvalSymlinks(root)
+	gotRoot, _ := filepath.EvalSymlinks(pkgs[0].Root)
+	if gotRoot != wantRoot {
+		t.Errorf("Root = %q, want %q", pkgs[0].Root, root)
+	}
+	pragmas, bad := CollectPragmas(pkgs)
+	if len(bad) != 0 {
+		t.Fatalf("malformed pragmas: %v", bad)
+	}
+	if len(pragmas) != 1 || pragmas[0].Rule != "maporder" || pragmas[0].Reason != "demo reason" {
+		t.Fatalf("pragmas = %+v, want the //lint:ignore directive (loader must keep comments)", pragmas)
+	}
+}

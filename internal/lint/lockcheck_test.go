@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockCheckFlagsCopiedLocks(t *testing.T) {
+	src := `package fix
+import "sync"
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+func byValueReceiver(g guarded) int { return g.n }
+func param(mu sync.Mutex)           {}
+func result(g *guarded) guarded     { return *g }
+func assign(g *guarded) {
+	cp := *g
+	_ = cp
+}
+func iterate(gs []guarded) int {
+	n := 0
+	for _, g := range gs {
+		n += g.n
+	}
+	return n
+}
+`
+	fs := lintSrc(t, "dirsim/internal/fix", src, nil, LockCheckRule{})
+	// receiver, param, result type, dereference copy, range copy — the
+	// *g in assign and result bodies each count once more as StarExpr
+	// copies feeding the flagged construct.
+	if len(fs) < 5 {
+		t.Fatalf("got %d findings, want at least 5: %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "sync.Mutex") {
+			t.Errorf("finding should name the lock type: %v", f)
+		}
+	}
+}
+
+func TestLockCheckFlagsCopiedAtomics(t *testing.T) {
+	src := `package fix
+import "sync/atomic"
+type counter struct{ n atomic.Uint64 }
+func snapshot(c *counter) counter { return *c }
+`
+	fs := lintSrc(t, "dirsim/internal/fix", src, nil, LockCheckRule{})
+	if len(fs) == 0 || !strings.Contains(fs[0].Msg, "atomic.Uint64") {
+		t.Fatalf("copied atomic value not flagged: %v", fs)
+	}
+}
+
+func TestLockCheckAllowsPointersAndEmbedding(t *testing.T) {
+	src := `package fix
+import "sync"
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+func ptr(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+func build() *guarded { return &guarded{} }
+func iterate(gs []*guarded) int {
+	n := 0
+	for _, g := range gs {
+		n += ptr(g)
+	}
+	return n
+}
+`
+	fs := lintSrc(t, "dirsim/internal/fix", src, nil, LockCheckRule{})
+	if len(fs) != 0 {
+		t.Fatalf("pointer access should be clean: %v", fs)
+	}
+}
+
+func TestLockCheckFlagsMixedAtomicAccess(t *testing.T) {
+	src := `package fix
+import "sync/atomic"
+type stats struct{ hits uint64 }
+func bump(s *stats)      { atomic.AddUint64(&s.hits, 1) }
+func read(s *stats) uint64 { return s.hits }
+func reset(s *stats)     { s.hits = 0 }
+`
+	fs := lintSrc(t, "dirsim/internal/fix", src, nil, LockCheckRule{})
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2 (plain read + plain write): %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "atomic.AddUint64") {
+			t.Errorf("finding should name the atomic op: %v", f)
+		}
+	}
+}
+
+func TestLockCheckAllowsConsistentAtomicAccess(t *testing.T) {
+	src := `package fix
+import "sync/atomic"
+type stats struct{ hits uint64 }
+func bump(s *stats)        { atomic.AddUint64(&s.hits, 1) }
+func read(s *stats) uint64 { return atomic.LoadUint64(&s.hits) }
+`
+	fs := lintSrc(t, "dirsim/internal/fix", src, nil, LockCheckRule{})
+	if len(fs) != 0 {
+		t.Fatalf("all-atomic access should be clean: %v", fs)
+	}
+}

@@ -1,19 +1,22 @@
 package lint
 
 import (
-	"go/ast"
 	"go/types"
 )
 
-// ObsRingRule flags allocation on the observability hot path: inside
-// internal/flight and internal/obs, the per-event entry points — Emit,
-// Observe, ObserveN — and every same-package function reachable from
-// them must not allocate. The flight recorder's contract is that tracing
-// a run costs one store per event and histograms cost three atomic adds;
-// a make/append/new, a slice or map literal, a &composite literal or a
+// ObsRingRule flags allocation on the observability hot path: the
+// per-event entry points in internal/flight and internal/obs — Emit,
+// Observe, ObserveN — and every module function reachable from them must
+// not allocate. The flight recorder's contract is that tracing a run
+// costs one store per event and histograms cost three atomic adds; a
+// make/append/new, a slice or map literal, a &composite literal or a
 // closure on that path turns every simulated reference into a heap
 // allocation and silently destroys the <5% tracing-overhead budget the
 // benchmarks enforce.
+//
+// Unlike the engine hot path (see EnginePurityRule), the observability
+// path has no growth phase: rings and histogram buckets are fully
+// preallocated, so even amortized (guarded) allocation is a finding.
 type ObsRingRule struct{}
 
 // obsRingPkgs are the module-relative packages whose hot paths the rule
@@ -31,134 +34,32 @@ func (ObsRingRule) Doc() string {
 	return "allocation inside flight.Emit/obs.Observe hot paths (rings and histograms must record without allocating)"
 }
 
-// Check implements Rule.
-func (ObsRingRule) Check(p *Package) []Finding {
-	guarded := false
+// CheckModule implements ModuleRule: walk the call graph from every
+// Emit/Observe/ObserveN declared in the guarded packages and flag each
+// allocation fact in a reachable function.
+func (ObsRingRule) CheckModule(m *Module) []Finding {
+	var roots []*types.Func
 	for _, rel := range obsRingPkgs {
-		if p.Path == p.Module+"/"+rel {
-			guarded = true
+		p := m.Package(rel)
+		if p == nil {
+			continue
 		}
-	}
-	if !guarded {
-		return nil
-	}
-
-	// Index the package's function declarations by their *types.Func so
-	// calls resolve to bodies, then walk the call graph from the roots.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
+		for _, fi := range m.Funcs() {
+			if fi.Pkg == p && obsRingRoots[fi.Decl.Name.Name] {
+				roots = append(roots, fi.Fn)
 			}
 		}
 	}
-	var queue []*types.Func
-	hot := map[*types.Func]bool{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !obsRingRoots[fd.Name.Name] {
-				continue
-			}
-			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-				hot[obj] = true
-				queue = append(queue, obj)
-			}
-		}
-	}
-	for len(queue) > 0 {
-		obj := queue[0]
-		queue = queue[1:]
-		ast.Inspect(decls[obj].Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			var id *ast.Ident
-			switch fun := call.Fun.(type) {
-			case *ast.Ident:
-				id = fun
-			case *ast.SelectorExpr:
-				id = fun.Sel
-			default:
-				return true
-			}
-			callee, ok := p.Info.Uses[id].(*types.Func)
-			if !ok || callee.Pkg() != p.Pkg || hot[callee] {
-				return true
-			}
-			if _, known := decls[callee]; known {
-				hot[callee] = true
-				queue = append(queue, callee)
-			}
-			return true
-		})
-	}
-
-	// Walk files in declaration order (not the hot set's map order) so
-	// findings are deterministic before Run's sort.
 	var out []Finding
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+	for _, fi := range m.Reachable(roots...) {
+		for _, fact := range fi.Facts {
+			if fact.Kind != FactAlloc && fact.Kind != FactAmortizedAlloc {
 				continue
 			}
-			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
-			if obj == nil || !hot[obj] {
-				continue
-			}
-			out = append(out, obsRingInspect(p, fd)...)
+			out = append(out, fi.Pkg.findingf(fact.Pos, "obsring",
+				"%s allocates inside %s, which is reachable from the flight/obs hot path — preallocate during setup",
+				fact.What, fi.Decl.Name.Name))
 		}
 	}
-	return out
-}
-
-// obsRingInspect reports every allocating construct in one hot function.
-func obsRingInspect(p *Package, fd *ast.FuncDecl) []Finding {
-	var out []Finding
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch node := n.(type) {
-		case *ast.CallExpr:
-			if id, ok := node.Fun.(*ast.Ident); ok {
-				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
-					switch b.Name() {
-					case "make", "new", "append":
-						out = append(out, p.findingf(node.Pos(), "obsring",
-							"%s allocates inside %s, which is reachable from the flight/obs hot path — preallocate during setup",
-							b.Name(), fd.Name.Name))
-					}
-				}
-			}
-		case *ast.CompositeLit:
-			t, ok := p.Info.Types[ast.Expr(node)]
-			if !ok {
-				return true
-			}
-			switch t.Type.Underlying().(type) {
-			case *types.Slice, *types.Map:
-				out = append(out, p.findingf(node.Pos(), "obsring",
-					"slice/map literal allocates inside %s, which is reachable from the flight/obs hot path — preallocate during setup",
-					fd.Name.Name))
-			}
-		case *ast.UnaryExpr:
-			if _, ok := node.X.(*ast.CompositeLit); ok && node.Op.String() == "&" {
-				out = append(out, p.findingf(node.Pos(), "obsring",
-					"&composite literal escapes to the heap inside %s, which is reachable from the flight/obs hot path",
-					fd.Name.Name))
-			}
-		case *ast.FuncLit:
-			out = append(out, p.findingf(node.Pos(), "obsring",
-				"closure allocates inside %s, which is reachable from the flight/obs hot path",
-				fd.Name.Name))
-			return false
-		}
-		return true
-	})
 	return out
 }

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"encoding/json"
+)
+
+// SARIF 2.1.0 output, the interchange format GitHub code scanning
+// ingests. Only the required skeleton plus the properties code-scanning
+// uses are emitted: tool driver with per-rule metadata, and one result
+// per finding with a physical location. The structure below mirrors the
+// OASIS sarif-schema-2.1.0 property names exactly; the encoding is
+// validated structurally by tests, with no network access.
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// MarshalSARIF renders findings as one SARIF 2.1.0 run of the given
+// rules. relFile maps a finding's filename to the repository-relative,
+// slash-separated URI code scanning expects. Rules appear in the given
+// order; results reference them by ruleIndex. The "suppression" pseudo
+// rule (malformed or unused pragmas) is appended when referenced.
+func MarshalSARIF(findings []Finding, rules []Rule, relFile func(string) string) ([]byte, error) {
+	drv := sarifDriver{Name: "dirsimlint"}
+	index := map[string]int{}
+	for _, r := range rules {
+		index[r.Name()] = len(drv.Rules)
+		drv.Rules = append(drv.Rules, sarifRule{
+			ID:               r.Name(),
+			ShortDescription: sarifMessage{Text: r.Doc()},
+		})
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		ri, ok := index[f.Rule]
+		if !ok {
+			ri = len(drv.Rules)
+			index[f.Rule] = ri
+			drv.Rules = append(drv.Rules, sarifRule{
+				ID:               f.Rule,
+				ShortDescription: sarifMessage{Text: "findings about the suppression pragmas themselves"},
+			})
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relFile(f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: drv}, Results: results}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestSARIFStructure validates the emitted document against the
+// structural requirements of the SARIF 2.1.0 schema — required
+// properties, types, and cross-references — without a network fetch: the
+// checks below encode the schema clauses GitHub code scanning actually
+// enforces (sarifLog.version/runs, run.tool.driver.name, result.ruleId/
+// message/locations, physicalLocation.artifactLocation.uri, region
+// startLine ≥ 1).
+func TestSARIFStructure(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "/mod/internal/a.go", Line: 12, Column: 3}, Rule: "obsring", Msg: "allocates"},
+		{Pos: token.Position{Filename: "/mod/internal/b.go", Line: 7, Column: 1}, Rule: "suppression", Msg: "unused suppression"},
+	}
+	rel := func(name string) string { return strings.TrimPrefix(name, "/mod/") }
+	data, err := MarshalSARIF(findings, DefaultRules(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", doc["version"])
+	}
+	if s, _ := doc["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %v", doc["$schema"])
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want one run", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+
+	driver, ok := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if !ok {
+		t.Fatal("run.tool.driver missing")
+	}
+	if name, _ := driver["name"].(string); name != "dirsimlint" {
+		t.Errorf("driver.name = %v", driver["name"])
+	}
+	ruleIDs := map[string]int{}
+	rules, _ := driver["rules"].([]any)
+	for i, r := range rules {
+		rm := r.(map[string]any)
+		id, _ := rm["id"].(string)
+		if id == "" {
+			t.Fatalf("rule %d has no id", i)
+		}
+		if sd, ok := rm["shortDescription"].(map[string]any); !ok || sd["text"] == "" {
+			t.Errorf("rule %s lacks shortDescription.text", id)
+		}
+		ruleIDs[id] = i
+	}
+
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != len(findings) {
+		t.Fatalf("results = %v, want %d entries", run["results"], len(findings))
+	}
+	for _, r := range results {
+		res := r.(map[string]any)
+		id, _ := res["ruleId"].(string)
+		idx, inDriver := ruleIDs[id]
+		if !inDriver {
+			t.Errorf("result ruleId %q not declared in driver.rules", id)
+		}
+		if ri, _ := res["ruleIndex"].(float64); int(ri) != idx {
+			t.Errorf("result ruleIndex %v does not match driver.rules position %d for %s", res["ruleIndex"], idx, id)
+		}
+		if lvl, _ := res["level"].(string); lvl != "error" && lvl != "warning" && lvl != "note" {
+			t.Errorf("result level %q not a SARIF level", lvl)
+		}
+		msg, ok := res["message"].(map[string]any)
+		if !ok || msg["text"] == "" {
+			t.Errorf("result %s lacks message.text", id)
+		}
+		locs, ok := res["locations"].([]any)
+		if !ok || len(locs) != 1 {
+			t.Fatalf("result %s lacks locations", id)
+		}
+		phys, ok := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		if !ok {
+			t.Fatalf("result %s lacks physicalLocation", id)
+		}
+		uri, _ := phys["artifactLocation"].(map[string]any)["uri"].(string)
+		if uri == "" || strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Errorf("artifact uri %q must be relative and slash-separated", uri)
+		}
+		region, ok := phys["region"].(map[string]any)
+		if !ok {
+			t.Fatalf("result %s lacks region", id)
+		}
+		if line, _ := region["startLine"].(float64); line < 1 {
+			t.Errorf("startLine %v < 1", region["startLine"])
+		}
+	}
+
+	// The suppression pseudo-rule was referenced, so it must have been
+	// appended to driver.rules.
+	if _, ok := ruleIDs["suppression"]; !ok {
+		t.Error("suppression pseudo-rule not declared")
+	}
+}
+
+// TestSARIFEmptyIsValid keeps the clean-run document well-formed: GitHub
+// rejects runs whose results property is null.
+func TestSARIFEmptyIsValid(t *testing.T) {
+	data, err := MarshalSARIF(nil, DefaultRules(), func(s string) string { return s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Runs[0].Results == nil {
+		t.Error("results must be an empty array, not null")
+	}
+	if !strings.Contains(string(data), `"results": []`) {
+		t.Errorf("results not serialized as []:\n%s", data)
+	}
+}
+
+// TestSARIFDeterministic pins byte-for-byte stability: CI diffs uploads.
+func TestSARIFDeterministic(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "x.go", Line: 1, Column: 1}, Rule: "maporder", Msg: "m"},
+	}
+	id := func(s string) string { return s }
+	a, err := MarshalSARIF(findings, DefaultRules(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalSARIF(findings, DefaultRules(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("SARIF output is not deterministic")
+	}
+}

@@ -262,15 +262,14 @@ func (e *Engine) write(bs *blockState, c, home int, holds, first bool) events.Ty
 	// invalidate sends directed invalidations to every other sharer and
 	// collects their acknowledgements at the requester.
 	invalidate := func() {
-		bs.sharers.ForEach(func(h int) bool {
+		for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
 			if h != c {
 				e.hop(home, h, true) // invalidation
 				e.hop(h, c, true)    // acknowledgement to the writer
 				e.stats.Invalidations++
 				e.stats.InvalAcks++
 			}
-			return true
-		})
+		}
 	}
 	var ev events.Type
 	switch {
