@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-sarif mc check fuzz bench fault-smoke serve serve-smoke trace-smoke promscrape-smoke
+.PHONY: build test race lint lint-sarif mc check fuzz bench bench-json bench-regress fault-smoke serve serve-smoke trace-smoke promscrape-smoke
 
 build:
 	$(GO) build ./...
@@ -167,3 +167,14 @@ promscrape-smoke:
 # across commits (CI runs the same benchmark once as a smoke test).
 bench:
 	$(GO) test -run '^$$' -bench SimulatorThroughput -benchtime 1x -json . | tee BENCH_throughput.json
+
+# Refresh the committed data-oriented-core baseline (BENCH_7.json):
+# re-measures the "after" section in place, preserving "before" (the
+# numbers the rewrite started from) and the documented tolerances.
+bench-json:
+	$(GO) test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 2s . | $(GO) run ./cmd/benchjson -out BENCH_7.json -phase after
+
+# What CI's bench-regress job runs: replay the benchmark and gate it
+# against the committed baseline's tolerances.
+bench-regress:
+	$(GO) test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 1s . | $(GO) run ./cmd/benchjson -check BENCH_7.json

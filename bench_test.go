@@ -628,6 +628,19 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(len(tr)*len(schemes))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
 	}
 	b.Run("sequential", func(b *testing.B) { run(b, func() dirsim.Options { return dirsim.Options{} }) })
+	b.Run("single", func(b *testing.B) {
+		// One engine, sequential: the per-reference cost of the hot path
+		// itself, with no fan-out amortization — the number the
+		// data-oriented engine rewrite is measured on (BENCH_*.json).
+		b.SetBytes(int64(len(tr)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dirsim.RunSchemes(dirsim.NewTraceReader(tr), []string{"dir0b"}, cfg, dirsim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tr))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+	})
 	b.Run("parallel", func(b *testing.B) {
 		run(b, func() dirsim.Options { return dirsim.Options{Parallel: runtime.GOMAXPROCS(0)} })
 	})

@@ -1,0 +1,257 @@
+// Command benchjson turns `go test -bench -benchmem` text output into a
+// compact JSON baseline and checks fresh runs against a committed one.
+//
+// The baseline file (BENCH_*.json) records two phases per sub-benchmark —
+// "before" and "after" — so a performance PR carries its own evidence:
+// the numbers the rewrite started from and the numbers it landed at, with
+// B/op and allocs/op alongside throughput. CI replays the benchmark and
+// compares against the committed "after" phase:
+//
+//	go test -run '^$' -bench X -benchmem . | benchjson              # parse to stdout
+//	go test ... | benchjson -out BENCH_7.json -phase after          # record a phase
+//	go test ... | benchjson -check BENCH_7.json                     # gate a fresh run
+//
+// Tolerances live in the baseline file next to the numbers they guard.
+// The defaults are deliberately asymmetric: throughput may drop to half
+// the recorded value before failing, because shared CI runners are both
+// slower and noisier than the machine that recorded the baseline, while
+// allocs/op — which is deterministic for a fixed workload — may grow by
+// at most 10% before the gate trips.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dirsim/internal/atomicio"
+)
+
+// Result is one sub-benchmark's measurements.
+type Result struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MrefsPerSec float64 `json:"mrefs_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Tolerance bounds how far a fresh run may drift from the committed
+// "after" phase before -check fails.
+type Tolerance struct {
+	// MrefsFrac is the allowed fractional throughput drop: a run fails
+	// when measured < recorded*(1-MrefsFrac).
+	MrefsFrac float64 `json:"mrefs_frac"`
+	// AllocsFrac is the allowed fractional allocs/op growth: a run
+	// fails when measured > recorded*(1+AllocsFrac).
+	AllocsFrac float64 `json:"allocs_frac"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// Baseline is the committed BENCH_*.json document.
+type Baseline struct {
+	Benchmark string            `json:"benchmark,omitempty"`
+	Machine   string            `json:"machine,omitempty"`
+	Note      string            `json:"note,omitempty"`
+	Tolerance Tolerance         `json:"tolerance"`
+	Before    map[string]Result `json:"before,omitempty"`
+	After     map[string]Result `json:"after,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "baseline file to record the parsed run into (with -phase)")
+	phase := flag.String("phase", "after", "which phase -out records: before or after")
+	check := flag.String("check", "", "baseline file to compare the parsed run against")
+	flag.Parse()
+
+	if err := run(os.Stdin, os.Stdout, *out, *phase, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, stdout io.Writer, out, phase, check string) error {
+	results, meta, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return errors.New("no benchmark result lines on stdin")
+	}
+	switch {
+	case check != "":
+		return checkBaseline(stdout, check, results)
+	case out != "":
+		return record(out, phase, results, meta)
+	default:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+}
+
+// parseBench reads `go test -bench` text output: one "Benchmark..." line
+// per result, whitespace-separated as name, iterations, then value/unit
+// pairs. Keys drop the "Benchmark" prefix and the "-<procs>" suffix.
+// It also captures the cpu: line as machine metadata.
+func parseBench(in io.Reader) (map[string]Result, string, error) {
+	results := map[string]Result{}
+	machine := ""
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			machine = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // "Benchmark..." heading without results
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "Mrefs/s":
+				r.MrefsPerSec = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		results[name] = r
+	}
+	return results, machine, sc.Err()
+}
+
+// record merges the parsed run into the baseline file's named phase,
+// preserving the other phase and the tolerances. A fresh file gets the
+// default tolerances documented in the package comment.
+func record(path, phase string, results map[string]Result, machine string) error {
+	if phase != "before" && phase != "after" {
+		return fmt.Errorf("-phase must be before or after, got %q", phase)
+	}
+	base := Baseline{
+		Tolerance: Tolerance{
+			MrefsFrac:  0.5,
+			AllocsFrac: 0.10,
+			Note: "throughput may halve before failing (CI runners are slower and noisier " +
+				"than the recording machine); allocs/op is deterministic for a fixed workload " +
+				"and may grow at most 10%",
+		},
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if machine != "" {
+		base.Machine = machine
+	}
+	if bench := commonBenchmark(results); bench != "" {
+		base.Benchmark = "Benchmark" + bench
+	}
+	if phase == "before" {
+		base.Before = results
+	} else {
+		base.After = results
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, append(data, '\n'))
+}
+
+// commonBenchmark returns the shared top-level benchmark name, or "".
+func commonBenchmark(results map[string]Result) string {
+	bench := ""
+	for name := range results {
+		top, _, _ := strings.Cut(name, "/")
+		if bench != "" && bench != top {
+			return ""
+		}
+		bench = top
+	}
+	return bench
+}
+
+// checkBaseline compares the parsed run against the committed "after"
+// phase and returns an error if any shared sub-benchmark regresses past
+// the file's tolerances.
+func checkBaseline(stdout io.Writer, path string, results map[string]Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base.After) == 0 {
+		return fmt.Errorf("%s has no after phase to check against", path)
+	}
+	names := make([]string, 0, len(base.After))
+	for name := range base.After {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	matched, failed := 0, 0
+	for _, name := range names {
+		want := base.After[name]
+		got, ok := results[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-40s not in this run, skipped\n", name)
+			continue
+		}
+		matched++
+		status := "ok"
+		minMrefs := want.MrefsPerSec * (1 - base.Tolerance.MrefsFrac)
+		maxAllocs := float64(want.AllocsPerOp) * (1 + base.Tolerance.AllocsFrac)
+		if want.MrefsPerSec > 0 && got.MrefsPerSec < minMrefs {
+			status = fmt.Sprintf("FAIL: %.2f Mrefs/s < floor %.2f", got.MrefsPerSec, minMrefs)
+			failed++
+		} else if float64(got.AllocsPerOp) > maxAllocs {
+			status = fmt.Sprintf("FAIL: %d allocs/op > ceiling %.0f", got.AllocsPerOp, maxAllocs)
+			failed++
+		}
+		fmt.Fprintf(stdout, "%-40s %8.2f Mrefs/s (baseline %8.2f)  %7d allocs/op (baseline %7d)  %s\n",
+			name, got.MrefsPerSec, want.MrefsPerSec, got.AllocsPerOp, want.AllocsPerOp, status)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no sub-benchmark in this run matches %s", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sub-benchmarks regressed past tolerance", failed, matched)
+	}
+	return nil
+}

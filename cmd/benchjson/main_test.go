@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: dirsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorThroughput/single-4         	     166	  14552858 ns/op	  13.74 MB/s	        13.74 Mrefs/s	 1338984 B/op	   11539 allocs/op
+BenchmarkSimulatorThroughput/sequential-4     	      79	  29808535 ns/op	   6.71 MB/s	        26.84 Mrefs/s	 3721276 B/op	   62406 allocs/op
+PASS
+ok  	dirsim	3.936s
+`
+
+func TestParseBench(t *testing.T) {
+	results, machine, err := parseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "Intel(R) Xeon(R) Processor @ 2.10GHz"; machine != want {
+		t.Errorf("machine = %q, want %q", machine, want)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %v", len(results), results)
+	}
+	single, ok := results["SimulatorThroughput/single"]
+	if !ok {
+		t.Fatalf("missing single (procs suffix not stripped?): %v", results)
+	}
+	if single.MrefsPerSec != 13.74 || single.BytesPerOp != 1338984 || single.AllocsPerOp != 11539 {
+		t.Errorf("single = %+v", single)
+	}
+	if single.Iterations != 166 || single.NsPerOp != 14552858 {
+		t.Errorf("single = %+v", single)
+	}
+}
+
+func TestRecordPreservesOtherPhase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	results, _, err := parseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := record(path, "before", results, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	// Recording "after" must keep "before" and the default tolerances.
+	after := map[string]Result{
+		"SimulatorThroughput/single": {Iterations: 500, MrefsPerSec: 55, BytesPerOp: 1071224, AllocsPerOp: 87},
+	}
+	if err := record(path, "after", after, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Benchmark != "BenchmarkSimulatorThroughput" {
+		t.Errorf("benchmark = %q", base.Benchmark)
+	}
+	if base.Before["SimulatorThroughput/single"].AllocsPerOp != 11539 {
+		t.Errorf("before phase lost: %+v", base.Before)
+	}
+	if base.After["SimulatorThroughput/single"].AllocsPerOp != 87 {
+		t.Errorf("after phase wrong: %+v", base.After)
+	}
+	if base.Tolerance.MrefsFrac != 0.5 || base.Tolerance.AllocsFrac != 0.10 {
+		t.Errorf("default tolerances lost: %+v", base.Tolerance)
+	}
+	if base.Machine != "m2" {
+		t.Errorf("machine = %q, want the latest recording's", base.Machine)
+	}
+}
+
+func TestCheckBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	after := map[string]Result{
+		"SimulatorThroughput/single": {MrefsPerSec: 50, AllocsPerOp: 100},
+	}
+	if err := record(path, "after", after, ""); err != nil {
+		t.Fatal(err)
+	}
+	check := func(mrefs float64, allocs int64) error {
+		var sb strings.Builder
+		return checkBaseline(&sb, path, map[string]Result{
+			"SimulatorThroughput/single": {MrefsPerSec: mrefs, AllocsPerOp: allocs},
+		})
+	}
+	// Within tolerance: half throughput, +10% allocs.
+	if err := check(25, 110); err != nil {
+		t.Errorf("run at the tolerance edge should pass: %v", err)
+	}
+	if err := check(24, 100); err == nil {
+		t.Error("throughput below the floor should fail")
+	}
+	if err := check(50, 111); err == nil {
+		t.Error("allocs/op above the ceiling should fail")
+	}
+	// A run sharing no sub-benchmark with the baseline is a config error.
+	var sb strings.Builder
+	if err := checkBaseline(&sb, path, map[string]Result{"Other/x": {}}); err == nil {
+		t.Error("disjoint run should fail, not silently pass")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(strings.NewReader("PASS\n"), &sb, "", "after", ""); err == nil {
+		t.Error("input without benchmark lines should be an error")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"context"
 	"io"
 
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
 	"dirsim/internal/directory"
@@ -404,6 +405,12 @@ func RunNUMAContext(ctx context.Context, rd TraceReader, e *NUMAEngine, opts NUM
 // DirectoryStore is a directory organisation (full map, two-bit, limited
 // pointers, coded set, Tang duplicate tags).
 type DirectoryStore = directory.Store
+
+// BlockID is the dense identifier an interned block address maps to. The
+// simulator interns each distinct data-block address once during decode and
+// engines index their per-block state arrays by it; directory stores and
+// cache replacers are keyed by it as well.
+type BlockID = blockid.ID
 
 // StorageParams describes a machine for directory storage accounting.
 type StorageParams = directory.StorageParams

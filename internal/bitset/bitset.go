@@ -1,9 +1,12 @@
 // Package bitset provides a dense, growable bit set used throughout the
 // simulator to track which caches hold a copy of a memory block.
 //
-// The set is optimised for the common case of small multiprocessors (n ≤ 64
-// caches fit in a single word) but supports arbitrary sizes. The zero value
-// is an empty set ready for use.
+// The set is optimised for the common case of small multiprocessors: the
+// first 64 bits live inline in the struct, so for n ≤ 64 caches a Set in a
+// struct-of-arrays row (sharers []Set) is pointer-free — membership tests
+// touch only the row's cache line, and building one allocates nothing.
+// Larger sets spill bits 64+ to a heap slice. The zero value is an empty
+// set ready for use.
 package bitset
 
 import (
@@ -17,59 +20,75 @@ const wordBits = 64
 // Set is a dense bit set over non-negative integers. The zero value is empty
 // and ready to use. Set is not safe for concurrent mutation.
 type Set struct {
-	words []uint64
+	// w0 holds bits 0..63 inline.
+	w0 uint64
+	// hi holds bits 64+ (hi[k] covers bits 64(k+1)..64(k+2)-1); nil until
+	// an element ≥ 64 is added.
+	hi []uint64
 }
 
 // New returns a set with capacity preallocated for indices in [0, n).
 // Indices beyond n may still be added; the set grows as needed.
 func New(n int) *Set {
-	if n < 0 {
-		n = 0
+	s := &Set{}
+	if n > wordBits {
+		s.hi = make([]uint64, (n-1)/wordBits)
 	}
-	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+	return s
 }
 
-// grow ensures the set can hold bit i.
+// grow ensures the set can hold bit i (callers guarantee i ≥ wordBits).
 func (s *Set) grow(i int) {
-	need := i/wordBits + 1
-	if need <= len(s.words) {
+	need := i / wordBits // hi words needed: bit i lives in hi[i/64 - 1]
+	if need <= len(s.hi) {
 		return
 	}
 	w := make([]uint64, need)
-	copy(w, s.words)
-	s.words = w
+	copy(w, s.hi)
+	s.hi = w
 }
 
 // Add inserts i into the set. Negative indices panic: they indicate a
 // programming error (cache identifiers are never negative).
 func (s *Set) Add(i int) {
+	if uint(i) < wordBits {
+		s.w0 |= 1 << uint(i)
+		return
+	}
 	if i < 0 {
 		panic(fmt.Sprintf("bitset: negative index %d", i))
 	}
 	s.grow(i)
-	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	s.hi[i/wordBits-1] |= 1 << uint(i%wordBits)
 }
 
 // Remove deletes i from the set. Removing an absent element is a no-op.
 func (s *Set) Remove(i int) {
-	if i < 0 || i/wordBits >= len(s.words) {
+	if uint(i) < wordBits {
+		s.w0 &^= 1 << uint(i)
 		return
 	}
-	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	if i < 0 || i/wordBits-1 >= len(s.hi) {
+		return
+	}
+	s.hi[i/wordBits-1] &^= 1 << uint(i%wordBits)
 }
 
 // Contains reports whether i is in the set.
 func (s *Set) Contains(i int) bool {
-	if i < 0 || i/wordBits >= len(s.words) {
+	if uint(i) < wordBits {
+		return s.w0&(1<<uint(i)) != 0
+	}
+	if i < 0 || i/wordBits-1 >= len(s.hi) {
 		return false
 	}
-	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+	return s.hi[i/wordBits-1]&(1<<uint(i%wordBits)) != 0
 }
 
 // Count returns the number of elements in the set.
 func (s *Set) Count() int {
-	n := 0
-	for _, w := range s.words {
+	n := bits.OnesCount64(s.w0)
+	for _, w := range s.hi {
 		n += bits.OnesCount64(w)
 	}
 	return n
@@ -77,7 +96,10 @@ func (s *Set) Count() int {
 
 // Empty reports whether the set has no elements.
 func (s *Set) Empty() bool {
-	for _, w := range s.words {
+	if s.w0 != 0 {
+		return false
+	}
+	for _, w := range s.hi {
 		if w != 0 {
 			return false
 		}
@@ -87,16 +109,20 @@ func (s *Set) Empty() bool {
 
 // Clear removes all elements, retaining capacity.
 func (s *Set) Clear() {
-	for i := range s.words {
-		s.words[i] = 0
+	s.w0 = 0
+	for i := range s.hi {
+		s.hi[i] = 0
 	}
 }
 
 // Min returns the smallest element and true, or (0, false) if empty.
 func (s *Set) Min() (int, bool) {
-	for wi, w := range s.words {
+	if s.w0 != 0 {
+		return bits.TrailingZeros64(s.w0), true
+	}
+	for wi, w := range s.hi {
 		if w != 0 {
-			return wi*wordBits + bits.TrailingZeros64(w), true
+			return (wi+1)*wordBits + bits.TrailingZeros64(w), true
 		}
 	}
 	return 0, false
@@ -104,10 +130,13 @@ func (s *Set) Min() (int, bool) {
 
 // Max returns the largest element and true, or (0, false) if empty.
 func (s *Set) Max() (int, bool) {
-	for wi := len(s.words) - 1; wi >= 0; wi-- {
-		if w := s.words[wi]; w != 0 {
-			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w), true
+	for wi := len(s.hi) - 1; wi >= 0; wi-- {
+		if w := s.hi[wi]; w != 0 {
+			return (wi+2)*wordBits - 1 - bits.LeadingZeros64(w), true
 		}
+	}
+	if s.w0 != 0 {
+		return wordBits - 1 - bits.LeadingZeros64(s.w0), true
 	}
 	return 0, false
 }
@@ -116,14 +145,20 @@ func (s *Set) Max() (int, bool) {
 // (elem, true) only when Count() == 1.
 func (s *Set) Sole() (int, bool) {
 	found := -1
-	for wi, w := range s.words {
+	if s.w0 != 0 {
+		if bits.OnesCount64(s.w0) > 1 {
+			return 0, false
+		}
+		found = bits.TrailingZeros64(s.w0)
+	}
+	for wi, w := range s.hi {
 		switch bits.OnesCount64(w) {
 		case 0:
 		case 1:
 			if found >= 0 {
 				return 0, false
 			}
-			found = wi*wordBits + bits.TrailingZeros64(w)
+			found = (wi+1)*wordBits + bits.TrailingZeros64(w)
 		default:
 			return 0, false
 		}
@@ -146,16 +181,22 @@ func (s *Set) Next(i int) int {
 	if i < 0 {
 		i = 0
 	}
-	wi := i / wordBits
-	if wi >= len(s.words) {
+	if i < wordBits {
+		if w := s.w0 >> uint(i); w != 0 {
+			return i + bits.TrailingZeros64(w)
+		}
+		i = wordBits
+	}
+	wi := i/wordBits - 1
+	if wi >= len(s.hi) {
 		return -1
 	}
-	if w := s.words[wi] >> uint(i%wordBits); w != 0 {
+	if w := s.hi[wi] >> uint(i%wordBits); w != 0 {
 		return i + bits.TrailingZeros64(w)
 	}
-	for wi++; wi < len(s.words); wi++ {
-		if w := s.words[wi]; w != 0 {
-			return wi*wordBits + bits.TrailingZeros64(w)
+	for wi++; wi < len(s.hi); wi++ {
+		if w := s.hi[wi]; w != 0 {
+			return (wi+1)*wordBits + bits.TrailingZeros64(w)
 		}
 	}
 	return -1
@@ -165,10 +206,17 @@ func (s *Set) Next(i int) int {
 // false, iteration stops early. The closure argument allocates when it
 // captures; on allocation-free paths use Next instead.
 func (s *Set) ForEach(fn func(i int) bool) {
-	for wi, w := range s.words {
+	for w := s.w0; w != 0; {
+		b := bits.TrailingZeros64(w)
+		if !fn(b) {
+			return
+		}
+		w &^= 1 << uint(b)
+	}
+	for wi, w := range s.hi {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			if !fn(wi*wordBits + b) {
+			if !fn((wi+1)*wordBits + b) {
 				return
 			}
 			w &^= 1 << uint(b)
@@ -194,8 +242,15 @@ func (s *Set) CountExcluding(i int) int {
 
 // ContainsOther reports whether the set holds any element other than i.
 func (s *Set) ContainsOther(i int) bool {
-	for wi, w := range s.words {
-		if i >= wi*wordBits && i < (wi+1)*wordBits {
+	w0 := s.w0
+	if uint(i) < wordBits {
+		w0 &^= 1 << uint(i)
+	}
+	if w0 != 0 {
+		return true
+	}
+	for wi, w := range s.hi {
+		if i >= (wi+1)*wordBits && i < (wi+2)*wordBits {
 			w &^= 1 << uint(i%wordBits)
 		}
 		if w != 0 {
@@ -207,14 +262,20 @@ func (s *Set) ContainsOther(i int) bool {
 
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
-	w := make([]uint64, len(s.words))
-	copy(w, s.words)
-	return &Set{words: w}
+	c := &Set{w0: s.w0}
+	if len(s.hi) > 0 {
+		c.hi = make([]uint64, len(s.hi))
+		copy(c.hi, s.hi)
+	}
+	return c
 }
 
 // Equal reports whether the two sets contain the same elements.
 func (s *Set) Equal(t *Set) bool {
-	long, short := s.words, t.words
+	if s.w0 != t.w0 {
+		return false
+	}
+	long, short := s.hi, t.hi
 	if len(short) > len(long) {
 		long, short = short, long
 	}

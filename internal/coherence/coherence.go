@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"dirsim/internal/bitset"
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/cache"
 	"dirsim/internal/events"
@@ -55,6 +56,33 @@ type Engine interface {
 	// directory contents); it is meant for tests and returns the first
 	// violation found.
 	CheckInvariants() error
+}
+
+// IndexedEngine is implemented by engines whose per-block state is indexed
+// by dense block ids (internal/blockid) rather than hashed by raw block
+// address. A driver that interns each decoded reference once can hand every
+// engine the id directly, collapsing the per-engine hash probe Access pays
+// into a slice index. Every engine NewByName constructs implements it.
+type IndexedEngine interface {
+	Engine
+	// BindBlocks makes the engine resolve ids against t — the caller's
+	// interning table — instead of its private one. Binding is only legal
+	// while the engine's own table is still empty (ids it already handed
+	// out would be reinterpreted); BindBlocks reports whether the bind
+	// took effect. When it returns false the caller must keep using
+	// Access, which interns internally.
+	BindBlocks(t *blockid.Table) bool
+	// AccessID is Access for a pre-interned reference: id must be the
+	// bound table's id for block. It is ignored for instruction
+	// references, which touch no per-block state.
+	AccessID(cacheID int, kind trace.Kind, block uint64, id blockid.ID, first bool) events.Type
+	// AccessInstrs accounts n consecutive-or-interleaved instruction
+	// fetches in one call. Instruction references change no protocol
+	// state and contribute only commutative sums (Refs, the Instr event
+	// tally), so a driver may defer and coalesce them anywhere within a
+	// measurement window; the resulting Stats are identical to n
+	// AccessID(…, trace.Instr, …) calls.
+	AccessInstrs(n uint64)
 }
 
 // Inspector exposes an engine's protocol state to the model checker in
@@ -157,17 +185,22 @@ type CacheTally struct {
 // stay cheap.
 func (s *Stats) recordPerCache(c, n int, t events.Type) {
 	if s.PerCache == nil {
-		s.PerCache = make([]CacheTally, n)
+		s.growPerCache(n)
 	}
 	ct := &s.PerCache[c]
-	switch {
-	case t.IsHit():
-		ct.Hits++
-	case t.IsMiss():
-		ct.Misses++
-	}
-	if t.IsWrite() {
-		ct.Writes++
+	b := t.Tally()
+	ct.Hits += uint64(b & events.TallyHit)
+	ct.Misses += uint64(b & events.TallyMiss >> 1)
+	ct.Writes += uint64(b & events.TallyWrite >> 2)
+}
+
+// growPerCache allocates the per-cache tallies on first use, outlined so
+// recordPerCache stays within the inlining budget on engine hot paths.
+// The nil guard repeats here so the allocation keeps the guarded,
+// amortized shape the enginepurity rule admits.
+func (s *Stats) growPerCache(n int) {
+	if s.PerCache == nil {
+		s.PerCache = make([]CacheTally, n)
 	}
 }
 
@@ -273,57 +306,61 @@ func (c Config) newReplacers() ([]cache.Replacer, error) {
 	return out, nil
 }
 
-// blockState is the ground truth for one block under an invalidation
-// protocol: the set of caches holding a copy, and whether one of them holds
-// it dirty (memory stale).
-type blockState struct {
-	sharers bitset.Set
-	dirty   bool
-	owner   int // valid when dirty
+// blockStates is the ground truth for every block under an invalidation
+// protocol, held as struct-of-arrays indexed by dense block id: the set of
+// caches holding a copy of each block, whether one of them holds it dirty
+// (memory stale), and which one when so. Slots are never deleted — a block
+// with no holders is an empty sharer set, which encodes and behaves
+// identically to the absent entry of the map-keyed representation this
+// replaced (stale dirty/owner values are unobservable: both are only
+// consulted while the block has holders, and every transition into the
+// dirty state rewrites them).
+type blockStates struct {
+	sharers []bitset.Set
+	dirty   []bool
+	owner   []int32 // valid when dirty
 }
 
-// stateTable maps blocks to their ground-truth state.
-type stateTable map[uint64]*blockState
-
-func (t stateTable) get(block uint64) *blockState {
-	return t[block]
-}
-
-func (t stateTable) ensure(block uint64) *blockState {
-	bs := t[block]
-	if bs == nil {
-		bs = &blockState{owner: -1}
-		t[block] = bs
+// ensure grows the arrays to cover id. Growth at least doubles, so the
+// per-reference cost amortizes to O(1) and the steady state allocates
+// nothing.
+func (t *blockStates) ensure(id blockid.ID) {
+	if int(id) < len(t.sharers) {
+		return
 	}
-	return bs
-}
-
-func (t stateTable) dropIfEmpty(block uint64, bs *blockState) {
-	if bs.sharers.Empty() {
-		delete(t, block)
+	n := int(id) + 1 + len(t.sharers)
+	sharers := make([]bitset.Set, n)
+	copy(sharers, t.sharers)
+	dirty := make([]bool, n)
+	copy(dirty, t.dirty)
+	owner := make([]int32, n)
+	copy(owner, t.owner)
+	for i := len(t.owner); i < n; i++ {
+		owner[i] = -1
 	}
+	t.sharers, t.dirty, t.owner = sharers, dirty, owner
 }
 
 // appendKey writes the canonical encoding of one block's ground truth: the
-// holder set, and the owner when the block is in the written state. A block
-// with no holders encodes as "-" whether or not a table entry lingers.
-func (t stateTable) appendKey(b *strings.Builder, block uint64) {
-	bs := t[block]
-	if bs == nil || bs.sharers.Empty() {
+// holder set, and the owner when the block is in the written state. ok is
+// the caller's table-lookup result; a block that was never interned, or has
+// no holders, encodes as "-".
+func (t *blockStates) appendKey(b *strings.Builder, id blockid.ID, ok bool) {
+	if !ok || int(id) >= len(t.sharers) || t.sharers[id].Empty() {
 		b.WriteString("-")
 		return
 	}
-	b.WriteString(bs.sharers.String())
-	if bs.dirty {
-		fmt.Fprintf(b, "!%d", bs.owner)
+	b.WriteString(t.sharers[id].String())
+	if t.dirty[id] {
+		fmt.Fprintf(b, "!%d", t.owner[id])
 	}
 }
 
-// truth reports the block's holders (ascending) and written state.
-func (t stateTable) truth(block uint64) ([]int, bool) {
-	bs := t[block]
-	if bs == nil || bs.sharers.Empty() {
+// truth reports the block's holders (ascending) and written state. ok is
+// the caller's table-lookup result.
+func (t *blockStates) truth(id blockid.ID, ok bool) ([]int, bool) {
+	if !ok || int(id) >= len(t.sharers) || t.sharers[id].Empty() {
 		return nil, false
 	}
-	return bs.sharers.Elems(), bs.dirty
+	return t.sharers[id].Elems(), t.dirty[id]
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dirsim/internal/bitset"
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/cache"
 	"dirsim/internal/events"
@@ -30,21 +31,44 @@ type Competitive struct {
 	cfg       Config
 
 	stats     Stats
-	state     map[uint64]*competitiveState
+	tab       *blockid.Table
+	st        competitiveStates
 	replacers []cache.Replacer
 	txn       bool
 	last      events.Type
 }
 
-// competitiveState tracks holders, staleness of memory, and each holder's
-// count of updates absorbed since its last local access.
-type competitiveState struct {
-	sharers  bitset.Set
-	memStale bool
-	unused   map[int]int // holder → updates since last local touch
+// competitiveStates tracks, in parallel arrays indexed by block id:
+// holders, staleness of memory, and each holder's count of updates
+// absorbed since its last local access. The counters are a flattened
+// [id × caches] matrix; a non-holder's counter is always zero (the map
+// representation this replaced deleted the entry instead), and a fully
+// evicted block has memStale == false, so empty slots are
+// indistinguishable from absent map entries.
+type competitiveStates struct {
+	sharers  []bitset.Set
+	memStale []bool
+	unused   []int32 // holder's updates since last local touch, [id*caches+c]
 }
 
-var _ Engine = (*Competitive)(nil)
+func (t *competitiveStates) ensure(id blockid.ID, caches int) {
+	if int(id) < len(t.sharers) {
+		return
+	}
+	n := int(id) + 1 + len(t.sharers)
+	sharers := make([]bitset.Set, n)
+	copy(sharers, t.sharers)
+	memStale := make([]bool, n)
+	copy(memStale, t.memStale)
+	unused := make([]int32, n*caches)
+	copy(unused, t.unused)
+	t.sharers, t.memStale, t.unused = sharers, memStale, unused
+}
+
+var (
+	_ Engine        = (*Competitive)(nil)
+	_ IndexedEngine = (*Competitive)(nil)
+)
 
 // NewCompetitive returns a competitive-update engine that self-invalidates
 // a copy after threshold consecutive foreign updates. threshold must be at
@@ -64,7 +88,7 @@ func NewCompetitive(threshold int, cfg Config) (*Competitive, error) {
 		name:      fmt.Sprintf("Competitive%d", threshold),
 		threshold: threshold,
 		cfg:       cfg,
-		state:     map[uint64]*competitiveState{},
+		tab:       blockid.New(),
 		replacers: repl,
 	}, nil
 }
@@ -80,6 +104,12 @@ func (e *Competitive) Stats() *Stats { return &e.stats }
 
 // ResetStats implements Engine.
 func (e *Competitive) ResetStats() { e.stats = Stats{} }
+
+// AccessInstrs implements IndexedEngine: n coalesced instruction fetches.
+func (e *Competitive) AccessInstrs(n uint64) {
+	e.stats.Refs += n
+	e.stats.Events.Add(events.Instr, n)
+}
 
 // Threshold returns the self-invalidation threshold k.
 func (e *Competitive) Threshold() int { return e.threshold }
@@ -97,17 +127,26 @@ func (e *Competitive) emit(op bus.Op) {
 	e.txn = true
 }
 
-func (e *Competitive) ensure(block uint64) *competitiveState {
-	cs := e.state[block]
-	if cs == nil {
-		cs = &competitiveState{unused: map[int]int{}}
-		e.state[block] = cs
+// BindBlocks implements IndexedEngine.
+func (e *Competitive) BindBlocks(t *blockid.Table) bool {
+	if e.tab.Len() > 0 {
+		return false
 	}
-	return cs
+	e.tab = t
+	return true
 }
 
-// Access implements Engine.
+// Access implements Engine: intern the block and delegate to AccessID.
 func (e *Competitive) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	var id blockid.ID
+	if kind != trace.Instr {
+		id, _ = e.tab.Intern(block)
+	}
+	return e.AccessID(c, kind, block, id, first)
+}
+
+// AccessID implements IndexedEngine.
+func (e *Competitive) AccessID(c int, kind trace.Kind, block uint64, id blockid.ID, first bool) events.Type {
 	if c < 0 || c >= e.cfg.Caches {
 		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
 	}
@@ -117,9 +156,9 @@ func (e *Competitive) Access(c int, kind trace.Kind, block uint64, first bool) e
 	case trace.Instr:
 		e.event(events.Instr)
 	case trace.Read:
-		e.read(c, block, first)
+		e.read(c, block, id, first)
 	case trace.Write:
-		e.write(c, block, first)
+		e.write(c, block, id, first)
 	}
 	if e.txn {
 		e.stats.Transactions++
@@ -130,144 +169,143 @@ func (e *Competitive) Access(c int, kind trace.Kind, block uint64, first bool) e
 	return e.last
 }
 
-func (e *Competitive) read(c int, block uint64, first bool) {
-	cs := e.state[block]
-	if cs != nil && cs.sharers.Contains(c) {
+func (e *Competitive) read(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id, e.cfg.Caches)
+	if e.st.sharers[id].Contains(c) {
 		e.event(events.ReadHit)
-		cs.unused[c] = 0
-		e.touch(c, block)
+		e.st.unused[int(id)*e.cfg.Caches+c] = 0
+		e.touch(c, id)
 		return
 	}
 	if first {
 		e.event(events.ReadMissFirst)
-		e.fill(c, block)
+		e.fill(c, block, id)
 		return
 	}
 	switch {
-	case cs != nil && cs.memStale:
+	case e.st.memStale[id]:
 		e.event(events.ReadMissDirty)
 		e.emit(bus.OpCacheRead)
-	case cs != nil && !cs.sharers.Empty():
+	case !e.st.sharers[id].Empty():
 		e.event(events.ReadMissClean)
 		e.emit(bus.OpMemRead)
 	default:
 		e.event(events.ReadMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	e.fill(c, block)
+	e.fill(c, block, id)
 }
 
-func (e *Competitive) write(c int, block uint64, first bool) {
-	cs := e.state[block]
-	if cs != nil && cs.sharers.Contains(c) {
-		e.touch(c, block)
-		cs.unused[c] = 0
-		if cs.sharers.ContainsOther(c) {
+func (e *Competitive) write(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id, e.cfg.Caches)
+	if e.st.sharers[id].Contains(c) {
+		e.touch(c, id)
+		e.st.unused[int(id)*e.cfg.Caches+c] = 0
+		if e.st.sharers[id].ContainsOther(c) {
 			e.event(events.WriteHitUpdate)
 			e.emit(bus.OpWriteUpdate)
-			e.chargeUpdate(cs, block, c)
+			e.chargeUpdate(id, c)
 		} else {
 			e.event(events.WriteHitLocal)
 		}
-		cs.memStale = true
+		e.st.memStale[id] = true
 		return
 	}
 	if first {
 		e.event(events.WriteMissFirst)
-		e.fill(c, block)
-		e.ensure(block).memStale = true
+		e.fill(c, block, id)
+		e.st.memStale[id] = true
 		return
 	}
 	switch {
-	case cs != nil && cs.memStale:
+	case e.st.memStale[id]:
 		e.event(events.WriteMissDirty)
 		e.emit(bus.OpCacheRead)
-	case cs != nil && !cs.sharers.Empty():
+	case !e.st.sharers[id].Empty():
 		e.event(events.WriteMissClean)
 		e.emit(bus.OpMemRead)
 	default:
 		e.event(events.WriteMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	hadSharers := cs != nil && !cs.sharers.Empty()
-	e.fill(c, block)
-	cs = e.ensure(block)
-	cs.unused[c] = 0
+	hadSharers := !e.st.sharers[id].Empty()
+	e.fill(c, block, id)
+	e.st.unused[int(id)*e.cfg.Caches+c] = 0
 	if hadSharers {
 		e.emit(bus.OpWriteUpdate)
-		e.chargeUpdate(cs, block, c)
+		e.chargeUpdate(id, c)
 	}
-	cs.memStale = true
+	e.st.memStale[id] = true
 }
 
 // chargeUpdate increments every other holder's unused counter and drops
 // copies that reach the threshold. If the last remaining copy with a stale
 // memory would be the writer's, memory stays stale (the writer holds it).
-func (e *Competitive) chargeUpdate(cs *competitiveState, block uint64, writer int) {
+func (e *Competitive) chargeUpdate(id blockid.ID, writer int) {
+	base := int(id) * e.cfg.Caches
 	// Dropping h mid-loop is safe: Next only looks forward from h+1.
-	for h := cs.sharers.Next(0); h >= 0; h = cs.sharers.Next(h + 1) {
+	for h := e.st.sharers[id].Next(0); h >= 0; h = e.st.sharers[id].Next(h + 1) {
 		if h == writer {
 			continue
 		}
-		cs.unused[h]++
-		if cs.unused[h] < e.threshold {
+		e.st.unused[base+h]++
+		if int(e.st.unused[base+h]) < e.threshold {
 			continue
 		}
-		cs.sharers.Remove(h)
-		delete(cs.unused, h)
+		e.st.sharers[id].Remove(h)
+		e.st.unused[base+h] = 0
 		e.stats.PointerEvictions++ // reuse the "copies dropped by policy" counter
 		if e.replacers != nil {
-			e.replacers[h].Remove(block)
+			e.replacers[h].Remove(id)
 		}
 	}
 }
 
-func (e *Competitive) fill(c int, block uint64) {
-	cs := e.ensure(block)
-	cs.sharers.Add(c)
-	cs.unused[c] = 0
+func (e *Competitive) fill(c int, block uint64, id blockid.ID) {
+	e.st.sharers[id].Add(c)
+	e.st.unused[int(id)*e.cfg.Caches+c] = 0
 	if e.replacers == nil {
 		return
 	}
-	victim, evicted := e.replacers[c].Insert(block)
+	victim, evicted := e.replacers[c].Insert(block, id)
 	if !evicted {
 		return
 	}
 	e.stats.Evictions++
-	vs := e.state[victim]
-	if vs == nil {
-		return
-	}
-	vs.sharers.Remove(c)
-	delete(vs.unused, c)
-	if vs.sharers.Empty() {
-		if vs.memStale {
-			e.emit(bus.OpWriteBack)
-			e.stats.EvictionWriteBacks++
-			vs.memStale = false
-		}
-		delete(e.state, victim)
+	e.st.ensure(victim, e.cfg.Caches)
+	e.st.sharers[victim].Remove(c)
+	e.st.unused[int(victim)*e.cfg.Caches+c] = 0
+	if e.st.sharers[victim].Empty() && e.st.memStale[victim] {
+		e.emit(bus.OpWriteBack)
+		e.stats.EvictionWriteBacks++
+		e.st.memStale[victim] = false
 	}
 }
 
-func (e *Competitive) touch(c int, block uint64) {
+func (e *Competitive) touch(c int, id blockid.ID) {
 	if e.replacers != nil {
-		e.replacers[c].Touch(block)
+		e.replacers[c].Touch(id)
 	}
 }
 
 // CheckInvariants implements Engine.
 func (e *Competitive) CheckInvariants() error {
-	for block, cs := range e.state {
-		if cs.memStale && cs.sharers.Empty() {
-			return fmt.Errorf("%s: block %#x stale with no cached copy", e.name, block)
+	// A dropped or evicted copy's counter is zeroed where the map
+	// representation deleted it, so a non-zero counter for a non-holder is
+	// genuine corruption, and unused slots (all zero) trip nothing.
+	for i := range e.st.sharers {
+		id := blockid.ID(i)
+		if e.st.memStale[i] && e.st.sharers[i].Empty() {
+			return fmt.Errorf("%s: block %#x stale with no cached copy", e.name, e.tab.Block(id))
 		}
-		for h, n := range cs.unused {
-			if !cs.sharers.Contains(h) {
-				return fmt.Errorf("%s: block %#x counter for non-holder %d", e.name, block, h)
+		base := i * e.cfg.Caches
+		for c := 0; c < e.cfg.Caches; c++ {
+			n := int(e.st.unused[base+c])
+			if n != 0 && !e.st.sharers[i].Contains(c) {
+				return fmt.Errorf("%s: block %#x counter for non-holder %d", e.name, e.tab.Block(id), c)
 			}
 			if n >= e.threshold {
-				return fmt.Errorf("%s: block %#x holder %d kept past threshold (%d)", e.name, block, h, n)
+				return fmt.Errorf("%s: block %#x holder %d kept past threshold (%d)", e.name, e.tab.Block(id), c, n)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/cache"
 	"dirsim/internal/directory"
@@ -29,7 +30,8 @@ type DirEngine struct {
 	cfg       Config
 	store     directory.Store
 	stats     Stats
-	state     stateTable
+	tab       *blockid.Table
+	state     blockStates
 	replacers []cache.Replacer
 
 	// exclusive marks Dir1NB: a block lives in at most one cache, so a
@@ -55,7 +57,10 @@ type DirEngine struct {
 	scratch []int
 }
 
-var _ Engine = (*DirEngine)(nil)
+var (
+	_ Engine        = (*DirEngine)(nil)
+	_ IndexedEngine = (*DirEngine)(nil)
+)
 
 // NewDirEngine assembles a directory engine around an arbitrary store. Most
 // callers want one of the named constructors below.
@@ -71,7 +76,7 @@ func NewDirEngine(name string, store directory.Store, cfg Config) (*DirEngine, e
 		name:            name,
 		cfg:             cfg,
 		store:           store,
-		state:           stateTable{},
+		tab:             blockid.New(),
 		replacers:       repl,
 		probesPerLookup: 1,
 	}
@@ -166,6 +171,12 @@ func (e *DirEngine) Stats() *Stats { return &e.stats }
 // ResetStats implements Engine: tallies are zeroed, protocol state kept.
 func (e *DirEngine) ResetStats() { e.stats = Stats{} }
 
+// AccessInstrs implements IndexedEngine: n coalesced instruction fetches.
+func (e *DirEngine) AccessInstrs(n uint64) {
+	e.stats.Refs += n
+	e.stats.Events.Add(events.Instr, n)
+}
+
 // event records the reference's Table 4 classification.
 func (e *DirEngine) event(t events.Type) {
 	e.stats.Events.Inc(t)
@@ -197,8 +208,26 @@ func (e *DirEngine) emit(op bus.Op) {
 	}
 }
 
-// Access implements Engine.
+// BindBlocks implements IndexedEngine.
+func (e *DirEngine) BindBlocks(t *blockid.Table) bool {
+	if e.tab.Len() > 0 {
+		return false
+	}
+	e.tab = t
+	return true
+}
+
+// Access implements Engine: intern the block and delegate to AccessID.
 func (e *DirEngine) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	var id blockid.ID
+	if kind != trace.Instr {
+		id, _ = e.tab.Intern(block)
+	}
+	return e.AccessID(c, kind, block, id, first)
+}
+
+// AccessID implements IndexedEngine.
+func (e *DirEngine) AccessID(c int, kind trace.Kind, block uint64, id blockid.ID, first bool) events.Type {
 	if c < 0 || c >= e.cfg.Caches {
 		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
 	}
@@ -209,9 +238,9 @@ func (e *DirEngine) Access(c int, kind trace.Kind, block uint64, first bool) eve
 		// Instructions cause no consistency traffic (Section 4).
 		e.event(events.Instr)
 	case trace.Read:
-		e.read(c, block, first)
+		e.read(c, block, id, first)
 	case trace.Write:
-		e.write(c, block, first)
+		e.write(c, block, id, first)
 	}
 	if e.txn {
 		e.stats.Transactions++
@@ -222,22 +251,23 @@ func (e *DirEngine) Access(c int, kind trace.Kind, block uint64, first bool) eve
 	return e.last
 }
 
-func (e *DirEngine) read(c int, block uint64, first bool) {
-	bs := e.state.get(block)
-	if bs != nil && bs.sharers.Contains(c) {
+func (e *DirEngine) read(c int, block uint64, id blockid.ID, first bool) {
+	e.state.ensure(id)
+	st := &e.state
+	if st.sharers[id].Contains(c) {
 		e.event(events.ReadHit)
-		e.touch(c, block)
+		e.touch(c, id)
 		return
 	}
 	if first {
 		e.event(events.ReadMissFirst)
-		e.fill(c, block)
+		e.fill(c, block, id)
 		return
 	}
 	// The miss request's address send doubles as the directory lookup.
 	e.emit(bus.OpDirCheckOverlapped)
 	switch {
-	case bs != nil && bs.dirty:
+	case st.dirty[id]:
 		e.event(events.ReadMissDirty)
 		if e.exclusive {
 			// Dir1NB: one notification tells the owner to write the
@@ -245,37 +275,37 @@ func (e *DirEngine) read(c int, block uint64, first bool) {
 			// the data with the write-back.
 			e.emit(bus.OpInvalidate)
 			e.emit(bus.OpWriteBack)
-			e.invalidateCopy(bs, bs.owner, block)
+			e.invalidateCopy(id, int(st.owner[id]))
 		} else {
 			// The directory asks the owner to flush. Directed
 			// organisations send one message; Dir0B broadcasts the
 			// request. The owner keeps a clean copy.
-			e.emitRequest(block, bs.owner)
+			e.emitRequest(id)
 			e.emit(bus.OpWriteBack)
 		}
-		bs.dirty = false
-		bs.owner = -1
-	case bs != nil && !bs.sharers.Empty():
+		st.dirty[id] = false
+		st.owner[id] = -1
+	case !st.sharers[id].Empty():
 		e.event(events.ReadMissClean)
 		e.emit(bus.OpMemRead)
 	default:
 		e.event(events.ReadMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	e.fill(c, block)
+	e.fill(c, block, id)
 }
 
-func (e *DirEngine) write(c int, block uint64, first bool) {
-	bs := e.state.get(block)
-	holds := bs != nil && bs.sharers.Contains(c)
-	if holds {
-		e.touch(c, block)
-		if bs.dirty {
+func (e *DirEngine) write(c int, block uint64, id blockid.ID, first bool) {
+	e.state.ensure(id)
+	st := &e.state
+	if st.sharers[id].Contains(c) {
+		e.touch(c, id)
+		if st.dirty[id] {
 			// dirty implies sole owner; a hit means that owner is c.
 			e.event(events.WriteHitDirty)
 			return
 		}
-		others := bs.sharers.CountExcluding(c)
+		others := st.sharers[id].CountExcluding(c)
 		e.stats.InvalFanout.Observe(others)
 		if others == 0 {
 			e.event(events.WriteHitCleanSole)
@@ -288,62 +318,62 @@ func (e *DirEngine) write(c int, block uint64, first bool) {
 		} else {
 			e.event(events.WriteHitCleanShared)
 			e.emit(bus.OpDirCheck)
-			e.invalidateOthers(bs, block, c)
+			e.invalidateOthers(id, c)
 		}
-		e.takeExclusive(c, block)
+		e.takeExclusive(c, block, id)
 		return
 	}
 	if first {
 		e.event(events.WriteMissFirst)
-		e.takeExclusive(c, block)
+		e.takeExclusive(c, block, id)
 		return
 	}
 	e.emit(bus.OpDirCheckOverlapped)
 	switch {
-	case bs != nil && bs.dirty:
+	case st.dirty[id]:
 		e.event(events.WriteMissDirty)
 		// Flush the old owner's copy and invalidate it; the requester
 		// receives the data with the write-back.
 		if e.exclusive {
 			e.emit(bus.OpInvalidate)
 		} else {
-			e.emitRequest(block, bs.owner)
+			e.emitRequest(id)
 		}
 		e.emit(bus.OpWriteBack)
-		e.invalidateCopy(bs, bs.owner, block)
-		bs.dirty = false
-	case bs != nil && !bs.sharers.Empty():
+		e.invalidateCopy(id, int(st.owner[id]))
+		st.dirty[id] = false
+	case !st.sharers[id].Empty():
 		e.event(events.WriteMissClean)
-		e.stats.InvalFanout.Observe(bs.sharers.Count())
+		e.stats.InvalFanout.Observe(st.sharers[id].Count())
 		e.emit(bus.OpMemRead)
-		e.invalidateOthers(bs, block, c)
+		e.invalidateOthers(id, c)
 	default:
 		e.event(events.WriteMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	e.takeExclusive(c, block)
+	e.takeExclusive(c, block, id)
 }
 
 // takeExclusive installs c as the sole, dirty holder of block after a
 // write, updating ground truth, directory and (in finite mode) residency.
-func (e *DirEngine) takeExclusive(c int, block uint64) {
-	e.ensureEntry(block)
-	e.store.SetSole(block, c)
-	bs := e.state.ensure(block)
-	bs.sharers.Clear()
-	bs.sharers.Add(c)
-	bs.dirty = true
-	bs.owner = c
-	e.insertReplacer(c, block)
+func (e *DirEngine) takeExclusive(c int, block uint64, id blockid.ID) {
+	e.ensureEntry(block, id)
+	e.store.SetSole(id, c)
+	st := &e.state
+	st.sharers[id].Clear()
+	st.sharers[id].Add(c)
+	st.dirty[id] = true
+	st.owner[id] = int32(c)
+	e.insertReplacer(c, block, id)
 }
 
 // emitRequest sends the write-back request for a dirty block to its owner:
 // a directed message when the directory knows the owner, a broadcast when
 // it does not (Dir0B "relies on broadcasts to perform invalidates and
 // write-back requests").
-func (e *DirEngine) emitRequest(block uint64, owner int) {
+func (e *DirEngine) emitRequest(id blockid.ID) {
 	var bcast bool
-	e.scratch, bcast = e.store.Targets(e.scratch[:0], block, -1)
+	e.scratch, bcast = e.store.Targets(e.scratch[:0], id, -1)
 	if bcast {
 		e.emit(bus.OpBroadcastInvalidate)
 	} else {
@@ -354,10 +384,11 @@ func (e *DirEngine) emitRequest(block uint64, owner int) {
 // invalidateOthers removes every copy of block except cache c's, using the
 // delivery mechanism the directory organisation supports, and keeps the
 // fan-out statistics.
-func (e *DirEngine) invalidateOthers(bs *blockState, block uint64, c int) {
+func (e *DirEngine) invalidateOthers(id blockid.ID, c int) {
 	e.stats.InvalEvents++
-	targets, bcast := e.store.Targets(e.scratch[:0], block, c)
+	targets, bcast := e.store.Targets(e.scratch[:0], id, c)
 	e.scratch = targets
+	sh := &e.state.sharers[id]
 	if bcast {
 		e.stats.BroadcastInvals++
 		e.emit(bus.OpBroadcastInvalidate)
@@ -365,57 +396,58 @@ func (e *DirEngine) invalidateOthers(bs *blockState, block uint64, c int) {
 		for _, t := range targets {
 			e.stats.DirectedInvals++
 			e.emit(bus.OpInvalidate)
-			if !bs.sharers.Contains(t) {
+			if !sh.Contains(t) {
 				// A coded-set superset member that holds no copy.
 				e.stats.WastedInvals++
 			}
 		}
 	}
 	// Ground truth: all other copies are gone.
-	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
+	for h := sh.Next(0); h >= 0; h = sh.Next(h + 1) {
 		if h != c {
-			e.removeFromReplacer(h, block)
+			e.removeFromReplacer(h, id)
 		}
 	}
-	keep := bs.sharers.Contains(c)
-	bs.sharers.Clear()
+	keep := sh.Contains(c)
+	sh.Clear()
 	if keep {
-		bs.sharers.Add(c)
+		sh.Add(c)
 	}
 }
 
 // invalidateCopy removes a single cache's copy (directed invalidation).
-func (e *DirEngine) invalidateCopy(bs *blockState, holder int, block uint64) {
+func (e *DirEngine) invalidateCopy(id blockid.ID, holder int) {
 	if holder < 0 {
 		return
 	}
-	bs.sharers.Remove(holder)
-	e.store.Remove(block, holder)
-	e.removeFromReplacer(holder, block)
+	e.state.sharers[id].Remove(holder)
+	e.store.Remove(id, holder)
+	e.removeFromReplacer(holder, id)
 }
 
 // ensureEntry reserves a sparse-directory entry for block, evicting the
 // least-recently-used entry if the directory is full. The displaced
 // block's copies are all invalidated (written back first when dirty) so no
 // cached data outlives its directory entry.
-func (e *DirEngine) ensureEntry(block uint64) {
+func (e *DirEngine) ensureEntry(block uint64, id blockid.ID) {
 	if e.entries == nil {
 		return
 	}
-	victim, evicted := e.entries.Insert(block)
+	victim, evicted := e.entries.Insert(block, id)
 	if !evicted {
 		return
 	}
 	e.stats.DirEntryEvictions++
-	vs := e.state.get(victim)
-	if vs == nil {
+	e.state.ensure(victim)
+	st := &e.state
+	if st.sharers[victim].Empty() {
 		e.store.Clear(victim)
 		return
 	}
-	if vs.dirty {
+	if st.dirty[victim] {
 		e.emit(bus.OpWriteBack)
-		vs.dirty = false
-		vs.owner = -1
+		st.dirty[victim] = false
+		st.owner[victim] = -1
 	}
 	targets, bcast := e.store.Targets(e.scratch[:0], victim, -1)
 	e.scratch = targets
@@ -428,108 +460,123 @@ func (e *DirEngine) ensureEntry(block uint64) {
 			e.stats.DirectedInvals++
 		}
 	}
-	for h := vs.sharers.Next(0); h >= 0; h = vs.sharers.Next(h + 1) {
+	sh := &st.sharers[victim]
+	for h := sh.Next(0); h >= 0; h = sh.Next(h + 1) {
 		e.removeFromReplacer(h, victim)
 	}
-	vs.sharers.Clear()
-	delete(e.state, victim)
+	sh.Clear()
 	e.store.Clear(victim)
 }
 
 // fill gives cache c a copy of block: directory first (which may force a
 // pointer eviction in Dir_iNB), then ground truth, then the finite-cache
 // replacer (which may evict a victim block).
-func (e *DirEngine) fill(c int, block uint64) {
-	e.ensureEntry(block)
-	if victim := e.store.Add(block, c); victim >= 0 {
+func (e *DirEngine) fill(c int, block uint64, id blockid.ID) {
+	e.ensureEntry(block, id)
+	if victim := e.store.Add(id, c); victim >= 0 {
 		// Dir_iNB freed a pointer by invalidating an existing copy.
 		e.stats.PointerEvictions++
 		e.stats.InvalEvents++
 		e.stats.DirectedInvals++
 		e.emit(bus.OpInvalidate)
-		bs := e.state.get(block)
-		if bs != nil {
-			if bs.dirty && bs.owner == victim {
-				// Cannot happen under the protocol (a dirty block has
-				// one holder and Add follows a flush), but write back
-				// defensively rather than lose data silently.
-				e.emit(bus.OpWriteBack)
-				bs.dirty = false
-				bs.owner = -1
-			}
-			bs.sharers.Remove(victim)
-			e.removeFromReplacer(victim, block)
+		st := &e.state
+		if st.dirty[id] && int(st.owner[id]) == victim {
+			// Cannot happen under the protocol (a dirty block has
+			// one holder and Add follows a flush), but write back
+			// defensively rather than lose data silently.
+			e.emit(bus.OpWriteBack)
+			st.dirty[id] = false
+			st.owner[id] = -1
 		}
+		st.sharers[id].Remove(victim)
+		e.removeFromReplacer(victim, id)
 	}
-	bs := e.state.ensure(block)
-	bs.sharers.Add(c)
-	e.insertReplacer(c, block)
+	e.state.sharers[id].Add(c)
+	e.insertReplacer(c, block, id)
 }
 
 // touch refreshes LRU recency in finite mode and keeps the block's sparse
-// directory entry warm.
-func (e *DirEngine) touch(c int, block uint64) {
+// directory entry warm. The no-op infinite-mode check stays in this thin
+// wrapper so hit paths inline it; the real work is outlined.
+func (e *DirEngine) touch(c int, id blockid.ID) {
+	if e.replacers == nil && e.entries == nil {
+		return
+	}
+	e.touchFinite(c, id)
+}
+
+func (e *DirEngine) touchFinite(c int, id blockid.ID) {
 	if e.replacers != nil {
-		e.replacers[c].Touch(block)
+		e.replacers[c].Touch(id)
 	}
 	if e.entries != nil {
-		e.entries.Touch(block)
+		e.entries.Touch(id)
 	}
 }
 
 // insertReplacer records residency in finite mode, handling the eviction of
 // a victim block: write it back if dirty, drop it from ground truth, and
 // send the directory a replacement hint.
-func (e *DirEngine) insertReplacer(c int, block uint64) {
+func (e *DirEngine) insertReplacer(c int, block uint64, id blockid.ID) {
 	if e.replacers == nil {
 		return
 	}
-	victim, evicted := e.replacers[c].Insert(block)
+	victim, evicted := e.replacers[c].Insert(block, id)
 	if !evicted {
 		return
 	}
 	e.stats.Evictions++
-	vs := e.state.get(victim)
-	if vs == nil {
+	e.state.ensure(victim)
+	st := &e.state
+	if st.sharers[victim].Empty() {
 		return
 	}
-	if vs.dirty && vs.owner == c {
+	if st.dirty[victim] && int(st.owner[victim]) == c {
 		e.emit(bus.OpWriteBack)
 		e.stats.EvictionWriteBacks++
-		vs.dirty = false
-		vs.owner = -1
+		st.dirty[victim] = false
+		st.owner[victim] = -1
 	}
-	vs.sharers.Remove(c)
+	st.sharers[victim].Remove(c)
 	e.store.Remove(victim, c)
-	e.state.dropIfEmpty(victim, vs)
 }
 
-func (e *DirEngine) removeFromReplacer(c int, block uint64) {
+func (e *DirEngine) removeFromReplacer(c int, id blockid.ID) {
 	if e.replacers != nil {
-		e.replacers[c].Remove(block)
+		e.replacers[c].Remove(id)
 	}
 }
 
 // CheckInvariants implements Engine.
 func (e *DirEngine) CheckInvariants() error {
-	for block, bs := range e.state {
-		n := bs.sharers.Count()
-		if e.entries != nil && n > 0 && !e.entries.Contains(block) {
+	for i := range e.state.sharers {
+		id := blockid.ID(i)
+		sh := &e.state.sharers[i]
+		n := sh.Count()
+		if n == 0 {
+			// No cached copy — the absent entry of the map-keyed
+			// representation. The directory may remember such blocks
+			// arbitrarily (TwoBit and CodedSet never forget holders),
+			// exactly as it could for deleted map entries.
+			continue
+		}
+		block := e.tab.Block(id)
+		if e.entries != nil && !e.entries.Contains(id) {
 			return fmt.Errorf("%s: block %#x cached without a directory entry", e.name, block)
 		}
-		if bs.dirty {
+		if e.state.dirty[i] {
 			if n != 1 {
 				return fmt.Errorf("%s: block %#x dirty with %d holders", e.name, block, n)
 			}
-			if sole, _ := bs.sharers.Sole(); sole != bs.owner {
-				return fmt.Errorf("%s: block %#x owner %d not the holder", e.name, block, bs.owner)
+			if sole, _ := sh.Sole(); sole != int(e.state.owner[i]) {
+				return fmt.Errorf("%s: block %#x owner %d not the holder", e.name, block, e.state.owner[i])
 			}
 		}
-		cnt, exact := e.store.Count(block)
+		cnt, exact := e.store.Count(id)
 		if exact && cnt != n {
 			return fmt.Errorf("%s: block %#x directory says %d holders, truth %d", e.name, block, cnt, n)
 		}
-		targets, bcast := e.store.Targets(nil, block, -1)
+		targets, bcast := e.store.Targets(nil, id, -1)
 		if !bcast {
 			// Directed delivery must cover every true holder.
 			covered := map[int]bool{}
@@ -537,7 +584,7 @@ func (e *DirEngine) CheckInvariants() error {
 				covered[t] = true
 			}
 			var missing int = -1
-			bs.sharers.ForEach(func(h int) bool {
+			sh.ForEach(func(h int) bool {
 				if !covered[h] {
 					missing = h
 					return false

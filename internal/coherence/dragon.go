@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dirsim/internal/bitset"
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/cache"
 	"dirsim/internal/events"
@@ -27,20 +28,40 @@ type Dragon struct {
 	updatesMemory bool
 
 	stats     Stats
-	state     map[uint64]*dragonState
+	tab       *blockid.Table
+	st        dragonStates
 	replacers []cache.Replacer
 	txn       bool
 	last      events.Type
 }
 
-// dragonState is the ground truth for one block under an update protocol:
-// who holds copies and whether main memory has the latest value.
-type dragonState struct {
-	sharers  bitset.Set
-	memStale bool
+// dragonStates is the ground truth under an update protocol, held as
+// parallel arrays indexed by block id: who holds copies and whether main
+// memory has the latest value. An empty sharer set is the "never cached /
+// evicted everywhere" state, and every path that drops the last copy
+// flushes and clears memStale, so empty slots are indistinguishable from
+// absent entries of the map representation this replaced.
+type dragonStates struct {
+	sharers  []bitset.Set
+	memStale []bool
 }
 
-var _ Engine = (*Dragon)(nil)
+func (t *dragonStates) ensure(id blockid.ID) {
+	if int(id) < len(t.sharers) {
+		return
+	}
+	n := int(id) + 1 + len(t.sharers)
+	sharers := make([]bitset.Set, n)
+	copy(sharers, t.sharers)
+	memStale := make([]bool, n)
+	copy(memStale, t.memStale)
+	t.sharers, t.memStale = sharers, memStale
+}
+
+var (
+	_ Engine        = (*Dragon)(nil)
+	_ IndexedEngine = (*Dragon)(nil)
+)
 
 // NewDragon returns a Dragon engine.
 func NewDragon(cfg Config) (*Dragon, error) {
@@ -67,7 +88,7 @@ func newUpdateEngine(name string, updatesMemory bool, cfg Config) (*Dragon, erro
 		name:          name,
 		updatesMemory: updatesMemory,
 		cfg:           cfg,
-		state:         map[uint64]*dragonState{},
+		tab:           blockid.New(),
 		replacers:     repl,
 	}, nil
 }
@@ -84,6 +105,12 @@ func (e *Dragon) Stats() *Stats { return &e.stats }
 // ResetStats implements Engine: tallies are zeroed, protocol state kept.
 func (e *Dragon) ResetStats() { e.stats = Stats{} }
 
+// AccessInstrs implements IndexedEngine: n coalesced instruction fetches.
+func (e *Dragon) AccessInstrs(n uint64) {
+	e.stats.Refs += n
+	e.stats.Events.Add(events.Instr, n)
+}
+
 // event records the reference's Table 4 classification.
 func (e *Dragon) event(t events.Type) {
 	e.stats.Events.Inc(t)
@@ -98,8 +125,26 @@ func (e *Dragon) emit(op bus.Op) {
 	e.txn = true
 }
 
-// Access implements Engine.
+// BindBlocks implements IndexedEngine.
+func (e *Dragon) BindBlocks(t *blockid.Table) bool {
+	if e.tab.Len() > 0 {
+		return false
+	}
+	e.tab = t
+	return true
+}
+
+// Access implements Engine: intern the block and delegate to AccessID.
 func (e *Dragon) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	var id blockid.ID
+	if kind != trace.Instr {
+		id, _ = e.tab.Intern(block)
+	}
+	return e.AccessID(c, kind, block, id, first)
+}
+
+// AccessID implements IndexedEngine.
+func (e *Dragon) AccessID(c int, kind trace.Kind, block uint64, id blockid.ID, first bool) events.Type {
 	if c < 0 || c >= e.cfg.Caches {
 		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
 	}
@@ -109,9 +154,9 @@ func (e *Dragon) Access(c int, kind trace.Kind, block uint64, first bool) events
 	case trace.Instr:
 		e.event(events.Instr)
 	case trace.Read:
-		e.read(c, block, first)
+		e.read(c, block, id, first)
 	case trace.Write:
-		e.write(c, block, first)
+		e.write(c, block, id, first)
 	}
 	if e.txn {
 		e.stats.Transactions++
@@ -122,132 +167,115 @@ func (e *Dragon) Access(c int, kind trace.Kind, block uint64, first bool) events
 	return e.last
 }
 
-func (e *Dragon) get(block uint64) *dragonState { return e.state[block] }
-
-func (e *Dragon) ensure(block uint64) *dragonState {
-	ds := e.state[block]
-	if ds == nil {
-		ds = &dragonState{}
-		e.state[block] = ds
-	}
-	return ds
-}
-
-func (e *Dragon) read(c int, block uint64, first bool) {
-	ds := e.get(block)
-	if ds != nil && ds.sharers.Contains(c) {
+func (e *Dragon) read(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id)
+	if e.st.sharers[id].Contains(c) {
 		e.event(events.ReadHit)
 		if e.replacers != nil {
-			e.replacers[c].Touch(block)
+			e.replacers[c].Touch(id)
 		}
 		return
 	}
 	if first {
 		e.event(events.ReadMissFirst)
-		e.fill(c, block)
+		e.fill(c, block, id)
 		return
 	}
 	switch {
-	case ds != nil && ds.memStale:
+	case e.st.memStale[id]:
 		// Another cache holds the current value and supplies it over
 		// the bus (memory is stale). In Firefly memory snarfs the data
 		// as it passes, becoming current again.
 		e.event(events.ReadMissDirty)
 		e.emit(bus.OpCacheRead)
 		if e.updatesMemory {
-			ds.memStale = false
+			e.st.memStale[id] = false
 		}
-	case ds != nil && !ds.sharers.Empty():
+	case !e.st.sharers[id].Empty():
 		e.event(events.ReadMissClean)
 		e.emit(bus.OpMemRead)
 	default:
 		e.event(events.ReadMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	e.fill(c, block)
+	e.fill(c, block, id)
 }
 
-func (e *Dragon) write(c int, block uint64, first bool) {
-	ds := e.get(block)
-	if ds != nil && ds.sharers.Contains(c) {
+func (e *Dragon) write(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id)
+	if e.st.sharers[id].Contains(c) {
 		if e.replacers != nil {
-			e.replacers[c].Touch(block)
+			e.replacers[c].Touch(id)
 		}
-		if ds.sharers.ContainsOther(c) {
+		if e.st.sharers[id].ContainsOther(c) {
 			// The shared line is pulled: broadcast the word so other
 			// copies stay current. Firefly's update also writes the
 			// word through to memory.
 			e.event(events.WriteHitUpdate)
 			e.emit(bus.OpWriteUpdate)
-			ds.memStale = !e.updatesMemory
+			e.st.memStale[id] = !e.updatesMemory
 		} else {
 			e.event(events.WriteHitLocal)
-			ds.memStale = true
+			e.st.memStale[id] = true
 		}
 		return
 	}
 	if first {
 		e.event(events.WriteMissFirst)
-		e.fill(c, block)
-		e.ensure(block).memStale = true
+		e.fill(c, block, id)
+		e.st.memStale[id] = true
 		return
 	}
 	switch {
-	case ds != nil && ds.memStale:
+	case e.st.memStale[id]:
 		e.event(events.WriteMissDirty)
 		e.emit(bus.OpCacheRead)
-	case ds != nil && !ds.sharers.Empty():
+	case !e.st.sharers[id].Empty():
 		e.event(events.WriteMissClean)
 		e.emit(bus.OpMemRead)
 	default:
 		e.event(events.WriteMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	hadSharers := ds != nil && !ds.sharers.Empty()
-	e.fill(c, block)
-	ds = e.ensure(block)
+	hadSharers := !e.st.sharers[id].Empty()
+	e.fill(c, block, id)
 	if hadSharers {
 		// The freshly written word is distributed to the other holders
 		// (and, in Firefly, through to memory).
 		e.emit(bus.OpWriteUpdate)
-		ds.memStale = !e.updatesMemory
+		e.st.memStale[id] = !e.updatesMemory
 	} else {
-		ds.memStale = true
+		e.st.memStale[id] = true
 	}
 }
 
-func (e *Dragon) fill(c int, block uint64) {
-	ds := e.ensure(block)
-	ds.sharers.Add(c)
+func (e *Dragon) fill(c int, block uint64, id blockid.ID) {
+	e.st.sharers[id].Add(c)
 	if e.replacers == nil {
 		return
 	}
-	victim, evicted := e.replacers[c].Insert(block)
+	victim, evicted := e.replacers[c].Insert(block, id)
 	if !evicted {
 		return
 	}
 	e.stats.Evictions++
-	vs := e.get(victim)
-	if vs == nil {
-		return
-	}
-	vs.sharers.Remove(c)
-	if vs.sharers.Empty() {
-		if vs.memStale {
-			// Last holder of a block memory does not have: flush it.
-			e.emit(bus.OpWriteBack)
-			e.stats.EvictionWriteBacks++
-			vs.memStale = false
-		}
-		delete(e.state, victim)
+	e.st.ensure(victim)
+	e.st.sharers[victim].Remove(c)
+	if e.st.sharers[victim].Empty() && e.st.memStale[victim] {
+		// Last holder of a block memory does not have: flush it.
+		e.emit(bus.OpWriteBack)
+		e.stats.EvictionWriteBacks++
+		e.st.memStale[victim] = false
 	}
 }
 
 // CheckInvariants implements Engine.
 func (e *Dragon) CheckInvariants() error {
-	for block, ds := range e.state {
-		if ds.memStale && ds.sharers.Empty() {
-			return fmt.Errorf("%s: block %#x stale in memory with no cached copy", e.name, block)
+	// Slots never written have memStale == false, so only genuinely
+	// inconsistent states reach the error arm.
+	for i := range e.st.sharers {
+		if e.st.memStale[i] && e.st.sharers[i].Empty() {
+			return fmt.Errorf("%s: block %#x stale in memory with no cached copy", e.name, e.tab.Block(blockid.ID(i)))
 		}
 	}
 	return nil

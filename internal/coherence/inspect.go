@@ -2,7 +2,6 @@ package coherence
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -11,6 +10,12 @@ import (
 // the ground-truth abstraction its coverage report is phrased in. Keys are
 // built per block in the caller's block order, so equal keys mean equal
 // state over the blocks the checker explores.
+//
+// Blocks the engine has never interned have no state by construction and
+// render exactly like an absent entry of the map representation this
+// replaced; interned ids are bounds-checked against the state arrays
+// because a shared block-id table can know ids this engine has not grown
+// its arrays to yet.
 
 // Compile-time proof that every scheme NewByName can return is
 // inspectable; mc relies on the type assertion never failing.
@@ -24,6 +29,18 @@ var (
 	_ Inspector = (*ReadBroadcast)(nil)
 )
 
+// Compile-time proof that every engine family supports id-indexed access;
+// the simulator's interned dispatch relies on the assertion never failing.
+var (
+	_ IndexedEngine = (*DirEngine)(nil)
+	_ IndexedEngine = (*Berkeley)(nil)
+	_ IndexedEngine = (*SnoopyInval)(nil)
+	_ IndexedEngine = (*Dragon)(nil)
+	_ IndexedEngine = (*MOESI)(nil)
+	_ IndexedEngine = (*Competitive)(nil)
+	_ IndexedEngine = (*ReadBroadcast)(nil)
+)
+
 // StateKey implements Inspector: ground truth plus the directory store's
 // per-block memory, which can lag the truth (TwoBit cannot forget holders,
 // coded sets only widen) and therefore changes future behaviour.
@@ -31,9 +48,12 @@ func (e *DirEngine) StateKey(blocks []uint64) string {
 	var b strings.Builder
 	for _, blk := range blocks {
 		fmt.Fprintf(&b, "b%d:", blk)
-		e.state.appendKey(&b, blk)
+		id, ok := e.tab.Lookup(blk)
+		e.state.appendKey(&b, id, ok)
 		b.WriteString("/")
-		b.WriteString(e.store.BlockKey(blk))
+		if ok {
+			b.WriteString(e.store.BlockKey(id))
+		}
 		b.WriteString(";")
 	}
 	return b.String()
@@ -41,7 +61,8 @@ func (e *DirEngine) StateKey(blocks []uint64) string {
 
 // Truth implements Inspector.
 func (e *DirEngine) Truth(block uint64) ([]int, bool) {
-	return e.state.truth(block)
+	id, ok := e.tab.Lookup(block)
+	return e.state.truth(id, ok)
 }
 
 // StateKey implements Inspector: snoopy engines carry no directory, so the
@@ -50,7 +71,8 @@ func (e *SnoopyInval) StateKey(blocks []uint64) string {
 	var b strings.Builder
 	for _, blk := range blocks {
 		fmt.Fprintf(&b, "b%d:", blk)
-		e.state.appendKey(&b, blk)
+		id, ok := e.tab.Lookup(blk)
+		e.state.appendKey(&b, id, ok)
 		b.WriteString(";")
 	}
 	return b.String()
@@ -58,7 +80,8 @@ func (e *SnoopyInval) StateKey(blocks []uint64) string {
 
 // Truth implements Inspector.
 func (e *SnoopyInval) Truth(block uint64) ([]int, bool) {
-	return e.state.truth(block)
+	id, ok := e.tab.Lookup(block)
+	return e.state.truth(id, ok)
 }
 
 // StateKey implements Inspector: holder set plus the memory-stale bit (an
@@ -67,12 +90,12 @@ func (e *Dragon) StateKey(blocks []uint64) string {
 	var b strings.Builder
 	for _, blk := range blocks {
 		fmt.Fprintf(&b, "b%d:", blk)
-		ds := e.state[blk]
-		if ds == nil || ds.sharers.Empty() {
+		id, ok := e.tab.Lookup(blk)
+		if !ok || int(id) >= len(e.st.sharers) || e.st.sharers[id].Empty() {
 			b.WriteString("-")
 		} else {
-			b.WriteString(ds.sharers.String())
-			if ds.memStale {
+			b.WriteString(e.st.sharers[id].String())
+			if e.st.memStale[id] {
 				b.WriteString("!")
 			}
 		}
@@ -83,11 +106,11 @@ func (e *Dragon) StateKey(blocks []uint64) string {
 
 // Truth implements Inspector.
 func (e *Dragon) Truth(block uint64) ([]int, bool) {
-	ds := e.state[block]
-	if ds == nil || ds.sharers.Empty() {
+	id, ok := e.tab.Lookup(block)
+	if !ok || int(id) >= len(e.st.sharers) || e.st.sharers[id].Empty() {
 		return nil, false
 	}
-	return ds.sharers.Elems(), ds.memStale
+	return e.st.sharers[id].Elems(), e.st.memStale[id]
 }
 
 // StateKey implements Inspector: holder set, staleness, and the owner
@@ -97,13 +120,13 @@ func (e *MOESI) StateKey(blocks []uint64) string {
 	var b strings.Builder
 	for _, blk := range blocks {
 		fmt.Fprintf(&b, "b%d:", blk)
-		ms := e.state[blk]
-		if ms == nil || ms.sharers.Empty() {
+		id, ok := e.tab.Lookup(blk)
+		if !ok || int(id) >= len(e.st.sharers) || e.st.sharers[id].Empty() {
 			b.WriteString("-")
 		} else {
-			b.WriteString(ms.sharers.String())
-			if ms.memStale {
-				fmt.Fprintf(&b, "!%d", ms.owner)
+			b.WriteString(e.st.sharers[id].String())
+			if e.st.memStale[id] {
+				fmt.Fprintf(&b, "!%d", e.st.owner[id])
 			}
 		}
 		b.WriteString(";")
@@ -113,35 +136,32 @@ func (e *MOESI) StateKey(blocks []uint64) string {
 
 // Truth implements Inspector.
 func (e *MOESI) Truth(block uint64) ([]int, bool) {
-	ms := e.state[block]
-	if ms == nil || ms.sharers.Empty() {
+	id, ok := e.tab.Lookup(block)
+	if !ok || int(id) >= len(e.st.sharers) || e.st.sharers[id].Empty() {
 		return nil, false
 	}
-	return ms.sharers.Elems(), ms.memStale
+	return e.st.sharers[id].Elems(), e.st.memStale[id]
 }
 
 // StateKey implements Inspector: holder set, staleness, and every holder's
-// absorbed-update counter (sorted by holder — the counter map has no
-// iteration order of its own).
+// absorbed-update counter. A counter exists exactly for the holders (it is
+// zeroed when a copy drops), so iterating the sharer set ascending matches
+// the sorted-key order the map representation printed.
 func (e *Competitive) StateKey(blocks []uint64) string {
 	var b strings.Builder
 	for _, blk := range blocks {
 		fmt.Fprintf(&b, "b%d:", blk)
-		cs := e.state[blk]
-		if cs == nil || cs.sharers.Empty() {
+		id, ok := e.tab.Lookup(blk)
+		if !ok || int(id) >= len(e.st.sharers) || e.st.sharers[id].Empty() {
 			b.WriteString("-")
 		} else {
-			b.WriteString(cs.sharers.String())
-			if cs.memStale {
+			b.WriteString(e.st.sharers[id].String())
+			if e.st.memStale[id] {
 				b.WriteString("!")
 			}
-			hs := make([]int, 0, len(cs.unused))
-			for h := range cs.unused {
-				hs = append(hs, h)
-			}
-			sort.Ints(hs)
-			for _, h := range hs {
-				fmt.Fprintf(&b, "u%d=%d", h, cs.unused[h])
+			base := int(id) * e.cfg.Caches
+			for h := e.st.sharers[id].Next(0); h >= 0; h = e.st.sharers[id].Next(h + 1) {
+				fmt.Fprintf(&b, "u%d=%d", h, e.st.unused[base+h])
 			}
 		}
 		b.WriteString(";")
@@ -151,11 +171,11 @@ func (e *Competitive) StateKey(blocks []uint64) string {
 
 // Truth implements Inspector.
 func (e *Competitive) Truth(block uint64) ([]int, bool) {
-	cs := e.state[block]
-	if cs == nil || cs.sharers.Empty() {
+	id, ok := e.tab.Lookup(block)
+	if !ok || int(id) >= len(e.st.sharers) || e.st.sharers[id].Empty() {
 		return nil, false
 	}
-	return cs.sharers.Elems(), cs.memStale
+	return e.st.sharers[id].Elems(), e.st.memStale[id]
 }
 
 // StateKey implements Inspector: holder set, written state, and the
@@ -164,17 +184,17 @@ func (e *ReadBroadcast) StateKey(blocks []uint64) string {
 	var b strings.Builder
 	for _, blk := range blocks {
 		fmt.Fprintf(&b, "b%d:", blk)
-		bs := e.state[blk]
-		if bs == nil || (bs.sharers.Empty() && bs.snarfers.Empty()) {
+		id, ok := e.tab.Lookup(blk)
+		if !ok || int(id) >= len(e.st.sharers) || (e.st.sharers[id].Empty() && e.st.snarfers[id].Empty()) {
 			b.WriteString("-")
 		} else {
-			b.WriteString(bs.sharers.String())
-			if bs.dirty {
-				fmt.Fprintf(&b, "!%d", bs.owner)
+			b.WriteString(e.st.sharers[id].String())
+			if e.st.dirty[id] {
+				fmt.Fprintf(&b, "!%d", e.st.owner[id])
 			}
-			if !bs.snarfers.Empty() {
+			if !e.st.snarfers[id].Empty() {
 				b.WriteString("s")
-				b.WriteString(bs.snarfers.String())
+				b.WriteString(e.st.snarfers[id].String())
 			}
 		}
 		b.WriteString(";")
@@ -184,9 +204,9 @@ func (e *ReadBroadcast) StateKey(blocks []uint64) string {
 
 // Truth implements Inspector.
 func (e *ReadBroadcast) Truth(block uint64) ([]int, bool) {
-	bs := e.state[block]
-	if bs == nil || bs.sharers.Empty() {
+	id, ok := e.tab.Lookup(block)
+	if !ok || int(id) >= len(e.st.sharers) || e.st.sharers[id].Empty() {
 		return nil, false
 	}
-	return bs.sharers.Elems(), bs.dirty
+	return e.st.sharers[id].Elems(), e.st.dirty[id]
 }

@@ -22,54 +22,59 @@ func TestCheckInvariantsFiresOnCorruption(t *testing.T) {
 		{"dir1nb", func(t *testing.T, e Engine) string {
 			// A dirty block whose recorded owner holds no copy.
 			de := e.(*DirEngine)
-			bs := de.state.get(blk)
-			bs.dirty = true
-			bs.owner = 2
+			id, _ := de.tab.Lookup(blk)
+			de.state.dirty[id] = true
+			de.state.owner[id] = 2
 			return "owner"
 		}},
 		{"dirnnb", func(t *testing.T, e Engine) string {
 			// Ground truth gains a holder the full map never recorded.
 			de := e.(*DirEngine)
-			de.state.get(blk).sharers.Add(1)
+			id, _ := de.tab.Lookup(blk)
+			de.state.sharers[id].Add(1)
 			return "holders"
 		}},
 		{"berkeley", func(t *testing.T, e Engine) string {
 			// Berkeley wraps Dir0B: a dirty block must have one holder.
 			de := e.(*Berkeley).DirEngine
-			bs := de.state.get(blk)
-			bs.dirty = true
-			bs.owner = 1 // not the actual holder
+			id, _ := de.tab.Lookup(blk)
+			de.state.dirty[id] = true
+			de.state.owner[id] = 1 // not the actual holder
 			return "owner"
 		}},
 		{"wti", func(t *testing.T, e Engine) string {
 			se := e.(*SnoopyInval)
-			se.state.get(blk).sharers.Add(1)
+			id, _ := se.tab.Lookup(blk)
+			se.state.sharers[id].Add(1)
 			return "written-state"
 		}},
 		{"dragon", func(t *testing.T, e Engine) string {
 			// Stale memory with no cached copy left to supply the data.
 			d := e.(*Dragon)
-			d.state[blk].memStale = true
-			d.state[blk].sharers.Remove(0)
+			id, _ := d.tab.Lookup(blk)
+			d.st.memStale[id] = true
+			d.st.sharers[id].Remove(0)
 			return "stale"
 		}},
 		{"moesi", func(t *testing.T, e Engine) string {
 			m := e.(*MOESI)
-			ms := m.state[blk]
-			ms.memStale = true
-			ms.owner = 3 // holds no copy
+			id, _ := m.tab.Lookup(blk)
+			m.st.memStale[id] = true
+			m.st.owner[id] = 3 // holds no copy
 			return "owner"
 		}},
 		{"competitive4", func(t *testing.T, e Engine) string {
 			// An update counter for a cache that holds no copy.
 			c := e.(*Competitive)
-			c.state[blk].unused[5] = 1
+			id, _ := c.tab.Lookup(blk)
+			c.st.unused[int(id)*c.cfg.Caches+3] = 1
 			return "non-holder"
 		}},
 		{"readbroadcast", func(t *testing.T, e Engine) string {
 			// A cache cannot both hold the block and wait to snarf it.
 			r := e.(*ReadBroadcast)
-			r.state[blk].snarfers.Add(0)
+			id, _ := r.tab.Lookup(blk)
+			r.st.snarfers[id].Add(0)
 			return "snarfer"
 		}},
 	}

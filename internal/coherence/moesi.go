@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dirsim/internal/bitset"
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/cache"
 	"dirsim/internal/events"
@@ -25,21 +26,45 @@ import (
 type MOESI struct {
 	cfg       Config
 	stats     Stats
-	state     map[uint64]*moesiState
+	tab       *blockid.Table
+	st        moesiStates
 	replacers []cache.Replacer
 	txn       bool
 	last      events.Type
 }
 
-// moesiState is the ground truth for one block: holders, whether memory is
-// stale, and which holder owns the stale data.
-type moesiState struct {
-	sharers  bitset.Set
-	memStale bool
-	owner    int // valid when memStale
+// moesiStates is the ground truth held as parallel arrays indexed by block
+// id: holders, whether memory is stale, and which holder owns the stale
+// data. The protocol keeps "empty sharers ⇒ memory current" (the owner's
+// eviction flushes), so an empty slot is indistinguishable from an absent
+// entry of the map representation this replaced.
+type moesiStates struct {
+	sharers  []bitset.Set
+	memStale []bool
+	owner    []int32 // valid when memStale
 }
 
-var _ Engine = (*MOESI)(nil)
+func (t *moesiStates) ensure(id blockid.ID) {
+	if int(id) < len(t.sharers) {
+		return
+	}
+	n := int(id) + 1 + len(t.sharers)
+	sharers := make([]bitset.Set, n)
+	copy(sharers, t.sharers)
+	memStale := make([]bool, n)
+	copy(memStale, t.memStale)
+	owner := make([]int32, n)
+	copy(owner, t.owner)
+	for i := len(t.owner); i < n; i++ {
+		owner[i] = -1
+	}
+	t.sharers, t.memStale, t.owner = sharers, memStale, owner
+}
+
+var (
+	_ Engine        = (*MOESI)(nil)
+	_ IndexedEngine = (*MOESI)(nil)
+)
 
 // NewMOESI returns a MOESI engine.
 func NewMOESI(cfg Config) (*MOESI, error) {
@@ -50,7 +75,7 @@ func NewMOESI(cfg Config) (*MOESI, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MOESI{cfg: cfg, state: map[uint64]*moesiState{}, replacers: repl}, nil
+	return &MOESI{cfg: cfg, tab: blockid.New(), replacers: repl}, nil
 }
 
 // Name implements Engine.
@@ -64,6 +89,12 @@ func (e *MOESI) Stats() *Stats { return &e.stats }
 
 // ResetStats implements Engine.
 func (e *MOESI) ResetStats() { e.stats = Stats{} }
+
+// AccessInstrs implements IndexedEngine: n coalesced instruction fetches.
+func (e *MOESI) AccessInstrs(n uint64) {
+	e.stats.Refs += n
+	e.stats.Events.Add(events.Instr, n)
+}
 
 func (e *MOESI) event(t events.Type) {
 	e.stats.Events.Inc(t)
@@ -79,17 +110,26 @@ func (e *MOESI) emit(op bus.Op) {
 	e.txn = true
 }
 
-func (e *MOESI) ensure(block uint64) *moesiState {
-	bs := e.state[block]
-	if bs == nil {
-		bs = &moesiState{owner: -1}
-		e.state[block] = bs
+// BindBlocks implements IndexedEngine.
+func (e *MOESI) BindBlocks(t *blockid.Table) bool {
+	if e.tab.Len() > 0 {
+		return false
 	}
-	return bs
+	e.tab = t
+	return true
 }
 
-// Access implements Engine.
+// Access implements Engine: intern the block and delegate to AccessID.
 func (e *MOESI) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	var id blockid.ID
+	if kind != trace.Instr {
+		id, _ = e.tab.Intern(block)
+	}
+	return e.AccessID(c, kind, block, id, first)
+}
+
+// AccessID implements IndexedEngine.
+func (e *MOESI) AccessID(c int, kind trace.Kind, block uint64, id blockid.ID, first bool) events.Type {
 	if c < 0 || c >= e.cfg.Caches {
 		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
 	}
@@ -99,9 +139,9 @@ func (e *MOESI) Access(c int, kind trace.Kind, block uint64, first bool) events.
 	case trace.Instr:
 		e.event(events.Instr)
 	case trace.Read:
-		e.read(c, block, first)
+		e.read(c, block, id, first)
 	case trace.Write:
-		e.write(c, block, first)
+		e.write(c, block, id, first)
 	}
 	if e.txn {
 		e.stats.Transactions++
@@ -112,25 +152,25 @@ func (e *MOESI) Access(c int, kind trace.Kind, block uint64, first bool) events.
 	return e.last
 }
 
-func (e *MOESI) read(c int, block uint64, first bool) {
-	bs := e.state[block]
-	if bs != nil && bs.sharers.Contains(c) {
+func (e *MOESI) read(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id)
+	if e.st.sharers[id].Contains(c) {
 		e.event(events.ReadHit)
-		e.touch(c, block)
+		e.touch(c, id)
 		return
 	}
 	if first {
 		e.event(events.ReadMissFirst)
-		e.fill(c, block)
+		e.fill(c, block, id)
 		return
 	}
 	switch {
-	case bs != nil && bs.memStale:
+	case e.st.memStale[id]:
 		// The owner supplies the block cache-to-cache and stays Owned;
 		// memory remains stale — MOESI's defining move.
 		e.event(events.ReadMissDirty)
 		e.emit(bus.OpCacheRead)
-	case bs != nil && !bs.sharers.Empty():
+	case !e.st.sharers[id].Empty():
 		// Illinois-style cache-to-cache supply of clean data.
 		e.event(events.ReadMissClean)
 		e.emit(bus.OpCacheRead)
@@ -138,30 +178,29 @@ func (e *MOESI) read(c int, block uint64, first bool) {
 		e.event(events.ReadMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	e.fill(c, block)
+	e.fill(c, block, id)
 }
 
-func (e *MOESI) write(c int, block uint64, first bool) {
-	bs := e.state[block]
-	holds := bs != nil && bs.sharers.Contains(c)
-	if holds {
-		e.touch(c, block)
-		others := bs.sharers.CountExcluding(c)
+func (e *MOESI) write(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id)
+	if e.st.sharers[id].Contains(c) {
+		e.touch(c, id)
+		others := e.st.sharers[id].CountExcluding(c)
 		switch {
-		case bs.memStale && bs.owner == c && others == 0:
+		case e.st.memStale[id] && int(e.st.owner[id]) == c && others == 0:
 			// Modified: silent.
 			e.event(events.WriteHitDirty)
 			return
 		case others == 0:
 			// Exclusive: silent upgrade (memory current, sole copy).
 			e.event(events.WriteHitCleanSole)
-			bs.memStale = true
-			bs.owner = c
+			e.st.memStale[id] = true
+			e.st.owner[id] = int32(c)
 			return
 		default:
 			// Shared or Owned-with-sharers: one invalidation broadcast.
 			e.stats.InvalFanout.Observe(others)
-			if bs.memStale {
+			if e.st.memStale[id] {
 				// An Owned block being rewritten: classified like a
 				// dirty hit but the sharers must still go.
 				e.event(events.WriteHitDirty)
@@ -171,107 +210,97 @@ func (e *MOESI) write(c int, block uint64, first bool) {
 			e.emit(bus.OpBroadcastInvalidate)
 			e.stats.InvalEvents++
 			e.stats.BroadcastInvals++
-			e.dropOthers(bs, block, c)
-			bs.memStale = true
-			bs.owner = c
+			e.dropOthers(id, c)
+			e.st.memStale[id] = true
+			e.st.owner[id] = int32(c)
 			return
 		}
 	}
 	if first {
 		e.event(events.WriteMissFirst)
-		bs = e.ensure(block)
-		bs.sharers.Add(c)
-		bs.memStale = true
-		bs.owner = c
-		e.insertReplacer(c, block)
+		e.st.sharers[id].Add(c)
+		e.st.memStale[id] = true
+		e.st.owner[id] = int32(c)
+		e.insertReplacer(c, block, id)
 		return
 	}
 	switch {
-	case bs != nil && bs.memStale:
+	case e.st.memStale[id]:
 		// Read-for-ownership served by the owner; its copy and every
 		// other sharer's are invalidated by the snooped request.
 		e.event(events.WriteMissDirty)
 		e.emit(bus.OpCacheRead)
-	case bs != nil && !bs.sharers.Empty():
+	case !e.st.sharers[id].Empty():
 		e.event(events.WriteMissClean)
 		e.emit(bus.OpCacheRead)
 	default:
 		e.event(events.WriteMissUncached)
 		e.emit(bus.OpMemRead)
 	}
-	if bs != nil {
-		e.dropOthers(bs, block, c)
-	}
-	bs = e.ensure(block)
-	bs.sharers.Add(c)
-	bs.memStale = true
-	bs.owner = c
-	e.insertReplacer(c, block)
+	e.dropOthers(id, c)
+	e.st.sharers[id].Add(c)
+	e.st.memStale[id] = true
+	e.st.owner[id] = int32(c)
+	e.insertReplacer(c, block, id)
 }
 
 // dropOthers removes every copy except cache c's (snooping delivers the
 // invalidation for free).
-func (e *MOESI) dropOthers(bs *moesiState, block uint64, c int) {
-	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
+func (e *MOESI) dropOthers(id blockid.ID, c int) {
+	sh := &e.st.sharers[id]
+	for h := sh.Next(0); h >= 0; h = sh.Next(h + 1) {
 		if h != c && e.replacers != nil {
-			e.replacers[h].Remove(block)
+			e.replacers[h].Remove(id)
 		}
 	}
-	keep := bs.sharers.Contains(c)
-	bs.sharers.Clear()
+	keep := sh.Contains(c)
+	sh.Clear()
 	if keep {
-		bs.sharers.Add(c)
+		sh.Add(c)
 	}
 }
 
-func (e *MOESI) fill(c int, block uint64) {
-	bs := e.ensure(block)
-	bs.sharers.Add(c)
-	e.insertReplacer(c, block)
+func (e *MOESI) fill(c int, block uint64, id blockid.ID) {
+	e.st.sharers[id].Add(c)
+	e.insertReplacer(c, block, id)
 }
 
-func (e *MOESI) insertReplacer(c int, block uint64) {
+func (e *MOESI) insertReplacer(c int, block uint64, id blockid.ID) {
 	if e.replacers == nil {
 		return
 	}
-	victim, evicted := e.replacers[c].Insert(block)
+	victim, evicted := e.replacers[c].Insert(block, id)
 	if !evicted {
 		return
 	}
 	e.stats.Evictions++
-	vs := e.state[victim]
-	if vs == nil {
-		return
-	}
-	vs.sharers.Remove(c)
-	if vs.memStale && vs.owner == c {
+	e.st.ensure(victim)
+	e.st.sharers[victim].Remove(c)
+	if e.st.memStale[victim] && int(e.st.owner[victim]) == c {
 		// The owner leaves: flush, and if sharers remain, ownership
 		// passes to one of them (memory is now current, so it need
 		// not — Owned exists to avoid this write-back on *reads*, but
 		// an eviction forces it).
 		e.emit(bus.OpWriteBack)
 		e.stats.EvictionWriteBacks++
-		vs.memStale = false
-		vs.owner = -1
-	}
-	if vs.sharers.Empty() && !vs.memStale {
-		delete(e.state, victim)
+		e.st.memStale[victim] = false
+		e.st.owner[victim] = -1
 	}
 }
 
-func (e *MOESI) touch(c int, block uint64) {
+func (e *MOESI) touch(c int, id blockid.ID) {
 	if e.replacers != nil {
-		e.replacers[c].Touch(block)
+		e.replacers[c].Touch(id)
 	}
 }
 
 // CheckInvariants implements Engine.
 func (e *MOESI) CheckInvariants() error {
-	for block, bs := range e.state {
-		if bs.memStale {
-			if !bs.sharers.Contains(bs.owner) {
-				return fmt.Errorf("MOESI: block %#x stale but owner %d holds no copy", block, bs.owner)
-			}
+	// Unused and fully evicted slots have memStale == false (the owner's
+	// eviction flushes), so only live blocks reach the error arm.
+	for i := range e.st.sharers {
+		if e.st.memStale[i] && !e.st.sharers[i].Contains(int(e.st.owner[i])) {
+			return fmt.Errorf("MOESI: block %#x stale but owner %d holds no copy", e.tab.Block(blockid.ID(i)), e.st.owner[i])
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dirsim/internal/bitset"
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/cache"
 	"dirsim/internal/events"
@@ -26,22 +27,49 @@ import (
 type ReadBroadcast struct {
 	cfg       Config
 	stats     Stats
-	state     map[uint64]*rbState
+	tab       *blockid.Table
+	st        rbStates
 	replacers []cache.Replacer
 	txn       bool
 	last      events.Type
 }
 
-// rbState tracks holders, the virtual written-state, and the caches whose
-// invalidated copies are waiting to snarf the next bus read.
-type rbState struct {
-	sharers  bitset.Set
-	dirty    bool // written and not since shared (memory stays current)
-	owner    int
-	snarfers bitset.Set
+// rbStates tracks, in parallel arrays indexed by block id: holders, the
+// virtual written-state, and the caches whose invalidated copies are
+// waiting to snarf the next bus read. A slot with empty sharers and empty
+// snarfers (and therefore dirty == false — the sole written holder's
+// eviction clears it) is indistinguishable from an absent entry of the map
+// representation this replaced.
+type rbStates struct {
+	sharers  []bitset.Set
+	snarfers []bitset.Set
+	dirty    []bool // written and not since shared (memory stays current)
+	owner    []int32
 }
 
-var _ Engine = (*ReadBroadcast)(nil)
+func (t *rbStates) ensure(id blockid.ID) {
+	if int(id) < len(t.sharers) {
+		return
+	}
+	n := int(id) + 1 + len(t.sharers)
+	sharers := make([]bitset.Set, n)
+	copy(sharers, t.sharers)
+	snarfers := make([]bitset.Set, n)
+	copy(snarfers, t.snarfers)
+	dirty := make([]bool, n)
+	copy(dirty, t.dirty)
+	owner := make([]int32, n)
+	copy(owner, t.owner)
+	for i := len(t.owner); i < n; i++ {
+		owner[i] = -1
+	}
+	t.sharers, t.snarfers, t.dirty, t.owner = sharers, snarfers, dirty, owner
+}
+
+var (
+	_ Engine        = (*ReadBroadcast)(nil)
+	_ IndexedEngine = (*ReadBroadcast)(nil)
+)
 
 // NewReadBroadcast returns a read-broadcast engine.
 func NewReadBroadcast(cfg Config) (*ReadBroadcast, error) {
@@ -52,7 +80,7 @@ func NewReadBroadcast(cfg Config) (*ReadBroadcast, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ReadBroadcast{cfg: cfg, state: map[uint64]*rbState{}, replacers: repl}, nil
+	return &ReadBroadcast{cfg: cfg, tab: blockid.New(), replacers: repl}, nil
 }
 
 // Name implements Engine.
@@ -66,6 +94,12 @@ func (e *ReadBroadcast) Stats() *Stats { return &e.stats }
 
 // ResetStats implements Engine.
 func (e *ReadBroadcast) ResetStats() { e.stats = Stats{} }
+
+// AccessInstrs implements IndexedEngine: n coalesced instruction fetches.
+func (e *ReadBroadcast) AccessInstrs(n uint64) {
+	e.stats.Refs += n
+	e.stats.Events.Add(events.Instr, n)
+}
 
 func (e *ReadBroadcast) event(t events.Type) {
 	e.stats.Events.Inc(t)
@@ -81,17 +115,26 @@ func (e *ReadBroadcast) emit(op bus.Op) {
 	e.txn = true
 }
 
-func (e *ReadBroadcast) ensure(block uint64) *rbState {
-	bs := e.state[block]
-	if bs == nil {
-		bs = &rbState{owner: -1}
-		e.state[block] = bs
+// BindBlocks implements IndexedEngine.
+func (e *ReadBroadcast) BindBlocks(t *blockid.Table) bool {
+	if e.tab.Len() > 0 {
+		return false
 	}
-	return bs
+	e.tab = t
+	return true
 }
 
-// Access implements Engine.
+// Access implements Engine: intern the block and delegate to AccessID.
 func (e *ReadBroadcast) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	var id blockid.ID
+	if kind != trace.Instr {
+		id, _ = e.tab.Intern(block)
+	}
+	return e.AccessID(c, kind, block, id, first)
+}
+
+// AccessID implements IndexedEngine.
+func (e *ReadBroadcast) AccessID(c int, kind trace.Kind, block uint64, id blockid.ID, first bool) events.Type {
 	if c < 0 || c >= e.cfg.Caches {
 		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
 	}
@@ -101,9 +144,9 @@ func (e *ReadBroadcast) Access(c int, kind trace.Kind, block uint64, first bool)
 	case trace.Instr:
 		e.event(events.Instr)
 	case trace.Read:
-		e.read(c, block, first)
+		e.read(c, block, id, first)
 	case trace.Write:
-		e.write(c, block, first)
+		e.write(c, block, id, first)
 	}
 	if e.txn {
 		e.stats.Transactions++
@@ -114,24 +157,24 @@ func (e *ReadBroadcast) Access(c int, kind trace.Kind, block uint64, first bool)
 	return e.last
 }
 
-func (e *ReadBroadcast) read(c int, block uint64, first bool) {
-	bs := e.state[block]
-	if bs != nil && bs.sharers.Contains(c) {
+func (e *ReadBroadcast) read(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id)
+	if e.st.sharers[id].Contains(c) {
 		e.event(events.ReadHit)
-		e.touch(c, block)
+		e.touch(c, id)
 		return
 	}
 	if first {
 		e.event(events.ReadMissFirst)
-		e.fillWithSnarf(c, block)
+		e.fillWithSnarf(c, block, id)
 		return
 	}
 	switch {
-	case bs != nil && bs.dirty:
+	case e.st.dirty[id]:
 		e.event(events.ReadMissDirty)
-		bs.dirty = false
-		bs.owner = -1
-	case bs != nil && !bs.sharers.Empty():
+		e.st.dirty[id] = false
+		e.st.owner[id] = -1
+	case !e.st.sharers[id].Empty():
 		e.event(events.ReadMissClean)
 	default:
 		e.event(events.ReadMissUncached)
@@ -139,18 +182,17 @@ func (e *ReadBroadcast) read(c int, block uint64, first bool) {
 	// Memory is current (write-through); one bus read serves the
 	// requester and every waiting snarfer.
 	e.emit(bus.OpMemRead)
-	e.fillWithSnarf(c, block)
+	e.fillWithSnarf(c, block, id)
 }
 
-func (e *ReadBroadcast) write(c int, block uint64, first bool) {
-	bs := e.state[block]
-	holds := bs != nil && bs.sharers.Contains(c)
-	if holds {
-		e.touch(c, block)
-		if bs.dirty {
+func (e *ReadBroadcast) write(c int, block uint64, id blockid.ID, first bool) {
+	e.st.ensure(id)
+	if e.st.sharers[id].Contains(c) {
+		e.touch(c, id)
+		if e.st.dirty[id] {
 			e.event(events.WriteHitDirty)
 		} else {
-			others := bs.sharers.CountExcluding(c)
+			others := e.st.sharers[id].CountExcluding(c)
 			e.stats.InvalFanout.Observe(others)
 			if others == 0 {
 				e.event(events.WriteHitCleanSole)
@@ -161,23 +203,22 @@ func (e *ReadBroadcast) write(c int, block uint64, first bool) {
 			}
 		}
 		e.emit(bus.OpWriteThrough)
-		e.invalidateOthers(bs, block, c)
-		e.makeSole(bs, c)
+		e.invalidateOthers(id, c)
+		e.makeSole(id, c)
 		return
 	}
 	if first {
 		e.event(events.WriteMissFirst)
-		bs = e.ensure(block)
-		e.makeSole(bs, c)
-		e.insertReplacer(c, block)
+		e.makeSole(id, c)
+		e.insertReplacer(c, block, id)
 		return
 	}
 	switch {
-	case bs != nil && bs.dirty:
+	case e.st.dirty[id]:
 		e.event(events.WriteMissDirty)
-	case bs != nil && !bs.sharers.Empty():
+	case !e.st.sharers[id].Empty():
 		e.event(events.WriteMissClean)
-		e.stats.InvalFanout.Observe(bs.sharers.Count())
+		e.stats.InvalFanout.Observe(e.st.sharers[id].Count())
 		e.stats.InvalEvents++
 		e.stats.BroadcastInvals++
 	default:
@@ -185,110 +226,106 @@ func (e *ReadBroadcast) write(c int, block uint64, first bool) {
 	}
 	e.emit(bus.OpMemRead)
 	e.emit(bus.OpWriteThrough)
-	if bs != nil {
-		e.invalidateOthers(bs, block, c)
-	}
-	bs = e.ensure(block)
-	e.makeSole(bs, c)
-	e.insertReplacer(c, block)
+	e.invalidateOthers(id, c)
+	e.makeSole(id, c)
+	e.insertReplacer(c, block, id)
 }
 
 // invalidateOthers drops every other copy, remembering the victims as
 // snarfers for the next bus read of the block.
-func (e *ReadBroadcast) invalidateOthers(bs *rbState, block uint64, c int) {
-	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
+func (e *ReadBroadcast) invalidateOthers(id blockid.ID, c int) {
+	sh := &e.st.sharers[id]
+	for h := sh.Next(0); h >= 0; h = sh.Next(h + 1) {
 		if h != c {
-			bs.snarfers.Add(h)
+			e.st.snarfers[id].Add(h)
 			if e.replacers != nil {
-				e.replacers[h].Remove(block)
+				e.replacers[h].Remove(id)
 			}
 		}
 	}
-	keep := bs.sharers.Contains(c)
-	bs.sharers.Clear()
+	keep := sh.Contains(c)
+	sh.Clear()
 	if keep {
-		bs.sharers.Add(c)
+		sh.Add(c)
 	}
 }
 
-func (e *ReadBroadcast) makeSole(bs *rbState, c int) {
-	bs.sharers.Clear()
-	bs.sharers.Add(c)
-	bs.snarfers.Remove(c)
-	bs.dirty = true
-	bs.owner = c
+func (e *ReadBroadcast) makeSole(id blockid.ID, c int) {
+	e.st.sharers[id].Clear()
+	e.st.sharers[id].Add(c)
+	e.st.snarfers[id].Remove(c)
+	e.st.dirty[id] = true
+	e.st.owner[id] = int32(c)
 }
 
 // fillWithSnarf installs the block in cache c and, because the fill's data
 // crossed the bus, in every waiting snarfer as well.
-func (e *ReadBroadcast) fillWithSnarf(c int, block uint64) {
-	bs := e.ensure(block)
-	bs.sharers.Add(c)
-	bs.snarfers.Remove(c)
-	for h := bs.snarfers.Next(0); h >= 0; h = bs.snarfers.Next(h + 1) {
-		bs.sharers.Add(h)
+//
+// The loop re-indexes e.st on every step: dropVictim may grow the state
+// arrays (reallocating them), so no element pointer is held across it.
+func (e *ReadBroadcast) fillWithSnarf(c int, block uint64, id blockid.ID) {
+	e.st.sharers[id].Add(c)
+	e.st.snarfers[id].Remove(c)
+	for h := e.st.snarfers[id].Next(0); h >= 0; h = e.st.snarfers[id].Next(h + 1) {
+		e.st.sharers[id].Add(h)
 		if e.replacers != nil {
 			// The snarfed copy occupies a frame in h's cache too.
-			if victim, evicted := e.replacers[h].Insert(block); evicted {
+			if victim, evicted := e.replacers[h].Insert(block, id); evicted {
 				e.dropVictim(h, victim)
 			}
 		}
 	}
-	e.stats.Snarfs += uint64(bs.snarfers.Count())
-	bs.snarfers.Clear()
-	e.insertReplacer(c, block)
+	e.stats.Snarfs += uint64(e.st.snarfers[id].Count())
+	e.st.snarfers[id].Clear()
+	e.insertReplacer(c, block, id)
 }
 
-func (e *ReadBroadcast) insertReplacer(c int, block uint64) {
+func (e *ReadBroadcast) insertReplacer(c int, block uint64, id blockid.ID) {
 	if e.replacers == nil {
 		return
 	}
-	if victim, evicted := e.replacers[c].Insert(block); evicted {
+	if victim, evicted := e.replacers[c].Insert(block, id); evicted {
 		e.dropVictim(c, victim)
 	}
 }
 
 // dropVictim removes an evicted block from cache c's ground truth;
 // write-through caches evict silently.
-func (e *ReadBroadcast) dropVictim(c int, victim uint64) {
+func (e *ReadBroadcast) dropVictim(c int, victim blockid.ID) {
 	e.stats.Evictions++
-	vs := e.state[victim]
-	if vs == nil {
-		return
-	}
-	vs.sharers.Remove(c)
-	vs.snarfers.Remove(c)
-	if vs.dirty && vs.owner == c {
-		vs.dirty = false
-		vs.owner = -1
-	}
-	if vs.sharers.Empty() && vs.snarfers.Empty() {
-		delete(e.state, victim)
+	e.st.ensure(victim)
+	e.st.sharers[victim].Remove(c)
+	e.st.snarfers[victim].Remove(c)
+	if e.st.dirty[victim] && int(e.st.owner[victim]) == c {
+		e.st.dirty[victim] = false
+		e.st.owner[victim] = -1
 	}
 }
 
-func (e *ReadBroadcast) touch(c int, block uint64) {
+func (e *ReadBroadcast) touch(c int, id blockid.ID) {
 	if e.replacers != nil {
-		e.replacers[c].Touch(block)
+		e.replacers[c].Touch(id)
 	}
 }
 
 // CheckInvariants implements Engine.
 func (e *ReadBroadcast) CheckInvariants() error {
-	for block, bs := range e.state {
-		if bs.dirty && bs.sharers.Count() != 1 {
-			return fmt.Errorf("ReadBroadcast: block %#x written-state with %d holders", block, bs.sharers.Count())
+	// Fully evicted slots have dirty == false and empty snarfers, so they
+	// never reach an error arm.
+	for i := range e.st.sharers {
+		if e.st.dirty[i] && e.st.sharers[i].Count() != 1 {
+			return fmt.Errorf("ReadBroadcast: block %#x written-state with %d holders", e.tab.Block(blockid.ID(i)), e.st.sharers[i].Count())
 		}
 		var bad int = -1
-		bs.snarfers.ForEach(func(h int) bool {
-			if bs.sharers.Contains(h) {
+		e.st.snarfers[i].ForEach(func(h int) bool {
+			if e.st.sharers[i].Contains(h) {
 				bad = h
 				return false
 			}
 			return true
 		})
 		if bad >= 0 {
-			return fmt.Errorf("ReadBroadcast: block %#x cache %d both holder and snarfer", block, bad)
+			return fmt.Errorf("ReadBroadcast: block %#x cache %d both holder and snarfer", e.tab.Block(blockid.ID(i)), bad)
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/cache"
 	"dirsim/internal/events"
@@ -40,13 +41,17 @@ type SnoopyInval struct {
 	writeBackOnEvict bool
 
 	stats     Stats
-	state     stateTable
+	tab       *blockid.Table
+	state     blockStates
 	replacers []cache.Replacer
 	txn       bool
 	last      events.Type
 }
 
-var _ Engine = (*SnoopyInval)(nil)
+var (
+	_ Engine        = (*SnoopyInval)(nil)
+	_ IndexedEngine = (*SnoopyInval)(nil)
+)
 
 // NewSnoopyInval assembles a snoopy invalidation engine from a per-event
 // operation table. Most callers want NewWTI, NewWriteOnce or NewMESI.
@@ -63,7 +68,7 @@ func NewSnoopyInval(name string, table map[events.Type][]bus.Op, writeBackOnEvic
 		cfg:              cfg,
 		table:            table,
 		writeBackOnEvict: writeBackOnEvict,
-		state:            stateTable{},
+		tab:              blockid.New(),
 		replacers:        repl,
 	}, nil
 }
@@ -143,6 +148,12 @@ func (e *SnoopyInval) Stats() *Stats { return &e.stats }
 // ResetStats implements Engine: tallies are zeroed, protocol state kept.
 func (e *SnoopyInval) ResetStats() { e.stats = Stats{} }
 
+// AccessInstrs implements IndexedEngine: n coalesced instruction fetches.
+func (e *SnoopyInval) AccessInstrs(n uint64) {
+	e.stats.Refs += n
+	e.stats.Events.Add(events.Instr, n)
+}
+
 // event records the reference's Table 4 classification and emits its
 // operations from the table.
 func (e *SnoopyInval) event(t events.Type) {
@@ -162,8 +173,26 @@ func (e *SnoopyInval) emit(op bus.Op) {
 	e.txn = true
 }
 
-// Access implements Engine.
+// BindBlocks implements IndexedEngine.
+func (e *SnoopyInval) BindBlocks(t *blockid.Table) bool {
+	if e.tab.Len() > 0 {
+		return false
+	}
+	e.tab = t
+	return true
+}
+
+// Access implements Engine: intern the block and delegate to AccessID.
 func (e *SnoopyInval) Access(c int, kind trace.Kind, block uint64, first bool) events.Type {
+	var id blockid.ID
+	if kind != trace.Instr {
+		id, _ = e.tab.Intern(block)
+	}
+	return e.AccessID(c, kind, block, id, first)
+}
+
+// AccessID implements IndexedEngine.
+func (e *SnoopyInval) AccessID(c int, kind trace.Kind, block uint64, id blockid.ID, first bool) events.Type {
 	if c < 0 || c >= e.cfg.Caches {
 		panic(fmt.Sprintf("coherence: cache id %d out of range [0,%d)", c, e.cfg.Caches))
 	}
@@ -173,9 +202,9 @@ func (e *SnoopyInval) Access(c int, kind trace.Kind, block uint64, first bool) e
 	case trace.Instr:
 		e.event(events.Instr)
 	case trace.Read:
-		e.read(c, block, first)
+		e.read(c, block, id, first)
 	case trace.Write:
-		e.write(c, block, first)
+		e.write(c, block, id, first)
 	}
 	if e.txn {
 		e.stats.Transactions++
@@ -186,39 +215,41 @@ func (e *SnoopyInval) Access(c int, kind trace.Kind, block uint64, first bool) e
 	return e.last
 }
 
-func (e *SnoopyInval) read(c int, block uint64, first bool) {
-	bs := e.state.get(block)
-	if bs != nil && bs.sharers.Contains(c) {
+func (e *SnoopyInval) read(c int, block uint64, id blockid.ID, first bool) {
+	e.state.ensure(id)
+	st := &e.state
+	if st.sharers[id].Contains(c) {
 		e.event(events.ReadHit)
-		e.touch(c, block)
+		e.touch(c, id)
 		return
 	}
 	if first {
 		e.event(events.ReadMissFirst)
-		e.fill(c, block)
+		e.fill(c, block, id)
 		return
 	}
 	switch {
-	case bs != nil && bs.dirty:
+	case st.dirty[id]:
 		e.event(events.ReadMissDirty)
-		bs.dirty = false
-		bs.owner = -1
-	case bs != nil && !bs.sharers.Empty():
+		st.dirty[id] = false
+		st.owner[id] = -1
+	case !st.sharers[id].Empty():
 		e.event(events.ReadMissClean)
 	default:
 		e.event(events.ReadMissUncached)
 	}
-	e.fill(c, block)
+	e.fill(c, block, id)
 }
 
-func (e *SnoopyInval) write(c int, block uint64, first bool) {
-	bs := e.state.get(block)
-	if bs != nil && bs.sharers.Contains(c) {
-		e.touch(c, block)
-		if bs.dirty {
+func (e *SnoopyInval) write(c int, block uint64, id blockid.ID, first bool) {
+	e.state.ensure(id)
+	st := &e.state
+	if st.sharers[id].Contains(c) {
+		e.touch(c, id)
+		if st.dirty[id] {
 			e.event(events.WriteHitDirty)
 		} else {
-			others := bs.sharers.CountExcluding(c)
+			others := st.sharers[id].CountExcluding(c)
 			e.stats.InvalFanout.Observe(others)
 			if others == 0 {
 				e.event(events.WriteHitCleanSole)
@@ -228,105 +259,106 @@ func (e *SnoopyInval) write(c int, block uint64, first bool) {
 				e.stats.BroadcastInvals++
 			}
 		}
-		e.invalidateOthers(bs, block, c)
-		e.makeSole(bs, c)
+		e.invalidateOthers(id, c)
+		e.makeSole(id, c)
 		return
 	}
 	if first {
 		e.event(events.WriteMissFirst)
-		bs = e.state.ensure(block)
-		e.makeSole(bs, c)
-		e.insertReplacer(c, block)
+		e.makeSole(id, c)
+		e.insertReplacer(c, block, id)
 		return
 	}
 	switch {
-	case bs != nil && bs.dirty:
+	case st.dirty[id]:
 		e.event(events.WriteMissDirty)
-	case bs != nil && !bs.sharers.Empty():
+	case !st.sharers[id].Empty():
 		e.event(events.WriteMissClean)
-		e.stats.InvalFanout.Observe(bs.sharers.Count())
+		e.stats.InvalFanout.Observe(st.sharers[id].Count())
 		e.stats.InvalEvents++
 		e.stats.BroadcastInvals++
 	default:
 		e.event(events.WriteMissUncached)
 	}
-	if bs != nil {
-		e.invalidateOthers(bs, block, c)
-	}
-	bs = e.state.ensure(block)
-	e.makeSole(bs, c)
-	e.insertReplacer(c, block)
+	e.invalidateOthers(id, c)
+	e.makeSole(id, c)
+	e.insertReplacer(c, block, id)
 }
 
 // invalidateOthers drops every other copy; snooping makes the delivery
 // free.
-func (e *SnoopyInval) invalidateOthers(bs *blockState, block uint64, c int) {
-	for h := bs.sharers.Next(0); h >= 0; h = bs.sharers.Next(h + 1) {
+func (e *SnoopyInval) invalidateOthers(id blockid.ID, c int) {
+	sh := &e.state.sharers[id]
+	for h := sh.Next(0); h >= 0; h = sh.Next(h + 1) {
 		if h != c && e.replacers != nil {
-			e.replacers[h].Remove(block)
+			e.replacers[h].Remove(id)
 		}
 	}
-	keep := bs.sharers.Contains(c)
-	bs.sharers.Clear()
+	keep := sh.Contains(c)
+	sh.Clear()
 	if keep {
-		bs.sharers.Add(c)
+		sh.Add(c)
 	}
 }
 
-func (e *SnoopyInval) makeSole(bs *blockState, c int) {
-	bs.sharers.Clear()
-	bs.sharers.Add(c)
-	bs.dirty = true
-	bs.owner = c
+func (e *SnoopyInval) makeSole(id blockid.ID, c int) {
+	st := &e.state
+	st.sharers[id].Clear()
+	st.sharers[id].Add(c)
+	st.dirty[id] = true
+	st.owner[id] = int32(c)
 }
 
-func (e *SnoopyInval) touch(c int, block uint64) {
+func (e *SnoopyInval) touch(c int, id blockid.ID) {
 	if e.replacers != nil {
-		e.replacers[c].Touch(block)
+		e.replacers[c].Touch(id)
 	}
 }
 
-func (e *SnoopyInval) fill(c int, block uint64) {
-	bs := e.state.ensure(block)
-	bs.sharers.Add(c)
-	e.insertReplacer(c, block)
+func (e *SnoopyInval) fill(c int, block uint64, id blockid.ID) {
+	e.state.sharers[id].Add(c)
+	e.insertReplacer(c, block, id)
 }
 
-func (e *SnoopyInval) insertReplacer(c int, block uint64) {
+func (e *SnoopyInval) insertReplacer(c int, block uint64, id blockid.ID) {
 	if e.replacers == nil {
 		return
 	}
-	victim, evicted := e.replacers[c].Insert(block)
+	victim, evicted := e.replacers[c].Insert(block, id)
 	if !evicted {
 		return
 	}
 	e.stats.Evictions++
-	vs := e.state.get(victim)
-	if vs == nil {
+	e.state.ensure(victim)
+	st := &e.state
+	if st.sharers[victim].Empty() {
 		return
 	}
-	if vs.dirty && vs.owner == c {
+	if st.dirty[victim] && int(st.owner[victim]) == c {
 		if e.writeBackOnEvict {
 			e.emit(bus.OpWriteBack)
 			e.stats.EvictionWriteBacks++
 		}
-		vs.dirty = false
-		vs.owner = -1
+		st.dirty[victim] = false
+		st.owner[victim] = -1
 	}
-	vs.sharers.Remove(c)
-	e.state.dropIfEmpty(victim, vs)
+	st.sharers[victim].Remove(c)
 }
 
 // CheckInvariants implements Engine.
 func (e *SnoopyInval) CheckInvariants() error {
-	for block, bs := range e.state {
-		if bs.dirty && bs.sharers.Count() != 1 {
-			return fmt.Errorf("%s: block %#x written-state with %d holders", e.name, block, bs.sharers.Count())
+	// Empty slots always have dirty == false (every path that drops the
+	// last holder clears it), so unused ids never reach the error arms.
+	for i := range e.state.sharers {
+		if !e.state.dirty[i] {
+			continue
 		}
-		if bs.dirty {
-			if sole, _ := bs.sharers.Sole(); sole != bs.owner {
-				return fmt.Errorf("%s: block %#x owner %d not the holder", e.name, block, bs.owner)
-			}
+		sh := &e.state.sharers[i]
+		if sh.Count() != 1 {
+			return fmt.Errorf("%s: block %#x written-state with %d holders", e.name, e.tab.Block(blockid.ID(i)), sh.Count())
+		}
+		if sole, _ := sh.Sole(); sole != int(e.state.owner[i]) {
+			return fmt.Errorf("%s: block %#x owner %d not the holder", e.name, e.tab.Block(blockid.ID(i)), e.state.owner[i])
 		}
 	}
 	return nil

@@ -21,11 +21,21 @@
 // Stores answer the one question coherence engines ask — "whom must I
 // invalidate?" — and account for their own storage cost, so the protocol
 // engines in internal/coherence are organisation-agnostic.
+//
+// Blocks are identified by the dense ids of internal/blockid rather than
+// raw addresses: the engine interns each referenced block once, and every
+// store keeps its per-block memory in plain slices indexed by id. The
+// per-reference path therefore performs no hashing and, once the slices
+// reach the trace's working-set size, no allocation. A slot whose zero
+// value means "nothing remembered" doubles as the deleted state, so Clear
+// and Remove never shrink anything.
 package directory
 
 import (
 	"fmt"
 	"math/bits"
+
+	"dirsim/internal/blockid"
 )
 
 // Store is a directory organisation tracking, per memory block, which
@@ -40,49 +50,49 @@ type Store interface {
 	// Name identifies the organisation.
 	Name() string
 
-	// Add records that cache c obtained a copy of block. Limited-pointer
+	// Add records that cache c obtained a copy of block id. Limited-pointer
 	// no-broadcast stores may have to free a pointer by invalidating an
 	// existing copy; Add then returns that victim cache and the caller
 	// must invalidate it. Otherwise victim is -1.
-	Add(block uint64, c int) (victim int)
+	Add(id blockid.ID, c int) (victim int)
 
-	// Remove records that cache c no longer holds block. Organisations
+	// Remove records that cache c no longer holds block id. Organisations
 	// that do not track individual holders ignore it.
-	Remove(block uint64, c int)
+	Remove(id blockid.ID, c int)
 
 	// SetSole records that cache c is now the only holder (after a
 	// write gained exclusive access).
-	SetSole(block uint64, c int)
+	SetSole(id blockid.ID, c int)
 
-	// Clear records that no cache holds block.
-	Clear(block uint64)
+	// Clear records that no cache holds block id.
+	Clear(id blockid.ID)
 
 	// Targets reports how to deliver an invalidation to every copy of
-	// block except cache `except` (pass -1 to hit all copies): either a
+	// block id except cache `except` (pass -1 to hit all copies): either a
 	// list of directed message targets, or broadcast = true when the
 	// organisation does not know the holders. Directed targets are
 	// appended to dst and returned, so a caller that reuses the returned
 	// slice's capacity pays no allocation on the per-reference path;
 	// pass nil when a fresh slice is acceptable.
-	Targets(dst []int, block uint64, except int) (targets []int, broadcast bool)
+	Targets(dst []int, id blockid.ID, except int) (targets []int, broadcast bool)
 
-	// Count reports how many caches the directory believes hold block.
+	// Count reports how many caches the directory believes hold block id.
 	// When exact is false, n is a lower bound (TwoBit's "clean in an
 	// unknown number of caches") or an upper bound superset size
 	// (CodedSet); callers must consult broadcast/Targets rather than
 	// trusting n.
-	Count(block uint64) (n int, exact bool)
+	Count(id blockid.ID) (n int, exact bool)
 
 	// StorageBits returns the total directory storage the organisation
 	// needs for a machine described by p.
 	StorageBits(p StorageParams) uint64
 
 	// BlockKey returns a canonical, deterministic encoding of everything
-	// the organisation remembers about block — the directory half of a
+	// the organisation remembers about block id — the directory half of a
 	// model-checking state key. Blocks the store tracks nothing for
 	// encode as "". Two stores of the same organisation with equal keys
 	// answer Targets and Count identically for that block.
-	BlockKey(block uint64) string
+	BlockKey(id blockid.ID) string
 }
 
 // StorageParams describes the machine for storage accounting.
@@ -136,59 +146,81 @@ func appendExcept(dst, src []int, except int) []int {
 // directed, sequential messages, never broadcast.
 type FullMap struct {
 	caches  int
-	present map[uint64][]int // holder list per block, insertion-ordered
+	present [][]int // holder list per block id, insertion-ordered
 }
 
 // NewFullMap returns a full-map store for n caches.
 func NewFullMap(n int) *FullMap {
-	return &FullMap{caches: n, present: map[uint64][]int{}}
+	return &FullMap{caches: n}
 }
 
 // Name implements Store.
 func (f *FullMap) Name() string { return "full-map" }
 
+// ensure grows the per-block slice to cover id (amortized growth).
+func (f *FullMap) ensure(id blockid.ID) {
+	if int(id) < len(f.present) {
+		return
+	}
+	grown := make([][]int, int(id)+1+len(f.present))
+	copy(grown, f.present)
+	f.present = grown
+}
+
 // Add implements Store.
-func (f *FullMap) Add(block uint64, c int) int {
-	hs := f.present[block]
+func (f *FullMap) Add(id blockid.ID, c int) int {
+	f.ensure(id)
+	hs := f.present[id]
 	for _, h := range hs {
 		if h == c {
 			return -1
 		}
 	}
-	f.present[block] = append(hs, c)
+	f.present[id] = append(hs, c)
 	return -1
 }
 
 // Remove implements Store.
-func (f *FullMap) Remove(block uint64, c int) {
-	hs := f.present[block]
+func (f *FullMap) Remove(id blockid.ID, c int) {
+	if int(id) >= len(f.present) {
+		return
+	}
+	hs := f.present[id]
 	for i, h := range hs {
 		if h == c {
-			f.present[block] = append(hs[:i], hs[i+1:]...)
-			if len(f.present[block]) == 0 {
-				delete(f.present, block)
-			}
+			f.present[id] = append(hs[:i], hs[i+1:]...)
 			return
 		}
 	}
 }
 
 // SetSole implements Store.
-func (f *FullMap) SetSole(block uint64, c int) {
-	f.present[block] = append(f.present[block][:0], c)
+func (f *FullMap) SetSole(id blockid.ID, c int) {
+	f.ensure(id)
+	f.present[id] = append(f.present[id][:0], c)
 }
 
 // Clear implements Store.
-func (f *FullMap) Clear(block uint64) { delete(f.present, block) }
+func (f *FullMap) Clear(id blockid.ID) {
+	if int(id) < len(f.present) {
+		f.present[id] = f.present[id][:0]
+	}
+}
 
 // Targets implements Store: the exact holders, as directed messages.
-func (f *FullMap) Targets(dst []int, block uint64, except int) ([]int, bool) {
-	return appendExcept(dst, f.present[block], except), false
+func (f *FullMap) Targets(dst []int, id blockid.ID, except int) ([]int, bool) {
+	if int(id) >= len(f.present) {
+		return dst, false
+	}
+	return appendExcept(dst, f.present[id], except), false
 }
 
 // Count implements Store.
-func (f *FullMap) Count(block uint64) (int, bool) {
-	return len(f.present[block]), true
+func (f *FullMap) Count(id blockid.ID) (int, bool) {
+	if int(id) >= len(f.present) {
+		return 0, true
+	}
+	return len(f.present[id]), true
 }
 
 // StorageBits implements Store: presence bits plus a dirty bit per block.
@@ -198,18 +230,20 @@ func (f *FullMap) StorageBits(p StorageParams) uint64 {
 
 // BlockKey implements Store: the holder list in insertion order (the order
 // determines the sequence of directed invalidations, so it is state).
-func (f *FullMap) BlockKey(block uint64) string {
-	hs := f.present[block]
-	if len(hs) == 0 {
+func (f *FullMap) BlockKey(id blockid.ID) string {
+	if int(id) >= len(f.present) || len(f.present[id]) == 0 {
 		return ""
 	}
-	return fmt.Sprint(hs)
+	return fmt.Sprint(f.present[id])
 }
 
 // Holders returns the exact holder list (primarily for tests and for
 // measuring coded-set waste against the truth).
-func (f *FullMap) Holders(block uint64) []int {
-	return append([]int(nil), f.present[block]...)
+func (f *FullMap) Holders(id blockid.ID) []int {
+	if int(id) >= len(f.present) {
+		return nil
+	}
+	return append([]int(nil), f.present[id]...)
 }
 
 // ---------------------------------------------------------------------------
@@ -259,54 +293,80 @@ const (
 // one cache" state exists to spare a broadcast when the writer is the lone
 // holder.
 type TwoBit struct {
-	state map[uint64]twoBitState
+	state []twoBitState // per block id; stUncached is the zero value
 }
 
 // NewTwoBit returns a two-bit store.
-func NewTwoBit() *TwoBit { return &TwoBit{state: map[uint64]twoBitState{}} }
+func NewTwoBit() *TwoBit { return &TwoBit{} }
 
 // Name implements Store.
 func (t *TwoBit) Name() string { return "two-bit" }
 
+// ensure grows the state slice to cover id (amortized growth).
+func (t *TwoBit) ensure(id blockid.ID) {
+	if int(id) < len(t.state) {
+		return
+	}
+	grown := make([]twoBitState, int(id)+1+len(t.state))
+	copy(grown, t.state)
+	t.state = grown
+}
+
+// get reads the state without growing; out-of-range ids are uncached.
+func (t *TwoBit) get(id blockid.ID) twoBitState {
+	if int(id) >= len(t.state) {
+		return stUncached
+	}
+	return t.state[id]
+}
+
 // Add implements Store.
-func (t *TwoBit) Add(block uint64, c int) int {
-	switch t.state[block] {
+func (t *TwoBit) Add(id blockid.ID, c int) int {
+	t.ensure(id)
+	switch t.state[id] {
 	case stUncached:
-		t.state[block] = stCleanOne
+		t.state[id] = stCleanOne
 	case stCleanOne:
-		t.state[block] = stCleanMany
+		t.state[id] = stCleanMany
 	case stCleanMany:
 		// Already clean in several caches; one more changes nothing.
 	case stDirtyOne:
 		// The old owner wrote back and retains a clean copy alongside
 		// the newcomer.
-		t.state[block] = stCleanMany
+		t.state[id] = stCleanMany
 	}
 	return -1
 }
 
 // Remove implements Store. The organisation keeps no per-cache state, so a
 // replacement hint cannot be recorded.
-func (t *TwoBit) Remove(block uint64, c int) {}
+func (t *TwoBit) Remove(id blockid.ID, c int) {}
 
 // SetSole implements Store.
-func (t *TwoBit) SetSole(block uint64, c int) { t.state[block] = stDirtyOne }
+func (t *TwoBit) SetSole(id blockid.ID, c int) {
+	t.ensure(id)
+	t.state[id] = stDirtyOne
+}
 
 // Clear implements Store.
-func (t *TwoBit) Clear(block uint64) { delete(t.state, block) }
+func (t *TwoBit) Clear(id blockid.ID) {
+	if int(id) < len(t.state) {
+		t.state[id] = stUncached
+	}
+}
 
 // Targets implements Store: holders are unknown, so every invalidation is a
 // broadcast (unless Count shows none is needed).
-func (t *TwoBit) Targets(dst []int, block uint64, except int) ([]int, bool) {
-	if t.state[block] == stUncached {
+func (t *TwoBit) Targets(dst []int, id blockid.ID, except int) ([]int, bool) {
+	if t.get(id) == stUncached {
 		return dst, false
 	}
 	return dst, true
 }
 
 // Count implements Store.
-func (t *TwoBit) Count(block uint64) (int, bool) {
-	switch t.state[block] {
+func (t *TwoBit) Count(id blockid.ID) (int, bool) {
+	switch t.get(id) {
 	case stUncached:
 		return 0, true
 	case stCleanOne, stDirtyOne:
@@ -322,8 +382,8 @@ func (t *TwoBit) StorageBits(p StorageParams) uint64 {
 }
 
 // BlockKey implements Store: the two-bit state.
-func (t *TwoBit) BlockKey(block uint64) string {
-	switch t.state[block] {
+func (t *TwoBit) BlockKey(id blockid.ID) string {
+	switch s := t.get(id); s {
 	case stUncached:
 		return ""
 	case stCleanOne:
@@ -333,7 +393,7 @@ func (t *TwoBit) BlockKey(block uint64) string {
 	case stDirtyOne:
 		return "d1"
 	default:
-		return fmt.Sprintf("?%d", t.state[block])
+		return fmt.Sprintf("?%d", s)
 	}
 }
 
@@ -349,7 +409,7 @@ type LimitedPointer struct {
 	i         int
 	broadcast bool
 	caches    int
-	entries   map[uint64]*lpEntry
+	entries   []lpEntry // per block id; the zero value tracks nothing
 }
 
 type lpEntry struct {
@@ -366,7 +426,7 @@ func NewLimitedPointer(i, n int, broadcast bool) (*LimitedPointer, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("directory: cache count %d must be at least 1", n)
 	}
-	return &LimitedPointer{i: i, broadcast: broadcast, caches: n, entries: map[uint64]*lpEntry{}}, nil
+	return &LimitedPointer{i: i, broadcast: broadcast, caches: n}, nil
 }
 
 // Name implements Store.
@@ -384,13 +444,20 @@ func (l *LimitedPointer) Pointers() int { return l.i }
 // broadcast bit) rather than Dir_iNB (overflow evicts a copy).
 func (l *LimitedPointer) Broadcast() bool { return l.broadcast }
 
-// Add implements Store.
-func (l *LimitedPointer) Add(block uint64, c int) int {
-	e := l.entries[block]
-	if e == nil {
-		e = &lpEntry{}
-		l.entries[block] = e
+// ensure grows the entry slice to cover id (amortized growth).
+func (l *LimitedPointer) ensure(id blockid.ID) {
+	if int(id) < len(l.entries) {
+		return
 	}
+	grown := make([]lpEntry, int(id)+1+len(l.entries))
+	copy(grown, l.entries)
+	l.entries = grown
+}
+
+// Add implements Store.
+func (l *LimitedPointer) Add(id blockid.ID, c int) int {
+	l.ensure(id)
+	e := &l.entries[id]
 	for _, p := range e.ptrs {
 		if p == c {
 			return -1
@@ -417,42 +484,42 @@ func (l *LimitedPointer) Add(block uint64, c int) int {
 }
 
 // Remove implements Store.
-func (l *LimitedPointer) Remove(block uint64, c int) {
-	e := l.entries[block]
-	if e == nil {
+func (l *LimitedPointer) Remove(id blockid.ID, c int) {
+	if int(id) >= len(l.entries) {
 		return
 	}
+	e := &l.entries[id]
 	for i, p := range e.ptrs {
 		if p == c {
 			e.ptrs = append(e.ptrs[:i], e.ptrs[i+1:]...)
-			break
+			return
 		}
-	}
-	if len(e.ptrs) == 0 && !e.bcast {
-		delete(l.entries, block)
 	}
 }
 
 // SetSole implements Store.
-func (l *LimitedPointer) SetSole(block uint64, c int) {
-	e := l.entries[block]
-	if e == nil {
-		e = &lpEntry{}
-		l.entries[block] = e
-	}
+func (l *LimitedPointer) SetSole(id blockid.ID, c int) {
+	l.ensure(id)
+	e := &l.entries[id]
 	e.ptrs = append(e.ptrs[:0], c)
 	e.bcast = false
 }
 
 // Clear implements Store.
-func (l *LimitedPointer) Clear(block uint64) { delete(l.entries, block) }
+func (l *LimitedPointer) Clear(id blockid.ID) {
+	if int(id) < len(l.entries) {
+		e := &l.entries[id]
+		e.ptrs = e.ptrs[:0]
+		e.bcast = false
+	}
+}
 
 // Targets implements Store.
-func (l *LimitedPointer) Targets(dst []int, block uint64, except int) ([]int, bool) {
-	e := l.entries[block]
-	if e == nil {
+func (l *LimitedPointer) Targets(dst []int, id blockid.ID, except int) ([]int, bool) {
+	if int(id) >= len(l.entries) {
 		return dst, false
 	}
+	e := &l.entries[id]
 	if e.bcast {
 		return dst, true
 	}
@@ -460,11 +527,11 @@ func (l *LimitedPointer) Targets(dst []int, block uint64, except int) ([]int, bo
 }
 
 // Count implements Store.
-func (l *LimitedPointer) Count(block uint64) (int, bool) {
-	e := l.entries[block]
-	if e == nil {
+func (l *LimitedPointer) Count(id blockid.ID) (int, bool) {
+	if int(id) >= len(l.entries) {
 		return 0, true
 	}
+	e := &l.entries[id]
 	if e.bcast {
 		// At least i+1 copies exist somewhere.
 		return l.i + 1, false
@@ -475,9 +542,12 @@ func (l *LimitedPointer) Count(block uint64) (int, bool) {
 // BlockKey implements Store: the pointer list in FIFO order (the order
 // picks the Dir_iNB eviction victim, so it is state) plus the broadcast
 // bit.
-func (l *LimitedPointer) BlockKey(block uint64) string {
-	e := l.entries[block]
-	if e == nil {
+func (l *LimitedPointer) BlockKey(id blockid.ID) string {
+	if int(id) >= len(l.entries) {
+		return ""
+	}
+	e := &l.entries[id]
+	if len(e.ptrs) == 0 && !e.bcast {
 		return ""
 	}
 	if e.bcast {
@@ -509,7 +579,10 @@ func (l *LimitedPointer) StorageBits(p StorageParams) uint64 {
 type CodedSet struct {
 	caches int
 	digits int
-	codes  map[uint64]codedEntry
+	codes  []codedEntry // per block id
+	// tracked distinguishes an absent code from the valid code denoting
+	// cache 0 alone (value 0, both 0).
+	tracked []bool
 }
 
 type codedEntry struct {
@@ -522,38 +595,68 @@ func NewCodedSet(n int) (*CodedSet, error) {
 	if n < 1 || n > 1<<20 {
 		return nil, fmt.Errorf("directory: cache count %d out of range", n)
 	}
-	return &CodedSet{caches: n, digits: log2Ceil(n), codes: map[uint64]codedEntry{}}, nil
+	return &CodedSet{caches: n, digits: log2Ceil(n)}, nil
 }
 
 // Name implements Store.
 func (cs *CodedSet) Name() string { return "coded-set" }
 
+// ensure grows the code slices to cover id (amortized growth).
+func (cs *CodedSet) ensure(id blockid.ID) {
+	if int(id) < len(cs.codes) {
+		return
+	}
+	n := int(id) + 1 + len(cs.codes)
+	codes := make([]codedEntry, n)
+	copy(codes, cs.codes)
+	tracked := make([]bool, n)
+	copy(tracked, cs.tracked)
+	cs.codes, cs.tracked = codes, tracked
+}
+
+// entry reads the code without growing.
+func (cs *CodedSet) entry(id blockid.ID) (codedEntry, bool) {
+	if int(id) >= len(cs.tracked) || !cs.tracked[id] {
+		return codedEntry{}, false
+	}
+	return cs.codes[id], true
+}
+
 // Add implements Store: merge c into the code, widening digits that differ
 // to "both".
-func (cs *CodedSet) Add(block uint64, c int) int {
-	e, ok := cs.codes[block]
-	if !ok {
-		cs.codes[block] = codedEntry{value: uint32(c)}
+func (cs *CodedSet) Add(id blockid.ID, c int) int {
+	cs.ensure(id)
+	if !cs.tracked[id] {
+		cs.tracked[id] = true
+		cs.codes[id] = codedEntry{value: uint32(c)}
 		return -1
 	}
+	e := cs.codes[id]
 	diff := (e.value ^ uint32(c)) &^ e.both
 	e.both |= diff
 	e.value &^= diff
-	cs.codes[block] = e
+	cs.codes[id] = e
 	return -1
 }
 
 // Remove implements Store. The superset code cannot forget a member, so
 // replacement hints are ignored (the set only ever widens between writes).
-func (cs *CodedSet) Remove(block uint64, c int) {}
+func (cs *CodedSet) Remove(id blockid.ID, c int) {}
 
 // SetSole implements Store.
-func (cs *CodedSet) SetSole(block uint64, c int) {
-	cs.codes[block] = codedEntry{value: uint32(c)}
+func (cs *CodedSet) SetSole(id blockid.ID, c int) {
+	cs.ensure(id)
+	cs.tracked[id] = true
+	cs.codes[id] = codedEntry{value: uint32(c)}
 }
 
 // Clear implements Store.
-func (cs *CodedSet) Clear(block uint64) { delete(cs.codes, block) }
+func (cs *CodedSet) Clear(id blockid.ID) {
+	if int(id) < len(cs.tracked) {
+		cs.tracked[id] = false
+		cs.codes[id] = codedEntry{}
+	}
+}
 
 // Targets implements Store: every cache index matching the code, as
 // directed messages. This is the paper's "limited broadcast".
@@ -564,8 +667,8 @@ func (cs *CodedSet) Clear(block uint64) { delete(cs.codes, block) }
 // the same order the engines have always invalidated in — without the
 // closure and scratch slice a forEachMatch callback would cost on the
 // Access hot path.
-func (cs *CodedSet) Targets(dst []int, block uint64, except int) ([]int, bool) {
-	e, ok := cs.codes[block]
+func (cs *CodedSet) Targets(dst []int, id blockid.ID, except int) ([]int, bool) {
+	e, ok := cs.entry(id)
 	if !ok {
 		return dst, false
 	}
@@ -603,8 +706,8 @@ func (cs *CodedSet) forEachMatch(e codedEntry, fn func(int)) {
 }
 
 // Count implements Store: the superset size (an upper bound on holders).
-func (cs *CodedSet) Count(block uint64) (int, bool) {
-	e, ok := cs.codes[block]
+func (cs *CodedSet) Count(id blockid.ID) (int, bool) {
+	e, ok := cs.entry(id)
 	if !ok {
 		return 0, true
 	}
@@ -622,8 +725,8 @@ func (cs *CodedSet) StorageBits(p StorageParams) uint64 {
 }
 
 // BlockKey implements Store: the ternary code word.
-func (cs *CodedSet) BlockKey(block uint64) string {
-	e, ok := cs.codes[block]
+func (cs *CodedSet) BlockKey(id blockid.ID) string {
+	e, ok := cs.entry(id)
 	if !ok {
 		return ""
 	}

@@ -124,6 +124,10 @@ type Counts [NumTypes]uint64
 // Inc increments the tally for t.
 func (c *Counts) Inc(t Type) { c[t]++ }
 
+// Add records n occurrences of t at once — the batched form drivers use to
+// coalesce runs of same-typed events (e.g. instruction fetches).
+func (c *Counts) Add(t Type, n uint64) { c[t] += n }
+
 // Merge accumulates other into c.
 func (c *Counts) Merge(other Counts) {
 	for i, v := range other {
@@ -188,6 +192,36 @@ func (c *Counts) DataMissRate() float64 {
 	}
 	return float64(c.ReadMisses()+c.WriteMisses()) / float64(total)
 }
+
+// Tally bits pack a type's hit/miss/write classification for branch-free
+// per-cache accounting on engine hot paths.
+const (
+	TallyHit   uint8 = 1 << iota // IsHit
+	TallyMiss                    // IsMiss
+	TallyWrite                   // IsWrite
+)
+
+var tallyBits = func() [NumTypes]uint8 {
+	var tb [NumTypes]uint8
+	for i := 0; i < NumTypes; i++ {
+		t := Type(i)
+		if t.IsHit() {
+			tb[i] |= TallyHit
+		}
+		if t.IsMiss() {
+			tb[i] |= TallyMiss
+		}
+		if t.IsWrite() {
+			tb[i] |= TallyWrite
+		}
+	}
+	return tb
+}()
+
+// Tally returns the type's classification as TallyHit/TallyMiss/TallyWrite
+// bits, precomputed from the Is* predicates: one table load replaces three
+// data-dependent switches.
+func (t Type) Tally() uint8 { return tallyBits[t] }
 
 // IsHit reports whether the event is a cache hit (instruction fetches are
 // not classified).

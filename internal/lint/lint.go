@@ -123,6 +123,7 @@ func DefaultRules() []Rule {
 		HTTPServerRule{},
 		ObsRingRule{},
 		EnginePurityRule{},
+		MapStateRule{},
 		LockCheckRule{},
 		CtxFlowRule{},
 	}

@@ -570,7 +570,7 @@ func TestDefaultRulesDocumented(t *testing.T) {
 		}
 		seen[r.Name()] = true
 	}
-	if len(seen) != 14 {
-		t.Errorf("expected 14 rules, have %d", len(seen))
+	if len(seen) != 15 {
+		t.Errorf("expected 15 rules, have %d", len(seen))
 	}
 }

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// MapStateRule guards the data-oriented engine core (DESIGN.md §9): once
+// per-block protocol state moved from address-keyed maps to dense arrays
+// indexed by interned block ids, no engine hot path may grow a
+// map[uint64]-keyed state field back. A map probe per reference is
+// exactly the cost the interning pass removed — the decode stage already
+// paid for the one hash lookup, so any further map[uint64] access on the
+// Access call graph is a regression hiding in plain sight.
+//
+// The rule walks every function reachable from a registered engine's
+// Access method and flags each struct field of type map[uint64]V it
+// touches. Locals and parameters are exempt (a map built inside one call
+// is not per-reference state), as is everything outside the Access call
+// graph (construction, reporting, invariant checks).
+type MapStateRule struct{}
+
+// Name implements Rule.
+func (MapStateRule) Name() string { return "mapstate" }
+
+// Doc implements Rule.
+func (MapStateRule) Doc() string {
+	return "map[uint64]-keyed state field reachable from an engine's Access hot path; index per-block state by interned block id instead"
+}
+
+// uint64KeyedMap reports whether t's underlying type is map[uint64]V.
+func uint64KeyedMap(t types.Type) bool {
+	mp, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	b, ok := mp.Key().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// CheckModule implements ModuleRule.
+func (MapStateRule) CheckModule(m *Module) []Finding {
+	roots := EngineAccessRoots(m)
+	names := make([]string, 0, len(roots))
+	for name := range roots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Engines share helpers; report each offending field once, naming
+	// the first (alphabetical) engine that reaches it.
+	seen := map[types.Object]bool{}
+	var out []Finding
+	for _, name := range names {
+		for _, fi := range m.Reachable(roots[name]) {
+			if fi.Decl == nil || fi.Decl.Body == nil {
+				continue
+			}
+			engine := name
+			pkg := fi.Pkg
+			fn := fi.Decl.Name.Name
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				se, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				sel := pkg.Info.Selections[se]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				field := sel.Obj()
+				if seen[field] || !uint64KeyedMap(field.Type()) {
+					return true
+				}
+				seen[field] = true
+				out = append(out, pkg.findingf(se.Sel.Pos(), "mapstate",
+					"field %s is map[uint64]-keyed state touched by %s, on %s's Access hot path — index per-block state by interned blockid.ID (struct-of-arrays), the decode stage already paid the one hash probe",
+					field.Name(), fn, engine))
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixtures live at dirsim/internal/coherence because the rule anchors
+// on the Engine interface declared there.
+
+func TestMapStateFlagsAddressKeyedFields(t *testing.T) {
+	src := `package coherence
+type Engine interface {
+	Access(c int, block uint64) int
+}
+type Mappy struct {
+	state map[uint64]int
+	dirty map[uint64]bool
+}
+func (e *Mappy) Access(c int, block uint64) int {
+	e.state[block]++
+	return e.helper(block)
+}
+func (e *Mappy) helper(block uint64) int {
+	if e.dirty[block] {
+		return 1
+	}
+	return 0
+}
+`
+	fs := lintSrc(t, "dirsim/internal/coherence", src, nil, MapStateRule{})
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2 (state, dirty): %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "Mappy's Access hot path") {
+			t.Errorf("finding does not name the engine: %v", f)
+		}
+		if !strings.Contains(f.Msg, "blockid.ID") {
+			t.Errorf("finding does not point at the interned-id fix: %v", f)
+		}
+	}
+}
+
+func TestMapStateAllowsArraysLocalsAndColdPaths(t *testing.T) {
+	src := `package coherence
+type Engine interface {
+	Access(c int, block uint64) int
+}
+type Clean struct {
+	sharers []uint64
+	// Address-keyed, but only touched by the cold reporting path.
+	report map[uint64]int
+}
+func (e *Clean) Access(c int, block uint64) int {
+	// A local map[uint64] is scratch, not per-block state.
+	scratch := map[uint64]int{block: c}
+	if int(block) < len(e.sharers) {
+		e.sharers[block]++
+	}
+	return scratch[block]
+}
+func (e *Clean) Report() map[uint64]int { return e.report }
+`
+	fs := lintSrc(t, "dirsim/internal/coherence", src, nil, MapStateRule{})
+	if len(fs) != 0 {
+		t.Fatalf("array state, local maps and cold paths should pass: %v", fs)
+	}
+}
+
+func TestMapStateIgnoresOtherKeyTypes(t *testing.T) {
+	src := `package coherence
+type Engine interface {
+	Access(c int, block uint64) int
+}
+type Keyed struct {
+	byName map[string]int
+	byPid  map[uint16]int
+}
+func (e *Keyed) Access(c int, block uint64) int {
+	return e.byName["x"] + e.byPid[uint16(c)]
+}
+`
+	fs := lintSrc(t, "dirsim/internal/coherence", src, nil, MapStateRule{})
+	if len(fs) != 0 {
+		t.Fatalf("only uint64-keyed state is per-block state: %v", fs)
+	}
+}

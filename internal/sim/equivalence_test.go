@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/trace"
+	"dirsim/internal/tracegen"
+)
+
+// The equivalence harness freezes the observable outcome of every engine —
+// full Stats plus the canonical protocol-state key over every data block the
+// trace touches — as SHA-256 digests in testdata/equivalence.json. The
+// goldens were generated from the original map-keyed engines, so any
+// representation change (block-id interning, struct-of-arrays state, the
+// intrusive LRU) that perturbs results by even one counter fails here.
+// Regenerate with `go test ./internal/sim -run TestEngineEquivalenceGoldens
+// -update` — but only when a behaviour change is intended and understood.
+
+const equivalenceGoldenFile = "testdata/equivalence.json"
+
+// equivalenceCases pairs machine configurations with driver options,
+// covering the paper's infinite-cache mode, first-reference pricing,
+// finite set-associative caches (LRU order), sparse directories (entry
+// eviction order) and warm-up windows.
+func equivalenceCases() []struct {
+	name string
+	cfg  coherence.Config
+	opts Options
+} {
+	return []struct {
+		name string
+		cfg  coherence.Config
+		opts Options
+	}{
+		{"inf4", coherence.Config{Caches: 4}, Options{}},
+		{"inf8", coherence.Config{Caches: 8}, Options{}},
+		{"inf4-firstcosts", coherence.Config{Caches: 4}, Options{IncludeFirstRefCosts: true}},
+		{"finite4", coherence.Config{Caches: 4, FiniteSets: 64, FiniteWays: 2}, Options{}},
+		{"sparse4", coherence.Config{Caches: 4, DirEntries: 128}, Options{}},
+		{"warmup4", coherence.Config{Caches: 4}, Options{WarmupRefs: 7000}},
+	}
+}
+
+// equivalenceTraces returns the deterministic workloads the digests cover.
+func equivalenceTraces(t *testing.T) map[string]trace.Slice {
+	t.Helper()
+	pops, err := tracegen.Generate(tracegen.POPS(25_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pero, err := tracegen.Generate(tracegen.PERO(25_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]trace.Slice{"pops": pops, "pero": pero}
+}
+
+// dataBlocks returns every distinct data block the trace touches, ascending.
+func dataBlocks(tr trace.Slice, blockBytes int) []uint64 {
+	seen := map[uint64]bool{}
+	for _, r := range tr {
+		if r.Kind == trace.Instr {
+			continue
+		}
+		seen[trace.Block(r.Addr, blockBytes)] = true
+	}
+	out := make([]uint64, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// engineDigest hashes everything a run makes observable: the scheme name,
+// the full Stats (JSON, fixed field order) and the Inspector's canonical
+// state key over the given blocks.
+func engineDigest(t *testing.T, r Result, eng coherence.Engine, blocks []uint64) string {
+	t.Helper()
+	stats, err := json.Marshal(r.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "scheme=%s\nstats=%s\n", r.Scheme, stats)
+	insp, ok := eng.(coherence.Inspector)
+	if !ok {
+		t.Fatalf("%s: engine does not implement Inspector", r.Scheme)
+	}
+	fmt.Fprintf(h, "state=%s\n", insp.StateKey(blocks))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// computeEquivalenceDigests runs every registered engine over every
+// workload × configuration and returns the digest map keyed
+// "workload/config/scheme".
+func computeEquivalenceDigests(t *testing.T) map[string]string {
+	t.Helper()
+	traces := equivalenceTraces(t)
+	workloads := make([]string, 0, len(traces))
+	for w := range traces {
+		workloads = append(workloads, w)
+	}
+	sort.Strings(workloads)
+	digests := map[string]string{}
+	for _, w := range workloads {
+		tr := traces[w]
+		blocks := dataBlocks(tr, trace.DefaultBlockBytes)
+		for _, c := range equivalenceCases() {
+			for _, scheme := range coherence.EngineNames() {
+				eng, err := coherence.NewByName(scheme, c.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(context.Background(), trace.NewSliceReader(tr), []coherence.Engine{eng}, c.opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", w, c.name, scheme, err)
+				}
+				if err := eng.CheckInvariants(); err != nil {
+					t.Fatalf("%s/%s/%s: %v", w, c.name, scheme, err)
+				}
+				digests[w+"/"+c.name+"/"+scheme] = engineDigest(t, res[0], eng, blocks)
+			}
+		}
+	}
+	return digests
+}
+
+// TestEngineEquivalenceGoldens asserts that every engine still produces
+// bitwise-identical results to the original sequential map-keyed
+// implementation, across all 17 schemes and every configuration class.
+func TestEngineEquivalenceGoldens(t *testing.T) {
+	got := computeEquivalenceDigests(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(equivalenceGoldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(equivalenceGoldenFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), equivalenceGoldenFile)
+		return
+	}
+	data, err := os.ReadFile(equivalenceGoldenFile)
+	if err != nil {
+		t.Fatalf("read goldens (regenerate with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden has %d digests, run produced %d", len(want), len(got))
+	}
+	var bad []string
+	for k, w := range want {
+		if g, ok := got[k]; !ok {
+			bad = append(bad, k+" (missing from run)")
+		} else if g != w {
+			bad = append(bad, k)
+		}
+	}
+	sort.Strings(bad)
+	if len(bad) > 0 {
+		t.Errorf("%d of %d digests diverge from the seed results:\n  %s",
+			len(bad), len(want), strings.Join(bad, "\n  "))
+	}
+}

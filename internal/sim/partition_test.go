@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/flight"
+	"dirsim/internal/trace"
+	"dirsim/internal/tracegen"
+)
+
+// statsJSON renders a result's full Stats with fixed field order, the same
+// observable the frozen equivalence digests hash.
+func statsJSON(t *testing.T, r Result) string {
+	t.Helper()
+	data, err := json.Marshal(r.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// The address-partitioned driver must reproduce the sequential driver's
+// Stats bit for bit, for every engine family, across shard counts that do
+// and do not divide the block population evenly, and across the warm-up
+// boundary (which partitioned workers handle with reset markers at the
+// global reference ordinal).
+func TestPartitionMatchesSequential(t *testing.T) {
+	tr, err := tracegen.Generate(tracegen.POPS(25_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coherence.Config{Caches: 4}
+	names := coherence.EngineNames()
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"plain-p2", Options{Partition: 2}},
+		{"plain-p3", Options{Partition: 3}},
+		{"plain-p8", Options{Partition: 8}},
+		{"firstcosts-p4", Options{IncludeFirstRefCosts: true, Partition: 4}},
+		{"warmup-p4", Options{WarmupRefs: 7000, Partition: 4}},
+		{"warmup-unaligned-p3", Options{WarmupRefs: batchRefs + 13, Partition: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqOpts := tc.opts
+			seqOpts.Partition = 0
+			seq, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), names, cfg, seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), names, cfg, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(seq) {
+				t.Fatalf("partitioned run returned %d results, sequential %d", len(par), len(seq))
+			}
+			for i := range seq {
+				if par[i].Scheme != seq[i].Scheme {
+					t.Fatalf("result %d: scheme %q vs %q", i, par[i].Scheme, seq[i].Scheme)
+				}
+				if got, want := statsJSON(t, par[i]), statsJSON(t, seq[i]); got != want {
+					t.Errorf("%s: partitioned stats diverge\n got %s\nwant %s", seq[i].Scheme, got, want)
+				}
+			}
+		})
+	}
+}
+
+// Partitioned mode refuses configurations whose replacement decisions
+// couple blocks across shards, and observers that depend on the global
+// reference order.
+func TestPartitionRejectsCoupledConfigs(t *testing.T) {
+	tr, err := tracegen.Generate(tracegen.POPS(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"dir0b"}
+	for _, tc := range []struct {
+		name string
+		cfg  coherence.Config
+		opts Options
+	}{
+		{"finite", coherence.Config{Caches: 4, FiniteSets: 64, FiniteWays: 2}, Options{Partition: 2}},
+		{"sparse-dir", coherence.Config{Caches: 4, DirEntries: 128}, Options{Partition: 2}},
+		{"recorder", coherence.Config{Caches: 4}, Options{Partition: 2, Recorder: flight.New(flight.Options{Sample: 64})}},
+		{"negative", coherence.Config{Caches: 4}, Options{Partition: -1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RunSchemes(context.Background(), trace.NewSliceReader(tr), names, tc.cfg, tc.opts); err == nil {
+				t.Error("RunSchemes accepted a configuration partitioning cannot reproduce")
+			}
+		})
+	}
+}
+
+// A trace shorter than the warm-up window must measure nothing, exactly as
+// the sequential driver guarantees.
+func TestPartitionWarmupLongerThanTrace(t *testing.T) {
+	tr, err := tracegen.Generate(tracegen.POPS(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSchemes(context.Background(), trace.NewSliceReader(tr),
+		[]string{"dir0b"}, coherence.Config{Caches: 4}, Options{WarmupRefs: 1 << 20, Partition: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Stats.Refs != 0 {
+		t.Errorf("Refs = %d after an all-warm-up trace, want 0", res[0].Stats.Refs)
+	}
+}
+
+// Cancellation must end a partitioned run promptly with the context error.
+func TestPartitionCancellation(t *testing.T) {
+	tr, err := tracegen.Generate(tracegen.POPS(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSchemes(ctx, trace.NewSliceReader(tr),
+		[]string{"dir0b"}, coherence.Config{Caches: 4}, Options{Partition: 4}); err == nil {
+		t.Error("cancelled partitioned run returned no error")
+	}
+}

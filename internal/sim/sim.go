@@ -18,8 +18,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
 
+	"dirsim/internal/blockid"
 	"dirsim/internal/bus"
 	"dirsim/internal/coherence"
 	"dirsim/internal/events"
@@ -74,6 +76,19 @@ type Options struct {
 	// events and run-phase spans into flight rings. It is a pure
 	// observer: engine Stats are bitwise identical with and without it.
 	Recorder *flight.Recorder
+	// Partition, when greater than 1, runs RunSchemes in address-
+	// partitioned mode: each scheme is instantiated Partition times and
+	// block ids are sharded across the instances (id mod Partition), so a
+	// single scheme's work spreads over that many goroutines. The merged
+	// Stats are bitwise identical to a sequential run because, with
+	// infinite caches and an unbounded directory, every engine's handling
+	// of a block depends only on that block's own state. RunSchemes
+	// rejects the mode for finite caches or a bounded directory (LRU
+	// replacement couples blocks through set and entry contention) and
+	// when a flight recorder is attached (per-shard sampling ordinals
+	// would diverge from the sequential trace). Options.Parallel is
+	// ignored in this mode.
+	Partition int
 }
 
 func (o Options) blockBytes() int {
@@ -96,6 +111,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallel < 0 {
 		return fmt.Errorf("sim: negative Parallel %d", o.Parallel)
+	}
+	if o.Partition < 0 {
+		return fmt.Errorf("sim: negative Partition %d", o.Partition)
 	}
 	return nil
 }
@@ -187,37 +205,78 @@ func (r Result) DirToMemBandwidthRatio() float64 {
 const batchRefs = 4096
 
 // decodedRef is one reference after the trace-level work is done: cache
-// attribution resolved, block number computed, first-reference flag set
-// from the shared seen-set.
+// attribution resolved, block number computed and interned to a dense id,
+// first-reference flag set from the interner's freshness bit.
 type decodedRef struct {
 	cache int
 	kind  trace.Kind
 	block uint64
+	id    blockid.ID // dense block id; meaningless for Instr refs
 	first bool
 }
 
 // decoder turns the raw reference stream into decodedRef batches. The
-// shared seen-set and process-to-cache mapping live here, computed once
-// in the decode stage, which is what makes the engines independent of
-// each other and safe to fan out.
+// shared block-id table and process-to-cache mapping live here, computed
+// once in the decode stage, which is what makes the engines independent
+// of each other and safe to fan out. Interning doubles as the paper's
+// first-reference detection: a fresh id is by definition the first
+// reference to that block in the trace, so the old seen-set is gone.
 type decoder struct {
-	rd         trace.Reader
-	opts       Options
-	caches     int
-	blockBytes int
-	seen       map[uint64]bool
+	rd   trace.Reader
+	opts Options
+	// sr is non-nil when rd replays an in-memory trace, enabling the
+	// batch fast path that skips the per-reference interface call.
+	sr     *trace.SliceReader
+	caches int
+	// blockShift turns a byte address into a block number. Validate
+	// guarantees the block size is a power of two, so the decode loop
+	// shifts instead of dividing by a variable (a real division per
+	// reference otherwise dominates single-engine decode).
+	blockShift uint
+	tab        *blockid.Table
 	pidToCache map[uint16]int
 }
 
 func newDecoder(rd trace.Reader, caches int, opts Options) *decoder {
+	sr, _ := rd.(*trace.SliceReader)
 	return &decoder{
 		rd:         rd,
 		opts:       opts,
+		sr:         sr,
 		caches:     caches,
-		blockBytes: opts.blockBytes(),
-		seen:       map[uint64]bool{},
+		blockShift: uint(bits.TrailingZeros(uint(opts.blockBytes()))),
+		tab:        blockid.New(),
 		pidToCache: map[uint16]int{},
 	}
+}
+
+// decode turns one raw reference into its decoded form, shared by the
+// streaming and slice batch loops.
+func (d *decoder) decode(ref trace.Ref) (decodedRef, error) {
+	var c int
+	switch d.opts.CacheBy {
+	case ByCPU:
+		c = int(ref.CPU)
+	case ByProcess:
+		var ok bool
+		c, ok = d.pidToCache[ref.PID]
+		if !ok {
+			c = len(d.pidToCache)
+			d.pidToCache[ref.PID] = c
+		}
+	}
+	if c >= d.caches {
+		return decodedRef{}, fmt.Errorf("sim: reference needs cache %d but engines have %d caches", c, d.caches)
+	}
+	block := ref.Addr >> d.blockShift
+	var id blockid.ID
+	first := false
+	if ref.Kind != trace.Instr {
+		var fresh bool
+		id, fresh = d.tab.Intern(block)
+		first = fresh && !d.opts.IncludeFirstRefCosts
+	}
+	return decodedRef{cache: c, kind: ref.Kind, block: block, id: id, first: first}, nil
 }
 
 // nextBatch appends up to batchRefs decoded references to buf[:0] and
@@ -225,6 +284,43 @@ func newDecoder(rd trace.Reader, caches int, opts Options) *decoder {
 // partial batch) when the trace ends.
 func (d *decoder) nextBatch(buf []decodedRef) ([]decodedRef, error) {
 	batch := buf[:0]
+	if d.sr != nil {
+		// Slice fast path: same decode as d.decode, written out so the
+		// per-reference work stays in one loop with no call overhead.
+		refs := d.sr.Take(batchRefs)
+		byProcess := d.opts.CacheBy == ByProcess
+		include := d.opts.IncludeFirstRefCosts
+		for i := range refs {
+			ref := &refs[i]
+			var c int
+			if byProcess {
+				var ok bool
+				c, ok = d.pidToCache[ref.PID]
+				if !ok {
+					c = len(d.pidToCache)
+					d.pidToCache[ref.PID] = c
+				}
+			} else {
+				c = int(ref.CPU)
+			}
+			if c >= d.caches {
+				return batch, fmt.Errorf("sim: reference needs cache %d but engines have %d caches", c, d.caches)
+			}
+			block := ref.Addr >> d.blockShift
+			var id blockid.ID
+			first := false
+			if ref.Kind != trace.Instr {
+				var fresh bool
+				id, fresh = d.tab.Intern(block)
+				first = fresh && !include
+			}
+			batch = append(batch, decodedRef{cache: c, kind: ref.Kind, block: block, id: id, first: first})
+		}
+		if len(refs) < batchRefs {
+			return batch, io.EOF
+		}
+		return batch, nil
+	}
 	for len(batch) < batchRefs {
 		ref, err := d.rd.Next()
 		if err != nil {
@@ -233,51 +329,90 @@ func (d *decoder) nextBatch(buf []decodedRef) ([]decodedRef, error) {
 			}
 			return batch, err
 		}
-		var c int
-		switch d.opts.CacheBy {
-		case ByCPU:
-			c = int(ref.CPU)
-		case ByProcess:
-			var ok bool
-			c, ok = d.pidToCache[ref.PID]
-			if !ok {
-				c = len(d.pidToCache)
-				d.pidToCache[ref.PID] = c
-			}
+		dr, err := d.decode(ref)
+		if err != nil {
+			return batch, err
 		}
-		if c >= d.caches {
-			return batch, fmt.Errorf("sim: reference needs cache %d but engines have %d caches", c, d.caches)
-		}
-		block := trace.Block(ref.Addr, d.blockBytes)
-		first := false
-		if ref.Kind != trace.Instr && !d.opts.IncludeFirstRefCosts && !d.seen[block] {
-			d.seen[block] = true
-			first = true
-		}
-		batch = append(batch, decodedRef{cache: c, kind: ref.Kind, block: block, first: first})
+		batch = append(batch, dr)
 	}
 	return batch, nil
+}
+
+// engineSlot pairs an engine with its id-indexed fast path. idx is non-nil
+// when the engine accepted the decoder's shared block-id table, letting the
+// driver skip the engine's own interning; otherwise the driver falls back
+// to the address-keyed Access method (e.g. for an engine that already
+// carries state from an earlier run, or a caller-supplied engine outside
+// the built-in families).
+type engineSlot struct {
+	eng coherence.Engine
+	idx coherence.IndexedEngine
+}
+
+// bindEngines offers every engine the decoder's block-id table.
+func bindEngines(engines []coherence.Engine, tab *blockid.Table) []engineSlot {
+	slots := make([]engineSlot, len(engines))
+	for i, e := range engines {
+		slots[i].eng = e
+		if ie, ok := e.(coherence.IndexedEngine); ok && ie.BindBlocks(tab) {
+			slots[i].idx = ie
+		}
+	}
+	return slots
 }
 
 // applyBatch feeds one batch to a group of engines, handling the end of
 // the warm-up window exactly where the sequential driver always has:
 // after reference number WarmupRefs. processed is the group's reference
 // count before the batch; the updated count is returned.
-func applyBatch(batch []decodedRef, engines []coherence.Engine, warmup, processed int) int {
-	for _, r := range batch {
-		for _, e := range engines {
+func applyBatch(batch []decodedRef, engines []engineSlot, warmup, processed int) int {
+	// The warm-up boundary falls inside at most one batch per run; split
+	// that batch once so the hot loop carries no per-reference counter.
+	if warmup > processed && warmup <= processed+len(batch) {
+		cut := warmup - processed
+		applyRefs(batch[:cut], engines)
+		// End of warm-up: keep all protocol state, measure only what
+		// follows.
+		for _, s := range engines {
+			s.eng.ResetStats()
+		}
+		applyRefs(batch[cut:], engines)
+		return processed + len(batch)
+	}
+	applyRefs(batch, engines)
+	return processed + len(batch)
+}
+
+// applyRefs is the innermost dispatch loop. The single-engine shapes are
+// split out so the slot fields load once per batch instead of once per
+// reference — the single-scheme run is the throughput number the
+// data-oriented core is measured on.
+func applyRefs(refs []decodedRef, engines []engineSlot) {
+	if len(engines) == 1 {
+		if ie := engines[0].idx; ie != nil {
+			for i := range refs {
+				r := &refs[i]
+				ie.AccessID(r.cache, r.kind, r.block, r.id, r.first)
+			}
+			return
+		}
+		e := engines[0].eng
+		for i := range refs {
+			r := &refs[i]
 			e.Access(r.cache, r.kind, r.block, r.first)
 		}
-		processed++
-		if processed == warmup {
-			// End of warm-up: keep all protocol state, measure only
-			// what follows.
-			for _, e := range engines {
-				e.ResetStats()
+		return
+	}
+	for i := range refs {
+		r := &refs[i]
+		for _, s := range engines {
+			if s.idx != nil {
+				s.idx.AccessID(r.cache, r.kind, r.block, r.id, r.first)
+			} else {
+				s.eng.Access(r.cache, r.kind, r.block, r.first)
 			}
 		}
 	}
-	return processed
 }
 
 // runTrace holds the per-run flight-recorder wiring: the sampling
@@ -335,7 +470,7 @@ func spanDur(n uint64) uint32 {
 // the call, so the engines themselves are untouched and their tallies
 // provably unchanged. tracks is tr.tracks sliced to this engine group;
 // ring is this worker's single-writer buffer.
-func applyBatchTraced(batch []decodedRef, engines []coherence.Engine, tracks []uint16, tr *runTrace, ring *flight.Ring, warmup, processed int) int {
+func applyBatchTraced(batch []decodedRef, engines []engineSlot, tracks []uint16, tr *runTrace, ring *flight.Ring, warmup, processed int) int {
 	if tr == nil {
 		return applyBatch(batch, engines, warmup, processed)
 	}
@@ -353,13 +488,18 @@ func applyBatchTraced(batch []decodedRef, engines []coherence.Engine, tracks []u
 		if seq == nextSample {
 			nextSample += tr.sample
 			r := batch[i]
-			for ei, e := range engines {
-				st := e.Stats()
+			for ei, s := range engines {
+				st := s.eng.Stats()
 				di := st.DirectedInvals
 				bi := st.BroadcastInvals
 				pe := st.PointerEvictions
 				de := st.DirEntryEvictions
-				typ := e.Access(r.cache, r.kind, r.block, r.first)
+				var typ events.Type
+				if s.idx != nil {
+					typ = s.idx.AccessID(r.cache, r.kind, r.block, r.id, r.first)
+				} else {
+					typ = s.eng.Access(r.cache, r.kind, r.block, r.first)
+				}
 				ring.Emit(flight.Event{Seq: seq, Block: r.block, Track: tracks[ei], Cache: int16(r.cache), Kind: flight.Kind(typ)})
 				if n := st.DirectedInvals - di; n > 0 {
 					ring.Emit(flight.Event{Seq: seq, Block: r.block, Arg: uint32(n), Track: tracks[ei], Cache: int16(r.cache), Kind: flight.KindInval})
@@ -377,8 +517,8 @@ func applyBatchTraced(batch []decodedRef, engines []coherence.Engine, tracks []u
 			processed++
 			i++
 			if processed == warmup {
-				for _, e := range engines {
-					e.ResetStats()
+				for _, s := range engines {
+					s.eng.ResetStats()
 				}
 			}
 			continue
@@ -393,15 +533,19 @@ func applyBatchTraced(batch []decodedRef, engines []coherence.Engine, tracks []u
 			end = i + (warmup - processed)
 		}
 		for _, r := range batch[i:end] {
-			for _, e := range engines {
-				e.Access(r.cache, r.kind, r.block, r.first)
+			for _, s := range engines {
+				if s.idx != nil {
+					s.idx.AccessID(r.cache, r.kind, r.block, r.id, r.first)
+				} else {
+					s.eng.Access(r.cache, r.kind, r.block, r.first)
+				}
 			}
 		}
 		processed += end - i
 		i = end
 		if processed == warmup {
-			for _, e := range engines {
-				e.ResetStats()
+			for _, s := range engines {
+				s.eng.ResetStats()
 			}
 		}
 	}
@@ -433,12 +577,13 @@ func Run(ctx context.Context, rd trace.Reader, engines []coherence.Engine, opts 
 		}
 	}
 	d := newDecoder(rd, caches, opts)
+	slots := bindEngines(engines, d.tab)
 	tr := newRunTrace(opts.Recorder, engines)
 	var err error
 	if opts.workers(len(engines)) > 1 {
-		err = runParallel(ctx, d, engines, opts, tr)
+		err = runParallel(ctx, d, slots, opts, tr)
 	} else {
-		err = runSequential(ctx, d, engines, opts, tr)
+		err = runSequential(ctx, d, slots, opts, tr)
 	}
 	if err != nil {
 		return nil, err
@@ -455,7 +600,10 @@ func Run(ctx context.Context, rd trace.Reader, engines []coherence.Engine, opts 
 
 // runSequential is the classic driver: decode a batch, feed every engine
 // in lockstep, repeat.
-func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options, tr *runTrace) error {
+func runSequential(ctx context.Context, d *decoder, engines []engineSlot, opts Options, tr *runTrace) error {
+	if tr == nil && d.sr != nil && len(engines) == 1 && engines[0].idx != nil {
+		return runFusedSingle(ctx, d, engines[0].idx, opts)
+	}
 	var ring *flight.Ring
 	var tracks []uint16
 	if tr != nil {
@@ -485,9 +633,90 @@ func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, 
 	}
 	if processed < opts.WarmupRefs {
 		// The trace ended inside the warm-up window: nothing measured.
-		for _, e := range engines {
-			e.ResetStats()
+		for _, s := range engines {
+			s.eng.ResetStats()
 		}
+	}
+	return nil
+}
+
+// runFusedSingle is runSequential specialised for one id-indexed engine
+// over an in-memory trace with no recorder attached: each reference is
+// decoded and applied in the same loop iteration, never materialised into
+// a decodedRef batch. The single-scheme run is the per-reference cost the
+// data-oriented core is measured on, and the batch round-trip (a store
+// and reload of every decoded reference) is a measurable slice of it.
+// Warm-up, progress and cancellation behave exactly as the batched path:
+// chunks of batchRefs references, split once at the warm-up boundary.
+func runFusedSingle(ctx context.Context, d *decoder, eng coherence.IndexedEngine, opts Options) error {
+	byProcess := d.opts.CacheBy == ByProcess
+	include := d.opts.IncludeFirstRefCosts
+	apply := func(refs []trace.Ref) error {
+		// Instruction fetches change no protocol state and contribute
+		// only commutative sums, so they are counted here and flushed as
+		// one AccessInstrs call per chunk (chunks never span a warm-up
+		// boundary — runFusedSingle splits there first).
+		instrs := uint64(0)
+		for i := range refs {
+			ref := &refs[i]
+			var c int
+			if byProcess {
+				// The map update must run for instruction fetches too:
+				// process-to-cache assignment is by order of first
+				// appearance in the full stream.
+				var ok bool
+				c, ok = d.pidToCache[ref.PID]
+				if !ok {
+					c = len(d.pidToCache)
+					d.pidToCache[ref.PID] = c
+				}
+			} else {
+				c = int(ref.CPU)
+			}
+			if c >= d.caches {
+				return fmt.Errorf("sim: reference needs cache %d but engines have %d caches", c, d.caches)
+			}
+			if ref.Kind == trace.Instr {
+				instrs++
+				continue
+			}
+			block := ref.Addr >> d.blockShift
+			id, fresh := d.tab.Intern(block)
+			eng.AccessID(c, ref.Kind, block, id, fresh && !include)
+		}
+		if instrs > 0 {
+			eng.AccessInstrs(instrs)
+		}
+		return nil
+	}
+	processed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := d.sr.Take(batchRefs)
+		n := len(chunk)
+		if w := opts.WarmupRefs; w > processed && w <= processed+n {
+			if err := apply(chunk[:w-processed]); err != nil {
+				return err
+			}
+			eng.ResetStats()
+			chunk = chunk[w-processed:]
+		}
+		if err := apply(chunk); err != nil {
+			return err
+		}
+		processed += n
+		if opts.OnProgress != nil && n > 0 {
+			opts.OnProgress(n)
+		}
+		if n < batchRefs {
+			break
+		}
+	}
+	if processed < opts.WarmupRefs {
+		// The trace ended inside the warm-up window: nothing measured.
+		eng.ResetStats()
 	}
 	return nil
 }
@@ -497,7 +726,7 @@ func runSequential(ctx context.Context, d *decoder, engines []coherence.Engine, 
 // Batches arrive on every worker's channel in decode order, so each
 // engine processes the full stream in order and accumulates exactly the
 // same Stats as under runSequential.
-func runParallel(ctx context.Context, d *decoder, engines []coherence.Engine, opts Options, tr *runTrace) error {
+func runParallel(ctx context.Context, d *decoder, engines []engineSlot, opts Options, tr *runTrace) error {
 	workers := opts.workers(len(engines))
 	chans := make([]chan []decodedRef, workers)
 	var drvRing *flight.Ring
@@ -520,7 +749,7 @@ func runParallel(ctx context.Context, d *decoder, engines []coherence.Engine, op
 			tracks = tr.tracks[lo:hi]
 		}
 		wg.Add(1)
-		go func(group []coherence.Engine, tracks []uint16, ring *flight.Ring) {
+		go func(group []engineSlot, tracks []uint16, ring *flight.Ring) {
 			defer wg.Done()
 			processed := 0
 			for batch := range ch {
@@ -576,15 +805,20 @@ decode:
 		return err
 	}
 	if total < opts.WarmupRefs {
-		for _, e := range engines {
-			e.ResetStats()
+		for _, s := range engines {
+			s.eng.ResetStats()
 		}
 	}
 	return nil
 }
 
-// RunSchemes builds the named engines and runs rd through them.
+// RunSchemes builds the named engines and runs rd through them. With
+// opts.Partition > 1 the run is address-partitioned instead: see
+// Options.Partition.
 func RunSchemes(ctx context.Context, rd trace.Reader, names []string, cfg coherence.Config, opts Options) ([]Result, error) {
+	if opts.Partition > 1 {
+		return runPartitionedSchemes(ctx, rd, names, cfg, opts)
+	}
 	engines := make([]coherence.Engine, len(names))
 	for i, n := range names {
 		e, err := coherence.NewByName(n, cfg)
@@ -594,6 +828,165 @@ func RunSchemes(ctx context.Context, rd trace.Reader, names []string, cfg cohere
 		engines[i] = e
 	}
 	return Run(ctx, rd, engines, opts)
+}
+
+// shardMsg is one partitioned work item: the shard's slice of a decoded
+// batch, plus a marker that the global warm-up boundary falls right after
+// these references (the shard must reset its tallies before continuing).
+type shardMsg struct {
+	refs  []decodedRef
+	reset bool
+}
+
+// runPartitionedSchemes is the address-partitioned driver: P instances of
+// every scheme, block ids sharded id mod P, instruction references to
+// shard 0 (they carry no block). With infinite caches and an unbounded
+// directory every engine's transition for a block reads and writes only
+// that block's state, so shard-local simulation composes exactly: merging
+// the P instances' Stats with Combine reproduces the sequential run's
+// tallies bit for bit (asserted by TestPartitionMatchesSequential).
+func runPartitionedSchemes(ctx context.Context, rd trace.Reader, names []string, cfg coherence.Config, opts Options) ([]Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("sim: no engines")
+	}
+	if cfg.Finite() || cfg.DirEntries > 0 {
+		return nil, fmt.Errorf("sim: Partition requires infinite caches and an unbounded directory (replacement couples blocks across shards)")
+	}
+	if opts.Recorder != nil && opts.Recorder.Enabled() {
+		return nil, fmt.Errorf("sim: Partition cannot be combined with a flight recorder")
+	}
+	p := opts.Partition
+	d := newDecoder(rd, cfg.Caches, opts)
+	insts := make([][]engineSlot, p)
+	for s := 0; s < p; s++ {
+		slots := make([]engineSlot, len(names))
+		for i, n := range names {
+			e, err := coherence.NewByName(n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ie, ok := e.(coherence.IndexedEngine)
+			if !ok || !ie.BindBlocks(d.tab) {
+				return nil, fmt.Errorf("sim: scheme %s does not support indexed access", n)
+			}
+			slots[i] = engineSlot{eng: e, idx: ie}
+		}
+		insts[s] = slots
+	}
+	chans := make([]chan shardMsg, p)
+	var wg sync.WaitGroup
+	for s := 0; s < p; s++ {
+		ch := make(chan shardMsg, 4)
+		chans[s] = ch
+		wg.Add(1)
+		go func(slots []engineSlot) {
+			defer wg.Done()
+			for msg := range ch {
+				for _, r := range msg.refs {
+					for _, sl := range slots {
+						sl.idx.AccessID(r.cache, r.kind, r.block, r.id, r.first)
+					}
+				}
+				if msg.reset {
+					for _, sl := range slots {
+						sl.eng.ResetStats()
+					}
+				}
+			}
+		}(insts[s])
+	}
+	var err error
+	total := 0
+decode:
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		batch, derr := d.nextBatch(make([]decodedRef, 0, batchRefs))
+		if derr != nil && derr != io.EOF {
+			err = derr
+			break
+		}
+		if len(batch) > 0 {
+			// If the global warm-up boundary falls inside this batch,
+			// split there: each shard processes its pre-boundary refs,
+			// resets, then continues — the same point in the global
+			// stream where the sequential driver resets.
+			split := -1
+			if w := opts.WarmupRefs; w > total && w <= total+len(batch) {
+				split = w - total
+			}
+			segments := [][2]int{{0, len(batch)}}
+			if split >= 0 {
+				segments = [][2]int{{0, split}, {split, len(batch)}}
+			}
+			for si, seg := range segments {
+				reset := split >= 0 && si == 0
+				shards := make([][]decodedRef, p)
+				for _, r := range batch[seg[0]:seg[1]] {
+					s := 0
+					if r.kind != trace.Instr {
+						s = int(r.id) % p
+					}
+					shards[s] = append(shards[s], r)
+				}
+				for s, ch := range chans {
+					if len(shards[s]) == 0 && !reset {
+						continue
+					}
+					select {
+					case ch <- shardMsg{refs: shards[s], reset: reset}:
+					case <-ctx.Done():
+						err = ctx.Err()
+						break decode
+					}
+				}
+			}
+			total += len(batch)
+			if opts.OnProgress != nil {
+				opts.OnProgress(len(batch))
+			}
+		}
+		if derr == io.EOF {
+			break
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if total < opts.WarmupRefs {
+		// The trace ended inside the warm-up window: nothing measured.
+		for _, slots := range insts {
+			for _, sl := range slots {
+				sl.eng.ResetStats()
+			}
+		}
+	}
+	results := make([]Result, len(names))
+	for i := range names {
+		parts := make([]Result, p)
+		for s := 0; s < p; s++ {
+			e := insts[s][i].eng
+			parts[s] = Result{Scheme: e.Name(), Stats: e.Stats()}
+			if adj, ok := e.(coherence.ModelAdjuster); ok {
+				parts[s].adjust = adj.AdjustModel
+			}
+		}
+		combined, cerr := Combine(parts)
+		if cerr != nil {
+			return nil, cerr
+		}
+		results[i] = combined
+	}
+	return results, nil
 }
 
 // Combine merges per-trace results for the same scheme into one aggregate,

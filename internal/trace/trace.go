@@ -131,6 +131,18 @@ func (r *SliceReader) Next() (Ref, error) {
 // Reset rewinds the reader to the beginning of the trace.
 func (r *SliceReader) Reset() { r.pos = 0 }
 
+// Take returns up to n references starting at the current position and
+// advances past them, letting batch consumers skip the per-reference Next
+// call. It returns an empty slice at end of trace.
+func (r *SliceReader) Take(n int) []Ref {
+	rem := r.refs[r.pos:]
+	if len(rem) > n {
+		rem = rem[:n]
+	}
+	r.pos += len(rem)
+	return rem
+}
+
 // ReadAll drains rd into a Slice. It is intended for tests and small traces;
 // simulation should stream instead.
 func ReadAll(rd Reader) (Slice, error) {
