@@ -5,14 +5,24 @@
 // from a content-addressed result cache (in-memory LRU plus an optional
 // crash-safe on-disk store).
 //
+// With -state-dir the daemon is crash-survivable: accepted jobs are
+// journaled before the submit is acknowledged, sweeps checkpoint per
+// cell, and a daemon restarted after kill -9 replays the journal,
+// re-simulates only the missing cells, and reassembles results
+// byte-identical to an uninterrupted run. With -tenants the daemon is
+// multi-tenant: API keys map to tenants with quotas and weights, queued
+// work drains by weighted fair share, and interactive ?wait=1 requests
+// are dispatched ahead of batch sweeps.
+//
 // Endpoints (see API.md for the full reference):
 //
 //	POST /v1/jobs            submit a spec; ?wait=1 blocks for the result
 //	GET  /v1/jobs/{id}       job status, or the result document when done
-//	GET  /v1/jobs/{id}/events  NDJSON stream of status/progress events
+//	GET  /v1/jobs/{id}/events  NDJSON stream of status/progress/chunk events
 //	GET  /v1/jobs/{id}/trace  a terminal job's flight trace (with -trace-sample)
 //	GET  /v1/engines         engine and trace-filter registries
 //	GET  /healthz            liveness (503 while draining)
+//	GET  /readyz             readiness (starting/recovering/draining vs ok)
 //	GET  /metrics            server-wide obs counters as JSON (?format=prometheus for text exposition)
 //
 // SIGINT/SIGTERM trigger a graceful drain: intake stops (503), in-flight
@@ -22,13 +32,16 @@
 //
 // Usage:
 //
-//	dirsimd -addr 127.0.0.1:8023 -parallel 4 -cache-dir /var/tmp/dirsim
+//	dirsimd -addr 127.0.0.1:8023 -parallel 4 -state-dir /var/tmp/dirsim
+//	dirsimd -addr 127.0.0.1:8023 -tenants tenants.json   # API-key admission
 //	dirsimd -addr 127.0.0.1:0 -ready-file dirsimd.addr   # test harnesses
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -50,8 +63,11 @@ func main() {
 	parallel := flag.Int("parallel", 4, "concurrent cell simulations per job")
 	executors := flag.Int("executors", 2, "concurrently running jobs")
 	queue := flag.Int("queue", 16, "accepted-but-unfinished job bound beyond the executors (full queue answers 429)")
-	cacheDir := flag.String("cache-dir", "", "persist results as <hash>.json under this directory (empty = memory only)")
+	cacheDir := flag.String("cache-dir", "", "persist results as <hash>.json under this directory (empty = memory only, or <state-dir>/results with -state-dir)")
 	cacheEntries := flag.Int("cache-entries", 128, "in-memory result cache capacity")
+	stateDir := flag.String("state-dir", "", "journal accepted jobs under this directory; a restarted daemon resumes exactly the unfinished work (empty = stateless)")
+	tenantsFile := flag.String("tenants", "", "JSON file of API tenants ([{name,key,weight,max_active}]); empty = open mode, no authentication")
+	chunkCells := flag.Int("chunk-cells", 16, "sweep cells per execution chunk (the checkpoint and yield granularity)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt deadline for each cell (0 = no limit)")
 	stallTimeout := flag.Duration("stall-timeout", 0, "fail a cell when no progress for this long (0 = off)")
 	retries := flag.Int("retries", 2, "extra attempts for cells failing with transient errors")
@@ -61,12 +77,20 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = off); keep it private")
 	flag.Parse()
 
+	tenants, err := loadTenants(*tenantsFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	s, err := server.New(server.Config{
 		Workers:      *parallel,
 		Executors:    *executors,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		StateDir:     *stateDir,
+		Tenants:      tenants,
+		ChunkCells:   *chunkCells,
 		JobTimeout:   *jobTimeout,
 		StallTimeout: *stallTimeout,
 		Retries:      *retries,
@@ -139,4 +163,21 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("drained cleanly")
+}
+
+// loadTenants reads the -tenants file: a JSON array of tenant objects.
+// An empty path means open mode (no authentication).
+func loadTenants(path string) ([]server.Tenant, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants file: %w", err)
+	}
+	var tenants []server.Tenant
+	if err := json.Unmarshal(data, &tenants); err != nil {
+		return nil, fmt.Errorf("tenants file %s: %w", path, err)
+	}
+	return tenants, nil
 }

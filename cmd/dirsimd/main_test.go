@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+	"dirsim/internal/spec"
+)
+
+// TestMain doubles the test binary as the daemon itself: a child process
+// launched with DIRSIMD_TEST_CHILD=1 runs main() with whatever daemon
+// flags the test passed, which is what lets the e2e tests below kill -9
+// a real dirsimd process and restart it against the same state dir.
+func TestMain(m *testing.M) {
+	if os.Getenv("DIRSIMD_TEST_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one child dirsimd process under test control.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+// startDaemon launches the test binary as a dirsimd child and waits for
+// it to publish its bound address.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	ready := filepath.Join(t.TempDir(), "addr")
+	full := append([]string{"-addr", "127.0.0.1:0", "-ready-file", ready}, args...)
+	cmd := exec.Command(os.Args[0], full...)
+	cmd.Env = append(os.Environ(), "DIRSIMD_TEST_CHILD=1")
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		data, err := os.ReadFile(ready)
+		if err == nil && len(bytes.TrimSpace(data)) > 0 {
+			return &daemon{cmd: cmd, addr: string(bytes.TrimSpace(data))}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func e2eSweepBody(t *testing.T) []byte {
+	t.Helper()
+	body, err := json.Marshal(spec.Request{Sweep: &spec.Sweep{
+		Workloads: []string{"pops", "pero"},
+		Schemes:   []string{"dir0b"},
+		CPUs:      []int{2, 4},
+		Refs:      120_000,
+		Seeds:     2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+const e2eCells = 8 // 2 workloads × 2 cpus × 2 seeds
+
+// countCellDocs counts durable per-cell checkpoints under a state dir.
+func countCellDocs(t *testing.T, stateDir string) int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(stateDir, "results", "cells", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(files)
+}
+
+func getJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("bad JSON from %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp.StatusCode, data
+}
+
+// The acceptance test for crash-survivable sweeps: a daemon hard-killed
+// (SIGKILL — no drain, no goodbye) mid-sweep and restarted against the
+// same state dir finishes exactly the missing cells and serves a result
+// document byte-identical to an uninterrupted daemon's.
+func TestKill9MidSweepResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes")
+	}
+	body := e2eSweepBody(t)
+
+	// Reference: an uninterrupted daemon on its own state dir.
+	refState := t.TempDir()
+	ref := startDaemon(t, "-state-dir", refState, "-parallel", "1", "-executors", "1", "-chunk-cells", "1")
+	resp, err := http.Post(ref.url("/v1/jobs?wait=1"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: %d %s (%v)", resp.StatusCode, want, err)
+	}
+
+	// Victim: same sweep submitted asynchronously, killed once some but
+	// not all cells are checkpointed. -parallel 1 -executors 1
+	// -chunk-cells 1 serialises the cells, keeping the kill window wide.
+	state := t.TempDir()
+	victim := startDaemon(t, "-state-dir", state, "-parallel", "1", "-executors", "1", "-chunk-cells", "1")
+	var status spec.JobStatus
+	if code, data := postBody(t, victim.url("/v1/jobs"), body, &status); code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for countCellDocs(t, state) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("no cell checkpoints appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := victim.cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+	survived := countCellDocs(t, state)
+	if survived >= e2eCells {
+		t.Skipf("daemon finished all %d cells before the kill landed; no interruption to test", survived)
+	}
+
+	// Restart on the same state dir: the journal owes the job, recovery
+	// finishes it without being asked.
+	revived := startDaemon(t, "-state-dir", state, "-parallel", "1", "-executors", "1", "-chunk-cells", "1")
+	var got []byte
+	for {
+		var doc spec.ResultDoc
+		code, data := getJSON(t, revived.url("/v1/jobs/"+status.ID), &doc)
+		if code == http.StatusOK && doc.Status == "done" {
+			got = data
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job never finished: %d %s", code, data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered document differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// No cell simulated twice: the revived daemon ran exactly the cells
+	// that had no durable checkpoint at restart.
+	var snap obs.Snapshot
+	getJSON(t, revived.url("/metrics"), &snap)
+	if snap.JobsTotal != uint64(e2eCells-survived) {
+		t.Errorf("revived daemon simulated %d cells, want %d (%d survived the kill)", snap.JobsTotal, e2eCells-survived, survived)
+	}
+
+	// And a clean SIGTERM drain leaves nothing owed.
+	revived.cmd.Process.Signal(syscall.SIGTERM)
+	if err := revived.cmd.Wait(); err != nil {
+		t.Fatalf("drain exit: %v", err)
+	}
+	journal, err := os.ReadFile(filepath.Join(state, "journal.ndjson"))
+	if err == nil && len(bytes.TrimSpace(journal)) != 0 {
+		// Live records would replay on the next start; a resolve-tail is
+		// fine, compaction removes it. Assert a fresh daemon owes nothing.
+		clean := startDaemon(t, "-state-dir", state)
+		var ready map[string]string
+		code, _ := getJSON(t, clean.url("/readyz"), &ready)
+		if code != http.StatusOK || ready["status"] != "ok" {
+			t.Errorf("post-drain readyz: %d %v", code, ready)
+		}
+	}
+}
+
+// The readiness endpoint distinguishes rejection states end to end: a
+// daemon with tenants configured 403s keyless submits while /readyz
+// stays ok, and SIGTERM flips /readyz to draining (503) while the
+// process finishes its work.
+func TestReadyzAndAuthEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes")
+	}
+	tenants := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(tenants, []byte(`[{"name":"ci","key":"ci-key","weight":2}]`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, "-tenants", tenants)
+
+	var ready map[string]string
+	if code, _ := getJSON(t, d.url("/readyz"), &ready); code != http.StatusOK || ready["status"] != "ok" {
+		t.Fatalf("readyz: %d %v", code, ready)
+	}
+	tc, err := spec.Preset("pops", 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.CPUs = 2
+	cell, err := json.Marshal(spec.Request{Cell: &spec.Cell{
+		Trace:   tc,
+		Schemes: []string{"dir0b"},
+		Machine: coherence.Config{Caches: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, data := postBody(t, d.url("/v1/jobs?wait=1"), cell, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("keyless submit: %d %s", code, data)
+	}
+	req, _ := http.NewRequest(http.MethodPost, d.url("/v1/jobs?wait=1"), bytes.NewReader(cell))
+	req.Header.Set("Authorization", "Bearer ci-key")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized submit: %d %s", resp.StatusCode, okBody)
+	}
+
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(d.url("/readyz"))
+		if err != nil {
+			break // listener closed: drain completed
+		}
+		var st map[string]string
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && st["status"] == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never reported draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("drain exit: %v", err)
+	}
+}
+
+func postBody(t *testing.T, url string, body []byte, v any) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("bad JSON from %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp.StatusCode, data
+}
+
+func init() {
+	// Each request dials fresh: reused connections to a killed daemon
+	// would surface as confusing mid-test EOFs.
+	http.DefaultTransport.(*http.Transport).DisableKeepAlives = true
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dirsim/internal/atomicio"
 	"dirsim/internal/coherence"
@@ -103,8 +105,16 @@ func writeTrace(path string, recs []*flight.Recorder) error {
 // workers and rebuilds priceable results from the returned documents.
 // The daemon deduplicates identical cells by content hash and serves
 // repeats from its cache, so re-rendering a report is nearly free.
+// Transient saturation (429/503) is retried on a deterministic backoff
+// rather than failing a long report render; $DIRSIM_API_KEY
+// authenticates against daemons running with tenants configured.
 func remoteExec(baseURL string, workers int) cellExec {
-	client := &remote.Client{BaseURL: baseURL}
+	client := &remote.Client{
+		BaseURL: baseURL,
+		APIKey:  os.Getenv("DIRSIM_API_KEY"),
+		Retry:   runner.RetryPolicy{Max: 4, Base: 250 * time.Millisecond, Seed: 1},
+		Sleep:   time.Sleep,
+	}
 	return func(ctx context.Context, cells []spec.Cell) ([][]sim.Result, error) {
 		if len(cells) == 0 {
 			return nil, nil

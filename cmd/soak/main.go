@@ -1,0 +1,568 @@
+// Command soak is the multi-tenant burn-in driver for dirsimd: it boots
+// a stateful daemon with three synthetic tenants (two batch, one
+// interactive), fires thousands of concurrent submissions at it, hard-
+// kills and restarts the daemon mid-soak, and then audits the wreckage:
+//
+//   - zero lost jobs — every acknowledged submission reaches "done",
+//     including work the killed daemon owed at the moment it died;
+//   - zero duplicated work — the revived daemon's jobs_total equals
+//     exactly the cells that had no durable checkpoint at restart;
+//   - bounded queue depth — the dirsim_queue_depth histogram never saw
+//     a value beyond the configured admission bound;
+//   - fair-share admission — the interactive tenant's admit-wait stays
+//     at or below the batch tenants' even while batch floods the queue.
+//
+// `make soak-smoke` runs this with a freshly built daemon; CI runs the
+// same target.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dirsim/internal/atomicio"
+	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+	"dirsim/internal/spec"
+)
+
+// tenantPlan is one synthetic tenant in the soak: batch tenants submit
+// asynchronously, the interactive tenant submits with ?wait=1 so every
+// request rides the priority class the fairness claim is about.
+type tenantPlan struct {
+	name        string
+	key         string
+	weight      int
+	interactive bool
+}
+
+var tenantPlans = []tenantPlan{
+	{name: "alpha", key: "alpha-key", weight: 1},
+	{name: "beta", key: "beta-key", weight: 3},
+	{name: "gamma", key: "gamma-key", weight: 2, interactive: true},
+}
+
+type options struct {
+	daemon    string
+	dir       string
+	jobs      int
+	workers   int
+	queue     int
+	executors int
+	refs      int
+	restart   bool
+	timeout   time.Duration
+	verbose   bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soak: ")
+	var o options
+	flag.StringVar(&o.daemon, "daemon", "", "path to a dirsimd binary (required)")
+	flag.StringVar(&o.dir, "dir", "", "scratch directory (default: a fresh temp dir)")
+	flag.IntVar(&o.jobs, "jobs", 2001, "total submissions, split round-robin across the three tenants")
+	flag.IntVar(&o.workers, "workers", 48, "concurrent submitters")
+	flag.IntVar(&o.queue, "queue", 64, "daemon queue depth (a power of two keeps the histogram bound tight)")
+	flag.IntVar(&o.executors, "executors", 4, "daemon executors")
+	flag.IntVar(&o.refs, "refs", 2_000, "references per cell (every cell is unique by seed)")
+	flag.BoolVar(&o.restart, "restart", true, "SIGKILL the daemon mid-soak and restart it on the same state dir")
+	flag.DurationVar(&o.timeout, "timeout", 10*time.Minute, "overall deadline")
+	flag.BoolVar(&o.verbose, "v", false, "pass the daemon's log through to stderr")
+	flag.Parse()
+	if o.daemon == "" {
+		log.Fatal("-daemon is required (a built dirsimd binary)")
+	}
+	if err := run(o); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("soak passed")
+}
+
+// soak carries the run's moving parts: the current daemon process, the
+// stable address every worker targets, and the per-job outcome slots.
+type soak struct {
+	o        options
+	stateDir string
+	tenants  string
+	addr     string
+	client   *http.Client
+	deadline time.Time
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+
+	acked atomic.Int64
+	ids   []string // job id per submission, filled by the worker that acked it
+	errs  []error  // first error per submission, nil on success
+}
+
+func run(o options) error {
+	if o.dir == "" {
+		dir, err := os.MkdirTemp("", "dirsim-soak-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		o.dir = dir
+	}
+	if err := os.MkdirAll(o.dir, 0o777); err != nil {
+		return err
+	}
+	s := &soak{
+		o:        o,
+		stateDir: filepath.Join(o.dir, "state"),
+		tenants:  filepath.Join(o.dir, "tenants.json"),
+		deadline: time.Now().Add(o.timeout),
+		ids:      make([]string, o.jobs),
+		errs:     make([]error, o.jobs),
+		client: &http.Client{
+			Timeout: 2 * time.Minute,
+			// Fresh dials only: reused connections to a killed daemon
+			// would surface as spurious mid-soak EOFs.
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+	}
+	var tenants []map[string]any
+	for _, tp := range tenantPlans {
+		tenants = append(tenants, map[string]any{"name": tp.name, "key": tp.key, "weight": tp.weight})
+	}
+	tdata, err := json.Marshal(tenants)
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(s.tenants, tdata); err != nil {
+		return err
+	}
+	defer s.stopDaemon()
+	if err := s.startDaemon("127.0.0.1:0"); err != nil {
+		return err
+	}
+	log.Printf("daemon up on %s: %d jobs, %d workers, queue %d, restart=%v",
+		s.addr, o.jobs, o.workers, o.queue, o.restart)
+
+	var wg sync.WaitGroup
+	var claim atomic.Int64
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(claim.Add(1)) - 1
+				if i >= s.o.jobs {
+					return
+				}
+				s.errs[i] = s.submit(i)
+				s.acked.Add(1)
+			}
+		}()
+	}
+
+	survived := -1
+	if o.restart {
+		// Let a chunk of the soak land, then yank the power cord.
+		for s.acked.Load() < int64(o.jobs*2/5) {
+			if time.Now().After(s.deadline) {
+				return fmt.Errorf("deadline before restart point: %d/%d acked", s.acked.Load(), o.jobs)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err := s.kill9(); err != nil {
+			return err
+		}
+		survived = s.countCellDocs()
+		log.Printf("killed -9 at %d/%d acked; %d durable cell checkpoints survived", s.acked.Load(), o.jobs, survived)
+		if err := s.startDaemon(s.addr); err != nil {
+			return err
+		}
+	}
+	wg.Wait()
+
+	var failed int
+	for i, err := range s.errs {
+		if err != nil {
+			failed++
+			if failed <= 5 {
+				log.Printf("submission %d: %v", i, err)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d submissions failed", failed, o.jobs)
+	}
+
+	if err := s.awaitAllDone(); err != nil {
+		return err
+	}
+	log.Printf("all %d jobs done (zero lost)", o.jobs)
+
+	snap, err := s.metricsJSON()
+	if err != nil {
+		return err
+	}
+	if o.restart {
+		// The exact no-duplication ledger: the revived daemon simulates a
+		// cell iff it had no durable checkpoint when the axe fell. Every
+		// cell in this soak is unique, so its jobs_total must equal the
+		// total minus the survivors — one short means a lost job, one
+		// over means a cell simulated twice.
+		want := uint64(o.jobs - survived)
+		if snap.JobsTotal != want {
+			return fmt.Errorf("revived daemon simulated %d cells, want %d (%d of %d survived the kill)",
+				snap.JobsTotal, want, survived, o.jobs)
+		}
+		log.Printf("revived daemon simulated exactly %d missing cells (zero duplicated)", want)
+	} else if snap.JobsTotal != uint64(o.jobs) {
+		return fmt.Errorf("daemon simulated %d cells, want %d", snap.JobsTotal, o.jobs)
+	}
+	if err := s.checkHistograms(snap); err != nil {
+		return err
+	}
+	if err := s.checkPrometheus(); err != nil {
+		return err
+	}
+
+	// A clean drain must leave nothing owed: SIGTERM, then a fresh
+	// daemon on the same state dir has to report ready immediately.
+	if err := s.drain(); err != nil {
+		return err
+	}
+	if err := s.startDaemon(s.addr); err != nil {
+		return err
+	}
+	var ready struct {
+		Status string `json:"status"`
+	}
+	code, err := s.getJSON("/readyz", &ready)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || ready.Status != "ok" {
+		return fmt.Errorf("post-drain restart readyz: %d %q (journal not clean?)", code, ready.Status)
+	}
+	return s.drain()
+}
+
+// body builds submission i's request: a single-cell job made unique by
+// its trace seed, so every submission is distinct work with a distinct
+// content hash.
+func body(i, refs int) ([]byte, error) {
+	tc, err := spec.Preset("pops", refs)
+	if err != nil {
+		return nil, err
+	}
+	tc.Seed = int64(i + 1)
+	tc.CPUs = 2 + 2*(i%2)
+	return json.Marshal(spec.Request{Cell: &spec.Cell{
+		Trace:   tc,
+		Schemes: []string{"dir0b"},
+		Machine: coherence.Config{Caches: tc.CPUs},
+	}})
+}
+
+// submit pushes submission i until the daemon acknowledges it, retrying
+// transport errors (the daemon is dead for a stretch of the soak) and
+// saturation answers. Interactive submissions block for the result;
+// batch submissions record the job id for the later completion audit.
+func (s *soak) submit(i int) error {
+	tp := tenantPlans[i%len(tenantPlans)]
+	data, err := body(i, s.o.refs)
+	if err != nil {
+		return err
+	}
+	url := "http://" + s.addr + "/v1/jobs"
+	if tp.interactive {
+		url += "?wait=1"
+	}
+	for {
+		if time.Now().After(s.deadline) {
+			return fmt.Errorf("deadline submitting as %s", tp.name)
+		}
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Authorization", "Bearer "+tp.key)
+		resp, err := s.client.Do(req)
+		if err != nil {
+			// Daemon down (mid-restart) or a ?wait=1 connection the kill
+			// severed: back off and resubmit; the journal and the
+			// content-addressed cache make the retry idempotent.
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		rbody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK: // interactive: the result document itself
+			var doc spec.ResultDoc
+			if err := json.Unmarshal(rbody, &doc); err != nil || doc.Status != "done" {
+				return fmt.Errorf("interactive result: %v (%.120s)", err, rbody)
+			}
+			s.ids[i] = doc.ID
+			return nil
+		case http.StatusAccepted: // batch: audit completion later
+			var st spec.JobStatus
+			if err := json.Unmarshal(rbody, &st); err != nil || st.ID == "" {
+				return fmt.Errorf("accept body: %v (%.120s)", err, rbody)
+			}
+			s.ids[i] = st.ID
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(retryAfter(resp))
+		default:
+			return fmt.Errorf("submit as %s: %d %.200s", tp.name, resp.StatusCode, rbody)
+		}
+	}
+}
+
+// retryAfter honors the daemon's Retry-After header, with a floor that
+// keeps saturation retries from busy-spinning.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 50 * time.Millisecond
+}
+
+// awaitAllDone polls every acknowledged job until it reports done —
+// the zero-lost-jobs audit. Jobs finished before the kill are served
+// from the disk cache; jobs the dead daemon owed were replayed.
+func (s *soak) awaitAllDone() error {
+	remaining := map[int]bool{}
+	for i := range s.ids {
+		remaining[i] = true
+	}
+	for len(remaining) > 0 {
+		if time.Now().After(s.deadline) {
+			return fmt.Errorf("deadline with %d jobs not done (lost?)", len(remaining))
+		}
+		for i := range remaining {
+			var doc spec.ResultDoc
+			code, err := s.getJSON("/v1/jobs/"+s.ids[i], &doc)
+			if err != nil {
+				break // daemon briefly unreachable; re-poll
+			}
+			if code == http.StatusOK && doc.Status == "done" {
+				delete(remaining, i)
+			} else if code == http.StatusNotFound {
+				return fmt.Errorf("job %d (%s) vanished: lost across restart", i, s.ids[i])
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}
+
+// checkHistograms audits the admission histograms: queue depth stayed
+// within the configured bound, every tenant shows up in the per-tenant
+// series, and the interactive tenant's admit-wait did not fall behind
+// the batch tenants' — the fairness floor under a batch flood.
+func (s *soak) checkHistograms(snap obs.Snapshot) error {
+	hists := map[string]obs.HistogramSnapshot{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h
+	}
+	qd, ok := hists[obs.HistQueueDepth]
+	if !ok || qd.Count == 0 {
+		return fmt.Errorf("no %s observations", obs.HistQueueDepth)
+	}
+	maxSeen := uint64(0)
+	for i := len(qd.Buckets) - 1; i >= 0; i-- {
+		if qd.Buckets[i] > 0 {
+			maxSeen = obs.BucketUpper(i)
+			break
+		}
+	}
+	// Log2 buckets: a bound of 2*queue-1 is the tightest bucket edge
+	// that can hold every legal depth ≤ queue.
+	if bound := uint64(2*s.o.queue - 1); maxSeen > bound {
+		return fmt.Errorf("queue depth reached the ≤%d bucket, bound %d: admission did not hold", maxSeen, bound)
+	}
+	log.Printf("queue depth bounded: max bucket ≤%d over %d observations (admission bound %d)", maxSeen, qd.Count, s.o.queue)
+
+	mean := func(h obs.HistogramSnapshot) float64 {
+		if h.Count == 0 {
+			return 0
+		}
+		return float64(h.Sum) / float64(h.Count)
+	}
+	var interMean, batchMean float64
+	for _, tp := range tenantPlans {
+		if _, ok := hists[obs.HistQueueDepth+"_tenant_"+tp.name]; !ok {
+			return fmt.Errorf("no per-tenant queue-depth series for %s", tp.name)
+		}
+		aw, ok := hists[obs.HistAdmitWait+"_tenant_"+tp.name]
+		if !ok {
+			return fmt.Errorf("no per-tenant admit-wait series for %s", tp.name)
+		}
+		m := mean(aw)
+		log.Printf("tenant %s: %d dispatches, mean admit wait %.1fms", tp.name, aw.Count, m)
+		if tp.interactive {
+			interMean = m
+		} else if m > batchMean {
+			batchMean = m
+		}
+	}
+	// Interactive dispatch is strictly prioritized, so its mean wait may
+	// not exceed the worst batch tenant's; the small floor keeps an
+	// uncontended run (everything near zero) from flapping.
+	if interMean > batchMean && interMean > 5 {
+		return fmt.Errorf("interactive admit wait %.1fms exceeds batch %.1fms: batch starved interactive", interMean, batchMean)
+	}
+	return nil
+}
+
+// checkPrometheus asserts the admission histograms actually reach the
+// scrape surface operators alert on.
+func (s *soak) checkPrometheus() error {
+	resp, err := s.client.Get("http://" + s.addr + "/metrics?format=prometheus")
+	if err != nil {
+		return err
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prometheus scrape: %d (%v)", resp.StatusCode, err)
+	}
+	for _, series := range []string{
+		"dirsim_" + obs.HistQueueDepth + "_bucket",
+		"dirsim_" + obs.HistAdmitWait + "_tenant_gamma_bucket",
+		"dirsim_" + obs.HistQueueDepth + "_tenant_alpha_bucket",
+	} {
+		if !strings.Contains(string(text), series) {
+			return fmt.Errorf("prometheus exposition missing %s", series)
+		}
+	}
+	return nil
+}
+
+func (s *soak) startDaemon(addr string) error {
+	ready := filepath.Join(s.o.dir, "addr")
+	os.Remove(ready)
+	cmd := exec.Command(s.o.daemon,
+		"-addr", addr,
+		"-ready-file", ready,
+		"-state-dir", s.stateDir,
+		"-tenants", s.tenants,
+		"-queue", strconv.Itoa(s.o.queue),
+		"-executors", strconv.Itoa(s.o.executors),
+		"-parallel", "2",
+	)
+	if s.o.verbose {
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+	} else {
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cmd = cmd
+	s.mu.Unlock()
+	for {
+		data, err := os.ReadFile(ready)
+		if err == nil && len(bytes.TrimSpace(data)) > 0 {
+			s.addr = string(bytes.TrimSpace(data))
+			return nil
+		}
+		if time.Now().After(s.deadline) {
+			return fmt.Errorf("daemon never became ready: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (s *soak) current() *exec.Cmd {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cmd
+}
+
+// kill9 is the crash under test: SIGKILL, no drain, no goodbye.
+func (s *soak) kill9() error {
+	cmd := s.current()
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait()
+	return nil
+}
+
+// drain is the polite exit: SIGTERM must finish in-flight work and
+// exit 0.
+func (s *soak) drain() error {
+	cmd := s.current()
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		return err
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("drain exit: %w", err)
+	}
+	return nil
+}
+
+func (s *soak) stopDaemon() {
+	cmd := s.current()
+	if cmd != nil && cmd.ProcessState == nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// countCellDocs counts the durable per-cell checkpoints — what the
+// revived daemon will not have to re-simulate.
+func (s *soak) countCellDocs() int {
+	files, _ := filepath.Glob(filepath.Join(s.stateDir, "results", "cells", "*.json"))
+	return len(files)
+}
+
+func (s *soak) getJSON(path string, v any) (int, error) {
+	resp, err := s.client.Get("http://" + s.addr + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if v != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, v); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad JSON from %s: %w (%.120s)", path, err, data)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (s *soak) metricsJSON() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	code, err := s.getJSON("/metrics", &snap)
+	if err != nil {
+		return snap, err
+	}
+	if code != http.StatusOK {
+		return snap, fmt.Errorf("/metrics: %d", code)
+	}
+	return snap, nil
+}

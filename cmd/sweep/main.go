@@ -77,6 +77,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "save completed cells to this JSON file as they finish")
 	resume := flag.Bool("resume", false, "load -checkpoint and re-run only missing or failed cells")
 	remoteURL := flag.String("remote", "", "run the grid on a dirsimd daemon at this base URL instead of locally")
+	apiKey := flag.String("api-key", os.Getenv("DIRSIM_API_KEY"), "API key for -remote daemons running with tenants configured (default $DIRSIM_API_KEY)")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
 	traceOut := flag.String("trace-out", "", "write a flight trace of every job here (.json = Chrome trace, .ndjson = one event per line)")
@@ -122,7 +123,7 @@ func main() {
 		faultSeed: *faultSeed, faultCorrupt: *faultCorrupt,
 		faultTruncate: *faultTruncate, faultTransient: *faultTransient,
 		faultPanic: *faultPanic, faultJobs: *faultJobs,
-		remote:   *remoteURL,
+		remote: *remoteURL, apiKey: *apiKey,
 		progress: *progress, progressW: os.Stderr,
 		traceOut: *traceOut, traceSample: *traceSample, spans: *spans,
 	}
@@ -188,6 +189,7 @@ type options struct {
 	faultJobs      string
 
 	remote string
+	apiKey string
 
 	progress  bool
 	progressW io.Writer
@@ -451,7 +453,16 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	// rebuild priceable results from the document, and stream the same
 	// rows the local path would — byte for byte.
 	if o.remote != "" {
-		results, err := (&remote.Client{BaseURL: o.remote}).RunCells(ctx, spec.Request{Sweep: &sw})
+		// Daemon saturation (429 quota/queue-full, 503 restart) is
+		// absorbed on the same deterministic retry schedule the local
+		// runner uses, honouring the daemon's Retry-After.
+		client := &remote.Client{
+			BaseURL: o.remote,
+			APIKey:  o.apiKey,
+			Retry:   runner.RetryPolicy{Max: o.retries + 1, Base: o.retryBase, Seed: 1},
+			Sleep:   o.sleep,
+		}
+		results, err := client.RunCells(ctx, spec.Request{Sweep: &sw})
 		if err != nil {
 			return err
 		}

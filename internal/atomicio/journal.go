@@ -1,0 +1,122 @@
+package atomicio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// Journal is an append-only, crash-safe record log: the durability
+// primitive behind the daemon's persistent job store. Where File gives
+// whole-artifact atomicity (temp + rename), Journal gives per-record
+// durability — each Append writes one newline-terminated record and
+// fsyncs before returning, so an acknowledged record survives SIGKILL.
+//
+// The crash discipline is the mirror image of File's: a crash mid-append
+// can leave at most one torn record at the tail, and ReadJournal
+// discards exactly that — an unterminated final line. Everything before
+// it was fsynced by an earlier Append and is intact. Records must not
+// contain newlines; the caller's encoding (NDJSON in practice) owns
+// that invariant.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if absent) the journal at path for
+// appending. The parent directory must exist.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: journal %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably writes one record: the bytes, a terminating newline,
+// then fsync. It returns only once the record would survive a crash.
+// rec must not contain a newline — that would split it into two records
+// on replay — and empty records are rejected for the same reason.
+func (j *Journal) Append(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("atomicio: journal %s: empty record", j.path)
+	}
+	if bytes.IndexByte(rec, '\n') >= 0 {
+		return fmt.Errorf("atomicio: journal %s: record contains newline", j.path)
+	}
+	buf := make([]byte, 0, len(rec)+1)
+	buf = append(buf, rec...)
+	buf = append(buf, '\n')
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("atomicio: journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: journal %s: sync: %w", j.path, err)
+	}
+	return nil
+}
+
+// Close closes the underlying file. Appends after Close fail.
+func (j *Journal) Close() error {
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("atomicio: journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// ReadJournal returns the journal's complete records in append order. A
+// missing file is an empty journal. An unterminated final line — the
+// only damage a crash mid-Append can cause — is silently discarded;
+// any record is returned exactly as it was passed to Append.
+func ReadJournal(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("atomicio: journal %s: %w", path, err)
+	}
+	var recs [][]byte
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break // torn tail: the crash-interrupted append, dropped
+		}
+		if i > 0 {
+			rec := make([]byte, i)
+			copy(rec, data[:i])
+			recs = append(recs, rec)
+		}
+		data = data[i+1:]
+	}
+	return recs, nil
+}
+
+// RewriteJournal atomically replaces the journal at path with exactly
+// recs (compaction: drop records made obsolete by later ones). It uses
+// the package's temp+fsync+rename discipline, so a crash mid-compaction
+// leaves the previous journal intact.
+func RewriteJournal(path string, recs [][]byte) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if len(rec) == 0 || bytes.IndexByte(rec, '\n') >= 0 {
+			f.Abort()
+			return fmt.Errorf("atomicio: journal %s: bad record in rewrite", path)
+		}
+		if _, err := f.Write(rec); err != nil {
+			f.Abort()
+			return fmt.Errorf("atomicio: journal %s: %w", path, err)
+		}
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Abort()
+			return fmt.Errorf("atomicio: journal %s: %w", path, err)
+		}
+	}
+	return f.Commit()
+}

@@ -1,0 +1,150 @@
+package atomicio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Appended records must come back verbatim, in order, across close and
+// reopen — the replay path a daemon restart exercises.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte(`{"op":"accept","id":"a"}`), []byte(`{"op":"done","id":"a"}`), []byte("third")}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], recs[i])
+		}
+	}
+
+	// Reopening for append must preserve the existing records.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append([]byte("fourth")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	got, err = ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || string(got[3]) != "fourth" {
+		t.Fatalf("after reopen: %d records, last %q", len(got), got[len(got)-1])
+	}
+}
+
+// A missing journal is an empty journal, not an error: first boot of a
+// daemon with a fresh state dir.
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	recs, err := ReadJournal(filepath.Join(t.TempDir(), "absent.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records from a missing journal", len(recs))
+	}
+}
+
+// A crash mid-append leaves an unterminated tail; replay must drop
+// exactly that line and keep everything fsynced before it.
+func TestJournalTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate the torn write: bytes landed, no terminating newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"acc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0]) != "alpha" || string(recs[1]) != "beta" {
+		t.Fatalf("torn journal read %q, want the two intact records", recs)
+	}
+}
+
+// Records carrying newlines would shear into two on replay; Append must
+// refuse them up front, as must the empty record.
+func TestJournalRejectsUnframeableRecords(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "journal.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append([]byte("a\nb")); err == nil {
+		t.Error("Append accepted a record containing a newline")
+	}
+	if err := j.Append(nil); err == nil {
+		t.Error("Append accepted an empty record")
+	}
+}
+
+// Compaction rewrites the journal to exactly the surviving records,
+// atomically, and the result replays cleanly.
+func TestJournalRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"a", "b", "c", "d"} {
+		if err := j.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	if err := RewriteJournal(path, [][]byte{[]byte("b"), []byte("d")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0]) != "b" || string(recs[1]) != "d" {
+		t.Fatalf("compacted journal = %q, want [b d]", recs)
+	}
+
+	if err := RewriteJournal(path, [][]byte{[]byte("x\ny")}); err == nil {
+		t.Error("RewriteJournal accepted a record containing a newline")
+	}
+}

@@ -19,6 +19,11 @@ const (
 	// HistInvalBurst is the invalidations-per-write burst size folded
 	// from each result's invalidation-fanout histogram.
 	HistInvalBurst = "inval_burst"
+	// HistAdmitWait is admission-to-first-dispatch latency in
+	// milliseconds, sampled per job when the daemon runs with a clock.
+	// Per-tenant variants append "_tenant_<name>" (sanitized), as does
+	// HistQueueDepth — fairness under contention is read off these.
+	HistAdmitWait = "admit_wait_ms"
 )
 
 // NumHistBuckets is the number of log2 buckets: bucket 0 holds the value

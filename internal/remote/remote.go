@@ -3,6 +3,14 @@
 // sim.Results that price identically to a local run — including
 // cost-model adjustments that do not survive serialisation, which
 // sim.RemoteResult rederives from the scheme name.
+//
+// Transient daemon saturation is absorbed, not fatal: a 429 (per-tenant
+// quota or queue full) or a 503 (journal replay after a restart) is
+// retried on the runner's deterministic exponential-backoff-with-jitter
+// RetryPolicy, honouring the daemon's Retry-After header as a floor.
+// Submission is idempotent by construction — jobs are content-addressed
+// — so a retried POST can only attach to the same work, never duplicate
+// it.
 package remote
 
 import (
@@ -12,8 +20,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
+	"dirsim/internal/runner"
 	"dirsim/internal/sim"
 	"dirsim/internal/spec"
 )
@@ -24,6 +35,17 @@ type Client struct {
 	BaseURL string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// APIKey, when non-empty, is sent as Authorization: Bearer on every
+	// request. Daemons running with tenants configured require it.
+	APIKey string
+	// Retry bounds how 429/503 answers are retried (Max < 2 disables
+	// retries). The schedule is runner.RetryPolicy's: deterministic
+	// exponential backoff with jitter, so a saturated daemon is probed
+	// on the same reproducible cadence every run.
+	Retry runner.RetryPolicy
+	// Sleep waits out retry backoff (cmd layers pass time.Sleep; nil
+	// applies the schedule without waiting, which is what tests want).
+	Sleep func(time.Duration)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -49,10 +71,93 @@ func errorBody(data []byte) string {
 	return strings.TrimSpace(string(data))
 }
 
+// retryable reports whether an HTTP status is transient daemon
+// saturation: over quota / queue full (429) or not ready — draining or
+// replaying its journal after a restart (503).
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoffFor combines the policy's deterministic schedule with the
+// daemon's Retry-After hint (seconds), whichever is longer.
+func (c *Client) backoffFor(attempt int, retryAfter string) time.Duration {
+	d := c.Retry.Backoff(0, attempt)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	return d
+}
+
+// do issues one request with auth headers, reading the whole body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, http.Header, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("remote: %w", err)
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("remote: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("remote: reading response: %w", err)
+	}
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// doRetrying runs do under the retry policy: transient saturation
+// answers (429/503) are retried up to Retry.Max attempts with the
+// jittered backoff, honouring Retry-After; everything else — success,
+// hard errors, transport failures — returns immediately.
+func (c *Client) doRetrying(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	max := c.Retry.Max
+	if max < 1 {
+		max = 1
+	}
+	var (
+		status int
+		data   []byte
+	)
+	for attempt := 1; ; attempt++ {
+		var (
+			hdr http.Header
+			err error
+		)
+		status, hdr, data, err = c.do(ctx, method, path, body)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !retryable(status) || attempt >= max {
+			return status, data, nil
+		}
+		delay := c.backoffFor(attempt, hdr.Get("Retry-After"))
+		if c.Sleep != nil && delay > 0 {
+			c.Sleep(delay)
+		}
+		if err := ctx.Err(); err != nil {
+			return status, data, fmt.Errorf("remote: %w", err)
+		}
+	}
+}
+
 // Run submits the request with wait semantics and returns the parsed
 // result document. The call blocks until the daemon finishes the job (or
 // serves it from cache); cancelling ctx disconnects, which withdraws this
-// client's interest in the job.
+// client's interest in the job. Saturation (429) and daemon restarts
+// (503) are retried per the client's Retry policy.
 func (c *Client) Run(ctx context.Context, req spec.Request) (*spec.ResultDoc, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -61,22 +166,12 @@ func (c *Client) Run(ctx context.Context, req spec.Request) (*spec.ResultDoc, er
 	if err != nil {
 		return nil, fmt.Errorf("remote: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs?wait=1"), bytes.NewReader(body))
+	status, data, err := c.doRetrying(ctx, http.MethodPost, "/v1/jobs?wait=1", body)
 	if err != nil {
-		return nil, fmt.Errorf("remote: %w", err)
+		return nil, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(hreq)
-	if err != nil {
-		return nil, fmt.Errorf("remote: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("remote: reading response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("remote: daemon answered %s: %s", resp.Status, errorBody(data))
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("remote: daemon answered %d %s: %s", status, http.StatusText(status), errorBody(data))
 	}
 	var doc spec.ResultDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -91,21 +186,12 @@ func (c *Client) Run(ctx context.Context, req spec.Request) (*spec.ResultDoc, er
 // Engines fetches the daemon's engine and filter registries.
 func (c *Client) Engines(ctx context.Context) (spec.EnginesDoc, error) {
 	var doc spec.EnginesDoc
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/engines"), nil)
+	status, data, err := c.doRetrying(ctx, http.MethodGet, "/v1/engines", nil)
 	if err != nil {
-		return doc, fmt.Errorf("remote: %w", err)
+		return doc, err
 	}
-	resp, err := c.httpClient().Do(hreq)
-	if err != nil {
-		return doc, fmt.Errorf("remote: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return doc, fmt.Errorf("remote: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return doc, fmt.Errorf("remote: daemon answered %s: %s", resp.Status, errorBody(data))
+	if status != http.StatusOK {
+		return doc, fmt.Errorf("remote: daemon answered %d %s: %s", status, http.StatusText(status), errorBody(data))
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return doc, fmt.Errorf("remote: %w", err)
@@ -123,11 +209,15 @@ func Results(doc *spec.ResultDoc, cells []spec.Cell) ([][]sim.Result, error) {
 	}
 	out := make([][]sim.Result, len(cells))
 	for i, cr := range doc.Cells {
-		if len(cr.Results) != len(cells[i].Schemes) {
-			return nil, fmt.Errorf("remote: cell %d has %d scheme results, want %d", i, len(cr.Results), len(cells[i].Schemes))
+		srs, err := cr.SchemeResults()
+		if err != nil {
+			return nil, fmt.Errorf("remote: cell %d: %w", i, err)
 		}
-		rs := make([]sim.Result, len(cr.Results))
-		for k, sr := range cr.Results {
+		if len(srs) != len(cells[i].Schemes) {
+			return nil, fmt.Errorf("remote: cell %d has %d scheme results, want %d", i, len(srs), len(cells[i].Schemes))
+		}
+		rs := make([]sim.Result, len(srs))
+		for k, sr := range srs {
 			r, err := sim.RemoteResult(sr.Scheme, cells[i].Machine, sr.Stats)
 			if err != nil {
 				return nil, fmt.Errorf("remote: cell %d: %w", i, err)

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"dirsim/internal/atomicio"
+	"dirsim/internal/spec"
 )
 
 // resultCache is the content-addressed result store: completed job
@@ -68,7 +69,9 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
-	if err != nil {
+	if err != nil || spec.CheckDocVersion(data) != nil {
+		// A document from another spec generation (or a torn/foreign
+		// file) is never served: the job re-simulates and overwrites it.
 		return nil, false
 	}
 	c.putMemory(key, data)
@@ -104,6 +107,55 @@ func (c *resultCache) putMemory(key string, data []byte) {
 		c.order.Remove(last)
 		delete(c.byKey, last.Value.(*cacheEntry).key)
 	}
+}
+
+// The per-cell tier stores one finished cell document per cell hash,
+// under dir/cells/. It is the checkpoint a chunked sweep leaves behind:
+// after a crash, recovery re-runs only the cells without a durable
+// document, and the final result document splices the stored bytes
+// verbatim — so an interrupted-and-resumed sweep is byte-identical to an
+// uninterrupted one by construction. Memory-tier keys carry a "cell/"
+// prefix ('/' cannot appear in a hex digest, so the namespaces cannot
+// collide).
+
+// getCell returns cell key's finished document, memory then disk, with
+// the same version gating as full results.
+func (c *resultCache) getCell(key string) ([]byte, bool) {
+	memKey := "cell/" + key
+	c.mu.Lock()
+	if el, ok := c.byKey[memKey]; ok {
+		c.order.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" || !hashPattern.MatchString(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, "cells", key+".json"))
+	if err != nil || spec.CheckDocVersion(data) != nil {
+		return nil, false
+	}
+	c.putMemory(memKey, data)
+	return data, true
+}
+
+// putCell durably stores one finished cell document (the chunk
+// checkpoint write), then caches it in memory. The cells directory is
+// created lazily — a memory-only cache never touches the filesystem.
+func (c *resultCache) putCell(key string, data []byte) error {
+	if c.dir != "" && hashPattern.MatchString(key) {
+		cellDir := filepath.Join(c.dir, "cells")
+		if err := os.MkdirAll(cellDir, 0o755); err != nil {
+			return fmt.Errorf("server: cell cache dir: %w", err)
+		}
+		if err := atomicio.WriteFile(filepath.Join(cellDir, key+".json"), data); err != nil {
+			return err
+		}
+	}
+	c.putMemory("cell/"+key, data)
+	return nil
 }
 
 // len reports the number of in-memory entries (for tests).

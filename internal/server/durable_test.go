@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dirsim/internal/spec"
+)
+
+func sweepRequest(t *testing.T) spec.Request {
+	t.Helper()
+	return spec.Request{Sweep: &spec.Sweep{
+		Workloads: []string{"pops"},
+		Schemes:   []string{"dir0b"},
+		CPUs:      []int{2, 4},
+		Refs:      4_000,
+		Seeds:     2,
+	}}
+}
+
+// adoptWithoutExecutors journals an accept for req on a server that will
+// never dispatch it — the moral equivalent of a daemon killed right
+// after acknowledging a submit.
+func adoptWithoutExecutors(t *testing.T, s *Server, req spec.Request) string {
+	t.Helper()
+	s.mu.Lock()
+	s.started = true
+	s.recovering = false
+	s.baseCtx = context.Background()
+	s.mu.Unlock()
+	j, code, err := s.submit(req, s.ring[0], classBatch)
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("submit: %d, %v", code, err)
+	}
+	if err := s.store.close(); err != nil {
+		t.Fatal(err)
+	}
+	return j.id
+}
+
+// waitTerminal blocks until the job with this id finishes.
+func waitTerminal(t *testing.T, s *Server, id string) *job {
+	t.Helper()
+	j := s.lookup(id)
+	if j == nil {
+		t.Fatalf("job %s unknown after replay", id)
+	}
+	select {
+	case <-j.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+	return j
+}
+
+// An accepted-but-unfinished job survives a crash: the restarted daemon
+// replays the journal, runs the job to completion unprompted, and a
+// third start finds a clean journal (the obligation was resolved).
+func TestJournalReplayFinishesAcceptedWork(t *testing.T) {
+	dir := t.TempDir()
+	req := sweepRequest(t)
+
+	s1, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := adoptWithoutExecutors(t, s1, req)
+
+	// Restart: the journal's live set is owed. Before Start, readiness
+	// reports the replay in progress.
+	s2, err := New(Config{StateDir: dir, Workers: 2, Executors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !bytes.Contains(rec.Body.Bytes(), []byte("recovering")) {
+		t.Fatalf("readyz before Start: %d %s", rec.Code, rec.Body.String())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s2.Start(ctx)
+	j := waitTerminal(t, s2, id)
+	if st, _, errMsg := j.snapshot(); st != statusDone {
+		t.Fatalf("replayed job ended %q: %s", st, errMsg)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := s2.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3.pending) != 0 {
+		t.Fatalf("journal still owes %d jobs after a clean finish", len(s3.pending))
+	}
+	if _, ok := s3.cache.get(id); !ok {
+		t.Fatal("finished result not durable across restarts")
+	}
+}
+
+// A recovered sweep with some cells already checkpointed re-simulates
+// only the missing cells, and its final document is byte-identical to an
+// uninterrupted run's — the acceptance bar for crash-survivable sweeps.
+func TestResumedSweepByteIdenticalNoCellTwice(t *testing.T) {
+	req := sweepRequest(t)
+	cells, err := req.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes, err := cellHashes(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: an uninterrupted run.
+	dirA := t.TempDir()
+	sa, tsa := testServer(t, Config{StateDir: dirA, Workers: 2})
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, want := postWait(t, tsa, body)
+	if code != http.StatusOK {
+		t.Fatalf("reference run: %d %s", code, want)
+	}
+	if got := sa.Metrics().Snapshot().JobsTotal; got != uint64(len(cells)) {
+		t.Fatalf("reference run simulated %d cells, want %d", got, len(cells))
+	}
+
+	// "Crashed" daemon: the accept is journaled and half the cells are
+	// checkpointed (copied from the reference's per-cell store — the
+	// bytes a real first run would have written before dying).
+	dirB := t.TempDir()
+	sb1, err := New(Config{StateDir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const predone = 2
+	for i := 0; i < predone; i++ {
+		data, err := os.ReadFile(filepath.Join(dirA, "results", "cells", hashes[i]+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sb1.cache.putCell(hashes[i], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := adoptWithoutExecutors(t, sb1, req)
+
+	// Restart and let recovery finish the job.
+	sb2, err := New(Config{StateDir: dirB, Workers: 2, Executors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sb2.Start(ctx)
+	j := waitTerminal(t, sb2, id)
+	st, got, errMsg := j.snapshot()
+	if st != statusDone {
+		t.Fatalf("recovered job ended %q: %s", st, errMsg)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered document differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if got := sb2.Metrics().Snapshot().JobsTotal; got != uint64(len(cells)-predone) {
+		t.Fatalf("recovery simulated %d cells, want %d (no cell twice)", got, len(cells)-predone)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := sb2.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// /readyz tracks the daemon's admission lifecycle; /healthz stays the
+// liveness signal.
+func TestReadyzLifecycle(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	get := func() (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		var body struct {
+			Status string `json:"status"`
+		}
+		json.Unmarshal(rec.Body.Bytes(), &body)
+		return rec.Code, body.Status
+	}
+	if code, st := get(); code != http.StatusServiceUnavailable || st != "starting" {
+		t.Fatalf("before Start: %d %q", code, st)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	if code, st := get(); code != http.StatusOK || st != "ok" {
+		t.Fatalf("after Start: %d %q", code, st)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, st := get(); code != http.StatusServiceUnavailable || st != "draining" {
+		t.Fatalf("after Drain: %d %q", code, st)
+	}
+}
+
+// Chunked sweeps stream partial results: the event log carries one
+// "chunk" row per chunk with the finished cell documents, before the
+// terminal done event.
+func TestChunkEventsStreamPartialResults(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2, ChunkCells: 2})
+	body, err := json.Marshal(sweepRequest(t)) // 4 cells → 2 chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, data := postWait(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var doc spec.ResultDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var chunks []Event
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event row %q: %v", sc.Text(), err)
+		}
+		switch e.Type {
+		case "chunk":
+			if sawDone {
+				t.Error("chunk event after done")
+			}
+			chunks = append(chunks, e)
+		case "done":
+			sawDone = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone {
+		t.Fatal("no done event")
+	}
+	if len(chunks) != 2 {
+		t.Fatalf("%d chunk events, want 2", len(chunks))
+	}
+	for i, e := range chunks {
+		if e.CellsTotal != 4 || e.CellsDone != 2*(i+1) {
+			t.Errorf("chunk %d: done %d/%d, want %d/4", i, e.CellsDone, e.CellsTotal, 2*(i+1))
+		}
+		var cellDocs []spec.CellDoc
+		if err := json.Unmarshal(e.Cells, &cellDocs); err != nil || len(cellDocs) != 2 {
+			t.Errorf("chunk %d: cells payload %v (%v)", i, len(cellDocs), err)
+		}
+		for _, cd := range cellDocs {
+			if cd.SpecVersion != spec.CurrentVersion || len(cd.Results) == 0 {
+				t.Errorf("chunk %d: bad cell doc %+v", i, cd)
+			}
+		}
+	}
+}
+
+// Disk-cached documents from another spec generation are never served:
+// the gate treats them as misses and the job re-simulates.
+func TestStaleGenerationDocNotServed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newResultCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "00000000000000000000000000000000000000000000000000000000000000aa"
+	good := []byte(`{"spec_version":` + itoa(spec.CurrentVersion) + `,"status":"done"}`)
+	if err := c.put(key, good); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache (empty memory tier) must accept the on-disk doc...
+	c2, err := newResultCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.get(key); !ok {
+		t.Fatal("current-generation doc rejected")
+	}
+	// ...but reject one stamped with a different generation.
+	stale := []byte(`{"spec_version":` + itoa(spec.CurrentVersion+1) + `,"status":"done"}`)
+	if err := c2.put(key, stale); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := newResultCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.get(key); ok {
+		t.Fatal("stale-generation doc served from disk")
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

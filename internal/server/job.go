@@ -28,7 +28,7 @@ var errClientGone = errors.New("server: every watching client disconnected")
 type Event struct {
 	// Seq orders events within the job; streams replay from 0.
 	Seq int `json:"seq"`
-	// Type is "status", "progress", "done" or "error".
+	// Type is "status", "progress", "chunk", "done" or "error".
 	Type string `json:"type"`
 	// Status carries the new state on "status" events.
 	Status string `json:"status,omitempty"`
@@ -37,6 +37,14 @@ type Event struct {
 	JobsDone  uint64 `json:"jobs_done,omitempty"`
 	JobsTotal uint64 `json:"jobs_total,omitempty"`
 	Retries   uint64 `json:"retries,omitempty"`
+	// CellsDone/CellsTotal accompany "chunk" events: how far a chunked
+	// sweep has progressed through its grid.
+	CellsDone  int `json:"cells_done,omitempty"`
+	CellsTotal int `json:"cells_total,omitempty"`
+	// Cells carries the chunk's finished cell documents (a JSON array of
+	// {spec_version, spec, results} objects) on "chunk" events — partial
+	// results stream to clients before the sweep completes.
+	Cells json.RawMessage `json:"cells,omitempty"`
 	// Error carries the failure message on "error" events.
 	Error string `json:"error,omitempty"`
 }
@@ -49,6 +57,25 @@ type job struct {
 	id    string
 	req   spec.Request
 	cells []spec.Cell
+	// cellHashes are the cells' content hashes — the keys of the per-cell
+	// result cache that chunk checkpointing and crash recovery rest on.
+	cellHashes []string
+
+	// Admission state, owned by the server under s.mu.
+	tenant *tenant
+	class  int
+	// cost is the job's DRR price (see jobCost).
+	cost int
+	// admittedNanos stamps admission for the admit-wait histograms (zero
+	// when the daemon runs clock-free).
+	admittedNanos int64
+
+	// Execution cursor, touched only by the single executor currently
+	// running the job (jobs move between executors across yields, never
+	// run on two at once). cellDocs[i] holds cell i's finished document
+	// bytes; nextCell is the first cell not yet finished.
+	cellDocs [][]byte
+	nextCell int
 
 	// ctx is derived from the server's base context; cancel carries the
 	// cause (client disconnect, shutdown).
@@ -61,6 +88,7 @@ type job struct {
 
 	mu       sync.Mutex
 	status   string
+	everRan  bool   // has left queued at least once (admit-wait observed)
 	result   []byte // completed document; non-nil iff status == done
 	errMsg   string
 	events   []Event
@@ -75,18 +103,20 @@ type job struct {
 	recorders []*flight.Recorder
 }
 
-func newJob(ctx context.Context, id string, req spec.Request, cells []spec.Cell) *job {
+func newJob(ctx context.Context, id string, req spec.Request, cells []spec.Cell, hashes []string) *job {
 	jctx, cancel := context.WithCancelCause(ctx)
 	j := &job{
-		id:      id,
-		req:     req,
-		cells:   cells,
-		ctx:     jctx,
-		cancel:  cancel,
-		metrics: obs.NewMetrics(),
-		status:  statusQueued,
-		wake:    make(chan struct{}),
-		done:    make(chan struct{}),
+		id:         id,
+		req:        req,
+		cells:      cells,
+		cellHashes: hashes,
+		cellDocs:   make([][]byte, len(cells)),
+		ctx:        jctx,
+		cancel:     cancel,
+		metrics:    obs.NewMetrics(),
+		status:     statusQueued,
+		wake:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	j.appendEvent(Event{Type: "status", Status: statusQueued})
 	return j
@@ -135,20 +165,41 @@ func (j *job) terminalLocked() bool {
 	return j.status == statusDone || j.status == statusFailed || j.status == statusCanceled
 }
 
-// setRunning transitions queued → running.
-func (j *job) setRunning() {
+// setRunning transitions queued → running, reporting whether this is the
+// job's first time off the queue (the admit-wait sample). A job already
+// running (or re-dispatched after a yield) appends the status event only
+// on a real transition.
+func (j *job) setRunning() (first bool) {
 	j.mu.Lock()
+	if j.status == statusRunning {
+		j.mu.Unlock()
+		return false
+	}
+	first = !j.everRan
+	j.everRan = true
 	j.status = statusRunning
 	j.mu.Unlock()
 	j.appendEvent(Event{Type: "status", Status: statusRunning})
+	return first
 }
 
-// finish records a terminal state exactly once and releases waiters.
-func (j *job) finish(status string, result []byte, errMsg string) {
+// setQueued transitions a yielded job back to queued — it gave its
+// executor up to interactive work and awaits re-dispatch.
+func (j *job) setQueued() {
+	j.mu.Lock()
+	j.status = statusQueued
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "status", Status: statusQueued})
+}
+
+// finish records a terminal state exactly once and releases waiters; the
+// return reports whether this call performed the transition (false: the
+// job was already terminal and nothing changed).
+func (j *job) finish(status string, result []byte, errMsg string) bool {
 	j.mu.Lock()
 	if j.terminalLocked() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.status = status
 	j.result = result
@@ -161,6 +212,7 @@ func (j *job) finish(status string, result []byte, errMsg string) {
 		j.appendEvent(Event{Type: "error", Error: errMsg})
 	}
 	close(j.done)
+	return true
 }
 
 // snapshot returns the current state for the status endpoint.
@@ -239,6 +291,22 @@ func progressEvent(s obs.Snapshot) Event {
 	}
 }
 
+// chunkEvent announces a finished chunk, carrying its cell documents as
+// a raw JSON array so streaming clients receive partial sweep results as
+// they land rather than one document at the end.
+func chunkEvent(done, total int, cellDocs [][]byte) Event {
+	var buf []byte
+	buf = append(buf, '[')
+	for i, d := range cellDocs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, d...)
+	}
+	buf = append(buf, ']')
+	return Event{Type: "chunk", CellsDone: done, CellsTotal: total, Cells: buf}
+}
+
 // marshalEvent renders one NDJSON row (without the trailing newline).
 func marshalEvent(e Event) []byte {
 	b, err := json.Marshal(e)
@@ -246,4 +314,18 @@ func marshalEvent(e Event) []byte {
 		return []byte(`{"type":"error","error":"event marshal failure"}`)
 	}
 	return b
+}
+
+// cellHashes computes every cell's content hash — the per-cell cache
+// keys a chunked job checkpoints under.
+func cellHashes(cells []spec.Cell) ([]string, error) {
+	hs := make([]string, len(cells))
+	for i, c := range cells {
+		h, err := c.Hash()
+		if err != nil {
+			return nil, err
+		}
+		hs[i] = h
+	}
+	return hs, nil
 }

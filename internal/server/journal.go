@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"dirsim/internal/atomicio"
+	"dirsim/internal/spec"
+)
+
+// The job journal is what makes accepted work durable: every admitted
+// job appends an accept record (fsynced before the submit is
+// acknowledged), every terminal transition appends a resolve record.
+// After a crash the journal's live set — accepts without a matching
+// resolve — is exactly the work the daemon owes its clients, and
+// recovery re-enqueues it. The journal is compacted on open (resolved
+// pairs dropped, torn tail discarded by atomicio.ReadJournal), so it
+// stays proportional to in-flight work, not lifetime throughput.
+
+const (
+	opAccept  = "accept"
+	opResolve = "resolve"
+)
+
+// journalRecord is one NDJSON line in the job journal.
+type journalRecord struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	// SpecVersion stamps accepts with the spec generation that admitted
+	// them; replay re-validates, so a journal written by another
+	// generation re-simulates rather than trusting stale semantics.
+	SpecVersion int    `json:"spec_version,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
+	Class       string `json:"class,omitempty"`
+	// Request is the canonical request JSON (accept records only).
+	Request json.RawMessage `json:"request,omitempty"`
+	// Status is the terminal status (resolve records only).
+	Status string `json:"status,omitempty"`
+}
+
+// jobStore wraps the append-only journal with record framing. A nil
+// *jobStore is valid and persists nothing (stateless daemon).
+type jobStore struct {
+	mu      sync.Mutex
+	journal *atomicio.Journal
+}
+
+// openJobStore replays and compacts the journal under dir, returning
+// the store and the still-pending accept records in admission order.
+func openJobStore(dir string) (*jobStore, []journalRecord, error) {
+	path := filepath.Join(dir, "journal.ndjson")
+	raws, err := atomicio.ReadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	type slot struct {
+		rec  journalRecord
+		live bool
+	}
+	var order []string
+	byID := map[string]*slot{}
+	for _, raw := range raws {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.ID == "" {
+			// A line we cannot interpret carries no obligation we can
+			// honour; skip it rather than refuse to start.
+			continue
+		}
+		switch rec.Op {
+		case opAccept:
+			if s, ok := byID[rec.ID]; ok {
+				s.rec, s.live = rec, true
+				continue
+			}
+			byID[rec.ID] = &slot{rec: rec, live: true}
+			order = append(order, rec.ID)
+		case opResolve:
+			if s, ok := byID[rec.ID]; ok {
+				s.live = false
+			}
+		}
+	}
+	var pending []journalRecord
+	var keep [][]byte
+	for _, id := range order {
+		s := byID[id]
+		if !s.live {
+			continue
+		}
+		raw, err := json.Marshal(s.rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: re-encoding journal record %s: %w", id, err)
+		}
+		pending = append(pending, s.rec)
+		keep = append(keep, raw)
+	}
+	if err := atomicio.RewriteJournal(path, keep); err != nil {
+		return nil, nil, err
+	}
+	j, err := atomicio.OpenJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &jobStore{journal: j}, pending, nil
+}
+
+func (st *jobStore) append(rec journalRecord) error {
+	if st == nil {
+		return nil
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: encoding journal record: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.journal.Append(raw)
+}
+
+// accept journals an admitted job. It must succeed before the submit is
+// acknowledged: an accept on disk is a promise the daemon will finish
+// the job even across a crash.
+func (st *jobStore) accept(id, tenantName string, class int, request []byte) error {
+	return st.append(journalRecord{
+		Op:          opAccept,
+		ID:          id,
+		SpecVersion: spec.CurrentVersion,
+		Tenant:      tenantName,
+		Class:       className(class),
+		Request:     request,
+	})
+}
+
+// resolve journals a terminal transition, releasing the accept.
+func (st *jobStore) resolve(id, status string) error {
+	return st.append(journalRecord{Op: opResolve, ID: id, Status: status})
+}
+
+func (st *jobStore) close() error {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.journal.Close()
+}

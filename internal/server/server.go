@@ -13,9 +13,25 @@
 //   - Results are cached: an in-memory LRU in front of an optional
 //     on-disk store written via internal/atomicio. A repeat of a
 //     finished spec never touches the runner.
-//   - Back-pressure is explicit: the job queue is bounded, and a full
-//     queue answers 429 with Retry-After instead of absorbing unbounded
-//     work.
+//   - Accepted work is durable. With a state dir configured, every
+//     admitted job is journaled (fsynced) before the submit is
+//     acknowledged and resolved when it finishes; a daemon killed
+//     mid-run replays the journal's live set on restart and owes its
+//     clients exactly that work.
+//   - Sweeps run in cell chunks. Each finished cell's document is
+//     durably checkpointed in a per-cell content-addressed cache, so
+//     recovery re-simulates only the missing cells, and the final
+//     document splices the stored bytes verbatim — an interrupted run
+//     reassembles byte-identical to an uninterrupted one.
+//   - Admission is multi-tenant. API keys map requests to tenants with
+//     quotas; queued work drains by weighted deficit round-robin, and
+//     the interactive class (?wait=1) is dispatched strictly before
+//     batch sweeps, which yield their executor at chunk boundaries when
+//     interactive work is waiting.
+//   - Back-pressure is explicit: the queue is bounded and quotas are
+//     enforced; both answer 429 with Retry-After instead of absorbing
+//     unbounded work. Bad credentials answer 403 — saturation and
+//     rejection are distinct signals.
 //   - Cancellation follows the client: a job holds a watcher count
 //     (waiting submissions, event streams); when the last watcher of a
 //     never-detached job disconnects, the job's context is cancelled
@@ -36,7 +52,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,14 +74,27 @@ type Config struct {
 	Workers int
 	// Executors bounds concurrently running jobs. Below 1 means 1.
 	Executors int
-	// QueueDepth bounds jobs accepted but not yet finished beyond the
-	// executors; a full queue answers 429. Below 1 means 16.
+	// QueueDepth bounds jobs accepted but not yet dispatched; a full
+	// queue answers 429. Below 1 means 16.
 	QueueDepth int
 	// CacheEntries bounds the in-memory result LRU. Below 1 means 128.
 	CacheEntries int
 	// CacheDir, when non-empty, persists results as <hash>.json files
-	// (written atomically) that survive restarts.
+	// (written atomically) that survive restarts. Empty with a StateDir
+	// set, it defaults to StateDir/results.
 	CacheDir string
+
+	// StateDir, when non-empty, makes accepted work durable: admitted
+	// jobs are journaled there before the submit is acknowledged, and a
+	// restarted daemon replays unresolved jobs from the journal.
+	StateDir string
+	// Tenants configures API-key admission. Empty means open mode: no
+	// authentication, one anonymous tenant, no quotas.
+	Tenants []Tenant
+	// ChunkCells is how many cells of a sweep run per chunk between
+	// checkpoints (and possible yields to interactive work). Below 1
+	// means 16.
+	ChunkCells int
 
 	// JobTimeout, StallTimeout, Retries and RetryBase configure the
 	// runner's per-attempt resilience policy, exactly as the CLIs do.
@@ -75,8 +107,8 @@ type Config struct {
 	Sleep func(time.Duration)
 
 	// NowNanos is the injected clock used only to throttle progress
-	// events (cmd passes time.Now().UnixNano via a closure). nil
-	// disables throttling — every batch emits an event.
+	// events and sample admit-wait latency (cmd passes
+	// time.Now().UnixNano via a closure). nil disables both.
 	NowNanos func() int64
 	// ProgressEvery is the minimum interval between progress events per
 	// job when NowNanos is set; zero means 500ms.
@@ -100,12 +132,29 @@ type Server struct {
 	cfg     Config
 	metrics *obs.Metrics
 	cache   *resultCache
+	store   *jobStore
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	queue    chan *job
-	draining bool
-	started  bool
+	mu      sync.Mutex
+	jobs    map[string]*job
+	pending []journalRecord // journal replay set, consumed by Start
+	// Admission state: the tenant ring, its lookup maps, and the DRR
+	// rotor per class.
+	ring   []*tenant
+	byName map[string]*tenant
+	byKey  map[string]*tenant
+	rotor  [numClasses]int
+	// queued counts jobs admitted but not dispatched (across tenants);
+	// busy counts executors currently running a job.
+	queued int
+	busy   int
+	// wake is closed and replaced whenever dispatchable work may have
+	// appeared; idle executors block on it (never on a condition
+	// variable — context/channel flow is the package's concurrency law).
+	wake       chan struct{}
+	drainCh    chan struct{} // closed once, when draining begins
+	draining   bool
+	recovering bool
+	started    bool
 
 	baseCtx context.Context
 	wg      sync.WaitGroup
@@ -125,50 +174,146 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheEntries < 1 {
 		cfg.CacheEntries = 128
 	}
+	if cfg.ChunkCells < 1 {
+		cfg.ChunkCells = 16
+	}
 	if cfg.ProgressEvery <= 0 {
 		cfg.ProgressEvery = 500 * time.Millisecond
+	}
+	if cfg.StateDir != "" && cfg.CacheDir == "" {
+		cfg.CacheDir = filepath.Join(cfg.StateDir, "results")
+	}
+	ring, byName, byKey, err := buildTenants(cfg.Tenants)
+	if err != nil {
+		return nil, err
 	}
 	cache, err := newResultCache(cfg.CacheEntries, cfg.CacheDir)
 	if err != nil {
 		return nil, err
+	}
+	var store *jobStore
+	var pending []journalRecord
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: state dir: %w", err)
+		}
+		store, pending, err = openJobStore(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	m := cfg.Metrics
 	if m == nil {
 		m = obs.NewMetrics()
 	}
 	return &Server{
-		cfg:     cfg,
-		metrics: m,
-		cache:   cache,
-		jobs:    map[string]*job{},
-		queue:   make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		metrics:    m,
+		cache:      cache,
+		store:      store,
+		pending:    pending,
+		jobs:       map[string]*job{},
+		ring:       ring,
+		byName:     byName,
+		byKey:      byKey,
+		wake:       make(chan struct{}),
+		drainCh:    make(chan struct{}),
+		recovering: len(pending) > 0,
 	}, nil
 }
 
-// Start launches the executor pool. Jobs derive their contexts from ctx:
-// cancelling it aborts in-flight work (the unclean path — prefer Drain).
+// Start replays any journaled unfinished jobs and launches the executor
+// pool. Jobs derive their contexts from ctx: cancelling it aborts
+// in-flight work (the unclean path — prefer Drain).
 func (s *Server) Start(ctx context.Context) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.started {
+		s.mu.Unlock()
 		return
 	}
 	s.started = true
 	s.baseCtx = ctx
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, rec := range pending {
+		s.replay(rec)
+	}
+	s.mu.Lock()
+	s.recovering = false
 	for i := 0; i < s.cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
 	}
+	s.mu.Unlock()
+}
+
+// replay re-admits one journaled accept. The record must still make
+// sense under the current spec generation — same version, a request that
+// validates, a hash that matches — otherwise the obligation is resolved
+// as failed and the client resubmits (its job would live under a
+// different id anyway). Work already finished before the crash (result
+// on disk, resolve record lost) is resolved as done without re-running.
+func (s *Server) replay(rec journalRecord) {
+	drop := func() { _ = s.store.resolve(rec.ID, statusFailed) }
+	if rec.SpecVersion != spec.CurrentVersion {
+		drop()
+		return
+	}
+	var req spec.Request
+	if err := json.Unmarshal(rec.Request, &req); err != nil {
+		drop()
+		return
+	}
+	if err := req.Validate(); err != nil {
+		drop()
+		return
+	}
+	hash, err := req.Hash()
+	if err != nil || hash != rec.ID {
+		drop()
+		return
+	}
+	if _, ok := s.cache.get(rec.ID); ok {
+		_ = s.store.resolve(rec.ID, statusDone)
+		return
+	}
+	cells, err := req.Cells()
+	if err != nil {
+		drop()
+		return
+	}
+	hashes, err := cellHashes(cells)
+	if err != nil {
+		drop()
+		return
+	}
+	t := s.tenantForReplay(rec.Tenant)
+	j := newJob(s.baseCtx, rec.ID, req, cells, hashes)
+	j.detach() // the submitting client is gone; the promise is not
+	j.tenant = t
+	j.class = classFromName(rec.Class)
+	j.cost = jobCost(len(cells), j.class)
+	if s.cfg.NowNanos != nil {
+		j.admittedNanos = s.cfg.NowNanos()
+	}
+	s.mu.Lock()
+	t.active++
+	s.enqueueLocked(j)
+	s.jobs[rec.ID] = j
+	s.signalLocked()
+	s.mu.Unlock()
 }
 
 // Drain stops intake and waits for every accepted job to finish — each
 // with its result durably written — or for ctx to expire, whichever
-// comes first. It returns nil on a complete drain.
+// comes first. It returns nil on a complete drain, with the job journal
+// compact and closed.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		close(s.drainCh)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -178,7 +323,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.store.close()
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain aborted: %w", context.Cause(ctx))
 	}
@@ -187,86 +332,212 @@ func (s *Server) Drain(ctx context.Context) error {
 // Metrics returns the server-wide counter set.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
-// executor runs queued jobs until the queue is closed and empty.
+// signalLocked wakes every idle executor to re-check for work. Callers
+// hold s.mu; waiters re-acquire it before re-checking, so a wake can
+// never be lost between the check and the block.
+func (s *Server) signalLocked() {
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// executor dispatches jobs picked by the fair-share scheduler until the
+// server drains and the queues are empty.
 func (s *Server) executor() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		s.mu.Lock()
+		j := s.pickLocked()
+		if j == nil {
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			wake := s.wake
+			s.mu.Unlock()
+			select {
+			case <-wake:
+			case <-s.drainCh:
+			}
+			continue
+		}
+		s.busy++
+		s.mu.Unlock()
 		s.runJob(j)
+		s.mu.Lock()
+		s.busy--
+		s.mu.Unlock()
 	}
 }
 
-// runJob executes one job's cells on the runner pool and records the
-// outcome. The result document is durably cached before the job reports
-// done, so a client observing "done" can always re-read the result.
+// finishJob records a job's terminal state exactly once: the event log,
+// the server-wide metrics fold, the journal resolve that releases the
+// durable obligation, and the tenant's quota slot.
+func (s *Server) finishJob(j *job, status string, result []byte, errMsg string) {
+	if !j.finish(status, result, errMsg) {
+		return
+	}
+	if j.metrics != nil {
+		s.metrics.Merge(j.metrics.Snapshot())
+	}
+	// Best-effort: a failed resolve means the journal replays a finished
+	// job after a restart, which recovery detects via the result cache.
+	_ = s.store.resolve(j.id, status)
+	s.mu.Lock()
+	if j.tenant != nil {
+		j.tenant.active--
+	}
+	s.mu.Unlock()
+}
+
+// observeAdmitWait samples queued-to-first-dispatch latency, globally
+// and per tenant — the fairness signal the soak harness reads.
+func (s *Server) observeAdmitWait(j *job) {
+	if s.cfg.NowNanos == nil || j.admittedNanos == 0 {
+		return
+	}
+	ms := (s.cfg.NowNanos() - j.admittedNanos) / int64(time.Millisecond)
+	if ms < 0 {
+		ms = 0
+	}
+	s.metrics.Histogram(obs.HistAdmitWait).Observe(uint64(ms))
+	if j.tenant != nil {
+		s.metrics.Histogram(obs.HistAdmitWait + "_tenant_" + j.tenant.metricName).Observe(uint64(ms))
+	}
+}
+
+// shouldYield decides whether a batch job parks at a chunk boundary:
+// only when interactive work is waiting and every executor is occupied —
+// an idle executor would pick the interactive job up anyway. Draining
+// disables yielding; nothing new can arrive and the queues must empty.
+func (s *Server) shouldYield(j *job) bool {
+	if j.class != classBatch {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && s.interactivePendingLocked() && s.busy >= s.cfg.Executors
+}
+
+// runJob executes one job chunk by chunk on the runner pool and records
+// the outcome. Each chunk's cell documents are durably checkpointed
+// before the next begins, and the final result document is durably
+// cached before the job reports done — a client observing "done" can
+// always re-read the result, and a crash loses at most the chunk in
+// flight. Between chunks a batch job may yield its executor back to the
+// scheduler; it resumes from its cursor when re-dispatched.
 func (s *Server) runJob(j *job) {
 	if err := j.ctx.Err(); err != nil {
-		j.finish(statusCanceled, nil, context.Cause(j.ctx).Error())
+		s.finishJob(j, statusCanceled, nil, context.Cause(j.ctx).Error())
 		return
 	}
-	j.setRunning()
-
-	jobs := make([]runner.Job, len(j.cells))
-	for i, c := range j.cells {
-		rj, err := c.Job()
-		if err != nil {
-			j.finish(statusFailed, nil, err.Error())
+	if first := j.setRunning(); first {
+		s.observeAdmitWait(j)
+	}
+	for j.nextCell < len(j.cells) {
+		end := j.nextCell + s.cfg.ChunkCells
+		if end > len(j.cells) {
+			end = len(j.cells)
+		}
+		if err := s.runChunk(j, j.nextCell, end); err != nil {
+			status := statusFailed
+			if j.ctx.Err() != nil {
+				status = statusCanceled
+				err = context.Cause(j.ctx)
+			}
+			s.finishJob(j, status, nil, err.Error())
 			return
 		}
-		jobs[i] = rj
-	}
-
-	var th *obs.Throttle
-	if s.cfg.NowNanos != nil {
-		th = obs.NewThrottle(s.cfg.ProgressEvery, s.cfg.NowNanos)
-	}
-	ropts := runner.Options{
-		Workers:      s.cfg.Workers,
-		Metrics:      j.metrics,
-		TraceFor:     s.traceFor(j, jobs),
-		JobTimeout:   s.cfg.JobTimeout,
-		StallTimeout: s.cfg.StallTimeout,
-		Retry: runner.RetryPolicy{
-			Max:  s.cfg.Retries + 1,
-			Base: s.cfg.RetryBase,
-			Seed: 1,
-		},
-		Sleep: s.cfg.Sleep,
-		Progress: func() {
-			if th == nil || th.Ready() {
-				j.appendEvent(progressEvent(j.metrics.Snapshot()))
-			}
-		},
-	}
-	results, err := runner.Run(j.ctx, jobs, ropts)
-	s.metrics.Merge(j.metrics.Snapshot())
-	if err != nil {
-		status := statusFailed
-		if j.ctx.Err() != nil {
-			status = statusCanceled
-			err = context.Cause(j.ctx)
+		j.nextCell = end
+		if j.nextCell < len(j.cells) && s.shouldYield(j) {
+			j.setQueued()
+			s.mu.Lock()
+			s.requeueLocked(j)
+			s.signalLocked()
+			s.mu.Unlock()
+			return
 		}
-		j.finish(status, nil, err.Error())
-		return
 	}
-
-	doc, err := buildResultDoc(j, results)
+	doc, err := buildResultDoc(j)
 	if err != nil {
-		j.finish(statusFailed, nil, err.Error())
+		s.finishJob(j, statusFailed, nil, err.Error())
 		return
 	}
 	if err := s.cache.put(j.id, doc); err != nil {
 		// The run succeeded but the result is not durable: failing the
 		// job is the honest outcome — a retry will rerun and re-write.
-		j.finish(statusFailed, nil, err.Error())
+		s.finishJob(j, statusFailed, nil, err.Error())
 		return
 	}
-	j.finish(statusDone, doc, "")
+	s.finishJob(j, statusDone, doc, "")
 }
 
-// traceFor returns the runner trace hook for one job: a fresh recorder
-// per cell attempt, pid keyed to the cell ordinal, registered on the job
-// for the trace endpoint. Nil when the daemon runs untraced.
-func (s *Server) traceFor(j *job, jobs []runner.Job) func(index, attempt int) *flight.Recorder {
+// runChunk finishes cells [lo, hi): cells with a checkpointed document
+// are restored from the per-cell cache (this is how a recovered or
+// resumed job skips completed work), the rest run on the runner pool and
+// are checkpointed before the chunk reports complete. The chunk's
+// documents stream to event watchers as partial results.
+func (s *Server) runChunk(j *job, lo, hi int) error {
+	var jobs []runner.Job
+	var globals []int // runner index → cell ordinal
+	for i := lo; i < hi; i++ {
+		if data, ok := s.cache.getCell(j.cellHashes[i]); ok {
+			j.cellDocs[i] = data
+			continue
+		}
+		rj, err := j.cells[i].Job()
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, rj)
+		globals = append(globals, i)
+	}
+	if len(jobs) > 0 {
+		var th *obs.Throttle
+		if s.cfg.NowNanos != nil {
+			th = obs.NewThrottle(s.cfg.ProgressEvery, s.cfg.NowNanos)
+		}
+		ropts := runner.Options{
+			Workers:      s.cfg.Workers,
+			Metrics:      j.metrics,
+			TraceFor:     s.traceFor(j, jobs, globals),
+			JobTimeout:   s.cfg.JobTimeout,
+			StallTimeout: s.cfg.StallTimeout,
+			Retry: runner.RetryPolicy{
+				Max:  s.cfg.Retries + 1,
+				Base: s.cfg.RetryBase,
+				Seed: 1,
+			},
+			Sleep: s.cfg.Sleep,
+			Progress: func() {
+				if th == nil || th.Ready() {
+					j.appendEvent(progressEvent(j.metrics.Snapshot()))
+				}
+			},
+		}
+		results, err := runner.Run(j.ctx, jobs, ropts)
+		if err != nil {
+			return err
+		}
+		for k, rs := range results {
+			doc, err := buildCellDoc(j.cells[globals[k]], rs)
+			if err != nil {
+				return err
+			}
+			if err := s.cache.putCell(j.cellHashes[globals[k]], doc); err != nil {
+				return err
+			}
+			j.cellDocs[globals[k]] = doc
+		}
+	}
+	j.appendEvent(chunkEvent(hi, len(j.cells), j.cellDocs[lo:hi]))
+	return nil
+}
+
+// traceFor returns the runner trace hook for one chunk: a fresh recorder
+// per cell attempt, pid keyed to the cell's ordinal in the whole job,
+// registered on the job for the trace endpoint. Nil when the daemon runs
+// untraced.
+func (s *Server) traceFor(j *job, jobs []runner.Job, globals []int) func(index, attempt int) *flight.Recorder {
 	if s.cfg.TraceSample <= 0 {
 		return nil
 	}
@@ -274,37 +545,55 @@ func (s *Server) traceFor(j *job, jobs []runner.Job) func(index, attempt int) *f
 		rec := flight.New(flight.Options{
 			Sample: s.cfg.TraceSample,
 			Spans:  true,
-			Pid:    index,
+			Pid:    globals[index],
 			Label:  jobs[index].Label,
 		})
-		j.setRecorder(index, len(jobs), rec)
+		j.setRecorder(globals[index], len(j.cells), rec)
 		return rec
 	}
 }
 
-// buildResultDoc marshals the completed-job document exactly once; these
-// bytes are what the cache stores and every response serves.
-func buildResultDoc(j *job, results [][]sim.Result) ([]byte, error) {
+// buildCellDoc marshals one finished cell's document — the unit of
+// durable checkpointing. These exact bytes are what the per-cell cache
+// stores and what every later assembly splices.
+func buildCellDoc(c spec.Cell, rs []sim.Result) ([]byte, error) {
+	canon, err := c.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	srs := make([]spec.SchemeResult, len(rs))
+	for k, r := range rs {
+		srs[k] = spec.SchemeResult{Scheme: r.Scheme, Stats: r.Stats}
+	}
+	resultsRaw, err := json.Marshal(srs)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(spec.CellDoc{SpecVersion: spec.CurrentVersion, Spec: canon, Results: resultsRaw})
+}
+
+// buildResultDoc assembles the completed-job document from the cells'
+// checkpointed documents, splicing their stored bytes verbatim (the
+// fields are raw JSON) — which is what makes an interrupted-and-resumed
+// job's final document byte-identical to an uninterrupted run's.
+func buildResultDoc(j *job) ([]byte, error) {
 	reqCanon, err := j.req.Canonical()
 	if err != nil {
 		return nil, err
 	}
 	doc := spec.ResultDoc{
-		ID:      j.id,
-		Status:  statusDone,
-		Request: reqCanon,
-		Cells:   make([]spec.CellResult, len(j.cells)),
+		ID:          j.id,
+		SpecVersion: spec.CurrentVersion,
+		Status:      statusDone,
+		Request:     reqCanon,
+		Cells:       make([]spec.CellResult, len(j.cells)),
 	}
-	for i, c := range j.cells {
-		canon, err := c.Canonical()
-		if err != nil {
-			return nil, err
+	for i, raw := range j.cellDocs {
+		var cd spec.CellDoc
+		if err := json.Unmarshal(raw, &cd); err != nil {
+			return nil, fmt.Errorf("server: cell %d document: %w", i, err)
 		}
-		cr := spec.CellResult{Spec: canon, Results: make([]spec.SchemeResult, len(results[i]))}
-		for k, r := range results[i] {
-			cr.Results[k] = spec.SchemeResult{Scheme: r.Scheme, Stats: r.Stats}
-		}
-		doc.Cells[i] = cr
+		doc.Cells[i] = spec.CellResult{Spec: cd.Spec, Results: cd.Results}
 	}
 	return json.Marshal(doc)
 }
@@ -318,6 +607,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -340,10 +630,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(b, '\n'))
 }
 
+// apiKey extracts the request's credential: Authorization: Bearer takes
+// precedence, X-API-Key is the fallback for clients that cannot set
+// Authorization.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+		return strings.TrimSpace(strings.TrimPrefix(h, "Bearer "))
+	}
+	return r.Header.Get("X-API-Key")
+}
+
 // submit resolves a request to a job: an existing in-flight or finished
 // job with the same hash, a cache hit wrapped as a finished job, or a
-// freshly enqueued one. The error return carries an HTTP status.
-func (s *Server) submit(req spec.Request) (*job, int, error) {
+// freshly admitted one — journaled, charged to the tenant's quota and
+// enqueued for fair-share dispatch. The error return carries an HTTP
+// status.
+func (s *Server) submit(req spec.Request, t *tenant, class int) (*job, int, error) {
 	hash, err := req.Hash()
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -365,31 +667,65 @@ func (s *Server) submit(req spec.Request) (*job, int, error) {
 	if s.draining {
 		return nil, http.StatusServiceUnavailable, errors.New("server: draining, not accepting jobs")
 	}
+	if s.recovering {
+		return nil, http.StatusServiceUnavailable, errors.New("server: recovering, replaying the job journal")
+	}
 	if !s.started {
 		return nil, http.StatusServiceUnavailable, errors.New("server: not started")
+	}
+	if t.MaxActive > 0 && t.active >= t.MaxActive {
+		return nil, http.StatusTooManyRequests, fmt.Errorf("server: tenant %q over quota (%d active jobs)", t.Name, t.active)
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		return nil, http.StatusTooManyRequests, fmt.Errorf("server: job queue full (%d)", s.cfg.QueueDepth)
 	}
 	cells, err := req.Cells()
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	j := newJob(s.baseCtx, hash, req, cells)
-	select {
-	case s.queue <- j:
-	default:
-		j.cancel(errors.New("server: queue full"))
-		return nil, http.StatusTooManyRequests, fmt.Errorf("server: job queue full (%d)", s.cfg.QueueDepth)
+	hashes, err := cellHashes(cells)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
-	s.metrics.Histogram(obs.HistQueueDepth).Observe(uint64(len(s.queue)))
+	canon, err := req.Canonical()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	j := newJob(s.baseCtx, hash, req, cells, hashes)
+	j.tenant = t
+	j.class = class
+	j.cost = jobCost(len(cells), class)
+	if s.cfg.NowNanos != nil {
+		j.admittedNanos = s.cfg.NowNanos()
+	}
+	// The accept record must be durable before the client hears 202:
+	// from here the daemon owes this job across any crash.
+	if err := s.store.accept(hash, t.Name, class, canon); err != nil {
+		j.cancel(err)
+		return nil, http.StatusInternalServerError, fmt.Errorf("server: journaling job: %w", err)
+	}
+	t.active++
+	s.enqueueLocked(j)
 	s.jobs[hash] = j
+	s.metrics.Histogram(obs.HistQueueDepth).Observe(uint64(s.queued))
+	s.metrics.Histogram(obs.HistQueueDepth + "_tenant_" + t.metricName).Observe(uint64(len(t.queues[classInteractive]) + len(t.queues[classBatch])))
+	s.signalLocked()
 	return j, http.StatusAccepted, nil
 }
 
-// handleSubmit is POST /v1/jobs. With ?wait=1 the request holds the
+// handleSubmit is POST /v1/jobs. The request is mapped to a tenant by
+// its API key (403 on bad credentials when tenants are configured).
+// With ?wait=1 the job is interactive class: the request holds the
 // connection until the job finishes and answers with the full result
 // document; disconnecting while waiting withdraws interest and cancels
-// the job if nobody else is watching. Without wait the job is detached
-// and the response is an immediate status envelope.
+// the job if nobody else is watching. Without wait the job is batch
+// class, detached, and the response is an immediate status envelope.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t, err := s.resolveTenant(apiKey(r))
+	if err != nil {
+		httpError(w, http.StatusForbidden, "%v", err)
+		return
+	}
 	var req spec.Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -402,9 +738,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wait := r.URL.Query().Get("wait") != ""
-	j, code, err := s.submit(req)
+	class := classBatch
+	if wait {
+		class = classInteractive
+	}
+	j, code, err := s.submit(req, t, class)
 	if err != nil {
-		if code == http.StatusTooManyRequests {
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
 		httpError(w, code, "%v", err)
@@ -413,7 +753,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !wait {
 		j.detach()
 		st, _, errMsg := j.snapshot()
-		writeJSON(w, code, spec.JobStatus{ID: j.id, Status: st, Error: errMsg})
+		writeJSON(w, code, spec.JobStatus{ID: j.id, Status: st, Error: errMsg, Tenant: t.Name, Class: className(class)})
 		return
 	}
 	j.hold()
@@ -475,12 +815,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		snap := j.metrics.Snapshot()
 		prog = &snap
 	}
-	writeJSON(w, http.StatusOK, spec.JobStatus{ID: j.id, Status: st, Error: errMsg, Progress: prog})
+	status := spec.JobStatus{ID: j.id, Status: st, Error: errMsg, Progress: prog}
+	if j.tenant != nil {
+		status.Tenant = j.tenant.Name
+		status.Class = className(j.class)
+	}
+	writeJSON(w, http.StatusOK, status)
 }
 
 // handleEvents is GET /v1/jobs/{id}/events: an NDJSON stream replaying
 // the job's event log from the start and following it until a terminal
-// event. Streaming clients count as watchers.
+// event. Chunked sweeps surface partial results here as "chunk" rows.
+// Streaming clients count as watchers.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -523,7 +869,9 @@ func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, spec.EnginesDoc{Engines: names, Filters: spec.FilterNames()})
 }
 
-// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+// handleHealthz is GET /healthz: liveness — 200 while the process
+// serves, 503 while draining. Load balancers that only need "is it up"
+// read this; readiness is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -533,6 +881,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is GET /readyz: readiness to accept new jobs, distinct
+// from liveness. "draining" during a SIGTERM drain, "recovering" while
+// the journal replay is still owed, "starting" before Start, "ok" once
+// submissions would be admitted.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	state, code := "ok", http.StatusOK
+	switch {
+	case s.draining:
+		state, code = "draining", http.StatusServiceUnavailable
+	case s.recovering:
+		state, code = "recovering", http.StatusServiceUnavailable
+	case !s.started:
+		state, code = "starting", http.StatusServiceUnavailable
+	}
+	s.mu.Unlock()
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]string{"status": state})
 }
 
 // handleMetrics is GET /metrics: the server-wide obs snapshot as JSON,

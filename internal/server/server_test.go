@@ -116,11 +116,15 @@ func TestConcurrentIdenticalSubmissionsSingleflight(t *testing.T) {
 	if err := json.Unmarshal(bodies[0], &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Status != statusDone || len(doc.Cells) != 1 || len(doc.Cells[0].Results) != 1 {
+	if doc.Status != statusDone || len(doc.Cells) != 1 {
 		t.Fatalf("unexpected result doc: status %q, %d cells", doc.Status, len(doc.Cells))
 	}
-	if doc.Cells[0].Results[0].Scheme != "Dir1NB" || doc.Cells[0].Results[0].Stats.Refs == 0 {
-		t.Fatalf("unexpected scheme result: %+v", doc.Cells[0].Results[0])
+	srs, err := doc.Cells[0].SchemeResults()
+	if err != nil || len(srs) != 1 {
+		t.Fatalf("scheme results: %v, %v", srs, err)
+	}
+	if srs[0].Scheme != "Dir1NB" || srs[0].Stats.Refs == 0 {
+		t.Fatalf("unexpected scheme result: %+v", srs[0])
 	}
 	if got := s.Metrics().Snapshot().JobsTotal; got != 1 {
 		t.Fatalf("runner executed %d jobs, want exactly 1 (singleflight)", got)
@@ -581,8 +585,9 @@ func TestSweepRequest(t *testing.T) {
 		t.Fatalf("%d cells, want 4", len(doc.Cells))
 	}
 	for i, c := range doc.Cells {
-		if len(c.Results) != 2 {
-			t.Fatalf("cell %d: %d scheme results", i, len(c.Results))
+		srs, err := c.SchemeResults()
+		if err != nil || len(srs) != 2 {
+			t.Fatalf("cell %d: %d scheme results (%v)", i, len(srs), err)
 		}
 	}
 }

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Priority classes. Interactive work — a client holding a connection
+// open with ?wait=1 — is dispatched strictly before batch work, and
+// chunked batch jobs yield between chunks when interactive work is
+// waiting and every executor is busy. Within a class, tenants share
+// capacity by weighted deficit round-robin.
+const (
+	classInteractive = iota
+	classBatch
+	numClasses
+)
+
+// className renders a class for the wire and the journal.
+func className(class int) string {
+	if class == classInteractive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// classFromName parses a journaled class name (unknowns degrade to
+// batch — the safe class to resume recovered work in).
+func classFromName(name string) int {
+	if name == "interactive" {
+		return classInteractive
+	}
+	return classBatch
+}
+
+// Tenant is one API tenant's static configuration, as the daemon's
+// -tenants file declares it.
+type Tenant struct {
+	// Name identifies the tenant in metrics, the journal and errors.
+	Name string `json:"name"`
+	// Key is the API key (Authorization: Bearer <key> or X-API-Key).
+	Key string `json:"key"`
+	// Weight is the tenant's fair share: a weight-3 tenant drains three
+	// times the cells per round of a weight-1 tenant under contention.
+	// Below 1 means 1.
+	Weight int `json:"weight,omitempty"`
+	// MaxActive caps the tenant's accepted-but-unfinished jobs (queued
+	// plus running); exceeding it answers 429. Zero means unlimited.
+	MaxActive int `json:"max_active,omitempty"`
+}
+
+// tenant is the runtime admission state behind one configured Tenant:
+// its per-class queues, its deficit-round-robin credit, and its live
+// job count for quota enforcement.
+type tenant struct {
+	Tenant
+	// queues hold admitted jobs awaiting an executor, per class.
+	queues [numClasses][]*job
+	// deficit is the DRR credit per class, in job-cost units.
+	deficit [numClasses]int
+	// active counts this tenant's queued+running jobs (the quota).
+	active int
+	// metricName is the tenant's sanitized name for histogram keys.
+	metricName string
+}
+
+// anonTenantName is the implicit tenant serving unauthenticated traffic
+// when the daemon runs without a tenant file (open mode), and the
+// fallback that adopts journaled jobs whose tenant was removed from the
+// configuration between restarts.
+const anonTenantName = "default"
+
+// Deficit-round-robin parameters. Costs are measured in cells:
+// a batch sweep's cost is its (remaining) cell count clamped to
+// maxJobCost, an interactive request always costs 1, and each round a
+// backlogged tenant earns drrQuantum × Weight credit. The clamp bounds
+// how long one giant sweep can monopolise a dispatch slot's accounting
+// — not its runtime, which chunking already bounds.
+const (
+	drrQuantum = 8
+	maxJobCost = 64
+)
+
+// jobCost prices a job for admission accounting.
+func jobCost(cells, class int) int {
+	if class == classInteractive {
+		return 1
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	if cells > maxJobCost {
+		cells = maxJobCost
+	}
+	return cells
+}
+
+// sanitizeMetric maps a tenant name onto the Prometheus metric-name
+// alphabet so per-tenant histograms always expose cleanly.
+func sanitizeMetric(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// buildTenants validates the configured tenant set and compiles the
+// runtime ring. An empty configuration is open mode: one anonymous
+// tenant, no authentication, no quota.
+func buildTenants(configured []Tenant) (ring []*tenant, byName, byKey map[string]*tenant, err error) {
+	byName = map[string]*tenant{}
+	byKey = map[string]*tenant{}
+	if len(configured) == 0 {
+		t := &tenant{Tenant: Tenant{Name: anonTenantName, Weight: 1}, metricName: sanitizeMetric(anonTenantName)}
+		return []*tenant{t}, map[string]*tenant{t.Name: t}, byKey, nil
+	}
+	for _, cfg := range configured {
+		if cfg.Name == "" {
+			return nil, nil, nil, fmt.Errorf("server: tenant with empty name")
+		}
+		if cfg.Key == "" {
+			return nil, nil, nil, fmt.Errorf("server: tenant %q has no API key", cfg.Name)
+		}
+		if cfg.Weight < 0 || cfg.MaxActive < 0 {
+			return nil, nil, nil, fmt.Errorf("server: tenant %q has negative weight or quota", cfg.Name)
+		}
+		if cfg.Weight == 0 {
+			cfg.Weight = 1
+		}
+		if _, dup := byName[cfg.Name]; dup {
+			return nil, nil, nil, fmt.Errorf("server: duplicate tenant name %q", cfg.Name)
+		}
+		if _, dup := byKey[cfg.Key]; dup {
+			return nil, nil, nil, fmt.Errorf("server: tenants %q and another share an API key", cfg.Name)
+		}
+		t := &tenant{Tenant: cfg, metricName: sanitizeMetric(cfg.Name)}
+		ring = append(ring, t)
+		byName[cfg.Name] = t
+		byKey[cfg.Key] = t
+	}
+	return ring, byName, byKey, nil
+}
+
+// resolveTenant maps request credentials to a tenant. In open mode every
+// caller is the anonymous tenant; with tenants configured, a missing or
+// unknown key is a 403-class error.
+func (s *Server) resolveTenant(key string) (*tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cfg.Tenants) == 0 {
+		return s.ring[0], nil
+	}
+	if key == "" {
+		return nil, fmt.Errorf("server: missing API key (this daemon runs with tenants configured)")
+	}
+	if t, ok := s.byKey[key]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("server: unknown API key")
+}
+
+// tenantForReplay maps a journaled tenant name back to a live tenant,
+// adopting orphans (tenant removed between restarts) into the ring's
+// first tenant so recovered work is never dropped.
+func (s *Server) tenantForReplay(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.byName[name]; ok {
+		return t
+	}
+	return s.ring[0]
+}
+
+// enqueueLocked appends an admitted job to its tenant's class queue.
+// Callers hold s.mu and have already charged quota and journaled.
+func (s *Server) enqueueLocked(j *job) {
+	t := j.tenant
+	t.queues[j.class] = append(t.queues[j.class], j)
+	s.queued++
+}
+
+// requeueLocked puts a yielded batch job back at the head of its
+// tenant's batch queue, repriced to its remaining cells so DRR accounts
+// for what is actually left to run.
+func (s *Server) requeueLocked(j *job) {
+	j.cost = jobCost(len(j.cells)-j.nextCell, j.class)
+	t := j.tenant
+	t.queues[j.class] = append([]*job{j}, t.queues[j.class]...)
+	s.queued++
+}
+
+// interactivePendingLocked reports whether any tenant has interactive
+// work waiting for an executor.
+func (s *Server) interactivePendingLocked() bool {
+	for _, t := range s.ring {
+		if len(t.queues[classInteractive]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pickLocked dispatches the next job: the interactive class strictly
+// first, then batch, each by weighted deficit round-robin over the
+// tenant ring. Returns nil when no class has dispatchable work.
+func (s *Server) pickLocked() *job {
+	if j := s.pickClassLocked(classInteractive); j != nil {
+		return j
+	}
+	return s.pickClassLocked(classBatch)
+}
+
+// pickClassLocked runs deficit round-robin for one class: visit tenants
+// from the class's rotor; a backlogged tenant whose deficit covers its
+// head job's cost dispatches it (and the rotor parks on that tenant so
+// its remaining credit drains first next time — classic DRR); otherwise
+// the tenant earns Weight×drrQuantum credit and the scan moves on. A
+// tenant with no backlog forfeits its credit, so idle time never
+// converts into a later burst. Costs are clamped to maxJobCost, which
+// bounds the passes needed before some deficit covers some head.
+func (s *Server) pickClassLocked(class int) *job {
+	n := len(s.ring)
+	for pass := 0; pass <= maxJobCost/drrQuantum+1; pass++ {
+		backlogged := false
+		for i := 0; i < n; i++ {
+			pos := (s.rotor[class] + i) % n
+			t := s.ring[pos]
+			q := t.queues[class]
+			if len(q) == 0 {
+				t.deficit[class] = 0
+				continue
+			}
+			backlogged = true
+			if t.deficit[class] >= q[0].cost {
+				j := q[0]
+				t.deficit[class] -= j.cost
+				t.queues[class] = q[1:]
+				if len(t.queues[class]) == 0 {
+					t.deficit[class] = 0
+				}
+				s.rotor[class] = pos
+				s.queued--
+				return j
+			}
+			t.deficit[class] += t.Weight * drrQuantum
+		}
+		if !backlogged {
+			return nil
+		}
+	}
+	// Unreachable: with clamped costs, the passes above always fund the
+	// cheapest backlogged head. Kept as a defensive bound.
+	return nil
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"dirsim/internal/spec"
+)
+
+func postWaitKey(t *testing.T, url string, body []byte, key string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs?wait=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// With tenants configured, credentials are mandatory: no key and an
+// unknown key answer 403 (rejection), never 429 (saturation) — the two
+// must stay distinguishable so clients know whether to retry.
+func TestTenantAuth(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Tenants: []Tenant{{Name: "alpha", Key: "alpha-key"}},
+	})
+	body := cellBody(t, 5_000, 3)
+
+	if code, data := postWaitKey(t, ts.URL, body, ""); code != http.StatusForbidden {
+		t.Fatalf("missing key: status %d body %s", code, data)
+	}
+	if code, data := postWaitKey(t, ts.URL, body, "wrong"); code != http.StatusForbidden {
+		t.Fatalf("unknown key: status %d body %s", code, data)
+	}
+	code, data := postWaitKey(t, ts.URL, body, "alpha-key")
+	if code != http.StatusOK {
+		t.Fatalf("valid key: status %d body %s", code, data)
+	}
+	var doc spec.ResultDoc
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Status != statusDone {
+		t.Fatalf("result doc: %s (%v)", data, err)
+	}
+
+	// X-API-Key is an accepted fallback spelling.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=1", bytes.NewReader(body))
+	req.Header.Set("X-API-Key", "alpha-key")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("X-API-Key: status %d", resp.StatusCode)
+	}
+}
+
+// A tenant at its MaxActive quota is throttled with 429 + Retry-After
+// while other tenants still get in — quotas are per tenant, not global.
+func TestTenantQuota(t *testing.T) {
+	s, err := New(Config{
+		Tenants: []Tenant{
+			{Name: "small", Key: "small-key", MaxActive: 1},
+			{Name: "big", Key: "big-key"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admit without executors: accepted jobs stay queued, so quota
+	// occupancy is deterministic.
+	s.mu.Lock()
+	s.started = true
+	s.baseCtx = context.Background()
+	s.mu.Unlock()
+
+	var reqA, reqB, reqC spec.Request
+	for i, r := range []*spec.Request{&reqA, &reqB, &reqC} {
+		if err := json.Unmarshal(cellBody(t, 1_000, int64(10+i)), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small := s.byKey["small-key"]
+	big := s.byKey["big-key"]
+
+	if _, code, err := s.submit(reqA, small, classBatch); err != nil || code != http.StatusAccepted {
+		t.Fatalf("first submit: %d, %v", code, err)
+	}
+	_, code, err := s.submit(reqB, small, classBatch)
+	if code != http.StatusTooManyRequests || err == nil {
+		t.Fatalf("over-quota submit: %d, %v", code, err)
+	}
+	if _, code, err := s.submit(reqB, big, classBatch); err != nil || code != http.StatusAccepted {
+		t.Fatalf("other tenant blocked by small's quota: %d, %v", code, err)
+	}
+
+	// Finishing the job releases the quota slot.
+	s.mu.Lock()
+	j := s.pickLocked() // small's job: interactive empty, DRR finds it
+	s.mu.Unlock()
+	if j == nil || j.tenant != small {
+		t.Fatalf("picked %+v, want small's job", j)
+	}
+	s.finishJob(j, statusCanceled, nil, "test teardown")
+	if _, code, err := s.submit(reqC, small, classBatch); err != nil || code != http.StatusAccepted {
+		t.Fatalf("submit after release: %d, %v", code, err)
+	}
+}
+
+// enqueueTestJob admits a synthetic job directly into the scheduler.
+func enqueueTestJob(t *testing.T, s *Server, ten *tenant, class, cells int) *job {
+	t.Helper()
+	j := &job{
+		id:     "test",
+		tenant: ten,
+		class:  class,
+		cost:   jobCost(cells, class),
+		wake:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	ten.active++
+	s.enqueueLocked(j)
+	s.mu.Unlock()
+	return j
+}
+
+// The scheduler is weighted fair: under a saturated backlog of
+// equal-cost batch jobs, a weight-3 tenant drains three times the jobs
+// of a weight-1 tenant over any full rotation, and an interactive job
+// always dispatches before any batch job.
+func TestFairShareDispatch(t *testing.T) {
+	s, err := New(Config{Tenants: []Tenant{
+		{Name: "light", Key: "lk", Weight: 1},
+		{Name: "heavy", Key: "hk", Weight: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, heavy := s.byKey["lk"], s.byKey["hk"]
+	const each = 40
+	for i := 0; i < each; i++ {
+		enqueueTestJob(t, s, light, classBatch, 8)
+		enqueueTestJob(t, s, heavy, classBatch, 8)
+	}
+	interactive := enqueueTestJob(t, s, light, classInteractive, 1)
+
+	s.mu.Lock()
+	first := s.pickLocked()
+	s.mu.Unlock()
+	if first != interactive {
+		t.Fatal("interactive job not dispatched before the batch backlog")
+	}
+
+	// Drain the first 32 batch dispatches and count per tenant: with
+	// weights 1:3 and uniform cost, heavy must get ~3/4 of the slots.
+	counts := map[*tenant]int{}
+	for i := 0; i < 32; i++ {
+		s.mu.Lock()
+		j := s.pickLocked()
+		s.mu.Unlock()
+		if j == nil {
+			t.Fatalf("scheduler dried up at dispatch %d with backlog remaining", i)
+		}
+		counts[j.tenant]++
+	}
+	if counts[heavy] < 3*counts[light]-2 || counts[heavy] > 3*counts[light]+2 {
+		t.Errorf("dispatch split light=%d heavy=%d, want ≈1:3", counts[light], counts[heavy])
+	}
+
+	// The full backlog still drains to empty.
+	total := counts[light] + counts[heavy]
+	for {
+		s.mu.Lock()
+		j := s.pickLocked()
+		s.mu.Unlock()
+		if j == nil {
+			break
+		}
+		total++
+	}
+	if total != 2*each {
+		t.Errorf("drained %d batch jobs, want %d", total, 2*each)
+	}
+}
+
+// Tenant configuration is validated: duplicate names, shared keys, and
+// keyless tenants are refused at construction.
+func TestTenantConfigValidation(t *testing.T) {
+	bad := [][]Tenant{
+		{{Name: "", Key: "k"}},
+		{{Name: "a", Key: ""}},
+		{{Name: "a", Key: "k"}, {Name: "a", Key: "k2"}},
+		{{Name: "a", Key: "k"}, {Name: "b", Key: "k"}},
+		{{Name: "a", Key: "k", Weight: -1}},
+	}
+	for i, tenants := range bad {
+		if _, err := New(Config{Tenants: tenants}); err == nil {
+			t.Errorf("case %d: bad tenant config accepted", i)
+		}
+	}
+}

@@ -285,14 +285,23 @@ func (s Sweep) Cells() ([]Cell, error) {
 }
 
 // Request is what the daemon's POST /v1/jobs accepts: exactly one of a
-// single cell or a sweep grid.
+// single cell or a sweep grid, plus the schema version the spec was
+// written against.
 type Request struct {
-	Cell  *Cell  `json:"cell,omitempty"`
-	Sweep *Sweep `json:"sweep,omitempty"`
+	// Version is the spec schema version (see CurrentVersion). Zero on
+	// the wire means "current"; Canonical always pins it, so the version
+	// is part of every request's content hash and a schema bump can
+	// never collide with a previous generation's cache entries.
+	Version int    `json:"version,omitempty"`
+	Cell    *Cell  `json:"cell,omitempty"`
+	Sweep   *Sweep `json:"sweep,omitempty"`
 }
 
 // Validate checks that exactly one spec kind is present and valid.
 func (r Request) Validate() error {
+	if err := checkRequestVersion(r.Version); err != nil {
+		return err
+	}
 	switch {
 	case r.Cell != nil && r.Sweep != nil:
 		return fmt.Errorf("spec: request has both cell and sweep")
@@ -317,8 +326,13 @@ func (r Request) Cells() ([]Cell, error) {
 }
 
 // Canonical renders the request as canonical JSON (see Cell.Canonical).
+// The schema version is always pinned — an unversioned wire request
+// canonicalises (and hashes) identically to one pinning CurrentVersion.
 func (r Request) Canonical() ([]byte, error) {
 	out := r
+	if out.Version == 0 {
+		out.Version = CurrentVersion
+	}
 	if r.Cell != nil {
 		c := r.Cell.normalized()
 		out.Cell = &c

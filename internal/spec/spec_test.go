@@ -90,9 +90,23 @@ func TestHashStability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const goldenReq = "e178b1d08c11ae96a52915ce501e43a384c783b072775d465e816417d2abb0e9"
+	// Deliberately re-pinned when spec schema versioning landed: the
+	// canonical request encoding gained a "version" field, which is a
+	// designed cache-format break (version 1). The cell hash above is
+	// unchanged — cells carry no version; their documents do.
+	const goldenReq = "97801161c85c96e0791634f402bde58e1565fa410bb655428a6da6fbf499c91e"
 	if rh != goldenReq {
 		t.Errorf("request hash drifted: got %s want %s", rh, goldenReq)
+	}
+	// An unversioned wire request must hash identically to one pinning
+	// the current version — "client did not say" means "current".
+	pinned := Request{Version: CurrentVersion, Cell: &c}
+	ph, err := pinned.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph != rh {
+		t.Errorf("pinned-version hash %s differs from unversioned %s", ph, rh)
 	}
 }
 

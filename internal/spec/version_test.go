@@ -1,0 +1,97 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// Requests from another schema generation must fail validation with the
+// typed error — the daemon answers 400, it never guesses.
+func TestRequestVersionValidation(t *testing.T) {
+	c := testCell(t)
+	for _, v := range []int{0, CurrentVersion} {
+		r := Request{Version: v, Cell: &c}
+		if err := r.Validate(); err != nil {
+			t.Errorf("version %d rejected: %v", v, err)
+		}
+	}
+	for _, v := range []int{-1, CurrentVersion + 1, 99} {
+		r := Request{Version: v, Cell: &c}
+		err := r.Validate()
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Errorf("version %d: err = %v, want *VersionError", v, err)
+		}
+	}
+}
+
+// CheckDocVersion accepts exactly the current generation and classifies
+// everything else as a typed mismatch.
+func TestCheckDocVersion(t *testing.T) {
+	ok := fmt.Sprintf(`{"spec_version":%d,"status":"done"}`, CurrentVersion)
+	if err := CheckDocVersion([]byte(ok)); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"missing", `{"status":"done"}`},
+		{"null", `{"spec_version":null}`},
+		{"wrong-generation", fmt.Sprintf(`{"spec_version":%d}`, CurrentVersion+1)},
+		{"zero", `{"spec_version":0}`},
+		{"negative", `{"spec_version":-3}`},
+		{"string", `{"spec_version":"1"}`},
+		{"float", `{"spec_version":1.5}`},
+		{"object", `{"spec_version":{"v":1}}`},
+		{"garbage-doc", `not json at all`},
+		{"empty-doc", ``},
+	}
+	for _, tc := range cases {
+		err := CheckDocVersion([]byte(tc.doc))
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: err = %v, want *VersionError", tc.name, err)
+		}
+	}
+}
+
+// FuzzCheckDocVersion: no input may panic, and the only way to be
+// accepted is to carry the integer CurrentVersion — anything else is the
+// typed error, never a nil that would let a stale cache entry be served.
+func FuzzCheckDocVersion(f *testing.F) {
+	f.Add([]byte(fmt.Sprintf(`{"spec_version":%d}`, CurrentVersion)))
+	f.Add([]byte(`{"spec_version":2}`))
+	f.Add([]byte(`{"spec_version":"vintage"}`))
+	f.Add([]byte(`{"spec_version":null}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"spec_version":18446744073709551616}`))
+	f.Add([]byte(`{"spec_version":1e2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := CheckDocVersion(data)
+		if err == nil {
+			// Acceptance must imply a well-formed doc whose version field
+			// independently parses to exactly CurrentVersion.
+			var p struct {
+				V json.RawMessage `json:"spec_version"`
+			}
+			if jerr := json.Unmarshal(data, &p); jerr != nil {
+				t.Fatalf("accepted undecodable doc %q", data)
+			}
+			v, perr := strconv.Atoi(string(p.V))
+			if perr != nil || v != CurrentVersion {
+				t.Fatalf("accepted doc with version %q", p.V)
+			}
+			return
+		}
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("untyped version error %T: %v", err, err)
+		}
+	})
+}

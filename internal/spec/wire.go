@@ -2,6 +2,7 @@ package spec
 
 import (
 	"encoding/json"
+	"fmt"
 
 	"dirsim/internal/coherence"
 	"dirsim/internal/obs"
@@ -18,21 +19,47 @@ type SchemeResult struct {
 	Stats  *coherence.Stats `json:"stats"`
 }
 
-// CellResult pairs a cell's canonical spec with its per-scheme results,
-// in the cell's scheme order.
+// CellResult pairs a cell's canonical spec with its per-scheme results.
+// Results stays raw JSON (an array of SchemeResult) so the daemon can
+// splice stored per-cell documents into a merged result without a
+// decode/re-encode round trip — byte identity across restarts holds by
+// construction, not by trusting marshal stability.
 type CellResult struct {
 	Spec    json.RawMessage `json:"spec"`
-	Results []SchemeResult  `json:"results"`
+	Results json.RawMessage `json:"results"`
+}
+
+// SchemeResults decodes the raw results array.
+func (cr CellResult) SchemeResults() ([]SchemeResult, error) {
+	var out []SchemeResult
+	if err := json.Unmarshal(cr.Results, &out); err != nil {
+		return nil, fmt.Errorf("spec: cell results: %w", err)
+	}
+	return out, nil
+}
+
+// CellDoc is one cell's durable result: what the daemon's per-cell disk
+// cache stores under the cell's own content hash. A sweep interrupted by
+// a crash resumes by re-reading these — cells with a stored CellDoc are
+// never simulated twice. SpecVersion gates reuse exactly as it does for
+// ResultDoc (see CheckDocVersion).
+type CellDoc struct {
+	SpecVersion int             `json:"spec_version"`
+	Spec        json.RawMessage `json:"spec"`
+	Results     json.RawMessage `json:"results"`
 }
 
 // ResultDoc is the completed-job document: what GET /v1/jobs/{id}
 // returns for a finished job, what the content-addressed cache stores,
 // and what every concurrent identical submission receives byte for byte.
+// SpecVersion records the schema generation that produced it; the cache
+// refuses to serve documents from any other generation.
 type ResultDoc struct {
-	ID      string          `json:"id"`
-	Status  string          `json:"status"`
-	Request json.RawMessage `json:"request"`
-	Cells   []CellResult    `json:"cells"`
+	ID          string          `json:"id"`
+	SpecVersion int             `json:"spec_version"`
+	Status      string          `json:"status"`
+	Request     json.RawMessage `json:"request"`
+	Cells       []CellResult    `json:"cells"`
 }
 
 // JobStatus is the response for a job that has not completed (and the
@@ -40,6 +67,8 @@ type ResultDoc struct {
 type JobStatus struct {
 	ID       string        `json:"id"`
 	Status   string        `json:"status"`
+	Tenant   string        `json:"tenant,omitempty"`
+	Class    string        `json:"class,omitempty"`
 	Error    string        `json:"error,omitempty"`
 	Progress *obs.Snapshot `json:"progress,omitempty"`
 }
