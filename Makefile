@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-sarif mc check fuzz bench bench-json bench-regress fault-smoke serve serve-smoke trace-smoke promscrape-smoke soak-smoke
+.PHONY: build test race lint lint-sarif mc check fuzz bench bench-json bench-regress fault-smoke serve serve-smoke trace-smoke promscrape-smoke soak-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -119,6 +119,79 @@ soak-smoke:
 	$(GO) build -o soak-smoke.tmp/dirsimd ./cmd/dirsimd
 	$(GO) run ./cmd/soak -daemon soak-smoke.tmp/dirsimd -dir soak-smoke.tmp/run -jobs 2001
 	rm -rf soak-smoke.tmp
+
+# Fleet drill (same scenario CI runs): three clustered dirsimd daemons
+# on ephemeral ports share a membership file written after they bind
+# (the lazy FileSource retries the load, so flag order does not matter).
+# The drill proves the three cluster properties end to end:
+#   1. a clustered sweep's CSV is byte-identical to the local
+#      single-process sweep's;
+#   2. every cell is simulated exactly once fleet-wide — the summed
+#      jobs_total across daemons equals the cell count, and an identical
+#      re-sweep adds zero jobs (content-addressed cache + rendezvous
+#      routing dedup);
+#   3. SIGKILLing one daemon mid-sweep does not lose the sweep — HRW
+#      failover reroutes its cells and the CSV still matches the local
+#      run byte for byte.
+cluster-smoke:
+	rm -rf cluster-smoke.tmp && mkdir cluster-smoke.tmp
+	$(GO) build -o cluster-smoke.tmp/dirsimd ./cmd/dirsimd
+	$(GO) build -o cluster-smoke.tmp/sweep ./cmd/sweep
+	./cluster-smoke.tmp/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4 \
+		-refs 6000 -seeds 2 -parallel 2 -o cluster-smoke.tmp/local.csv
+	./cluster-smoke.tmp/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4 \
+		-refs 150000 -seeds 2 -parallel 2 -o cluster-smoke.tmp/local-big.csv
+	set -e; \
+	for n in 1 2 3; do \
+		./cluster-smoke.tmp/dirsimd -addr 127.0.0.1:0 \
+			-ready-file cluster-smoke.tmp/addr$$n \
+			-cache-dir cluster-smoke.tmp/cache$$n -parallel 2 \
+			-cluster-peers cluster-smoke.tmp/peers.json -cluster-probe 500ms \
+			> cluster-smoke.tmp/daemon$$n.log 2>&1 & \
+		echo $$! > cluster-smoke.tmp/pid$$n; \
+	done; \
+	trap "kill $$(cat cluster-smoke.tmp/pid1 cluster-smoke.tmp/pid2 cluster-smoke.tmp/pid3) 2>/dev/null || true" EXIT; \
+	for n in 1 2 3; do \
+		for i in $$(seq 1 100); do test -s cluster-smoke.tmp/addr$$n && break; sleep 0.1; done; \
+		test -s cluster-smoke.tmp/addr$$n; \
+	done; \
+	printf '{"key":"smoke","peers":[{"addr":"http://%s"},{"addr":"http://%s"},{"addr":"http://%s"}]}' \
+		"$$(cat cluster-smoke.tmp/addr1)" "$$(cat cluster-smoke.tmp/addr2)" "$$(cat cluster-smoke.tmp/addr3)" \
+		> cluster-smoke.tmp/peers.json; \
+	./cluster-smoke.tmp/sweep -cluster cluster-smoke.tmp/peers.json -hedge 0 \
+		-workloads pops -schemes dir0b,dragon -cpus 2,4 -refs 6000 -seeds 2 \
+		-parallel 2 -retry-base 50ms -o cluster-smoke.tmp/clustered.csv; \
+	cmp cluster-smoke.tmp/local.csv cluster-smoke.tmp/clustered.csv; \
+	total=0; \
+	for n in 1 2 3; do \
+		v=$$(curl -fsS "http://$$(cat cluster-smoke.tmp/addr$$n)/metrics" \
+			| grep -o '"jobs_total":[0-9]*' | cut -d: -f2); \
+		total=$$((total+v)); \
+	done; \
+	test "$$total" -eq 4; \
+	./cluster-smoke.tmp/sweep -cluster cluster-smoke.tmp/peers.json -hedge 0 \
+		-workloads pops -schemes dir0b,dragon -cpus 2,4 -refs 6000 -seeds 2 \
+		-parallel 2 -retry-base 50ms -o cluster-smoke.tmp/resweep.csv; \
+	cmp cluster-smoke.tmp/local.csv cluster-smoke.tmp/resweep.csv; \
+	total=0; \
+	for n in 1 2 3; do \
+		v=$$(curl -fsS "http://$$(cat cluster-smoke.tmp/addr$$n)/metrics" \
+			| grep -o '"jobs_total":[0-9]*' | cut -d: -f2); \
+		total=$$((total+v)); \
+	done; \
+	test "$$total" -eq 4; \
+	( sleep 0.3; kill -9 "$$(cat cluster-smoke.tmp/pid3)" ) & killer=$$!; \
+	./cluster-smoke.tmp/sweep -cluster cluster-smoke.tmp/peers.json \
+		-workloads pops -schemes dir0b,dragon -cpus 2,4 -refs 150000 -seeds 2 \
+		-parallel 2 -retry-base 50ms -o cluster-smoke.tmp/killed.csv; \
+	wait $$killer 2>/dev/null || true; \
+	cmp cluster-smoke.tmp/local-big.csv cluster-smoke.tmp/killed.csv; \
+	kill -TERM "$$(cat cluster-smoke.tmp/pid1)" "$$(cat cluster-smoke.tmp/pid2)"; \
+	wait "$$(cat cluster-smoke.tmp/pid1)" "$$(cat cluster-smoke.tmp/pid2)"; \
+	trap - EXIT; \
+	grep -q 'drained cleanly' cluster-smoke.tmp/daemon1.log; \
+	grep -q 'drained cleanly' cluster-smoke.tmp/daemon2.log
+	rm -rf cluster-smoke.tmp
 
 # Observability drill (same scenario CI runs): a POPS run under Dir1B
 # with the flight recorder on must produce a valid NDJSON trace and a

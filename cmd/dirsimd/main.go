@@ -35,6 +35,15 @@
 //	dirsimd -addr 127.0.0.1:8023 -parallel 4 -state-dir /var/tmp/dirsim
 //	dirsimd -addr 127.0.0.1:8023 -tenants tenants.json   # API-key admission
 //	dirsimd -addr 127.0.0.1:0 -ready-file dirsimd.addr   # test harnesses
+//	dirsimd -addr 127.0.0.1:8023 -cluster-peers peers.json  # fleet member
+//
+// With -cluster-peers the daemon joins a static fleet: before simulating
+// a cell it asks the cell's rendezvous-hash owner (then one sibling) for
+// an already-finished document over GET /v1/cache/{hash}, authenticated
+// by the membership's shared key, and it serves the same endpoint to its
+// peers. A background prober marks unreachable peers down so fetches
+// skip them. The peers file may appear after startup (test harnesses
+// compose it from ready files); peering stays off until it loads.
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"dirsim/internal/atomicio"
+	"dirsim/internal/cluster"
 	"dirsim/internal/server"
 )
 
@@ -75,11 +85,29 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "bound on graceful shutdown")
 	traceSample := flag.Int("trace-sample", 0, "record a flight trace per executed job, sampling every Nth reference (0 = off); serve via GET /v1/jobs/{id}/trace")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = off); keep it private")
+	clusterPeers := flag.String("cluster-peers", "", "JSON membership file ({key, peers:[{addr,weight}]}); join the fleet it describes (empty = standalone)")
+	clusterProbe := flag.Duration("cluster-probe", 5*time.Second, "interval between peer /readyz health probes in cluster mode")
 	flag.Parse()
 
 	tenants, err := loadTenants(*tenantsFile)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Listen before building the server: cluster mode needs the bound
+	// address (port 0 resolves here) to find itself in the membership.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		clusterSrc    *cluster.Source
+		clusterHealth *cluster.Health
+	)
+	if *clusterPeers != "" {
+		clusterSrc = cluster.FileSource(*clusterPeers)
+		clusterHealth = cluster.NewHealth()
 	}
 
 	s, err := server.New(server.Config{
@@ -98,12 +126,11 @@ func main() {
 		Sleep:        time.Sleep,
 		NowNanos:     func() int64 { return time.Now().UnixNano() },
 		TraceSample:  *traceSample,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	ln, err := net.Listen("tcp", *addr)
+		ClusterSource:   clusterSrc,
+		ClusterSelfAddr: ln.Addr().String(),
+		ClusterHealth:   clusterHealth,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -136,6 +163,30 @@ func main() {
 	// The base context is deliberately background: a signal must drain,
 	// not cancel — in-flight jobs finish and land durably in the cache.
 	s.Start(context.Background())
+
+	probeCtx, probeCancel := context.WithCancel(context.Background())
+	defer probeCancel()
+	if clusterSrc != nil {
+		prober := &cluster.Prober{
+			Source:   clusterSrc,
+			Health:   clusterHealth,
+			SelfAddr: ln.Addr().String(),
+			HTTP:     &http.Client{Timeout: 2 * time.Second},
+			Interval: *clusterProbe,
+			// ctx-aware sleep: a drain interrupts the wait instead of
+			// finishing out a full probe interval.
+			Sleep: func(d time.Duration) {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-probeCtx.Done():
+				}
+			},
+			FailAfter: 2,
+		}
+		go prober.Run(probeCtx)
+	}
 	httpSrv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -152,6 +203,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	probeCancel()
 	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer dcancel()
 	if err := s.Drain(dctx); err != nil {

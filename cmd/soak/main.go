@@ -47,12 +47,19 @@ type tenantPlan struct {
 	key         string
 	weight      int
 	interactive bool
+	// ratePerSec/burst configure the tenant's edge token bucket. The
+	// soak sets them generous — high enough that no request is expected
+	// to be rejected, low enough that the bucket's refill path runs on
+	// every submission — so rate limiting is exercised without turning
+	// the soak's own load into a flake source.
+	ratePerSec float64
+	burst      int
 }
 
 var tenantPlans = []tenantPlan{
-	{name: "alpha", key: "alpha-key", weight: 1},
-	{name: "beta", key: "beta-key", weight: 3},
-	{name: "gamma", key: "gamma-key", weight: 2, interactive: true},
+	{name: "alpha", key: "alpha-key", weight: 1, ratePerSec: 1000, burst: 1000},
+	{name: "beta", key: "beta-key", weight: 3, ratePerSec: 1000, burst: 1000},
+	{name: "gamma", key: "gamma-key", weight: 2, interactive: true, ratePerSec: 1000, burst: 1000},
 }
 
 type options struct {
@@ -138,7 +145,10 @@ func run(o options) error {
 	}
 	var tenants []map[string]any
 	for _, tp := range tenantPlans {
-		tenants = append(tenants, map[string]any{"name": tp.name, "key": tp.key, "weight": tp.weight})
+		tenants = append(tenants, map[string]any{
+			"name": tp.name, "key": tp.key, "weight": tp.weight,
+			"requests_per_sec": tp.ratePerSec, "burst": tp.burst,
+		})
 	}
 	tdata, err := json.Marshal(tenants)
 	if err != nil {

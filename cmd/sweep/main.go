@@ -22,12 +22,19 @@
 //	sweep ... -o sweep.csv -checkpoint sweep.ck.json -manifest sweep.failures.json
 //	sweep ... -o sweep.csv -checkpoint sweep.ck.json -resume
 //	sweep ... -remote http://127.0.0.1:8023 > sweep.csv
+//	sweep ... -cluster peers.json > sweep.csv
 //
 // With -remote the grid is submitted to a dirsimd daemon as one sweep
 // spec and rows are rebuilt from the returned result document — byte
 // identical to a local run of the same grid. Fault-injection and
 // checkpoint flags are local-execution concerns and refuse to combine
 // with -remote.
+//
+// With -cluster the grid is partitioned across a dirsimd fleet: each
+// cell is submitted to its rendezvous-hash owner, hedged onto the next
+// peer after -hedge, and failed over when a daemon dies mid-sweep. Rows
+// still stream in grid order and the CSV is byte-identical to a
+// single-node or local run of the same grid.
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 
 	"dirsim/internal/atomicio"
 	"dirsim/internal/bus"
+	"dirsim/internal/cluster"
 	"dirsim/internal/faults"
 	"dirsim/internal/flight"
 	"dirsim/internal/obs"
@@ -77,6 +85,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "save completed cells to this JSON file as they finish")
 	resume := flag.Bool("resume", false, "load -checkpoint and re-run only missing or failed cells")
 	remoteURL := flag.String("remote", "", "run the grid on a dirsimd daemon at this base URL instead of locally")
+	clusterFile := flag.String("cluster", "", "run the grid on the dirsimd fleet this membership file describes (cells routed to their rendezvous owners)")
+	hedge := flag.Duration("hedge", 2*time.Second, "with -cluster, try the next peer concurrently when the owner has not answered after this long (0 = off)")
 	apiKey := flag.String("api-key", os.Getenv("DIRSIM_API_KEY"), "API key for -remote daemons running with tenants configured (default $DIRSIM_API_KEY)")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
@@ -124,6 +134,7 @@ func main() {
 		faultTruncate: *faultTruncate, faultTransient: *faultTransient,
 		faultPanic: *faultPanic, faultJobs: *faultJobs,
 		remote: *remoteURL, apiKey: *apiKey,
+		cluster: *clusterFile, hedge: *hedge,
 		progress: *progress, progressW: os.Stderr,
 		traceOut: *traceOut, traceSample: *traceSample, spans: *spans,
 	}
@@ -188,8 +199,10 @@ type options struct {
 	faultPanic     string
 	faultJobs      string
 
-	remote string
-	apiKey string
+	remote  string
+	apiKey  string
+	cluster string
+	hedge   time.Duration
 
 	progress  bool
 	progressW io.Writer
@@ -277,15 +290,22 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		allJobs[i] = j
 	}
 
-	if o.remote != "" {
+	if o.remote != "" && o.cluster != "" {
+		return fmt.Errorf("-remote and -cluster are mutually exclusive: a cluster file already names the daemons")
+	}
+	if o.remote != "" || o.cluster != "" {
+		mode := "-remote"
+		if o.cluster != "" {
+			mode = "-cluster"
+		}
 		switch {
 		case o.faultCorrupt > 0 || o.faultTruncate > 0 || o.faultTransient > 0 ||
 			o.faultPanic != "" || o.faultJobs != "":
-			return fmt.Errorf("-remote cannot be combined with fault injection: faults exercise the local runner")
+			return fmt.Errorf("%s cannot be combined with fault injection: faults exercise the local runner", mode)
 		case o.checkpoint != "" || o.resume:
-			return fmt.Errorf("-remote cannot be combined with -checkpoint/-resume: the daemon's result cache already makes repeats cheap")
+			return fmt.Errorf("%s cannot be combined with -checkpoint/-resume: the daemon's result cache already makes repeats cheap", mode)
 		case o.traceOut != "":
-			return fmt.Errorf("-remote cannot be combined with -trace-out: run the daemon with -trace-sample and fetch /v1/jobs/{id}/trace instead")
+			return fmt.Errorf("%s cannot be combined with -trace-out: run the daemon with -trace-sample and fetch /v1/jobs/{id}/trace instead", mode)
 		}
 	}
 
@@ -485,6 +505,71 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			// A remote run either succeeds whole or fails the command:
 			// the manifest records a clean slate for tooling that expects
 			// one.
+			if err := runner.NewManifest("sweep", len(allJobs)).Write(o.manifest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Cluster mode: partition the grid across the fleet by cell
+	// ownership. Each cell goes to its rendezvous-hash owner (hedged and
+	// failed over per the cluster client), results convert through the
+	// same remote.Results path, and emit() streams rows in grid order
+	// regardless of completion order — so the CSV is byte-identical to a
+	// single-node or local run.
+	if o.cluster != "" {
+		mem, err := cluster.LoadMembership(o.cluster)
+		if err != nil {
+			return err
+		}
+		health := cluster.NewHealth()
+		cc := &cluster.Client{
+			Membership: mem,
+			Router:     cluster.NewRouter(mem, health),
+			Health:     health,
+			APIKey:     o.apiKey,
+			Retry:      runner.RetryPolicy{Max: o.retries + 1, Base: o.retryBase, Seed: 1},
+			Sleep:      o.sleep,
+			HedgeDelay: o.hedge,
+			After:      time.After,
+		}
+		// -parallel is per-daemon concurrency; the fleet multiplies it.
+		workers := o.parallel * len(mem.Peers)
+		var convErr error
+		runErr := cc.RunCells(ctx, specCells, workers, func(gi int, doc *spec.ResultDoc, err error) {
+			// onDone is serialized by the cluster client. Failures are
+			// reported by RunCells's return; conversion errors are ours.
+			if err != nil || convErr != nil {
+				return
+			}
+			rs, err := remote.Results(doc, specCells[gi:gi+1])
+			if err != nil {
+				convErr = fmt.Errorf("cell %d (%s): %w", gi, specCells[gi].Label(), err)
+				return
+			}
+			vals := make([]float64, len(rs[0]))
+			for k, r := range rs[0] {
+				vals[k] = metric(r)
+			}
+			values[gi] = vals
+			emit()
+		})
+		switch {
+		case runErr != nil:
+			return runErr
+		case convErr != nil:
+			return convErr
+		case rowErr != nil:
+			return rowErr
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		if o.manifest != "" {
+			// Like -remote: a clustered run succeeds whole or fails the
+			// command, so the manifest records a clean slate.
 			if err := runner.NewManifest("sweep", len(allJobs)).Write(o.manifest); err != nil {
 				return err
 			}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMembershipValidates(t *testing.T) {
+	good := `{"key":"s3cret","peers":[{"addr":"http://10.0.0.1:8023","weight":2},{"addr":"http://10.0.0.2:8023"}]}`
+	m, err := ParseMembership([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Key != "s3cret" || len(m.Peers) != 2 || m.Peers[0].Weight != 2 {
+		t.Errorf("parsed %+v", m)
+	}
+	for name, bad := range map[string]string{
+		"no peers":      `{"peers":[]}`,
+		"relative addr": `{"peers":[{"addr":"10.0.0.1:8023"}]}`,
+		"bad scheme":    `{"peers":[{"addr":"ftp://x:1"}]}`,
+		"duplicate":     `{"peers":[{"addr":"http://x:1"},{"addr":"http://x:1"}]}`,
+		"neg weight":    `{"peers":[{"addr":"http://x:1","weight":-1}]}`,
+		"not json":      `peers`,
+	} {
+		if _, err := ParseMembership([]byte(bad)); err == nil {
+			t.Errorf("%s: accepted %s", name, bad)
+		}
+	}
+}
+
+func TestIndexOfAddr(t *testing.T) {
+	m := Membership{Peers: []Peer{
+		{Addr: "http://127.0.0.1:9001"},
+		{Addr: "http://127.0.0.1:9002/"},
+	}}
+	if i := m.IndexOfAddr("127.0.0.1:9002"); i != 1 {
+		t.Errorf("IndexOfAddr = %d, want 1", i)
+	}
+	if i := m.IndexOfAddr("127.0.0.1:9999"); i != -1 {
+		t.Errorf("unknown address: IndexOfAddr = %d, want -1", i)
+	}
+}
+
+// A file source retries the load until it first succeeds — the
+// ephemeral-port bootstrap, where daemons bind before the membership
+// file exists — then serves the cached value forever.
+func TestFileSourceLazyLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers.json")
+	src := FileSource(path)
+	if _, ok := src.Get(); ok {
+		t.Fatal("source loaded a membership from a missing file")
+	}
+	if err := os.WriteFile(path, []byte(`{"peers":[{"addr":"http://a:1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := src.Get()
+	if !ok || len(m.Peers) != 1 {
+		t.Fatalf("Get after write: ok=%v mem=%+v", ok, m)
+	}
+	// Once loaded, the file no longer matters: membership is immutable.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Get(); !ok {
+		t.Error("loaded membership was forgotten")
+	}
+}
+
+func TestNilHealthIsUp(t *testing.T) {
+	var h *Health
+	h.SetDown(0, true) // must not panic
+	if h.Down(0) {
+		t.Error("nil health reported a peer down")
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health is the fleet's per-peer up/down state, shared between a
+// Router (which sorts down peers last), a Prober (which maintains it
+// from /readyz), and a Client (which marks peers down on transport
+// failure so the very next cell skips them). All methods are safe for
+// concurrent use and on a nil receiver (everything up, marks ignored).
+type Health struct {
+	mu   sync.Mutex
+	down map[int]bool
+}
+
+// NewHealth returns a Health with every peer up.
+func NewHealth() *Health { return &Health{down: map[int]bool{}} }
+
+// SetDown marks peer i down (true) or up (false).
+func (h *Health) SetDown(i int, down bool) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if down {
+		h.down[i] = true
+	} else {
+		delete(h.down, i)
+	}
+}
+
+// Down reports whether peer i is marked down.
+func (h *Health) Down(i int) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down[i]
+}
+
+// Prober maintains Health from each peer's /readyz endpoint. It is
+// deliberately clock-free: the probe cadence comes from the injected
+// Sleep (the cmd layer passes a ctx-aware time.Sleep), so tests drive
+// probes synchronously with ProbeOnce and no timers.
+//
+// A peer is marked down after FailAfter consecutive failed probes and
+// up again on the first success — a draining daemon (readyz 503) drops
+// out of peering before it stops serving, which is exactly the order a
+// graceful shutdown wants.
+type Prober struct {
+	// Source supplies the membership (lazily; probing is a no-op until
+	// the membership file loads).
+	Source *Source
+	// Health receives the up/down marks.
+	Health *Health
+	// SelfAddr is this daemon's host:port; the matching peer is never
+	// probed (a daemon is trivially reachable from itself).
+	SelfAddr string
+	// HTTP issues the probes. It must carry its own Timeout — a probe
+	// hanging on a dead peer would otherwise stall the probe loop.
+	HTTP *http.Client
+	// Interval separates probe rounds in Run.
+	Interval time.Duration
+	// Sleep waits between rounds (nil: Run probes once and returns).
+	Sleep func(time.Duration)
+	// FailAfter is how many consecutive failures mark a peer down;
+	// below 1 means 1 (first failure).
+	FailAfter int
+
+	fails map[int]int // consecutive failures per peer; Run-goroutine only
+}
+
+// Run probes until ctx is canceled, sleeping Interval between rounds.
+func (p *Prober) Run(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		p.ProbeOnce(ctx)
+		if p.Sleep == nil {
+			return
+		}
+		p.Sleep(p.Interval)
+	}
+}
+
+// ProbeOnce probes every non-self peer once and updates Health.
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	mem, ok := p.Source.Get()
+	if !ok {
+		return
+	}
+	if p.fails == nil {
+		p.fails = map[int]int{}
+	}
+	failAfter := p.FailAfter
+	if failAfter < 1 {
+		failAfter = 1
+	}
+	self := mem.IndexOfAddr(p.SelfAddr)
+	for i, peer := range mem.Peers {
+		if i == self {
+			continue
+		}
+		if p.ready(ctx, peer.Addr) {
+			p.fails[i] = 0
+			p.Health.SetDown(i, false)
+			continue
+		}
+		p.fails[i]++
+		if p.fails[i] >= failAfter {
+			p.Health.SetDown(i, true)
+		}
+	}
+}
+
+// ready reports whether one peer answers /readyz with 200.
+func (p *Prober) ready(ctx context.Context, baseURL string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/readyz", trimSlash(baseURL)), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.HTTP.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

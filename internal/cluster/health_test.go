@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A prober marks a peer down after FailAfter consecutive /readyz
+// failures and up again on the first success; self is never probed.
+func TestProberMarksDownAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	var probes atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probed %s, want /readyz", r.URL.Path)
+		}
+		probes.Add(1)
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	m := Membership{Peers: []Peer{
+		{Addr: ts.URL},
+		{Addr: "http://127.0.0.1:9"}, // self: must not be probed
+	}}
+	h := NewHealth()
+	p := &Prober{
+		Source:    StaticSource(m),
+		Health:    h,
+		SelfAddr:  m.Peers[1].Addr[len("http://"):],
+		HTTP:      &http.Client{Timeout: time.Second},
+		FailAfter: 2,
+	}
+	ctx := context.Background()
+
+	p.ProbeOnce(ctx)
+	if h.Down(0) {
+		t.Fatal("healthy peer marked down")
+	}
+	healthy.Store(false)
+	p.ProbeOnce(ctx)
+	if h.Down(0) {
+		t.Fatal("one failure marked the peer down before FailAfter=2")
+	}
+	p.ProbeOnce(ctx)
+	if !h.Down(0) {
+		t.Fatal("two consecutive failures did not mark the peer down")
+	}
+	healthy.Store(true)
+	p.ProbeOnce(ctx)
+	if h.Down(0) {
+		t.Fatal("first success did not mark the peer back up")
+	}
+	if h.Down(1) {
+		t.Fatal("self was marked down")
+	}
+	if probes.Load() != 4 {
+		t.Errorf("server saw %d probes, want 4 (self skipped)", probes.Load())
+	}
+}
+
+// With a nil Sleep, Run probes exactly once and returns — the hook
+// tests use; and probing is a no-op until the membership source loads.
+func TestProberRunOnceAndUnloadedSource(t *testing.T) {
+	var probes atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+	}))
+	defer ts.Close()
+
+	unloaded := &Prober{
+		Source: FileSource("/nonexistent/peers.json"),
+		Health: NewHealth(),
+		HTTP:   &http.Client{Timeout: time.Second},
+	}
+	unloaded.Run(context.Background())
+	if probes.Load() != 0 {
+		t.Fatal("prober probed with no membership loaded")
+	}
+
+	p := &Prober{
+		Source: StaticSource(Membership{Peers: []Peer{{Addr: ts.URL}}}),
+		Health: NewHealth(),
+		HTTP:   &http.Client{Timeout: time.Second},
+	}
+	p.Run(context.Background())
+	if probes.Load() != 1 {
+		t.Errorf("Run with nil Sleep probed %d times, want exactly 1", probes.Load())
+	}
+
+	// A canceled context stops Run before any probe.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Run(ctx)
+	if probes.Load() != 1 {
+		t.Error("Run probed despite a canceled context")
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Router computes deterministic peer preference orders by weighted
+// rendezvous hashing (highest random weight). Each (key, peer) pair
+// hashes to an independent uniform draw; the peer with the highest
+// weighted score owns the key. Because every peer's score is computed
+// independently of the others, removing a peer remaps only the keys
+// that peer owned and adding one steals keys proportional to its
+// weight — no other key moves. That minimal-disruption property is
+// what makes a static membership file workable: a daemon dying
+// mid-sweep re-homes exactly its own cells.
+type Router struct {
+	mem    Membership
+	health *Health
+}
+
+// NewRouter builds a router over the membership. health may be nil
+// (every peer considered up).
+func NewRouter(mem Membership, health *Health) *Router {
+	return &Router{mem: mem, health: health}
+}
+
+// Order returns peer indices in preference order for key: peers
+// currently up first, each group sorted by descending HRW score (ties
+// broken by index). Down peers still appear — at the back — so a
+// client that has exhausted the healthy fleet can try them as a last
+// resort rather than failing outright.
+func (r *Router) Order(key string) []int {
+	n := len(r.mem.Peers)
+	if n == 0 {
+		return nil
+	}
+	scores := make([]float64, n)
+	for i, p := range r.mem.Peers {
+		scores[i] = score(key, p.Addr, p.Weight)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		da, db := r.health.Down(ia), r.health.Down(ib)
+		if da != db {
+			return !da // up peers first
+		}
+		if scores[ia] > scores[ib] {
+			return true
+		}
+		if scores[ib] > scores[ia] {
+			return false
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// Owner returns the key's owner: the highest-scoring peer that is not
+// marked down. ok is false only for an empty membership or a fleet
+// that is entirely down.
+func (r *Router) Owner(key string) (int, bool) {
+	for _, i := range r.Order(key) {
+		if !r.health.Down(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// score is the weighted HRW draw for one (key, peer) pair:
+// -weight/log(u) with u uniform in (0,1) derived from the pair's hash.
+// Monotone in weight, independent across peers, and a pure function of
+// the inputs — the whole fleet agrees on every placement by
+// construction.
+func score(key, addr string, weight float64) float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	h := hashPair(key, addr)
+	// Top 53 bits → (0,1) exclusive: the +0.5 keeps u off both ends,
+	// so log(u) is finite and negative.
+	u := (float64(h>>11) + 0.5) / (1 << 53)
+	return -weight / math.Log(u)
+}
+
+// hashPair is FNV-1a over key, a zero separator, then addr —
+// allocation-free and stable across processes and releases (placement
+// is part of the fleet's observable behaviour).
+func hashPair(key, addr string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	h ^= 0
+	h *= prime
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mem(addrs ...string) Membership {
+	m := Membership{}
+	for _, a := range addrs {
+		m.Peers = append(m.Peers, Peer{Addr: a})
+	}
+	return m
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i)
+	}
+	return keys
+}
+
+// Placement is a pure function of (key, membership): two routers over
+// the same membership agree on every key, and the order is a
+// permutation of the peer indices.
+func TestOrderDeterministicPermutation(t *testing.T) {
+	m := mem("http://a:1", "http://b:1", "http://c:1", "http://d:1")
+	r1, r2 := NewRouter(m, nil), NewRouter(m, nil)
+	for _, k := range testKeys(100) {
+		o1, o2 := r1.Order(k), r2.Order(k)
+		if len(o1) != len(m.Peers) {
+			t.Fatalf("order has %d entries, want %d", len(o1), len(m.Peers))
+		}
+		seen := map[int]bool{}
+		for i, p := range o1 {
+			if p != o2[i] {
+				t.Fatalf("key %s: routers disagree: %v vs %v", k, o1, o2)
+			}
+			if p < 0 || p >= len(m.Peers) || seen[p] {
+				t.Fatalf("key %s: order %v is not a permutation", k, o1)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// The minimal-disruption property: removing one peer remaps only the
+// keys that peer owned. Every other key keeps its owner — the reason a
+// daemon dying mid-sweep re-homes exactly its own cells.
+func TestRemovalRemapsOnlyOwnedKeys(t *testing.T) {
+	full := mem("http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1")
+	// without drops the last peer; indices 0..3 mean the same daemons.
+	without := Membership{Peers: full.Peers[:4]}
+	rFull, rLess := NewRouter(full, nil), NewRouter(without, nil)
+	moved, owned := 0, 0
+	for _, k := range testKeys(500) {
+		of, ok := rFull.Owner(k)
+		if !ok {
+			t.Fatal("full membership has no owner")
+		}
+		ol, ok := rLess.Owner(k)
+		if !ok {
+			t.Fatal("reduced membership has no owner")
+		}
+		if of == 4 {
+			owned++ // removed peer's keys must re-home somewhere
+			continue
+		}
+		if of != ol {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed peer changed owner", moved)
+	}
+	if owned == 0 {
+		t.Error("removed peer owned no keys out of 500 — suspicious distribution")
+	}
+}
+
+// Weight biases ownership: a weight-3 peer should own roughly three
+// times the keys of each weight-1 peer.
+func TestWeightBias(t *testing.T) {
+	m := Membership{Peers: []Peer{
+		{Addr: "http://heavy:1", Weight: 3},
+		{Addr: "http://light1:1", Weight: 1},
+		{Addr: "http://light2:1", Weight: 1},
+	}}
+	r := NewRouter(m, nil)
+	counts := make([]int, 3)
+	keys := testKeys(3000)
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	// Expect ~3/5 of keys on the heavy peer; accept a generous band.
+	frac := float64(counts[0]) / float64(len(keys))
+	if frac < 0.5 || frac > 0.7 {
+		t.Errorf("heavy peer owns %.2f of keys, want ≈ 0.6 (counts %v)", frac, counts)
+	}
+}
+
+// Down peers sort to the back of the order — tried last, never first —
+// and Owner skips them entirely.
+func TestDownPeersLast(t *testing.T) {
+	m := mem("http://a:1", "http://b:1", "http://c:1")
+	h := NewHealth()
+	r := NewRouter(m, h)
+	for _, k := range testKeys(50) {
+		first := r.Order(k)[0]
+		h.SetDown(first, true)
+		o := r.Order(k)
+		if o[len(o)-1] != first {
+			t.Fatalf("key %s: down peer %d not last in %v", k, first, o)
+		}
+		if owner, ok := r.Owner(k); !ok || owner == first {
+			t.Fatalf("key %s: owner %d should skip the down peer %d", k, owner, first)
+		}
+		h.SetDown(first, false)
+	}
+	// An entirely-down fleet has no owner.
+	for i := range m.Peers {
+		h.SetDown(i, true)
+	}
+	if _, ok := r.Owner("deadbeef"); ok {
+		t.Error("entirely-down fleet still reported an owner")
+	}
+}
+
+// FuzzRendezvous pins the two properties placement correctness rests
+// on: Order is always a permutation (no panics, no dropped or repeated
+// peers, including degenerate memberships), and removing the last peer
+// remaps only the keys it owned.
+func FuzzRendezvous(f *testing.F) {
+	f.Add("deadbeef", 3, 1.0)
+	f.Add("", 0, 0.0)
+	f.Add("cell/abc", 1, 2.5)
+	f.Add("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff", 7, 0.001)
+	f.Fuzz(func(t *testing.T, key string, n int, w float64) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 9 // 0..8 peers
+		m := Membership{}
+		for i := 0; i < n; i++ {
+			weight := w
+			if weight < 0 || weight != weight { // negatives and NaN normalise to 1 in score
+				weight = 0
+			}
+			m.Peers = append(m.Peers, Peer{Addr: fmt.Sprintf("http://p%d:1", i), Weight: weight})
+		}
+		r := NewRouter(m, nil)
+		order := r.Order(key)
+		if n == 0 {
+			if order != nil {
+				t.Fatalf("empty membership: order = %v, want nil", order)
+			}
+			if _, ok := r.Owner(key); ok {
+				t.Fatal("empty membership reported an owner")
+			}
+			return
+		}
+		if len(order) != n {
+			t.Fatalf("order has %d entries, want %d", len(order), n)
+		}
+		seen := map[int]bool{}
+		for _, p := range order {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("order %v is not a permutation of 0..%d", order, n-1)
+			}
+			seen[p] = true
+		}
+		if n < 2 {
+			return
+		}
+		// Remove the last peer: this key's owner either was that peer
+		// (and re-homes) or must not move at all.
+		less := NewRouter(Membership{Peers: m.Peers[:n-1]}, nil)
+		of, _ := r.Owner(key)
+		ol, ok := less.Owner(key)
+		if !ok {
+			t.Fatal("reduced membership has no owner")
+		}
+		if of != n-1 && of != ol {
+			t.Fatalf("key %q: owner moved %d → %d though peer %d was removed", key, of, ol, n-1)
+		}
+	})
+}

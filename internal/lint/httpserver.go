@@ -14,7 +14,14 @@ import (
 //     context.Context has detached work from the request lifecycle: it
 //     can observe neither client disconnect nor graceful shutdown. Work
 //     that must outlive the request should be handed to an owner that
-//     was started with its own context, not forked loose.
+//     was started with its own context, not forked loose;
+//   - an outbound http.Client composite literal that sets neither
+//     Timeout nor Transport (and any use of http.DefaultClient or the
+//     package-level http.Get/Post/Head/PostForm helpers, which are that
+//     client) can block a goroutine forever on an unresponsive peer.
+//     Callers that deliberately rely on per-request context deadlines
+//     must still say so by setting an explicit Transport with bounded
+//     dial/TLS timeouts.
 type HTTPServerRule struct{}
 
 // Name implements Rule.
@@ -22,7 +29,7 @@ func (HTTPServerRule) Name() string { return "httpserver" }
 
 // Doc implements Rule.
 func (HTTPServerRule) Doc() string {
-	return "http.Server without ReadHeaderTimeout, or handler goroutine without a context"
+	return "http.Server without ReadHeaderTimeout, handler goroutine without a context, or outbound http.Client without a deadline"
 }
 
 // Check implements Rule.
@@ -35,6 +42,24 @@ func (HTTPServerRule) Check(p *Package) []Finding {
 				if isNamedType(p.Info.TypeOf(x), "net/http", "Server") && !hasFieldKey(x, "ReadHeaderTimeout") {
 					out = append(out, p.findingf(x.Pos(), "httpserver",
 						"http.Server literal without ReadHeaderTimeout; a slow client can hold its connection open forever"))
+				}
+				if isNamedType(p.Info.TypeOf(x), "net/http", "Client") && !hasFieldKey(x, "Timeout") && !hasFieldKey(x, "Transport") {
+					out = append(out, p.findingf(x.Pos(), "httpserver",
+						"http.Client literal with neither Timeout nor Transport; an unresponsive peer blocks the caller forever"))
+				}
+			case *ast.SelectorExpr:
+				if isHTTPPkgSel(p.Info, x, "DefaultClient") {
+					out = append(out, p.findingf(x.Pos(), "httpserver",
+						"http.DefaultClient has no timeout; build a client with a Timeout or a bounded Transport"))
+				}
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					for _, fn := range [...]string{"Get", "Post", "Head", "PostForm"} {
+						if isHTTPPkgSel(p.Info, sel, fn) {
+							out = append(out, p.findingf(x.Pos(), "httpserver",
+								"http."+fn+" uses the deadline-free DefaultClient; use a client with a Timeout or a bounded Transport"))
+						}
+					}
 				}
 			case *ast.FuncDecl:
 				if x.Body != nil && isHandlerSig(p.Info, x.Type) {
@@ -110,6 +135,20 @@ func isHandlerSig(info *types.Info, ft *ast.FuncType) bool {
 	return len(params) == 2 &&
 		isNamedType(params[0], "net/http", "ResponseWriter") &&
 		isNamedType(params[1], "net/http", "Request")
+}
+
+// isHTTPPkgSel reports whether sel is the package-level selector
+// net/http.<name> (not a method or field with the same name).
+func isHTTPPkgSel(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "net/http"
 }
 
 // hasFieldKey reports whether the composite literal sets the named field.

@@ -41,6 +41,55 @@ func other() notAServer {
 	wantFindings(t, lintSrc(t, "dirsim/internal/fix", silent, nil, HTTPServerRule{}), HTTPServerRule{}, 0)
 }
 
+func TestHTTPServerRuleOutboundClient(t *testing.T) {
+	fire := `package fix
+import "net/http"
+func naked() *http.Client {
+	return &http.Client{}
+}
+func deflt() *http.Client {
+	return http.DefaultClient
+}
+func helper() {
+	http.Get("http://example.invalid/")
+	http.Post("http://example.invalid/", "text/plain", nil)
+	http.Head("http://example.invalid/")
+	http.PostForm("http://example.invalid/", nil)
+}
+`
+	fs := lintSrc(t, "dirsim/internal/fix", fire, nil, HTTPServerRule{})
+	wantFindings(t, fs, HTTPServerRule{}, 6)
+	if !strings.Contains(fs[0].Msg, "Timeout") {
+		t.Errorf("finding should name the missing deadline, got %v", fs[0])
+	}
+
+	silent := `package fix
+import (
+	"net/http"
+	"time"
+)
+func timed() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+func bounded() *http.Client {
+	// An explicit Transport is the caller saying "my deadlines are
+	// per-request contexts"; the dial bounds still apply.
+	return &http.Client{Transport: &http.Transport{}}
+}
+type notAClient struct{ Timeout int }
+func other() notAClient {
+	return notAClient{}
+}
+func okNames() {
+	// Same selector names on a non-http package value must not fire.
+	c := timed()
+	_, _ = c.Get("http://example.invalid/")
+	_ = http.StatusOK
+}
+`
+	wantFindings(t, lintSrc(t, "dirsim/internal/fix", silent, nil, HTTPServerRule{}), HTTPServerRule{}, 0)
+}
+
 func TestHTTPServerRuleHandlerGoroutine(t *testing.T) {
 	fire := `package fix
 import "net/http"

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Named counters accumulate, gauges hold levels, and the snapshot
+// renders both name-sorted (deterministic exposition order).
+func TestNamedCountersAndGauges(t *testing.T) {
+	m := NewMetrics()
+	m.AddCounter("zeta", 2)
+	m.AddCounter("alpha", 1)
+	m.AddCounter("zeta", 3)
+	m.SetGauge("bytes_b", 10)
+	m.SetGauge("bytes_a", 7)
+	m.SetGauge("bytes_b", 4) // levels overwrite, never accumulate
+
+	if v := m.CounterValue("zeta"); v != 5 {
+		t.Errorf("zeta = %d, want 5", v)
+	}
+	if v := m.CounterValue("absent"); v != 0 {
+		t.Errorf("absent counter = %d, want 0", v)
+	}
+	if v := m.GaugeValue("bytes_b"); v != 4 {
+		t.Errorf("bytes_b = %d, want 4 (last set)", v)
+	}
+
+	s := m.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zeta" {
+		t.Errorf("counters not name-sorted: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 2 || s.Gauges[0].Name != "bytes_a" || s.Gauges[1].Name != "bytes_b" {
+		t.Errorf("gauges not name-sorted: %+v", s.Gauges)
+	}
+}
+
+// Merge sums counters (they accumulate across sources) but adopts
+// gauge levels (a level is owned by one process; summing two readings
+// of the same level would double it).
+func TestMergeNamedSemantics(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.AddCounter("hits", 3)
+	a.SetGauge("bytes", 100)
+	b.AddCounter("hits", 4)
+	b.SetGauge("bytes", 250)
+
+	a.Merge(b.Snapshot())
+	if v := a.CounterValue("hits"); v != 7 {
+		t.Errorf("merged counter = %d, want 3+4", v)
+	}
+	if v := a.GaugeValue("bytes"); v != 250 {
+		t.Errorf("merged gauge = %d, want the incoming level 250", v)
+	}
+}
+
+// Named metrics render as dirsim_<name>_total counters and
+// dirsim_<name> gauges, and the whole exposition stays lint-clean.
+func TestNamedPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	m.AddCounter("cluster_peer_fetch_hits", 2)
+	m.SetGauge("cache_bytes_tenant_alpha", 4096)
+
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dirsim_cluster_peer_fetch_hits_total 2",
+		"# TYPE dirsim_cluster_peer_fetch_hits_total counter",
+		"dirsim_cache_bytes_tenant_alpha 4096",
+		"# TYPE dirsim_cache_bytes_tenant_alpha gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition does not lint: %v", err)
+	}
+}
+
+func TestNamedConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.AddCounter("n", 1)
+				m.SetGauge("g", uint64(j))
+				m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := m.CounterValue("n"); v != 800 {
+		t.Errorf("n = %d, want 800", v)
+	}
+}

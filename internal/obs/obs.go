@@ -34,6 +34,10 @@ type Metrics struct {
 
 	hmu   sync.Mutex
 	hists map[string]*Histogram
+
+	nmu      sync.Mutex
+	counters map[string]uint64
+	gauges   map[string]uint64
 }
 
 // EngineTally accumulates one scheme's work across all jobs of a run.
@@ -96,6 +100,64 @@ func (m *Metrics) AddEngine(scheme string, t EngineTally) {
 	cur.add(t)
 }
 
+// AddCounter adds n to the named dynamic counter. Named counters are
+// for events whose name set is configuration-dependent (per-tenant
+// rejections, cluster peering outcomes) — the fixed-field atomics stay
+// the hot path. Names must already be in the Prometheus alphabet; the
+// exposition renders them as dirsim_<name>_total.
+func (m *Metrics) AddCounter(name string, n uint64) {
+	m.nmu.Lock()
+	defer m.nmu.Unlock()
+	if m.counters == nil {
+		m.counters = map[string]uint64{}
+	}
+	m.counters[name] += n
+}
+
+// CounterValue reads one named counter (absent reads zero).
+func (m *Metrics) CounterValue(name string) uint64 {
+	m.nmu.Lock()
+	defer m.nmu.Unlock()
+	return m.counters[name]
+}
+
+// SetGauge sets the named gauge to v — a level, not an accumulation
+// (cache bytes per tenant, queue occupancy). Rendered as dirsim_<name>.
+func (m *Metrics) SetGauge(name string, v uint64) {
+	m.nmu.Lock()
+	defer m.nmu.Unlock()
+	if m.gauges == nil {
+		m.gauges = map[string]uint64{}
+	}
+	m.gauges[name] = v
+}
+
+// GaugeValue reads one named gauge (absent reads zero).
+func (m *Metrics) GaugeValue(name string) uint64 {
+	m.nmu.Lock()
+	defer m.nmu.Unlock()
+	return m.gauges[name]
+}
+
+// NamedValue is one named counter or gauge inside a Snapshot.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// namedSnapshot copies a name→value map into a name-sorted slice.
+func namedSnapshot(src map[string]uint64) []NamedValue {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]NamedValue, 0, len(src))
+	for name, v := range src {
+		out = append(out, NamedValue{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Snapshot is a point-in-time copy of the counters, ready to render or
 // marshal. Engines are sorted by scheme name so output is deterministic.
 type Snapshot struct {
@@ -107,6 +169,8 @@ type Snapshot struct {
 	Panics     uint64              `json:"panics"`
 	Engines    []EngineSnapshot    `json:"engines,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Counters   []NamedValue        `json:"counters,omitempty"`
+	Gauges     []NamedValue        `json:"gauges,omitempty"`
 }
 
 // EngineSnapshot is one scheme's tally inside a Snapshot.
@@ -131,6 +195,14 @@ func (m *Metrics) Merge(s Snapshot) {
 	for _, h := range s.Histograms {
 		m.Histogram(h.Name).merge(h)
 	}
+	for _, c := range s.Counters {
+		m.AddCounter(c.Name, c.Value)
+	}
+	// Gauges are levels owned by one process; merging adopts the
+	// incoming level rather than summing.
+	for _, g := range s.Gauges {
+		m.SetGauge(g.Name, g.Value)
+	}
 }
 
 // Snapshot copies the current counter values.
@@ -153,6 +225,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Unlock()
 	sort.Slice(s.Engines, func(i, j int) bool { return s.Engines[i].Scheme < s.Engines[j].Scheme })
 	s.Histograms = m.histSnapshots()
+	m.nmu.Lock()
+	s.Counters = namedSnapshot(m.counters)
+	s.Gauges = namedSnapshot(m.gauges)
+	m.nmu.Unlock()
 	return s
 }
 

@@ -41,6 +41,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			return err
 		}
 	}
+	for _, c := range s.Counters {
+		if err := promCounter(w, "dirsim_"+c.Name+"_total", "Named counter "+c.Name+".", c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := "dirsim_" + g.Name
+		if _, err := fmt.Fprintf(w, "# HELP %s Named gauge %s.\n# TYPE %s gauge\n%s %d\n", name, g.Name, name, name, g.Value); err != nil {
+			return err
+		}
+	}
 	if len(s.Engines) > 0 {
 		type labelled struct {
 			name, help string

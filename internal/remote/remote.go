@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,11 +30,27 @@ import (
 	"dirsim/internal/spec"
 )
 
+// defaultClient is the fallback transport when Client.HTTP is nil. It
+// deliberately sets no overall Timeout — a ?wait=1 submission legitimately
+// holds its connection open for the whole job, bounded by the caller's
+// context — but every connection-establishment step is bounded, so a dead
+// daemon fails the dial in seconds instead of hanging the caller forever.
+var defaultClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		DialContext:           (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 0, // long-poll: the job runs before headers arrive
+	},
+}
+
 // Client talks to one dirsimd daemon.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8023".
 	BaseURL string
-	// HTTP is the transport; nil means http.DefaultClient.
+	// HTTP is the transport; nil means a shared client with bounded
+	// dial and TLS timeouts but no overall deadline (wait=1 submissions
+	// long-poll; bound them with the request context).
 	HTTP *http.Client
 	// APIKey, when non-empty, is sent as Authorization: Bearer on every
 	// request. Daemons running with tenants configured require it.
@@ -52,7 +69,7 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 func (c *Client) url(path string) string {

@@ -18,17 +18,50 @@ import (
 // store, which holds one <hash>.json file per result and survives daemon
 // restarts. Disk writes go through internal/atomicio, so a crash mid-
 // write can never leave a torn result a later daemon would serve.
+//
+// Disk usage is additionally accounted per tenant: every write this
+// process performs is charged to the writing tenant, and tenants with a
+// configured quota have their own least-recently-written entries
+// deleted from disk (and dropped from memory) when a write pushes them
+// over. Attribution is process-lifetime — files inherited from a
+// previous daemon are unowned until rewritten — and first-writer-wins:
+// a second tenant re-requesting a cached spec never re-charges it.
 type resultCache struct {
 	mu      sync.Mutex
 	entries int
 	order   *list.List               // front = most recently used
 	byKey   map[string]*list.Element // value: *cacheEntry
 	dir     string                   // "" = memory only
+
+	// Per-tenant disk accounting. quotas is static configuration;
+	// usage/owner grow as this process writes.
+	quotas map[string]int64        // tenant → max disk bytes (absent/0 = unlimited)
+	usage  map[string]*tenantUsage // tenant → tracked disk entries
+	owner  map[string]string       // memKey → charged tenant
+	// onTenantBytes, when set, observes every tenant's tracked byte
+	// level after it changes (the dirsim_cache_bytes_tenant gauge).
+	// Called with c.mu held; the hook must not reenter the cache.
+	onTenantBytes func(tenant string, bytes uint64)
 }
 
 type cacheEntry struct {
 	key  string
 	data []byte
+}
+
+// tenantUsage tracks one tenant's disk-resident entries in
+// least-recently-written-or-read order.
+type tenantUsage struct {
+	bytes int64
+	order *list.List               // front = most recently touched; value: *diskEntry
+	byKey map[string]*list.Element // memKey → element
+}
+
+// diskEntry is one charged on-disk document.
+type diskEntry struct {
+	memKey string
+	path   string
+	size   int64
 }
 
 // hashPattern guards the disk path: keys are hex digests and nothing
@@ -51,7 +84,21 @@ func newResultCache(entries int, dir string) (*resultCache, error) {
 		order:   list.New(),
 		byKey:   map[string]*list.Element{},
 		dir:     dir,
+		quotas:  map[string]int64{},
+		usage:   map[string]*tenantUsage{},
+		owner:   map[string]string{},
 	}, nil
+}
+
+// setQuota caps one tenant's tracked disk bytes (0 removes the cap).
+func (c *resultCache) setQuota(tenant string, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxBytes > 0 {
+		c.quotas[tenant] = maxBytes
+	} else {
+		delete(c.quotas, tenant)
+	}
 }
 
 // get returns the cached result bytes for key, consulting memory then
@@ -60,6 +107,7 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
+		c.touchLocked(key)
 		data := el.Value.(*cacheEntry).data
 		c.mu.Unlock()
 		return data, true
@@ -79,16 +127,25 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 }
 
 // put stores a completed result durably (disk first, when configured,
-// via an atomic rename) and then in the memory tier. It returns only
-// after the on-disk artifact is durable — the guarantee graceful
-// shutdown relies on.
-func (c *resultCache) put(key string, data []byte) error {
+// via an atomic rename) and then in the memory tier, charging the disk
+// bytes to tenant. It returns only after the on-disk artifact is
+// durable — the guarantee graceful shutdown relies on.
+func (c *resultCache) put(key string, data []byte, tenant string) error {
+	onDisk := false
+	path := ""
 	if c.dir != "" && hashPattern.MatchString(key) {
-		if err := atomicio.WriteFile(filepath.Join(c.dir, key+".json"), data); err != nil {
+		path = filepath.Join(c.dir, key+".json")
+		if err := atomicio.WriteFile(path, data); err != nil {
 			return err
 		}
+		onDisk = true
 	}
-	c.putMemory(key, data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putMemoryLocked(key, data)
+	if onDisk {
+		c.chargeLocked(tenant, key, path, int64(len(data)))
+	}
 	return nil
 }
 
@@ -96,6 +153,10 @@ func (c *resultCache) put(key string, data []byte) error {
 func (c *resultCache) putMemory(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putMemoryLocked(key, data)
+}
+
+func (c *resultCache) putMemoryLocked(key string, data []byte) {
 	if el, ok := c.byKey[key]; ok {
 		el.Value.(*cacheEntry).data = data
 		c.order.MoveToFront(el)
@@ -125,6 +186,7 @@ func (c *resultCache) getCell(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[memKey]; ok {
 		c.order.MoveToFront(el)
+		c.touchLocked(memKey)
 		data := el.Value.(*cacheEntry).data
 		c.mu.Unlock()
 		return data, true
@@ -142,20 +204,115 @@ func (c *resultCache) getCell(key string) ([]byte, bool) {
 }
 
 // putCell durably stores one finished cell document (the chunk
-// checkpoint write), then caches it in memory. The cells directory is
-// created lazily — a memory-only cache never touches the filesystem.
-func (c *resultCache) putCell(key string, data []byte) error {
+// checkpoint write), then caches it in memory, charging the disk bytes
+// to tenant. The cells directory is created lazily — a memory-only
+// cache never touches the filesystem.
+func (c *resultCache) putCell(key string, data []byte, tenant string) error {
+	onDisk := false
+	path := ""
 	if c.dir != "" && hashPattern.MatchString(key) {
 		cellDir := filepath.Join(c.dir, "cells")
 		if err := os.MkdirAll(cellDir, 0o755); err != nil {
 			return fmt.Errorf("server: cell cache dir: %w", err)
 		}
-		if err := atomicio.WriteFile(filepath.Join(cellDir, key+".json"), data); err != nil {
+		path = filepath.Join(cellDir, key+".json")
+		if err := atomicio.WriteFile(path, data); err != nil {
 			return err
 		}
+		onDisk = true
 	}
-	c.putMemory("cell/"+key, data)
+	memKey := "cell/" + key
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putMemoryLocked(memKey, data)
+	if onDisk {
+		c.chargeLocked(tenant, memKey, path, int64(len(data)))
+	}
 	return nil
+}
+
+// touchLocked refreshes a charged entry's recency on read, so quota
+// eviction removes what the tenant actually stopped using.
+func (c *resultCache) touchLocked(memKey string) {
+	t, ok := c.owner[memKey]
+	if !ok {
+		return
+	}
+	if u := c.usage[t]; u != nil {
+		if el, ok := u.byKey[memKey]; ok {
+			u.order.MoveToFront(el)
+		}
+	}
+}
+
+// chargeLocked attributes one durable write to tenant and enforces the
+// tenant's quota by deleting its least-recently-touched disk entries
+// (never the entry just written). A rewrite of an already-charged key
+// updates the original owner's byte count in place — first writer wins,
+// so a popular spec is charged once, not once per requesting tenant.
+func (c *resultCache) chargeLocked(tenant, memKey, path string, size int64) {
+	if tenant == "" || path == "" {
+		return
+	}
+	if prev, ok := c.owner[memKey]; ok {
+		u := c.usage[prev]
+		if el, ok := u.byKey[memKey]; ok {
+			de := el.Value.(*diskEntry)
+			u.bytes += size - de.size
+			de.size = size
+			u.order.MoveToFront(el)
+			c.reportLocked(prev, u)
+		}
+		return
+	}
+	u := c.usage[tenant]
+	if u == nil {
+		u = &tenantUsage{order: list.New(), byKey: map[string]*list.Element{}}
+		c.usage[tenant] = u
+	}
+	c.owner[memKey] = tenant
+	u.byKey[memKey] = u.order.PushFront(&diskEntry{memKey: memKey, path: path, size: size})
+	u.bytes += size
+	quota := c.quotas[tenant]
+	for quota > 0 && u.bytes > quota && u.order.Len() > 1 {
+		last := u.order.Back()
+		de := last.Value.(*diskEntry)
+		u.order.Remove(last)
+		delete(u.byKey, de.memKey)
+		delete(c.owner, de.memKey)
+		u.bytes -= de.size
+		// Best-effort: a failed remove leaves an unowned file behind,
+		// which the accounting no longer counts — over-quota on disk,
+		// never under-counted.
+		_ = os.Remove(de.path)
+		if el, ok := c.byKey[de.memKey]; ok {
+			c.order.Remove(el)
+			delete(c.byKey, de.memKey)
+		}
+	}
+	c.reportLocked(tenant, u)
+}
+
+// reportLocked publishes one tenant's byte level to the gauge hook.
+func (c *resultCache) reportLocked(tenant string, u *tenantUsage) {
+	if c.onTenantBytes == nil {
+		return
+	}
+	b := u.bytes
+	if b < 0 {
+		b = 0
+	}
+	c.onTenantBytes(tenant, uint64(b))
+}
+
+// tenantBytes reports one tenant's tracked disk bytes (for tests).
+func (c *resultCache) tenantBytes(tenant string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if u := c.usage[tenant]; u != nil {
+		return u.bytes
+	}
+	return 0
 }
 
 // len reports the number of in-memory entries (for tests).

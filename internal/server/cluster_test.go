@@ -1,0 +1,393 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dirsim/internal/cluster"
+)
+
+// clusterPair boots two clustered daemons that know each other (shared
+// key, static membership) and returns both servers and test listeners.
+func clusterPair(t *testing.T, key string) (s1, s2 *Server, ts1, ts2 *httptest.Server) {
+	t.Helper()
+	// Unstarted servers pin the addresses before server.New needs them.
+	u1 := httptest.NewUnstartedServer(nil)
+	u2 := httptest.NewUnstartedServer(nil)
+	addr1 := u1.Listener.Addr().String()
+	addr2 := u2.Listener.Addr().String()
+	mem := cluster.Membership{Key: key, Peers: []cluster.Peer{
+		{Addr: "http://" + addr1},
+		{Addr: "http://" + addr2},
+	}}
+	build := func(self string, ts *httptest.Server) *Server {
+		s, err := New(Config{
+			Workers: 2, Executors: 2,
+			ClusterSource:   cluster.StaticSource(mem),
+			ClusterSelfAddr: self,
+			ClusterHTTP:     &http.Client{Timeout: 5 * time.Second},
+			ClusterHealth:   cluster.NewHealth(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		s.Start(ctx)
+		ts.Config.Handler = s.Handler()
+		ts.Start()
+		t.Cleanup(func() {
+			ts.Close()
+			dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer dcancel()
+			if err := s.Drain(dctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			cancel()
+		})
+		return s
+	}
+	return build(addr1, u1), build(addr2, u2), u1, u2
+}
+
+// A cell simulated on one fleet member is served to a sibling over the
+// peer cache: the second daemon completes the same job byte-identically
+// without simulating a single reference.
+func TestClusterPeerCacheFetch(t *testing.T) {
+	s1, s2, ts1, ts2 := clusterPair(t, "fleet-secret")
+	body := cellBody(t, 20_000, 7)
+
+	code, doc1 := postWait(t, ts1, body)
+	if code != http.StatusOK {
+		t.Fatalf("first daemon: status %d body %s", code, doc1)
+	}
+	if s1.metrics.Snapshot().Refs == 0 {
+		t.Fatal("first daemon simulated nothing — test premise broken")
+	}
+
+	code, doc2 := postWait(t, ts2, body)
+	if code != http.StatusOK {
+		t.Fatalf("second daemon: status %d body %s", code, doc2)
+	}
+	if !bytes.Equal(doc1, doc2) {
+		t.Error("peer-served result differs from the origin's bytes")
+	}
+	snap := s2.metrics.Snapshot()
+	if snap.Refs != 0 {
+		t.Errorf("second daemon simulated %d refs; the peer cache should have served the cell", snap.Refs)
+	}
+	if hits := s2.metrics.CounterValue("cluster_peer_fetch_hits"); hits != 1 {
+		t.Errorf("cluster_peer_fetch_hits = %d, want 1", hits)
+	}
+	if served := s1.metrics.CounterValue("cluster_cache_served"); served == 0 {
+		t.Error("origin daemon served no cache fetches")
+	}
+}
+
+// The peer cache endpoint authenticates: a clustered daemon requires
+// the shared key, rejects the wrong one, and 400s malformed hashes.
+func TestCacheFetchAuth(t *testing.T) {
+	_, _, ts1, _ := clusterPair(t, "fleet-secret")
+	get := func(hash, key string) int {
+		req, err := http.NewRequest(http.MethodGet, ts1.URL+"/v1/cache/"+hash, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set(cluster.KeyHeader, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	unknown := strings.Repeat("ab", 32)
+	if code := get(unknown, ""); code != http.StatusForbidden {
+		t.Errorf("missing key: %d, want 403", code)
+	}
+	if code := get(unknown, "wrong"); code != http.StatusForbidden {
+		t.Errorf("wrong key: %d, want 403", code)
+	}
+	if code := get(unknown, "fleet-secret"); code != http.StatusNotFound {
+		t.Errorf("right key, unknown hash: %d, want 404", code)
+	}
+	if code := get("not-a-hash", "fleet-secret"); code != http.StatusBadRequest {
+		t.Errorf("malformed hash: %d, want 400", code)
+	}
+}
+
+// A clustered daemon whose membership file has not appeared yet answers
+// 503 + Retry-After on the cache endpoint instead of guessing.
+func TestCacheFetchUnloadedMembership(t *testing.T) {
+	s, err := New(Config{
+		Workers: 1, Executors: 1,
+		ClusterSource: cluster.FileSource(filepath.Join(t.TempDir(), "missing.json")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503 while membership is unloaded", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// On a tenanted (non-clustered) daemon the cache endpoint accepts
+// tenant API keys — and nothing else.
+func TestCacheFetchTenantAuth(t *testing.T) {
+	_, ts := testServer(t, Config{Tenants: []Tenant{{Name: "alpha", Key: "alpha-key"}}})
+	unknown := strings.Repeat("cd", 32)
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("anonymous fetch: %d, want 403", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/cache/"+unknown, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer alpha-key")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("tenant fetch of unknown hash: %d, want 404", resp.StatusCode)
+	}
+}
+
+// Edge rate limiting: a tenant with requests_per_sec=1, burst=2 under a
+// fake clock gets two submissions through, a 429 + Retry-After on the
+// third, and a fresh token once the clock advances one second.
+func TestSubmitRateLimited(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1) // non-zero: zero nanos means "bucket untouched"
+	s, ts := testServer(t, Config{
+		Tenants:  []Tenant{{Name: "alpha", Key: "alpha-key", RatePerSec: 1, Burst: 2}},
+		NowNanos: func() int64 { return now.Load() },
+	})
+	// Garbage bodies: an admitted request fails decode with 400, which
+	// proves it got past the limiter without running a simulation.
+	post := func() (int, string) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer alpha-key")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, resp.Header.Get("Retry-After")
+	}
+	for i := 0; i < 2; i++ {
+		if code, _ := post(); code != http.StatusBadRequest {
+			t.Fatalf("burst submission %d: status %d, want 400 (admitted)", i, code)
+		}
+	}
+	code, retryAfter := post()
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submission: status %d, want 429", code)
+	}
+	if retryAfter == "" {
+		t.Error("429 without Retry-After")
+	}
+	if v := s.metrics.CounterValue("rate_limited_tenant_alpha"); v != 1 {
+		t.Errorf("rate_limited_tenant_alpha = %d, want 1", v)
+	}
+
+	now.Add(int64(time.Second)) // one token refills
+	if code, _ := post(); code != http.StatusBadRequest {
+		t.Errorf("post-refill submission: status %d, want 400 (admitted)", code)
+	}
+	if code, _ := post(); code != http.StatusTooManyRequests {
+		t.Errorf("second post-refill submission: status %d, want 429", code)
+	}
+}
+
+// Without a clock (NowNanos nil) rate limits are inert — the clock-free
+// determinism tests rely on.
+func TestRateLimitDisabledWithoutClock(t *testing.T) {
+	_, ts := testServer(t, Config{
+		Tenants: []Tenant{{Name: "alpha", Key: "alpha-key", RatePerSec: 1, Burst: 1}},
+	})
+	for i := 0; i < 5; i++ {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer alpha-key")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("submission %d rate-limited on a clock-free daemon", i)
+		}
+	}
+}
+
+// Per-tenant disk quota: writes are charged to the writing tenant, the
+// tenant's own least-recently-touched entries are evicted (file deleted,
+// memory entry dropped), the just-written entry always survives, and
+// the gauge hook tracks the byte level.
+func TestCacheTenantQuotaEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newResultCache(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gauges []int64
+	c.onTenantBytes = func(tenant string, b uint64) {
+		if tenant != "alpha" {
+			t.Errorf("gauge for tenant %q", tenant)
+		}
+		gauges = append(gauges, int64(b))
+	}
+	c.setQuota("alpha", 250)
+
+	data := bytes.Repeat([]byte("x"), 100)
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i] = strings.Repeat("0", 63) + string(rune('a'+i))
+		if err := c.put(keys[i], data, "alpha"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third write pushed alpha to 300 > 250: the oldest entry (keys[0])
+	// is evicted from disk and memory; the newest survives.
+	if got := c.tenantBytes("alpha"); got != 200 {
+		t.Errorf("tenantBytes = %d, want 200 after eviction", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keys[0]+".json")); !os.IsNotExist(err) {
+		t.Errorf("evicted entry's file still on disk (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keys[2]+".json")); err != nil {
+		t.Errorf("just-written entry's file missing: %v", err)
+	}
+	if _, ok := c.get(keys[0]); ok {
+		t.Error("evicted entry still served (disk file should be gone)")
+	}
+	if _, ok := c.get(keys[2]); !ok {
+		t.Error("surviving entry not served")
+	}
+	if len(gauges) == 0 || gauges[len(gauges)-1] != 200 {
+		t.Errorf("gauge trail %v should end at 200", gauges)
+	}
+
+	// First-writer-wins: a rewrite of keys[1] under another tenant stays
+	// charged to alpha and never starts a beta account.
+	if err := c.put(keys[1], data, "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.tenantBytes("beta"); got != 0 {
+		t.Errorf("beta charged %d bytes for a rewrite of alpha's entry", got)
+	}
+}
+
+// The server wires tenant quotas and the gauge: a configured
+// MaxCacheBytes reaches the cache, and writes move the
+// cache_bytes_tenant gauge.
+func TestServerWiresQuotaAndGauge(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{
+		Workers: 1, Executors: 1,
+		CacheDir: dir,
+		Tenants:  []Tenant{{Name: "alpha", Key: "alpha-key", MaxCacheBytes: 1 << 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ef", 32)
+	if err := s.cache.put(key, []byte("hello"), "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.metrics.GaugeValue("cache_bytes_tenant_alpha"); v != 5 {
+		t.Errorf("cache_bytes_tenant_alpha = %d, want 5", v)
+	}
+}
+
+// Result documents fetched from a peer must verify against the content
+// address: a daemon serving corrupted bytes is a miss, not bad data.
+func TestPeerFetchRejectsCorruptDoc(t *testing.T) {
+	// A fake "peer" that serves garbage for every cache fetch.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"spec_version":1,"spec":{},"results":[]}`))
+	}))
+	defer bad.Close()
+	u := httptest.NewUnstartedServer(nil)
+	self := u.Listener.Addr().String()
+	u.Close()
+	mem := cluster.Membership{Peers: []cluster.Peer{
+		{Addr: bad.URL},
+		{Addr: "http://" + self},
+	}}
+	s, err := New(Config{
+		Workers: 1, Executors: 1,
+		ClusterSource:   cluster.StaticSource(mem),
+		ClusterSelfAddr: self,
+		ClusterHTTP:     &http.Client{Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.peerFetchCell(context.Background(), strings.Repeat("ab", 32)); ok {
+		t.Fatal("unverifiable peer document accepted")
+	}
+	if v := s.metrics.CounterValue("cluster_peer_fetch_invalid"); v == 0 {
+		t.Error("invalid fetch not counted")
+	}
+}
+
+// Sanity: the new tenant config fields round-trip through the tenants
+// file JSON the daemon loads.
+func TestTenantConfigFieldsParse(t *testing.T) {
+	var ts []Tenant
+	blob := `[{"name":"a","key":"k","requests_per_sec":2.5,"burst":7,"max_cache_bytes":1024}]`
+	if err := json.Unmarshal([]byte(blob), &ts); err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].RatePerSec != 2.5 || ts[0].Burst != 7 || ts[0].MaxCacheBytes != 1024 {
+		t.Errorf("parsed %+v", ts[0])
+	}
+	if _, _, _, err := buildTenants([]Tenant{{Name: "a", Key: "k", RatePerSec: -1}}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, _, _, err := buildTenants([]Tenant{{Name: "a", Key: "k", MaxCacheBytes: -1}}); err == nil {
+		t.Error("negative cache quota accepted")
+	}
+}

@@ -154,7 +154,7 @@ func TestResumedSweepByteIdenticalNoCellTwice(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sb1.cache.putCell(hashes[i], data); err != nil {
+		if err := sb1.cache.putCell(hashes[i], data, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -299,7 +299,7 @@ func TestStaleGenerationDocNotServed(t *testing.T) {
 	}
 	key := "00000000000000000000000000000000000000000000000000000000000000aa"
 	good := []byte(`{"spec_version":` + itoa(spec.CurrentVersion) + `,"status":"done"}`)
-	if err := c.put(key, good); err != nil {
+	if err := c.put(key, good, ""); err != nil {
 		t.Fatal(err)
 	}
 	// A fresh cache (empty memory tier) must accept the on-disk doc...
@@ -312,7 +312,7 @@ func TestStaleGenerationDocNotServed(t *testing.T) {
 	}
 	// ...but reject one stamped with a different generation.
 	stale := []byte(`{"spec_version":` + itoa(spec.CurrentVersion+1) + `,"status":"done"}`)
-	if err := c2.put(key, stale); err != nil {
+	if err := c2.put(key, stale, ""); err != nil {
 		t.Fatal(err)
 	}
 	c3, err := newResultCache(4, dir)

@@ -122,6 +122,15 @@ func newJob(ctx context.Context, id string, req spec.Request, cells []spec.Cell,
 	return j
 }
 
+// tenantName names the tenant charged for the job's cache writes
+// (empty for synthetic jobs with no admission state).
+func (j *job) tenantName() string {
+	if j.tenant == nil {
+		return ""
+	}
+	return j.tenant.Name
+}
+
 // completedJob wraps cached result bytes in a terminal job so the cache
 // path and the live path serve responses identically.
 func completedJob(id string, result []byte) *job {

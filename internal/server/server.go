@@ -48,6 +48,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,10 +56,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"dirsim/internal/cluster"
 	"dirsim/internal/coherence"
 	"dirsim/internal/flight"
 	"dirsim/internal/obs"
@@ -124,6 +127,24 @@ type Config struct {
 	// Zero disables per-job tracing. Traces are kept in memory only —
 	// cache-restored jobs have none.
 	TraceSample int
+
+	// ClusterSource, when non-nil, makes this daemon a fleet member:
+	// before simulating a cell it asks the cell's HRW owner (and on
+	// miss, one sibling) for a finished document via GET /v1/cache, and
+	// it serves the same endpoint to its peers, authenticated by the
+	// membership's shared key. The source may be lazy (a file written
+	// after startup); peering is simply off until it loads.
+	ClusterSource *cluster.Source
+	// ClusterSelfAddr is this daemon's bound host:port, used to find
+	// itself in the membership so peering skips the local node.
+	ClusterSelfAddr string
+	// ClusterHTTP issues peer fetches; nil defaults to a client with a
+	// 10s timeout (a peer fetch is an optimisation and must cost
+	// bounded time before falling back to simulating locally).
+	ClusterHTTP *http.Client
+	// ClusterHealth, when non-nil, is the shared up/down state a
+	// Prober maintains; down peers are skipped by the peering order.
+	ClusterHealth *cluster.Health
 }
 
 // Server is the daemon: an HTTP handler plus the execution pipeline
@@ -158,6 +179,14 @@ type Server struct {
 
 	baseCtx context.Context
 	wg      sync.WaitGroup
+
+	// Cluster peering state, built lazily on the first use after the
+	// membership source loads (membership is immutable once loaded).
+	clusterMu     sync.Mutex
+	clusterRouter *cluster.Router
+	clusterSelf   int
+	peerCache     *cluster.CacheClient
+	clusterKey    string
 }
 
 // New builds a server from the configuration.
@@ -187,9 +216,24 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewMetrics()
+	}
 	cache, err := newResultCache(cfg.CacheEntries, cfg.CacheDir)
 	if err != nil {
 		return nil, err
+	}
+	for _, t := range cfg.Tenants {
+		if t.MaxCacheBytes > 0 {
+			cache.setQuota(t.Name, t.MaxCacheBytes)
+		}
+	}
+	cache.onTenantBytes = func(tenant string, bytes uint64) {
+		m.SetGauge("cache_bytes_tenant_"+sanitizeMetric(tenant), bytes)
+	}
+	if cfg.ClusterSource != nil && cfg.ClusterHTTP == nil {
+		cfg.ClusterHTTP = &http.Client{Timeout: 10 * time.Second}
 	}
 	var store *jobStore
 	var pending []journalRecord
@@ -202,23 +246,20 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	m := cfg.Metrics
-	if m == nil {
-		m = obs.NewMetrics()
-	}
 	return &Server{
-		cfg:        cfg,
-		metrics:    m,
-		cache:      cache,
-		store:      store,
-		pending:    pending,
-		jobs:       map[string]*job{},
-		ring:       ring,
-		byName:     byName,
-		byKey:      byKey,
-		wake:       make(chan struct{}),
-		drainCh:    make(chan struct{}),
-		recovering: len(pending) > 0,
+		cfg:         cfg,
+		metrics:     m,
+		cache:       cache,
+		store:       store,
+		pending:     pending,
+		jobs:        map[string]*job{},
+		ring:        ring,
+		byName:      byName,
+		byKey:       byKey,
+		wake:        make(chan struct{}),
+		drainCh:     make(chan struct{}),
+		recovering:  len(pending) > 0,
+		clusterSelf: -1,
 	}, nil
 }
 
@@ -462,7 +503,7 @@ func (s *Server) runJob(j *job) {
 		s.finishJob(j, statusFailed, nil, err.Error())
 		return
 	}
-	if err := s.cache.put(j.id, doc); err != nil {
+	if err := s.cache.put(j.id, doc, j.tenantName()); err != nil {
 		// The run succeeded but the result is not durable: failing the
 		// job is the honest outcome — a retry will rerun and re-write.
 		s.finishJob(j, statusFailed, nil, err.Error())
@@ -481,6 +522,17 @@ func (s *Server) runChunk(j *job, lo, hi int) error {
 	var globals []int // runner index → cell ordinal
 	for i := lo; i < hi; i++ {
 		if data, ok := s.cache.getCell(j.cellHashes[i]); ok {
+			j.cellDocs[i] = data
+			continue
+		}
+		// Fleet mode: before simulating, ask the cell's owner (then one
+		// sibling) whether the fleet already has this cell. A verified
+		// hit is checkpointed locally like our own work — the fleet
+		// simulates each popular cell once, every daemon can serve it.
+		if data, ok := s.peerFetchCell(j.ctx, j.cellHashes[i]); ok {
+			if err := s.cache.putCell(j.cellHashes[i], data, j.tenantName()); err != nil {
+				return err
+			}
 			j.cellDocs[i] = data
 			continue
 		}
@@ -523,7 +575,7 @@ func (s *Server) runChunk(j *job, lo, hi int) error {
 			if err != nil {
 				return err
 			}
-			if err := s.cache.putCell(j.cellHashes[globals[k]], doc); err != nil {
+			if err := s.cache.putCell(j.cellHashes[globals[k]], doc, j.tenantName()); err != nil {
 				return err
 			}
 			j.cellDocs[globals[k]] = doc
@@ -531,6 +583,115 @@ func (s *Server) runChunk(j *job, lo, hi int) error {
 	}
 	j.appendEvent(chunkEvent(hi, len(j.cells), j.cellDocs[lo:hi]))
 	return nil
+}
+
+// peering returns the lazily built cluster routing state: the router,
+// the membership, this daemon's own index, and the authenticated peer
+// fetch client. ok is false until the membership source loads (and
+// always, for a daemon running without -cluster-peers).
+func (s *Server) peering() (router *cluster.Router, mem cluster.Membership, self int, pc *cluster.CacheClient, ok bool) {
+	if s.cfg.ClusterSource == nil {
+		return nil, cluster.Membership{}, -1, nil, false
+	}
+	mem, loaded := s.cfg.ClusterSource.Get()
+	if !loaded {
+		return nil, cluster.Membership{}, -1, nil, false
+	}
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	if s.clusterRouter == nil {
+		s.clusterRouter = cluster.NewRouter(mem, s.cfg.ClusterHealth)
+		s.clusterSelf = mem.IndexOfAddr(s.cfg.ClusterSelfAddr)
+		s.peerCache = &cluster.CacheClient{HTTP: s.cfg.ClusterHTTP, Key: mem.Key}
+		s.clusterKey = mem.Key
+	}
+	return s.clusterRouter, mem, s.clusterSelf, s.peerCache, true
+}
+
+// peerFetchCell asks the fleet for a finished cell document before
+// simulating it: the cell's HRW owner first, then one sibling — two
+// bounded, cheap lookups, not a broadcast (the paper's point-to-point
+// directory argument, applied to the service itself). Every fetched
+// document is verified against the content address before use, so a
+// compromised or confused peer can only cause a miss, never bad data.
+func (s *Server) peerFetchCell(ctx context.Context, hash string) ([]byte, bool) {
+	router, mem, self, pc, ok := s.peering()
+	if !ok {
+		return nil, false
+	}
+	tried := 0
+	for _, pi := range router.Order(hash) {
+		if pi == self || tried >= 2 {
+			if pi == self {
+				continue
+			}
+			break
+		}
+		tried++
+		data, found, err := pc.Fetch(ctx, mem.Peers[pi].Addr, hash)
+		switch {
+		case err != nil:
+			s.metrics.AddCounter("cluster_peer_fetch_errors", 1)
+			if cluster.IsTransportError(err) {
+				s.cfg.ClusterHealth.SetDown(pi, true)
+			}
+		case !found:
+			s.metrics.AddCounter("cluster_peer_fetch_misses", 1)
+		case spec.VerifyCellDoc(hash, data) != nil:
+			s.metrics.AddCounter("cluster_peer_fetch_invalid", 1)
+		default:
+			s.metrics.AddCounter("cluster_peer_fetch_hits", 1)
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// handleCacheFetch is GET /v1/cache/{hash}: the peering endpoint. It
+// serves finished documents — completed jobs by request hash, cell
+// checkpoints by cell hash — straight from the result cache; it never
+// triggers simulation. Authorisation is the shared cluster key when
+// the daemon is clustered (fleet-internal traffic, exempt from tenant
+// rate limits), a tenant API key when only tenants are configured, and
+// open otherwise.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !hashPattern.MatchString(hash) {
+		httpError(w, http.StatusBadRequest, "malformed hash")
+		return
+	}
+	if s.cfg.ClusterSource != nil {
+		_, _, _, _, ok := s.peering()
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "cluster membership not loaded yet")
+			return
+		}
+		s.clusterMu.Lock()
+		key := s.clusterKey
+		s.clusterMu.Unlock()
+		if key != "" && subtle.ConstantTimeCompare([]byte(r.Header.Get(cluster.KeyHeader)), []byte(key)) != 1 {
+			httpError(w, http.StatusForbidden, "bad cluster key")
+			return
+		}
+	} else if len(s.cfg.Tenants) > 0 {
+		if _, err := s.resolveTenant(apiKey(r)); err != nil {
+			httpError(w, http.StatusForbidden, "%v", err)
+			return
+		}
+	}
+	data, ok := s.cache.get(hash)
+	if !ok {
+		data, ok = s.cache.getCell(hash)
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no document for this hash")
+		return
+	}
+	s.metrics.AddCounter("cluster_cache_served", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }
 
 // traceFor returns the runner trace hook for one chunk: a fresh recorder
@@ -606,6 +767,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheFetch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -724,6 +886,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	t, err := s.resolveTenant(apiKey(r))
 	if err != nil {
 		httpError(w, http.StatusForbidden, "%v", err)
+		return
+	}
+	if ok, retryAfter := s.admitRate(t); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		s.metrics.AddCounter("rate_limited", 1)
+		s.metrics.AddCounter("rate_limited_tenant_"+t.metricName, 1)
+		httpError(w, http.StatusTooManyRequests, "server: tenant %q over its submission rate", t.Name)
 		return
 	}
 	var req spec.Request

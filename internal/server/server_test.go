@@ -599,7 +599,7 @@ func TestResultCacheLRU(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := c.put(fmt.Sprintf("%064d", i), []byte{byte(i)}); err != nil {
+		if err := c.put(fmt.Sprintf("%064d", i), []byte{byte(i)}, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -618,7 +618,7 @@ func TestResultCacheLRU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.put("../../escape", []byte("x")); err != nil {
+	if err := d.put("../../escape", []byte("x"), ""); err != nil {
 		t.Fatal(err)
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "*"))

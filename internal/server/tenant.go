@@ -2,7 +2,9 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"time"
 )
 
 // Priority classes. Interactive work — a client holding a connection
@@ -47,6 +49,23 @@ type Tenant struct {
 	// MaxActive caps the tenant's accepted-but-unfinished jobs (queued
 	// plus running); exceeding it answers 429. Zero means unlimited.
 	MaxActive int `json:"max_active,omitempty"`
+	// RatePerSec caps this tenant's job submissions at the HTTP edge: a
+	// token bucket refilled at this rate, spent one token per POST
+	// /v1/jobs, answering 429+Retry-After when empty — before the body
+	// is read or any admission work happens. Zero means unlimited. The
+	// DRR scheduler shapes dispatch; this shapes ingress. Peer-to-peer
+	// cache traffic (GET /v1/cache) is exempt.
+	RatePerSec float64 `json:"requests_per_sec,omitempty"`
+	// Burst is the bucket depth — how many submissions can arrive
+	// back-to-back before the rate applies. Zero defaults to
+	// max(1, ceil(RatePerSec)).
+	Burst int `json:"burst,omitempty"`
+	// MaxCacheBytes caps the disk-resident result-cache bytes charged
+	// to this tenant; exceeding it evicts the tenant's own least-
+	// recently-used entries first. Zero means unlimited. Attribution is
+	// first-writer-wins and process-lifetime (files inherited from a
+	// previous daemon are unowned until rewritten).
+	MaxCacheBytes int64 `json:"max_cache_bytes,omitempty"`
 }
 
 // tenant is the runtime admission state behind one configured Tenant:
@@ -62,6 +81,12 @@ type tenant struct {
 	active int
 	// metricName is the tenant's sanitized name for histogram keys.
 	metricName string
+	// Token-bucket state for edge rate limiting (guarded by s.mu):
+	// rateTokens is the current balance, rateLast the nanos of the last
+	// refill. rateLast == 0 means the bucket has never been touched —
+	// it starts full.
+	rateTokens float64
+	rateLast   int64
 }
 
 // anonTenantName is the implicit tenant serving unauthenticated traffic
@@ -132,6 +157,12 @@ func buildTenants(configured []Tenant) (ring []*tenant, byName, byKey map[string
 		}
 		if cfg.Weight < 0 || cfg.MaxActive < 0 {
 			return nil, nil, nil, fmt.Errorf("server: tenant %q has negative weight or quota", cfg.Name)
+		}
+		if cfg.RatePerSec < 0 || math.IsNaN(cfg.RatePerSec) || math.IsInf(cfg.RatePerSec, 0) {
+			return nil, nil, nil, fmt.Errorf("server: tenant %q has invalid requests_per_sec", cfg.Name)
+		}
+		if cfg.Burst < 0 || cfg.MaxCacheBytes < 0 {
+			return nil, nil, nil, fmt.Errorf("server: tenant %q has negative burst or cache quota", cfg.Name)
 		}
 		if cfg.Weight == 0 {
 			cfg.Weight = 1
@@ -207,6 +238,53 @@ func (s *Server) interactivePendingLocked() bool {
 		}
 	}
 	return false
+}
+
+// burst returns the tenant's effective bucket depth.
+func (t *tenant) burst() float64 {
+	if t.Burst > 0 {
+		return float64(t.Burst)
+	}
+	b := math.Ceil(t.RatePerSec)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// admitRate spends one token from the tenant's bucket, refilling it
+// from the elapsed injected clock first. It returns (true, 0) when the
+// submission may proceed, or (false, retryAfter) with the whole seconds
+// a well-behaved client should wait for a token. Rate limiting is
+// disabled — every call admits — when the tenant has no configured rate
+// or the daemon runs without a clock (tests that never set NowNanos
+// keep their timing-free determinism).
+func (s *Server) admitRate(t *tenant) (ok bool, retryAfter int) {
+	if t.RatePerSec <= 0 || s.cfg.NowNanos == nil {
+		return true, 0
+	}
+	now := s.cfg.NowNanos()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	burst := t.burst()
+	if t.rateLast == 0 {
+		t.rateTokens = burst
+	} else if elapsed := now - t.rateLast; elapsed > 0 {
+		t.rateTokens += float64(elapsed) / float64(time.Second) * t.RatePerSec
+		if t.rateTokens > burst {
+			t.rateTokens = burst
+		}
+	}
+	t.rateLast = now
+	if t.rateTokens >= 1 {
+		t.rateTokens -= 1
+		return true, 0
+	}
+	secs := int(math.Ceil((1 - t.rateTokens) / t.RatePerSec))
+	if secs < 1 {
+		secs = 1
+	}
+	return false, secs
 }
 
 // pickLocked dispatches the next job: the interactive class strictly

@@ -49,6 +49,43 @@ type CellDoc struct {
 	Results     json.RawMessage `json:"results"`
 }
 
+// VerifyCellDoc authenticates a cell document received from an
+// untrusted transport (a cluster peer) against the content address it
+// was requested under: the document must be from the current schema
+// generation, its embedded spec must re-hash to exactly hash, and it
+// must carry one result per scheme the spec names. A document that
+// passes is as trustworthy as a locally simulated one — the hash the
+// fetcher computed from its own cell is the ground truth, so a peer
+// cannot substitute results for different work.
+func VerifyCellDoc(hash string, data []byte) error {
+	if err := CheckDocVersion(data); err != nil {
+		return err
+	}
+	var cd CellDoc
+	if err := json.Unmarshal(data, &cd); err != nil {
+		return fmt.Errorf("spec: cell document: %w", err)
+	}
+	var c Cell
+	if err := json.Unmarshal(cd.Spec, &c); err != nil {
+		return fmt.Errorf("spec: cell document spec: %w", err)
+	}
+	got, err := c.Hash()
+	if err != nil {
+		return fmt.Errorf("spec: cell document spec: %w", err)
+	}
+	if got != hash {
+		return fmt.Errorf("spec: cell document content address mismatch: spec hashes to %.12s…, requested %.12s…", got, hash)
+	}
+	var results []SchemeResult
+	if err := json.Unmarshal(cd.Results, &results); err != nil {
+		return fmt.Errorf("spec: cell document results: %w", err)
+	}
+	if len(results) != len(c.Schemes) {
+		return fmt.Errorf("spec: cell document has %d results for %d schemes", len(results), len(c.Schemes))
+	}
+	return nil
+}
+
 // ResultDoc is the completed-job document: what GET /v1/jobs/{id}
 // returns for a finished job, what the content-addressed cache stores,
 // and what every concurrent identical submission receives byte for byte.

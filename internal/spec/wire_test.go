@@ -1,0 +1,122 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dirsim/internal/coherence"
+	"dirsim/internal/tracegen"
+)
+
+// cellDocFor fabricates a cell document for the cell, with one result
+// slot per scheme (stats may be nil: verification checks shape and
+// address, not physics).
+func cellDocFor(t *testing.T, c Cell) (hash string, data []byte) {
+	t.Helper()
+	canon, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err = c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]SchemeResult, len(c.Schemes))
+	for i, s := range c.Schemes {
+		results[i] = SchemeResult{Scheme: s, Stats: &coherence.Stats{}}
+	}
+	rb, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = json.Marshal(CellDoc{SpecVersion: CurrentVersion, Spec: canon, Results: rb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hash, data
+}
+
+func verifyTestCell(t *testing.T) Cell {
+	t.Helper()
+	tc := tracegen.POPS(1_000)
+	tc.CPUs = 2
+	return Cell{Trace: tc, Schemes: []string{"dir0b", "wti"}, Machine: coherence.Config{Caches: 2}}
+}
+
+func TestVerifyCellDocAccepts(t *testing.T) {
+	hash, data := cellDocFor(t, verifyTestCell(t))
+	if err := VerifyCellDoc(hash, data); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+// A peer cannot substitute results for different work: a document whose
+// embedded spec hashes differently from the requested address fails.
+func TestVerifyCellDocWrongHash(t *testing.T) {
+	_, data := cellDocFor(t, verifyTestCell(t))
+	other := verifyTestCell(t)
+	other.Trace.Refs = 2_000 // different cell, different address
+	wrongHash, err := other.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyCellDoc(wrongHash, data)
+	if err == nil || !strings.Contains(err.Error(), "content address mismatch") {
+		t.Errorf("wrong-address document accepted (err=%v)", err)
+	}
+}
+
+// Documents from another schema generation are refused before any
+// content inspection.
+func TestVerifyCellDocWrongVersion(t *testing.T) {
+	c := verifyTestCell(t)
+	hash, data := cellDocFor(t, c)
+	var cd CellDoc
+	if err := json.Unmarshal(data, &cd); err != nil {
+		t.Fatal(err)
+	}
+	cd.SpecVersion = CurrentVersion + 1
+	stale, err := json.Marshal(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyCellDoc(hash, stale) == nil {
+		t.Error("foreign-generation document accepted")
+	}
+}
+
+// The document must carry exactly one result per scheme the spec names.
+func TestVerifyCellDocResultCountMismatch(t *testing.T) {
+	c := verifyTestCell(t)
+	hash, data := cellDocFor(t, c)
+	var cd CellDoc
+	if err := json.Unmarshal(data, &cd); err != nil {
+		t.Fatal(err)
+	}
+	var results []SchemeResult
+	if err := json.Unmarshal(cd.Results, &results); err != nil {
+		t.Fatal(err)
+	}
+	short, err := json.Marshal(results[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.Results = short
+	truncated, err := json.Marshal(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyCellDoc(hash, truncated)
+	if err == nil || !strings.Contains(err.Error(), "results for") {
+		t.Errorf("truncated results accepted (err=%v)", err)
+	}
+}
+
+func TestVerifyCellDocGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("{"), []byte(`{"spec_version":0}`)} {
+		if VerifyCellDoc("deadbeef", data) == nil {
+			t.Errorf("garbage %q accepted", data)
+		}
+	}
+}
