@@ -137,6 +137,8 @@ cluster-smoke:
 	rm -rf cluster-smoke.tmp && mkdir cluster-smoke.tmp
 	$(GO) build -o cluster-smoke.tmp/dirsimd ./cmd/dirsimd
 	$(GO) build -o cluster-smoke.tmp/sweep ./cmd/sweep
+	$(GO) build -o cluster-smoke.tmp/tracecheck ./cmd/tracecheck
+	$(GO) build -o cluster-smoke.tmp/dirsimtop ./cmd/dirsimtop
 	./cluster-smoke.tmp/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4 \
 		-refs 6000 -seeds 2 -parallel 2 -o cluster-smoke.tmp/local.csv
 	./cluster-smoke.tmp/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4 \
@@ -180,6 +182,25 @@ cluster-smoke:
 		total=$$((total+v)); \
 	done; \
 	test "$$total" -eq 4; \
+	./cluster-smoke.tmp/sweep -workloads pops -schemes dir0b,dragon -cpus 2,4,8 \
+		-refs 9000 -seeds 3 -parallel 2 -o cluster-smoke.tmp/local-traced.csv; \
+	./cluster-smoke.tmp/sweep -cluster cluster-smoke.tmp/peers.json -hedge 0 \
+		-workloads pops -schemes dir0b,dragon -cpus 2,4,8 -refs 9000 -seeds 3 \
+		-parallel 2 -retry-base 50ms -trace cluster-smoke.tmp/fleet.trace \
+		-o cluster-smoke.tmp/traced.csv; \
+	cmp cluster-smoke.tmp/local-traced.csv cluster-smoke.tmp/traced.csv; \
+	./cluster-smoke.tmp/tracecheck -format chrome -min-events 24 cluster-smoke.tmp/fleet.trace; \
+	./cluster-smoke.tmp/tracecheck -format spans -min-services 4 cluster-smoke.tmp/fleet.trace; \
+	curl -fsS -H "X-Dirsim-Cluster-Key: smoke" \
+		"http://$$(cat cluster-smoke.tmp/addr1)/v1/cluster/metrics?format=prometheus" \
+		| ./cluster-smoke.tmp/tracecheck -format prom; \
+	rows=$$(curl -fsS -H "X-Dirsim-Cluster-Key: smoke" \
+		"http://$$(cat cluster-smoke.tmp/addr1)/v1/cluster/metrics" \
+		| grep -o '"addr"' | wc -l); \
+	test "$$rows" -eq 3; \
+	./cluster-smoke.tmp/dirsimtop -once -key smoke \
+		-addr "http://$$(cat cluster-smoke.tmp/addr1)" \
+		| grep -q '3 members, 3 up'; \
 	( sleep 0.3; kill -9 "$$(cat cluster-smoke.tmp/pid3)" ) & killer=$$!; \
 	./cluster-smoke.tmp/sweep -cluster cluster-smoke.tmp/peers.json \
 		-workloads pops -schemes dir0b,dragon -cpus 2,4 -refs 150000 -seeds 2 \

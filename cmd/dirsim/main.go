@@ -83,13 +83,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fatal := func(err error) {
-		stopProfiles() //nolint:errcheck // already failing; the run error wins
-		log.Fatal(err)
-	}
 	var rec *flight.Recorder
 	if *traceOut != "" {
 		rec = flight.New(flight.Options{Sample: *traceSample, Spans: *spans, Label: "dirsim"})
+	}
+	// flush lands every run-scoped artifact — the trace written so far
+	// and the profiles — exactly once, so an interrupted run still
+	// leaves analyzable output. Explicit on every exit path, never a
+	// defer: log.Fatal skips defers.
+	var flushOnce sync.Once
+	var flushErr error
+	flush := func() error {
+		flushOnce.Do(func() {
+			if rec != nil {
+				if err := writeTrace(*traceOut, rec); err != nil {
+					flushErr = err
+				}
+			}
+			if err := stopProfiles(); err != nil && flushErr == nil {
+				flushErr = err
+			}
+		})
+		return flushErr
+	}
+	fatal := func(err error) {
+		flush() //nolint:errcheck // already failing; the run error wins
+		log.Fatal(err)
 	}
 	if err := run(ctx, os.Stdout, options{
 		traceFile: *traceFile, workload: *workload, refs: *refs,
@@ -103,12 +122,7 @@ func main() {
 	}); err != nil {
 		fatal(err)
 	}
-	if rec != nil {
-		if err := writeTrace(*traceOut, rec); err != nil {
-			fatal(err)
-		}
-	}
-	if err := stopProfiles(); err != nil {
+	if err := flush(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -21,6 +21,8 @@
 //	GET  /v1/jobs/{id}/events  NDJSON stream of status/progress/chunk events
 //	GET  /v1/jobs/{id}/trace  a terminal job's flight trace (with -trace-sample)
 //	GET  /v1/engines         engine and trace-filter registries
+//	GET  /v1/trace/{traceid}  this daemon's fabric spans for one trace id (NDJSON)
+//	GET  /v1/cluster/metrics  federated fleet metrics, one row per member
 //	GET  /healthz            liveness (503 while draining)
 //	GET  /readyz             readiness (starting/recovering/draining vs ok)
 //	GET  /metrics            server-wide obs counters as JSON (?format=prometheus for text exposition)
@@ -62,6 +64,8 @@ import (
 
 	"dirsim/internal/atomicio"
 	"dirsim/internal/cluster"
+	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
 	"dirsim/internal/server"
 )
 
@@ -84,6 +88,7 @@ func main() {
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per attempt, jittered)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "bound on graceful shutdown")
 	traceSample := flag.Int("trace-sample", 0, "record a flight trace per executed job, sampling every Nth reference (0 = off); serve via GET /v1/jobs/{id}/trace")
+	traceSpans := flag.Int("trace-spans", 0, "fabric span ring capacity (0 = default 16384); serve via GET /v1/trace/{traceid}")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty = off); keep it private")
 	clusterPeers := flag.String("cluster-peers", "", "JSON membership file ({key, peers:[{addr,weight}]}); join the fleet it describes (empty = standalone)")
 	clusterProbe := flag.Duration("cluster-probe", 5*time.Second, "interval between peer /readyz health probes in cluster mode")
@@ -110,6 +115,14 @@ func main() {
 		clusterHealth = cluster.NewHealth()
 	}
 
+	// The tracer is always on: span recording is allocation-free and the
+	// store is a fixed ring, so the daemon's fabric is observable by
+	// default. The service name is the bound address — the identity peers
+	// see — so a merged fleet trace attributes every span to its daemon.
+	metrics := obs.NewMetrics()
+	nowNanos := func() int64 { return time.Now().UnixNano() }
+	tracer := otrace.New("dirsimd:"+ln.Addr().String(), nowNanos, otrace.NewStore(*traceSpans), metrics)
+
 	s, err := server.New(server.Config{
 		Workers:      *parallel,
 		Executors:    *executors,
@@ -124,7 +137,9 @@ func main() {
 		Retries:      *retries,
 		RetryBase:    *retryBase,
 		Sleep:        time.Sleep,
-		NowNanos:     func() int64 { return time.Now().UnixNano() },
+		NowNanos:     nowNanos,
+		Metrics:      metrics,
+		Tracer:       tracer,
 		TraceSample:  *traceSample,
 
 		ClusterSource:   clusterSrc,

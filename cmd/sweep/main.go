@@ -23,6 +23,7 @@
 //	sweep ... -o sweep.csv -checkpoint sweep.ck.json -resume
 //	sweep ... -remote http://127.0.0.1:8023 > sweep.csv
 //	sweep ... -cluster peers.json > sweep.csv
+//	sweep ... -cluster peers.json -trace fleet.json > sweep.csv
 //
 // With -remote the grid is submitted to a dirsimd daemon as one sweep
 // spec and rows are rebuilt from the returned result document — byte
@@ -34,7 +35,11 @@
 // cell is submitted to its rendezvous-hash owner, hedged onto the next
 // peer after -hedge, and failed over when a daemon dies mid-sweep. Rows
 // still stream in grid order and the CSV is byte-identical to a
-// single-node or local run of the same grid.
+// single-node or local run of the same grid. Adding -trace records the
+// client's cell and attempt spans, collects every daemon's fabric spans
+// for each cell afterwards (trace id = cell content hash), and writes
+// one merged fleet trace — hedge winners and losers, peer cache
+// fetches, and crash-replayed jobs all visible under one timeline.
 package main
 
 import (
@@ -46,10 +51,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"dirsim/internal/atomicio"
@@ -58,6 +67,7 @@ import (
 	"dirsim/internal/faults"
 	"dirsim/internal/flight"
 	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
 	"dirsim/internal/remote"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
@@ -87,6 +97,7 @@ func main() {
 	remoteURL := flag.String("remote", "", "run the grid on a dirsimd daemon at this base URL instead of locally")
 	clusterFile := flag.String("cluster", "", "run the grid on the dirsimd fleet this membership file describes (cells routed to their rendezvous owners)")
 	hedge := flag.Duration("hedge", 2*time.Second, "with -cluster, try the next peer concurrently when the owner has not answered after this long (0 = off)")
+	fleetTrace := flag.String("trace", "", "with -cluster, write one merged fleet trace of the sweep here (.json = Chrome trace, .ndjson = span rows): client spans plus every daemon's spans for each cell")
 	apiKey := flag.String("api-key", os.Getenv("DIRSIM_API_KEY"), "API key for -remote daemons running with tenants configured (default $DIRSIM_API_KEY)")
 	progress := flag.Bool("progress", false, "report job and throughput counts on stderr")
 	pprofFile := flag.String("pprof", "", "write a CPU profile to this file")
@@ -101,27 +112,56 @@ func main() {
 	faultJobs := flag.String("fault-jobs", "", "comma-separated job indices to inject trace faults into (default: all)")
 	flag.Parse()
 
-	ctx := context.Background()
+	// A signal cancels the sweep between cells; the explicit flush calls
+	// below (not defers — log.Fatal skips defers) then commit the partial
+	// artifacts (CPU profile, collected fleet spans) before exit.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var pf *atomicio.File
 	if *pprofFile != "" {
-		pf, err := atomicio.Create(*pprofFile)
+		f, err := atomicio.Create(*pprofFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			pf.Abort()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Abort()
 			log.Fatal(err)
 		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := pf.Commit(); err != nil {
-				log.Fatal(err)
+		pf = f
+	}
+	var fleetStore *otrace.Store
+	if *fleetTrace != "" {
+		fleetStore = otrace.NewStore(0)
+	}
+	// flush commits the run-scoped artifacts exactly once. Every exit
+	// path calls it explicitly — an interrupted sweep still lands its
+	// profile and whatever fleet spans were collected before the signal.
+	var flushOnce sync.Once
+	var flushErr error
+	flush := func() error {
+		flushOnce.Do(func() {
+			if pf != nil {
+				pprof.StopCPUProfile()
+				if err := pf.Commit(); err != nil {
+					flushErr = err
+				}
 			}
-		}()
+			if fleetStore != nil && fleetStore.Added() > 0 {
+				if err := writeFleetTrace(*fleetTrace, fleetStore); err != nil && flushErr == nil {
+					flushErr = err
+				}
+			}
+		})
+		return flushErr
+	}
+	fatal := func(err error) {
+		flush() //nolint:errcheck // already failing; the run error wins
+		log.Fatal(err)
 	}
 
 	o := options{
@@ -135,6 +175,7 @@ func main() {
 		faultPanic: *faultPanic, faultJobs: *faultJobs,
 		remote: *remoteURL, apiKey: *apiKey,
 		cluster: *clusterFile, hedge: *hedge,
+		fleetTrace: *fleetTrace, fleetStore: fleetStore,
 		progress: *progress, progressW: os.Stderr,
 		traceOut: *traceOut, traceSample: *traceSample, spans: *spans,
 	}
@@ -144,7 +185,7 @@ func main() {
 	if *out != "-" {
 		f, err := atomicio.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		af = f
 		w = f
@@ -154,16 +195,22 @@ func main() {
 	case err == nil:
 		if af != nil {
 			if cerr := af.Commit(); cerr != nil {
-				log.Fatal(cerr)
+				fatal(cerr)
 			}
+		}
+		if ferr := flush(); ferr != nil {
+			log.Fatal(ferr)
 		}
 	case errors.Is(err, errDegraded):
 		// Partial results are still results: commit them, then report
 		// the degradation and exit nonzero.
 		if af != nil {
 			if cerr := af.Commit(); cerr != nil {
-				log.Fatal(cerr)
+				fatal(cerr)
 			}
+		}
+		if ferr := flush(); ferr != nil {
+			log.Print(ferr)
 		}
 		log.Print(err)
 		os.Exit(1)
@@ -171,7 +218,7 @@ func main() {
 		if af != nil {
 			af.Abort()
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 }
 
@@ -203,6 +250,12 @@ type options struct {
 	apiKey  string
 	cluster string
 	hedge   time.Duration
+
+	// fleetTrace is the -trace output path; fleetStore (created by main,
+	// which also flushes it on every exit path) accumulates the client's
+	// own spans and the spans fetched from the daemons after the sweep.
+	fleetTrace string
+	fleetStore *otrace.Store
 
 	progress  bool
 	progressW io.Writer
@@ -307,6 +360,9 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		case o.traceOut != "":
 			return fmt.Errorf("%s cannot be combined with -trace-out: run the daemon with -trace-sample and fetch /v1/jobs/{id}/trace instead", mode)
 		}
+	}
+	if o.fleetTrace != "" && o.cluster == "" {
+		return fmt.Errorf("-trace requires -cluster: a single daemon's trace is served by GET /v1/jobs/{id}/trace")
 	}
 
 	// values[i] holds job i's per-scheme metric values — prefilled from
@@ -524,6 +580,14 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			return err
 		}
 		health := cluster.NewHealth()
+		// With -trace the client records its own cell/attempt spans into
+		// the shared store; the trace id of each cell is its content hash,
+		// which is how the daemons' spans are found again afterwards.
+		var tracer *otrace.Tracer
+		clusterMetrics := obs.NewMetrics()
+		if o.fleetStore != nil {
+			tracer = otrace.New("sweep", func() int64 { return time.Now().UnixNano() }, o.fleetStore, clusterMetrics)
+		}
 		cc := &cluster.Client{
 			Membership: mem,
 			Router:     cluster.NewRouter(mem, health),
@@ -533,6 +597,8 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			Sleep:      o.sleep,
 			HedgeDelay: o.hedge,
 			After:      time.After,
+			Tracer:     tracer,
+			Metrics:    clusterMetrics,
 		}
 		// -parallel is per-daemon concurrency; the fleet multiplies it.
 		workers := o.parallel * len(mem.Peers)
@@ -573,6 +639,9 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			if err := runner.NewManifest("sweep", len(allJobs)).Write(o.manifest); err != nil {
 				return err
 			}
+		}
+		if o.fleetStore != nil {
+			collectFleetSpans(ctx, mem, specCells, o.fleetStore)
 		}
 		return nil
 	}
@@ -688,6 +757,99 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			errDegraded, man.Failed, len(allJobs))
 	}
 	return nil
+}
+
+// collectFleetSpans asks every fleet member for its spans of every
+// cell's trace (the trace id is the cell's content hash) and folds them
+// into the store alongside the client's own spans. Collection is
+// best-effort per peer: a daemon that died mid-sweep contributes
+// nothing, but the spans of the peers that finished its failed-over
+// cells are still there — which is exactly the story the trace should
+// tell. Peers are fetched concurrently, cells sequentially per peer.
+func collectFleetSpans(ctx context.Context, mem cluster.Membership, cells []spec.Cell, st *otrace.Store) {
+	traces := make([]string, 0, len(cells))
+	for _, c := range cells {
+		h, err := c.Hash()
+		if err != nil {
+			continue
+		}
+		traces = append(traces, h)
+	}
+	hc := &http.Client{Timeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	for _, p := range mem.Peers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			for _, tr := range traces {
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(addr, "/")+"/v1/trace/"+tr, nil)
+				if err != nil {
+					return
+				}
+				if mem.Key != "" {
+					req.Header.Set(cluster.KeyHeader, mem.Key)
+				}
+				resp, err := hc.Do(req)
+				if err != nil {
+					log.Printf("trace: peer %s unreachable, its spans are skipped: %v", addr, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close() // 404: the peer never touched this cell
+					continue
+				}
+				spans, err := otrace.ReadNDJSON(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					log.Printf("trace: peer %s served a bad span document: %v", addr, err)
+					continue
+				}
+				for _, s := range spans {
+					st.Add(s)
+				}
+			}
+		}(p.Addr)
+	}
+	wg.Wait()
+}
+
+// writeFleetTrace exports the merged fleet trace crash-safely; the
+// extension picks the format (.json Chrome, .ndjson span rows).
+func writeFleetTrace(path string, st *otrace.Store) error {
+	spans := pruneOrphans(otrace.Dedup(st.Spans()))
+	f, err := atomicio.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := otrace.Write(f, path, spans); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// pruneOrphans drops spans whose parent chain does not resolve within
+// the set: the collection races the tail of canceled hedge losers on
+// the daemons, whose child spans can land in a peer's store before the
+// job span that parents them. Iterates to a fixpoint so the
+// descendants of a missing parent drop with it.
+func pruneOrphans(spans []otrace.Span) []otrace.Span {
+	for {
+		ids := make(map[string]bool, len(spans))
+		for _, s := range spans {
+			ids[s.ID()] = true
+		}
+		keep := make([]otrace.Span, 0, len(spans))
+		for _, s := range spans {
+			if s.Parent == "" || ids[s.Parent] {
+				keep = append(keep, s)
+			}
+		}
+		if len(keep) == len(spans) {
+			return keep
+		}
+		spans = keep
+	}
 }
 
 // writeTrace exports every job's recorder (nils from never-started jobs

@@ -9,6 +9,12 @@
 //	        non-decreasing within each (pid, tid) track
 //	chrome  a Chrome trace-event JSON object (Perfetto-loadable): every
 //	        event named, ph one of M/X/i, ts non-decreasing per track
+//	spans   fabric spans from internal/otrace, in either wire form
+//	        (NDJSON span rows or a Chrome doc with trace/id args):
+//	        ids unique, every parent resolves (no orphans), and with
+//	        -min-services the set must span that many services — how
+//	        the cluster smoke asserts a merged fleet trace really
+//	        contains all daemons
 //	prom    Prometheus text exposition 0.0.4, via the in-repo linter
 //
 // The input is a file argument or stdin. Exit status 0 means valid (and
@@ -18,26 +24,31 @@
 // Usage:
 //
 //	tracecheck -format ndjson -min-events 1 trace.ndjson
+//	tracecheck -format spans -min-services 3 fleet.trace
 //	curl -s "$DAEMON/metrics?format=prometheus" | tracecheck -format prom
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
-	format := flag.String("format", "", "artifact format: ndjson, chrome or prom")
-	minEvents := flag.Int("min-events", 1, "minimum trace events required (ndjson/chrome)")
+	format := flag.String("format", "", "artifact format: ndjson, chrome, spans or prom")
+	minEvents := flag.Int("min-events", 1, "minimum trace events required (ndjson/chrome/spans)")
+	minServices := flag.Int("min-services", 1, "minimum distinct span services required (spans)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -62,10 +73,12 @@ func main() {
 		n, err = checkNDJSON(in, *minEvents)
 	case "chrome":
 		n, err = checkChrome(in, *minEvents)
+	case "spans":
+		n, err = checkSpans(in, *minEvents, *minServices)
 	case "prom":
 		err = obs.LintPrometheus(in)
 	default:
-		log.Fatalf("unknown -format %q (want ndjson, chrome or prom)", *format)
+		log.Fatalf("unknown -format %q (want ndjson, chrome, spans or prom)", *format)
 	}
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
@@ -171,4 +184,114 @@ func checkChrome(r io.Reader, minEvents int) (int, error) {
 		return n, fmt.Errorf("%d events, want at least %d", n, minEvents)
 	}
 	return n, nil
+}
+
+// spanRec is the format-independent view checkSpans validates: both
+// wire forms reduce to (trace, id, parent, service).
+type spanRec struct {
+	trace, id, parent, service string
+}
+
+// checkSpans validates a fabric span set in either wire form. The
+// invariants are the ones internal/otrace guarantees for exported sets:
+// span ids unique, every parent id present in the set (a merged fleet
+// trace with a dangling parent means a daemon's spans were lost), and
+// the set covering at least minServices distinct services.
+func checkSpans(r io.Reader, minEvents, minServices int) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	// Both forms start with '{', so sniff by structure: only a Chrome
+	// document is one object with a traceEvents array (NDJSON input is
+	// many objects, which fails the whole-input unmarshal).
+	var probe struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	var recs []spanRec
+	if json.Unmarshal(data, &probe) == nil && probe.TraceEvents != nil {
+		recs, err = chromeSpans(data)
+	} else {
+		recs, err = ndjsonSpans(data)
+	}
+	if err != nil {
+		return 0, err
+	}
+	ids := make(map[string]bool, len(recs))
+	services := map[string]bool{}
+	for i, s := range recs {
+		if s.trace == "" || s.id == "" || s.service == "" {
+			return len(recs), fmt.Errorf("span %d: missing trace, id or service", i)
+		}
+		if ids[s.id] {
+			return len(recs), fmt.Errorf("span %d: duplicate id %s — set not deduplicated", i, s.id)
+		}
+		ids[s.id] = true
+		services[s.service] = true
+	}
+	for i, s := range recs {
+		if s.parent != "" && !ids[s.parent] {
+			return len(recs), fmt.Errorf("span %d (%s): orphan — parent %s not in the set", i, s.id, s.parent)
+		}
+	}
+	if len(recs) < minEvents {
+		return len(recs), fmt.Errorf("%d spans, want at least %d", len(recs), minEvents)
+	}
+	if len(services) < minServices {
+		return len(recs), fmt.Errorf("spans from %d services, want at least %d", len(services), minServices)
+	}
+	return len(recs), nil
+}
+
+// ndjsonSpans reads the NDJSON span form via the otrace parser, so
+// tracecheck enforces exactly the contract the exporter writes.
+func ndjsonSpans(data []byte) ([]spanRec, error) {
+	spans, err := otrace.ReadNDJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]spanRec, len(spans))
+	for i, s := range spans {
+		if s.End < s.Start {
+			return nil, fmt.Errorf("span %s: end %d before start %d", s.ID(), s.End, s.Start)
+		}
+		recs[i] = spanRec{trace: s.Trace, id: s.ID(), parent: s.Parent, service: s.Service}
+	}
+	return recs, nil
+}
+
+// chromeSpans extracts fabric spans from a Chrome trace document:
+// events carrying trace and id args. Spliced flight-recorder events
+// carry neither and pass through unchecked — the chrome format covers
+// their shape.
+func chromeSpans(data []byte) ([]spanRec, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				Trace  string `json:"trace"`
+				ID     string `json:"id"`
+				Parent string `json:"parent"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("not a trace-event JSON object: %v", err)
+	}
+	var recs []spanRec
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Args.Trace == "" || e.Args.ID == "" {
+			continue
+		}
+		service, _, ok := strings.Cut(e.Args.ID, "#")
+		if !ok {
+			return nil, fmt.Errorf("span %s: id %q not service#seq", e.Name, e.Args.ID)
+		}
+		recs = append(recs, spanRec{
+			trace: e.Args.Trace, id: e.Args.ID,
+			parent: e.Args.Parent, service: service,
+		})
+	}
+	return recs, nil
 }

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
 	"dirsim/internal/remote"
 	"dirsim/internal/runner"
 	"dirsim/internal/spec"
@@ -53,13 +55,31 @@ type Client struct {
 	// disables hedging, which keeps internal packages clock-free and
 	// lets tests fire hedges deterministically.
 	After func(time.Duration) <-chan time.Time
+	// Tracer, when set, records one "cell" span per RunCell and one
+	// "attempt-<reason>" span per peer attempt (reason: primary, hedge,
+	// failover), each carrying the peer address and a win/error/canceled
+	// outcome. The trace id is the cell's content hash, and the context
+	// is propagated to the daemons via X-Dirsim-Trace.
+	Tracer *otrace.Tracer
+	// Metrics, when set, receives hedge-outcome counters:
+	// cluster_hedge_fired, cluster_hedge_win, cluster_failover,
+	// cluster_attempt_canceled.
+	Metrics *obs.Metrics
+}
+
+// count bumps one named counter when metrics are wired.
+func (c *Client) count(name string) {
+	if c.Metrics != nil {
+		c.Metrics.AddCounter(name, 1)
+	}
 }
 
 // attempt is one peer's outcome inside RunCell.
 type attempt struct {
-	peer int
-	doc  *spec.ResultDoc
-	err  error
+	peer   int
+	reason string
+	doc    *spec.ResultDoc
+	err    error
 }
 
 // RunCell executes one cell on the fleet and returns its result
@@ -80,23 +100,41 @@ func (c *Client) RunCell(ctx context.Context, cell spec.Cell) (*spec.ResultDoc, 
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	rootSp := c.Tracer.Start(otrace.Root(hash), "cell")
+	rootSp.SetOutcome("error")
+	defer rootSp.Finish()
+	rootCtx := rootSp.Context()
 	results := make(chan attempt, len(order))
 	launched, outstanding := 0, 0
-	launch := func() {
+	launch := func(reason string) {
 		pi := order[launched]
 		launched++
 		outstanding++
+		addr := c.Membership.Peers[pi].Addr
 		rc := &remote.Client{
-			BaseURL: c.Membership.Peers[pi].Addr,
+			BaseURL: addr,
 			HTTP:    c.HTTP,
 			APIKey:  c.APIKey,
 			Retry:   c.Retry,
 			Sleep:   c.Sleep,
 		}
 		cellCopy := cell
+		sp := c.Tracer.Start(rootCtx, "attempt-"+reason)
+		sp.SetPeer(addr)
+		actx := otrace.With(ctx, sp.Context())
 		go func() {
-			doc, err := rc.Run(ctx, spec.Request{Cell: &cellCopy})
-			results <- attempt{peer: pi, doc: doc, err: err}
+			doc, err := rc.Run(actx, spec.Request{Cell: &cellCopy})
+			switch {
+			case err == nil:
+				sp.SetOutcome("win")
+			case ctx.Err() != nil:
+				sp.SetOutcome("canceled")
+				c.count("cluster_attempt_canceled")
+			default:
+				sp.SetOutcome("error")
+			}
+			sp.Finish()
+			results <- attempt{peer: pi, reason: reason, doc: doc, err: err}
 		}()
 	}
 	// hedge is armed only while another peer remains to launch.
@@ -107,7 +145,7 @@ func (c *Client) RunCell(ctx context.Context, cell spec.Cell) (*spec.ResultDoc, 
 			hedge = c.After(c.HedgeDelay)
 		}
 	}
-	launch()
+	launch("primary")
 	arm()
 	var errs []error
 	for {
@@ -115,9 +153,14 @@ func (c *Client) RunCell(ctx context.Context, cell spec.Cell) (*spec.ResultDoc, 
 		case a := <-results:
 			outstanding--
 			if a.err == nil {
+				if a.reason == "hedge" {
+					c.count("cluster_hedge_win")
+				}
+				rootSp.SetOutcome(a.reason)
 				return a.doc, nil
 			}
 			if ctx.Err() != nil {
+				rootSp.SetOutcome("canceled")
 				return nil, context.Cause(ctx)
 			}
 			if IsTransportError(a.err) {
@@ -125,17 +168,20 @@ func (c *Client) RunCell(ctx context.Context, cell spec.Cell) (*spec.ResultDoc, 
 			}
 			errs = append(errs, fmt.Errorf("peer %s: %w", c.Membership.Peers[a.peer].Addr, a.err))
 			if launched < len(order) {
-				launch()
+				c.count("cluster_failover")
+				launch("failover")
 				arm()
 			} else if outstanding == 0 {
 				return nil, fmt.Errorf("cluster: cell %s failed on all peers: %w", cell.Label(), errors.Join(errs...))
 			}
 		case <-hedge:
 			if launched < len(order) {
-				launch()
+				c.count("cluster_hedge_fired")
+				launch("hedge")
 			}
 			arm()
 		case <-ctx.Done():
+			rootSp.SetOutcome("canceled")
 			return nil, context.Cause(ctx)
 		}
 	}
@@ -231,6 +277,9 @@ func (c *CacheClient) Fetch(ctx context.Context, baseURL, hash string) (data []b
 	}
 	if c.Key != "" {
 		req.Header.Set(KeyHeader, c.Key)
+	}
+	if tc, ok := otrace.From(ctx); ok {
+		req.Header.Set(otrace.HeaderName, tc.String())
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

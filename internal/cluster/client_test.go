@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"dirsim/internal/coherence"
+	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
 	"dirsim/internal/runner"
 	"dirsim/internal/spec"
 	"dirsim/internal/tracegen"
@@ -321,5 +323,113 @@ func TestCacheClientFetch(t *testing.T) {
 	}
 	if _, _, err := cc.Fetch(ctx, ts.URL, "forbidden"); err == nil {
 		t.Error("non-404 error status did not surface as an error")
+	}
+}
+
+// A hedged request under a tracer yields a complete span tree: the root
+// "cell" span (trace id = cell hash), a canceled primary attempt, a
+// winning hedge attempt — every parent link resolving, no orphans — and
+// the hedge counters account for the outcome. The trace context must
+// also reach the daemons as an X-Dirsim-Trace header.
+func TestRunCellHedgeSpanTree(t *testing.T) {
+	cell := testCell(t, 2_200)
+	hash, err := cell.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mode [2]atomic.Value
+	var gotTrace atomic.Value
+	var servers [2]*httptest.Server
+	for i := range servers {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := r.Header.Get(otrace.HeaderName); h != "" {
+				gotTrace.Store(h)
+			}
+			if mode[i].Load() == "slow" {
+				io.Copy(io.Discard, r.Body)
+				<-r.Context().Done()
+				return
+			}
+			w.Write(doneDoc(t, servers[i].URL))
+		}))
+		defer servers[i].Close()
+	}
+	m := Membership{Peers: []Peer{{Addr: servers[0].URL}, {Addr: servers[1].URL}}}
+	router := NewRouter(m, nil)
+	order := router.Order(hash)
+	mode[order[0]].Store("slow")
+	mode[order[1]].Store("fast")
+
+	fired := make(chan time.Time)
+	close(fired)
+	metrics := obs.NewMetrics()
+	store := otrace.NewStore(64)
+	c := &Client{
+		Membership: m,
+		Router:     router,
+		HedgeDelay: time.Millisecond,
+		After:      func(time.Duration) <-chan time.Time { return fired },
+		Tracer:     otrace.New("sweep", nil, store, metrics),
+		Metrics:    metrics,
+	}
+	if _, err := c.RunCell(context.Background(), cell); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loser's span lands asynchronously after its context dies.
+	deadline := time.Now().Add(5 * time.Second)
+	var spans []otrace.Span
+	for time.Now().Before(deadline) {
+		spans = store.ByTrace(hash)
+		if len(spans) >= 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+
+	byName := map[string]otrace.Span{}
+	ids := map[string]bool{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		ids[s.ID()] = true
+		if s.Trace != hash {
+			t.Errorf("span %s trace = %q, want cell hash %q", s.Name, s.Trace, hash)
+		}
+	}
+	root, ok := byName["cell"]
+	if !ok || root.Parent != "" || root.Outcome != "hedge" {
+		t.Fatalf("root cell span = %+v, want parentless with outcome hedge", root)
+	}
+	prim := byName["attempt-primary"]
+	if prim.Outcome != "canceled" || prim.Peer != servers[order[0]].URL {
+		t.Errorf("primary attempt = %+v, want canceled on owner", prim)
+	}
+	hedge := byName["attempt-hedge"]
+	if hedge.Outcome != "win" || hedge.Peer != servers[order[1]].URL {
+		t.Errorf("hedge attempt = %+v, want win on sibling", hedge)
+	}
+	for _, s := range spans {
+		if s.Parent != "" && !ids[s.Parent] {
+			t.Errorf("orphan span %s: parent %q not in trace", s.Name, s.Parent)
+		}
+	}
+
+	if got, _ := gotTrace.Load().(string); got == "" || !strings.HasPrefix(got, hash+";") {
+		t.Errorf("daemon saw trace header %q, want %q;<span>", got, hash)
+	}
+	for counter, want := range map[string]uint64{
+		"cluster_hedge_fired":      1,
+		"cluster_hedge_win":        1,
+		"cluster_attempt_canceled": 1,
+		"cluster_failover":         0,
+	} {
+		if got := metrics.CounterValue(counter); got != want {
+			t.Errorf("%s = %d, want %d", counter, got, want)
+		}
 	}
 }

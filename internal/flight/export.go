@@ -59,10 +59,13 @@ func WriteNDJSON(w io.Writer, recs ...*Recorder) error {
 	return nil
 }
 
-// chromeEvent is one Chrome trace-event object. The subset used:
+// ChromeEvent is one Chrome trace-event object. The subset used:
 // ph "M" metadata (process_name/thread_name), "X" complete spans,
-// "i" instants with thread scope.
-type chromeEvent struct {
+// "i" instants with thread scope. Exported so internal/otrace can
+// splice fabric spans into the same document (see otrace's
+// WriteChromeTrace) — one Perfetto view spanning HTTP edge →
+// scheduler → protocol events.
+type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Ph    string         `json:"ph"`
 	Ts    uint64         `json:"ts"`
@@ -75,36 +78,35 @@ type chromeEvent struct {
 
 // chromeTrace is the JSON-object form of the Chrome trace format.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace renders the recorders' events in the Chrome
-// trace-event JSON format (load the file in Perfetto or chrome://
-// tracing). Each recorder is one process (pid = job ordinal), each track
-// one thread; ts is the simulated reference ordinal, so per-track
+// ChromeEvents renders the recorders' events as Chrome trace events.
+// Each recorder is one process (pid = job ordinal), each track one
+// thread; ts is the simulated reference ordinal, so per-track
 // timestamps are monotonic by construction. Output is deterministic.
-func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
-	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+func ChromeEvents(recs ...*Recorder) []ChromeEvent {
+	events := []ChromeEvent{}
 	for _, rec := range recs {
 		if rec == nil {
 			continue
 		}
 		pid := rec.Pid()
 		if label := rec.Label(); label != "" {
-			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			events = append(events, ChromeEvent{
 				Name: "process_name", Ph: "M", Pid: pid,
 				Args: map[string]any{"name": label},
 			})
 		}
 		for tid, name := range rec.Tracks() {
-			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			events = append(events, ChromeEvent{
 				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 				Args: map[string]any{"name": name},
 			})
 		}
 		for _, e := range rec.Events() {
-			ce := chromeEvent{Ts: e.Seq, Pid: pid, Tid: int(e.Track)}
+			ce := ChromeEvent{Ts: e.Seq, Pid: pid, Tid: int(e.Track)}
 			switch {
 			case e.Kind == KindSpan:
 				dur := e.Dur
@@ -128,11 +130,26 @@ func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
 				}
 				ce.Args = args
 			}
-			doc.TraceEvents = append(doc.TraceEvents, ce)
+			events = append(events, ce)
 		}
 	}
+	return events
+}
+
+// WriteChromeDoc wraps pre-built events in the Chrome trace-event JSON
+// document form (load the file in Perfetto or chrome://tracing).
+func WriteChromeDoc(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTrace renders the recorders' events in the Chrome
+// trace-event JSON format: ChromeEvents wrapped by WriteChromeDoc.
+func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
+	return WriteChromeDoc(w, ChromeEvents(recs...))
 }
 
 // Write exports recorders in the format implied by the file name:

@@ -2,29 +2,32 @@ package lint
 
 import (
 	"go/types"
+	"sort"
 )
 
 // ObsRingRule flags allocation on the observability hot path: the
-// per-event entry points in internal/flight and internal/obs — Emit,
-// Observe, ObserveN — and every module function reachable from them must
-// not allocate. The flight recorder's contract is that tracing a run
-// costs one store per event and histograms cost three atomic adds; a
-// make/append/new, a slice or map literal, a &composite literal or a
-// closure on that path turns every simulated reference into a heap
-// allocation and silently destroys the <5% tracing-overhead budget the
-// benchmarks enforce.
+// per-event entry points in internal/flight, internal/obs and
+// internal/otrace — Emit, Observe, ObserveN, span Start/Finish — and
+// every module function reachable from them must not allocate. The
+// observability contract is that tracing a run costs one store per
+// event, histograms cost three atomic adds, and a fabric span costs
+// two clock reads and a ring store; a make/append/new, a slice or map
+// literal, a &composite literal or a closure on that path turns every
+// simulated reference into a heap allocation and silently destroys the
+// <5% tracing-overhead budget the benchmarks enforce.
 //
 // Unlike the engine hot path (see EnginePurityRule), the observability
 // path has no growth phase: rings and histogram buckets are fully
 // preallocated, so even amortized (guarded) allocation is a finding.
 type ObsRingRule struct{}
 
-// obsRingPkgs are the module-relative packages whose hot paths the rule
-// guards.
-var obsRingPkgs = []string{"internal/flight", "internal/obs"}
-
-// obsRingRoots are the hot-path entry points, by function name.
-var obsRingRoots = map[string]bool{"Emit": true, "Observe": true, "ObserveN": true}
+// obsRingRoots maps each guarded module-relative package to its
+// hot-path entry points, by declared function (or method) name.
+var obsRingRoots = map[string]map[string]bool{
+	"internal/flight": {"Emit": true},
+	"internal/obs":    {"Observe": true, "ObserveN": true},
+	"internal/otrace": {"Start": true, "Finish": true},
+}
 
 // Name implements Rule.
 func (ObsRingRule) Name() string { return "obsring" }
@@ -35,17 +38,22 @@ func (ObsRingRule) Doc() string {
 }
 
 // CheckModule implements ModuleRule: walk the call graph from every
-// Emit/Observe/ObserveN declared in the guarded packages and flag each
-// allocation fact in a reachable function.
+// root declared in the guarded packages and flag each allocation fact
+// in a reachable function.
 func (ObsRingRule) CheckModule(m *Module) []Finding {
+	pkgs := make([]string, 0, len(obsRingRoots))
+	for rel := range obsRingRoots {
+		pkgs = append(pkgs, rel)
+	}
+	sort.Strings(pkgs)
 	var roots []*types.Func
-	for _, rel := range obsRingPkgs {
+	for _, rel := range pkgs {
 		p := m.Package(rel)
 		if p == nil {
 			continue
 		}
 		for _, fi := range m.Funcs() {
-			if fi.Pkg == p && obsRingRoots[fi.Decl.Name.Name] {
+			if fi.Pkg == p && obsRingRoots[rel][fi.Decl.Name.Name] {
 				roots = append(roots, fi.Fn)
 			}
 		}

@@ -27,8 +27,8 @@ func (r *Ring) Emit(e Event) {
 }
 
 func TestObsRingRuleFollowsSamePackageCallees(t *testing.T) {
-	// Emit itself is clean, but a helper it calls allocates — the rule
-	// must walk the call graph.
+	// Observe itself is clean, but a helper it calls allocates — the
+	// rule must walk the call graph.
 	fire := `package fix
 type Ring struct {
 	buf []uint64
@@ -37,7 +37,7 @@ type Ring struct {
 func (r *Ring) grow() {
 	r.buf = make([]uint64, 2*len(r.buf))
 }
-func (r *Ring) Emit(v uint64) {
+func (r *Ring) Observe(v uint64) {
 	if r.n == uint64(len(r.buf)) {
 		r.grow()
 	}
@@ -73,9 +73,43 @@ func (h *H) Observe(v uint64) {
 	wantFindings(t, fs, ObsRingRule{}, 5)
 }
 
+func TestObsRingRuleGuardsOtraceSpans(t *testing.T) {
+	// Span Start/Finish are per-request hot paths: an allocating Finish
+	// would charge every fabric span a heap object.
+	fire := `package fix
+type Span struct{ Name string }
+type Store struct {
+	buf []Span
+	n   uint64
+}
+type Active struct{ st *Store; s Span }
+func (a Active) Finish() {
+	a.st.buf = append(a.st.buf, a.s) // allocation: ring must be preallocated
+	a.st.n++
+}
+`
+	fs := lintSrc(t, "dirsim/internal/otrace", fire, nil, ObsRingRule{})
+	wantFindings(t, fs, ObsRingRule{}, 1)
+	if !strings.Contains(fs[0].Msg, "Finish") {
+		t.Errorf("finding should name Finish, got %v", fs[0])
+	}
+}
+
+func TestObsRingRuleRootsArePerPackage(t *testing.T) {
+	// Emit is a hot-path root in internal/flight only; the same name in
+	// another guarded package is not a root there.
+	alloc := `package fix
+type Ring struct{ log []uint64 }
+func (r *Ring) Emit(v uint64) { r.log = append(r.log, v) }
+`
+	wantFindings(t, lintSrc(t, "dirsim/internal/obs", alloc, nil, ObsRingRule{}), ObsRingRule{}, 0)
+	wantFindings(t, lintSrc(t, "dirsim/internal/otrace", alloc, nil, ObsRingRule{}), ObsRingRule{}, 0)
+	wantFindings(t, lintSrc(t, "dirsim/internal/flight", alloc, nil, ObsRingRule{}), ObsRingRule{}, 1)
+}
+
 func TestObsRingRuleSilent(t *testing.T) {
 	// Cold-path allocation (setup, export) and hot paths that only store
-	// are fine; so is any code outside internal/flight and internal/obs.
+	// are fine; so is any code outside the guarded packages.
 	clean := `package fix
 type Event struct{ Seq uint64 }
 type Ring struct {

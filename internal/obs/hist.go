@@ -24,6 +24,14 @@ const (
 	// Per-tenant variants append "_tenant_<name>" (sanitized), as does
 	// HistQueueDepth — fairness under contention is read off these.
 	HistAdmitWait = "admit_wait_ms"
+	// HistSpanMicros is otrace span duration in microseconds (logical
+	// ticks/1000 when the tracer runs without a wall clock), one shared
+	// distribution across all span kinds per process.
+	HistSpanMicros = "span_us"
+	// HistPeerFetch is peer cache-fetch latency in milliseconds.
+	// Per-peer variants append "_peer_<addr>" (sanitized) — slow or
+	// flapping peers are read off these.
+	HistPeerFetch = "peer_fetch_ms"
 )
 
 // NumHistBuckets is the number of log2 buckets: bucket 0 holds the value

@@ -14,10 +14,23 @@ import (
 // histograms render as the standard cumulative-bucket triplet
 // (_bucket{le=...}, _sum, _count) with log2 upper bounds.
 
-// promCounter writes one un-labelled counter with HELP and TYPE lines.
-func promCounter(w io.Writer, name, help string, v uint64) error {
-	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	return err
+// lset joins preformatted name="value" label pairs into a {..} label
+// set, eliding empty pairs; the empty set renders as no braces at all.
+func lset(pairs ...string) string {
+	var b strings.Builder
+	for _, p := range pairs {
+		if p == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return "{" + b.String() + "}"
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -25,6 +38,14 @@ func promCounter(w io.Writer, name, help string, v uint64) error {
 // and histograms are already name-sorted, and empty log2 buckets are
 // elided (cumulative values make that lossless; +Inf is always present).
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	return WritePrometheusLabeled(w, s, "")
+}
+
+// WritePrometheusLabeled renders the snapshot with an extra
+// preformatted label pair (e.g. `peer="host:8080"`) on every sample —
+// how /v1/cluster/metrics stitches per-peer snapshots into one fleet
+// exposition. An empty label renders the plain per-process form.
+func WritePrometheusLabeled(w io.Writer, s Snapshot, label string) error {
 	type counter struct {
 		name, help string
 		v          uint64
@@ -37,18 +58,22 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		{"dirsim_job_failures_total", "Jobs failed after exhausting retries.", s.Failures},
 		{"dirsim_job_panics_total", "Panics recovered into job errors.", s.Panics},
 	} {
-		if err := promCounter(w, c.name, c.help, c.v); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s%s %d\n",
+			c.name, c.help, c.name, c.name, lset(label), c.v); err != nil {
 			return err
 		}
 	}
 	for _, c := range s.Counters {
-		if err := promCounter(w, "dirsim_"+c.Name+"_total", "Named counter "+c.Name+".", c.Value); err != nil {
+		name := "dirsim_" + c.Name + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s Named counter %s.\n# TYPE %s counter\n%s%s %d\n",
+			name, c.Name, name, name, lset(label), c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
 		name := "dirsim_" + g.Name
-		if _, err := fmt.Fprintf(w, "# HELP %s Named gauge %s.\n# TYPE %s gauge\n%s %d\n", name, g.Name, name, name, g.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Named gauge %s.\n# TYPE %s gauge\n%s%s %d\n",
+			name, g.Name, name, name, lset(label), g.Value); err != nil {
 			return err
 		}
 	}
@@ -66,7 +91,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 				return err
 			}
 			for _, e := range s.Engines {
-				if _, err := fmt.Fprintf(w, "%s{scheme=%q} %d\n", l.name, e.Scheme, l.v(e)); err != nil {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", l.name, lset(label, fmt.Sprintf("scheme=%q", e.Scheme)), l.v(e)); err != nil {
 					return err
 				}
 			}
@@ -83,12 +108,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			if n == 0 || i == len(h.Buckets)-1 {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketUpper(i), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, lset(label, fmt.Sprintf("le=\"%d\"", BucketUpper(i))), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-			name, h.Count, name, h.Sum, name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %d\n%s_count%s %d\n",
+			name, lset(label, `le="+Inf"`), h.Count,
+			name, lset(label), h.Sum,
+			name, lset(label), h.Count); err != nil {
 			return err
 		}
 	}
@@ -109,12 +136,19 @@ func LintPrometheus(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	types := map[string]string{}
 	type histState struct {
-		lastCum  uint64
 		sawInf   bool
 		sawSum   bool
 		sawCount bool
 	}
+	// Bucket cumulativeness and the +Inf terminator are per series (one
+	// histogram family fans out into one series per label set in the
+	// federated exposition), keyed by family plus the non-le labels.
+	type seriesState struct {
+		lastCum uint64
+		sawInf  bool
+	}
 	hists := map[string]*histState{}
+	series := map[string]*seriesState{}
 	family := func(name string) string {
 		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 			base := strings.TrimSuffix(name, suffix)
@@ -174,11 +208,24 @@ func LintPrometheus(r io.Reader) error {
 				if err != nil {
 					return fmt.Errorf("line %d: bucket count %q: %v", line, m[3], err)
 				}
-				if cum < h.lastCum {
-					return fmt.Errorf("line %d: cumulative bucket count decreased (%d after %d)", line, cum, h.lastCum)
+				key := fam + "|" + labelsWithout(m[2], "le")
+				st, ok := series[key]
+				if !ok {
+					st = &seriesState{}
+					series[key] = st
 				}
-				h.lastCum = cum
+				if st.sawInf {
+					// A fresh bucket run for the same series would be
+					// two expositions of one series; treat the +Inf
+					// bucket as the series terminator and reset.
+					st.lastCum, st.sawInf = 0, false
+				}
+				if cum < st.lastCum {
+					return fmt.Errorf("line %d: cumulative bucket count decreased (%d after %d)", line, cum, st.lastCum)
+				}
+				st.lastCum = cum
 				if le == "+Inf" {
+					st.sawInf = true
 					h.sawInf = true
 				}
 			case strings.HasSuffix(name, "_sum"):
@@ -202,7 +249,31 @@ func LintPrometheus(r io.Reader) error {
 			return fmt.Errorf("histogram %s is missing _sum or _count", name)
 		}
 	}
+	for key, st := range series {
+		if !st.sawInf {
+			return fmt.Errorf("histogram series %s has no +Inf bucket", key)
+		}
+	}
 	return nil
+}
+
+// labelsWithout returns the {k="v",...} set minus one key, braces
+// stripped, pairs in original order — a series identity key for the
+// validator. (Label values with embedded commas would split wrong;
+// dirsim expositions never emit those.)
+func labelsWithout(labels, key string) string {
+	labels = strings.Trim(labels, "{}")
+	if labels == "" {
+		return ""
+	}
+	var kept []string
+	for _, kv := range strings.Split(labels, ",") {
+		if k, _, ok := strings.Cut(kv, "="); ok && k == key {
+			continue
+		}
+		kept = append(kept, kv)
+	}
+	return strings.Join(kept, ",")
 }
 
 // labelValue extracts one label's unquoted value from a {k="v",...}

@@ -1,0 +1,207 @@
+package otrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dirsim/internal/flight"
+)
+
+// Export formats. Span sets are sorted canonically by (Service, Seq)
+// before rendering, so the output is a deterministic function of the
+// set regardless of finish order or merge order — the property
+// cmd/tracecheck and the cluster smoke rely on.
+
+// ChromePidBase is the pid of the first otrace service in a spliced
+// Chrome document. Flight recorders use the job ordinal as pid; fabric
+// services start here so the two ranges never collide.
+const ChromePidBase = 1000
+
+// Sort orders spans canonically: by service, then per-process seq.
+func Sort(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Service != spans[j].Service {
+			return spans[i].Service < spans[j].Service
+		}
+		return spans[i].Seq < spans[j].Seq
+	})
+}
+
+// Dedup sorts spans and drops duplicate (Service, Seq) entries — the
+// merge step for a fleet trace assembled from overlapping per-peer
+// fetches.
+func Dedup(spans []Span) []Span {
+	Sort(spans)
+	out := spans[:0]
+	for i, s := range spans {
+		if i > 0 && s.Service == out[len(out)-1].Service && s.Seq == out[len(out)-1].Seq {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// row is the NDJSON wire form of one span. kind and seq (monotonic per
+// pid/tid track) keep the rows valid under tracecheck's generic ndjson
+// contract; the rest is the span itself.
+type row struct {
+	Kind    string `json:"kind"`
+	Pid     int    `json:"pid"`
+	Tid     int    `json:"tid"`
+	Seq     uint64 `json:"seq"`
+	Trace   string `json:"trace"`
+	ID      string `json:"id"`
+	Parent  string `json:"parent,omitempty"`
+	Service string `json:"service"`
+	Name    string `json:"name"`
+	Peer    string `json:"peer,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	Start   int64  `json:"start"`
+	End     int64  `json:"end"`
+}
+
+// WriteNDJSON renders spans as newline-delimited JSON, one span per
+// line, in canonical order. Each service is one pid (in service name
+// order), so seq is non-decreasing per (pid, tid) track.
+func WriteNDJSON(w io.Writer, spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	Sort(sorted)
+	enc := json.NewEncoder(w)
+	pid := ChromePidBase - 1
+	for i, s := range sorted {
+		if i == 0 || s.Service != sorted[i-1].Service {
+			pid++
+		}
+		if err := enc.Encode(row{
+			Kind: "span", Pid: pid, Tid: 0, Seq: s.Seq,
+			Trace: s.Trace, ID: s.ID(), Parent: s.Parent,
+			Service: s.Service, Name: s.Name, Peer: s.Peer,
+			Outcome: s.Outcome, Start: s.Start, End: s.End,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNDJSON parses a WriteNDJSON stream back into spans — how
+// cmd/sweep ingests the per-daemon spans served by /v1/trace/{id} when
+// assembling a fleet trace. Lines that are not span rows are an error.
+func ReadNDJSON(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rw row
+		if err := json.Unmarshal(sc.Bytes(), &rw); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if rw.Kind != "span" {
+			return nil, fmt.Errorf("line %d: kind %q, want span", line, rw.Kind)
+		}
+		if rw.Service == "" || rw.Name == "" {
+			return nil, fmt.Errorf("line %d: span missing service or name", line)
+		}
+		spans = append(spans, Span{
+			Trace: rw.Trace, Service: rw.Service, Seq: rw.Seq,
+			Parent: rw.Parent, Name: rw.Name, Peer: rw.Peer,
+			Outcome: rw.Outcome, Start: rw.Start, End: rw.End,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// ChromeEvents renders spans as Chrome trace events: one pid per
+// service (ChromePidBase + service ordinal), ph "X" complete spans with
+// trace/id/parent/peer/outcome args. Timestamps are rebased to the
+// earliest span start so the view begins at t=0 while cross-service
+// alignment (all daemons share a wall clock) is preserved; within a
+// service, events are emitted in start order so per-track ts is
+// monotonic.
+func ChromeEvents(spans []Span) []flight.ChromeEvent {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Service != sorted[j].Service {
+			return sorted[i].Service < sorted[j].Service
+		}
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+	base := sorted[0].Start
+	for _, s := range sorted {
+		if s.Start < base {
+			base = s.Start
+		}
+	}
+	var events []flight.ChromeEvent
+	pid := ChromePidBase - 1
+	for i, s := range sorted {
+		if i == 0 || s.Service != sorted[i-1].Service {
+			pid++
+			events = append(events, flight.ChromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": s.Service},
+			})
+			events = append(events, flight.ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": "spans"},
+			})
+		}
+		durMicros := uint64(s.End-s.Start) / 1000
+		if durMicros > uint64(^uint32(0)) {
+			durMicros = uint64(^uint32(0))
+		}
+		dur := uint32(durMicros)
+		args := map[string]any{"trace": s.Trace, "id": s.ID()}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		if s.Peer != "" {
+			args["peer"] = s.Peer
+		}
+		if s.Outcome != "" {
+			args["outcome"] = s.Outcome
+		}
+		events = append(events, flight.ChromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  uint64(s.Start-base) / 1000,
+			Dur: &dur, Pid: pid, Tid: 0, Args: args,
+		})
+	}
+	return events
+}
+
+// WriteChromeTrace writes spans — and, optionally, flight recorders
+// spliced into the same document — as one Chrome trace-event file.
+func WriteChromeTrace(w io.Writer, spans []Span, recs ...*flight.Recorder) error {
+	events := flight.ChromeEvents(recs...)
+	events = append(events, ChromeEvents(spans)...)
+	return flight.WriteChromeDoc(w, events)
+}
+
+// Write exports spans in the format implied by the file name, following
+// the same convention as flight.Write: ".ndjson"/".jsonl" for NDJSON,
+// the Chrome trace-event form otherwise.
+func Write(w io.Writer, name string, spans []Span) error {
+	if flight.FormatForPath(name) == "ndjson" {
+		return WriteNDJSON(w, spans)
+	}
+	return WriteChromeTrace(w, spans)
+}

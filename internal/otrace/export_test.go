@@ -1,0 +1,146 @@
+package otrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dirsim/internal/flight"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Trace: "t1", Service: "sweep", Seq: 1, Name: "cell", Start: 100, End: 900},
+		{Trace: "t1", Service: "dirsimd:a", Seq: 1, Parent: "sweep#1", Name: "job", Outcome: "done", Start: 200, End: 800},
+		{Trace: "t1", Service: "dirsimd:a", Seq: 2, Parent: "dirsimd:a#1", Name: "peer-fetch", Peer: "b:1", Outcome: "hit", Start: 300, End: 400},
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	spans := sampleSpans()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]Span(nil), spans...)
+	Sort(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("span[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNDJSONDeterministicAcrossOrder(t *testing.T) {
+	spans := sampleSpans()
+	var a, b bytes.Buffer
+	if err := WriteNDJSON(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	reversed := []Span{spans[2], spans[0], spans[1]}
+	if err := WriteNDJSON(&b, reversed); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("NDJSON output depends on input order")
+	}
+}
+
+func TestReadNDJSONRejectsNonSpan(t *testing.T) {
+	if _, err := ReadNDJSON(strings.NewReader(`{"kind":"event","seq":1}` + "\n")); err == nil {
+		t.Error("non-span row accepted")
+	}
+	if _, err := ReadNDJSON(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	spans := append(sampleSpans(), sampleSpans()...)
+	got := Dedup(spans)
+	if len(got) != 3 {
+		t.Fatalf("Dedup kept %d spans, want 3", len(got))
+	}
+}
+
+func TestChromeSpliceWithFlight(t *testing.T) {
+	rec := flight.New(flight.Options{Spans: true, Sample: 1, Pid: 0, Label: "job-0"})
+	track := rec.AddTrack("driver")
+	rec.Span(track, "simulate", 0, 100)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans(), rec); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]int{}
+	type trackKey struct{ pid, tid int }
+	lastTs := map[trackKey]uint64{}
+	sawSpan := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			procs[e.Args["name"].(string)] = e.Pid
+			continue
+		}
+		if e.Ph == "M" {
+			continue
+		}
+		k := trackKey{e.Pid, e.Tid}
+		if prev, ok := lastTs[k]; ok && e.Ts < prev {
+			t.Errorf("track %v: ts %d after %d", k, e.Ts, prev)
+		}
+		lastTs[k] = e.Ts
+		if e.Ph == "X" {
+			sawSpan[e.Name] = true
+		}
+	}
+	for _, svc := range []string{"job-0", "sweep", "dirsimd:a"} {
+		if _, ok := procs[svc]; !ok {
+			t.Errorf("missing process %q in %v", svc, procs)
+		}
+	}
+	if procs["sweep"] < ChromePidBase || procs["dirsimd:a"] < ChromePidBase {
+		t.Errorf("otrace pids %v below ChromePidBase — may collide with flight job pids", procs)
+	}
+	for _, name := range []string{"simulate", "cell", "job", "peer-fetch"} {
+		if !sawSpan[name] {
+			t.Errorf("missing span %q", name)
+		}
+	}
+}
+
+func TestWriteByExtension(t *testing.T) {
+	var nd, ch bytes.Buffer
+	if err := Write(&nd, "trace.ndjson", sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&ch, "trace.json", sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nd.String(), `"kind":"span"`) {
+		t.Error("ndjson path did not write span rows")
+	}
+	if !strings.Contains(ch.String(), "traceEvents") {
+		t.Error("chrome path did not write a trace document")
+	}
+}

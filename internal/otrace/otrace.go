@@ -1,0 +1,215 @@
+// Package otrace is a deterministic, clock-injected request-scoped
+// tracing layer for the dirsimd fleet. Where internal/flight records
+// protocol events inside one engine run, otrace records the service
+// fabric around it: admission, queueing, chunk execution, hedged
+// attempts, peer cache fetches, journal replay.
+//
+// Determinism contract: a trace id is the spec content hash of the job
+// or cell it follows (never random), and span ids are derived from a
+// per-process atomic counter — "service#seq" — so two runs of the same
+// workload differ only in timestamps. Like every internal package,
+// otrace never reads the wall clock itself (the nondeterm lint rule
+// bans time.Now under internal/): the clock arrives as an injected
+// NowNanos from the cmd layer, and a nil clock degrades to a logical
+// tick counter so unit tests get fully reproducible spans.
+//
+// The recording hot path — Tracer.Start and Active.Finish — is
+// allocation-free and guarded by the obsring lint rule alongside
+// flight.Emit and obs.Observe: Active is returned by value, the span
+// ring is preallocated, and span id strings are only materialized on
+// the cold paths (Context, export).
+package otrace
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"dirsim/internal/obs"
+)
+
+// HeaderName is the HTTP header that carries a trace context between
+// processes: "<trace>" or "<trace>;<parent-span>".
+const HeaderName = "X-Dirsim-Trace"
+
+// Context identifies a position in a trace: which trace, and which span
+// is the parent of whatever happens next. The zero Context is "no
+// trace"; spans started under it still record (with an empty trace id)
+// but nothing links to them.
+type Context struct {
+	// Trace is the trace id — by convention the spec content hash of
+	// the job or cell being followed.
+	Trace string
+	// Span is the parent span id ("service#seq"), empty at the root.
+	Span string
+}
+
+// Root returns the context that starts a fresh trace with the given id.
+func Root(trace string) Context { return Context{Trace: trace} }
+
+// String renders the context in the header wire form.
+func (c Context) String() string {
+	if c.Span == "" {
+		return c.Trace
+	}
+	return c.Trace + ";" + c.Span
+}
+
+// ParseHeader decodes a header value produced by String. ok is false
+// for an empty or malformed value (more than one separator).
+func ParseHeader(v string) (Context, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return Context{}, false
+	}
+	trace, span, _ := strings.Cut(v, ";")
+	if trace == "" || strings.Contains(span, ";") {
+		return Context{}, false
+	}
+	return Context{Trace: trace, Span: strings.TrimSpace(span)}, true
+}
+
+// Span is one finished span. Spans are plain values: the store copies
+// them in and out, and the export layer sorts them canonically by
+// (Service, Seq) so output is a deterministic function of the set.
+type Span struct {
+	// Trace is the trace id this span belongs to.
+	Trace string `json:"trace"`
+	// Service names the recording process (e.g. "dirsimd:host:port").
+	Service string `json:"service"`
+	// Seq is the span's ordinal from the per-process counter; together
+	// with Service it forms the span id.
+	Seq uint64 `json:"seq"`
+	// Parent is the parent span id ("service#seq"), empty for roots.
+	Parent string `json:"parent,omitempty"`
+	// Name is the span kind — see DESIGN.md §12 for the taxonomy.
+	Name string `json:"name"`
+	// Peer is the remote peer address, for spans that talk to one.
+	Peer string `json:"peer,omitempty"`
+	// Outcome classifies how the span ended (ok, error, canceled,
+	// hit, miss, ...); empty means unremarkable completion.
+	Outcome string `json:"outcome,omitempty"`
+	// Start and End are NowNanos stamps (logical ticks under a nil
+	// clock). End >= Start always.
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// ID returns the span id, "service#seq".
+func (s Span) ID() string {
+	return s.Service + "#" + strconv.FormatUint(s.Seq, 10)
+}
+
+// Tracer mints spans for one process. The zero value and nil are inert:
+// every method on a nil *Tracer (and on the Active it returns) is a
+// no-op, so call sites never need a guard.
+type Tracer struct {
+	service string
+	nowFn   func() int64
+	store   *Store
+	hist    *obs.Histogram
+
+	seq  atomic.Uint64
+	tick atomic.Int64
+}
+
+// New returns a tracer for the named service. nowNanos may be nil
+// (logical ticks); store may be nil (spans are timed and counted but
+// not retained); m may be nil (no span-duration histogram). The
+// histogram is resolved once here so Finish never touches the metrics
+// map on the hot path.
+func New(service string, nowNanos func() int64, store *Store, m *obs.Metrics) *Tracer {
+	t := &Tracer{service: service, nowFn: nowNanos, store: store}
+	if m != nil {
+		t.hist = m.Histogram(obs.HistSpanMicros)
+	}
+	return t
+}
+
+// Service returns the tracer's service name ("" for nil).
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// Store returns the tracer's span store (nil for nil).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// now reads the injected clock, or advances the logical tick.
+func (t *Tracer) now() int64 {
+	if t.nowFn != nil {
+		return t.nowFn()
+	}
+	return t.tick.Add(1)
+}
+
+// Start opens a span under parent. The returned Active is a value —
+// starting a span allocates nothing — and must be finished exactly once
+// via Finish (extra calls are no-ops).
+func (t *Tracer) Start(parent Context, name string) Active {
+	if t == nil {
+		return Active{}
+	}
+	now := t.now()
+	return Active{t: t, s: Span{
+		Trace:   parent.Trace,
+		Service: t.service,
+		Seq:     t.seq.Add(1),
+		Parent:  parent.Span,
+		Name:    name,
+		Start:   now,
+		End:     now,
+	}}
+}
+
+// Active is an in-progress span. The zero value is inert.
+type Active struct {
+	t *Tracer
+	s Span
+}
+
+// SetPeer records the remote peer this span talked to.
+func (a *Active) SetPeer(peer string) { a.s.Peer = peer }
+
+// SetOutcome records how the span ended.
+func (a *Active) SetOutcome(o string) { a.s.Outcome = o }
+
+// Trace returns the span's trace id ("" when inert).
+func (a *Active) Trace() string { return a.s.Trace }
+
+// Context returns the context for children of this span. This is the
+// cold path that materializes the span id string; it is not reachable
+// from the obsring-guarded Start/Finish entry points.
+func (a *Active) Context() Context {
+	if a.t == nil {
+		return Context{Trace: a.s.Trace}
+	}
+	return Context{Trace: a.s.Trace, Span: a.s.ID()}
+}
+
+// Finish stamps the end time, feeds the duration histogram and commits
+// the span to the store. Idempotent: only the first call records.
+func (a *Active) Finish() {
+	t := a.t
+	if t == nil {
+		return
+	}
+	a.t = nil
+	a.s.End = t.now()
+	if a.s.End < a.s.Start {
+		a.s.End = a.s.Start
+	}
+	if t.hist != nil {
+		t.hist.Observe(uint64(a.s.End-a.s.Start) / 1000)
+	}
+	if t.store != nil {
+		t.store.Add(a.s)
+	}
+}

@@ -1,0 +1,142 @@
+package otrace
+
+import (
+	"context"
+	"testing"
+
+	"dirsim/internal/obs"
+)
+
+func TestContextHeaderRoundTrip(t *testing.T) {
+	cases := []Context{
+		{Trace: "abc123"},
+		{Trace: "abc123", Span: "dirsimd:h1#42"},
+	}
+	for _, tc := range cases {
+		got, ok := ParseHeader(tc.String())
+		if !ok || got != tc {
+			t.Errorf("ParseHeader(%q) = %+v, %v; want %+v", tc.String(), got, ok, tc)
+		}
+	}
+	for _, bad := range []string{"", "   ", ";span", "a;b;c"} {
+		if got, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) = %+v, want not-ok", bad, got)
+		}
+	}
+}
+
+func TestTracerLogicalClockDeterminism(t *testing.T) {
+	m := obs.NewMetrics()
+	st := NewStore(16)
+	tr := New("svc", nil, st, m)
+
+	root := tr.Start(Root("trace-1"), "cell")
+	child := tr.Start(root.Context(), "attempt")
+	child.SetPeer("peer-a")
+	child.SetOutcome("ok")
+	child.Finish()
+	root.Finish()
+	root.Finish() // idempotent: must not double-record
+
+	spans := st.ByTrace("trace-1")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	// Finish order: child first.
+	if spans[0].ID() != "svc#2" || spans[1].ID() != "svc#1" {
+		t.Errorf("span ids = %q, %q; want svc#2, svc#1", spans[0].ID(), spans[1].ID())
+	}
+	if spans[0].Parent != "svc#1" {
+		t.Errorf("child parent = %q, want svc#1", spans[0].Parent)
+	}
+	if spans[1].Parent != "" {
+		t.Errorf("root parent = %q, want empty", spans[1].Parent)
+	}
+	if spans[0].Peer != "peer-a" || spans[0].Outcome != "ok" {
+		t.Errorf("child peer/outcome = %q/%q", spans[0].Peer, spans[0].Outcome)
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Errorf("span %s: end %d < start %d", s.ID(), s.End, s.Start)
+		}
+	}
+	if n := m.Histogram(obs.HistSpanMicros).Snapshot().Count; n != 2 {
+		t.Errorf("span_us count = %d, want 2", n)
+	}
+}
+
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(Root("x"), "noop")
+	sp.SetPeer("p")
+	sp.SetOutcome("o")
+	sp.Finish()
+	if got := sp.Context(); got.Span != "" {
+		t.Errorf("nil tracer Context().Span = %q, want empty", got.Span)
+	}
+	if tr.Service() != "" || tr.Store() != nil {
+		t.Error("nil tracer accessors not inert")
+	}
+}
+
+func TestStartFinishAllocationFree(t *testing.T) {
+	m := obs.NewMetrics()
+	tr := New("svc", nil, NewStore(1024), m)
+	root := Root("t")
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.Start(root, "hot")
+		sp.SetOutcome("ok")
+		sp.Finish()
+	})
+	if allocs != 0 {
+		t.Errorf("Start/Finish allocates %.1f objects per span, want 0", allocs)
+	}
+}
+
+func TestStoreRingWrap(t *testing.T) {
+	st := NewStore(4)
+	tr := New("svc", nil, st, nil)
+	for i := 0; i < 6; i++ {
+		sp := tr.Start(Root("t"), "s")
+		sp.Finish()
+	}
+	if st.Added() != 6 {
+		t.Errorf("Added = %d, want 6", st.Added())
+	}
+	spans := st.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d, want 4", len(spans))
+	}
+	// Oldest first: seqs 3,4,5,6 survive.
+	for i, s := range spans {
+		if want := uint64(i + 3); s.Seq != want {
+			t.Errorf("span[%d].Seq = %d, want %d", i, s.Seq, want)
+		}
+	}
+}
+
+func TestInjectedClock(t *testing.T) {
+	now := int64(1000)
+	tr := New("svc", func() int64 { return now }, NewStore(4), nil)
+	sp := tr.Start(Root("t"), "timed")
+	now = 5000
+	sp.Finish()
+	got := tr.Store().Spans()
+	if len(got) != 1 || got[0].Start != 1000 || got[0].End != 5000 {
+		t.Fatalf("span = %+v, want start 1000 end 5000", got)
+	}
+}
+
+func TestCtxPropagation(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := From(ctx); ok {
+		t.Error("empty ctx should have no trace context")
+	}
+	tc := Context{Trace: "t1", Span: "svc#9"}
+	if got, ok := From(With(ctx, tc)); !ok || got != tc {
+		t.Errorf("From(With(...)) = %+v, %v; want %+v", got, ok, tc)
+	}
+	if _, ok := From(With(ctx, Context{})); ok {
+		t.Error("empty trace id should read as absent")
+	}
+}

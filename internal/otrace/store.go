@@ -1,0 +1,89 @@
+package otrace
+
+import "sync"
+
+// DefaultStoreSpans is the span capacity NewStore uses for a
+// non-positive request: enough for thousands of cells' worth of fabric
+// spans while bounding a daemon's tracing memory to a few megabytes.
+const DefaultStoreSpans = 1 << 14
+
+// Store retains finished spans in a preallocated ring: Add never
+// allocates (the obsring lint rule holds it to that), and once the ring
+// wraps the oldest spans are overwritten. Lookups scan linearly — the
+// ring is small and reads are cold (trace export endpoints).
+type Store struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	n    uint64 // total spans ever added
+}
+
+// NewStore returns a store retaining up to capacity spans
+// (DefaultStoreSpans when capacity <= 0).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreSpans
+	}
+	return &Store{buf: make([]Span, capacity)}
+}
+
+// Add commits one finished span, overwriting the oldest if full.
+func (st *Store) Add(s Span) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.buf[st.next] = s
+	st.next++
+	if st.next == len(st.buf) {
+		st.next = 0
+	}
+	st.n++
+	st.mu.Unlock()
+}
+
+// Added returns the total number of spans ever added (including any
+// the ring has since overwritten).
+func (st *Store) Added() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.n
+}
+
+// Spans copies out the retained spans, oldest first.
+func (st *Store) Spans() []Span {
+	return st.filter(func(Span) bool { return true })
+}
+
+// ByTrace copies out the retained spans of one trace, oldest first.
+func (st *Store) ByTrace(trace string) []Span {
+	return st.filter(func(s Span) bool { return s.Trace == trace })
+}
+
+// filter copies out retained spans matching keep, in ring (finish)
+// order, oldest first.
+func (st *Store) filter(keep func(Span) bool) []Span {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	size := len(st.buf)
+	retained := int(st.n)
+	start := 0
+	if st.n >= uint64(size) {
+		retained = size
+		start = st.next
+	}
+	var out []Span
+	for i := 0; i < retained; i++ {
+		s := st.buf[(start+i)%size]
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"dirsim/internal/otrace"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
 	"dirsim/internal/spec"
@@ -122,6 +123,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 	}
 	if c.APIKey != "" {
 		hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	if tc, ok := otrace.From(ctx); ok {
+		hreq.Header.Set(otrace.HeaderName, tc.String())
 	}
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dirsim/internal/cluster"
+	"dirsim/internal/otrace"
 )
 
 // clusterPair boots two clustered daemons that know each other (shared
@@ -365,7 +366,7 @@ func TestPeerFetchRejectsCorruptDoc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.peerFetchCell(context.Background(), strings.Repeat("ab", 32)); ok {
+	if _, ok := s.peerFetchCell(context.Background(), otrace.Context{}, strings.Repeat("ab", 32)); ok {
 		t.Fatal("unverifiable peer document accepted")
 	}
 	if v := s.metrics.CounterValue("cluster_peer_fetch_invalid"); v == 0 {

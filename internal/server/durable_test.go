@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"dirsim/internal/otrace"
 	"dirsim/internal/spec"
 )
 
@@ -36,7 +37,7 @@ func adoptWithoutExecutors(t *testing.T, s *Server, req spec.Request) string {
 	s.recovering = false
 	s.baseCtx = context.Background()
 	s.mu.Unlock()
-	j, code, err := s.submit(req, s.ring[0], classBatch)
+	j, code, err := s.submit(req, s.ring[0], classBatch, otrace.Context{})
 	if err != nil || code != http.StatusAccepted {
 		t.Fatalf("submit: %d, %v", code, err)
 	}

@@ -1,0 +1,458 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dirsim/internal/cluster"
+	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
+	"dirsim/internal/spec"
+)
+
+// tracedClusterPair boots two clustered daemons like clusterPair, each
+// with its own tracer (services "dirsimd:a" and "dirsimd:b") so tests
+// can follow one trace across the peer cache.
+func tracedClusterPair(t *testing.T, key string) (s1, s2 *Server, ts1, ts2 *httptest.Server) {
+	t.Helper()
+	u1 := httptest.NewUnstartedServer(nil)
+	u2 := httptest.NewUnstartedServer(nil)
+	addr1 := u1.Listener.Addr().String()
+	addr2 := u2.Listener.Addr().String()
+	mem := cluster.Membership{Key: key, Peers: []cluster.Peer{
+		{Addr: "http://" + addr1},
+		{Addr: "http://" + addr2},
+	}}
+	build := func(self, service string, ts *httptest.Server) *Server {
+		m := obs.NewMetrics()
+		s, err := New(Config{
+			Workers: 2, Executors: 2,
+			Metrics:         m,
+			Tracer:          otrace.New(service, nil, otrace.NewStore(0), m),
+			ClusterSource:   cluster.StaticSource(mem),
+			ClusterSelfAddr: self,
+			ClusterHTTP:     &http.Client{Timeout: 5 * time.Second},
+			ClusterHealth:   cluster.NewHealth(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		s.Start(ctx)
+		ts.Config.Handler = s.Handler()
+		ts.Start()
+		t.Cleanup(func() {
+			ts.Close()
+			dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer dcancel()
+			if err := s.Drain(dctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			cancel()
+		})
+		return s
+	}
+	return build(addr1, "dirsimd:a", u1), build(addr2, "dirsimd:b", u2), u1, u2
+}
+
+// postWaitTraced submits with wait=1 under an explicit trace context.
+func postWaitTraced(t *testing.T, ts *httptest.Server, body []byte, trace string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(otrace.HeaderName, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// spanByName returns the first span with the given name, or fails.
+func spanByName(t *testing.T, spans []otrace.Span, name string) otrace.Span {
+	t.Helper()
+	for _, s := range spans {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no %q span among %d spans", name, len(spans))
+	return otrace.Span{}
+}
+
+// A trace context submitted to one daemon crosses the peer cache to the
+// sibling: the fetching daemon's peer-fetch span and the serving
+// daemon's cache-serve span land in the same trace, with the
+// cache-serve span parented under the peer-fetch span — one trace id,
+// two processes, no orphans.
+func TestTracePropagationAcrossPeerFetch(t *testing.T) {
+	s1, s2, ts1, ts2 := tracedClusterPair(t, "fleet-secret")
+	body := cellBody(t, 20_000, 7)
+
+	// Daemon 1 simulates the cell and now owns its checkpoint.
+	if code, doc := postWait(t, ts1, body); code != http.StatusOK {
+		t.Fatalf("first daemon: status %d body %s", code, doc)
+	}
+
+	const trace = "trace-peer-fetch-test"
+	code, doc := postWaitTraced(t, ts2, body, trace)
+	if code != http.StatusOK {
+		t.Fatalf("second daemon: status %d body %s", code, doc)
+	}
+	if s2.metrics.Snapshot().Refs != 0 {
+		t.Fatal("second daemon simulated; peer cache should have served the cell")
+	}
+
+	spans2 := s2.cfg.Tracer.Store().ByTrace(trace)
+	job := spanByName(t, spans2, "job")
+	if job.Outcome != statusDone {
+		t.Errorf("job span outcome %q, want %q", job.Outcome, statusDone)
+	}
+	fetch := spanByName(t, spans2, "peer-fetch")
+	if fetch.Outcome != "hit" {
+		t.Errorf("peer-fetch outcome %q, want hit", fetch.Outcome)
+	}
+	if fetch.Peer == "" || !strings.Contains(fetch.Peer, ts1.Listener.Addr().String()) {
+		t.Errorf("peer-fetch peer %q does not name daemon 1 (%s)", fetch.Peer, ts1.Listener.Addr().String())
+	}
+
+	// The serving daemon recorded its half under the same trace id,
+	// parented to the fetcher's span.
+	spans1 := s1.cfg.Tracer.Store().ByTrace(trace)
+	serve := spanByName(t, spans1, "cache-serve")
+	if serve.Outcome != "hit" {
+		t.Errorf("cache-serve outcome %q, want hit", serve.Outcome)
+	}
+	if serve.Parent != fetch.ID() {
+		t.Errorf("cache-serve parent %q, want the peer-fetch span %q", serve.Parent, fetch.ID())
+	}
+
+	// The merged fleet view is orphan-free: every parent resolves.
+	merged := otrace.Dedup(append(append([]otrace.Span(nil), spans1...), spans2...))
+	ids := map[string]bool{}
+	for _, s := range merged {
+		ids[s.ID()] = true
+	}
+	for _, s := range merged {
+		if s.Parent != "" && !ids[s.Parent] {
+			t.Errorf("span %s (%s) has orphan parent %s", s.ID(), s.Name, s.Parent)
+		}
+	}
+}
+
+// GET /v1/trace/{traceid} serves each daemon's slice of a trace as
+// NDJSON span rows, behind the cluster key.
+func TestTraceSpansEndpoint(t *testing.T) {
+	_, _, ts1, ts2 := tracedClusterPair(t, "fleet-secret")
+	body := cellBody(t, 20_000, 7)
+	if code, doc := postWait(t, ts1, body); code != http.StatusOK {
+		t.Fatalf("first daemon: status %d body %s", code, doc)
+	}
+	const trace = "trace-endpoint-test"
+	if code, doc := postWaitTraced(t, ts2, body, trace); code != http.StatusOK {
+		t.Fatalf("second daemon: status %d body %s", code, doc)
+	}
+
+	fetchTrace := func(ts *httptest.Server, key string) (int, []byte) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/trace/"+trace, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set(cluster.KeyHeader, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	if code, _ := fetchTrace(ts2, ""); code != http.StatusForbidden {
+		t.Errorf("unauthenticated trace fetch: %d, want 403", code)
+	}
+	var merged []otrace.Span
+	for _, ts := range []*httptest.Server{ts1, ts2} {
+		code, data := fetchTrace(ts, "fleet-secret")
+		if code != http.StatusOK {
+			t.Fatalf("trace fetch: %d %s", code, data)
+		}
+		spans, err := otrace.ReadNDJSON(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spans) == 0 {
+			t.Fatal("daemon served zero spans for the trace")
+		}
+		merged = append(merged, spans...)
+	}
+	merged = otrace.Dedup(merged)
+	services := map[string]bool{}
+	for _, s := range merged {
+		if s.Trace != trace {
+			t.Errorf("span %s carries trace %q, want %q", s.ID(), s.Trace, trace)
+		}
+		services[s.Service] = true
+	}
+	if !services["dirsimd:a"] || !services["dirsimd:b"] {
+		t.Errorf("merged trace covers services %v, want both daemons", services)
+	}
+
+	// An unknown trace is a clean 404.
+	req, err := http.NewRequest(http.MethodGet, ts1.URL+"/v1/trace/never-seen", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.KeyHeader, "fleet-secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace: %d, want 404", resp.StatusCode)
+	}
+}
+
+// GET /v1/cluster/metrics federates the fleet: one row per member with
+// the answering daemon marked self, and the Prometheus form carries a
+// peer label on every sample and still passes the exposition lint.
+func TestClusterMetricsFederation(t *testing.T) {
+	_, _, ts1, _ := tracedClusterPair(t, "fleet-secret")
+	body := cellBody(t, 20_000, 7)
+	if code, doc := postWait(t, ts1, body); code != http.StatusOK {
+		t.Fatalf("submit: status %d body %s", code, doc)
+	}
+
+	fetch := func(q string) (int, []byte) {
+		req, err := http.NewRequest(http.MethodGet, ts1.URL+"/v1/cluster/metrics"+q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(cluster.KeyHeader, "fleet-secret")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	code, data := fetch("")
+	if code != http.StatusOK {
+		t.Fatalf("federation: %d %s", code, data)
+	}
+	var doc spec.ClusterMetricsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Peers) != 2 {
+		t.Fatalf("federation lists %d peers, want 2", len(doc.Peers))
+	}
+	selfs := 0
+	for _, p := range doc.Peers {
+		if p.Self {
+			selfs++
+			if p.Metrics == nil || p.Metrics.Refs == 0 {
+				t.Error("self row is missing the local snapshot")
+			}
+		}
+		if !p.Up {
+			t.Errorf("peer %s down in a healthy fleet: %s", p.Addr, p.Error)
+		}
+		if p.Up && p.Metrics == nil {
+			t.Errorf("peer %s up but without metrics", p.Addr)
+		}
+	}
+	if selfs != 1 {
+		t.Errorf("%d self rows, want exactly 1", selfs)
+	}
+
+	code, prom := fetch("?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("prometheus federation: %d", code)
+	}
+	if !bytes.Contains(prom, []byte(`peer="http://`)) {
+		t.Error("prometheus federation output carries no peer labels")
+	}
+	if err := obs.LintPrometheus(bytes.NewReader(prom)); err != nil {
+		t.Errorf("federated exposition fails the lint: %v", err)
+	}
+
+	// A missing key is rejected like the cache endpoint.
+	req, err := http.NewRequest(http.MethodGet, ts1.URL+"/v1/cluster/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("unauthenticated federation: %d, want 403", resp.StatusCode)
+	}
+}
+
+// A daemon killed mid-job replays the journal under the original trace
+// id: the restarted process's replay and job spans join the same trace
+// the submitter started, so a fleet trace spans the crash.
+func TestReplayKeepsTraceID(t *testing.T) {
+	dir := t.TempDir()
+	req := sweepRequest(t)
+	const trace = "trace-crash-test"
+
+	s1, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.mu.Lock()
+	s1.started = true
+	s1.recovering = false
+	s1.baseCtx = context.Background()
+	s1.mu.Unlock()
+	j1, code, err := s1.submit(req, s1.ring[0], classBatch, otrace.Root(trace))
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("submit: %d, %v", code, err)
+	}
+	if j1.traceID != trace {
+		t.Fatalf("admitted job carries trace %q, want %q", j1.traceID, trace)
+	}
+	if err := s1.store.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.NewMetrics()
+	s2, err := New(Config{
+		StateDir: dir, Workers: 2, Executors: 2,
+		Metrics: m,
+		Tracer:  otrace.New("dirsimd:reborn", nil, otrace.NewStore(0), m),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s2.Start(ctx)
+	j := waitTerminal(t, s2, j1.id)
+	if st, _, errMsg := j.snapshot(); st != statusDone {
+		t.Fatalf("replayed job ended %q: %s", st, errMsg)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := s2.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := s2.cfg.Tracer.Store().ByTrace(trace)
+	replay := spanByName(t, spans, "replay")
+	if replay.Outcome != "requeued" {
+		t.Errorf("replay span outcome %q, want requeued", replay.Outcome)
+	}
+	job := spanByName(t, spans, "job")
+	if job.Parent != replay.ID() {
+		t.Errorf("job span parent %q, want the replay span %q", job.Parent, replay.ID())
+	}
+	if job.Outcome != statusDone {
+		t.Errorf("job span outcome %q, want %q", job.Outcome, statusDone)
+	}
+	spanByName(t, spans, "chunk")
+	spanByName(t, spans, "simulate")
+}
+
+// The job trace endpoint splices fabric spans with the flight trace: a
+// daemon running with both serves one Chrome document holding the span
+// tracks and the engine's protocol events, and the NDJSON form carries
+// kind:"span" rows alongside the flight rows.
+func TestJobTraceSplicesSpans(t *testing.T) {
+	m := obs.NewMetrics()
+	_, ts := testServer(t, Config{
+		Workers: 2,
+		Metrics: m,
+		Tracer:  otrace.New("dirsimd:solo", nil, otrace.NewStore(0), m),
+		// TraceSample on: flight recorders exist alongside fabric spans.
+		TraceSample: 64,
+	})
+	body := cellBody(t, 20_000, 7)
+	code, doc := postWait(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, doc)
+	}
+	var rd spec.ResultDoc
+	if err := json.Unmarshal(doc, &rd); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rd.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	sawFabric, sawFlight := false, false
+	for _, e := range chrome.TraceEvents {
+		if e.Pid >= otrace.ChromePidBase && e.Name == "job" {
+			sawFabric = true
+		}
+		if e.Pid < otrace.ChromePidBase && e.Ph == "i" {
+			sawFlight = true
+		}
+	}
+	if !sawFabric || !sawFlight {
+		t.Errorf("spliced trace: fabric spans %v, flight events %v — want both", sawFabric, sawFlight)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + rd.ID + "/trace?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sawSpanRow := false
+	sc := bufio.NewScanner(resp2.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON row %q: %v", sc.Text(), err)
+		}
+		if row.Kind == "span" {
+			sawSpanRow = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSpanRow {
+		t.Error("NDJSON trace carries no span rows")
+	}
+}

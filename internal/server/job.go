@@ -8,6 +8,7 @@ import (
 
 	"dirsim/internal/flight"
 	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
 	"dirsim/internal/spec"
 )
 
@@ -85,6 +86,17 @@ type job struct {
 	// metrics are this job's own counters, folded into the server-wide
 	// set when the job finishes.
 	metrics *obs.Metrics
+
+	// Fabric tracing state. traceID is the job's otrace trace id (the
+	// submitter's via X-Dirsim-Trace, else the job hash); span covers
+	// admission to terminal, queueSpan admission to first dispatch, and
+	// spanCtx parents every child span the executors start. All are set
+	// once at admission and touched only by the single executor running
+	// the job (finishJob finishes them exactly once behind j.finish).
+	traceID   string
+	span      otrace.Active
+	queueSpan otrace.Active
+	spanCtx   otrace.Context
 
 	mu       sync.Mutex
 	status   string

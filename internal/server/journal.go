@@ -36,6 +36,10 @@ type journalRecord struct {
 	Class       string `json:"class,omitempty"`
 	// Request is the canonical request JSON (accept records only).
 	Request json.RawMessage `json:"request,omitempty"`
+	// Trace is the job's otrace trace id (accept records only) — a
+	// daemon killed mid-run replays the job under the same trace id, so
+	// a fleet trace spans the crash.
+	Trace string `json:"trace,omitempty"`
 	// Status is the terminal status (resolve records only).
 	Status string `json:"status,omitempty"`
 }
@@ -122,7 +126,7 @@ func (st *jobStore) append(rec journalRecord) error {
 // accept journals an admitted job. It must succeed before the submit is
 // acknowledged: an accept on disk is a promise the daemon will finish
 // the job even across a crash.
-func (st *jobStore) accept(id, tenantName string, class int, request []byte) error {
+func (st *jobStore) accept(id, tenantName string, class int, request []byte, trace string) error {
 	return st.append(journalRecord{
 		Op:          opAccept,
 		ID:          id,
@@ -130,6 +134,7 @@ func (st *jobStore) accept(id, tenantName string, class int, request []byte) err
 		Tenant:      tenantName,
 		Class:       className(class),
 		Request:     request,
+		Trace:       trace,
 	})
 }
 

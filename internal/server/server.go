@@ -65,6 +65,7 @@ import (
 	"dirsim/internal/coherence"
 	"dirsim/internal/flight"
 	"dirsim/internal/obs"
+	"dirsim/internal/otrace"
 	"dirsim/internal/runner"
 	"dirsim/internal/sim"
 	"dirsim/internal/spec"
@@ -120,6 +121,13 @@ type Config struct {
 	// Metrics, when non-nil, is the server-wide counter set /metrics
 	// serves; nil allocates a fresh one.
 	Metrics *obs.Metrics
+
+	// Tracer, when non-nil, records fabric spans — job, queue, chunk,
+	// cell-cache, peer-fetch, simulate, replay, cache-serve — under the
+	// trace context each request carries in X-Dirsim-Trace (or a fresh
+	// trace keyed by the job hash). Spans are served by
+	// GET /v1/trace/{traceid} and spliced into GET /v1/jobs/{id}/trace.
+	Tracer *otrace.Tracer
 
 	// TraceSample, when positive, records a flight trace for every
 	// executed job (one recorder per cell, sampling every TraceSample-th
@@ -296,7 +304,16 @@ func (s *Server) Start(ctx context.Context) {
 // different id anyway). Work already finished before the crash (result
 // on disk, resolve record lost) is resolved as done without re-running.
 func (s *Server) replay(rec journalRecord) {
-	drop := func() { _ = s.store.resolve(rec.ID, statusFailed) }
+	traceID := rec.Trace
+	if traceID == "" {
+		traceID = rec.ID
+	}
+	rsp := s.cfg.Tracer.Start(otrace.Root(traceID), "replay")
+	defer rsp.Finish()
+	drop := func() {
+		rsp.SetOutcome("dropped")
+		_ = s.store.resolve(rec.ID, statusFailed)
+	}
 	if rec.SpecVersion != spec.CurrentVersion {
 		drop()
 		return
@@ -316,6 +333,7 @@ func (s *Server) replay(rec journalRecord) {
 		return
 	}
 	if _, ok := s.cache.get(rec.ID); ok {
+		rsp.SetOutcome("cached")
 		_ = s.store.resolve(rec.ID, statusDone)
 		return
 	}
@@ -332,6 +350,9 @@ func (s *Server) replay(rec journalRecord) {
 	t := s.tenantForReplay(rec.Tenant)
 	j := newJob(s.baseCtx, rec.ID, req, cells, hashes)
 	j.detach() // the submitting client is gone; the promise is not
+	rsp.SetOutcome("requeued")
+	s.traceJob(j, rsp.Context())
+	j.traceID = traceID
 	j.tenant = t
 	j.class = classFromName(rec.Class)
 	j.cost = jobCost(len(cells), j.class)
@@ -410,6 +431,20 @@ func (s *Server) executor() {
 	}
 }
 
+// traceJob opens the job's fabric spans under the submitter's trace
+// context (or a fresh trace keyed by the job's content hash): the "job"
+// span runs admission → terminal, the "queue" span admission → first
+// dispatch, and spanCtx parents every child span the executors open.
+func (s *Server) traceJob(j *job, tc otrace.Context) {
+	if tc.Trace == "" {
+		tc = otrace.Root(j.id)
+	}
+	j.traceID = tc.Trace
+	j.span = s.cfg.Tracer.Start(tc, "job")
+	j.spanCtx = j.span.Context()
+	j.queueSpan = s.cfg.Tracer.Start(j.spanCtx, "queue")
+}
+
 // finishJob records a job's terminal state exactly once: the event log,
 // the server-wide metrics fold, the journal resolve that releases the
 // durable obligation, and the tenant's quota slot.
@@ -417,6 +452,9 @@ func (s *Server) finishJob(j *job, status string, result []byte, errMsg string) 
 	if !j.finish(status, result, errMsg) {
 		return
 	}
+	j.queueSpan.Finish() // no-op unless the job died while queued
+	j.span.SetOutcome(status)
+	j.span.Finish()
 	if j.metrics != nil {
 		s.metrics.Merge(j.metrics.Snapshot())
 	}
@@ -473,6 +511,8 @@ func (s *Server) runJob(j *job) {
 	}
 	if first := j.setRunning(); first {
 		s.observeAdmitWait(j)
+		j.queueSpan.SetOutcome("dispatched")
+		j.queueSpan.Finish()
 	}
 	for j.nextCell < len(j.cells) {
 		end := j.nextCell + s.cfg.ChunkCells
@@ -517,11 +557,22 @@ func (s *Server) runJob(j *job) {
 // resumed job skips completed work), the rest run on the runner pool and
 // are checkpointed before the chunk reports complete. The chunk's
 // documents stream to event watchers as partial results.
-func (s *Server) runChunk(j *job, lo, hi int) error {
+func (s *Server) runChunk(j *job, lo, hi int) (err error) {
+	csp := s.cfg.Tracer.Start(j.spanCtx, "chunk")
+	defer func() {
+		if err != nil {
+			csp.SetOutcome("error")
+		}
+		csp.Finish()
+	}()
+	chunkCtx := csp.Context()
 	var jobs []runner.Job
 	var globals []int // runner index → cell ordinal
 	for i := lo; i < hi; i++ {
 		if data, ok := s.cache.getCell(j.cellHashes[i]); ok {
+			hitSp := s.cfg.Tracer.Start(chunkCtx, "cell-cache")
+			hitSp.SetOutcome("hit")
+			hitSp.Finish()
 			j.cellDocs[i] = data
 			continue
 		}
@@ -529,7 +580,7 @@ func (s *Server) runChunk(j *job, lo, hi int) error {
 		// sibling) whether the fleet already has this cell. A verified
 		// hit is checkpointed locally like our own work — the fleet
 		// simulates each popular cell once, every daemon can serve it.
-		if data, ok := s.peerFetchCell(j.ctx, j.cellHashes[i]); ok {
+		if data, ok := s.peerFetchCell(j.ctx, chunkCtx, j.cellHashes[i]); ok {
 			if err := s.cache.putCell(j.cellHashes[i], data, j.tenantName()); err != nil {
 				return err
 			}
@@ -566,10 +617,14 @@ func (s *Server) runChunk(j *job, lo, hi int) error {
 				}
 			},
 		}
+		simSp := s.cfg.Tracer.Start(chunkCtx, "simulate")
 		results, err := runner.Run(j.ctx, jobs, ropts)
 		if err != nil {
+			simSp.SetOutcome("error")
+			simSp.Finish()
 			return err
 		}
+		simSp.Finish()
 		for k, rs := range results {
 			doc, err := buildCellDoc(j.cells[globals[k]], rs)
 			if err != nil {
@@ -614,7 +669,7 @@ func (s *Server) peering() (router *cluster.Router, mem cluster.Membership, self
 // directory argument, applied to the service itself). Every fetched
 // document is verified against the content address before use, so a
 // compromised or confused peer can only cause a miss, never bad data.
-func (s *Server) peerFetchCell(ctx context.Context, hash string) ([]byte, bool) {
+func (s *Server) peerFetchCell(ctx context.Context, parent otrace.Context, hash string) ([]byte, bool) {
 	router, mem, self, pc, ok := s.peering()
 	if !ok {
 		return nil, false
@@ -628,21 +683,43 @@ func (s *Server) peerFetchCell(ctx context.Context, hash string) ([]byte, bool) 
 			break
 		}
 		tried++
-		data, found, err := pc.Fetch(ctx, mem.Peers[pi].Addr, hash)
+		addr := mem.Peers[pi].Addr
+		sp := s.cfg.Tracer.Start(parent, "peer-fetch")
+		sp.SetPeer(addr)
+		fctx := otrace.With(ctx, sp.Context())
+		var t0 int64
+		if s.cfg.NowNanos != nil {
+			t0 = s.cfg.NowNanos()
+		}
+		data, found, err := pc.Fetch(fctx, addr, hash)
+		if s.cfg.NowNanos != nil {
+			ms := (s.cfg.NowNanos() - t0) / int64(time.Millisecond)
+			if ms < 0 {
+				ms = 0
+			}
+			s.metrics.Histogram(obs.HistPeerFetch).Observe(uint64(ms))
+			s.metrics.Histogram(obs.HistPeerFetch + "_peer_" + sanitizeMetric(addr)).Observe(uint64(ms))
+		}
 		switch {
 		case err != nil:
+			sp.SetOutcome("error")
 			s.metrics.AddCounter("cluster_peer_fetch_errors", 1)
 			if cluster.IsTransportError(err) {
 				s.cfg.ClusterHealth.SetDown(pi, true)
 			}
 		case !found:
+			sp.SetOutcome("miss")
 			s.metrics.AddCounter("cluster_peer_fetch_misses", 1)
 		case spec.VerifyCellDoc(hash, data) != nil:
+			sp.SetOutcome("invalid")
 			s.metrics.AddCounter("cluster_peer_fetch_invalid", 1)
 		default:
+			sp.SetOutcome("hit")
 			s.metrics.AddCounter("cluster_peer_fetch_hits", 1)
+			sp.Finish()
 			return data, true
 		}
+		sp.Finish()
 	}
 	return nil, false
 }
@@ -660,38 +737,58 @@ func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "malformed hash")
 		return
 	}
-	if s.cfg.ClusterSource != nil {
-		_, _, _, _, ok := s.peering()
-		if !ok {
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, "cluster membership not loaded yet")
-			return
-		}
-		s.clusterMu.Lock()
-		key := s.clusterKey
-		s.clusterMu.Unlock()
-		if key != "" && subtle.ConstantTimeCompare([]byte(r.Header.Get(cluster.KeyHeader)), []byte(key)) != 1 {
-			httpError(w, http.StatusForbidden, "bad cluster key")
-			return
-		}
-	} else if len(s.cfg.Tenants) > 0 {
-		if _, err := s.resolveTenant(apiKey(r)); err != nil {
-			httpError(w, http.StatusForbidden, "%v", err)
-			return
-		}
+	if !s.fleetAuth(w, r) {
+		return
+	}
+	var sp otrace.Active
+	if tc, ok := otrace.ParseHeader(r.Header.Get(otrace.HeaderName)); ok {
+		sp = s.cfg.Tracer.Start(tc, "cache-serve")
 	}
 	data, ok := s.cache.get(hash)
 	if !ok {
 		data, ok = s.cache.getCell(hash)
 	}
 	if !ok {
+		sp.SetOutcome("miss")
+		sp.Finish()
 		httpError(w, http.StatusNotFound, "no document for this hash")
 		return
 	}
+	sp.SetOutcome("hit")
+	sp.Finish()
 	s.metrics.AddCounter("cluster_cache_served", 1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// fleetAuth authorises the fleet-internal read endpoints (/v1/cache,
+// /v1/trace, /v1/cluster/metrics): the shared cluster key when the
+// daemon is clustered (exempt from tenant rate limits), a tenant API
+// key when only tenants are configured, open otherwise. It writes the
+// error response and reports false when the request must not proceed.
+func (s *Server) fleetAuth(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.ClusterSource != nil {
+		_, _, _, _, ok := s.peering()
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "cluster membership not loaded yet")
+			return false
+		}
+		s.clusterMu.Lock()
+		key := s.clusterKey
+		s.clusterMu.Unlock()
+		if key != "" && subtle.ConstantTimeCompare([]byte(r.Header.Get(cluster.KeyHeader)), []byte(key)) != 1 {
+			httpError(w, http.StatusForbidden, "bad cluster key")
+			return false
+		}
+	} else if len(s.cfg.Tenants) > 0 {
+		if _, err := s.resolveTenant(apiKey(r)); err != nil {
+			httpError(w, http.StatusForbidden, "%v", err)
+			return false
+		}
+	}
+	return true
 }
 
 // traceFor returns the runner trace hook for one chunk: a fresh recorder
@@ -768,6 +865,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheFetch)
+	mux.HandleFunc("GET /v1/trace/{traceid}", s.handleTraceSpans)
+	mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -807,7 +906,7 @@ func apiKey(r *http.Request) string {
 // freshly admitted one — journaled, charged to the tenant's quota and
 // enqueued for fair-share dispatch. The error return carries an HTTP
 // status.
-func (s *Server) submit(req spec.Request, t *tenant, class int) (*job, int, error) {
+func (s *Server) submit(req spec.Request, t *tenant, class int, tc otrace.Context) (*job, int, error) {
 	hash, err := req.Hash()
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -854,6 +953,7 @@ func (s *Server) submit(req spec.Request, t *tenant, class int) (*job, int, erro
 		return nil, http.StatusBadRequest, err
 	}
 	j := newJob(s.baseCtx, hash, req, cells, hashes)
+	s.traceJob(j, tc)
 	j.tenant = t
 	j.class = class
 	j.cost = jobCost(len(cells), class)
@@ -862,7 +962,7 @@ func (s *Server) submit(req spec.Request, t *tenant, class int) (*job, int, erro
 	}
 	// The accept record must be durable before the client hears 202:
 	// from here the daemon owes this job across any crash.
-	if err := s.store.accept(hash, t.Name, class, canon); err != nil {
+	if err := s.store.accept(hash, t.Name, class, canon, j.traceID); err != nil {
 		j.cancel(err)
 		return nil, http.StatusInternalServerError, fmt.Errorf("server: journaling job: %w", err)
 	}
@@ -911,7 +1011,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if wait {
 		class = classInteractive
 	}
-	j, code, err := s.submit(req, t, class)
+	tc, _ := otrace.ParseHeader(r.Header.Get(otrace.HeaderName))
+	j, code, err := s.submit(req, t, class, tc)
 	if err != nil {
 		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
@@ -1088,11 +1189,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
-// handleTrace is GET /v1/jobs/{id}/trace: the job's flight trace as
+// handleTrace is GET /v1/jobs/{id}/trace: the job's flight trace —
+// spliced with its fabric spans when the daemon runs with a tracer — as
 // Chrome trace-event JSON (default, Perfetto-loadable) or NDJSON with
 // ?format=ndjson. Traces exist only for jobs the daemon itself executed
-// with tracing enabled (404 otherwise) and only once the job is terminal
-// — the rings are single-writer, so a running job answers 409.
+// with tracing or a tracer enabled (404 otherwise) and only once the job
+// is terminal — the rings are single-writer, so a running job answers
+// 409.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -1104,7 +1207,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "job still running; trace is served once the job is terminal")
 		return
 	}
-	if len(recs) == 0 {
+	spans := s.spansByTrace(j.traceID)
+	if len(recs) == 0 && len(spans) == 0 {
 		httpError(w, http.StatusNotFound, "no trace for this job (daemon tracing off, or result restored from cache)")
 		return
 	}
@@ -1113,13 +1217,154 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flight.WriteNDJSON(w, recs...)
+		otrace.WriteNDJSON(w, spans)
 	case "", "chrome":
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		flight.WriteChromeTrace(w, recs...)
+		otrace.WriteChromeTrace(w, spans, recs...)
 	default:
 		httpError(w, http.StatusBadRequest, "unknown trace format %q", r.URL.Query().Get("format"))
 	}
+}
+
+// spansByTrace returns the daemon's recorded fabric spans under one
+// trace id (nil when the daemon runs without a tracer).
+func (s *Server) spansByTrace(trace string) []otrace.Span {
+	if trace == "" {
+		return nil
+	}
+	st := s.cfg.Tracer.Store()
+	if st == nil {
+		return nil
+	}
+	return st.ByTrace(trace)
+}
+
+// handleTraceSpans is GET /v1/trace/{traceid}: every fabric span this
+// daemon recorded under one trace id, as NDJSON span rows (default) or a
+// Chrome trace-event document with ?format=chrome. This is the fleet
+// trace collection endpoint — a traced sweep asks each daemon for its
+// slice of a cell's trace and merges the rows — so it is authorised like
+// /v1/cache: cluster key for fleet members, tenant key otherwise.
+func (s *Server) handleTraceSpans(w http.ResponseWriter, r *http.Request) {
+	trace := r.PathValue("traceid")
+	if trace == "" || len(trace) > 256 {
+		httpError(w, http.StatusBadRequest, "malformed trace id")
+		return
+	}
+	if !s.fleetAuth(w, r) {
+		return
+	}
+	spans := s.spansByTrace(trace)
+	if len(spans) == 0 {
+		httpError(w, http.StatusNotFound, "no spans for this trace")
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		otrace.WriteNDJSON(w, spans)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		otrace.WriteChromeTrace(w, spans)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown trace format %q", r.URL.Query().Get("format"))
+	}
+}
+
+// handleClusterMetrics is GET /v1/cluster/metrics: metrics federation.
+// The answering daemon snapshots itself and fetches every sibling's
+// /metrics concurrently, then returns one document with a row per fleet
+// member — peers that fail to answer appear with Up=false and the error,
+// so a dead daemon is visible rather than silently absent. With
+// ?format=prometheus the rows merge into one text exposition where every
+// sample carries a peer="addr" label. On a daemon running without
+// -cluster-peers the fleet is just itself.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetAuth(w, r) {
+		return
+	}
+	self := spec.PeerMetrics{Addr: s.cfg.ClusterSelfAddr, Self: true, Up: true}
+	snap := s.metrics.Snapshot()
+	self.Metrics = &snap
+	doc := spec.ClusterMetricsDoc{Peers: []spec.PeerMetrics{self}}
+	if _, mem, selfIdx, _, ok := s.peering(); ok {
+		doc.Peers = make([]spec.PeerMetrics, len(mem.Peers))
+		// Scrape siblings concurrently but bounded: a large membership
+		// must not translate one inbound request into unbounded fan-out.
+		sem := make(chan struct{}, 8)
+		var wg sync.WaitGroup
+		for i, p := range mem.Peers {
+			if i == selfIdx {
+				self.Addr = p.Addr
+				doc.Peers[i] = self
+				continue
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int, addr string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				doc.Peers[i] = s.fetchPeerMetrics(r.Context(), addr)
+			}(i, p.Addr)
+		}
+		wg.Wait()
+		if selfIdx < 0 {
+			doc.Peers = append(doc.Peers, self)
+		}
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		for _, p := range doc.Peers {
+			if !p.Up || p.Metrics == nil {
+				continue
+			}
+			if err := obs.WritePrometheusLabeled(w, *p.Metrics, fmt.Sprintf("peer=%q", p.Addr)); err != nil {
+				return // mid-stream failure: the client sees a truncated body
+			}
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// fetchPeerMetrics asks one sibling for its /metrics snapshot,
+// authenticated by the shared cluster key. Failures come back as a
+// down row, never an error — federation tolerates dead peers.
+func (s *Server) fetchPeerMetrics(ctx context.Context, addr string) spec.PeerMetrics {
+	pm := spec.PeerMetrics{Addr: addr}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(addr, "/")+"/metrics", nil)
+	if err != nil {
+		pm.Error = err.Error()
+		return pm
+	}
+	s.clusterMu.Lock()
+	key := s.clusterKey
+	s.clusterMu.Unlock()
+	if key != "" {
+		req.Header.Set(cluster.KeyHeader, key)
+	}
+	resp, err := s.cfg.ClusterHTTP.Do(req)
+	if err != nil {
+		pm.Error = err.Error()
+		return pm
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		pm.Error = fmt.Sprintf("peer answered %d %s", resp.StatusCode, http.StatusText(resp.StatusCode))
+		return pm
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		pm.Error = fmt.Sprintf("decoding peer metrics: %v", err)
+		return pm
+	}
+	pm.Up = true
+	pm.Metrics = &snap
+	return pm
 }
 
 // terminal reports whether the job reached a terminal state.

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"testing"
 
+	"dirsim/internal/otrace"
 	"dirsim/internal/spec"
 )
 
@@ -99,14 +100,14 @@ func TestTenantQuota(t *testing.T) {
 	small := s.byKey["small-key"]
 	big := s.byKey["big-key"]
 
-	if _, code, err := s.submit(reqA, small, classBatch); err != nil || code != http.StatusAccepted {
+	if _, code, err := s.submit(reqA, small, classBatch, otrace.Context{}); err != nil || code != http.StatusAccepted {
 		t.Fatalf("first submit: %d, %v", code, err)
 	}
-	_, code, err := s.submit(reqB, small, classBatch)
+	_, code, err := s.submit(reqB, small, classBatch, otrace.Context{})
 	if code != http.StatusTooManyRequests || err == nil {
 		t.Fatalf("over-quota submit: %d, %v", code, err)
 	}
-	if _, code, err := s.submit(reqB, big, classBatch); err != nil || code != http.StatusAccepted {
+	if _, code, err := s.submit(reqB, big, classBatch, otrace.Context{}); err != nil || code != http.StatusAccepted {
 		t.Fatalf("other tenant blocked by small's quota: %d, %v", code, err)
 	}
 
@@ -118,7 +119,7 @@ func TestTenantQuota(t *testing.T) {
 		t.Fatalf("picked %+v, want small's job", j)
 	}
 	s.finishJob(j, statusCanceled, nil, "test teardown")
-	if _, code, err := s.submit(reqC, small, classBatch); err != nil || code != http.StatusAccepted {
+	if _, code, err := s.submit(reqC, small, classBatch, otrace.Context{}); err != nil || code != http.StatusAccepted {
 		t.Fatalf("submit after release: %d, %v", code, err)
 	}
 }

@@ -115,3 +115,23 @@ type EnginesDoc struct {
 	Engines []string `json:"engines"`
 	Filters []string `json:"filters"`
 }
+
+// PeerMetrics is one fleet member's slice of the federated metrics
+// document: its address, whether it is the answering daemon itself, and
+// either its metrics snapshot (Up) or the fetch error that replaced it.
+// A federation answer lists every membership peer, so a dead daemon is
+// a visible row with Up=false — absence of data is itself data.
+type PeerMetrics struct {
+	Addr    string        `json:"addr"`
+	Self    bool          `json:"self,omitempty"`
+	Up      bool          `json:"up"`
+	Error   string        `json:"error,omitempty"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ClusterMetricsDoc is GET /v1/cluster/metrics: the whole fleet's
+// metrics in one response, fetched live from each peer's /metrics by
+// the daemon that answers.
+type ClusterMetricsDoc struct {
+	Peers []PeerMetrics `json:"peers"`
+}
